@@ -1,0 +1,60 @@
+//! Benchmark behind Figure 3 (experiments E1/E2): the cost of running each
+//! Boolean-Inference algorithm over a full (reduced-size) experiment —
+//! learning phase plus per-interval inference.
+//!
+//! Run `cargo run --release -p tomo-experiments --bin figure3` to regenerate
+//! the figure's actual rows; this bench tracks the runtime of the pipeline
+//! that produces them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_inference::{
+    infer_all_intervals, BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity,
+};
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator};
+
+fn experiment() -> (tomo_graph::Network, tomo_sim::SimulationOutput) {
+    let mut cfg = BriteConfig::tiny(1);
+    cfg.num_ases = 12;
+    cfg.routers_per_as = 6;
+    cfg.num_paths = 180;
+    let network = BriteGenerator::new(cfg).generate().unwrap();
+    let config = SimulationConfig {
+        num_intervals: 120,
+        scenario: ScenarioConfig::no_independence(),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::PacketProbes {
+            packets_per_interval: 200,
+        },
+        seed: 3,
+    };
+    let output = Simulator::new(config).run(&network);
+    (network, output)
+}
+
+fn bench_inference_algorithms(c: &mut Criterion) {
+    let (network, output) = experiment();
+    let mut group = c.benchmark_group("figure3_inference_pipeline");
+    group.sample_size(10);
+    let make: Vec<(&str, fn() -> Box<dyn BooleanInference>)> = vec![
+        ("Sparsity", || Box::new(Sparsity::new())),
+        ("Bayesian-Independence", || {
+            Box::new(BayesianIndependence::new())
+        }),
+        ("Bayesian-Correlation", || {
+            Box::new(BayesianCorrelation::new())
+        }),
+    ];
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut algo = factory();
+                infer_all_intervals(algo.as_mut(), &network, &output.observations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmark behind Figure 4 (experiments E3–E6): the cost of each
+//! Probability-Computation algorithm on reduced-size Brite and Sparse
+//! topologies under the correlated ("No Independence") scenario.
+//!
+//! Run the `figure4a`–`figure4d` binaries of `tomo-experiments` to regenerate
+//! the figure's rows; this bench tracks the runtime of the algorithms that
+//! produce them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_prob::{
+    CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
+};
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+fn simulate(network: &tomo_graph::Network, seed: u64) -> tomo_sim::SimulationOutput {
+    let config = SimulationConfig {
+        num_intervals: 150,
+        scenario: ScenarioConfig::no_independence().with_nonstationary(50),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::PacketProbes {
+            packets_per_interval: 200,
+        },
+        seed,
+    };
+    Simulator::new(config).run(network)
+}
+
+fn algorithms() -> Vec<(&'static str, Box<dyn ProbabilityComputation>)> {
+    vec![
+        ("Independence", Box::new(Independence::default())),
+        (
+            "Correlation-heuristic",
+            Box::new(CorrelationHeuristic::default()),
+        ),
+        (
+            "Correlation-complete",
+            Box::new(CorrelationComplete::default()),
+        ),
+    ]
+}
+
+fn bench_on_brite(c: &mut Criterion) {
+    let mut cfg = BriteConfig::tiny(1);
+    cfg.num_ases = 14;
+    cfg.routers_per_as = 6;
+    cfg.num_paths = 220;
+    let network = BriteGenerator::new(cfg).generate().unwrap();
+    let output = simulate(&network, 5);
+
+    let mut group = c.benchmark_group("figure4_probability_brite");
+    group.sample_size(10);
+    for (name, algo) in algorithms() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| algo.compute(&network, &output.observations))
+        });
+    }
+    group.finish();
+}
+
+fn bench_on_sparse(c: &mut Criterion) {
+    let mut cfg = SparseConfig::tiny(1);
+    cfg.num_ases = 80;
+    cfg.num_traceroutes = 260;
+    let network = SparseGenerator::new(cfg).generate().unwrap();
+    let output = simulate(&network, 7);
+
+    let mut group = c.benchmark_group("figure4_probability_sparse");
+    group.sample_size(10);
+    for (name, algo) in algorithms() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| algo.compute(&network, &output.observations))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_brite, bench_on_sparse);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks of Algorithm 1 (path-set selection) — experiment E9: the §5.3
+//! complexity claim `O(n1^3 + n1^2 · 2^{n2} · n3)`. The parameter swept here
+//! is the topology size, which drives `n1` (number of potentially congested
+//! correlation subsets) and `n3` (nullity of the seed system).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_graph::LinkId;
+use tomo_prob::{
+    potentially_congested_subsets, select_path_sets, subsets::potentially_congested_links,
+    PathSelectionConfig,
+};
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+fn prepare(
+    network: &tomo_graph::Network,
+    seed: u64,
+) -> (tomo_sim::PathObservations, Vec<tomo_graph::CorrelationSubset>, BTreeSet<LinkId>) {
+    let config = SimulationConfig {
+        num_intervals: 120,
+        scenario: ScenarioConfig::no_independence(),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed,
+    };
+    let output = Simulator::new(config).run(network);
+    let targets = potentially_congested_subsets(network, &output.observations, 2);
+    let pc: BTreeSet<LinkId> = potentially_congested_links(network, &output.observations)
+        .into_iter()
+        .collect();
+    (output.observations, targets, pc)
+}
+
+fn bench_selection_brite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_path_selection_brite");
+    group.sample_size(10);
+    for &ases in &[8usize, 16, 24] {
+        let mut cfg = BriteConfig::tiny(1);
+        cfg.num_ases = ases;
+        cfg.routers_per_as = 6;
+        cfg.num_paths = ases * 20;
+        let network = BriteGenerator::new(cfg).generate().unwrap();
+        let (obs, targets, pc) = prepare(&network, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ases}ases_{}targets", targets.len())),
+            &network,
+            |b, net| {
+                b.iter(|| {
+                    select_path_sets(net, &obs, &targets, &pc, &PathSelectionConfig::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_selection_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_path_selection_sparse");
+    group.sample_size(10);
+    for &ases in &[30usize, 60] {
+        let mut cfg = SparseConfig::tiny(1);
+        cfg.num_ases = ases;
+        cfg.num_traceroutes = ases * 3;
+        let network = SparseGenerator::new(cfg).generate().unwrap();
+        let (obs, targets, pc) = prepare(&network, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ases}ases_{}targets", targets.len())),
+            &network,
+            |b, net| {
+                b.iter(|| {
+                    select_path_sets(net, &obs, &targets, &pc, &PathSelectionConfig::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_brite, bench_selection_sparse);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the congestion/measurement simulator (the substrate behind
+//! every figure): topology generation and per-interval simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_sim::{
+    LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator,
+};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    group.bench_function("brite_tiny", |b| {
+        b.iter(|| BriteGenerator::new(BriteConfig::tiny(1)).generate().unwrap())
+    });
+    group.bench_function("sparse_tiny", |b| {
+        b.iter(|| SparseGenerator::new(SparseConfig::tiny(1)).generate().unwrap())
+    });
+    let mut medium = BriteConfig::tiny(2);
+    medium.num_ases = 36;
+    medium.routers_per_as = 9;
+    medium.num_paths = 700;
+    group.bench_function("brite_medium", |b| {
+        let cfg = medium.clone();
+        b.iter(|| BriteGenerator::new(cfg.clone()).generate().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_100_intervals");
+    group.sample_size(10);
+    let network = BriteGenerator::new(BriteConfig::tiny(3)).generate().unwrap();
+    for (label, measurement) in [
+        ("ideal", MeasurementMode::Ideal),
+        (
+            "probes_300",
+            MeasurementMode::PacketProbes {
+                packets_per_interval: 300,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &measurement, |b, m| {
+            b.iter(|| {
+                let config = SimulationConfig {
+                    num_intervals: 100,
+                    scenario: ScenarioConfig::no_independence(),
+                    loss: LossModel::default(),
+                    measurement: *m,
+                    seed: 9,
+                };
+                Simulator::new(config).run(&network)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_generation, bench_simulation);
+criterion_main!(benches);

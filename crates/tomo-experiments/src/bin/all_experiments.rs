@@ -1,0 +1,38 @@
+//! Runs every experiment of the paper in sequence and prints all tables.
+//!
+//! Usage: `all_experiments [small|medium|paper] [seed]`
+
+use tomo_experiments::{
+    run_figure3, run_figure4a, run_figure4b, run_figure4c, run_figure4d, table2, ExperimentScale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Medium);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    eprintln!("Running all experiments at {scale:?} scale (seed {seed})...");
+
+    println!("== Table 2 ==\n{}", table2().render());
+
+    let f3 = run_figure3(scale, seed);
+    println!("== Figure 3(a): Detection Rate ==\n{}", f3.render_detection());
+    println!(
+        "== Figure 3(b): False Positive Rate ==\n{}",
+        f3.render_false_positives()
+    );
+
+    let f4a = run_figure4a(scale, seed);
+    println!("== Figure 4(a): Mean abs. error, Brite ==\n{}", f4a.render());
+    let f4b = run_figure4b(scale, seed);
+    println!("== Figure 4(b): Mean abs. error, Sparse ==\n{}", f4b.render());
+    let f4c = run_figure4c(scale, seed);
+    println!("== Figure 4(c): CDF of abs. error ==\n{}", f4c.render());
+    for (algo, frac) in &f4c.fraction_within_01 {
+        println!("  {algo}: fraction of links with error <= 0.1: {frac:.3}");
+    }
+    let f4d = run_figure4d(scale, seed);
+    println!("\n== Figure 4(d): links vs subsets ==\n{}", f4d.render());
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 3 of the paper: detection rate and false-positive rate
+//! of the Boolean-Inference algorithms under the five congestion scenarios.
+//!
+//! Usage: `figure3 [small|medium|paper] [seed]`
+
+use tomo_experiments::{run_figure3, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Medium);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!("Running Figure 3 at {scale:?} scale (seed {seed})...");
+    let result = run_figure3(scale, seed);
+    println!("Figure 3(a): Detection Rate\n");
+    println!("{}", result.render_detection());
+    println!("Figure 3(b): False Positive Rate\n");
+    println!("{}", result.render_false_positives());
+    println!(
+        "JSON:\n{}",
+        serde_json::to_string_pretty(&result).expect("serializable")
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 4(a): mean absolute error of per-link congestion
+//! probabilities on Brite topologies.
+//!
+//! Usage: `figure4a [small|medium|paper] [seed]`
+
+use tomo_experiments::{run_figure4a, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Medium);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!("Running Figure 4(a) at {scale:?} scale (seed {seed})...");
+    let result = run_figure4a(scale, seed);
+    println!("Figure 4(a): Mean absolute error, per-link probabilities, Brite topologies\n");
+    println!("{}", result.render());
+    println!(
+        "JSON:\n{}",
+        serde_json::to_string_pretty(&result).expect("serializable")
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 4(c): CDF of the absolute error for the
+//! "No Independence" scenario on Sparse topologies.
+//!
+//! Usage: `figure4c [small|medium|paper] [seed]`
+
+use tomo_experiments::{run_figure4c, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Medium);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!("Running Figure 4(c) at {scale:?} scale (seed {seed})...");
+    let result = run_figure4c(scale, seed);
+    println!("Figure 4(c): CDF of the absolute error (No Independence, Sparse topologies)\n");
+    println!("{}", result.render());
+    println!("Fraction of links with absolute error <= 0.1:");
+    for (algo, frac) in &result.fraction_within_01 {
+        println!("  {algo}: {frac:.3}");
+    }
+    println!(
+        "\nJSON:\n{}",
+        serde_json::to_string_pretty(&result).expect("serializable")
+    );
+}

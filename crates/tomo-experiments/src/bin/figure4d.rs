@@ -1,0 +1,25 @@
+//! Regenerates Figure 4(d): mean absolute error of Correlation-complete when
+//! computing the congestion probability of individual links vs correlation
+//! subsets, on Brite vs Sparse topologies ("No Independence" scenario).
+//!
+//! Usage: `figure4d [small|medium|paper] [seed]`
+
+use tomo_experiments::{run_figure4d, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Medium);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!("Running Figure 4(d) at {scale:?} scale (seed {seed})...");
+    let result = run_figure4d(scale, seed);
+    println!("Figure 4(d): Correlation-complete, links vs correlation subsets\n");
+    println!("{}", result.render());
+    println!(
+        "JSON:\n{}",
+        serde_json::to_string_pretty(&result).expect("serializable")
+    );
+}

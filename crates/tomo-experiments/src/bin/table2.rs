@@ -1,0 +1,14 @@
+//! Regenerates Table 2 of the paper: the assumptions, conditions and
+//! approximations each algorithm relies on.
+
+use tomo_experiments::table2;
+
+fn main() {
+    let t = table2();
+    println!("Table 2: Sources of inaccuracy per algorithm\n");
+    println!("{}", t.render());
+    println!(
+        "JSON:\n{}",
+        serde_json::to_string_pretty(&t).expect("serializable")
+    );
+}

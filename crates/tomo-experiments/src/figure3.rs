@@ -1,0 +1,146 @@
+//! Figure 3: performance of the Boolean-Inference algorithms under the five
+//! congestion scenarios — (a) detection rate and (b) false-positive rate,
+//! averaged over the intervals of each experiment.
+
+use serde::{Deserialize, Serialize};
+use tomo_inference::{
+    infer_all_intervals, BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity,
+};
+use tomo_metrics::InferenceScore;
+use tomo_sim::{ScenarioConfig, ScenarioKind};
+
+use crate::report::{fmt3, render_table};
+use crate::scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
+
+/// The per-algorithm scores for one scenario (one group of bars in Fig. 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// Scenario label (x-axis of Fig. 3).
+    pub scenario: String,
+    /// Topology family the scenario ran on.
+    pub topology: String,
+    /// `(algorithm, detection rate, false-positive rate)` triples.
+    pub scores: Vec<(String, f64, f64)>,
+}
+
+/// The full Figure 3 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure3Result {
+    /// One row per scenario, in the order of the paper's figure.
+    pub rows: Vec<Figure3Row>,
+    /// Scale the experiment ran at.
+    pub scale: String,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Figure3Result {
+    /// Renders the detection-rate table (Fig. 3a).
+    pub fn render_detection(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders the false-positive-rate table (Fig. 3b).
+    pub fn render_false_positives(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, detection: bool) -> String {
+        let algos: Vec<String> = self
+            .rows
+            .first()
+            .map(|r| r.scores.iter().map(|(a, _, _)| a.clone()).collect())
+            .unwrap_or_default();
+        let mut header: Vec<&str> = vec!["Scenario"];
+        for a in &algos {
+            header.push(a);
+        }
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.scenario.clone()];
+                for (_, d, f) in &r.scores {
+                    cells.push(fmt3(if detection { *d } else { *f }));
+                }
+                cells
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+/// The scenario list of Fig. 3, with the topology each runs on.
+fn figure3_scenarios() -> Vec<(ScenarioKind, TopologyKind)> {
+    vec![
+        (ScenarioKind::RandomCongestion, TopologyKind::Brite),
+        (ScenarioKind::ConcentratedCongestion, TopologyKind::Brite),
+        (ScenarioKind::NoIndependence, TopologyKind::Brite),
+        (ScenarioKind::NoStationarity, TopologyKind::Brite),
+        (ScenarioKind::SparseTopology, TopologyKind::Sparse),
+    ]
+}
+
+/// Runs the Figure 3 experiment at the given scale.
+pub fn run_figure3(scale: ExperimentScale, seed: u64) -> Figure3Result {
+    let mut rows = Vec::new();
+    for (kind, topology) in figure3_scenarios() {
+        let setup = ExperimentSetup::new(topology, scale, seed);
+        let network = setup.network();
+        let scenario = ScenarioConfig::for_kind(kind);
+        let output = setup.simulate(&network, scenario);
+
+        let mut algorithms: Vec<Box<dyn BooleanInference>> = vec![
+            Box::new(Sparsity::new()),
+            Box::new(BayesianIndependence::new()),
+            Box::new(BayesianCorrelation::new()),
+        ];
+        let mut scores = Vec::new();
+        for algo in algorithms.iter_mut() {
+            let inferred = infer_all_intervals(algo.as_mut(), &network, &output.observations);
+            let mut score = InferenceScore::new();
+            for (t, links) in inferred.iter().enumerate() {
+                score.add_interval(links, &output.ground_truth.congested_links(t));
+            }
+            scores.push((
+                algo.name().to_string(),
+                score.detection_rate(),
+                score.false_positive_rate(),
+            ));
+        }
+        rows.push(Figure3Row {
+            scenario: kind.label().to_string(),
+            topology: topology.label().to_string(),
+            scores,
+        });
+    }
+    Figure3Result {
+        rows,
+        scale: format!("{scale:?}"),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_figure3_has_expected_shape() {
+        let result = run_figure3(ExperimentScale::Small, 7);
+        assert_eq!(result.rows.len(), 5);
+        for row in &result.rows {
+            assert_eq!(row.scores.len(), 3);
+            for (_, d, f) in &row.scores {
+                assert!((0.0..=1.0).contains(d), "detection {d}");
+                assert!((0.0..=1.0).contains(f), "fpr {f}");
+            }
+        }
+        // The last row is the Sparse-topology scenario.
+        assert_eq!(result.rows[4].topology, "Sparse");
+        // Rendering produces one line per scenario plus header/separator.
+        let text = result.render_detection();
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("Sparsity"));
+    }
+}

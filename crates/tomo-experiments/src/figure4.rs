@@ -1,0 +1,358 @@
+//! Figure 4: accuracy of the Probability Computation algorithms.
+//!
+//! * **4(a)** mean absolute error of per-link congestion probabilities on
+//!   Brite topologies, for the Random / Concentrated / No-Independence
+//!   scenarios (each with non-stationary probabilities layered on top, as in
+//!   §5.4);
+//! * **4(b)** the same on Sparse topologies;
+//! * **4(c)** the CDF of the absolute error for the No-Independence scenario
+//!   on Sparse topologies;
+//! * **4(d)** the mean absolute error of Correlation-complete when computing
+//!   the probability of individual links vs correlation subsets, on Brite vs
+//!   Sparse topologies (No-Independence scenario).
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{LinkId, Network};
+use tomo_metrics::AbsoluteErrorStats;
+use tomo_prob::{
+    potentially_congested_subsets, CorrelationComplete, CorrelationHeuristic, Independence,
+    ProbabilityComputation, ProbabilityEstimate,
+};
+use tomo_sim::{ScenarioConfig, ScenarioKind, SimulationOutput};
+
+use crate::report::{fmt3, render_table};
+use crate::scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
+
+/// The scenarios evaluated in Fig. 4(a)/(b), in order. Non-stationarity is
+/// layered on top of each (§5.4).
+fn figure4_scenarios() -> Vec<ScenarioKind> {
+    vec![
+        ScenarioKind::RandomCongestion,
+        ScenarioKind::ConcentratedCongestion,
+        ScenarioKind::NoIndependence,
+    ]
+}
+
+fn probability_algorithms() -> Vec<Box<dyn ProbabilityComputation>> {
+    vec![
+        Box::new(Independence::default()),
+        Box::new(CorrelationHeuristic::default()),
+        Box::new(CorrelationComplete::new(harness_correlation_complete_config())),
+    ]
+}
+
+/// The Correlation-complete configuration used by the figure harness: pairs
+/// plus singles, with the `require_common_path` resource knob enabled (§4 of
+/// the paper: the operator configures how much of the computable probability
+/// space to spend resources on). Restricting multi-link targets to pairs that
+/// co-occur on some path keeps the unknown count close to the equation count
+/// on the reduced-scale instances, which keeps the per-link estimates from
+/// absorbing minimum-norm noise of unidentifiable pair columns.
+fn harness_correlation_complete_config() -> tomo_prob::CorrelationCompleteConfig {
+    tomo_prob::CorrelationCompleteConfig {
+        require_common_path: true,
+        ..tomo_prob::CorrelationCompleteConfig::default()
+    }
+}
+
+/// Per-link absolute-error statistics of one algorithm on one simulation:
+/// compares the inferred congestion probability of every potentially
+/// congested link with its empirical congestion frequency (the value the
+/// simulator assigned, observed over the whole experiment).
+pub fn link_error_stats(
+    network: &Network,
+    output: &SimulationOutput,
+    estimate: &ProbabilityEstimate,
+) -> AbsoluteErrorStats {
+    let mut stats = AbsoluteErrorStats::new();
+    let pc_links = tomo_prob::subsets::potentially_congested_links(network, &output.observations);
+    for l in pc_links {
+        let actual = output.ground_truth.link_frequency(l);
+        let estimated = estimate.link_congestion_probability(l);
+        stats.add(actual, estimated);
+    }
+    stats
+}
+
+/// Per-subset absolute-error statistics of one algorithm (used by Fig. 4(d)):
+/// compares the inferred congestion probability of every potentially
+/// congested correlation subset of 2+ links with the empirical frequency of
+/// all its links being congested simultaneously. Only identifiable subsets
+/// are scored (the paper reports the subsets the algorithm can compute given
+/// its resources).
+pub fn subset_error_stats(
+    network: &Network,
+    output: &SimulationOutput,
+    estimate: &ProbabilityEstimate,
+    max_subset_size: usize,
+) -> AbsoluteErrorStats {
+    let mut stats = AbsoluteErrorStats::new();
+    let subsets = potentially_congested_subsets(network, &output.observations, max_subset_size);
+    for subset in subsets {
+        if subset.len() < 2 {
+            continue;
+        }
+        let links: Vec<LinkId> = subset.links_vec();
+        if !estimate.subset_is_identifiable(&links) {
+            continue;
+        }
+        let Some(estimated) = estimate.subset_congestion_probability(&links) else {
+            continue;
+        };
+        let actual = output.ground_truth.set_frequency(&links);
+        stats.add(actual, estimated);
+    }
+    stats
+}
+
+/// One row of Fig. 4(a)/(b): the mean absolute error of each algorithm under
+/// one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure4Row {
+    /// Scenario label.
+    pub scenario: String,
+    /// `(algorithm, mean absolute error)` pairs.
+    pub mean_error: Vec<(String, f64)>,
+}
+
+/// The result of Fig. 4(a) or 4(b).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure4Result {
+    /// Which figure panel this is ("4a" or "4b").
+    pub panel: String,
+    /// Topology family.
+    pub topology: String,
+    /// One row per scenario.
+    pub rows: Vec<Figure4Row>,
+    /// Scale and seed.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Figure4Result {
+    /// Renders the mean-absolute-error table.
+    pub fn render(&self) -> String {
+        let algos: Vec<String> = self
+            .rows
+            .first()
+            .map(|r| r.mean_error.iter().map(|(a, _)| a.clone()).collect())
+            .unwrap_or_default();
+        let mut header: Vec<&str> = vec!["Scenario"];
+        for a in &algos {
+            header.push(a);
+        }
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.scenario.clone()];
+                for (_, e) in &r.mean_error {
+                    cells.push(fmt3(*e));
+                }
+                cells
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+fn run_figure4_panel(
+    panel: &str,
+    topology: TopologyKind,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Figure4Result {
+    let setup = ExperimentSetup::new(topology, scale, seed);
+    let network = setup.network();
+    let mut rows = Vec::new();
+    for kind in figure4_scenarios() {
+        // §5.4: non-stationarity is added on top of every scenario.
+        let scenario = ScenarioConfig::for_kind(kind).with_nonstationary(50);
+        let output = setup.simulate(&network, scenario);
+        let mut mean_error = Vec::new();
+        for algo in probability_algorithms() {
+            let estimate = algo.compute(&network, &output.observations);
+            let stats = link_error_stats(&network, &output, &estimate);
+            mean_error.push((algo.name().to_string(), stats.mean()));
+        }
+        rows.push(Figure4Row {
+            scenario: kind.label().to_string(),
+            mean_error,
+        });
+    }
+    Figure4Result {
+        panel: panel.to_string(),
+        topology: topology.label().to_string(),
+        rows,
+        scale: format!("{scale:?}"),
+        seed,
+    }
+}
+
+/// Runs Fig. 4(a): per-link error on Brite topologies.
+pub fn run_figure4a(scale: ExperimentScale, seed: u64) -> Figure4Result {
+    run_figure4_panel("4a", TopologyKind::Brite, scale, seed)
+}
+
+/// Runs Fig. 4(b): per-link error on Sparse topologies.
+pub fn run_figure4b(scale: ExperimentScale, seed: u64) -> Figure4Result {
+    run_figure4_panel("4b", TopologyKind::Sparse, scale, seed)
+}
+
+/// The result of Fig. 4(c): the CDF of the absolute error of each algorithm
+/// for the No-Independence scenario on Sparse topologies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure4cResult {
+    /// `(algorithm, [(error, cumulative fraction)])` series.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Fraction of links each algorithm estimates within 0.1 absolute error
+    /// (the statistic quoted in §5.4).
+    pub fraction_within_01: Vec<(String, f64)>,
+    /// Scale and seed.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Figure4cResult {
+    /// Renders the CDF series as a table (one row per x value).
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Abs. error"];
+        for (a, _) in &self.series {
+            header.push(a);
+        }
+        let npoints = self.series.first().map(|(_, s)| s.len()).unwrap_or(0);
+        let mut rows = Vec::new();
+        for i in 0..npoints {
+            let mut cells = vec![fmt3(self.series[0].1[i].0)];
+            for (_, s) in &self.series {
+                cells.push(fmt3(s[i].1));
+            }
+            rows.push(cells);
+        }
+        render_table(&header, &rows)
+    }
+}
+
+/// Runs Fig. 4(c).
+pub fn run_figure4c(scale: ExperimentScale, seed: u64) -> Figure4cResult {
+    let setup = ExperimentSetup::new(TopologyKind::Sparse, scale, seed);
+    let network = setup.network();
+    let scenario = ScenarioConfig::for_kind(ScenarioKind::NoIndependence).with_nonstationary(50);
+    let output = setup.simulate(&network, scenario);
+    let mut series = Vec::new();
+    let mut fraction_within_01 = Vec::new();
+    for algo in probability_algorithms() {
+        let estimate = algo.compute(&network, &output.observations);
+        let stats = link_error_stats(&network, &output, &estimate);
+        fraction_within_01.push((algo.name().to_string(), stats.fraction_within(0.1)));
+        series.push((algo.name().to_string(), stats.cdf().series(0.0, 1.0, 21)));
+    }
+    Figure4cResult {
+        series,
+        fraction_within_01,
+        scale: format!("{scale:?}"),
+        seed,
+    }
+}
+
+/// The result of Fig. 4(d): Correlation-complete's mean absolute error when
+/// computing the congestion probability of individual links vs correlation
+/// subsets, on Brite vs Sparse topologies (No-Independence scenario).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure4dResult {
+    /// `(topology, links mean error, subsets mean error, #subsets scored)`.
+    pub rows: Vec<(String, f64, f64, usize)>,
+    /// Scale and seed.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Figure4dResult {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let header = ["Topology", "links", "correlation subsets", "#subsets"];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(t, l, s, n)| vec![t.clone(), fmt3(*l), fmt3(*s), n.to_string()])
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+/// Runs Fig. 4(d).
+pub fn run_figure4d(scale: ExperimentScale, seed: u64) -> Figure4dResult {
+    let mut rows = Vec::new();
+    for topology in [TopologyKind::Brite, TopologyKind::Sparse] {
+        let setup = ExperimentSetup::new(topology, scale, seed);
+        let network = setup.network();
+        let scenario =
+            ScenarioConfig::for_kind(ScenarioKind::NoIndependence).with_nonstationary(50);
+        let output = setup.simulate(&network, scenario);
+        let algo = CorrelationComplete::new(harness_correlation_complete_config());
+        let estimate = algo.compute(&network, &output.observations);
+        let link_stats = link_error_stats(&network, &output, &estimate);
+        let subset_stats = subset_error_stats(
+            &network,
+            &output,
+            &estimate,
+            algo.config().max_subset_size,
+        );
+        rows.push((
+            topology.label().to_string(),
+            link_stats.mean(),
+            subset_stats.mean(),
+            subset_stats.len(),
+        ));
+    }
+    Figure4dResult {
+        rows,
+        scale: format!("{scale:?}"),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_figure4a_has_expected_shape() {
+        let result = run_figure4a(ExperimentScale::Small, 5);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert_eq!(row.mean_error.len(), 3);
+            for (_, e) in &row.mean_error {
+                assert!((0.0..=1.0).contains(e), "error {e}");
+            }
+        }
+        assert!(result.render().contains("Correlation-complete"));
+    }
+
+    #[test]
+    fn small_scale_figure4c_series_are_monotone() {
+        let result = run_figure4c(ExperimentScale::Small, 5);
+        assert_eq!(result.series.len(), 3);
+        for (_, s) in &result.series {
+            for w in s.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-12);
+            }
+            assert!((s.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_scale_figure4d_scores_both_topologies() {
+        let result = run_figure4d(ExperimentScale::Small, 5);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].0, "Brite");
+        assert_eq!(result.rows[1].0, "Sparse");
+        for (_, l, s, _) in &result.rows {
+            assert!((0.0..=1.0).contains(l));
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+}

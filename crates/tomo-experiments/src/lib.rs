@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every figure and table of the paper's
+//! evaluation.
+//!
+//! | Experiment | Paper artifact | Entry point | Binary |
+//! |---|---|---|---|
+//! | E1/E2 | Fig. 3(a)+(b): detection / false-positive rate of the Boolean-Inference algorithms over five scenarios | [`figure3::run_figure3`] | `figure3` |
+//! | E3 | Fig. 4(a): mean absolute error of per-link congestion probabilities, Brite topologies | [`figure4::run_figure4a`] | `figure4a` |
+//! | E4 | Fig. 4(b): same, Sparse topologies | [`figure4::run_figure4b`] | `figure4b` |
+//! | E5 | Fig. 4(c): CDF of the absolute error, No-Independence scenario, Sparse topologies | [`figure4::run_figure4c`] | `figure4c` |
+//! | E6 | Fig. 4(d): Correlation-complete error on links vs correlation subsets, Brite vs Sparse | [`figure4::run_figure4d`] | `figure4d` |
+//! | E7 | Table 2: assumption matrix of all algorithms | [`table2::table2`] | `table2` |
+//!
+//! Every run is deterministic given a seed, and every result can be rendered
+//! as a text table (the same rows/series the paper plots) or serialized to
+//! JSON for archival in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure3;
+pub mod figure4;
+pub mod report;
+pub mod scenarios;
+pub mod table2;
+
+pub use figure3::{run_figure3, Figure3Result, Figure3Row};
+pub use figure4::{
+    run_figure4a, run_figure4b, run_figure4c, run_figure4d, Figure4Result, Figure4Row,
+    Figure4cResult, Figure4dResult,
+};
+pub use report::{render_table, Report};
+pub use scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
+pub use table2::{table2, Table2};

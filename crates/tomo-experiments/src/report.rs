@@ -1,0 +1,110 @@
+//! Plain-text and JSON reporting helpers shared by the figure binaries.
+
+use serde::Serialize;
+
+/// Renders a text table with a header row; columns are padded to the widest
+/// cell. This is the "same rows the paper plots" output format of every
+/// figure binary.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A titled report that can be printed and serialized.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report<T: Serialize> {
+    /// Report title (e.g. "Figure 3(a): Detection Rate").
+    pub title: String,
+    /// The structured payload.
+    pub data: T,
+    /// The rendered text table.
+    pub text: String,
+}
+
+impl<T: Serialize> Report<T> {
+    /// Creates a report.
+    pub fn new(title: impl Into<String>, data: T, text: String) -> Self {
+        Self {
+            title: title.into(),
+            data,
+            text,
+        }
+    }
+
+    /// Serializes the structured payload to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&serde_json::json!({
+            "title": self.title,
+            "data": &self.data,
+        }))
+        .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+    }
+}
+
+/// Formats a probability/rate with three decimals.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["scenario", "x"],
+            &[
+                vec!["Random Congestion".to_string(), "0.9".to_string()],
+                vec!["Sparse".to_string(), "0.75".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scenario"));
+        assert!(lines[2].starts_with("Random Congestion"));
+        // The second column starts at the same offset in every row.
+        let col = lines[0].find('x').unwrap();
+        assert_eq!(&lines[2][col..col + 3], "0.9");
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = Report::new("t", vec![1, 2, 3], "text".to_string());
+        let json = r.to_json();
+        assert!(json.contains("\"title\""));
+        assert!(json.contains("[\n"));
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+}

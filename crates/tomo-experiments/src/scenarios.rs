@@ -1,0 +1,212 @@
+//! Canonical experiment setups: topology family, scale, scenario and
+//! simulation parameters, mirroring §3.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::Network;
+use tomo_sim::{
+    LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, SimulationOutput, Simulator,
+};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+/// Which family of topologies an experiment runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Dense BRITE-style synthetic topology (≈1000 links, 1500 paths at paper
+    /// scale).
+    Brite,
+    /// Sparse traceroute-derived topology (≈2000 links, 1500 paths at paper
+    /// scale).
+    Sparse,
+}
+
+impl TopologyKind {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyKind::Brite => "Brite",
+            TopologyKind::Sparse => "Sparse",
+        }
+    }
+}
+
+/// How large an experiment instance to run.
+///
+/// The paper's exact instance sizes (the `Paper` scale) make a full figure
+/// regeneration take tens of minutes; the `Medium` scale keeps the same
+/// qualitative structure (density contrast, correlation structure, 10 %
+/// congestible links) at roughly half the size and is the default for the
+/// figure binaries. `Small` is for unit/integration tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Tiny instances for tests (tens of links, ~150 intervals).
+    Small,
+    /// Default scale for figure regeneration (hundreds of links, 400
+    /// intervals).
+    Medium,
+    /// The paper's instance sizes (≈1000/2000 links, 1500 paths, 1000
+    /// intervals).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses a scale name (`small`, `medium`, `paper`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Self::Small),
+            "medium" => Some(Self::Medium),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of measurement intervals per experiment.
+    pub fn num_intervals(&self) -> usize {
+        match self {
+            Self::Small => 150,
+            Self::Medium => 300,
+            Self::Paper => 1000,
+        }
+    }
+
+    /// Measurement mode (probe count per interval).
+    pub fn measurement(&self) -> MeasurementMode {
+        match self {
+            Self::Small => MeasurementMode::PacketProbes {
+                packets_per_interval: 200,
+            },
+            Self::Medium => MeasurementMode::PacketProbes {
+                packets_per_interval: 300,
+            },
+            Self::Paper => MeasurementMode::PacketProbes {
+                packets_per_interval: 400,
+            },
+        }
+    }
+
+    /// The BRITE generator configuration at this scale.
+    pub fn brite_config(&self, seed: u64) -> BriteConfig {
+        match self {
+            Self::Small => BriteConfig::tiny(seed),
+            Self::Medium => BriteConfig {
+                num_ases: 28,
+                routers_per_as: 8,
+                as_peering_degree: 2,
+                extra_intra_edges_per_router: 1,
+                peering_links_per_adjacency: 2,
+                num_paths: 450,
+                seed,
+            },
+            Self::Paper => BriteConfig {
+                seed,
+                ..BriteConfig::default()
+            },
+        }
+    }
+
+    /// The sparse-topology generator configuration at this scale.
+    pub fn sparse_config(&self, seed: u64) -> SparseConfig {
+        match self {
+            Self::Small => SparseConfig::tiny(seed),
+            Self::Medium => SparseConfig {
+                num_ases: 150,
+                routers_per_as: 5,
+                as_peering_degree: 1,
+                extra_intra_edges_per_router: 1,
+                peering_links_per_adjacency: 1,
+                num_vantage_points: 3,
+                num_traceroutes: 620,
+                discard_probability: 0.2,
+                seed,
+            },
+            Self::Paper => SparseConfig {
+                seed,
+                ..SparseConfig::default()
+            },
+        }
+    }
+}
+
+/// A fully specified experiment: topology family + scale + seed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentSetup {
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Instance scale.
+    pub scale: ExperimentScale,
+    /// Seed for topology generation and simulation.
+    pub seed: u64,
+}
+
+impl ExperimentSetup {
+    /// Creates a setup.
+    pub fn new(topology: TopologyKind, scale: ExperimentScale, seed: u64) -> Self {
+        Self {
+            topology,
+            scale,
+            seed,
+        }
+    }
+
+    /// Generates the measured network.
+    pub fn network(&self) -> Network {
+        match self.topology {
+            TopologyKind::Brite => BriteGenerator::new(self.scale.brite_config(self.seed))
+                .generate()
+                .expect("Brite generation succeeds"),
+            TopologyKind::Sparse => SparseGenerator::new(self.scale.sparse_config(self.seed))
+                .generate()
+                .expect("Sparse generation succeeds"),
+        }
+    }
+
+    /// Runs the simulator for a given congestion scenario on the given
+    /// network (which should come from [`ExperimentSetup::network`]).
+    pub fn simulate(&self, network: &Network, scenario: ScenarioConfig) -> SimulationOutput {
+        let config = SimulationConfig {
+            num_intervals: self.scale.num_intervals(),
+            scenario,
+            loss: LossModel::default(),
+            measurement: self.scale.measurement(),
+            // Offset the simulation seed from the topology seed so the two
+            // random processes are decoupled but still reproducible.
+            seed: self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(17),
+        };
+        Simulator::new(config).run(network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_sim::ScenarioConfig;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(ExperimentScale::parse("small"), Some(ExperimentScale::Small));
+        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_parameters() {
+        let s = ExperimentScale::Paper;
+        assert_eq!(s.num_intervals(), 1000);
+        assert_eq!(s.brite_config(1).num_paths, 1500);
+    }
+
+    #[test]
+    fn small_setup_runs_end_to_end() {
+        let setup = ExperimentSetup::new(TopologyKind::Brite, ExperimentScale::Small, 3);
+        let net = setup.network();
+        let out = setup.simulate(&net, ScenarioConfig::random_congestion());
+        assert_eq!(out.observations.num_intervals(), 150);
+        assert_eq!(out.ground_truth.num_links(), net.num_links());
+        assert!(!out.ground_truth.congestible_links().is_empty());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TopologyKind::Brite.label(), "Brite");
+        assert_eq!(TopologyKind::Sparse.label(), "Sparse");
+    }
+}

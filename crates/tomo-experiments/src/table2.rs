@@ -1,0 +1,105 @@
+//! Table 2 of the paper: the sources of inaccuracy (assumptions, conditions,
+//! approximations) of every algorithm, generated from the algorithms' own
+//! metadata rather than hard-coded.
+
+use serde::{Deserialize, Serialize};
+use tomo_inference::{BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity};
+use tomo_prob::{
+    CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
+};
+
+use crate::report::render_table;
+
+/// The regenerated Table 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Column labels (algorithm names).
+    pub algorithms: Vec<String>,
+    /// Row labels (assumption / condition names).
+    pub rows: Vec<String>,
+    /// `cells[row][col]` — whether the algorithm relies on the assumption.
+    pub cells: Vec<Vec<bool>>,
+}
+
+impl Table2 {
+    /// Renders the table with check marks, like the paper.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Assumption / Condition"];
+        for a in &self.algorithms {
+            header.push(a);
+        }
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let mut cells = vec![label.clone()];
+                for &b in &self.cells[i] {
+                    cells.push(if b { "X".to_string() } else { String::new() });
+                }
+                cells
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+/// Builds Table 2 from the algorithms' metadata. The columns cover both the
+/// Boolean-Inference algorithms of §3 and the Probability-Computation
+/// algorithms of §5.
+pub fn table2() -> Table2 {
+    let inference: Vec<(&str, tomo_prob::AlgorithmAssumptions)> = {
+        let algos: Vec<Box<dyn BooleanInference>> = vec![
+            Box::new(Sparsity::new()),
+            Box::new(BayesianIndependence::new()),
+            Box::new(BayesianCorrelation::new()),
+        ];
+        algos.iter().map(|a| (a.name(), a.assumptions())).collect()
+    };
+    let probability: Vec<(&str, tomo_prob::AlgorithmAssumptions)> = {
+        let algos: Vec<Box<dyn ProbabilityComputation>> = vec![
+            Box::new(Independence::default()),
+            Box::new(CorrelationHeuristic::default()),
+            Box::new(CorrelationComplete::default()),
+        ];
+        algos.iter().map(|a| (a.name(), a.assumptions())).collect()
+    };
+
+    let all: Vec<(&str, tomo_prob::AlgorithmAssumptions)> =
+        inference.into_iter().chain(probability).collect();
+    let row_labels: Vec<String> = all[0].1.rows().iter().map(|(l, _)| l.to_string()).collect();
+    let cells: Vec<Vec<bool>> = (0..row_labels.len())
+        .map(|r| all.iter().map(|(_, a)| a.rows()[r].1).collect())
+        .collect();
+    Table2 {
+        algorithms: all.iter().map(|(n, _)| n.to_string()).collect(),
+        rows: row_labels,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_structure() {
+        let t = table2();
+        assert_eq!(t.algorithms.len(), 6);
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.algorithms.contains(&"Sparsity".to_string()));
+        assert!(t.algorithms.contains(&"Correlation-complete".to_string()));
+
+        // Every algorithm assumes Separability (row 0) and E2E Monitoring.
+        assert!(t.cells[0].iter().all(|&b| b));
+        assert!(t.cells[1].iter().all(|&b| b));
+        // Only Sparsity assumes Homogeneity.
+        let homog_row = &t.cells[2];
+        assert_eq!(homog_row.iter().filter(|&&b| b).count(), 1);
+        assert!(homog_row[0]);
+
+        let rendered = t.render();
+        assert!(rendered.contains("Homogeneity"));
+        assert!(rendered.contains('X'));
+    }
+}

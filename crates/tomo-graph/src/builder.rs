@@ -1,0 +1,246 @@
+//! Validated construction of [`Network`] values.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::correlation::{correlation_sets_by_as, CorrelationSet};
+use crate::error::GraphError;
+use crate::ids::{AsId, LinkId, NodeId, PathId, RouterLinkId};
+use crate::link::Link;
+use crate::network::Network;
+use crate::path::Path;
+
+/// Builder for [`Network`] values.
+///
+/// The builder enforces the model invariants of §2 of the paper:
+/// * every path references existing links and is loop-free and non-empty;
+/// * every link belongs to exactly one correlation set (per-AS by default,
+///   or explicitly supplied via [`NetworkBuilder::correlation_sets`]).
+#[derive(Clone, Debug, Default)]
+pub struct NetworkBuilder {
+    links: Vec<Link>,
+    paths: Vec<(NodeId, NodeId, Vec<LinkId>)>,
+    explicit_sets: Option<Vec<Vec<LinkId>>>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link and returns its id.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, asn: AsId) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(id, from, to, asn));
+        id
+    }
+
+    /// Adds a link annotated with the underlying router-level links it
+    /// traverses, and returns its id.
+    pub fn add_link_with_routers(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        asn: AsId,
+        router_links: Vec<RouterLinkId>,
+    ) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links
+            .push(Link::with_router_links(id, from, to, asn, router_links));
+        id
+    }
+
+    /// Adds a measurement path and returns its id. Validation happens in
+    /// [`NetworkBuilder::build`].
+    pub fn add_path(&mut self, src: NodeId, dst: NodeId, links: Vec<LinkId>) -> PathId {
+        let id = PathId(self.paths.len());
+        self.paths.push((src, dst, links));
+        id
+    }
+
+    /// Overrides the default per-AS correlation sets with an explicit
+    /// partition of the links. Each inner vector is one correlation set.
+    pub fn correlation_sets(&mut self, sets: Vec<Vec<LinkId>>) -> &mut Self {
+        self.explicit_sets = Some(sets);
+        self
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of paths added so far.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Validates the accumulated model and builds the [`Network`].
+    pub fn build(self) -> Result<Network, GraphError> {
+        if self.links.is_empty() || self.paths.is_empty() {
+            return Err(GraphError::EmptyNetwork);
+        }
+        let num_links = self.links.len();
+
+        // Validate paths.
+        let mut paths = Vec::with_capacity(self.paths.len());
+        for (i, (src, dst, links)) in self.paths.into_iter().enumerate() {
+            let id = PathId(i);
+            if links.is_empty() {
+                return Err(GraphError::EmptyPath { path: id });
+            }
+            let mut seen = HashSet::with_capacity(links.len());
+            for &l in &links {
+                if l.index() >= num_links {
+                    return Err(GraphError::UnknownLink { path: id, link: l });
+                }
+                if !seen.insert(l) {
+                    return Err(GraphError::PathHasLoop { path: id, link: l });
+                }
+            }
+            paths.push(Path::new(id, src, dst, links));
+        }
+
+        // Build correlation sets.
+        let correlation_sets = match self.explicit_sets {
+            None => {
+                let link_as: Vec<AsId> = self.links.iter().map(|l| l.asn).collect();
+                correlation_sets_by_as(&link_as)
+            }
+            Some(sets) => {
+                let mut assignment: HashMap<LinkId, usize> = HashMap::new();
+                let mut built = Vec::with_capacity(sets.len());
+                for (id, members) in sets.into_iter().enumerate() {
+                    for &l in &members {
+                        if l.index() >= num_links {
+                            return Err(GraphError::CorrelationSetUnknownLink { link: l });
+                        }
+                        if assignment.insert(l, id).is_some() {
+                            return Err(GraphError::LinkInMultipleCorrelationSets { link: l });
+                        }
+                    }
+                    built.push(CorrelationSet::new(id, members));
+                }
+                for l in 0..num_links {
+                    if !assignment.contains_key(&LinkId(l)) {
+                        return Err(GraphError::LinkWithoutCorrelationSet { link: LinkId(l) });
+                    }
+                }
+                built
+            }
+        };
+
+        Ok(Network::from_parts(self.links, paths, correlation_sets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_link_builder() -> (NetworkBuilder, LinkId, LinkId) {
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_link(NodeId(0), NodeId(1), AsId(0));
+        let e1 = b.add_link(NodeId(1), NodeId(2), AsId(1));
+        (b, e0, e1)
+    }
+
+    #[test]
+    fn builds_valid_network() {
+        let (mut b, e0, e1) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e1]);
+        let net = b.build().expect("valid network");
+        assert_eq!(net.num_links(), 2);
+        assert_eq!(net.num_paths(), 1);
+        assert_eq!(net.correlation_sets().len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert_eq!(
+            NetworkBuilder::new().build().unwrap_err(),
+            GraphError::EmptyNetwork
+        );
+        let (b, _, _) = two_link_builder();
+        assert_eq!(b.build().unwrap_err(), GraphError::EmptyNetwork);
+    }
+
+    #[test]
+    fn rejects_unknown_link_in_path() {
+        let (mut b, e0, _) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, LinkId(99)]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::UnknownLink {
+                path: PathId(0),
+                link: LinkId(99)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_looping_path() {
+        let (mut b, e0, _) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e0]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::PathHasLoop {
+                path: PathId(0),
+                link: e0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_path() {
+        let (mut b, _, _) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::EmptyPath { path: PathId(0) }
+        );
+    }
+
+    #[test]
+    fn explicit_correlation_sets_are_validated() {
+        // Unknown link.
+        let (mut b, e0, e1) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e1]);
+        b.correlation_sets(vec![vec![e0, LinkId(42)], vec![e1]]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::CorrelationSetUnknownLink { link: LinkId(42) }
+        );
+
+        // Duplicate assignment.
+        let (mut b, e0, e1) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e1]);
+        b.correlation_sets(vec![vec![e0, e1], vec![e1]]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::LinkInMultipleCorrelationSets { link: e1 }
+        );
+
+        // Missing link.
+        let (mut b, e0, e1) = two_link_builder();
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e1]);
+        b.correlation_sets(vec![vec![e0]]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::LinkWithoutCorrelationSet { link: e1 }
+        );
+    }
+
+    #[test]
+    fn default_sets_group_by_as() {
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_link(NodeId(0), NodeId(1), AsId(5));
+        let e1 = b.add_link(NodeId(1), NodeId(2), AsId(5));
+        let e2 = b.add_link(NodeId(2), NodeId(3), AsId(9));
+        b.add_path(NodeId(0), NodeId(3), vec![e0, e1, e2]);
+        let net = b.build().unwrap();
+        assert_eq!(net.correlation_sets().len(), 2);
+        assert_eq!(net.correlation_set_of(e0), net.correlation_set_of(e1));
+        assert_ne!(net.correlation_set_of(e0), net.correlation_set_of(e2));
+    }
+}

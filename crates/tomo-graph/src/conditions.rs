@@ -1,0 +1,181 @@
+//! Identifiability conditions of the paper.
+//!
+//! * **Condition 1 (Identifiability)**: no two links are traversed by exactly
+//!   the same set of paths. Required by the Boolean-Inference algorithms.
+//! * **Condition 2 (Identifiability++)**: no two correlation subsets are
+//!   traversed by exactly the same set of paths. Required for Congestion
+//!   Probability Computation to be well-posed under the Correlation-Sets
+//!   assumption; it holds for the dense Brite topologies of the paper's
+//!   evaluation but fails for the sparse traceroute-derived ones.
+//!
+//! Both are *conditions* (not assumptions) in the paper's terminology: they
+//! can be checked given `E*` and `P*`, which is exactly what this module does.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::correlation::CorrelationSubset;
+use crate::ids::{LinkId, PathId};
+use crate::network::Network;
+
+/// The outcome of an identifiability check.
+#[derive(Clone, Debug)]
+pub struct IdentifiabilityReport {
+    /// Whether the condition holds (no violations were found).
+    pub holds: bool,
+    /// Pairs of conflicting entities, described by their path signature. Each
+    /// entry lists the (at least two) entities sharing one path signature.
+    pub conflict_groups: Vec<ConflictGroup>,
+    /// Number of entities examined.
+    pub entities_checked: usize,
+}
+
+/// A group of entities (links or correlation subsets) that are traversed by
+/// exactly the same set of paths and are therefore mutually indistinguishable
+/// from end-to-end observations.
+#[derive(Clone, Debug)]
+pub struct ConflictGroup {
+    /// The shared path signature.
+    pub paths: BTreeSet<PathId>,
+    /// Human-readable descriptions of the conflicting entities
+    /// (e.g. `"e3"` or `"{e2,e3}"`).
+    pub members: Vec<String>,
+}
+
+impl IdentifiabilityReport {
+    /// Total number of entities involved in at least one conflict.
+    pub fn conflicting_entities(&self) -> usize {
+        self.conflict_groups.iter().map(|g| g.members.len()).sum()
+    }
+}
+
+/// Checks **Condition 1 (Identifiability)**: any two links are not traversed
+/// by the same paths.
+///
+/// Links traversed by *no* path are ignored: they are unobservable rather
+/// than unidentifiable, and are reported separately by
+/// [`Network::unobserved_links`].
+pub fn check_identifiability(network: &Network) -> IdentifiabilityReport {
+    let mut by_signature: HashMap<Vec<PathId>, Vec<LinkId>> = HashMap::new();
+    let mut checked = 0usize;
+    for link in network.link_ids() {
+        let sig = network.paths_through_link(link).to_vec();
+        if sig.is_empty() {
+            continue;
+        }
+        checked += 1;
+        by_signature.entry(sig).or_default().push(link);
+    }
+    let conflict_groups: Vec<ConflictGroup> = by_signature
+        .into_iter()
+        .filter(|(_, links)| links.len() > 1)
+        .map(|(sig, links)| ConflictGroup {
+            paths: sig.into_iter().collect(),
+            members: links.iter().map(|l| l.to_string()).collect(),
+        })
+        .collect();
+    IdentifiabilityReport {
+        holds: conflict_groups.is_empty(),
+        conflict_groups,
+        entities_checked: checked,
+    }
+}
+
+/// Checks **Condition 2 (Identifiability++)**: any two correlation subsets
+/// are not traversed by the same paths.
+///
+/// Subsets are enumerated up to `max_subset_size` links (the same cap used by
+/// the Correlation-complete algorithm). Subsets that no path traverses are
+/// skipped. Two subsets conflict when `Paths(E_a) == Paths(E_b)`; the paper's
+/// Case 2 example (`{e1,e4}` vs `{e2,e3}`) is exactly such a pair.
+pub fn check_identifiability_pp(
+    network: &Network,
+    max_subset_size: usize,
+) -> IdentifiabilityReport {
+    let subsets = network.correlation_subsets(max_subset_size);
+    let mut by_signature: HashMap<Vec<PathId>, Vec<CorrelationSubset>> = HashMap::new();
+    let mut checked = 0usize;
+    for subset in subsets {
+        let sig: Vec<PathId> = network
+            .paths_covering_subset(&subset)
+            .into_iter()
+            .collect();
+        if sig.is_empty() {
+            continue;
+        }
+        checked += 1;
+        by_signature.entry(sig).or_default().push(subset);
+    }
+    let conflict_groups: Vec<ConflictGroup> = by_signature
+        .into_iter()
+        .filter(|(_, subs)| subs.len() > 1)
+        .map(|(sig, subs)| ConflictGroup {
+            paths: sig.into_iter().collect(),
+            members: subs.iter().map(|s| s.to_string()).collect(),
+        })
+        .collect();
+    IdentifiabilityReport {
+        holds: conflict_groups.is_empty(),
+        conflict_groups,
+        entities_checked: checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::ids::{AsId, NodeId};
+    use crate::toy::{fig1_case1, fig1_case2};
+
+    #[test]
+    fn fig1_satisfies_condition1() {
+        let report = check_identifiability(&fig1_case1());
+        assert!(report.holds);
+        assert_eq!(report.entities_checked, 4);
+    }
+
+    #[test]
+    fn condition1_fails_for_serial_links() {
+        // Two links always traversed together by the only path.
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_link(NodeId(0), NodeId(1), AsId(0));
+        let e1 = b.add_link(NodeId(1), NodeId(2), AsId(1));
+        b.add_path(NodeId(0), NodeId(2), vec![e0, e1]);
+        let net = b.build().unwrap();
+        let report = check_identifiability(&net);
+        assert!(!report.holds);
+        assert_eq!(report.conflict_groups.len(), 1);
+        assert_eq!(report.conflict_groups[0].members.len(), 2);
+    }
+
+    #[test]
+    fn fig1_case1_satisfies_identifiability_pp() {
+        let report = check_identifiability_pp(&fig1_case1(), 4);
+        assert!(report.holds, "conflicts: {:?}", report.conflict_groups);
+    }
+
+    #[test]
+    fn fig1_case2_violates_identifiability_pp() {
+        use crate::toy::{E1, E2, E3, E4};
+        let report = check_identifiability_pp(&fig1_case2(), 4);
+        assert!(!report.holds);
+        // The paper's example: {e1,e4} and {e2,e3} share {p1,p2,p3}.
+        let group = report
+            .conflict_groups
+            .iter()
+            .find(|g| g.members.len() >= 2 && g.paths.len() == 3)
+            .expect("the {e1,e4}/{e2,e3} conflict must be reported");
+        let pair_a = CorrelationSubset::new(0, [E1, E4]).to_string();
+        let pair_b = CorrelationSubset::new(1, [E2, E3]).to_string();
+        assert!(group.members.contains(&pair_a), "members: {:?}", group.members);
+        assert!(group.members.contains(&pair_b), "members: {:?}", group.members);
+    }
+
+    #[test]
+    fn subset_size_cap_limits_the_check() {
+        // With only singleton subsets, Case 2 has no conflicts (each single
+        // link has a distinct path signature).
+        let report = check_identifiability_pp(&fig1_case2(), 1);
+        assert!(report.holds);
+    }
+}

@@ -1,0 +1,263 @@
+//! Correlation sets and correlation subsets (Assumption 5 of the paper).
+//!
+//! Links are grouped into *correlation sets*: links from the same set may be
+//! correlated, links from different sets are always independent. In the
+//! monitoring scenario of the paper one correlation set is defined per
+//! Autonomous System, because the source ISP has no way of knowing which of a
+//! peer's links are actually correlated.
+//!
+//! A *correlation subset* is a non-empty subset of a correlation set; the
+//! unknowns of the Congestion Probability Computation problem are the
+//! probabilities `P(∩_{e∈E} X_e = 0)` for correlation subsets `E`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::LinkId;
+
+/// A correlation set: a maximal group of links that may be mutually
+/// correlated (by default, all links belonging to one AS).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelationSet {
+    /// Index of this set within [`crate::Network::correlation_sets`].
+    pub id: usize,
+    /// The member links, sorted and de-duplicated.
+    pub links: Vec<LinkId>,
+}
+
+impl CorrelationSet {
+    /// Creates a correlation set, sorting and de-duplicating the members.
+    pub fn new(id: usize, mut links: Vec<LinkId>) -> Self {
+        links.sort_unstable();
+        links.dedup();
+        Self { id, links }
+    }
+
+    /// Number of member links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Returns `true` if the given link belongs to this set.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.links.binary_search(&link).is_ok()
+    }
+
+    /// Enumerates every non-empty subset of this correlation set with at most
+    /// `max_size` links, in order of increasing cardinality.
+    ///
+    /// The number of subsets grows as `C(n,1) + ... + C(n,max_size)`; callers
+    /// (notably the Correlation-complete algorithm) bound `max_size` to keep
+    /// the unknown count tractable, exactly as §4 of the paper prescribes
+    /// ("we can configure our algorithm to compute only the congestion
+    /// probability of each set of one, two, or three links").
+    pub fn subsets_up_to(&self, max_size: usize) -> Vec<CorrelationSubset> {
+        let n = self.links.len();
+        let cap = max_size.min(n);
+        let mut out = Vec::new();
+        for size in 1..=cap {
+            // Standard lexicographic k-combination enumeration over indices.
+            let mut indices: Vec<usize> = (0..size).collect();
+            'combos: loop {
+                let links: BTreeSet<LinkId> = indices.iter().map(|&i| self.links[i]).collect();
+                out.push(CorrelationSubset {
+                    set_id: self.id,
+                    links,
+                });
+                // Advance to the next combination; stop when exhausted.
+                let mut i = size;
+                loop {
+                    if i == 0 {
+                        break 'combos;
+                    }
+                    i -= 1;
+                    if indices[i] < i + n - size {
+                        indices[i] += 1;
+                        for j in (i + 1)..size {
+                            indices[j] = indices[j - 1] + 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A non-empty subset of a correlation set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CorrelationSubset {
+    /// The correlation set this subset belongs to.
+    pub set_id: usize,
+    /// The member links.
+    pub links: BTreeSet<LinkId>,
+}
+
+impl CorrelationSubset {
+    /// Creates a subset from an iterator of links.
+    pub fn new(set_id: usize, links: impl IntoIterator<Item = LinkId>) -> Self {
+        Self {
+            set_id,
+            links: links.into_iter().collect(),
+        }
+    }
+
+    /// Creates the singleton subset `{link}`.
+    pub fn singleton(set_id: usize, link: LinkId) -> Self {
+        Self::new(set_id, [link])
+    }
+
+    /// Number of links in the subset.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the subset is empty (only possible for a complement;
+    /// the subsets enumerated as unknowns are always non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Returns `true` if the subset contains the given link.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// The complement `Ē = C \ E` of this subset within its correlation set
+    /// (§5.2 of the paper). May be empty when the subset is the whole set.
+    pub fn complement(&self, set: &CorrelationSet) -> CorrelationSubset {
+        debug_assert_eq!(set.id, self.set_id, "complement within a different set");
+        CorrelationSubset {
+            set_id: self.set_id,
+            links: set
+                .links
+                .iter()
+                .copied()
+                .filter(|l| !self.links.contains(l))
+                .collect(),
+        }
+    }
+
+    /// Links as a sorted `Vec`.
+    pub fn links_vec(&self) -> Vec<LinkId> {
+        self.links.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for CorrelationSubset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Groups links into per-AS correlation sets (the paper's default grouping).
+/// `link_as[i]` is the AS of link `i`; the returned sets are indexed densely
+/// in order of first appearance of each AS.
+pub fn correlation_sets_by_as(link_as: &[crate::ids::AsId]) -> Vec<CorrelationSet> {
+    let mut order: Vec<crate::ids::AsId> = Vec::new();
+    let mut members: std::collections::HashMap<crate::ids::AsId, Vec<LinkId>> =
+        std::collections::HashMap::new();
+    for (i, &asn) in link_as.iter().enumerate() {
+        if !members.contains_key(&asn) {
+            order.push(asn);
+        }
+        members.entry(asn).or_default().push(LinkId(i));
+    }
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(id, asn)| CorrelationSet::new(id, members.remove(&asn).unwrap_or_default()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AsId;
+
+    #[test]
+    fn set_membership() {
+        let set = CorrelationSet::new(0, vec![LinkId(3), LinkId(1), LinkId(3)]);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(LinkId(1)));
+        assert!(!set.contains(LinkId(2)));
+    }
+
+    #[test]
+    fn subsets_of_pair() {
+        let set = CorrelationSet::new(0, vec![LinkId(2), LinkId(3)]);
+        let subs = set.subsets_up_to(2);
+        let as_strings: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
+        assert_eq!(as_strings, vec!["{e2}", "{e3}", "{e2,e3}"]);
+    }
+
+    #[test]
+    fn subsets_of_triple_capped_at_two() {
+        let set = CorrelationSet::new(0, vec![LinkId(0), LinkId(1), LinkId(2)]);
+        let subs = set.subsets_up_to(2);
+        // 3 singletons + 3 pairs.
+        assert_eq!(subs.len(), 6);
+        assert!(subs.iter().all(|s| s.len() <= 2));
+        // All distinct.
+        let unique: std::collections::HashSet<_> = subs.iter().cloned().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn subsets_full_enumeration_counts() {
+        let set = CorrelationSet::new(0, (0..4).map(LinkId).collect());
+        let subs = set.subsets_up_to(4);
+        assert_eq!(subs.len(), 15); // 2^4 - 1
+        let singles = subs.iter().filter(|s| s.len() == 1).count();
+        let pairs = subs.iter().filter(|s| s.len() == 2).count();
+        let triples = subs.iter().filter(|s| s.len() == 3).count();
+        let quads = subs.iter().filter(|s| s.len() == 4).count();
+        assert_eq!((singles, pairs, triples, quads), (4, 6, 4, 1));
+    }
+
+    #[test]
+    fn complement_follows_paper_examples() {
+        // Fig. 1, Case 1: C = {e2, e3}; complement of {e2} is {e3}, and the
+        // complement of the whole set is empty.
+        let set = CorrelationSet::new(1, vec![LinkId(1), LinkId(2)]);
+        let e2 = CorrelationSubset::singleton(1, LinkId(1));
+        let comp = e2.complement(&set);
+        assert_eq!(comp.links_vec(), vec![LinkId(2)]);
+        let whole = CorrelationSubset::new(1, [LinkId(1), LinkId(2)]);
+        assert!(whole.complement(&set).is_empty());
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let set = CorrelationSet::new(0, (0..5).map(LinkId).collect());
+        let sub = CorrelationSubset::new(0, [LinkId(1), LinkId(4)]);
+        let comp = sub.complement(&set);
+        assert_eq!(comp.complement(&set), sub);
+    }
+
+    #[test]
+    fn per_as_grouping() {
+        let link_as = vec![AsId(10), AsId(20), AsId(10), AsId(30)];
+        let sets = correlation_sets_by_as(&link_as);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].links, vec![LinkId(0), LinkId(2)]);
+        assert_eq!(sets[1].links, vec![LinkId(1)]);
+        assert_eq!(sets[2].links, vec![LinkId(3)]);
+        // Dense, ordered ids.
+        assert_eq!(sets.iter().map(|s| s.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

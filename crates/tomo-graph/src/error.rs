@@ -1,0 +1,92 @@
+//! Error types for network construction and validation.
+
+use std::fmt;
+
+use crate::ids::{LinkId, PathId};
+
+/// Errors raised while building or validating a [`crate::Network`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A path references a link that does not exist.
+    UnknownLink {
+        /// The offending path.
+        path: PathId,
+        /// The link that is not part of the network.
+        link: LinkId,
+    },
+    /// A path traverses the same link more than once (the model forbids
+    /// loops).
+    PathHasLoop {
+        /// The offending path.
+        path: PathId,
+        /// The repeated link.
+        link: LinkId,
+    },
+    /// A path traverses no links.
+    EmptyPath {
+        /// The offending path.
+        path: PathId,
+    },
+    /// A correlation-set assignment references a link that does not exist.
+    CorrelationSetUnknownLink {
+        /// The link that is not part of the network.
+        link: LinkId,
+    },
+    /// A link is assigned to more than one correlation set.
+    LinkInMultipleCorrelationSets {
+        /// The offending link.
+        link: LinkId,
+    },
+    /// A link is not covered by any correlation set (every link must belong
+    /// to exactly one).
+    LinkWithoutCorrelationSet {
+        /// The offending link.
+        link: LinkId,
+    },
+    /// The network has no links or no paths.
+    EmptyNetwork,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownLink { path, link } => {
+                write!(f, "path {path} references unknown link {link}")
+            }
+            GraphError::PathHasLoop { path, link } => {
+                write!(f, "path {path} traverses link {link} more than once")
+            }
+            GraphError::EmptyPath { path } => write!(f, "path {path} traverses no links"),
+            GraphError::CorrelationSetUnknownLink { link } => {
+                write!(f, "correlation set references unknown link {link}")
+            }
+            GraphError::LinkInMultipleCorrelationSets { link } => {
+                write!(f, "link {link} is assigned to more than one correlation set")
+            }
+            GraphError::LinkWithoutCorrelationSet { link } => {
+                write!(f, "link {link} is not assigned to any correlation set")
+            }
+            GraphError::EmptyNetwork => write!(f, "the network has no links or no paths"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = GraphError::UnknownLink {
+            path: PathId(2),
+            link: LinkId(7),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("p2"));
+        assert!(msg.contains("e7"));
+
+        assert!(GraphError::EmptyNetwork.to_string().contains("no links"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Strongly-typed identifiers for the entities of the network model.
+//!
+//! Using newtypes rather than bare `usize` indices prevents an entire class
+//! of "passed a path index where a link index was expected" bugs across the
+//! simulator, the inference algorithms and the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the underlying index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an (AS-level) logical link, `e_i` in the paper.
+    LinkId,
+    "e"
+);
+define_id!(
+    /// Identifier of an end-to-end measurement path, `p_i` in the paper.
+    PathId,
+    "p"
+);
+define_id!(
+    /// Identifier of a network element (end-host or border router).
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifier of an Autonomous System.
+    AsId,
+    "AS"
+);
+define_id!(
+    /// Identifier of an underlying router-level (IP-level) link. AS-level
+    /// links that share a router-level link become congested together; this
+    /// is how the simulator induces link correlations (§3.2 of the paper).
+    RouterLinkId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(LinkId(3).to_string(), "e3");
+        assert_eq!(PathId(0).to_string(), "p0");
+        assert_eq!(AsId(7).to_string(), "AS7");
+        assert_eq!(NodeId(2).to_string(), "n2");
+        assert_eq!(RouterLinkId(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let l: LinkId = 5usize.into();
+        assert_eq!(l.index(), 5);
+        let back: usize = l.into();
+        assert_eq!(back, 5);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<LinkId> = [LinkId(2), LinkId(0), LinkId(1)].into_iter().collect();
+        let v: Vec<usize> = set.into_iter().map(LinkId::index).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Network model for Boolean network tomography.
+//!
+//! This crate implements the network model of §2 of "Shifting Network
+//! Tomography Toward A Practical Goal" (CoNEXT 2011):
+//!
+//! * the network is a directed graph whose edges are *logical links*
+//!   ([`Link`]), each owned by an Autonomous System;
+//! * a *path* ([`Path`]) is a loop-free sequence of links between end-hosts;
+//! * links are grouped into *correlation sets* ([`CorrelationSet`], one per
+//!   AS by default — Assumption 5 of the paper): links in the same set may be
+//!   correlated, links in different sets are independent;
+//! * a *correlation subset* ([`CorrelationSubset`]) is a non-empty subset of
+//!   a correlation set; these are the unknowns of the Congestion Probability
+//!   Computation problem;
+//! * the *path coverage* function `Paths(E)` and *link coverage* function
+//!   `Links(P)` (§5.2) are provided by [`Network`];
+//! * the *Identifiability* (Condition 1) and *Identifiability++*
+//!   (Condition 2) checks live in [`conditions`].
+//!
+//! The toy topology of Fig. 1 of the paper (4 links, 3 paths, two correlation
+//! cases) is provided by [`toy`] and reused as a fixture throughout the
+//! workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod conditions;
+pub mod correlation;
+pub mod error;
+pub mod ids;
+pub mod link;
+pub mod network;
+pub mod path;
+pub mod toy;
+
+pub use builder::NetworkBuilder;
+pub use conditions::{check_identifiability, check_identifiability_pp, IdentifiabilityReport};
+pub use correlation::{CorrelationSet, CorrelationSubset};
+pub use error::GraphError;
+pub use ids::{AsId, LinkId, NodeId, PathId, RouterLinkId};
+pub use link::Link;
+pub use network::Network;
+pub use path::Path;

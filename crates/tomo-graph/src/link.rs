@@ -1,0 +1,110 @@
+//! AS-level logical links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AsId, LinkId, NodeId, RouterLinkId};
+
+/// An AS-level logical link (`e_i` in the paper).
+///
+/// In the monitoring scenario of the paper, a vertex of the AS-level graph is
+/// a border router and an edge is either an inter-domain link between border
+/// routers of peering ASes or an intra-domain path between two border routers
+/// of the same AS. Each AS-level link therefore corresponds to one or more
+/// underlying router-level (IP-level) links; AS-level links that share a
+/// router-level link become congested together, which is the physical source
+/// of link correlations.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier of this link (its index in [`crate::Network::links`]).
+    pub id: LinkId,
+    /// Tail vertex (traffic flows `from -> to`).
+    pub from: NodeId,
+    /// Head vertex.
+    pub to: NodeId,
+    /// The Autonomous System this link belongs to. Links of the same AS form
+    /// one correlation set by default (the paper's per-AS grouping, §2).
+    pub asn: AsId,
+    /// Underlying router-level links traversed by this AS-level link. Used by
+    /// the simulator to induce correlations; empty when the router-level view
+    /// is unknown.
+    pub router_links: Vec<RouterLinkId>,
+}
+
+impl Link {
+    /// Creates a new link without router-level information.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, asn: AsId) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            asn,
+            router_links: Vec::new(),
+        }
+    }
+
+    /// Creates a new link with the underlying router-level links it crosses.
+    pub fn with_router_links(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        asn: AsId,
+        router_links: Vec<RouterLinkId>,
+    ) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            asn,
+            router_links,
+        }
+    }
+
+    /// Returns `true` if the two links share at least one underlying
+    /// router-level link (and therefore may be correlated in the simulator).
+    pub fn shares_router_link(&self, other: &Link) -> bool {
+        self.router_links
+            .iter()
+            .any(|r| other.router_links.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let l = Link::new(LinkId(0), NodeId(1), NodeId(2), AsId(3));
+        assert_eq!(l.id, LinkId(0));
+        assert_eq!(l.asn, AsId(3));
+        assert!(l.router_links.is_empty());
+    }
+
+    #[test]
+    fn shared_router_links_detected() {
+        let a = Link::with_router_links(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            AsId(0),
+            vec![RouterLinkId(5), RouterLinkId(6)],
+        );
+        let b = Link::with_router_links(
+            LinkId(1),
+            NodeId(1),
+            NodeId(2),
+            AsId(0),
+            vec![RouterLinkId(6)],
+        );
+        let c = Link::with_router_links(
+            LinkId(2),
+            NodeId(2),
+            NodeId(3),
+            AsId(1),
+            vec![RouterLinkId(7)],
+        );
+        assert!(a.shares_router_link(&b));
+        assert!(!a.shares_router_link(&c));
+        assert!(!c.shares_router_link(&b));
+    }
+}

@@ -1,0 +1,304 @@
+//! The [`Network`] type: links, paths, correlation sets, and the coverage
+//! functions `Paths(E)` / `Links(P)` of §5.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::correlation::{CorrelationSet, CorrelationSubset};
+use crate::ids::{LinkId, PathId};
+use crate::link::Link;
+use crate::path::Path;
+
+/// A monitored network: the set of all links `E*`, the set of all measurement
+/// paths `P*`, and the correlation-set partition `C*` of the links.
+///
+/// Construct with [`crate::NetworkBuilder`], which validates the model
+/// invariants (paths are loop-free and reference existing links, every link
+/// belongs to exactly one correlation set).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    links: Vec<Link>,
+    paths: Vec<Path>,
+    correlation_sets: Vec<CorrelationSet>,
+    /// `link_paths[l]` = sorted list of paths traversing link `l`.
+    link_paths: Vec<Vec<PathId>>,
+    /// `link_set[l]` = index of the correlation set containing link `l`.
+    link_set: Vec<usize>,
+}
+
+impl Network {
+    /// Creates a network from validated parts. Callers should prefer
+    /// [`crate::NetworkBuilder`]; this constructor assumes the invariants
+    /// already hold and only builds the indices.
+    pub(crate) fn from_parts(
+        links: Vec<Link>,
+        paths: Vec<Path>,
+        correlation_sets: Vec<CorrelationSet>,
+    ) -> Self {
+        let mut link_paths: Vec<Vec<PathId>> = vec![Vec::new(); links.len()];
+        for path in &paths {
+            for &l in &path.links {
+                link_paths[l.index()].push(path.id);
+            }
+        }
+        for lp in &mut link_paths {
+            lp.sort_unstable();
+            lp.dedup();
+        }
+        let mut link_set = vec![usize::MAX; links.len()];
+        for set in &correlation_sets {
+            for &l in &set.links {
+                link_set[l.index()] = set.id;
+            }
+        }
+        Self {
+            links,
+            paths,
+            correlation_sets,
+            link_paths,
+            link_set,
+        }
+    }
+
+    /// Number of links, `|E*|`.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of paths, `|P*|`.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The correlation sets `C*`.
+    pub fn correlation_sets(&self) -> &[CorrelationSet] {
+        &self.correlation_sets
+    }
+
+    /// The link with the given id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The path with the given id.
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id.index()]
+    }
+
+    /// Iterator over all link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// Iterator over all path ids.
+    pub fn path_ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        (0..self.paths.len()).map(PathId)
+    }
+
+    /// The index of the correlation set containing `link`.
+    pub fn correlation_set_of(&self, link: LinkId) -> usize {
+        self.link_set[link.index()]
+    }
+
+    /// The correlation set containing `link`.
+    pub fn correlation_set(&self, link: LinkId) -> &CorrelationSet {
+        &self.correlation_sets[self.correlation_set_of(link)]
+    }
+
+    /// Paths traversing the given link (sorted).
+    pub fn paths_through_link(&self, link: LinkId) -> &[PathId] {
+        &self.link_paths[link.index()]
+    }
+
+    /// The path-coverage function `Paths(E)` (§5.2): the set of paths that
+    /// traverse **at least one** of the links in `E`.
+    pub fn paths_covering<'a>(
+        &self,
+        links: impl IntoIterator<Item = &'a LinkId>,
+    ) -> BTreeSet<PathId> {
+        let mut out = BTreeSet::new();
+        for &l in links {
+            out.extend(self.paths_through_link(l).iter().copied());
+        }
+        out
+    }
+
+    /// `Paths(E)` for a correlation subset.
+    pub fn paths_covering_subset(&self, subset: &CorrelationSubset) -> BTreeSet<PathId> {
+        self.paths_covering(subset.links.iter())
+    }
+
+    /// The link-coverage function `Links(P)` (§5.2): the set of links
+    /// traversed by **at least one** of the paths in `P`.
+    pub fn links_covered<'a>(
+        &self,
+        paths: impl IntoIterator<Item = &'a PathId>,
+    ) -> BTreeSet<LinkId> {
+        let mut out = BTreeSet::new();
+        for &p in paths {
+            out.extend(self.path(p).links.iter().copied());
+        }
+        out
+    }
+
+    /// The routing matrix: one row per path, one column per link, entry 1.0
+    /// when the path traverses the link. This is the "system of equations"
+    /// view used by classical Boolean tomography.
+    pub fn routing_matrix(&self) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; self.num_links()]; self.num_paths()];
+        for path in &self.paths {
+            for &l in &path.links {
+                m[path.id.index()][l.index()] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// Average number of links per path (a density indicator used by the
+    /// experiment reports).
+    pub fn mean_path_length(&self) -> f64 {
+        if self.paths.is_empty() {
+            return 0.0;
+        }
+        self.paths.iter().map(|p| p.len() as f64).sum::<f64>() / self.paths.len() as f64
+    }
+
+    /// Average number of paths crossing a link (another density indicator;
+    /// sparse traceroute-derived topologies have a much lower value than
+    /// dense synthetic ones, which is the root cause of the inference
+    /// failures shown in §3.2 of the paper).
+    pub fn mean_paths_per_link(&self) -> f64 {
+        if self.links.is_empty() {
+            return 0.0;
+        }
+        self.link_paths.iter().map(|p| p.len() as f64).sum::<f64>() / self.links.len() as f64
+    }
+
+    /// Links that are not traversed by any path (they can never be observed).
+    pub fn unobserved_links(&self) -> Vec<LinkId> {
+        self.link_ids()
+            .filter(|l| self.paths_through_link(*l).is_empty())
+            .collect()
+    }
+
+    /// Enumerates the correlation subsets of every correlation set, capped at
+    /// `max_subset_size` links per subset, restricted to links that are
+    /// traversed by at least one path (unobservable links can never be
+    /// "potentially congested" in the sense of §5.2).
+    pub fn correlation_subsets(&self, max_subset_size: usize) -> Vec<CorrelationSubset> {
+        let mut out = Vec::new();
+        for set in &self.correlation_sets {
+            let observed: Vec<LinkId> = set
+                .links
+                .iter()
+                .copied()
+                .filter(|l| !self.paths_through_link(*l).is_empty())
+                .collect();
+            let observed_set = CorrelationSet::new(set.id, observed);
+            out.extend(observed_set.subsets_up_to(max_subset_size));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{fig1_case1, fig1_case2};
+
+    #[test]
+    fn fig1_coverage_functions_match_paper() {
+        let net = fig1_case1();
+        // Paths({e1, e2}) = {p1, p2} ; Paths({e1, e3}) = {p1, p2, p3}
+        let p12 = net.paths_covering(&[LinkId(0), LinkId(1)]);
+        assert_eq!(
+            p12.into_iter().collect::<Vec<_>>(),
+            vec![PathId(0), PathId(1)]
+        );
+        let p123 = net.paths_covering(&[LinkId(0), LinkId(2)]);
+        assert_eq!(
+            p123.into_iter().collect::<Vec<_>>(),
+            vec![PathId(0), PathId(1), PathId(2)]
+        );
+        // Links({p1}) = {e1, e2} ; Links({p1, p2}) = {e1, e2, e3}
+        let l1 = net.links_covered(&[PathId(0)]);
+        assert_eq!(l1.into_iter().collect::<Vec<_>>(), vec![LinkId(0), LinkId(1)]);
+        let l12 = net.links_covered(&[PathId(0), PathId(1)]);
+        assert_eq!(
+            l12.into_iter().collect::<Vec<_>>(),
+            vec![LinkId(0), LinkId(1), LinkId(2)]
+        );
+    }
+
+    #[test]
+    fn fig1_correlation_sets() {
+        let net = fig1_case1();
+        assert_eq!(net.correlation_sets().len(), 3);
+        assert_eq!(net.correlation_set_of(LinkId(1)), net.correlation_set_of(LinkId(2)));
+        assert_ne!(net.correlation_set_of(LinkId(0)), net.correlation_set_of(LinkId(3)));
+
+        let net2 = fig1_case2();
+        assert_eq!(net2.correlation_sets().len(), 2);
+        assert_eq!(net2.correlation_set_of(LinkId(0)), net2.correlation_set_of(LinkId(3)));
+    }
+
+    #[test]
+    fn routing_matrix_shape_and_entries() {
+        let net = fig1_case1();
+        let m = net.routing_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 4);
+        // p1 = {e1, e2}
+        assert_eq!(m[0], vec![1.0, 1.0, 0.0, 0.0]);
+        // p3 = {e4, e3}
+        assert_eq!(m[2], vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn density_statistics() {
+        let net = fig1_case1();
+        assert!((net.mean_path_length() - 2.0).abs() < 1e-12);
+        // e1 carries 2 paths, e2 1, e3 2, e4 1 -> mean 1.5
+        assert!((net.mean_paths_per_link() - 1.5).abs() < 1e-12);
+        assert!(net.unobserved_links().is_empty());
+    }
+
+    #[test]
+    fn correlation_subsets_enumeration_case1() {
+        use crate::toy::{E1, E2, E3, E4};
+        let net = fig1_case1();
+        let subs = net.correlation_subsets(4);
+        // {e1}, {e2}, {e3}, {e4}, {e2,e3} — exactly the paper's list.
+        assert_eq!(subs.len(), 5);
+        let link_sets: BTreeSet<Vec<LinkId>> = subs.iter().map(|s| s.links_vec()).collect();
+        assert!(link_sets.contains(&vec![E2, E3]));
+        assert!(!link_sets.contains(&vec![E1, E4]));
+        // Every subset is non-empty and confined to a single correlation set.
+        for s in &subs {
+            assert!(!s.is_empty());
+            let set = &net.correlation_sets()[s.set_id];
+            assert!(s.links.iter().all(|l| set.contains(*l)));
+        }
+    }
+
+    #[test]
+    fn correlation_subsets_enumeration_case2() {
+        use crate::toy::{E1, E4};
+        let net = fig1_case2();
+        let subs = net.correlation_subsets(4);
+        // {e1}, {e2}, {e3}, {e4}, {e2,e3}, {e1,e4}
+        assert_eq!(subs.len(), 6);
+        let link_sets: BTreeSet<Vec<LinkId>> = subs.iter().map(|s| s.links_vec()).collect();
+        assert!(link_sets.contains(&vec![E1, E4]));
+    }
+}

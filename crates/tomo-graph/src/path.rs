@@ -1,0 +1,91 @@
+//! End-to-end measurement paths.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LinkId, NodeId, PathId};
+
+/// An end-to-end measurement path (`p_i` in the paper): an ordered, loop-free
+/// sequence of links from a source end-host to a destination end-host.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Identifier of this path (its index in [`crate::Network::paths`]).
+    pub id: PathId,
+    /// Source end-host.
+    pub src: NodeId,
+    /// Destination end-host.
+    pub dst: NodeId,
+    /// The links traversed, in order. The paper's model requires that a link
+    /// appears at most once on a path (no loops); [`crate::NetworkBuilder`]
+    /// enforces this.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Creates a new path.
+    pub fn new(id: PathId, src: NodeId, dst: NodeId, links: Vec<LinkId>) -> Self {
+        Self {
+            id,
+            src,
+            dst,
+            links,
+        }
+    }
+
+    /// Number of links traversed (`d` in the paper's path-congestion
+    /// threshold `1 - (1-f)^d`).
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the path traverses no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Returns `true` if the path traverses the given link.
+    pub fn traverses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Returns `true` if the path traverses at least one of the given links.
+    pub fn traverses_any(&self, links: &[LinkId]) -> bool {
+        links.iter().any(|l| self.traverses(*l))
+    }
+
+    /// Returns `true` if no link appears more than once (the paper's
+    /// loop-free requirement).
+    pub fn is_loop_free(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.links.len());
+        self.links.iter().all(|l| seen.insert(*l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversal_queries() {
+        let p = Path::new(PathId(0), NodeId(0), NodeId(9), vec![LinkId(1), LinkId(4)]);
+        assert_eq!(p.len(), 2);
+        assert!(p.traverses(LinkId(4)));
+        assert!(!p.traverses(LinkId(2)));
+        assert!(p.traverses_any(&[LinkId(2), LinkId(1)]));
+        assert!(!p.traverses_any(&[LinkId(2), LinkId(3)]));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let ok = Path::new(PathId(0), NodeId(0), NodeId(1), vec![LinkId(0), LinkId(1)]);
+        let bad = Path::new(PathId(1), NodeId(0), NodeId(1), vec![LinkId(0), LinkId(0)]);
+        assert!(ok.is_loop_free());
+        assert!(!bad.is_loop_free());
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = Path::new(PathId(0), NodeId(0), NodeId(0), vec![]);
+        assert!(p.is_empty());
+        assert!(p.is_loop_free());
+    }
+}

@@ -1,0 +1,107 @@
+//! The toy topology of Fig. 1 of the paper, used as a worked example and as a
+//! test fixture across the workspace.
+//!
+//! Links `E* = {e1, e2, e3, e4}` (zero-indexed here as `e0..e3`), paths
+//! `P* = {p1, p2, p3}` with
+//!
+//! * `p1 = {e1, e2}`
+//! * `p2 = {e1, e3}`
+//! * `p3 = {e4, e3}`
+//!
+//! Two correlation cases are considered throughout the paper:
+//!
+//! * **Case 1**: `C* = {{e1}, {e2, e3}, {e4}}` — Identifiability++ holds.
+//! * **Case 2**: `C* = {{e1, e4}, {e2, e3}}` — Identifiability++ fails,
+//!   because the subsets `{e1, e4}` and `{e2, e3}` are traversed by exactly
+//!   the same paths `{p1, p2, p3}`.
+
+use crate::builder::NetworkBuilder;
+use crate::ids::{AsId, LinkId, NodeId};
+use crate::network::Network;
+
+/// Paper link `e1` (zero-indexed id 0).
+pub const E1: LinkId = LinkId(0);
+/// Paper link `e2` (zero-indexed id 1).
+pub const E2: LinkId = LinkId(1);
+/// Paper link `e3` (zero-indexed id 2).
+pub const E3: LinkId = LinkId(2);
+/// Paper link `e4` (zero-indexed id 3).
+pub const E4: LinkId = LinkId(3);
+
+fn fig1_builder() -> NetworkBuilder {
+    let mut b = NetworkBuilder::new();
+    // Vertices: 0,1 are the upstream end-hosts, 2,3 intermediate routers,
+    // 4,5 the destination end-hosts. The precise vertex layout does not
+    // matter for any algorithm — only the link/path incidence does.
+    let e1 = b.add_link(NodeId(0), NodeId(2), AsId(0));
+    let e2 = b.add_link(NodeId(2), NodeId(4), AsId(1));
+    let e3 = b.add_link(NodeId(2), NodeId(5), AsId(1));
+    let e4 = b.add_link(NodeId(1), NodeId(2), AsId(2));
+    debug_assert_eq!((e1, e2, e3, e4), (E1, E2, E3, E4));
+    b.add_path(NodeId(0), NodeId(4), vec![E1, E2]); // p1
+    b.add_path(NodeId(0), NodeId(5), vec![E1, E3]); // p2
+    b.add_path(NodeId(1), NodeId(5), vec![E4, E3]); // p3
+    b
+}
+
+/// The Fig. 1 topology with the **Case 1** correlation sets
+/// `{{e1}, {e2, e3}, {e4}}`.
+pub fn fig1_case1() -> Network {
+    let mut b = fig1_builder();
+    b.correlation_sets(vec![vec![E1], vec![E2, E3], vec![E4]]);
+    b.build().expect("Fig. 1 Case 1 fixture is valid")
+}
+
+/// The Fig. 1 topology with the **Case 2** correlation sets
+/// `{{e1, e4}, {e2, e3}}`.
+pub fn fig1_case2() -> Network {
+    let mut b = fig1_builder();
+    b.correlation_sets(vec![vec![E1, E4], vec![E2, E3]]);
+    b.build().expect("Fig. 1 Case 2 fixture is valid")
+}
+
+/// The Fig. 1 topology with the default per-AS correlation sets (equivalent
+/// to Case 1, since `e2`/`e3` share an AS in this encoding).
+pub fn fig1_default() -> Network {
+    fig1_builder().build().expect("Fig. 1 fixture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PathId;
+
+    #[test]
+    fn paths_match_figure() {
+        let net = fig1_case1();
+        assert_eq!(net.path(PathId(0)).links, vec![E1, E2]);
+        assert_eq!(net.path(PathId(1)).links, vec![E1, E3]);
+        assert_eq!(net.path(PathId(2)).links, vec![E4, E3]);
+    }
+
+    #[test]
+    fn paths_through_links_match_figure() {
+        let net = fig1_case1();
+        assert_eq!(net.paths_through_link(E1), &[PathId(0), PathId(1)]);
+        assert_eq!(net.paths_through_link(E2), &[PathId(0)]);
+        assert_eq!(net.paths_through_link(E3), &[PathId(1), PathId(2)]);
+        assert_eq!(net.paths_through_link(E4), &[PathId(2)]);
+    }
+
+    #[test]
+    fn case_variants_differ_only_in_correlation_sets() {
+        let c1 = fig1_case1();
+        let c2 = fig1_case2();
+        assert_eq!(c1.num_links(), c2.num_links());
+        assert_eq!(c1.num_paths(), c2.num_paths());
+        assert_eq!(c1.correlation_sets().len(), 3);
+        assert_eq!(c2.correlation_sets().len(), 2);
+    }
+
+    #[test]
+    fn default_grouping_matches_case1_structure() {
+        let net = fig1_default();
+        assert_eq!(net.correlation_sets().len(), 3);
+        assert_eq!(net.correlation_set_of(E2), net.correlation_set_of(E3));
+    }
+}

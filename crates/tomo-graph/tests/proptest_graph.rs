@@ -1,0 +1,124 @@
+//! Property-based tests for the network model.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tomo_graph::{AsId, CorrelationSubset, LinkId, NetworkBuilder, Network, NodeId, PathId};
+
+/// Builds a random valid network: `n_links` links spread over `n_as` ASes and
+/// `n_paths` random loop-free paths over those links.
+fn arb_network(
+    max_links: usize,
+    max_as: usize,
+    max_paths: usize,
+) -> impl Strategy<Value = Network> {
+    (2..=max_links, 1..=max_as, 1..=max_paths)
+        .prop_flat_map(|(n_links, n_as, n_paths)| {
+            let link_as = proptest::collection::vec(0..n_as, n_links);
+            let paths = proptest::collection::vec(
+                proptest::collection::btree_set(0..n_links, 1..=n_links.min(5)),
+                n_paths,
+            );
+            (Just(n_links), link_as, paths)
+        })
+        .prop_map(|(n_links, link_as, paths)| {
+            let mut b = NetworkBuilder::new();
+            for (i, asn) in link_as.iter().enumerate() {
+                b.add_link(NodeId(i), NodeId(i + 1), AsId(*asn));
+            }
+            let _ = n_links;
+            for (pi, links) in paths.iter().enumerate() {
+                let link_ids: Vec<LinkId> = links.iter().map(|&l| LinkId(l)).collect();
+                b.add_path(NodeId(pi), NodeId(pi + 1000), link_ids);
+            }
+            b.build().expect("generated networks are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coverage duality: p ∈ Paths({e}) ⇔ e ∈ Links({p}).
+    #[test]
+    fn coverage_functions_are_dual(net in arb_network(8, 3, 6)) {
+        for l in net.link_ids() {
+            for p in net.path_ids() {
+                let p_in_paths_l = net.paths_covering(&[l]).contains(&p);
+                let l_in_links_p = net.links_covered(&[p]).contains(&l);
+                prop_assert_eq!(p_in_paths_l, l_in_links_p);
+            }
+        }
+    }
+
+    /// Paths(E) is monotone in E and Links(P) is monotone in P.
+    #[test]
+    fn coverage_is_monotone(net in arb_network(8, 3, 6)) {
+        let all_links: Vec<LinkId> = net.link_ids().collect();
+        if all_links.len() >= 2 {
+            let small = net.paths_covering(&all_links[..1]);
+            let big = net.paths_covering(&all_links[..]);
+            prop_assert!(small.is_subset(&big));
+        }
+        let all_paths: Vec<PathId> = net.path_ids().collect();
+        if all_paths.len() >= 2 {
+            let small = net.links_covered(&all_paths[..1]);
+            let big = net.links_covered(&all_paths[..]);
+            prop_assert!(small.is_subset(&big));
+        }
+    }
+
+    /// Every link belongs to exactly one correlation set, and that set
+    /// contains it.
+    #[test]
+    fn correlation_sets_partition_links(net in arb_network(10, 4, 4)) {
+        let mut seen: BTreeSet<LinkId> = BTreeSet::new();
+        for set in net.correlation_sets() {
+            for &l in &set.links {
+                prop_assert!(seen.insert(l), "link {l} in two correlation sets");
+                prop_assert_eq!(net.correlation_set_of(l), set.id);
+            }
+        }
+        prop_assert_eq!(seen.len(), net.num_links());
+    }
+
+    /// Complementation within a correlation set is an involution and the
+    /// subset plus its complement reconstitute the whole set.
+    #[test]
+    fn subset_complement_involution(net in arb_network(10, 3, 4)) {
+        for set in net.correlation_sets() {
+            if set.len() < 2 {
+                continue;
+            }
+            let sub = CorrelationSubset::new(set.id, [set.links[0]]);
+            let comp = sub.complement(set);
+            prop_assert_eq!(comp.complement(set), sub.clone());
+            let mut union: BTreeSet<LinkId> = sub.links.clone();
+            union.extend(comp.links.iter().copied());
+            prop_assert_eq!(union.len(), set.len());
+        }
+    }
+
+    /// The routing matrix has exactly one row per path whose row sum equals
+    /// the path length.
+    #[test]
+    fn routing_matrix_row_sums(net in arb_network(8, 3, 6)) {
+        let m = net.routing_matrix();
+        prop_assert_eq!(m.len(), net.num_paths());
+        for p in net.path_ids() {
+            let row_sum: f64 = m[p.index()].iter().sum();
+            prop_assert_eq!(row_sum as usize, net.path(p).len());
+        }
+    }
+
+    /// `correlation_subsets(k)` never yields subsets larger than `k`, never
+    /// yields duplicates, and every subset is observed by at least one path.
+    #[test]
+    fn correlation_subset_enumeration_invariants(net in arb_network(8, 3, 5), k in 1usize..=3) {
+        let subs = net.correlation_subsets(k);
+        let unique: BTreeSet<_> = subs.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), subs.len());
+        for s in &subs {
+            prop_assert!(s.len() >= 1 && s.len() <= k);
+            prop_assert!(!net.paths_covering_subset(s).is_empty());
+        }
+    }
+}

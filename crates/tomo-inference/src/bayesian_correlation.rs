@@ -1,0 +1,269 @@
+//! The *Bayesian-Correlation* Boolean Inference algorithm (developed for the
+//! paper, §3.1).
+//!
+//! Like Bayesian-Independence it consists of a Probability Computation step
+//! followed by per-interval Probabilistic Inference, but the first step
+//! assumes Correlation Sets instead of Independence: it is the
+//! Correlation-complete algorithm of §5, so joint good-probabilities of
+//! correlated links are learned as their own quantities.
+//!
+//! The Probabilistic Inference step reuses the greedy weighted set cover, but
+//! the weight of a candidate link is *conditioned on the links already chosen
+//! from the same correlation set*: if `a` was already blamed and
+//! `P(X_a = 1, X_b = 1)` is known, the weight of `b` uses
+//! `P(X_b = 1 | X_a = 1)` instead of the marginal — this is how learning the
+//! correlations pays off during inference. When a required joint probability
+//! was not identifiable (Identifiability++ fails, §3.1 Case 2), the algorithm
+//! falls back to the marginal, which, as the paper stresses, amounts to
+//! guessing among equally likely explanations.
+
+use std::collections::BTreeSet;
+
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_prob::{
+    AlgorithmAssumptions, CorrelationComplete, CorrelationCompleteConfig, ProbabilityComputation,
+    ProbabilityEstimate,
+};
+use tomo_sim::PathObservations;
+
+use crate::map_solver::CandidateLinks;
+use crate::BooleanInference;
+
+const PROB_CLAMP: f64 = 1e-4;
+
+/// The Bayesian-Correlation inference algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct BayesianCorrelation {
+    config: CorrelationCompleteConfig,
+    estimate: Option<ProbabilityEstimate>,
+}
+
+impl BayesianCorrelation {
+    /// Creates the algorithm with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the algorithm with a custom Probability-Computation
+    /// configuration.
+    pub fn with_config(config: CorrelationCompleteConfig) -> Self {
+        Self {
+            config,
+            estimate: None,
+        }
+    }
+
+    /// The learned probability estimate, if `learn` has run.
+    pub fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate.as_ref()
+    }
+
+    /// Congestion probability of `link` conditioned on the already-chosen
+    /// congested links of the same correlation set (falls back to the
+    /// marginal when the joint is unavailable or not identifiable).
+    fn conditional_probability(
+        &self,
+        network: &Network,
+        link: LinkId,
+        chosen: &BTreeSet<LinkId>,
+    ) -> f64 {
+        let Some(est) = self.estimate.as_ref() else {
+            return 0.5;
+        };
+        let marginal = est.link_congestion_probability(link);
+        let set_id = network.correlation_set_of(link);
+        let chosen_same_set: Vec<LinkId> = chosen
+            .iter()
+            .copied()
+            .filter(|&l| l != link && network.correlation_set_of(l) == set_id)
+            .collect();
+        if chosen_same_set.is_empty() {
+            return marginal;
+        }
+        // P(link = 1 | chosen = 1) = P(link = 1, chosen = 1) / P(chosen = 1).
+        let mut with_link = chosen_same_set.clone();
+        with_link.push(link);
+        let joint_with = est.subset_congestion_probability(&with_link);
+        let joint_chosen = est.subset_congestion_probability(&chosen_same_set);
+        match (joint_with, joint_chosen) {
+            (Some(num), Some(den)) if den > 1e-9 => (num / den).clamp(0.0, 1.0),
+            _ => marginal,
+        }
+    }
+}
+
+impl BooleanInference for BayesianCorrelation {
+    fn name(&self) -> &'static str {
+        "Bayesian-Correlation"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::bayesian_correlation()
+    }
+
+    fn learn(&mut self, network: &Network, observations: &PathObservations) {
+        let algo = CorrelationComplete::new(self.config.clone());
+        self.estimate = Some(algo.compute(network, observations));
+    }
+
+    fn infer_interval(&self, network: &Network, congested_paths: &[PathId]) -> Vec<LinkId> {
+        let candidates = CandidateLinks::for_interval(network, congested_paths);
+
+        // Greedy weighted cover with correlation-aware, sequentially updated
+        // weights. (We cannot reuse `greedy_weighted_cover` directly because
+        // the weight of a link changes as correlated links get chosen.)
+        let mut uncovered: BTreeSet<PathId> = candidates
+            .coverage
+            .iter()
+            .filter(|(_, links)| !links.is_empty())
+            .map(|(&p, _)| p)
+            .collect();
+        let mut chosen: BTreeSet<LinkId> = BTreeSet::new();
+
+        while !uncovered.is_empty() {
+            let mut best: Option<(f64, LinkId)> = None;
+            for &l in &candidates.candidates {
+                if chosen.contains(&l) {
+                    continue;
+                }
+                let newly = candidates
+                    .coverage
+                    .iter()
+                    .filter(|(p, links)| uncovered.contains(p) && links.contains(&l))
+                    .count();
+                if newly == 0 {
+                    continue;
+                }
+                let p = self
+                    .conditional_probability(network, l, &chosen)
+                    .clamp(PROB_CLAMP, 1.0 - PROB_CLAMP);
+                let weight = ((1.0 - p) / p).ln();
+                let ratio = weight / newly as f64;
+                let better = match best {
+                    None => true,
+                    Some((best_ratio, best_link)) => {
+                        ratio < best_ratio - 1e-12
+                            || ((ratio - best_ratio).abs() <= 1e-12 && l < best_link)
+                    }
+                };
+                if better {
+                    best = Some((ratio, l));
+                }
+            }
+            let Some((_, link)) = best else {
+                break;
+            };
+            chosen.insert(link);
+            uncovered.retain(|p| !candidates.coverage[p].contains(&link));
+        }
+
+        // Correlation completion: if a chosen link is (near-)perfectly
+        // correlated with another candidate (their joint congestion
+        // probability is close to both marginals), that other link is almost
+        // surely congested too — add it. This captures the "links of the
+        // same correlation group congest together" physics the probabilities
+        // revealed, without affecting uncorrelated candidates.
+        if let Some(est) = self.estimate.as_ref() {
+            let snapshot: Vec<LinkId> = chosen.iter().copied().collect();
+            for &c in &snapshot {
+                for &other in &candidates.candidates {
+                    if chosen.contains(&other)
+                        || network.correlation_set_of(other) != network.correlation_set_of(c)
+                    {
+                        continue;
+                    }
+                    let p_other = est.link_congestion_probability(other);
+                    if p_other < 0.05 {
+                        continue;
+                    }
+                    if let Some(joint) = est.subset_congestion_probability(&[c, other]) {
+                        let p_c = est.link_congestion_probability(c).max(PROB_CLAMP);
+                        // P(other | c) close to 1 => congested together.
+                        if joint / p_c > 0.9 {
+                            chosen.insert(other);
+                        }
+                    }
+                }
+            }
+        }
+
+        chosen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_all_intervals;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3, E4};
+
+    /// e2 and e3 perfectly correlated, congested half of the time; e1 and e4
+    /// always good — the scenario where Bayesian-Independence fails (§3.1).
+    fn correlated_obs(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let bad = ti % 2 == 0;
+            obs.set_congested(PathId(0), ti, bad);
+            obs.set_congested(PathId(1), ti, bad);
+            obs.set_congested(PathId(2), ti, bad);
+        }
+        obs
+    }
+
+    #[test]
+    fn correctly_blames_correlated_pair() {
+        let net = fig1_case1();
+        let mut algo = BayesianCorrelation::new();
+        let obs = correlated_obs(800);
+        let inferred = infer_all_intervals(&mut algo, &net, &obs);
+        // In the congested intervals the truth is {e2, e3}; the
+        // correlation-aware algorithm should recover both links most of the
+        // time (unlike Bayesian-Independence, see its own tests).
+        let mut detected = 0usize;
+        let mut total = 0usize;
+        let mut false_pos = 0usize;
+        for (ti, links) in inferred.iter().enumerate() {
+            if ti % 2 == 0 {
+                total += 2;
+                detected += [E2, E3].iter().filter(|l| links.contains(l)).count();
+                false_pos += [E1, E4].iter().filter(|l| links.contains(l)).count();
+            }
+        }
+        let detection = detected as f64 / total as f64;
+        assert!(
+            detection > 0.9,
+            "correlation-aware inference should find both correlated links, got {detection}"
+        );
+        assert_eq!(false_pos, 0, "e1/e4 are exonerated by the probabilities");
+    }
+
+    #[test]
+    fn learning_exposes_the_joint_probability() {
+        let net = fig1_case1();
+        let mut algo = BayesianCorrelation::new();
+        algo.learn(&net, &correlated_obs(800));
+        let est = algo.estimate().unwrap();
+        let joint = est
+            .subset_congestion_probability(&[E2, E3])
+            .expect("pair is a target");
+        assert!((joint - 0.5).abs() < 0.07, "joint = {joint}");
+    }
+
+    #[test]
+    fn empty_interval_infers_nothing() {
+        let net = fig1_case1();
+        let mut algo = BayesianCorrelation::new();
+        algo.learn(&net, &correlated_obs(100));
+        assert!(algo.infer_interval(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn metadata() {
+        let algo = BayesianCorrelation::new();
+        assert_eq!(algo.name(), "Bayesian-Correlation");
+        let a = algo.assumptions();
+        assert!(a.correlation_sets);
+        assert!(a.identifiability_pp);
+        assert!(!a.independence);
+    }
+}

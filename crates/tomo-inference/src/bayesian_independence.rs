@@ -1,0 +1,182 @@
+//! The *Bayesian-Independence* Boolean Inference algorithm (*CLINK*,
+//! Nguyen & Thiran, INFOCOM 2007).
+//!
+//! Two steps (§3.1 of the paper):
+//!
+//! 1. **Probability Computation** under the Independence assumption — the
+//!    [`tomo_prob::Independence`] baseline — learns each link's congestion
+//!    probability from the whole observation history.
+//! 2. **Probabilistic Inference** per interval — of all the link sets that
+//!    explain the congested paths, pick the one most likely a priori. The
+//!    exact problem is NP-complete, so, like CLINK, a greedy minimum-weight
+//!    set cover with weights `ln((1 − p_e)/p_e)` is used.
+//!
+//! Both steps introduce inaccuracy when links are correlated, and the second
+//! additionally approximates the per-interval state by the long-run
+//! probability (the expected-value approximation the paper criticizes).
+
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_prob::{
+    AlgorithmAssumptions, Independence, IndependenceConfig, ProbabilityComputation,
+    ProbabilityEstimate,
+};
+use tomo_sim::PathObservations;
+
+use crate::map_solver::{greedy_weighted_cover, CandidateLinks};
+use crate::BooleanInference;
+
+/// Lower/upper clamp applied to learned probabilities before computing the
+/// set-cover weights (avoids infinite weights for 0/1 probabilities).
+const PROB_CLAMP: f64 = 1e-4;
+
+/// The Bayesian-Independence (CLINK) inference algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct BayesianIndependence {
+    config: IndependenceConfig,
+    estimate: Option<ProbabilityEstimate>,
+}
+
+impl BayesianIndependence {
+    /// Creates the algorithm with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the algorithm with a custom Probability-Computation
+    /// configuration.
+    pub fn with_config(config: IndependenceConfig) -> Self {
+        Self {
+            config,
+            estimate: None,
+        }
+    }
+
+    /// The learned probability estimate, if `learn` has run.
+    pub fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate.as_ref()
+    }
+
+    fn weight(&self, link: LinkId) -> f64 {
+        let p = self
+            .estimate
+            .as_ref()
+            .map(|e| e.link_congestion_probability(link))
+            .unwrap_or(0.5)
+            .clamp(PROB_CLAMP, 1.0 - PROB_CLAMP);
+        ((1.0 - p) / p).ln()
+    }
+}
+
+impl BooleanInference for BayesianIndependence {
+    fn name(&self) -> &'static str {
+        "Bayesian-Independence"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::bayesian_independence()
+    }
+
+    fn learn(&mut self, network: &Network, observations: &PathObservations) {
+        let algo = Independence::new(self.config.clone());
+        self.estimate = Some(algo.compute(network, observations));
+    }
+
+    fn infer_interval(&self, network: &Network, congested_paths: &[PathId]) -> Vec<LinkId> {
+        let candidates = CandidateLinks::for_interval(network, congested_paths);
+        greedy_weighted_cover(&candidates, |l| self.weight(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_all_intervals;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3};
+
+    /// Observations where e2 is the frequently congested link: p1 congested
+    /// often, and occasionally e1 congests (making p1 and p2 congested).
+    fn obs_e2_frequent(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let e2_bad = ti % 2 == 0; // 50%
+            let e1_bad = ti % 10 == 0; // 10%
+            obs.set_congested(PathId(0), ti, e1_bad || e2_bad);
+            obs.set_congested(PathId(1), ti, e1_bad);
+            obs.set_congested(PathId(2), ti, false);
+        }
+        obs
+    }
+
+    #[test]
+    fn uses_learned_probabilities_to_break_ambiguity() {
+        let net = fig1_case1();
+        let mut algo = BayesianIndependence::new();
+        let obs = obs_e2_frequent(1000);
+        algo.learn(&net, &obs);
+        let est = algo.estimate().unwrap();
+        assert!(est.link_congestion_probability(E2) > est.link_congestion_probability(E1));
+
+        // Interval where only p1 is congested: both e1... no — e1 is on the
+        // good path p2, so the only candidate is e2 regardless. Use the
+        // ambiguous observation {p1, p2}: candidates are e1 (covers both) and
+        // e2, e3 (cover one each). e1 has low probability (10%), so CLINK
+        // must still prefer it only if its weight beats e2+e3; with
+        // p_e2 ≈ 0.5 >> p_e1 ≈ 0.1, blaming e2 (and e3) is not cheaper than
+        // blaming e1 alone... verify the algorithm picks a consistent cover.
+        let inferred = algo.infer_interval(&net, &[PathId(0), PathId(1)]);
+        assert!(!inferred.is_empty());
+        // Whatever it picks must explain both congested paths.
+        for p in [PathId(0), PathId(1)] {
+            assert!(net.path(p).links.iter().any(|l| inferred.contains(l)));
+        }
+    }
+
+    #[test]
+    fn correlated_links_mislead_the_algorithm() {
+        // §3.1: e2 and e3 perfectly correlated (both congested half the
+        // time), e1 and e4 always good. The congested paths are then
+        // {p1,p2,p3} in those intervals. Under the (wrong) independence
+        // assumption the likeliest explanation involves e1; the truth is
+        // {e2,e3}. The detection rate must therefore be below 1.
+        let net = fig1_case1();
+        let t = 600;
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let bad = ti % 2 == 0;
+            obs.set_congested(PathId(0), ti, bad);
+            obs.set_congested(PathId(1), ti, bad);
+            obs.set_congested(PathId(2), ti, bad);
+        }
+        let mut algo = BayesianIndependence::new();
+        let inferred = infer_all_intervals(&mut algo, &net, &obs);
+        let mut detected = 0usize;
+        let mut total = 0usize;
+        for (ti, links) in inferred.iter().enumerate() {
+            if ti % 2 == 0 {
+                total += 2;
+                detected += [E2, E3].iter().filter(|l| links.contains(l)).count();
+            }
+        }
+        let detection = detected as f64 / total as f64;
+        assert!(
+            detection < 0.95,
+            "independence-based inference should stumble on correlated links, got {detection}"
+        );
+    }
+
+    #[test]
+    fn empty_interval_infers_nothing() {
+        let net = fig1_case1();
+        let mut algo = BayesianIndependence::new();
+        algo.learn(&net, &obs_e2_frequent(100));
+        assert!(algo.infer_interval(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn metadata() {
+        let algo = BayesianIndependence::new();
+        assert_eq!(algo.name(), "Bayesian-Independence");
+        assert!(algo.assumptions().independence);
+        assert!(algo.assumptions().other_approximation);
+    }
+}

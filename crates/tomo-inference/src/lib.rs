@@ -1,0 +1,69 @@
+//! Boolean Inference algorithms (§3 of the paper).
+//!
+//! Boolean Inference takes the set of congested paths of **one** interval and
+//! infers which links were congested during that interval. The paper studies
+//! three state-of-the-art algorithms and shows that each can fail badly under
+//! realistic conditions:
+//!
+//! * [`Sparsity`] (a.k.a. *Tomo*, Dhamdhere et al. / Duffield) — assumes
+//!   Homogeneity and picks the fewest links that explain the congested
+//!   paths; fails when congestion sits at the network edge.
+//! * [`BayesianIndependence`] (a.k.a. *CLINK*, Nguyen & Thiran) — learns
+//!   per-link congestion probabilities assuming Independence, then picks the
+//!   most likely explanation per interval; fails when links are correlated.
+//! * [`BayesianCorrelation`] (the paper's §3 algorithm) — like CLINK but
+//!   learns probabilities under the Correlation-Sets assumption
+//!   (via the Correlation-complete Probability Computation step); fails when
+//!   the network dynamics are not stationary.
+//!
+//! All three implement [`BooleanInference`]: a learning phase over the whole
+//! observation history followed by per-interval inference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayesian_correlation;
+pub mod bayesian_independence;
+pub mod map_solver;
+pub mod sparsity;
+
+pub use bayesian_correlation::BayesianCorrelation;
+pub use bayesian_independence::BayesianIndependence;
+pub use map_solver::{greedy_weighted_cover, CandidateLinks};
+pub use sparsity::Sparsity;
+
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_prob::AlgorithmAssumptions;
+use tomo_sim::PathObservations;
+
+/// Common interface of the Boolean Inference algorithms.
+pub trait BooleanInference {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// The assumptions / conditions / approximations of the algorithm
+    /// (a column of Table 2).
+    fn assumptions(&self) -> AlgorithmAssumptions;
+
+    /// Learning phase: observe the whole experiment before per-interval
+    /// inference (the Probability Computation step of the Bayesian
+    /// algorithms; a no-op for Sparsity).
+    fn learn(&mut self, network: &Network, observations: &PathObservations);
+
+    /// Infers the set of congested links of one interval from that
+    /// interval's congested paths.
+    fn infer_interval(&self, network: &Network, congested_paths: &[PathId]) -> Vec<LinkId>;
+}
+
+/// Runs an inference algorithm over every interval of an experiment,
+/// returning the inferred congested-link set per interval.
+pub fn infer_all_intervals(
+    algorithm: &mut dyn BooleanInference,
+    network: &Network,
+    observations: &PathObservations,
+) -> Vec<Vec<LinkId>> {
+    algorithm.learn(network, observations);
+    (0..observations.num_intervals())
+        .map(|t| algorithm.infer_interval(network, &observations.congested_paths(t)))
+        .collect()
+}

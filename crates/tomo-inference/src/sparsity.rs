@@ -1,0 +1,102 @@
+//! The *Sparsity* Boolean Inference algorithm (called *Tomo* in
+//! Dhamdhere et al., an adaptation of Duffield's tree algorithm to mesh
+//! networks).
+//!
+//! Gist (§3.1 of the paper): a few congested links are responsible for many
+//! congested paths, so — under the Homogeneity assumption — the algorithm
+//! favors links that participate in many congested paths: it greedily picks
+//! the candidate link covering the largest number of still-unexplained
+//! congested paths until every congested path is explained.
+
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_prob::AlgorithmAssumptions;
+use tomo_sim::PathObservations;
+
+use crate::map_solver::{greedy_weighted_cover, CandidateLinks};
+use crate::BooleanInference;
+
+/// The Sparsity inference algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct Sparsity;
+
+impl Sparsity {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BooleanInference for Sparsity {
+    fn name(&self) -> &'static str {
+        "Sparsity"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::sparsity()
+    }
+
+    fn learn(&mut self, _network: &Network, _observations: &PathObservations) {
+        // Sparsity has no learning phase: it treats every interval
+        // independently and uses only that interval's observations.
+    }
+
+    fn infer_interval(&self, network: &Network, congested_paths: &[PathId]) -> Vec<LinkId> {
+        let candidates = CandidateLinks::for_interval(network, congested_paths);
+        // Uniform weights (Homogeneity): the greedy cover then maximizes the
+        // number of newly covered congested paths at every step.
+        greedy_weighted_cover(&candidates, |_| 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3};
+
+    #[test]
+    fn picks_the_sparse_explanation_from_the_paper() {
+        // §3.1: if the congested paths are {p1, p2, p3}, Sparsity infers
+        // {e1, e3} because each participates in two congested paths.
+        let net = fig1_case1();
+        let algo = Sparsity::new();
+        let inferred = algo.infer_interval(&net, &[PathId(0), PathId(1), PathId(2)]);
+        assert_eq!(inferred, vec![E1, E3]);
+    }
+
+    #[test]
+    fn misses_edge_congestion_as_described_in_the_paper() {
+        // §3.1: if e2 and e3 are both congested, the congested paths are
+        // {p1, p2, p3} and Sparsity still picks {e1, e3} — it misses e2 and
+        // falsely blames e1.
+        let net = fig1_case1();
+        let algo = Sparsity::new();
+        let inferred = algo.infer_interval(&net, &[PathId(0), PathId(1), PathId(2)]);
+        let truth = vec![E2, E3];
+        let missed: Vec<_> = truth.iter().filter(|l| !inferred.contains(l)).collect();
+        let false_positives: Vec<_> =
+            inferred.iter().filter(|l| !truth.contains(l)).collect();
+        assert_eq!(missed, vec![&E2]);
+        assert_eq!(false_positives, vec![&E1]);
+    }
+
+    #[test]
+    fn respects_good_paths() {
+        let net = fig1_case1();
+        let algo = Sparsity::new();
+        // Only p1 congested: p2 good exonerates e1, so the answer is e2.
+        assert_eq!(algo.infer_interval(&net, &[PathId(0)]), vec![E2]);
+        // Nothing congested: nothing inferred.
+        assert!(algo.infer_interval(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn metadata() {
+        let mut algo = Sparsity::new();
+        assert_eq!(algo.name(), "Sparsity");
+        assert!(algo.assumptions().homogeneity);
+        // learn() is a no-op but must be callable.
+        let net = fig1_case1();
+        let obs = PathObservations::new(3, 1);
+        algo.learn(&net, &obs);
+    }
+}

@@ -1,0 +1,234 @@
+//! Gaussian elimination: reduced row-echelon form (RREF), rank computation,
+//! and exact solving of square systems.
+//!
+//! RREF with partial pivoting is the workhorse behind both the rank checks
+//! used by the path-set selection algorithm (Algorithm 1 of the paper) and
+//! the null-space basis extraction in [`crate::nullspace`].
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::DEFAULT_TOL;
+
+/// Result of reducing a matrix to reduced row-echelon form.
+#[derive(Clone, Debug)]
+pub struct RrefResult {
+    /// The matrix in reduced row-echelon form.
+    pub rref: Matrix,
+    /// Column indices of the pivot columns, one per non-zero row, in order.
+    pub pivot_cols: Vec<usize>,
+    /// Rank of the original matrix (number of pivots).
+    pub rank: usize,
+}
+
+/// Computes the reduced row-echelon form of `a` using partial pivoting.
+///
+/// Entries with absolute value below `tol` are treated as zero when choosing
+/// pivots and when cleaning up the reduced matrix.
+pub fn rref_with_tol(a: &Matrix, tol: f64) -> RrefResult {
+    let mut m = a.clone();
+    let (rows, cols) = m.shape();
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Partial pivoting: pick the row with the largest absolute value in
+        // this column at or below `pivot_row`.
+        let mut best_row = pivot_row;
+        let mut best_val = m[(pivot_row, col)].abs();
+        for r in (pivot_row + 1)..rows {
+            let v = m[(r, col)].abs();
+            if v > best_val {
+                best_val = v;
+                best_row = r;
+            }
+        }
+        if best_val <= tol {
+            continue; // no pivot in this column
+        }
+        // Swap rows.
+        if best_row != pivot_row {
+            for c in 0..cols {
+                let tmp = m[(pivot_row, c)];
+                m[(pivot_row, c)] = m[(best_row, c)];
+                m[(best_row, c)] = tmp;
+            }
+        }
+        // Normalize pivot row.
+        let pivot = m[(pivot_row, col)];
+        for c in 0..cols {
+            m[(pivot_row, c)] /= pivot;
+        }
+        // Eliminate this column from every other row.
+        for r in 0..rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = m[(r, col)];
+            if factor.abs() <= tol {
+                m[(r, col)] = 0.0;
+                continue;
+            }
+            for c in 0..cols {
+                m[(r, c)] -= factor * m[(pivot_row, c)];
+            }
+            m[(r, col)] = 0.0;
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+    }
+
+    // Clean tiny residues so downstream consumers can rely on exact zeros.
+    for i in 0..rows {
+        for j in 0..cols {
+            if m[(i, j)].abs() <= tol {
+                m[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    let rank = pivot_cols.len();
+    RrefResult {
+        rref: m,
+        pivot_cols,
+        rank,
+    }
+}
+
+/// Computes the reduced row-echelon form of `a` with the default tolerance.
+pub fn rref(a: &Matrix) -> RrefResult {
+    rref_with_tol(a, DEFAULT_TOL)
+}
+
+/// Returns the rank of `a` (with the default tolerance).
+pub fn rank(a: &Matrix) -> usize {
+    rref(a).rank
+}
+
+/// Returns the rank of `a` using the supplied tolerance.
+pub fn rank_with_tol(a: &Matrix, tol: f64) -> usize {
+    rref_with_tol(a, tol).rank
+}
+
+/// Solves the square system `a * x = b` by Gaussian elimination.
+///
+/// Returns `None` if `a` is not square, the dimensions do not match, or `a`
+/// is (numerically) singular.
+pub fn solve_square(a: &Matrix, b: &Vector) -> Option<Vector> {
+    let (rows, cols) = a.shape();
+    if rows != cols || b.len() != rows {
+        return None;
+    }
+    let n = rows;
+    // Build the augmented matrix [a | b] and reduce it.
+    let mut aug = Matrix::zeros(n, n + 1);
+    for i in 0..n {
+        for j in 0..n {
+            aug[(i, j)] = a[(i, j)];
+        }
+        aug[(i, n)] = b[i];
+    }
+    let r = rref(&aug);
+    // The system has a unique solution iff every one of the first n columns
+    // is a pivot column.
+    if r.rank < n || r.pivot_cols.iter().take(n).enumerate().any(|(i, &c)| c != i) {
+        return None;
+    }
+    Some(Vector::from_iter((0..n).map(|i| r.rref[(i, n)])))
+}
+
+/// Checks whether appending `row` to the rows of `a` increases its rank.
+///
+/// This is the test used when deciding whether a new path-set equation is
+/// linearly independent from the ones already collected. It is provided here
+/// as a straightforward (non-incremental) reference; the incremental
+/// equivalent used by Algorithm 1 goes through the null space
+/// ([`crate::nullspace_update`]).
+pub fn row_increases_rank(a: &Matrix, row: &[f64]) -> bool {
+    if a.rows() == 0 {
+        return row.iter().any(|&x| x.abs() > DEFAULT_TOL);
+    }
+    assert_eq!(row.len(), a.cols(), "row length mismatch");
+    let base_rank = rank(a);
+    let mut with_row = a.clone();
+    with_row.push_row(row);
+    rank(&with_row) > base_rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rref_of_identity_is_identity() {
+        let i = Matrix::identity(4);
+        let r = rref(&i);
+        assert_eq!(r.rank, 4);
+        assert!(r.rref.approx_eq(&i, 1e-12));
+        assert_eq!(r.pivot_cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 0.0, 1.0],
+        ]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix_is_zero() {
+        assert_eq!(rank(&Matrix::zeros(3, 5)), 0);
+    }
+
+    #[test]
+    fn rref_known_example() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 1.0], vec![2.0, 4.0, 4.0]]);
+        let r = rref(&m);
+        // Row-reduces to [[1, 2, 0], [0, 0, 1]].
+        let expected = Matrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        assert!(r.rref.approx_eq(&expected, 1e-9));
+        assert_eq!(r.pivot_cols, vec![0, 2]);
+        assert_eq!(r.rank, 2);
+    }
+
+    #[test]
+    fn solve_square_known_system() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let b = Vector::from_slice(&[5.0, 1.0]);
+        let x = solve_square(&a, &b).expect("system is regular");
+        assert!(x.approx_eq(&Vector::from_slice(&[2.0, 1.0]), 1e-9));
+    }
+
+    #[test]
+    fn solve_square_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        assert!(solve_square(&a, &b).is_none());
+    }
+
+    #[test]
+    fn solve_square_rejects_non_square() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let b = Vector::from_slice(&[1.0]);
+        assert!(solve_square(&a, &b).is_none());
+    }
+
+    #[test]
+    fn row_increases_rank_detects_dependence() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]);
+        assert!(!row_increases_rank(&a, &[1.0, 1.0, 2.0]));
+        assert!(row_increases_rank(&a, &[0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn rank_is_bounded_by_dimensions() {
+        let m = Matrix::from_fn(4, 7, |i, j| ((i * 7 + j) % 5) as f64);
+        assert!(rank(&m) <= 4);
+    }
+}

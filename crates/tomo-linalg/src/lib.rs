@@ -1,0 +1,49 @@
+//! Dense linear-algebra substrate for the network-tomography reproduction.
+//!
+//! The Congestion Probability Computation algorithm of the paper ("Shifting
+//! Network Tomography Toward A Practical Goal", CoNEXT 2011) reduces to
+//! assembling a binary system matrix over *path sets* and *correlation
+//! subsets*, computing its null space, incrementally updating that null space
+//! as new equations are added (Algorithm 2 of the paper), and finally solving
+//! a log-linear least-squares problem.
+//!
+//! This crate implements exactly the numeric machinery those steps need,
+//! without pulling in an external BLAS/LAPACK dependency:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix with the usual arithmetic.
+//! * [`Vector`] — a dense `f64` vector.
+//! * [`gauss`] — Gaussian elimination: RREF, rank, and exact solving.
+//! * [`qr`] — Householder QR decomposition.
+//! * [`nullspace`] — null-space basis extraction from the RREF.
+//! * [`nullspace_update`] — the paper's Algorithm 2 (incremental null-space
+//!   update after appending one row to the system matrix).
+//! * [`lstsq`] — least-squares solving (QR-based with a regularized
+//!   normal-equation fallback for rank-deficient systems).
+//!
+//! All routines are deterministic and allocation-honest: they never spawn
+//! threads and never touch global state, so they can be used from the
+//! experiment harness's parallel sweeps without synchronization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gauss;
+pub mod lstsq;
+pub mod matrix;
+pub mod nullspace;
+pub mod nullspace_update;
+pub mod qr;
+pub mod vector;
+
+pub use gauss::{rank, rref, solve_square, RrefResult};
+pub use lstsq::{least_squares, LstsqOptions, LstsqSolution};
+pub use matrix::Matrix;
+pub use nullspace::nullspace;
+pub use nullspace_update::{nullspace_update, NullSpaceUpdate};
+pub use qr::{qr_decompose, QrDecomposition};
+pub use vector::Vector;
+
+/// Default numerical tolerance used throughout the crate to decide whether a
+/// floating-point value should be treated as zero (pivot selection, rank
+/// decisions, null-space membership).
+pub const DEFAULT_TOL: f64 = 1e-9;

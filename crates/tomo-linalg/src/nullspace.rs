@@ -1,0 +1,134 @@
+//! Null-space basis extraction.
+//!
+//! Algorithm 1 of the paper needs, for the system matrix `R` assembled from
+//! the initial path sets, a matrix `N` whose columns span the null space of
+//! `R` (`R * N = 0`). The basis is obtained from the reduced row-echelon form
+//! of `R`: every non-pivot ("free") column contributes one basis vector.
+
+use crate::gauss::rref_with_tol;
+use crate::matrix::Matrix;
+use crate::DEFAULT_TOL;
+
+/// Computes a basis of the null space of `a`.
+///
+/// Returns an `n x k` matrix whose `k` columns span `{ x : a x = 0 }`, where
+/// `n = a.cols()` and `k = n - rank(a)`. When `a` has full column rank the
+/// returned matrix has zero columns (shape `n x 0`).
+pub fn nullspace(a: &Matrix) -> Matrix {
+    nullspace_with_tol(a, DEFAULT_TOL)
+}
+
+/// Computes a basis of the null space of `a` using the supplied tolerance for
+/// pivot decisions.
+pub fn nullspace_with_tol(a: &Matrix, tol: f64) -> Matrix {
+    let n = a.cols();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    if a.rows() == 0 {
+        // Every vector is in the null space: the basis is the identity.
+        return Matrix::identity(n);
+    }
+    let r = rref_with_tol(a, tol);
+    let pivot_cols = &r.pivot_cols;
+    let is_pivot: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &c in pivot_cols {
+            v[c] = true;
+        }
+        v
+    };
+    let free_cols: Vec<usize> = (0..n).filter(|&c| !is_pivot[c]).collect();
+    let k = free_cols.len();
+    let mut basis = Matrix::zeros(n, k);
+
+    for (bi, &free_col) in free_cols.iter().enumerate() {
+        // The basis vector corresponding to a free column has a 1 in that
+        // position; pivot variables are back-filled from the RREF rows.
+        basis[(free_col, bi)] = 1.0;
+        for (row, &pivot_col) in pivot_cols.iter().enumerate() {
+            // RREF row `row` reads: x[pivot_col] + sum_j rref[row, j] x[j] = 0
+            // over non-pivot columns j, so x[pivot_col] = -rref[row, free_col].
+            basis[(pivot_col, bi)] = -r.rref[(row, free_col)];
+        }
+    }
+    basis
+}
+
+/// Returns the nullity (dimension of the null space) of `a`.
+pub fn nullity(a: &Matrix) -> usize {
+    if a.rows() == 0 {
+        return a.cols();
+    }
+    a.cols() - rref_with_tol(a, DEFAULT_TOL).rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss::rank;
+
+    fn assert_annihilates(a: &Matrix, ns: &Matrix) {
+        if ns.cols() == 0 {
+            return;
+        }
+        let prod = a.matmul(ns);
+        assert!(
+            prod.max_abs() < 1e-8,
+            "A * nullspace(A) should be zero, got max abs {}",
+            prod.max_abs()
+        );
+    }
+
+    #[test]
+    fn full_rank_matrix_has_empty_nullspace() {
+        let a = Matrix::identity(3);
+        let ns = nullspace(&a);
+        assert_eq!(ns.shape(), (3, 0));
+        assert_eq!(nullity(&a), 0);
+    }
+
+    #[test]
+    fn nullspace_dimension_matches_rank_nullity_theorem() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+        ]);
+        let ns = nullspace(&a);
+        assert_eq!(ns.cols(), a.cols() - rank(&a));
+        assert_annihilates(&a, &ns);
+    }
+
+    #[test]
+    fn nullspace_of_zero_rows_is_identity() {
+        let a = Matrix::zeros(0, 4);
+        let ns = nullspace(&a);
+        assert!(ns.approx_eq(&Matrix::identity(4), 0.0));
+    }
+
+    #[test]
+    fn nullspace_vectors_are_independent() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 1.0]]);
+        let ns = nullspace(&a);
+        assert_eq!(ns.cols(), 2);
+        assert_annihilates(&a, &ns);
+        // The two basis vectors must themselves be linearly independent.
+        assert_eq!(rank(&ns.transpose()), 2);
+    }
+
+    #[test]
+    fn binary_system_example_from_paper_shape() {
+        // Matrix(P̂, Ê) example from §5.2 of the paper:
+        //   [1 1 0 0 0]
+        //   [1 0 0 0 1]
+        // has 5 unknowns and rank 2, so nullity 3.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0],
+        ]);
+        let ns = nullspace(&a);
+        assert_eq!(ns.cols(), 3);
+        assert_annihilates(&a, &ns);
+    }
+}

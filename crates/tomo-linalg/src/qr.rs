@@ -1,0 +1,257 @@
+//! Householder QR decomposition.
+//!
+//! Used by the least-squares solver ([`crate::lstsq`]) for well-conditioned
+//! overdetermined systems, and exposed publicly because the paper (§5.3)
+//! mentions QR factorization as one of the standard ways to obtain the
+//! initial null space of the system matrix.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::DEFAULT_TOL;
+
+/// The result of a (full) Householder QR decomposition `A = Q * R` with `Q`
+/// orthogonal (`m x m`) and `R` upper trapezoidal (`m x n`).
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Orthogonal factor, `m x m`.
+    pub q: Matrix,
+    /// Upper-trapezoidal factor, `m x n`.
+    pub r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Numerical rank of `R` (number of diagonal entries above `tol`).
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.r.rows().min(self.r.cols());
+        (0..n).filter(|&i| self.r[(i, i)].abs() > tol).count()
+    }
+
+    /// Reconstructs `Q * R`; useful for testing.
+    pub fn reconstruct(&self) -> Matrix {
+        self.q.matmul(&self.r)
+    }
+}
+
+/// Computes the Householder QR decomposition of `a`.
+pub fn qr_decompose(a: &Matrix) -> QrDecomposition {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Build the Householder reflector for column k, rows k..m.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r[(i, k)] * r[(i, k)];
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x <= DEFAULT_TOL {
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+        // v = x - alpha * e1
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq <= DEFAULT_TOL * DEFAULT_TOL {
+            continue;
+        }
+
+        // Apply the reflector H = I - 2 v vᵀ / (vᵀ v) to R (rows k..m).
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let scale = 2.0 * dot / v_norm_sq;
+            for i in k..m {
+                r[(i, j)] -= scale * v[i - k];
+            }
+        }
+        // Accumulate Q = Q * H (apply H to the columns of Q on the right).
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q[(i, j)] * v[j - k];
+            }
+            let scale = 2.0 * dot / v_norm_sq;
+            for j in k..m {
+                q[(i, j)] -= scale * v[j - k];
+            }
+        }
+    }
+
+    // Zero out the strictly-lower triangle residue of R.
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            if r[(i, j)].abs() <= 1e-12 {
+                r[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    QrDecomposition { q, r }
+}
+
+/// Solves the least-squares problem `min_x || A x - b ||_2` via QR, assuming
+/// `A` has full column rank. Returns `None` if `A` is rank deficient (the
+/// caller should fall back to a regularized solver).
+///
+/// Unlike [`qr_decompose`], this routine never materializes the orthogonal
+/// factor: the Householder reflectors are applied directly to a working copy
+/// of `[A | b]`, which keeps the cost at `O(m n^2)` instead of `O(m^2 n)` —
+/// the difference between seconds and minutes on the thousands-of-unknowns
+/// systems the sparse-topology experiments produce.
+pub fn qr_least_squares(a: &Matrix, b: &Vector, tol: f64) -> Option<Vector> {
+    let (m, n) = a.shape();
+    if b.len() != m || m < n {
+        return None;
+    }
+    // Working copies: R starts as A, rhs starts as b; both get the same
+    // sequence of reflectors applied.
+    let mut r = a.clone();
+    let mut rhs = b.clone();
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r[(i, k)] * r[(i, k)];
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x <= tol {
+            return None; // structurally rank deficient column
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq <= tol * tol {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀ v) to the remaining columns of R…
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let scale = 2.0 * dot / v_norm_sq;
+            if scale != 0.0 {
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i - k];
+                }
+            }
+        }
+        // …and to the right-hand side.
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * rhs[i];
+        }
+        let scale = 2.0 * dot / v_norm_sq;
+        for i in k..m {
+            rhs[i] -= scale * v[i - k];
+        }
+    }
+
+    // Back substitution on the triangular factor.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let d = r[(i, i)];
+        if d.abs() <= tol {
+            return None;
+        }
+        let mut s = rhs[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        x[i] = s / d;
+    }
+    Some(Vector::from_vec(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_orthogonal(q: &Matrix, tol: f64) -> bool {
+        let qtq = q.transpose().matmul(q);
+        qtq.approx_eq(&Matrix::identity(q.rows()), tol)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let qr = qr_decompose(&a);
+        assert!(qr.reconstruct().approx_eq(&a, 1e-9));
+        assert!(is_orthogonal(&qr.q, 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 3.0],
+            vec![4.0, 1.0, 0.0],
+            vec![-2.0, 5.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let qr = qr_decompose(&a);
+        for i in 0..qr.r.rows() {
+            for j in 0..qr.r.cols().min(i) {
+                assert!(qr.r[(i, j)].abs() < 1e-9, "R[{i},{j}] not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rank_detects_deficiency() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let qr = qr_decompose(&a);
+        assert_eq!(qr.rank(1e-9), 1);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined but consistent: y = 2x + 1 sampled at x = 0,1,2.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]]);
+        let b = Vector::from_slice(&[1.0, 3.0, 5.0]);
+        let x = qr_least_squares(&a, &b, 1e-9).expect("full rank");
+        assert!(x.approx_eq(&Vector::from_slice(&[2.0, 1.0]), 1e-9));
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system; check optimality via the normal equations:
+        // Aᵀ (A x - b) should be ~ 0 at the minimizer.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let b = Vector::from_slice(&[0.0, 1.1, 1.9, 3.2]);
+        let x = qr_least_squares(&a, &b, 1e-9).expect("full rank");
+        let residual = &a.matvec(&x) - &b;
+        let grad = a.transpose().matvec(&residual);
+        assert!(grad.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(qr_least_squares(&a, &b, 1e-9).is_none());
+    }
+}

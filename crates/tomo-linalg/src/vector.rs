@@ -1,0 +1,224 @@
+//! Dense `f64` vector with the small set of operations the tomography
+//! algorithms need (dot products, norms, element-wise arithmetic).
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Sub};
+
+/// A dense vector of `f64` values.
+#[derive(Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector from a slice.
+    pub fn from_slice(s: &[f64]) -> Self {
+        Self { data: s.to_vec() }
+    }
+
+    /// Creates a vector by taking ownership of a `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a vector from an iterator of values.
+    pub fn from_iter(it: impl IntoIterator<Item = f64>) -> Self {
+        Self {
+            data: it.into_iter().collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the elements as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Maximum absolute element; `0.0` for an empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns a copy with every element multiplied by `s`.
+    pub fn scaled(&self, s: f64) -> Vector {
+        let mut v = self.clone();
+        v.scale_in_place(s);
+        v
+    }
+
+    /// Adds `s * other` to `self` in place (an "axpy" update).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, s: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Element-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.data.iter()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "add length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a + b))
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "sub length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a - b))
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        assert_eq!(Vector::zeros(4).len(), 4);
+        assert_eq!(Vector::from_slice(&[1.0, 2.0]).as_slice(), &[1.0, 2.0]);
+        assert!(Vector::default().is_empty());
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from_slice(&[3.0, 4.0]);
+        let b = Vector::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.dot(&b), -1.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(b.norm_inf(), 1.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn elementwise_operators() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.scaled(-2.0).as_slice(), &[-2.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

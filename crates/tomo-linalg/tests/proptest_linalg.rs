@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These exercise the invariants the tomography algorithms rely on:
+//! rank/nullity consistency, null-space correctness, QR orthogonality and
+//! reconstruction, least-squares optimality, and agreement between the
+//! incremental null-space update (Algorithm 2) and batch recomputation.
+
+use proptest::prelude::*;
+use tomo_linalg::{
+    gauss, least_squares, lstsq::LstsqOptions, nullspace, nullspace_update, qr_decompose, Matrix,
+    Vector,
+};
+
+/// Strategy: a small dense matrix with entries in [-5, 5].
+fn small_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f64..5.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a small binary matrix (like the tomography incidence matrices).
+fn binary_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0f64)], r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_is_at_most_min_dimension(m in small_matrix(6, 6)) {
+        let r = gauss::rank(&m);
+        prop_assert!(r <= m.rows().min(m.cols()));
+    }
+
+    #[test]
+    fn rank_of_transpose_matches(m in small_matrix(6, 6)) {
+        prop_assert_eq!(gauss::rank(&m), gauss::rank(&m.transpose()));
+    }
+
+    #[test]
+    fn nullspace_is_annihilated(m in binary_matrix(8, 8)) {
+        let ns = nullspace(&m);
+        prop_assert_eq!(ns.cols(), m.cols() - gauss::rank(&m));
+        if ns.cols() > 0 {
+            prop_assert!(m.matmul(&ns).max_abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal(m in small_matrix(6, 5)) {
+        let qr = qr_decompose(&m);
+        prop_assert!(qr.reconstruct().approx_eq(&m, 1e-7));
+        let qtq = qr.q.transpose().matmul(&qr.q);
+        prop_assert!(qtq.approx_eq(&Matrix::identity(m.rows()), 1e-7));
+    }
+
+    #[test]
+    fn least_squares_gradient_vanishes_on_full_rank(
+        m in small_matrix(7, 4),
+        bdata in proptest::collection::vec(-5.0f64..5.0, 7),
+    ) {
+        prop_assume!(m.rows() >= m.cols());
+        prop_assume!(gauss::rank(&m) == m.cols());
+        let b = Vector::from_slice(&bdata[..m.rows()]);
+        let sol = least_squares(&m, &b, &LstsqOptions::default());
+        if !sol.used_ridge_fallback {
+            let residual = &m.matvec(&sol.x) - &b;
+            let grad = m.transpose().matvec(&residual);
+            prop_assert!(grad.norm_inf() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_batch(
+        base in binary_matrix(5, 7),
+        row in proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0f64)], 7),
+    ) {
+        prop_assume!(base.cols() == 7);
+        let n0 = nullspace(&base);
+        let upd = nullspace_update(&n0, &row);
+        let mut aug = base.clone();
+        aug.push_row(&row);
+        let batch = nullspace(&aug);
+        // Dimensions agree...
+        prop_assert_eq!(upd.clone().into_basis().cols(), batch.cols());
+        // ...and the incremental basis is annihilated by the augmented matrix.
+        let nb = upd.into_basis();
+        if nb.cols() > 0 {
+            prop_assert!(aug.matmul(&nb).max_abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in small_matrix(4, 3),
+        bdata in proptest::collection::vec(-3.0f64..3.0, 3 * 4),
+        cdata in proptest::collection::vec(-3.0f64..3.0, 4 * 2),
+    ) {
+        prop_assume!(a.cols() == 3);
+        let b = Matrix::from_vec(3, 4, bdata);
+        let c = Matrix::from_vec(4, 2, cdata);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-7));
+    }
+
+    #[test]
+    fn solve_square_solution_satisfies_system(
+        data in proptest::collection::vec(-4.0f64..4.0, 16),
+        bdata in proptest::collection::vec(-4.0f64..4.0, 4),
+    ) {
+        let a = Matrix::from_vec(4, 4, data);
+        let b = Vector::from_slice(&bdata);
+        if let Some(x) = gauss::solve_square(&a, &b) {
+            let ax = a.matvec(&x);
+            prop_assert!(ax.approx_eq(&b, 1e-5));
+        }
+    }
+}

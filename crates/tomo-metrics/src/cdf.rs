@@ -1,0 +1,115 @@
+//! Empirical cumulative distribution functions (used for Fig. 4(c)).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite set of values.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF of the given values.
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.total_cmp(b));
+        Self { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: the fraction of samples ≤ `x`. Returns 0 for an empty CDF.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // Number of samples <= x via binary search for the first sample > x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `x` with `F(x) >= q` (the `q`-quantile). Returns
+    /// `None` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// Samples the CDF at `points` evenly spaced x values between `min` and
+    /// `max`, returning `(x, F(x))` pairs — convenient for printing a figure
+    /// series.
+    pub fn series(&self, min: f64, max: f64, points: usize) -> Vec<(f64, f64)> {
+        if points == 0 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let x = if points == 1 {
+                    min
+                } else {
+                    min + (max - min) * i as f64 / (points - 1) as f64
+                };
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_cdf_queries() {
+        let cdf = Cdf::from_values(vec![0.3, 0.1, 0.2, 0.4]);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.at(0.05) - 0.0).abs() < 1e-12);
+        assert!((cdf.at(0.1) - 0.25).abs() < 1e-12);
+        assert!((cdf.at(0.25) - 0.5).abs() < 1e-12);
+        assert!((cdf.at(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Cdf::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.quantile(0.25), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+        assert_eq!(Cdf::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = Cdf::from_values(vec![0.05, 0.3, 0.3, 0.9]);
+        let series = cdf.series(0.0, 1.0, 11);
+        assert_eq!(series.len(), 11);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::default();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert!(cdf.series(0.0, 1.0, 3).iter().all(|&(_, y)| y == 0.0));
+    }
+}

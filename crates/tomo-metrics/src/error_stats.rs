@@ -1,0 +1,143 @@
+//! Absolute-error statistics for Probability Computation (Fig. 4 of the
+//! paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of `|actual - estimated|` over a list of (actual, estimated) pairs.
+/// Returns 0.0 for an empty list.
+pub fn mean_absolute_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(a, e)| (a - e).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Summary statistics of a set of absolute errors.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AbsoluteErrorStats {
+    errors: Vec<f64>,
+}
+
+impl AbsoluteErrorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one (actual, estimated) observation.
+    pub fn add(&mut self, actual: f64, estimated: f64) {
+        self.errors.push((actual - estimated).abs());
+    }
+
+    /// Adds a pre-computed absolute error.
+    pub fn add_error(&mut self, error: f64) {
+        self.errors.push(error.abs());
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Returns `true` when no observation was added.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Mean absolute error (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Maximum absolute error (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.errors.iter().fold(0.0_f64, |a, &b| a.max(b))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the absolute errors, by linear
+    /// interpolation between order statistics. 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.errors.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// The fraction of observations with error at most `threshold`.
+    pub fn fraction_within(&self, threshold: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 1.0;
+        }
+        self.errors.iter().filter(|&&e| e <= threshold).count() as f64 / self.errors.len() as f64
+    }
+
+    /// The raw errors (unsorted).
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// Builds the CDF of the absolute errors (for Fig. 4(c)).
+    pub fn cdf(&self) -> crate::cdf::Cdf {
+        crate::cdf::Cdf::from_values(self.errors.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_absolute_error_of_pairs() {
+        let pairs = vec![(0.5, 0.4), (0.2, 0.5), (1.0, 1.0)];
+        assert!((mean_absolute_error(&pairs) - (0.1 + 0.3 + 0.0) / 3.0).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = AbsoluteErrorStats::new();
+        s.add(0.5, 0.4);
+        s.add(0.2, 0.6);
+        s.add_error(-0.3);
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - (0.1 + 0.4 + 0.3) / 3.0).abs() < 1e-12);
+        assert!((s.max() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_and_fractions() {
+        let mut s = AbsoluteErrorStats::new();
+        for e in [0.0, 0.1, 0.2, 0.3, 0.4] {
+            s.add_error(e);
+        }
+        assert!((s.quantile(0.0) - 0.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 0.4).abs() < 1e-12);
+        assert!((s.quantile(0.5) - 0.2).abs() < 1e-12);
+        assert!((s.fraction_within(0.15) - 0.4).abs() < 1e-12);
+        assert!((s.fraction_within(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = AbsoluteErrorStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.fraction_within(0.1), 1.0);
+    }
+}

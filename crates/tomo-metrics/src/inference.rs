@@ -1,0 +1,164 @@
+//! Detection-rate and false-positive-rate metrics for Boolean Inference
+//! (the metrics of §3.2 of the paper).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::LinkId;
+
+/// The score of one interval.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalScore {
+    /// Fraction of actually-congested links that were inferred as congested.
+    /// `None` when no link was actually congested (the interval carries no
+    /// detection information).
+    pub detection_rate: Option<f64>,
+    /// Fraction of inferred-congested links that were actually good. `None`
+    /// when the algorithm inferred no congested link.
+    pub false_positive_rate: Option<f64>,
+    /// Number of actually congested links.
+    pub num_congested: usize,
+    /// Number of links inferred as congested.
+    pub num_inferred: usize,
+}
+
+/// Computes the per-interval detection and false-positive rates.
+pub fn detection_and_false_positive(inferred: &[LinkId], actual: &[LinkId]) -> IntervalScore {
+    let inferred_set: BTreeSet<LinkId> = inferred.iter().copied().collect();
+    let actual_set: BTreeSet<LinkId> = actual.iter().copied().collect();
+    let true_positives = inferred_set.intersection(&actual_set).count();
+    let detection_rate = if actual_set.is_empty() {
+        None
+    } else {
+        Some(true_positives as f64 / actual_set.len() as f64)
+    };
+    let false_positive_rate = if inferred_set.is_empty() {
+        None
+    } else {
+        Some((inferred_set.len() - true_positives) as f64 / inferred_set.len() as f64)
+    };
+    IntervalScore {
+        detection_rate,
+        false_positive_rate,
+        num_congested: actual_set.len(),
+        num_inferred: inferred_set.len(),
+    }
+}
+
+/// Aggregate score of an inference algorithm over an experiment: the average
+/// of the per-interval rates, as in Fig. 3 of the paper ("each detection rate
+/// and false-positive rate we show is an average over 1000 time intervals").
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InferenceScore {
+    detection_sum: f64,
+    detection_count: usize,
+    false_positive_sum: f64,
+    false_positive_count: usize,
+    intervals: usize,
+}
+
+impl InferenceScore {
+    /// Creates an empty score accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval's score.
+    pub fn add(&mut self, score: IntervalScore) {
+        self.intervals += 1;
+        if let Some(d) = score.detection_rate {
+            self.detection_sum += d;
+            self.detection_count += 1;
+        }
+        if let Some(f) = score.false_positive_rate {
+            self.false_positive_sum += f;
+            self.false_positive_count += 1;
+        }
+    }
+
+    /// Convenience: scores one interval from the raw link sets and adds it.
+    pub fn add_interval(&mut self, inferred: &[LinkId], actual: &[LinkId]) {
+        self.add(detection_and_false_positive(inferred, actual));
+    }
+
+    /// Average detection rate over the intervals that had at least one
+    /// congested link.
+    pub fn detection_rate(&self) -> f64 {
+        if self.detection_count == 0 {
+            return 1.0;
+        }
+        self.detection_sum / self.detection_count as f64
+    }
+
+    /// Average false-positive rate over the intervals in which the algorithm
+    /// inferred at least one congested link.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.false_positive_count == 0 {
+            return 0.0;
+        }
+        self.false_positive_sum / self.false_positive_count as f64
+    }
+
+    /// Number of intervals accumulated.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_inference() {
+        let s = detection_and_false_positive(&[LinkId(1), LinkId(2)], &[LinkId(1), LinkId(2)]);
+        assert_eq!(s.detection_rate, Some(1.0));
+        assert_eq!(s.false_positive_rate, Some(0.0));
+    }
+
+    #[test]
+    fn partial_detection_with_false_positive() {
+        // Truth {1,2}; inferred {1,3}: detection 0.5, false positives 0.5.
+        let s = detection_and_false_positive(&[LinkId(1), LinkId(3)], &[LinkId(1), LinkId(2)]);
+        assert_eq!(s.detection_rate, Some(0.5));
+        assert_eq!(s.false_positive_rate, Some(0.5));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = detection_and_false_positive(&[], &[LinkId(1)]);
+        assert_eq!(s.detection_rate, Some(0.0));
+        assert_eq!(s.false_positive_rate, None);
+
+        let s = detection_and_false_positive(&[LinkId(1)], &[]);
+        assert_eq!(s.detection_rate, None);
+        assert_eq!(s.false_positive_rate, Some(1.0));
+
+        let s = detection_and_false_positive(&[], &[]);
+        assert_eq!(s.detection_rate, None);
+        assert_eq!(s.false_positive_rate, None);
+    }
+
+    #[test]
+    fn aggregation_averages_over_informative_intervals() {
+        let mut agg = InferenceScore::new();
+        agg.add_interval(&[LinkId(0)], &[LinkId(0)]); // DR 1, FPR 0
+        agg.add_interval(&[LinkId(0), LinkId(1)], &[LinkId(0), LinkId(2)]); // DR 0.5, FPR 0.5
+        agg.add_interval(&[], &[]); // uninformative
+        assert_eq!(agg.num_intervals(), 3);
+        assert!((agg.detection_rate() - 0.75).abs() < 1e-12);
+        assert!((agg.false_positive_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_in_input_are_ignored() {
+        let s = detection_and_false_positive(
+            &[LinkId(1), LinkId(1), LinkId(2)],
+            &[LinkId(1), LinkId(2), LinkId(2)],
+        );
+        assert_eq!(s.detection_rate, Some(1.0));
+        assert_eq!(s.false_positive_rate, Some(0.0));
+        assert_eq!(s.num_congested, 2);
+        assert_eq!(s.num_inferred, 2);
+    }
+}

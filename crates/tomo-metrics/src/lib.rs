@@ -1,0 +1,22 @@
+//! Evaluation metrics used by the paper.
+//!
+//! * For **Boolean Inference** (Fig. 3): per-interval *detection rate* (the
+//!   fraction of congested links correctly identified as congested) and
+//!   *false-positive rate* (the fraction of links incorrectly identified as
+//!   congested out of all links inferred as congested), averaged over the
+//!   intervals of an experiment.
+//! * For **Probability Computation** (Fig. 4): the *absolute error* between
+//!   the actual congestion probability of a link (or set of links) and the
+//!   inferred one — its mean over the potentially congested links, and its
+//!   CDF.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod error_stats;
+pub mod inference;
+
+pub use cdf::Cdf;
+pub use error_stats::{mean_absolute_error, AbsoluteErrorStats};
+pub use inference::{detection_and_false_positive, InferenceScore, IntervalScore};

@@ -1,0 +1,187 @@
+//! Algorithm metadata: the assumptions, conditions and approximations each
+//! algorithm relies on — the rows of Table 2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The sources of inaccuracy of a tomography algorithm (Table 2).
+///
+/// `true` means the algorithm relies on the corresponding assumption /
+/// condition / approximation and can therefore be wrong when it does not
+/// hold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlgorithmAssumptions {
+    /// Assumption 1: a path is good iff all its links are good.
+    pub separability: bool,
+    /// Assumption 2: end-to-end measurements reveal whether a path is good.
+    pub e2e_monitoring: bool,
+    /// Assumption 3: all links are equally likely to be congested.
+    pub homogeneity: bool,
+    /// Assumption 4: all links are independent.
+    pub independence: bool,
+    /// Assumption 5: links are grouped into known correlation sets.
+    pub correlation_sets: bool,
+    /// Condition 1: no two links are traversed by the same paths.
+    pub identifiability: bool,
+    /// Condition 2: no two correlation subsets are traversed by the same
+    /// paths.
+    pub identifiability_pp: bool,
+    /// The algorithm additionally relies on an approximation or heuristic
+    /// (e.g. an approximate MAP solver, or approximating a random variable by
+    /// its expected value).
+    pub other_approximation: bool,
+}
+
+impl AlgorithmAssumptions {
+    /// The assumption set of the *Sparsity* Boolean-Inference algorithm.
+    pub fn sparsity() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            homogeneity: true,
+            identifiability: true,
+            other_approximation: true,
+            ..Self::default()
+        }
+    }
+
+    /// The assumption set of *Bayesian-Independence* (CLINK).
+    pub fn bayesian_independence() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            independence: true,
+            identifiability: true,
+            other_approximation: true,
+            ..Self::default()
+        }
+    }
+
+    /// The assumption set of *Bayesian-Correlation*.
+    pub fn bayesian_correlation() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            correlation_sets: true,
+            identifiability: true,
+            identifiability_pp: true,
+            other_approximation: true,
+            ..Self::default()
+        }
+    }
+
+    /// The assumption set of the *Independence* Probability-Computation
+    /// algorithm (CLINK's first step).
+    pub fn independence_step() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            independence: true,
+            identifiability: true,
+            ..Self::default()
+        }
+    }
+
+    /// The assumption set of the *Correlation-heuristic* Probability-
+    /// Computation algorithm (IMC 2010).
+    pub fn correlation_heuristic() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            correlation_sets: true,
+            identifiability_pp: true,
+            other_approximation: true,
+            ..Self::default()
+        }
+    }
+
+    /// The assumption set of *Correlation-complete* (this paper, §5).
+    pub fn correlation_complete() -> Self {
+        Self {
+            separability: true,
+            e2e_monitoring: true,
+            correlation_sets: true,
+            identifiability_pp: true,
+            ..Self::default()
+        }
+    }
+
+    /// Number of assumptions/conditions/approximations relied upon.
+    pub fn count(&self) -> usize {
+        [
+            self.separability,
+            self.e2e_monitoring,
+            self.homogeneity,
+            self.independence,
+            self.correlation_sets,
+            self.identifiability,
+            self.identifiability_pp,
+            self.other_approximation,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+
+    /// Row labels in the order of Table 2, paired with whether this
+    /// algorithm relies on them.
+    pub fn rows(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            ("Separability", self.separability),
+            ("E2E Monitoring", self.e2e_monitoring),
+            ("Homogeneity", self.homogeneity),
+            ("Independence", self.independence),
+            ("Correlation Sets", self.correlation_sets),
+            ("Identifiability", self.identifiability),
+            ("Identifiability++", self.identifiability_pp),
+            ("Other approx./heuristic", self.other_approximation),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_assumes_separability_and_e2e() {
+        for a in [
+            AlgorithmAssumptions::sparsity(),
+            AlgorithmAssumptions::bayesian_independence(),
+            AlgorithmAssumptions::bayesian_correlation(),
+            AlgorithmAssumptions::independence_step(),
+            AlgorithmAssumptions::correlation_heuristic(),
+            AlgorithmAssumptions::correlation_complete(),
+        ] {
+            assert!(a.separability);
+            assert!(a.e2e_monitoring);
+        }
+    }
+
+    #[test]
+    fn only_sparsity_assumes_homogeneity() {
+        assert!(AlgorithmAssumptions::sparsity().homogeneity);
+        assert!(!AlgorithmAssumptions::bayesian_independence().homogeneity);
+        assert!(!AlgorithmAssumptions::correlation_complete().homogeneity);
+    }
+
+    #[test]
+    fn correlation_complete_has_the_weakest_assumption_set() {
+        // §4: our algorithm assumes Separability, E2E Monitoring and
+        // Correlation Sets, and needs no NP-complete step or expected-value
+        // approximation.
+        let ours = AlgorithmAssumptions::correlation_complete();
+        assert!(!ours.independence);
+        assert!(!ours.homogeneity);
+        assert!(!ours.other_approximation);
+        assert!(ours.count() <= AlgorithmAssumptions::bayesian_correlation().count());
+        assert!(ours.count() < AlgorithmAssumptions::correlation_heuristic().count());
+    }
+
+    #[test]
+    fn rows_cover_all_of_table2() {
+        let rows = AlgorithmAssumptions::sparsity().rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].0, "Separability");
+        assert_eq!(rows[7].0, "Other approx./heuristic");
+    }
+}

@@ -1,0 +1,291 @@
+//! *Correlation-complete* — the paper's Probability Computation algorithm
+//! (§5.3, Algorithms 1 and 2).
+//!
+//! Pipeline:
+//!
+//! 1. determine the always-good links and the potentially congested
+//!    correlation subsets (the targets), capped at a configurable subset
+//!    size (§4: "we can configure our algorithm to compute only the
+//!    congestion probability of each set of one, two, or three links");
+//! 2. run Algorithm 1 to select a small list of path sets whose equations
+//!    pin down as many targets as possible, maintaining the null space
+//!    incrementally with Algorithm 2;
+//! 3. assemble the log-linear system of Eq. (1) over those path sets and
+//!    solve it by least squares;
+//! 4. report the good-probability of every target subset together with its
+//!    identifiability, and the per-link congestion probabilities.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{LinkId, Network};
+use tomo_linalg::LstsqOptions;
+use tomo_sim::PathObservations;
+
+use crate::assumptions::AlgorithmAssumptions;
+use crate::estimator::{EstimatorConfig, PathSetEstimator};
+use crate::path_selection::{select_path_sets, PathSelectionConfig};
+use crate::result::{EstimateDiagnostics, ProbabilityEstimate};
+use crate::subsets::{potentially_congested_links, potentially_congested_subsets};
+use crate::system::EquationSystem;
+use crate::ProbabilityComputation;
+
+/// Configuration of [`CorrelationComplete`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CorrelationCompleteConfig {
+    /// Maximum size of the correlation subsets whose probability is computed
+    /// (the §4 resource knob). 2 by default: individual links plus pairs.
+    pub max_subset_size: usize,
+    /// When `true`, multi-link target subsets are restricted to sets of links
+    /// that are jointly traversed by at least one path. This is an additional
+    /// resource knob that keeps the number of unknowns proportional to the
+    /// topology inside very large ASes, at the cost of slightly optimistic
+    /// identifiability flags (subsets outside the target list are treated as
+    /// auxiliary unknowns). Disabled by default, faithfully following the
+    /// paper's definition of `Ê`.
+    pub require_common_path: bool,
+    /// Path-set selection (Algorithm 1) configuration.
+    pub selection: PathSelectionConfig,
+    /// Empirical estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// Ridge regularization used when the final system is rank deficient.
+    pub ridge: f64,
+}
+
+impl Default for CorrelationCompleteConfig {
+    fn default() -> Self {
+        Self {
+            max_subset_size: 2,
+            require_common_path: false,
+            selection: PathSelectionConfig::default(),
+            estimator: EstimatorConfig::default(),
+            ridge: 1e-8,
+        }
+    }
+}
+
+/// The paper's Probability Computation algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct CorrelationComplete {
+    config: CorrelationCompleteConfig,
+}
+
+impl CorrelationComplete {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: CorrelationCompleteConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates the algorithm with a custom subset-size cap and defaults
+    /// elsewhere.
+    pub fn with_max_subset_size(max_subset_size: usize) -> Self {
+        Self::new(CorrelationCompleteConfig {
+            max_subset_size,
+            ..CorrelationCompleteConfig::default()
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CorrelationCompleteConfig {
+        &self.config
+    }
+}
+
+impl ProbabilityComputation for CorrelationComplete {
+    fn name(&self) -> &'static str {
+        "Correlation-complete"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::correlation_complete()
+    }
+
+    fn compute(&self, network: &Network, observations: &PathObservations) -> ProbabilityEstimate {
+        let cfg = &self.config;
+        let mut estimate = ProbabilityEstimate::new(self.name(), network.num_links());
+
+        // --- Targets ---------------------------------------------------------
+        let pc_links: BTreeSet<LinkId> = potentially_congested_links(network, observations)
+            .into_iter()
+            .collect();
+        let mut targets =
+            potentially_congested_subsets(network, observations, cfg.max_subset_size);
+        if cfg.require_common_path {
+            targets.retain(|s| {
+                if s.len() <= 1 {
+                    return true;
+                }
+                // Keep the subset only if some path traverses all its links.
+                let links = s.links_vec();
+                let first = links[0];
+                network
+                    .paths_through_link(first)
+                    .iter()
+                    .any(|&p| links.iter().all(|&l| network.path(p).traverses(l)))
+            });
+        }
+        let total_targets = targets.len();
+        if total_targets == 0 {
+            // Nothing was ever congested: every link has probability 0, which
+            // is exactly what the empty estimate reports.
+            estimate.diagnostics = EstimateDiagnostics {
+                total_targets: 0,
+                ..EstimateDiagnostics::default()
+            };
+            // Links on always-good paths are identifiable zeros.
+            for l in network.link_ids() {
+                if !network.paths_through_link(l).is_empty() {
+                    estimate.set_link(l, 0.0, true);
+                }
+            }
+            return estimate;
+        }
+
+        // --- Algorithm 1: path-set selection ---------------------------------
+        let selection = select_path_sets(
+            network,
+            observations,
+            &targets,
+            &pc_links,
+            &cfg.selection,
+        );
+
+        // --- Assemble and solve the system ------------------------------------
+        let estimator = PathSetEstimator::new(observations, cfg.estimator.clone());
+        let mut system = EquationSystem::new(targets.clone());
+        for ps in &selection.path_sets {
+            system.add_path_set(network, &estimator, &pc_links, ps);
+        }
+        let opts = LstsqOptions {
+            ridge: cfg.ridge,
+            compute_identifiability: false,
+            ..LstsqOptions::default()
+        };
+        let solved = system.solve(&opts);
+
+        // --- Report ------------------------------------------------------------
+        for (i, subset) in targets.iter().enumerate() {
+            let col = system
+                .index()
+                .index_of(subset)
+                .expect("targets are always indexed");
+            let good = solved.good_probability[col];
+            let identifiable = selection.identifiable.get(i).copied().unwrap_or(false);
+            estimate.set_subset_good(subset.links.iter().copied(), good, identifiable);
+        }
+        // Links that are not potentially congested are known good.
+        for l in network.link_ids() {
+            if !pc_links.contains(&l) && !network.paths_through_link(l).is_empty() {
+                estimate.set_link(l, 0.0, true);
+            }
+        }
+
+        estimate.diagnostics = EstimateDiagnostics {
+            num_equations: system.num_equations(),
+            num_unknowns: system.index().len(),
+            rank: total_targets - selection.final_nullity,
+            identifiable_targets: selection.identifiable_count(),
+            total_targets,
+        };
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy::{fig1_case1, fig1_case2, E1, E2, E3, E4};
+    use tomo_graph::PathId;
+
+    /// Builds deterministic observations on the Fig. 1 topology where e1 is
+    /// congested 20% of the time, {e2,e3} are perfectly correlated and
+    /// congested 40% of the time, and e4 is always good.
+    fn toy_observations(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            // The two schedules are independent of each other (periods 25 and
+            // 5 interleave uniformly), as required by the Correlation-Sets
+            // assumption for links of different correlation sets.
+            let e1_bad = ti % 25 < 5; // 20%
+            let e23_bad = ti % 5 < 2; // 40%
+            obs.set_congested(PathId(0), ti, e1_bad || e23_bad); // p1 = {e1,e2}
+            obs.set_congested(PathId(1), ti, e1_bad || e23_bad); // p2 = {e1,e3}
+            obs.set_congested(PathId(2), ti, e23_bad); // p3 = {e4,e3}
+        }
+        obs
+    }
+
+    #[test]
+    fn recovers_toy_probabilities_case1() {
+        let net = fig1_case1();
+        let obs = toy_observations(1000);
+        let algo = CorrelationComplete::with_max_subset_size(2);
+        let est = algo.compute(&net, &obs);
+
+        assert!((est.link_congestion_probability(E1) - 0.2).abs() < 0.05);
+        assert!((est.link_congestion_probability(E2) - 0.4).abs() < 0.05);
+        assert!((est.link_congestion_probability(E3) - 0.4).abs() < 0.05);
+        assert!(est.link_congestion_probability(E4) < 0.05);
+        // The pair {e2,e3} is perfectly correlated: P(both congested) = 0.4.
+        let joint = est
+            .subset_congestion_probability(&[E2, E3])
+            .expect("pair is a target");
+        assert!((joint - 0.4).abs() < 0.05, "joint = {joint}");
+        // Identifiability++ holds in Case 1: everything identifiable.
+        assert!(est.link_is_identifiable(E1));
+        assert!(est.subset_is_identifiable(&[E2, E3]));
+        assert_eq!(
+            est.diagnostics.identifiable_targets,
+            est.diagnostics.total_targets
+        );
+    }
+
+    #[test]
+    fn flags_unidentifiable_subsets_in_case2() {
+        let net = fig1_case2();
+        let obs = toy_observations(1000);
+        let algo = CorrelationComplete::with_max_subset_size(2);
+        let est = algo.compute(&net, &obs);
+        // Identifiability++ fails: not all targets are identifiable, and the
+        // algorithm must say so rather than silently guessing.
+        assert!(est.diagnostics.identifiable_targets < est.diagnostics.total_targets);
+    }
+
+    #[test]
+    fn all_good_observations_yield_zero_probabilities() {
+        let net = fig1_case1();
+        let obs = PathObservations::new(3, 50);
+        let algo = CorrelationComplete::default();
+        let est = algo.compute(&net, &obs);
+        for l in [E1, E2, E3, E4] {
+            assert_eq!(est.link_congestion_probability(l), 0.0);
+            assert!(est.link_is_identifiable(l));
+        }
+        assert_eq!(est.diagnostics.total_targets, 0);
+    }
+
+    #[test]
+    fn assumptions_match_table2() {
+        let algo = CorrelationComplete::default();
+        let a = algo.assumptions();
+        assert!(a.correlation_sets);
+        assert!(!a.independence);
+        assert!(!a.homogeneity);
+        assert!(!a.other_approximation);
+        assert_eq!(algo.name(), "Correlation-complete");
+    }
+
+    #[test]
+    fn probabilities_are_valid_probabilities() {
+        let net = fig1_case1();
+        let obs = toy_observations(200);
+        let est = CorrelationComplete::default().compute(&net, &obs);
+        for l in net.link_ids() {
+            let p = est.link_congestion_probability(l);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for (_, g) in est.estimated_subsets() {
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+}

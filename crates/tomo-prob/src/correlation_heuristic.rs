@@ -1,0 +1,211 @@
+//! *Correlation-heuristic* — the earlier heuristic of Ghita et al.
+//! (IMC 2010), used as a baseline in §5.4 of the paper.
+//!
+//! Like Correlation-complete it works under the Correlation-Sets assumption
+//! (joint good-probabilities of correlated links are treated as their own
+//! unknowns rather than factorized), but it does **not** select path sets
+//! with Algorithm 1: it simply forms one equation per path and per (capped)
+//! pair of intersecting paths and solves the resulting — much larger and
+//! noisier — system, reporting only the per-link congestion probabilities.
+//! §5.4 of the paper attributes its accuracy gap on sparse topologies to
+//! exactly this unselected, redundant equation set.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{CorrelationSubset, LinkId, Network};
+use tomo_linalg::LstsqOptions;
+use tomo_sim::PathObservations;
+
+use crate::assumptions::AlgorithmAssumptions;
+use crate::estimator::{EstimatorConfig, PathSetEstimator};
+use crate::independence::baseline_path_sets;
+use crate::result::{EstimateDiagnostics, ProbabilityEstimate};
+use crate::subsets::potentially_congested_links;
+use crate::system::EquationSystem;
+use crate::ProbabilityComputation;
+
+/// Configuration of [`CorrelationHeuristic`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CorrelationHeuristicConfig {
+    /// Maximum number of path-pair equations added on top of the per-path
+    /// equations.
+    pub max_pair_equations: usize,
+    /// Empirical estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// Ridge regularization for rank-deficient systems.
+    pub ridge: f64,
+    /// Whether to compute per-unknown identifiability.
+    pub compute_identifiability: bool,
+}
+
+impl Default for CorrelationHeuristicConfig {
+    fn default() -> Self {
+        Self {
+            max_pair_equations: 4000,
+            estimator: EstimatorConfig::default(),
+            ridge: 1e-8,
+            compute_identifiability: false,
+        }
+    }
+}
+
+/// The Correlation-heuristic Probability Computation algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct CorrelationHeuristic {
+    config: CorrelationHeuristicConfig,
+}
+
+impl CorrelationHeuristic {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: CorrelationHeuristicConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CorrelationHeuristicConfig {
+        &self.config
+    }
+}
+
+impl ProbabilityComputation for CorrelationHeuristic {
+    fn name(&self) -> &'static str {
+        "Correlation-heuristic"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::correlation_heuristic()
+    }
+
+    fn compute(&self, network: &Network, observations: &PathObservations) -> ProbabilityEstimate {
+        let cfg = &self.config;
+        let mut estimate = ProbabilityEstimate::new(self.name(), network.num_links());
+
+        let pc_links_vec = potentially_congested_links(network, observations);
+        let pc_links: BTreeSet<LinkId> = pc_links_vec.iter().copied().collect();
+        for l in network.link_ids() {
+            if !pc_links.contains(&l) && !network.paths_through_link(l).is_empty() {
+                estimate.set_link(l, 0.0, true);
+            }
+        }
+        if pc_links.is_empty() {
+            return estimate;
+        }
+
+        // Targets: singleton subsets only (this heuristic reports per-link
+        // probabilities). Larger intersections induced by the path-set
+        // equations become auxiliary unknowns automatically.
+        let targets: Vec<CorrelationSubset> = pc_links_vec
+            .iter()
+            .map(|&l| CorrelationSubset::singleton(network.correlation_set_of(l), l))
+            .collect();
+        let total_targets = targets.len();
+
+        let estimator = PathSetEstimator::new(observations, cfg.estimator.clone());
+        let mut system = EquationSystem::new(targets.clone());
+        for ps in baseline_path_sets(network, observations, cfg.max_pair_equations) {
+            system.add_path_set(network, &estimator, &pc_links, &ps);
+        }
+        let opts = LstsqOptions {
+            ridge: cfg.ridge,
+            compute_identifiability: cfg.compute_identifiability,
+            ..LstsqOptions::default()
+        };
+        let solved = system.solve(&opts);
+
+        let mut identifiable_targets = 0usize;
+        for (i, subset) in targets.iter().enumerate() {
+            let col = system
+                .index()
+                .index_of(subset)
+                .expect("targets are indexed");
+            let good = solved.good_probability[col];
+            let identifiable = if cfg.compute_identifiability {
+                solved.identifiable[col]
+            } else {
+                true
+            };
+            if identifiable {
+                identifiable_targets += 1;
+            }
+            let link = *subset.links.iter().next().expect("singleton target");
+            estimate.set_link(link, 1.0 - good, identifiable);
+            let _ = i;
+        }
+
+        estimate.diagnostics = EstimateDiagnostics {
+            num_equations: system.num_equations(),
+            num_unknowns: system.index().len(),
+            rank: solved.rank,
+            identifiable_targets,
+            total_targets,
+        };
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3, E4};
+    use tomo_graph::PathId;
+
+    /// e1 bad 20%, {e2,e3} perfectly correlated and bad 40%, e4 always good.
+    fn correlated_observations(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let e1_bad = ti % 5 == 0;
+            let e23_bad = ti % 5 < 2;
+            obs.set_congested(PathId(0), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(1), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(2), ti, e23_bad);
+        }
+        obs
+    }
+
+    #[test]
+    fn handles_correlated_links_better_than_independence() {
+        let net = fig1_case1();
+        let obs = correlated_observations(2000);
+        let truth = [(E1, 0.2), (E2, 0.4), (E3, 0.4), (E4, 0.0)];
+
+        let heuristic = CorrelationHeuristic::default().compute(&net, &obs);
+        let independence = crate::Independence::default().compute(&net, &obs);
+
+        let err = |est: &ProbabilityEstimate| -> f64 {
+            truth
+                .iter()
+                .map(|&(l, p)| (est.link_congestion_probability(l) - p).abs())
+                .sum()
+        };
+        let err_h = err(&heuristic);
+        let err_i = err(&independence);
+        assert!(
+            err_h <= err_i + 1e-9,
+            "heuristic ({err_h}) should not be worse than independence ({err_i}) here"
+        );
+        // And it should be reasonably accurate in absolute terms on this toy.
+        assert!(err_h < 0.4, "total error {err_h}");
+    }
+
+    #[test]
+    fn reports_probabilities_for_every_observed_link() {
+        let net = fig1_case1();
+        let obs = correlated_observations(500);
+        let est = CorrelationHeuristic::default().compute(&net, &obs);
+        for l in net.link_ids() {
+            let p = est.link_congestion_probability(l);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(est.diagnostics.num_equations > 0);
+        assert!(est.diagnostics.num_unknowns >= est.diagnostics.total_targets);
+    }
+
+    #[test]
+    fn assumptions_match_table2() {
+        let a = CorrelationHeuristic::default().assumptions();
+        assert!(a.correlation_sets);
+        assert!(!a.independence);
+        assert!(a.other_approximation);
+    }
+}

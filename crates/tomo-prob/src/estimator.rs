@@ -1,0 +1,131 @@
+//! Empirical estimation of path-set probabilities from observations.
+//!
+//! The left-hand side of Eq. (1) of the paper, `P(∩_{p∈P} Y_p = 0)`, is
+//! estimated as the fraction of intervals in which every path of the set was
+//! observed good. Because the equations are solved in log space, empirical
+//! zeros must be clamped away from 0; the clamp corresponds to "less than one
+//! observation in `T` intervals".
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::PathId;
+use tomo_sim::PathObservations;
+
+/// Configuration of the empirical estimator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Lower clamp applied to empirical probabilities before taking
+    /// logarithms, expressed as a number of "virtual observations" out of
+    /// `T` (0.5 by default, i.e. probabilities are clamped to `0.5 / T`).
+    pub min_virtual_observations: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            min_virtual_observations: 0.5,
+        }
+    }
+}
+
+/// Estimates path-set probabilities (and their logarithms) from a
+/// [`PathObservations`] matrix.
+#[derive(Clone, Debug)]
+pub struct PathSetEstimator<'a> {
+    observations: &'a PathObservations,
+    config: EstimatorConfig,
+}
+
+impl<'a> PathSetEstimator<'a> {
+    /// Creates an estimator over the given observations.
+    pub fn new(observations: &'a PathObservations, config: EstimatorConfig) -> Self {
+        Self {
+            observations,
+            config,
+        }
+    }
+
+    /// Creates an estimator with the default configuration.
+    pub fn with_defaults(observations: &'a PathObservations) -> Self {
+        Self::new(observations, EstimatorConfig::default())
+    }
+
+    /// The observations under analysis.
+    pub fn observations(&self) -> &PathObservations {
+        self.observations
+    }
+
+    /// The probability floor used before taking logarithms.
+    pub fn floor(&self) -> f64 {
+        let t = self.observations.num_intervals().max(1) as f64;
+        (self.config.min_virtual_observations / t).min(0.5)
+    }
+
+    /// Empirical `P(∩_{p∈paths} Y_p = 0)`, clamped to `[floor, 1]`.
+    pub fn all_good_probability(&self, paths: &[PathId]) -> f64 {
+        self.observations
+            .fraction_all_good(paths)
+            .clamp(self.floor(), 1.0)
+    }
+
+    /// `ln P(∩ Y_p = 0)` with the clamp applied — the right-hand side of one
+    /// equation of the log-linear system.
+    pub fn log_all_good_probability(&self, paths: &[PathId]) -> f64 {
+        self.all_good_probability(paths).ln()
+    }
+
+    /// Paths that were good during every interval. Their links are known
+    /// good, hence not potentially congested.
+    pub fn always_good_paths(&self) -> Vec<PathId> {
+        self.observations.always_good_paths()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> PathObservations {
+        let mut o = PathObservations::new(2, 10);
+        // p0 congested in 4/10 intervals, p1 never congested.
+        for t in 0..4 {
+            o.set_congested(PathId(0), t, true);
+        }
+        o
+    }
+
+    #[test]
+    fn probabilities_match_frequencies() {
+        let o = obs();
+        let est = PathSetEstimator::with_defaults(&o);
+        assert!((est.all_good_probability(&[PathId(0)]) - 0.6).abs() < 1e-12);
+        assert!((est.all_good_probability(&[PathId(1)]) - 1.0).abs() < 1e-12);
+        assert!((est.log_all_good_probability(&[PathId(1)])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_frequencies_are_clamped() {
+        let mut o = PathObservations::new(1, 10);
+        for t in 0..10 {
+            o.set_congested(PathId(0), t, true);
+        }
+        let est = PathSetEstimator::with_defaults(&o);
+        let p = est.all_good_probability(&[PathId(0)]);
+        assert!(p > 0.0);
+        assert!((p - 0.05).abs() < 1e-12); // 0.5 / 10
+        assert!(est.log_all_good_probability(&[PathId(0)]).is_finite());
+    }
+
+    #[test]
+    fn floor_never_exceeds_half() {
+        let o = PathObservations::new(1, 0);
+        let est = PathSetEstimator::with_defaults(&o);
+        assert!(est.floor() <= 0.5);
+    }
+
+    #[test]
+    fn always_good_paths_forwarded() {
+        let o = obs();
+        let est = PathSetEstimator::with_defaults(&o);
+        assert_eq!(est.always_good_paths(), vec![PathId(1)]);
+    }
+}

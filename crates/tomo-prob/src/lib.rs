@@ -1,0 +1,63 @@
+//! Congestion Probability Computation — the paper's core contribution.
+//!
+//! Given the network graph and the per-interval path observations over `T`
+//! intervals, *Probability Computation* asks for the probability that each
+//! set of links is congested (§2, §4, §5 of "Shifting Network Tomography
+//! Toward A Practical Goal", CoNEXT 2011). This crate implements three
+//! algorithms for it:
+//!
+//! * [`CorrelationComplete`] — the paper's algorithm (§5.3): assumes
+//!   Separability, E2E Monitoring and Correlation Sets only; selects a
+//!   minimal set of path-set equations with Algorithm 1 (guided by an
+//!   incrementally-updated null space, Algorithm 2) and solves the resulting
+//!   log-linear system for the good-probability of every identifiable
+//!   correlation subset.
+//! * [`Independence`] — the Probability Computation step of CLINK
+//!   (Nguyen & Thiran, INFOCOM 2007): additionally assumes that links are
+//!   independent and only estimates per-link probabilities.
+//! * [`CorrelationHeuristic`] — the earlier heuristic of Ghita et al.
+//!   (IMC 2010): works under the Correlation Sets assumption but forms a
+//!   large, unselected set of equations and only reports per-link
+//!   probabilities.
+//!
+//! All three implement the [`ProbabilityComputation`] trait and produce a
+//! [`ProbabilityEstimate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assumptions;
+pub mod correlation_complete;
+pub mod correlation_heuristic;
+pub mod estimator;
+pub mod independence;
+pub mod path_selection;
+pub mod result;
+pub mod subsets;
+pub mod system;
+
+pub use assumptions::AlgorithmAssumptions;
+pub use correlation_complete::{CorrelationComplete, CorrelationCompleteConfig};
+pub use correlation_heuristic::{CorrelationHeuristic, CorrelationHeuristicConfig};
+pub use estimator::{EstimatorConfig, PathSetEstimator};
+pub use independence::{Independence, IndependenceConfig};
+pub use path_selection::{select_path_sets, PathSelectionConfig, PathSelectionOutcome};
+pub use result::ProbabilityEstimate;
+pub use subsets::potentially_congested_subsets;
+pub use system::{EquationSystem, SubsetIndex};
+
+use tomo_graph::Network;
+use tomo_sim::PathObservations;
+
+/// Common interface of the Probability Computation algorithms.
+pub trait ProbabilityComputation {
+    /// Short human-readable name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// The assumptions, conditions and approximations the algorithm relies
+    /// on (one row of Table 2 of the paper).
+    fn assumptions(&self) -> AlgorithmAssumptions;
+
+    /// Runs the algorithm over the observations collected on `network`.
+    fn compute(&self, network: &Network, observations: &PathObservations) -> ProbabilityEstimate;
+}

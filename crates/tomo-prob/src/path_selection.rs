@@ -1,0 +1,440 @@
+//! Algorithm 1 of the paper: selection of the path sets whose equations make
+//! the system solvable.
+//!
+//! Rather than enumerating all `2^|P*|` path sets, the algorithm
+//!
+//! 1. seeds the system with one path set per target correlation subset `E`,
+//!    namely `Paths(E) \ Paths(Ē)` (the paths that observe `E` but avoid the
+//!    rest of its correlation set);
+//! 2. maintains a basis `N` of the null space of the system matrix restricted
+//!    to the target unknowns;
+//! 3. repeatedly looks for a path set whose row is not orthogonal to `N`
+//!    (i.e. whose equation increases the rank), preferring target subsets
+//!    whose null-space row has the largest Hamming weight
+//!    (`SortByHammingWeight` in the paper), and updates `N` incrementally
+//!    with Algorithm 2 each time a row is added;
+//! 4. stops when the null space is empty (every target is identifiable) or no
+//!    candidate path set adds rank.
+//!
+//! The candidate path sets for a subset `E` are the subsets of
+//! `Paths(E) \ Paths(Ē)`, enumerated in increasing cardinality up to a
+//! configurable budget — the exponential `2^{n2}` term in the paper's
+//! complexity bound is capped the same way the paper caps the subset size:
+//! by spending only as much of it as resources allow.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{CorrelationSubset, LinkId, Network, PathId};
+use tomo_linalg::{nullspace_update, Matrix, NullSpaceUpdate};
+
+use crate::subsets::pruned_complement;
+use crate::system::{row_over_targets, SubsetIndex};
+use tomo_sim::PathObservations;
+
+/// Configuration of the path-set selection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathSelectionConfig {
+    /// Maximum number of candidate path sets enumerated per correlation
+    /// subset in the augmentation loop (the `2^{n2}` budget).
+    pub max_candidates_per_subset: usize,
+    /// Numerical tolerance for the `‖r × N‖ > 0` test.
+    pub tol: f64,
+}
+
+impl Default for PathSelectionConfig {
+    fn default() -> Self {
+        Self {
+            max_candidates_per_subset: 2048,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// The outcome of the selection.
+#[derive(Clone, Debug)]
+pub struct PathSelectionOutcome {
+    /// The selected path sets, in the order their equations should be formed.
+    pub path_sets: Vec<Vec<PathId>>,
+    /// Number of path sets contributed by the seeding phase (lines 1–5).
+    pub initial_count: usize,
+    /// Number of path sets added by the augmentation loop (lines 8–22).
+    pub augmented_count: usize,
+    /// Dimension of the remaining null space over the target unknowns when
+    /// the algorithm stopped (0 when every target is identifiable).
+    pub final_nullity: usize,
+    /// Per-target identifiability: `true` when the target's row in the final
+    /// null-space basis is (numerically) zero.
+    pub identifiable: Vec<bool>,
+}
+
+impl PathSelectionOutcome {
+    /// Number of identifiable targets.
+    pub fn identifiable_count(&self) -> usize {
+        self.identifiable.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Runs Algorithm 1 over the target correlation subsets.
+///
+/// `targets` defines the unknown columns; `potentially_congested` is the set
+/// of links that may ever be congested (always-good links are excluded from
+/// the rows, see [`crate::system::induced_subsets`]).
+pub fn select_path_sets(
+    network: &Network,
+    observations: &PathObservations,
+    targets: &[CorrelationSubset],
+    potentially_congested: &BTreeSet<LinkId>,
+    config: &PathSelectionConfig,
+) -> PathSelectionOutcome {
+    let index = SubsetIndex::new(targets.to_vec());
+    let n_targets = index.num_targets();
+    if n_targets == 0 {
+        return PathSelectionOutcome {
+            path_sets: Vec::new(),
+            initial_count: 0,
+            augmented_count: 0,
+            final_nullity: 0,
+            identifiable: Vec::new(),
+        };
+    }
+
+    // --- Seeding: one path set per target subset (lines 1–5) ---------------
+    let mut path_sets: Vec<Vec<PathId>> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<PathId>> = BTreeSet::new();
+    let mut observing_paths: Vec<Vec<PathId>> = Vec::with_capacity(n_targets);
+    for subset in targets {
+        let paths_e = network.paths_covering_subset(subset);
+        let complement = pruned_complement(network, observations, subset);
+        let paths_comp = network.paths_covering_subset(&complement);
+        let p: Vec<PathId> = paths_e.difference(&paths_comp).copied().collect();
+        observing_paths.push(p.clone());
+        if !p.is_empty() && seen_sets.insert(p.clone()) {
+            path_sets.push(p);
+        }
+    }
+    let initial_count = path_sets.len();
+
+    // --- Initial null space (lines 6–7), built incrementally ---------------
+    // Starting from the identity (null space of an empty system) and folding
+    // the seed rows in one at a time with Algorithm 2 avoids a full O(n^3)
+    // elimination over the seed matrix.
+    let mut nullspace = Matrix::identity(n_targets);
+    for ps in &path_sets {
+        let row = row_over_targets(network, ps, potentially_congested, &index);
+        nullspace = nullspace_update(&nullspace, &row).into_basis();
+        if nullspace.cols() == 0 {
+            break;
+        }
+    }
+
+    // --- Augmentation loop (lines 8–22) -------------------------------------
+    let mut augmented_count = 0usize;
+    while nullspace.cols() > 0 {
+        let Some((new_set, new_row)) = find_augmenting_path_set(
+            network,
+            potentially_congested,
+            &index,
+            &observing_paths,
+            &nullspace,
+            &seen_sets,
+            config,
+        ) else {
+            break;
+        };
+        match nullspace_update(&nullspace, &new_row) {
+            NullSpaceUpdate::Reduced(n) => {
+                nullspace = n;
+            }
+            NullSpaceUpdate::Unchanged(n) => {
+                // Should not happen (the candidate passed the ‖r×N‖ test),
+                // but guard against numerical disagreement to avoid looping.
+                nullspace = n;
+                break;
+            }
+        }
+        seen_sets.insert(new_set.clone());
+        path_sets.push(new_set);
+        augmented_count += 1;
+    }
+
+    // --- Identifiability of each target -------------------------------------
+    let identifiable = (0..n_targets)
+        .map(|i| {
+            (0..nullspace.cols()).all(|j| nullspace[(i, j)].abs() <= config.tol)
+        })
+        .collect();
+
+    PathSelectionOutcome {
+        path_sets,
+        initial_count,
+        augmented_count,
+        final_nullity: nullspace.cols(),
+        identifiable,
+    }
+}
+
+/// Searches for a path set whose row intersects the current null space
+/// (lines 10–19 of Algorithm 1). Returns the path set and its dense row.
+fn find_augmenting_path_set(
+    network: &Network,
+    potentially_congested: &BTreeSet<LinkId>,
+    index: &SubsetIndex,
+    observing_paths: &[Vec<PathId>],
+    nullspace: &Matrix,
+    seen_sets: &BTreeSet<Vec<PathId>>,
+    config: &PathSelectionConfig,
+) -> Option<(Vec<PathId>, Vec<f64>)> {
+    // SortByHammingWeight: order the target subsets by the number of
+    // non-negligible entries in their null-space row, descending.
+    let mut weights: Vec<(usize, usize)> = (0..index.num_targets())
+        .map(|i| {
+            let w = (0..nullspace.cols())
+                .filter(|&j| nullspace[(i, j)].abs() > config.tol)
+                .count();
+            (w, i)
+        })
+        .collect();
+    weights.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    for (weight, target_idx) in weights {
+        if weight == 0 {
+            // This target (and all following ones) is already pinned; a path
+            // set built from its observing paths alone cannot move the null
+            // space in its direction, but may still help others, so we do
+            // not break — we simply deprioritized it. In practice rows of
+            // weight 0 rarely help, so skip them for speed.
+            continue;
+        }
+        let base = &observing_paths[target_idx];
+        if base.is_empty() {
+            continue;
+        }
+        let mut emitted = 0usize;
+        let mut found: Option<(Vec<PathId>, Vec<f64>)> = None;
+        for_each_subset_by_size(base, config.max_candidates_per_subset, |candidate| {
+            emitted += 1;
+            if seen_sets.contains(candidate) {
+                return false;
+            }
+            let row = row_over_targets(network, candidate, potentially_congested, index);
+            if row_hits_nullspace(&row, nullspace, config.tol) {
+                found = Some((candidate.to_vec(), row));
+                return true;
+            }
+            false
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// `‖r × N‖ > tol`, computed sparsely over the non-zero entries of `r`.
+fn row_hits_nullspace(row: &[f64], nullspace: &Matrix, tol: f64) -> bool {
+    let nz: Vec<usize> = row
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if nz.is_empty() {
+        return false;
+    }
+    for j in 0..nullspace.cols() {
+        let mut s = 0.0;
+        for &i in &nz {
+            s += row[i] * nullspace[(i, j)];
+        }
+        if s.abs() > tol {
+            return true;
+        }
+    }
+    false
+}
+
+/// Enumerates the non-empty subsets of `base` in increasing cardinality,
+/// invoking `visit` on each until it returns `true` (stop) or `budget`
+/// subsets have been visited. The full set is always tried first: it is the
+/// single most informative equation (it ties all the subsets of the target
+/// together), and trying it first mirrors the seeding phase.
+fn for_each_subset_by_size(
+    base: &[PathId],
+    budget: usize,
+    mut visit: impl FnMut(&[PathId]) -> bool,
+) {
+    if base.is_empty() || budget == 0 {
+        return;
+    }
+    let mut used = 0usize;
+    // Full set first.
+    used += 1;
+    if visit(base) || used >= budget {
+        return;
+    }
+    let n = base.len();
+    for size in 1..n {
+        let mut indices: Vec<usize> = (0..size).collect();
+        'combos: loop {
+            let candidate: Vec<PathId> = indices.iter().map(|&i| base[i]).collect();
+            used += 1;
+            if visit(&candidate) || used >= budget {
+                return;
+            }
+            // Advance the combination.
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break 'combos;
+                }
+                i -= 1;
+                if indices[i] < i + n - size {
+                    indices[i] += 1;
+                    for j in (i + 1)..size {
+                        indices[j] = indices[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsets::potentially_congested_subsets;
+    use tomo_graph::toy::{fig1_case1, fig1_case2};
+    use tomo_graph::PathId;
+    use tomo_linalg::gauss::rank;
+    use tomo_sim::PathObservations;
+
+    /// Observations in which every path is congested at least once, so every
+    /// link is potentially congested.
+    fn busy_observations(num_paths: usize) -> PathObservations {
+        let mut o = PathObservations::new(num_paths, 4);
+        for p in 0..num_paths {
+            o.set_congested(PathId(p), 0, true);
+        }
+        o
+    }
+
+    fn run(network: &tomo_graph::Network) -> (PathSelectionOutcome, Vec<CorrelationSubset>) {
+        let obs = busy_observations(network.num_paths());
+        let targets = potentially_congested_subsets(network, &obs, 4);
+        let pc: BTreeSet<LinkId> = crate::subsets::potentially_congested_links(network, &obs)
+            .into_iter()
+            .collect();
+        let outcome = select_path_sets(
+            network,
+            &obs,
+            &targets,
+            &pc,
+            &PathSelectionConfig::default(),
+        );
+        (outcome, targets)
+    }
+
+    #[test]
+    fn case1_selects_a_full_rank_system() {
+        // Fig. 1 Case 1: Identifiability++ holds, so Algorithm 1 must end
+        // with an empty null space and all 5 targets identifiable.
+        let net = fig1_case1();
+        let (outcome, targets) = run(&net);
+        assert_eq!(targets.len(), 5);
+        assert_eq!(outcome.final_nullity, 0);
+        assert_eq!(outcome.identifiable_count(), 5);
+        // The system matrix over the targets must have rank 5.
+        let obs = busy_observations(3);
+        let pc: BTreeSet<LinkId> = crate::subsets::potentially_congested_links(&net, &obs)
+            .into_iter()
+            .collect();
+        let index = SubsetIndex::new(targets);
+        let rows: Vec<Vec<f64>> = outcome
+            .path_sets
+            .iter()
+            .map(|ps| row_over_targets(&net, ps, &pc, &index))
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        assert_eq!(rank(&m), 5);
+    }
+
+    #[test]
+    fn case1_seed_path_sets_match_the_paper_table() {
+        // The seeding table of §5.3: for Ê = <{e1},{e2},{e3},{e4},{e2,e3}>,
+        // the seed path sets are {p1,p2}, {p1}, {p2,p3}, {p3}, {p1,p2,p3}.
+        let net = fig1_case1();
+        let (outcome, targets) = run(&net);
+        let expected: Vec<Vec<PathId>> = vec![
+            vec![PathId(0), PathId(1)],
+            vec![PathId(0)],
+            vec![PathId(1), PathId(2)],
+            vec![PathId(2)],
+            vec![PathId(0), PathId(1), PathId(2)],
+        ];
+        // The targets are ordered singletons-then-pairs per correlation set;
+        // regardless of the exact ordering, every expected seed must appear
+        // among the selected path sets.
+        for e in &expected {
+            assert!(
+                outcome.path_sets.contains(e),
+                "missing seed {e:?}; got {:?} (targets {targets:?})",
+                outcome.path_sets
+            );
+        }
+        assert_eq!(outcome.initial_count, 5);
+        // No augmentation is needed: the seeds already have full rank.
+        assert_eq!(outcome.augmented_count, 0);
+    }
+
+    #[test]
+    fn case2_reports_unidentifiable_subsets() {
+        // Fig. 1 Case 2: {e1,e4} and {e2,e3} are traversed by the same paths,
+        // so Identifiability++ fails and Algorithm 1 must stop with a
+        // non-empty null space; the singleton subsets remain identifiable or
+        // not depending on the structure, but at least one target must be
+        // flagged unidentifiable.
+        let net = fig1_case2();
+        let (outcome, targets) = run(&net);
+        assert_eq!(targets.len(), 6);
+        assert!(outcome.final_nullity > 0);
+        assert!(outcome.identifiable_count() < targets.len());
+    }
+
+    #[test]
+    fn subset_enumeration_visits_full_set_first_and_respects_budget() {
+        let base = vec![PathId(0), PathId(1), PathId(2)];
+        let mut visited = Vec::new();
+        for_each_subset_by_size(&base, 100, |s| {
+            visited.push(s.to_vec());
+            false
+        });
+        assert_eq!(visited[0], base);
+        // 1 full set + 3 singles + 3 pairs = 7 (the full set is not repeated
+        // at size 3 because enumeration of proper subsets stops at n-1).
+        assert_eq!(visited.len(), 7);
+
+        let mut count = 0;
+        for_each_subset_by_size(&base, 3, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_targets_yield_empty_outcome() {
+        let net = fig1_case1();
+        let obs = busy_observations(3);
+        let outcome = select_path_sets(
+            &net,
+            &obs,
+            &[],
+            &BTreeSet::new(),
+            &PathSelectionConfig::default(),
+        );
+        assert!(outcome.path_sets.is_empty());
+        assert_eq!(outcome.final_nullity, 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The output of a Probability Computation algorithm.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::LinkId;
+
+/// Diagnostics describing how an estimate was produced.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EstimateDiagnostics {
+    /// Number of equations in the solved system.
+    pub num_equations: usize,
+    /// Number of unknowns (including auxiliary subsets, if any).
+    pub num_unknowns: usize,
+    /// Rank of the system over the *target* unknowns (when known).
+    pub rank: usize,
+    /// Number of target unknowns that were identifiable.
+    pub identifiable_targets: usize,
+    /// Total number of target unknowns.
+    pub total_targets: usize,
+}
+
+/// Congestion-probability estimates for links and correlation subsets.
+///
+/// Every algorithm reports per-link congestion probabilities; the
+/// correlation-aware algorithms additionally report the good-probability of
+/// multi-link correlation subsets, from which the congestion probability of
+/// any subset of a correlation set follows by inclusion–exclusion (see
+/// [`ProbabilityEstimate::subset_congestion_probability`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProbabilityEstimate {
+    /// Name of the algorithm that produced the estimate.
+    pub algorithm: String,
+    /// `P(X_e = 1)` per link (0 for links never estimated, e.g. always-good
+    /// or unobserved links).
+    link_congestion: Vec<f64>,
+    /// Whether each link's probability is identifiable from the data.
+    link_identifiable: Vec<bool>,
+    /// `P(∩_{e∈E} X_e = 0)` for the estimated correlation subsets.
+    #[serde(with = "subset_map_serde")]
+    subset_good: BTreeMap<BTreeSet<LinkId>, f64>,
+    /// Identifiability of each estimated correlation subset.
+    #[serde(with = "subset_map_serde")]
+    subset_identifiable: BTreeMap<BTreeSet<LinkId>, bool>,
+    /// When `true`, missing subset probabilities are reconstructed assuming
+    /// link independence (used by the Independence baseline, which estimates
+    /// only per-link probabilities).
+    pub independence_fallback: bool,
+    /// Solver/selection diagnostics.
+    pub diagnostics: EstimateDiagnostics,
+}
+
+impl ProbabilityEstimate {
+    /// Creates an empty estimate for `num_links` links.
+    pub fn new(algorithm: impl Into<String>, num_links: usize) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            link_congestion: vec![0.0; num_links],
+            link_identifiable: vec![false; num_links],
+            subset_good: BTreeMap::new(),
+            subset_identifiable: BTreeMap::new(),
+            independence_fallback: false,
+            diagnostics: EstimateDiagnostics::default(),
+        }
+    }
+
+    /// Number of links covered by the estimate.
+    pub fn num_links(&self) -> usize {
+        self.link_congestion.len()
+    }
+
+    /// Records the congestion probability of a link.
+    pub fn set_link(&mut self, link: LinkId, congestion_probability: f64, identifiable: bool) {
+        self.link_congestion[link.index()] = congestion_probability.clamp(0.0, 1.0);
+        self.link_identifiable[link.index()] = identifiable;
+    }
+
+    /// Records the good-probability of a correlation subset.
+    pub fn set_subset_good(
+        &mut self,
+        links: impl IntoIterator<Item = LinkId>,
+        good_probability: f64,
+        identifiable: bool,
+    ) {
+        let key: BTreeSet<LinkId> = links.into_iter().collect();
+        if key.len() == 1 {
+            let l = *key.iter().next().expect("singleton");
+            self.set_link(l, 1.0 - good_probability.clamp(0.0, 1.0), identifiable);
+        }
+        self.subset_good
+            .insert(key.clone(), good_probability.clamp(0.0, 1.0));
+        self.subset_identifiable.insert(key, identifiable);
+    }
+
+    /// `P(X_e = 1)` for a link.
+    pub fn link_congestion_probability(&self, link: LinkId) -> f64 {
+        self.link_congestion[link.index()]
+    }
+
+    /// Whether the link's probability was identifiable.
+    pub fn link_is_identifiable(&self, link: LinkId) -> bool {
+        self.link_identifiable[link.index()]
+    }
+
+    /// The estimated good-probability `P(∩_{e∈E} X_e = 0)` of a set of links,
+    /// if available (directly estimated, a singleton, or reconstructible via
+    /// the independence fallback).
+    pub fn subset_good_probability(&self, links: &[LinkId]) -> Option<f64> {
+        let key: BTreeSet<LinkId> = links.iter().copied().collect();
+        if key.is_empty() {
+            return Some(1.0);
+        }
+        if let Some(&g) = self.subset_good.get(&key) {
+            return Some(g);
+        }
+        if key.len() == 1 {
+            let l = *key.iter().next().expect("singleton");
+            return Some(1.0 - self.link_congestion[l.index()]);
+        }
+        if self.independence_fallback {
+            return Some(
+                key.iter()
+                    .map(|l| 1.0 - self.link_congestion[l.index()])
+                    .product(),
+            );
+        }
+        None
+    }
+
+    /// The estimated congestion probability `P(∩_{e∈E} X_e = 1)` of a set of
+    /// links, computed by inclusion–exclusion over the good-probabilities of
+    /// its subsets:
+    ///
+    /// ```text
+    /// P(∩ X_e = 1) = Σ_{S ⊆ E} (−1)^{|S|} P(∩_{e∈S} X_e = 0)
+    /// ```
+    ///
+    /// Returns `None` when some required subset probability is unavailable.
+    pub fn subset_congestion_probability(&self, links: &[LinkId]) -> Option<f64> {
+        let unique: Vec<LinkId> = {
+            let s: BTreeSet<LinkId> = links.iter().copied().collect();
+            s.into_iter().collect()
+        };
+        let n = unique.len();
+        if n == 0 {
+            return Some(0.0);
+        }
+        if n > 20 {
+            return None; // inclusion-exclusion over 2^n terms is unreasonable
+        }
+        let mut total = 0.0;
+        for mask in 0u32..(1 << n) {
+            let subset: Vec<LinkId> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| unique[i])
+                .collect();
+            let g = self.subset_good_probability(&subset)?;
+            let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+            total += sign * g;
+        }
+        Some(total.clamp(0.0, 1.0))
+    }
+
+    /// Whether a subset's probability was identifiable (singletons fall back
+    /// to the link flag).
+    pub fn subset_is_identifiable(&self, links: &[LinkId]) -> bool {
+        let key: BTreeSet<LinkId> = links.iter().copied().collect();
+        if let Some(&b) = self.subset_identifiable.get(&key) {
+            return b;
+        }
+        if key.len() == 1 {
+            return self.link_is_identifiable(*key.iter().next().expect("singleton"));
+        }
+        false
+    }
+
+    /// The multi-link correlation subsets with a directly estimated
+    /// good-probability.
+    pub fn estimated_subsets(&self) -> impl Iterator<Item = (&BTreeSet<LinkId>, f64)> {
+        self.subset_good.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of directly estimated subsets (all sizes).
+    pub fn num_estimated_subsets(&self) -> usize {
+        self.subset_good.len()
+    }
+}
+
+/// Serializes `BTreeMap<BTreeSet<LinkId>, V>` as a list of `(links, value)`
+/// pairs, so the estimate can be written to JSON (whose object keys must be
+/// strings).
+mod subset_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S, V>(
+        map: &BTreeMap<BTreeSet<LinkId>, V>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+        V: Serialize + Clone,
+    {
+        let pairs: Vec<(Vec<LinkId>, V)> = map
+            .iter()
+            .map(|(k, v)| (k.iter().copied().collect(), v.clone()))
+            .collect();
+        pairs.serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D, V>(
+        deserializer: D,
+    ) -> Result<BTreeMap<BTreeSet<LinkId>, V>, D::Error>
+    where
+        D: Deserializer<'de>,
+        V: serde::de::DeserializeOwned,
+    {
+        let pairs: Vec<(Vec<LinkId>, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs
+            .into_iter()
+            .map(|(k, v)| (k.into_iter().collect(), v))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_serializes_to_json() {
+        let mut est = ProbabilityEstimate::new("test", 3);
+        est.set_subset_good([LinkId(0), LinkId(2)], 0.7, true);
+        est.set_link(LinkId(1), 0.2, true);
+        let json = serde_json::to_string(&est).expect("serializes");
+        let back: ProbabilityEstimate = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(
+            back.subset_good_probability(&[LinkId(0), LinkId(2)]),
+            Some(0.7)
+        );
+        assert!((back.link_congestion_probability(LinkId(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_roundtrip_and_clamping() {
+        let mut est = ProbabilityEstimate::new("test", 3);
+        est.set_link(LinkId(1), 0.4, true);
+        est.set_link(LinkId(2), 1.7, false);
+        assert_eq!(est.link_congestion_probability(LinkId(0)), 0.0);
+        assert!((est.link_congestion_probability(LinkId(1)) - 0.4).abs() < 1e-12);
+        assert_eq!(est.link_congestion_probability(LinkId(2)), 1.0);
+        assert!(est.link_is_identifiable(LinkId(1)));
+        assert!(!est.link_is_identifiable(LinkId(0)));
+    }
+
+    #[test]
+    fn singleton_subset_updates_link_probability() {
+        let mut est = ProbabilityEstimate::new("test", 2);
+        est.set_subset_good([LinkId(0)], 0.75, true);
+        assert!((est.link_congestion_probability(LinkId(0)) - 0.25).abs() < 1e-12);
+        assert_eq!(est.subset_good_probability(&[LinkId(0)]), Some(0.75));
+    }
+
+    #[test]
+    fn inclusion_exclusion_matches_independent_case() {
+        let mut est = ProbabilityEstimate::new("test", 2);
+        est.independence_fallback = true;
+        est.set_link(LinkId(0), 0.3, true);
+        est.set_link(LinkId(1), 0.5, true);
+        // P(both congested) = 0.3 * 0.5 under independence.
+        let p = est
+            .subset_congestion_probability(&[LinkId(0), LinkId(1)])
+            .unwrap();
+        assert!((p - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inclusion_exclusion_uses_direct_joint_when_available() {
+        let mut est = ProbabilityEstimate::new("test", 2);
+        est.set_link(LinkId(0), 0.4, true);
+        est.set_link(LinkId(1), 0.4, true);
+        // Perfectly correlated pair: P(both good) = 0.6, so
+        // P(both congested) = 1 - 0.6 - 0.6 + 0.6 = 0.4.
+        est.set_subset_good([LinkId(0), LinkId(1)], 0.6, true);
+        let p = est
+            .subset_congestion_probability(&[LinkId(0), LinkId(1)])
+            .unwrap();
+        assert!((p - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_joint_without_fallback_is_none() {
+        let mut est = ProbabilityEstimate::new("test", 2);
+        est.set_link(LinkId(0), 0.4, true);
+        est.set_link(LinkId(1), 0.4, true);
+        assert!(est
+            .subset_congestion_probability(&[LinkId(0), LinkId(1)])
+            .is_none());
+        assert!(est.subset_good_probability(&[LinkId(0), LinkId(1)]).is_none());
+    }
+
+    #[test]
+    fn empty_set_probabilities() {
+        let est = ProbabilityEstimate::new("test", 1);
+        assert_eq!(est.subset_good_probability(&[]), Some(1.0));
+        assert_eq!(est.subset_congestion_probability(&[]), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_links_are_deduplicated() {
+        let mut est = ProbabilityEstimate::new("test", 1);
+        est.set_link(LinkId(0), 0.3, true);
+        let p = est
+            .subset_congestion_probability(&[LinkId(0), LinkId(0)])
+            .unwrap();
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+}

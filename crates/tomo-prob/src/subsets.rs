@@ -1,0 +1,146 @@
+//! Potentially congested links and correlation subsets (§5.2 of the paper).
+//!
+//! A correlation subset is *potentially congested* if none of its links is
+//! traversed by a path that was good during every interval: by Separability,
+//! a link on an always-good path is always good, so any subset containing it
+//! has congestion probability 0 and need not be estimated.
+
+use std::collections::BTreeSet;
+
+use tomo_graph::{CorrelationSubset, LinkId, Network};
+use tomo_sim::PathObservations;
+
+/// The links that are known to be always good because they lie on at least
+/// one always-good path.
+pub fn always_good_links(network: &Network, observations: &PathObservations) -> BTreeSet<LinkId> {
+    let mut out = BTreeSet::new();
+    for p in observations.always_good_paths() {
+        out.extend(network.path(p).links.iter().copied());
+    }
+    out
+}
+
+/// The potentially congested links: observed links that are not on any
+/// always-good path.
+pub fn potentially_congested_links(
+    network: &Network,
+    observations: &PathObservations,
+) -> Vec<LinkId> {
+    let good = always_good_links(network, observations);
+    network
+        .link_ids()
+        .filter(|l| !network.paths_through_link(*l).is_empty())
+        .filter(|l| !good.contains(l))
+        .collect()
+}
+
+/// Enumerates the potentially congested correlation subsets with at most
+/// `max_subset_size` links each — the unknowns `Ê` of the Probability
+/// Computation problem.
+///
+/// Subsets are enumerated per correlation set over its potentially congested
+/// members only, in order of increasing cardinality, which is also the order
+/// in which the system columns are laid out.
+pub fn potentially_congested_subsets(
+    network: &Network,
+    observations: &PathObservations,
+    max_subset_size: usize,
+) -> Vec<CorrelationSubset> {
+    let good = always_good_links(network, observations);
+    let mut out = Vec::new();
+    for set in network.correlation_sets() {
+        let members: Vec<LinkId> = set
+            .links
+            .iter()
+            .copied()
+            .filter(|l| !network.paths_through_link(*l).is_empty())
+            .filter(|l| !good.contains(l))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let pruned = tomo_graph::CorrelationSet::new(set.id, members);
+        out.extend(pruned.subsets_up_to(max_subset_size));
+    }
+    out
+}
+
+/// The complement `Ē` of a subset *within the potentially congested members*
+/// of its correlation set. Using the pruned complement (rather than the full
+/// `C \ E`) keeps `Paths(Ē)` from excluding paths that only cross always-good
+/// links of the set, which can only help the path-set selection.
+pub fn pruned_complement(
+    network: &Network,
+    observations: &PathObservations,
+    subset: &CorrelationSubset,
+) -> CorrelationSubset {
+    let good = always_good_links(network, observations);
+    let set = &network.correlation_sets()[subset.set_id];
+    CorrelationSubset::new(
+        subset.set_id,
+        set.links
+            .iter()
+            .copied()
+            .filter(|l| !subset.links.contains(l) && !good.contains(l)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3, E4};
+    use tomo_graph::PathId;
+
+    /// Observations where p3 is always good and p1/p2 are congested at least
+    /// once — the example of §5.2 of the paper.
+    fn obs_p3_always_good() -> PathObservations {
+        let mut o = PathObservations::new(3, 4);
+        o.set_congested(PathId(0), 0, true);
+        o.set_congested(PathId(1), 2, true);
+        o
+    }
+
+    #[test]
+    fn always_good_links_follow_separability() {
+        let net = fig1_case1();
+        let o = obs_p3_always_good();
+        let good = always_good_links(&net, &o);
+        // p3 = {e4, e3} always good => e3 and e4 always good.
+        assert_eq!(good.into_iter().collect::<Vec<_>>(), vec![E3, E4]);
+    }
+
+    #[test]
+    fn potentially_congested_matches_paper_example() {
+        // §5.2: "the potentially congested correlation subsets are {e1} and
+        // {e2}".
+        let net = fig1_case1();
+        let o = obs_p3_always_good();
+        assert_eq!(potentially_congested_links(&net, &o), vec![E1, E2]);
+        let subs = potentially_congested_subsets(&net, &o, 4);
+        let rendered: Vec<Vec<LinkId>> = subs.iter().map(|s| s.links_vec()).collect();
+        assert_eq!(rendered, vec![vec![E1], vec![E2]]);
+    }
+
+    #[test]
+    fn all_subsets_when_nothing_is_always_good() {
+        let net = fig1_case1();
+        let mut o = PathObservations::new(3, 2);
+        for p in 0..3 {
+            o.set_congested(PathId(p), 0, true);
+        }
+        let subs = potentially_congested_subsets(&net, &o, 4);
+        assert_eq!(subs.len(), 5); // {e1},{e2},{e3},{e4},{e2,e3}
+    }
+
+    #[test]
+    fn pruned_complement_drops_always_good_links() {
+        let net = fig1_case1();
+        let o = obs_p3_always_good();
+        // In the {e2, e3} correlation set, e3 is always good, so the pruned
+        // complement of {e2} is empty (the paper's full complement would be
+        // {e3}).
+        let e2 = CorrelationSubset::new(net.correlation_set_of(E2), [E2]);
+        let comp = pruned_complement(&net, &o, &e2);
+        assert!(comp.is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! Assembly and solving of the log-linear equation system of Eq. (1).
+//!
+//! For a path set `P`, Separability plus the Correlation-Sets assumption
+//! give (Eq. 1 of the paper):
+//!
+//! ```text
+//! P(∩_{p∈P} Y_p = 0) = Π_{C ∈ C*} P(∩_{e ∈ Links(P) ∩ C} X_e = 0)
+//! ```
+//!
+//! Taking logarithms turns each path set into one linear equation whose
+//! unknowns are `y_E = ln P(∩_{e∈E} X_e = 0)` for the correlation subsets
+//! `E = Links(P) ∩ C`. This module maintains the column index of those
+//! unknowns ([`SubsetIndex`]), builds equation rows ([`EquationSystem`]) and
+//! solves the system by (regularized) least squares, reporting which
+//! unknowns were actually identifiable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{CorrelationSubset, LinkId, Network, PathId};
+use tomo_linalg::{least_squares, LstsqOptions, Matrix, Vector};
+
+use crate::estimator::PathSetEstimator;
+
+/// Column index of the unknowns (correlation subsets).
+///
+/// The first `num_targets` entries are the *target* subsets the caller wants
+/// to estimate (the potentially congested subsets up to the configured size
+/// cap); any further entries are *auxiliary* subsets that appeared in some
+/// equation (e.g. larger intersections `Links(P) ∩ C`) and must be carried as
+/// unknowns for the equations to be exact, but are not reported.
+#[derive(Clone, Debug, Default)]
+pub struct SubsetIndex {
+    subsets: Vec<CorrelationSubset>,
+    lookup: HashMap<CorrelationSubset, usize>,
+    num_targets: usize,
+}
+
+impl SubsetIndex {
+    /// Creates an index whose target columns are `targets`, in order.
+    pub fn new(targets: Vec<CorrelationSubset>) -> Self {
+        let mut idx = Self::default();
+        for t in targets {
+            idx.get_or_insert(&t);
+        }
+        idx.num_targets = idx.subsets.len();
+        idx
+    }
+
+    /// Number of columns (targets + auxiliaries).
+    pub fn len(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Returns `true` when the index has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.subsets.is_empty()
+    }
+
+    /// Number of target columns.
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+
+    /// The subsets, targets first.
+    pub fn subsets(&self) -> &[CorrelationSubset] {
+        &self.subsets
+    }
+
+    /// The column of a subset, if present.
+    pub fn index_of(&self, subset: &CorrelationSubset) -> Option<usize> {
+        self.lookup.get(subset).copied()
+    }
+
+    /// The column of a subset, inserting it as an auxiliary column if absent.
+    pub fn get_or_insert(&mut self, subset: &CorrelationSubset) -> usize {
+        if let Some(&i) = self.lookup.get(subset) {
+            return i;
+        }
+        let i = self.subsets.len();
+        self.subsets.push(subset.clone());
+        self.lookup.insert(subset.clone(), i);
+        i
+    }
+}
+
+/// Computes the correlation subsets induced by a path set: the non-empty
+/// intersections `Links(P) ∩ C`, restricted to the potentially congested
+/// links (always-good links contribute a factor of 1 and are dropped).
+pub fn induced_subsets(
+    network: &Network,
+    path_set: &[PathId],
+    potentially_congested: &BTreeSet<LinkId>,
+) -> Vec<CorrelationSubset> {
+    let links = network.links_covered(path_set.iter());
+    let mut per_set: BTreeMap<usize, BTreeSet<LinkId>> = BTreeMap::new();
+    for l in links {
+        if !potentially_congested.contains(&l) {
+            continue;
+        }
+        per_set
+            .entry(network.correlation_set_of(l))
+            .or_default()
+            .insert(l);
+    }
+    per_set
+        .into_iter()
+        .map(|(set_id, links)| CorrelationSubset { set_id, links })
+        .collect()
+}
+
+/// Builds the row vector `Row(P, Ê)` over the *target* columns of an index:
+/// 1 at the column of every induced subset that is a target, 0 elsewhere.
+/// Induced subsets that are not in the index are ignored (the paper's `Row`
+/// only marks subsets present in `Ê`).
+pub fn row_over_targets(
+    network: &Network,
+    path_set: &[PathId],
+    potentially_congested: &BTreeSet<LinkId>,
+    index: &SubsetIndex,
+) -> Vec<f64> {
+    let mut row = vec![0.0; index.num_targets()];
+    for subset in induced_subsets(network, path_set, potentially_congested) {
+        if let Some(col) = index.index_of(&subset) {
+            if col < index.num_targets() {
+                row[col] = 1.0;
+            }
+        }
+    }
+    row
+}
+
+/// One assembled equation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Equation {
+    /// The path set the equation was formed from.
+    pub path_set: Vec<PathId>,
+    /// Columns with coefficient 1 (indices into the subset index).
+    pub columns: Vec<usize>,
+    /// Right-hand side: `ln P(∩ Y_p = 0)` (empirical, clamped).
+    pub rhs: f64,
+}
+
+/// The assembled log-linear system.
+#[derive(Clone, Debug)]
+pub struct EquationSystem {
+    index: SubsetIndex,
+    equations: Vec<Equation>,
+}
+
+/// The solution of an [`EquationSystem`].
+#[derive(Clone, Debug)]
+pub struct SolvedSystem {
+    /// Good-probability `P(∩_{e∈E} X_e = 0)` per subset of the index
+    /// (targets first).
+    pub good_probability: Vec<f64>,
+    /// Whether each unknown was identifiable from the equations.
+    pub identifiable: Vec<bool>,
+    /// Rank of the system matrix.
+    pub rank: usize,
+    /// Number of equations.
+    pub num_equations: usize,
+}
+
+impl EquationSystem {
+    /// Creates an empty system over the given target subsets.
+    pub fn new(targets: Vec<CorrelationSubset>) -> Self {
+        Self {
+            index: SubsetIndex::new(targets),
+            equations: Vec::new(),
+        }
+    }
+
+    /// The column index.
+    pub fn index(&self) -> &SubsetIndex {
+        &self.index
+    }
+
+    /// The equations added so far.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// Number of equations.
+    pub fn num_equations(&self) -> usize {
+        self.equations.len()
+    }
+
+    /// Adds the equation corresponding to one path set. Returns `false`
+    /// (adding nothing) when the path set induces no unknown subsets — such
+    /// an equation carries no information.
+    pub fn add_path_set(
+        &mut self,
+        network: &Network,
+        estimator: &PathSetEstimator<'_>,
+        potentially_congested: &BTreeSet<LinkId>,
+        path_set: &[PathId],
+    ) -> bool {
+        let induced = induced_subsets(network, path_set, potentially_congested);
+        if induced.is_empty() {
+            return false;
+        }
+        let columns: Vec<usize> = induced
+            .iter()
+            .map(|s| self.index.get_or_insert(s))
+            .collect();
+        let rhs = estimator.log_all_good_probability(path_set);
+        self.equations.push(Equation {
+            path_set: path_set.to_vec(),
+            columns,
+            rhs,
+        });
+        true
+    }
+
+    /// Builds the dense system matrix (one row per equation, one column per
+    /// unknown, including auxiliaries).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.equations.len(), self.index.len());
+        for (i, eq) in self.equations.iter().enumerate() {
+            for &c in &eq.columns {
+                m[(i, c)] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// The right-hand-side vector.
+    pub fn rhs(&self) -> Vector {
+        Vector::from_iter(self.equations.iter().map(|e| e.rhs))
+    }
+
+    /// Solves the system by least squares and converts the log-domain
+    /// solution back to probabilities.
+    pub fn solve(&self, opts: &LstsqOptions) -> SolvedSystem {
+        let a = self.matrix();
+        let b = self.rhs();
+        let sol = least_squares(&a, &b, opts);
+        let good_probability: Vec<f64> = sol
+            .x
+            .as_slice()
+            .iter()
+            .map(|&y| y.exp().clamp(0.0, 1.0))
+            .collect();
+        SolvedSystem {
+            good_probability,
+            identifiable: sol.identifiable,
+            rank: sol.rank,
+            num_equations: self.equations.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorConfig;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3, E4};
+    use tomo_sim::PathObservations;
+
+    fn all_links() -> BTreeSet<LinkId> {
+        [E1, E2, E3, E4].into_iter().collect()
+    }
+
+    #[test]
+    fn induced_subsets_match_paper_examples() {
+        let net = fig1_case1();
+        // Path set {p1}: Links = {e1, e2} -> subsets {e1} and {e2}.
+        let subs = induced_subsets(&net, &[PathId(0)], &all_links());
+        let rendered: Vec<Vec<LinkId>> = subs.iter().map(|s| s.links_vec()).collect();
+        assert_eq!(rendered, vec![vec![E1], vec![E2]]);
+        // Path set {p1, p2}: Links = {e1, e2, e3} -> subsets {e1}, {e2, e3}.
+        let subs = induced_subsets(&net, &[PathId(0), PathId(1)], &all_links());
+        let rendered: Vec<Vec<LinkId>> = subs.iter().map(|s| s.links_vec()).collect();
+        assert_eq!(rendered, vec![vec![E1], vec![E2, E3]]);
+    }
+
+    #[test]
+    fn induced_subsets_drop_always_good_links() {
+        let net = fig1_case1();
+        let only_e1: BTreeSet<LinkId> = [E1].into_iter().collect();
+        let subs = induced_subsets(&net, &[PathId(0)], &only_e1);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].links_vec(), vec![E1]);
+    }
+
+    #[test]
+    fn row_over_targets_matches_matrix_example() {
+        // §5.2 worked example: Ê = <{e1},{e2},{e3},{e4},{e2,e3}>,
+        // P̂ = <{p1},{p1,p2}> gives the matrix [[1,1,0,0,0],[1,0,0,0,1]].
+        let net = fig1_case1();
+        let targets = vec![
+            CorrelationSubset::new(0, [E1]),
+            CorrelationSubset::new(1, [E2]),
+            CorrelationSubset::new(1, [E3]),
+            CorrelationSubset::new(2, [E4]),
+            CorrelationSubset::new(1, [E2, E3]),
+        ];
+        let index = SubsetIndex::new(targets);
+        let r1 = row_over_targets(&net, &[PathId(0)], &all_links(), &index);
+        assert_eq!(r1, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+        let r2 = row_over_targets(&net, &[PathId(0), PathId(1)], &all_links(), &index);
+        assert_eq!(r2, vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_index_separates_targets_and_auxiliaries() {
+        let mut idx = SubsetIndex::new(vec![CorrelationSubset::new(0, [E1])]);
+        assert_eq!(idx.num_targets(), 1);
+        let aux = CorrelationSubset::new(1, [E2, E3]);
+        let col = idx.get_or_insert(&aux);
+        assert_eq!(col, 1);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.num_targets(), 1);
+        // Re-inserting returns the same column.
+        assert_eq!(idx.get_or_insert(&aux), 1);
+    }
+
+    #[test]
+    fn full_toy_system_recovers_exact_probabilities() {
+        // Build ideal observations directly from known good-probabilities and
+        // check that solving the paper's 5-equation system (Fig. 2b) recovers
+        // them. We use deterministic "frequencies": e1 good 80% of intervals,
+        // {e2,e3} good 60% (perfectly correlated), e4 always good.
+        let net = fig1_case1();
+        let t = 1000usize;
+        let mut obs = PathObservations::new(3, t);
+        // Construct interval-level truth: e1 congested in the first 20% of
+        // intervals, {e2,e3} congested in intervals where t % 5 < 2 (40%).
+        for ti in 0..t {
+            let e1_bad = ti < t / 5;
+            let e23_bad = ti % 5 < 2;
+            // p1 = {e1,e2}, p2 = {e1,e3}, p3 = {e4,e3}
+            obs.set_congested(PathId(0), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(1), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(2), ti, e23_bad);
+        }
+        let estimator = PathSetEstimator::new(&obs, EstimatorConfig::default());
+        let targets = vec![
+            CorrelationSubset::new(0, [E1]),
+            CorrelationSubset::new(1, [E2]),
+            CorrelationSubset::new(1, [E3]),
+            CorrelationSubset::new(2, [E4]),
+            CorrelationSubset::new(1, [E2, E3]),
+        ];
+        let mut sys = EquationSystem::new(targets);
+        let pc = all_links();
+        // The paper's initial path sets (§5.3 worked example).
+        let path_sets: Vec<Vec<PathId>> = vec![
+            vec![PathId(0), PathId(1)],
+            vec![PathId(0)],
+            vec![PathId(1), PathId(2)],
+            vec![PathId(2)],
+            vec![PathId(0), PathId(1), PathId(2)],
+        ];
+        for ps in &path_sets {
+            assert!(sys.add_path_set(&net, &estimator, &pc, ps));
+        }
+        assert_eq!(sys.num_equations(), 5);
+        let solved = sys.solve(&LstsqOptions::default());
+        assert_eq!(solved.rank, 5);
+        // Expected good-probabilities. Note e1 and {e2,e3} overlap in time:
+        // P(e1 good) = 0.8, P(e2 good) = P(e3 good) = P(e2,e3 good) = 0.6,
+        // P(e4 good) = 1.0.
+        let idx = sys.index();
+        let expect = [
+            (CorrelationSubset::new(0, [E1]), 0.8),
+            (CorrelationSubset::new(1, [E2]), 0.6),
+            (CorrelationSubset::new(1, [E3]), 0.6),
+            (CorrelationSubset::new(2, [E4]), 1.0),
+            (CorrelationSubset::new(1, [E2, E3]), 0.6),
+        ];
+        for (subset, want) in expect {
+            let col = idx.index_of(&subset).expect("target column");
+            let got = solved.good_probability[col];
+            assert!(
+                (got - want).abs() < 0.08,
+                "{subset}: want {want}, got {got}"
+            );
+        }
+    }
+}

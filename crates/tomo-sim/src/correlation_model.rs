@@ -1,0 +1,270 @@
+//! The congestion process: drivers, marginals and physically-induced
+//! correlations.
+//!
+//! The paper induces link correlations through the router-level view: "if a
+//! router-level link becomes congested, then all the AS-level links that
+//! share this router-level link become congested at the same time" (§3.2).
+//!
+//! We model this with *drivers*. A driver is an independent Bernoulli source
+//! of congestion with a probability drawn uniformly from (0, 1):
+//!
+//! * a **shared driver** corresponds to a congested router-level link and has
+//!   several member AS-level links — when it fires, *all* of them become
+//!   congested simultaneously (perfectly correlated members);
+//! * a **private driver** has a single member link (independent congestion).
+//!
+//! Every *congestible* link belongs to exactly one driver, which keeps both
+//! the marginal probability `P(X_e = 1)` and the joint probability of any
+//! set of links in closed form (products over the drivers touching the set).
+//! Links that are not congestible are always good.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+use tomo_graph::{LinkId, Network};
+
+/// An independent source of congestion.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Driver {
+    /// Probability that this driver fires in a given interval.
+    pub probability: f64,
+    /// The links that become congested when the driver fires.
+    pub members: Vec<LinkId>,
+}
+
+/// The complete congestion process for one experiment (or one epoch of a
+/// non-stationary experiment).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CongestionModel {
+    /// The independent drivers.
+    pub drivers: Vec<Driver>,
+    /// `driver_of[l]` = index of the driver containing link `l`, if the link
+    /// is congestible.
+    driver_of: HashMap<LinkId, usize>,
+}
+
+impl CongestionModel {
+    /// Builds a model from a list of drivers.
+    ///
+    /// # Panics
+    /// Panics if a link appears in more than one driver.
+    pub fn new(drivers: Vec<Driver>) -> Self {
+        let mut driver_of = HashMap::new();
+        for (i, d) in drivers.iter().enumerate() {
+            assert!(
+                d.probability >= 0.0 && d.probability <= 1.0,
+                "driver probability out of range"
+            );
+            for &l in &d.members {
+                let prev = driver_of.insert(l, i);
+                assert!(prev.is_none(), "link {l} belongs to two drivers");
+            }
+        }
+        Self { drivers, driver_of }
+    }
+
+    /// The congestible links (members of any driver).
+    pub fn congestible_links(&self) -> Vec<LinkId> {
+        let mut v: Vec<LinkId> = self.driver_of.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Returns `true` if the link can ever be congested under this model.
+    pub fn is_congestible(&self, link: LinkId) -> bool {
+        self.driver_of.contains_key(&link)
+    }
+
+    /// The exact marginal congestion probability `P(X_e = 1)` of a link.
+    pub fn marginal(&self, link: LinkId) -> f64 {
+        match self.driver_of.get(&link) {
+            Some(&d) => self.drivers[d].probability,
+            None => 0.0,
+        }
+    }
+
+    /// The exact joint congestion probability `P(∩_{e∈S} X_e = 1)` of a set
+    /// of links: the product of the probabilities of the distinct drivers
+    /// covering the set, or 0 if any member is not congestible.
+    pub fn joint_congestion(&self, links: &[LinkId]) -> f64 {
+        let mut drivers = BTreeSet::new();
+        for l in links {
+            match self.driver_of.get(l) {
+                Some(&d) => {
+                    drivers.insert(d);
+                }
+                None => return 0.0,
+            }
+        }
+        drivers
+            .iter()
+            .map(|&d| self.drivers[d].probability)
+            .product()
+    }
+
+    /// The exact probability that *all* links of a set are good,
+    /// `P(∩_{e∈S} X_e = 0)`: the product of `(1 − p_d)` over the distinct
+    /// drivers covering the congestible members of the set.
+    pub fn joint_good(&self, links: &[LinkId]) -> f64 {
+        let mut drivers = BTreeSet::new();
+        for l in links {
+            if let Some(&d) = self.driver_of.get(l) {
+                drivers.insert(d);
+            }
+        }
+        drivers
+            .iter()
+            .map(|&d| 1.0 - self.drivers[d].probability)
+            .product()
+    }
+
+    /// Samples the set of congested links for one interval.
+    pub fn sample_interval(&self, rng: &mut StdRng, num_links: usize) -> Vec<bool> {
+        let mut congested = vec![false; num_links];
+        for d in &self.drivers {
+            if rng.gen_bool(d.probability.clamp(0.0, 1.0)) {
+                for &l in &d.members {
+                    congested[l.index()] = true;
+                }
+            }
+        }
+        congested
+    }
+
+    /// Returns `true` when two links are perfectly correlated under this
+    /// model (same driver).
+    pub fn correlated(&self, a: LinkId, b: LinkId) -> bool {
+        match (self.driver_of.get(&a), self.driver_of.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// Groups of AS-level links that share an underlying router-level link, i.e.
+/// the candidate correlation groups of a network. Only groups with at least
+/// two members are returned (a singleton group induces no correlation).
+pub fn shared_router_groups(network: &Network) -> Vec<Vec<LinkId>> {
+    let mut by_router: HashMap<usize, Vec<LinkId>> = HashMap::new();
+    for link in network.links() {
+        for r in &link.router_links {
+            by_router.entry(r.index()).or_default().push(link.id);
+        }
+    }
+    let mut groups: Vec<Vec<LinkId>> = by_router
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|mut g| {
+            g.sort_unstable();
+            g.dedup();
+            g
+        })
+        .filter(|g| g.len() >= 2)
+        .collect();
+    groups.sort();
+    groups.dedup();
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3};
+
+    fn model() -> CongestionModel {
+        CongestionModel::new(vec![
+            Driver {
+                probability: 0.3,
+                members: vec![E1],
+            },
+            Driver {
+                probability: 0.5,
+                members: vec![E2, E3],
+            },
+        ])
+    }
+
+    #[test]
+    fn marginals_and_joints() {
+        let m = model();
+        assert!((m.marginal(E1) - 0.3).abs() < 1e-12);
+        assert!((m.marginal(E2) - 0.5).abs() < 1e-12);
+        assert_eq!(m.marginal(LinkId(3)), 0.0);
+        // e2 and e3 share a driver: perfectly correlated.
+        assert!((m.joint_congestion(&[E2, E3]) - 0.5).abs() < 1e-12);
+        // e1 and e2 are independent: product of marginals.
+        assert!((m.joint_congestion(&[E1, E2]) - 0.15).abs() < 1e-12);
+        // A set containing a non-congestible link has probability 0.
+        assert_eq!(m.joint_congestion(&[E1, LinkId(3)]), 0.0);
+        // Joint good probabilities.
+        assert!((m.joint_good(&[E2, E3]) - 0.5).abs() < 1e-12);
+        assert!((m.joint_good(&[E1, E2]) - 0.35).abs() < 1e-12);
+        assert!((m.joint_good(&[LinkId(3)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_query() {
+        let m = model();
+        assert!(m.correlated(E2, E3));
+        assert!(!m.correlated(E1, E2));
+        assert!(!m.correlated(E1, LinkId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two drivers")]
+    fn rejects_overlapping_drivers() {
+        let _ = CongestionModel::new(vec![
+            Driver {
+                probability: 0.1,
+                members: vec![E1],
+            },
+            Driver {
+                probability: 0.2,
+                members: vec![E1, E2],
+            },
+        ]);
+    }
+
+    #[test]
+    fn sampling_respects_marginals_and_correlation() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut count_e1 = 0;
+        let mut count_e2 = 0;
+        let mut count_e2_and_e3 = 0;
+        let mut count_e2_xor_e3 = 0;
+        for _ in 0..trials {
+            let s = m.sample_interval(&mut rng, 4);
+            if s[E1.index()] {
+                count_e1 += 1;
+            }
+            if s[E2.index()] {
+                count_e2 += 1;
+            }
+            if s[E2.index()] && s[E3.index()] {
+                count_e2_and_e3 += 1;
+            }
+            if s[E2.index()] != s[E3.index()] {
+                count_e2_xor_e3 += 1;
+            }
+        }
+        let f_e1 = count_e1 as f64 / trials as f64;
+        let f_e2 = count_e2 as f64 / trials as f64;
+        let f_joint = count_e2_and_e3 as f64 / trials as f64;
+        assert!((f_e1 - 0.3).abs() < 0.02, "f_e1 = {f_e1}");
+        assert!((f_e2 - 0.5).abs() < 0.02, "f_e2 = {f_e2}");
+        assert!((f_joint - 0.5).abs() < 0.02, "f_joint = {f_joint}");
+        // Perfect correlation: e2 and e3 never differ.
+        assert_eq!(count_e2_xor_e3, 0);
+    }
+
+    #[test]
+    fn shared_router_groups_from_generated_topology() {
+        // The toy fixture has no router annotations: no groups.
+        assert!(shared_router_groups(&fig1_case1()).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Congestion and measurement simulator.
+//!
+//! Implements the simulation methodology of §3.2 of the paper:
+//!
+//! * at the beginning of an experiment, 10 % of the AS-level links are given
+//!   a non-zero congestion probability drawn uniformly from (0, 1); which
+//!   links, and whether they are mutually correlated, depends on the
+//!   *scenario* ([`scenario`]);
+//! * link correlations are physical: AS-level links that share an underlying
+//!   router-level link become congested together ([`correlation_model`]);
+//! * at the beginning of every interval each link is declared good or
+//!   congested (respecting the configured marginal and joint probabilities)
+//!   and is assigned a packet-loss rate from the loss model of
+//!   Padmanabhan et al. — good links lose a fraction in (0, 0.01), congested
+//!   links a fraction in (0.01, 1) ([`loss`]);
+//! * probe packets are sent along every measurement path and dropped
+//!   per-link with the assigned loss rates; a path is declared congested in
+//!   an interval when its empirical loss fraction exceeds the `d`-link
+//!   threshold `1 − (1−f)^d` ([`simulator`]);
+//! * the resulting per-interval path observations ([`observation`]) are what
+//!   the tomography algorithms consume, while the per-interval link states
+//!   ([`state`]) are the ground truth the metrics compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation_model;
+pub mod loss;
+pub mod observation;
+pub mod scenario;
+pub mod simulator;
+pub mod state;
+
+pub use correlation_model::{CongestionModel, Driver};
+pub use loss::{LossModel, MeasurementMode};
+pub use observation::PathObservations;
+pub use scenario::{CongestiblePlacement, ScenarioConfig, ScenarioKind};
+pub use simulator::{SimulationConfig, SimulationOutput, Simulator};
+pub use state::GroundTruth;

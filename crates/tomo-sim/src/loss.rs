@@ -1,0 +1,143 @@
+//! The packet-loss model and the path-measurement modes.
+//!
+//! Follows §2 and §3.2 of the paper: a link is *good* during an interval when
+//! it drops at most a fraction `f` of the packets it receives, *congested*
+//! otherwise; the simulator draws the actual loss rate of a good link
+//! uniformly from `(0, f)` and of a congested link uniformly from `(f, 1)`
+//! (the loss model of Padmanabhan et al. [12], also used by NetQuest [13] and
+//! CLINK [11]). A path of `d` links is declared congested when it drops more
+//! than a fraction `1 − (1−f)^d` of the packets sent along it — the
+//! transmission rate of `d` consecutive good links.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The link-level loss model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LossModel {
+    /// The good/congested threshold `f` on the link loss fraction
+    /// (0.01 in the paper).
+    pub link_threshold: f64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        Self {
+            link_threshold: 0.01,
+        }
+    }
+}
+
+impl LossModel {
+    /// Creates a loss model with a custom threshold.
+    pub fn new(link_threshold: f64) -> Self {
+        assert!(
+            link_threshold > 0.0 && link_threshold < 1.0,
+            "threshold must be in (0,1)"
+        );
+        Self { link_threshold }
+    }
+
+    /// Draws the per-packet loss rate of a link for one interval.
+    pub fn draw_loss_rate(&self, rng: &mut impl Rng, congested: bool) -> f64 {
+        if congested {
+            rng.gen_range(self.link_threshold..1.0)
+        } else {
+            rng.gen_range(0.0..self.link_threshold)
+        }
+    }
+
+    /// The path-level congestion threshold for a path of `d` links:
+    /// `1 − (1−f)^d`.
+    pub fn path_threshold(&self, d: usize) -> f64 {
+        1.0 - (1.0 - self.link_threshold).powi(d as i32)
+    }
+
+    /// Classifies a path from its measured loss fraction.
+    pub fn path_is_congested(&self, loss_fraction: f64, d: usize) -> bool {
+        loss_fraction > self.path_threshold(d)
+    }
+}
+
+/// How path observations are derived from link states.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MeasurementMode {
+    /// Ideal end-to-end monitoring: a path is congested exactly when at
+    /// least one of its links is congested (Assumptions 1 and 2 hold without
+    /// measurement noise). Useful for isolating algorithmic error from
+    /// probing error, and for fast unit tests.
+    Ideal,
+    /// Packet-level probing: `packets_per_interval` probes are sent along
+    /// every path each interval and dropped per-link according to the loss
+    /// model; the path is classified from its empirical loss fraction. This
+    /// is the mode used for the paper's experiments and introduces realistic
+    /// false positives/negatives in the path observations.
+    PacketProbes {
+        /// Number of probe packets sent along each path per interval.
+        packets_per_interval: usize,
+    },
+}
+
+impl Default for MeasurementMode {
+    fn default() -> Self {
+        MeasurementMode::PacketProbes {
+            packets_per_interval: 400,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_rates_respect_the_threshold() {
+        let model = LossModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let good = model.draw_loss_rate(&mut rng, false);
+            assert!((0.0..0.01).contains(&good));
+            let bad = model.draw_loss_rate(&mut rng, true);
+            assert!((0.01..1.0).contains(&bad));
+        }
+    }
+
+    #[test]
+    fn path_threshold_grows_with_length() {
+        let model = LossModel::default();
+        let t1 = model.path_threshold(1);
+        let t5 = model.path_threshold(5);
+        assert!((t1 - 0.01).abs() < 1e-12);
+        assert!(t5 > t1);
+        assert!(t5 < 0.05 + 1e-9); // 1-(0.99)^5 ≈ 0.049
+    }
+
+    #[test]
+    fn path_classification() {
+        let model = LossModel::default();
+        assert!(!model.path_is_congested(0.005, 1));
+        assert!(model.path_is_congested(0.05, 1));
+        // A 3-link path tolerates slightly more loss than a 1-link path.
+        let t3 = model.path_threshold(3);
+        assert!(!model.path_is_congested(t3 * 0.99, 3));
+        assert!(model.path_is_congested(t3 * 1.01, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0,1)")]
+    fn rejects_invalid_threshold() {
+        let _ = LossModel::new(1.5);
+    }
+
+    #[test]
+    fn default_measurement_mode_is_probing() {
+        match MeasurementMode::default() {
+            MeasurementMode::PacketProbes {
+                packets_per_interval,
+            } => assert!(packets_per_interval > 0),
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

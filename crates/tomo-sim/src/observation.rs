@@ -1,0 +1,178 @@
+//! Per-interval path observations — the only information the tomography
+//! algorithms are allowed to see (Assumption 2, E2E Monitoring).
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::PathId;
+
+/// The Boolean congestion status `Y_p(t)` of every path over `T` intervals.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathObservations {
+    num_paths: usize,
+    num_intervals: usize,
+    /// Row-major: `congested[t * num_paths + p]`.
+    congested: Vec<bool>,
+}
+
+impl PathObservations {
+    /// Creates an all-good observation matrix.
+    pub fn new(num_paths: usize, num_intervals: usize) -> Self {
+        Self {
+            num_paths,
+            num_intervals,
+            congested: vec![false; num_paths * num_intervals],
+        }
+    }
+
+    /// Number of observed paths.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// Number of observation intervals `T`.
+    pub fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Marks path `p` as congested during interval `t`.
+    pub fn set_congested(&mut self, p: PathId, t: usize, congested: bool) {
+        let idx = self.index(p, t);
+        self.congested[idx] = congested;
+    }
+
+    /// Returns `true` if path `p` was congested during interval `t`
+    /// (`Y_p(t) = 1`).
+    pub fn is_congested(&self, p: PathId, t: usize) -> bool {
+        self.congested[self.index(p, t)]
+    }
+
+    /// Returns `true` if path `p` was good during interval `t`
+    /// (`Y_p(t) = 0`).
+    pub fn is_good(&self, p: PathId, t: usize) -> bool {
+        !self.is_congested(p, t)
+    }
+
+    fn index(&self, p: PathId, t: usize) -> usize {
+        assert!(p.index() < self.num_paths, "path index out of range");
+        assert!(t < self.num_intervals, "interval index out of range");
+        t * self.num_paths + p.index()
+    }
+
+    /// The set of congested paths `P^c(t)` during interval `t`.
+    pub fn congested_paths(&self, t: usize) -> Vec<PathId> {
+        (0..self.num_paths)
+            .map(PathId)
+            .filter(|&p| self.is_congested(p, t))
+            .collect()
+    }
+
+    /// The set of good paths during interval `t`.
+    pub fn good_paths(&self, t: usize) -> Vec<PathId> {
+        (0..self.num_paths)
+            .map(PathId)
+            .filter(|&p| self.is_good(p, t))
+            .collect()
+    }
+
+    /// Returns `true` if *all* the given paths were good during interval `t`.
+    pub fn all_good(&self, paths: &[PathId], t: usize) -> bool {
+        paths.iter().all(|&p| self.is_good(p, t))
+    }
+
+    /// Empirical estimate of `P(∩_{p ∈ paths} Y_p = 0)`: the fraction of
+    /// intervals during which every path in `paths` was good. This is the
+    /// left-hand side of Eq. (1) in the paper.
+    pub fn fraction_all_good(&self, paths: &[PathId]) -> f64 {
+        if self.num_intervals == 0 {
+            return 0.0;
+        }
+        let count = (0..self.num_intervals)
+            .filter(|&t| self.all_good(paths, t))
+            .count();
+        count as f64 / self.num_intervals as f64
+    }
+
+    /// Empirical congestion frequency of a single path.
+    pub fn path_congestion_frequency(&self, p: PathId) -> f64 {
+        if self.num_intervals == 0 {
+            return 0.0;
+        }
+        let count = (0..self.num_intervals)
+            .filter(|&t| self.is_congested(p, t))
+            .count();
+        count as f64 / self.num_intervals as f64
+    }
+
+    /// Paths that were good during *every* interval. Links traversed only by
+    /// such paths are not "potentially congested" (§5.2) and their congestion
+    /// probability is 0.
+    pub fn always_good_paths(&self) -> Vec<PathId> {
+        (0..self.num_paths)
+            .map(PathId)
+            .filter(|&p| (0..self.num_intervals).all(|t| self.is_good(p, t)))
+            .collect()
+    }
+
+    /// Paths that were congested during at least one interval.
+    pub fn sometimes_congested_paths(&self) -> Vec<PathId> {
+        (0..self.num_paths)
+            .map(PathId)
+            .filter(|&p| (0..self.num_intervals).any(|t| self.is_congested(p, t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PathObservations {
+        // 3 paths, 4 intervals.
+        let mut o = PathObservations::new(3, 4);
+        // p0 congested in t0, t2 ; p1 congested in t0 ; p2 never congested.
+        o.set_congested(PathId(0), 0, true);
+        o.set_congested(PathId(0), 2, true);
+        o.set_congested(PathId(1), 0, true);
+        o
+    }
+
+    #[test]
+    fn basic_queries() {
+        let o = sample();
+        assert_eq!(o.num_paths(), 3);
+        assert_eq!(o.num_intervals(), 4);
+        assert!(o.is_congested(PathId(0), 0));
+        assert!(o.is_good(PathId(0), 1));
+        assert_eq!(o.congested_paths(0), vec![PathId(0), PathId(1)]);
+        assert_eq!(o.congested_paths(1), vec![]);
+        assert_eq!(o.good_paths(2), vec![PathId(1), PathId(2)]);
+    }
+
+    #[test]
+    fn empirical_probabilities() {
+        let o = sample();
+        // p0 good in 2/4 intervals.
+        assert!((o.fraction_all_good(&[PathId(0)]) - 0.5).abs() < 1e-12);
+        // {p0, p1} both good in t1, t3 -> 0.5
+        assert!((o.fraction_all_good(&[PathId(0), PathId(1)]) - 0.5).abs() < 1e-12);
+        // Empty path set: vacuously all good in every interval.
+        assert!((o.fraction_all_good(&[]) - 1.0).abs() < 1e-12);
+        assert!((o.path_congestion_frequency(PathId(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_good_detection() {
+        let o = sample();
+        assert_eq!(o.always_good_paths(), vec![PathId(2)]);
+        assert_eq!(
+            o.sometimes_congested_paths(),
+            vec![PathId(0), PathId(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval index out of range")]
+    fn out_of_range_interval_panics() {
+        let o = sample();
+        let _ = o.is_good(PathId(0), 99);
+    }
+}

@@ -1,0 +1,430 @@
+//! Congestion scenarios (§3.2 and §5.4 of the paper).
+//!
+//! All scenarios share the same skeleton: 10 % of the links are *congestible*
+//! (non-zero congestion probability drawn uniformly from (0, 1)); the
+//! scenarios differ in **which** links are congestible, whether they are
+//! mutually **correlated**, and whether the probabilities are **stationary**:
+//!
+//! * **Random Congestion** — congestible links chosen uniformly at random.
+//! * **Concentrated Congestion** — congestible links located toward the edge
+//!   of the network (no congestion at the core), the worst case for the
+//!   Sparsity algorithm.
+//! * **No Independence** — congestible links chosen so that each is
+//!   correlated with at least one other (they share a router-level link),
+//!   the worst case for Bayesian-Independence.
+//! * **No Stationarity** — same placement as No Independence, plus the
+//!   congestion probabilities are re-drawn every few intervals, the worst
+//!   case for Bayesian-Correlation.
+//! * **Sparse Topology** — Random Congestion applied to a Sparse (instead of
+//!   Brite) topology; the scenario itself is the same, only the topology
+//!   differs, so this kind carries no extra knobs here.
+//!
+//! For the Probability-Computation evaluation (§5.4) the paper additionally
+//! layers non-stationarity on top of every scenario; use
+//! [`ScenarioConfig::with_nonstationary`] for that.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+use tomo_graph::{LinkId, Network};
+
+use crate::correlation_model::{shared_router_groups, CongestionModel, Driver};
+
+/// The named scenarios of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Congestible links chosen uniformly at random (Brite topology).
+    RandomCongestion,
+    /// Congestible links concentrated at the network edge.
+    ConcentratedCongestion,
+    /// Congestible links chosen so that each is correlated with at least one
+    /// other congestible link.
+    NoIndependence,
+    /// No Independence placement plus non-stationary probabilities.
+    NoStationarity,
+    /// Random Congestion applied to a Sparse topology.
+    SparseTopology,
+}
+
+impl ScenarioKind {
+    /// All scenario kinds, in the order of Fig. 3 of the paper.
+    pub fn all() -> [ScenarioKind; 5] {
+        [
+            ScenarioKind::RandomCongestion,
+            ScenarioKind::ConcentratedCongestion,
+            ScenarioKind::NoIndependence,
+            ScenarioKind::NoStationarity,
+            ScenarioKind::SparseTopology,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::RandomCongestion => "Random Congestion",
+            ScenarioKind::ConcentratedCongestion => "Concentrated Congestion",
+            ScenarioKind::NoIndependence => "No Independence",
+            ScenarioKind::NoStationarity => "No Stationarity",
+            ScenarioKind::SparseTopology => "Sparse Topology",
+        }
+    }
+}
+
+/// How the congestible links are placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CongestiblePlacement {
+    /// Uniformly at random over the observed links.
+    Random,
+    /// Toward the edge of the network (links close to path endpoints).
+    Edge,
+    /// Grouped so that every congestible link shares a router-level link with
+    /// at least one other congestible link.
+    Correlated,
+}
+
+/// Full configuration of a congestion scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// The named scenario this configuration corresponds to.
+    pub kind: ScenarioKind,
+    /// Placement of the congestible links.
+    pub placement: CongestiblePlacement,
+    /// Fraction of links that get a non-zero congestion probability
+    /// (0.10 in the paper).
+    pub congestible_fraction: f64,
+    /// Whether the congestion probabilities stay fixed for the whole
+    /// experiment.
+    pub stationary: bool,
+    /// For non-stationary runs: the probabilities are re-drawn every
+    /// `epoch_len` intervals ("every few time intervals").
+    pub epoch_len: usize,
+}
+
+impl ScenarioConfig {
+    /// The paper's *Random Congestion* scenario.
+    pub fn random_congestion() -> Self {
+        Self {
+            kind: ScenarioKind::RandomCongestion,
+            placement: CongestiblePlacement::Random,
+            congestible_fraction: 0.10,
+            stationary: true,
+            epoch_len: 50,
+        }
+    }
+
+    /// The paper's *Concentrated Congestion* scenario.
+    pub fn concentrated_congestion() -> Self {
+        Self {
+            kind: ScenarioKind::ConcentratedCongestion,
+            placement: CongestiblePlacement::Edge,
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The paper's *No Independence* scenario.
+    pub fn no_independence() -> Self {
+        Self {
+            kind: ScenarioKind::NoIndependence,
+            placement: CongestiblePlacement::Correlated,
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The paper's *No Stationarity* scenario (correlated placement plus
+    /// non-stationary probabilities).
+    pub fn no_stationarity() -> Self {
+        Self {
+            kind: ScenarioKind::NoStationarity,
+            placement: CongestiblePlacement::Correlated,
+            stationary: false,
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The paper's *Sparse Topology* scenario (random placement; the harness
+    /// pairs it with a Sparse rather than Brite topology).
+    pub fn sparse_topology() -> Self {
+        Self {
+            kind: ScenarioKind::SparseTopology,
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The configuration for a named scenario kind.
+    pub fn for_kind(kind: ScenarioKind) -> Self {
+        match kind {
+            ScenarioKind::RandomCongestion => Self::random_congestion(),
+            ScenarioKind::ConcentratedCongestion => Self::concentrated_congestion(),
+            ScenarioKind::NoIndependence => Self::no_independence(),
+            ScenarioKind::NoStationarity => Self::no_stationarity(),
+            ScenarioKind::SparseTopology => Self::sparse_topology(),
+        }
+    }
+
+    /// Layers non-stationarity on top of this scenario (used by the Fig. 4
+    /// experiments, which add "No Stationarity" to every congestion
+    /// scenario).
+    pub fn with_nonstationary(mut self, epoch_len: usize) -> Self {
+        self.stationary = false;
+        self.epoch_len = epoch_len.max(1);
+        self
+    }
+
+    /// Builds the congestion model (drivers + probabilities) for one epoch.
+    ///
+    /// The same placement is kept across epochs of a non-stationary run; only
+    /// the probabilities are re-drawn (see
+    /// [`crate::Simulator`]), matching §3.2: "the congestion
+    /// probabilities of links (the 10 % of them, that is) change every few
+    /// time intervals".
+    pub fn build_model(&self, network: &Network, rng: &mut StdRng) -> CongestionModel {
+        let placement = self.place_congestible(network, rng);
+        build_drivers(network, &placement, self.placement, rng)
+    }
+
+    /// Chooses which links are congestible under this scenario.
+    pub fn place_congestible(&self, network: &Network, rng: &mut StdRng) -> Vec<LinkId> {
+        let observed: Vec<LinkId> = network
+            .link_ids()
+            .filter(|&l| !network.paths_through_link(l).is_empty())
+            .collect();
+        let target = ((network.num_links() as f64 * self.congestible_fraction).round() as usize)
+            .clamp(1, observed.len());
+        match self.placement {
+            CongestiblePlacement::Random => {
+                let mut pool = observed;
+                pool.shuffle(rng);
+                pool.truncate(target);
+                pool.sort_unstable();
+                pool
+            }
+            CongestiblePlacement::Edge => {
+                let mut scored: Vec<(f64, LinkId)> = observed
+                    .iter()
+                    .map(|&l| (edge_score(network, l), l))
+                    .collect();
+                // Highest edge score first (closest to path endpoints).
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                let mut picked: Vec<LinkId> =
+                    scored.into_iter().take(target).map(|(_, l)| l).collect();
+                picked.sort_unstable();
+                picked
+            }
+            CongestiblePlacement::Correlated => {
+                let mut groups = shared_router_groups(network);
+                groups.shuffle(rng);
+                let mut picked: Vec<LinkId> = Vec::new();
+                let mut seen: HashSet<LinkId> = HashSet::new();
+                for g in groups {
+                    if picked.len() >= target {
+                        break;
+                    }
+                    let fresh: Vec<LinkId> =
+                        g.into_iter().filter(|l| !seen.contains(l)).collect();
+                    if fresh.len() < 2 {
+                        continue;
+                    }
+                    for l in fresh {
+                        seen.insert(l);
+                        picked.push(l);
+                    }
+                }
+                // If the topology does not offer enough correlated groups
+                // (e.g. tiny test instances), fill up randomly so the
+                // congestible fraction is still honored.
+                if picked.len() < target {
+                    let mut rest: Vec<LinkId> = observed
+                        .into_iter()
+                        .filter(|l| !seen.contains(l))
+                        .collect();
+                    rest.shuffle(rng);
+                    picked.extend(rest.into_iter().take(target - picked.len()));
+                }
+                picked.sort_unstable();
+                picked
+            }
+        }
+    }
+}
+
+/// How close a link is to the edge of the network: the mean, over the paths
+/// traversing it, of its normalized position along the path (0 = first hop
+/// at the source, 1 = last hop before the destination). Links with a high
+/// score sit near path endpoints, i.e. at the edge of the network.
+pub fn edge_score(network: &Network, link: LinkId) -> f64 {
+    let paths = network.paths_through_link(link);
+    if paths.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &p in paths {
+        let path = network.path(p);
+        let pos = path
+            .links
+            .iter()
+            .position(|&l| l == link)
+            .expect("index is consistent") as f64;
+        let denom = (path.len() - 1).max(1) as f64;
+        total += pos / denom;
+    }
+    total / paths.len() as f64
+}
+
+/// Builds the drivers for a set of congestible links.
+///
+/// With [`CongestiblePlacement::Correlated`], links of the same shared-router
+/// group get a single shared driver (perfect correlation); otherwise every
+/// congestible link gets its own private driver. Probabilities are drawn
+/// uniformly from (0, 1), as in the paper.
+fn build_drivers(
+    network: &Network,
+    congestible: &[LinkId],
+    placement: CongestiblePlacement,
+    rng: &mut StdRng,
+) -> CongestionModel {
+    let congestible_set: HashSet<LinkId> = congestible.iter().copied().collect();
+    let mut assigned: HashSet<LinkId> = HashSet::new();
+    let mut drivers = Vec::new();
+
+    if placement == CongestiblePlacement::Correlated {
+        for group in shared_router_groups(network) {
+            let members: Vec<LinkId> = group
+                .into_iter()
+                .filter(|l| congestible_set.contains(l) && !assigned.contains(l))
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            for &l in &members {
+                assigned.insert(l);
+            }
+            drivers.push(Driver {
+                probability: rng.gen_range(0.01..1.0),
+                members,
+            });
+        }
+    }
+    for &l in congestible {
+        if assigned.contains(&l) {
+            continue;
+        }
+        drivers.push(Driver {
+            probability: rng.gen_range(0.01..1.0),
+            members: vec![l],
+        });
+    }
+    CongestionModel::new(drivers)
+}
+
+/// Re-draws every driver probability (used between epochs of a
+/// non-stationary experiment) while keeping the driver structure fixed.
+pub fn redraw_probabilities(model: &CongestionModel, rng: &mut StdRng) -> CongestionModel {
+    let drivers = model
+        .drivers
+        .iter()
+        .map(|d| Driver {
+            probability: rng.gen_range(0.01..1.0),
+            members: d.members.clone(),
+        })
+        .collect();
+    CongestionModel::new(drivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tomo_graph::toy::fig1_case1;
+
+    #[test]
+    fn named_scenarios_have_expected_knobs() {
+        assert!(ScenarioConfig::random_congestion().stationary);
+        assert_eq!(
+            ScenarioConfig::concentrated_congestion().placement,
+            CongestiblePlacement::Edge
+        );
+        assert_eq!(
+            ScenarioConfig::no_independence().placement,
+            CongestiblePlacement::Correlated
+        );
+        assert!(!ScenarioConfig::no_stationarity().stationary);
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioConfig::for_kind(kind).kind, kind);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn with_nonstationary_overrides_stationarity() {
+        let s = ScenarioConfig::random_congestion().with_nonstationary(25);
+        assert!(!s.stationary);
+        assert_eq!(s.epoch_len, 25);
+    }
+
+    #[test]
+    fn placement_honors_the_fraction() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = ScenarioConfig::random_congestion();
+        cfg.congestible_fraction = 0.5;
+        let picked = cfg.place_congestible(&net, &mut rng);
+        assert_eq!(picked.len(), 2); // 4 links * 0.5
+    }
+
+    #[test]
+    fn edge_scores_rank_destination_links_higher() {
+        let net = fig1_case1();
+        // e2 and e3 are last hops of their paths; e1 and e4 are first hops.
+        assert!(edge_score(&net, tomo_graph::toy::E2) > edge_score(&net, tomo_graph::toy::E1));
+        assert!(edge_score(&net, tomo_graph::toy::E3) > edge_score(&net, tomo_graph::toy::E4));
+    }
+
+    #[test]
+    fn edge_placement_prefers_edge_links() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = ScenarioConfig::concentrated_congestion();
+        cfg.congestible_fraction = 0.5;
+        let picked = cfg.place_congestible(&net, &mut rng);
+        assert_eq!(picked, vec![tomo_graph::toy::E2, tomo_graph::toy::E3]);
+    }
+
+    #[test]
+    fn model_marginals_are_in_range_and_limited_to_congestible() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = ScenarioConfig::random_congestion();
+        cfg.congestible_fraction = 0.5;
+        let model = cfg.build_model(&net, &mut rng);
+        let congestible = model.congestible_links();
+        assert_eq!(congestible.len(), 2);
+        for l in net.link_ids() {
+            let m = model.marginal(l);
+            if congestible.contains(&l) {
+                assert!(m > 0.0 && m < 1.0);
+            } else {
+                assert_eq!(m, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn redraw_keeps_structure_but_changes_probabilities() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = ScenarioConfig::no_stationarity();
+        cfg.congestible_fraction = 0.5;
+        let m1 = cfg.build_model(&net, &mut rng);
+        let m2 = redraw_probabilities(&m1, &mut rng);
+        assert_eq!(m1.congestible_links(), m2.congestible_links());
+        let changed = m1
+            .drivers
+            .iter()
+            .zip(&m2.drivers)
+            .any(|(a, b)| (a.probability - b.probability).abs() > 1e-9);
+        assert!(changed);
+    }
+}

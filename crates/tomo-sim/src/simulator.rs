@@ -1,0 +1,311 @@
+//! The interval-level simulator tying topology, scenario, congestion model
+//! and loss model together.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use tomo_graph::Network;
+
+use crate::correlation_model::CongestionModel;
+use crate::loss::{LossModel, MeasurementMode};
+use crate::observation::PathObservations;
+use crate::scenario::{redraw_probabilities, ScenarioConfig};
+use crate::state::GroundTruth;
+
+/// Configuration of one simulated experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of measurement intervals `T` (1000 in the paper's Fig. 3).
+    pub num_intervals: usize,
+    /// The congestion scenario.
+    pub scenario: ScenarioConfig,
+    /// The link-level loss model.
+    pub loss: LossModel,
+    /// How path observations are produced.
+    pub measurement: MeasurementMode,
+    /// RNG seed; experiments are fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// A paper-like configuration: 1000 intervals, packet probing.
+    pub fn paper_like(scenario: ScenarioConfig, seed: u64) -> Self {
+        Self {
+            num_intervals: 1000,
+            scenario,
+            loss: LossModel::default(),
+            measurement: MeasurementMode::default(),
+            seed,
+        }
+    }
+
+    /// A fast configuration for unit tests: few intervals, ideal monitoring.
+    pub fn fast(scenario: ScenarioConfig, num_intervals: usize, seed: u64) -> Self {
+        Self {
+            num_intervals,
+            scenario,
+            loss: LossModel::default(),
+            measurement: MeasurementMode::Ideal,
+            seed,
+        }
+    }
+}
+
+/// The result of a simulation: what the monitor saw and what actually
+/// happened.
+#[derive(Clone, Debug)]
+pub struct SimulationOutput {
+    /// The per-interval path observations (input to the algorithms).
+    pub observations: PathObservations,
+    /// The per-interval link states and derived frequencies (ground truth for
+    /// the metrics).
+    pub ground_truth: GroundTruth,
+    /// The congestion model of the *first* epoch (placement + initial
+    /// probabilities). For stationary runs this fully describes the process.
+    pub initial_model: CongestionModel,
+}
+
+/// The simulator.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    config: SimulationConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        assert!(config.num_intervals > 0, "need at least one interval");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the experiment over the given network.
+    pub fn run(&self, network: &Network) -> SimulationOutput {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut model = cfg.scenario.build_model(network, &mut rng);
+        let initial_model = model.clone();
+
+        let num_links = network.num_links();
+        let mut ground_truth = GroundTruth::new(num_links, cfg.num_intervals);
+        ground_truth.set_congestible(model.congestible_links());
+
+        let mut observations = PathObservations::new(network.num_paths(), cfg.num_intervals);
+
+        // Pre-compute per-epoch weights for the time-averaged model marginal.
+        let epoch_len = if cfg.scenario.stationary {
+            cfg.num_intervals
+        } else {
+            cfg.scenario.epoch_len.max(1)
+        };
+
+        let mut t = 0usize;
+        while t < cfg.num_intervals {
+            let this_epoch = epoch_len.min(cfg.num_intervals - t);
+            // Record this epoch's model marginals, weighted by its share of
+            // the experiment.
+            let marginals: Vec<f64> = network.link_ids().map(|l| model.marginal(l)).collect();
+            ground_truth
+                .add_model_marginals(&marginals, this_epoch as f64 / cfg.num_intervals as f64);
+
+            for _ in 0..this_epoch {
+                self.simulate_interval(network, &model, &mut rng, t, &mut ground_truth, &mut observations);
+                t += 1;
+            }
+
+            if !cfg.scenario.stationary && t < cfg.num_intervals {
+                model = redraw_probabilities(&model, &mut rng);
+            }
+        }
+
+        SimulationOutput {
+            observations,
+            ground_truth,
+            initial_model,
+        }
+    }
+
+    fn simulate_interval(
+        &self,
+        network: &Network,
+        model: &CongestionModel,
+        rng: &mut StdRng,
+        t: usize,
+        ground_truth: &mut GroundTruth,
+        observations: &mut PathObservations,
+    ) {
+        let cfg = &self.config;
+        let states = model.sample_interval(rng, network.num_links());
+        ground_truth.record_interval(t, &states);
+
+        match cfg.measurement {
+            MeasurementMode::Ideal => {
+                for path in network.paths() {
+                    let congested = path.links.iter().any(|l| states[l.index()]);
+                    observations.set_congested(path.id, t, congested);
+                }
+            }
+            MeasurementMode::PacketProbes {
+                packets_per_interval,
+            } => {
+                // Draw this interval's loss rate for every link once.
+                let loss_rates: Vec<f64> = states
+                    .iter()
+                    .map(|&congested| cfg.loss.draw_loss_rate(rng, congested))
+                    .collect();
+                for path in network.paths() {
+                    let mut dropped = 0usize;
+                    for _ in 0..packets_per_interval {
+                        for &l in &path.links {
+                            if rng.gen_bool(loss_rates[l.index()]) {
+                                dropped += 1;
+                                break;
+                            }
+                        }
+                    }
+                    let loss_fraction = dropped as f64 / packets_per_interval.max(1) as f64;
+                    let congested = cfg.loss.path_is_congested(loss_fraction, path.len());
+                    observations.set_congested(path.id, t, congested);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use tomo_graph::toy::{fig1_case1, E1, E2, E3, E4};
+    use tomo_graph::{LinkId, PathId};
+
+    fn toy_sim(measurement: MeasurementMode, seed: u64) -> SimulationOutput {
+        let net = fig1_case1();
+        let mut scenario = ScenarioConfig::random_congestion();
+        scenario.congestible_fraction = 0.5; // 2 of the 4 toy links
+        let config = SimulationConfig {
+            num_intervals: 400,
+            scenario,
+            loss: LossModel::default(),
+            measurement,
+            seed,
+        };
+        Simulator::new(config).run(&net)
+    }
+
+    #[test]
+    fn ideal_measurement_respects_separability() {
+        let net = fig1_case1();
+        let out = toy_sim(MeasurementMode::Ideal, 3);
+        // Under ideal monitoring a path is congested iff one of its links is.
+        for t in 0..out.observations.num_intervals() {
+            for path in net.paths() {
+                let any_link_congested = path
+                    .links
+                    .iter()
+                    .any(|&l| out.ground_truth.is_congested(l, t));
+                assert_eq!(out.observations.is_congested(path.id, t), any_link_congested);
+            }
+        }
+    }
+
+    #[test]
+    fn link_frequencies_track_model_marginals() {
+        let out = toy_sim(MeasurementMode::Ideal, 11);
+        for &l in out.ground_truth.congestible_links() {
+            let expected = out.ground_truth.model_marginal(l);
+            let observed = out.ground_truth.link_frequency(l);
+            assert!(
+                (expected - observed).abs() < 0.12,
+                "link {l}: model {expected} vs observed {observed}"
+            );
+        }
+        // Non-congestible links are never congested.
+        for l in [E1, E2, E3, E4] {
+            if !out.ground_truth.congestible_links().contains(&l) {
+                assert_eq!(out.ground_truth.link_frequency(l), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn packet_probing_mostly_agrees_with_ideal_classification() {
+        let net = fig1_case1();
+        let out = toy_sim(
+            MeasurementMode::PacketProbes {
+                packets_per_interval: 600,
+            },
+            5,
+        );
+        // Probing introduces noise, but with 600 probes per interval the path
+        // classification should agree with the Separability rule in the vast
+        // majority of intervals.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for t in 0..out.observations.num_intervals() {
+            for path in net.paths() {
+                let ideal = path
+                    .links
+                    .iter()
+                    .any(|&l| out.ground_truth.is_congested(l, t));
+                total += 1;
+                if ideal == out.observations.is_congested(path.id, t) {
+                    agree += 1;
+                }
+            }
+        }
+        let agreement = agree as f64 / total as f64;
+        assert!(agreement > 0.9, "agreement only {agreement}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_given_seed() {
+        let a = toy_sim(MeasurementMode::Ideal, 42);
+        let b = toy_sim(MeasurementMode::Ideal, 42);
+        for t in 0..a.observations.num_intervals() {
+            assert_eq!(a.observations.congested_paths(t), b.observations.congested_paths(t));
+            assert_eq!(a.ground_truth.congested_links(t), b.ground_truth.congested_links(t));
+        }
+    }
+
+    #[test]
+    fn nonstationary_runs_change_probabilities_between_epochs() {
+        let net = fig1_case1();
+        let mut scenario = ScenarioConfig::no_stationarity();
+        scenario.congestible_fraction = 0.5;
+        scenario.epoch_len = 50;
+        let config = SimulationConfig {
+            num_intervals: 500,
+            scenario,
+            loss: LossModel::default(),
+            measurement: MeasurementMode::Ideal,
+            seed: 8,
+        };
+        let out = Simulator::new(config).run(&net);
+        // The time-averaged marginal must differ from the first epoch's
+        // marginal for at least one congestible link (probabilities were
+        // re-drawn).
+        let congestible = out.ground_truth.congestible_links().to_vec();
+        assert!(!congestible.is_empty());
+        let changed = congestible.iter().any(|&l| {
+            (out.initial_model.marginal(l) - out.ground_truth.model_marginal(l)).abs() > 1e-6
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn observations_dimensions_match_network() {
+        let out = toy_sim(MeasurementMode::Ideal, 1);
+        assert_eq!(out.observations.num_paths(), 3);
+        assert_eq!(out.observations.num_intervals(), 400);
+        assert_eq!(out.ground_truth.num_links(), 4);
+        let _ = (LinkId(0), PathId(0)); // type sanity
+    }
+}

@@ -1,0 +1,189 @@
+//! Ground truth bookkeeping: the per-interval link states the simulator drew
+//! and the frequencies derived from them.
+//!
+//! The tomography algorithms never see this; it exists so the metrics can
+//! compare inferred quantities against what actually happened.
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::LinkId;
+
+/// Ground truth of one simulated experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroundTruth {
+    num_links: usize,
+    num_intervals: usize,
+    /// Row-major: `congested[t * num_links + l]`.
+    congested: Vec<bool>,
+    /// Links that had a non-zero congestion probability in at least one
+    /// epoch.
+    congestible: Vec<LinkId>,
+    /// Time-averaged model marginal `P(X_e = 1)` per link (averaged over the
+    /// epochs of a non-stationary run).
+    model_marginals: Vec<f64>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground-truth recorder.
+    pub fn new(num_links: usize, num_intervals: usize) -> Self {
+        Self {
+            num_links,
+            num_intervals,
+            congested: vec![false; num_links * num_intervals],
+            congestible: Vec::new(),
+            model_marginals: vec![0.0; num_links],
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Records the link states of one interval.
+    pub fn record_interval(&mut self, t: usize, states: &[bool]) {
+        assert_eq!(states.len(), self.num_links, "state length mismatch");
+        assert!(t < self.num_intervals, "interval out of range");
+        let base = t * self.num_links;
+        self.congested[base..base + self.num_links].copy_from_slice(states);
+    }
+
+    /// Sets the congestible links (for reporting).
+    pub fn set_congestible(&mut self, links: Vec<LinkId>) {
+        self.congestible = links;
+    }
+
+    /// Links that had a non-zero congestion probability.
+    pub fn congestible_links(&self) -> &[LinkId] {
+        &self.congestible
+    }
+
+    /// Accumulates model marginals, weighted by the fraction of intervals the
+    /// corresponding epoch covers (so the stored value is the time-averaged
+    /// marginal of a non-stationary experiment).
+    pub fn add_model_marginals(&mut self, marginals: &[f64], weight: f64) {
+        assert_eq!(marginals.len(), self.num_links);
+        for (acc, &m) in self.model_marginals.iter_mut().zip(marginals) {
+            *acc += weight * m;
+        }
+    }
+
+    /// The time-averaged model marginal congestion probability of a link.
+    pub fn model_marginal(&self, link: LinkId) -> f64 {
+        self.model_marginals[link.index()]
+    }
+
+    /// Whether a link was congested during interval `t` (`X_e(t) = 1`).
+    pub fn is_congested(&self, link: LinkId, t: usize) -> bool {
+        self.congested[t * self.num_links + link.index()]
+    }
+
+    /// The set of congested links `E^c(t)` during interval `t`.
+    pub fn congested_links(&self, t: usize) -> Vec<LinkId> {
+        (0..self.num_links)
+            .map(LinkId)
+            .filter(|&l| self.is_congested(l, t))
+            .collect()
+    }
+
+    /// Empirical congestion frequency of a single link over the experiment:
+    /// the fraction of intervals during which it was congested. This is the
+    /// reference value for the Fig. 4 absolute-error metric.
+    pub fn link_frequency(&self, link: LinkId) -> f64 {
+        if self.num_intervals == 0 {
+            return 0.0;
+        }
+        let count = (0..self.num_intervals)
+            .filter(|&t| self.is_congested(link, t))
+            .count();
+        count as f64 / self.num_intervals as f64
+    }
+
+    /// Empirical frequency with which *all* links of a set were congested
+    /// simultaneously.
+    pub fn set_frequency(&self, links: &[LinkId]) -> f64 {
+        if self.num_intervals == 0 || links.is_empty() {
+            return 0.0;
+        }
+        let count = (0..self.num_intervals)
+            .filter(|&t| links.iter().all(|&l| self.is_congested(l, t)))
+            .count();
+        count as f64 / self.num_intervals as f64
+    }
+
+    /// Empirical frequency with which all links of a set were simultaneously
+    /// good (`P(∩ X_e = 0)` estimated from the truth).
+    pub fn set_good_frequency(&self, links: &[LinkId]) -> f64 {
+        if self.num_intervals == 0 {
+            return 1.0;
+        }
+        let count = (0..self.num_intervals)
+            .filter(|&t| links.iter().all(|&l| !self.is_congested(l, t)))
+            .count();
+        count as f64 / self.num_intervals as f64
+    }
+
+    /// Links that were congested during at least one interval.
+    pub fn ever_congested_links(&self) -> Vec<LinkId> {
+        (0..self.num_links)
+            .map(LinkId)
+            .filter(|&l| (0..self.num_intervals).any(|t| self.is_congested(l, t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        let mut gt = GroundTruth::new(3, 4);
+        gt.record_interval(0, &[true, false, false]);
+        gt.record_interval(1, &[true, true, false]);
+        gt.record_interval(2, &[false, false, false]);
+        gt.record_interval(3, &[true, true, false]);
+        gt.set_congestible(vec![LinkId(0), LinkId(1)]);
+        gt
+    }
+
+    #[test]
+    fn per_interval_queries() {
+        let gt = sample();
+        assert!(gt.is_congested(LinkId(0), 0));
+        assert!(!gt.is_congested(LinkId(2), 3));
+        assert_eq!(gt.congested_links(1), vec![LinkId(0), LinkId(1)]);
+        assert_eq!(gt.congested_links(2), vec![]);
+    }
+
+    #[test]
+    fn frequencies() {
+        let gt = sample();
+        assert!((gt.link_frequency(LinkId(0)) - 0.75).abs() < 1e-12);
+        assert!((gt.link_frequency(LinkId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(gt.link_frequency(LinkId(2)), 0.0);
+        // Both 0 and 1 congested in t1 and t3.
+        assert!((gt.set_frequency(&[LinkId(0), LinkId(1)]) - 0.5).abs() < 1e-12);
+        assert!((gt.set_good_frequency(&[LinkId(0), LinkId(1)]) - 0.25).abs() < 1e-12);
+        assert_eq!(gt.ever_congested_links(), vec![LinkId(0), LinkId(1)]);
+    }
+
+    #[test]
+    fn model_marginal_accumulation() {
+        let mut gt = GroundTruth::new(2, 10);
+        gt.add_model_marginals(&[0.2, 0.0], 0.5);
+        gt.add_model_marginals(&[0.6, 0.0], 0.5);
+        assert!((gt.model_marginal(LinkId(0)) - 0.4).abs() < 1e-12);
+        assert_eq!(gt.model_marginal(LinkId(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn record_rejects_wrong_length() {
+        let mut gt = GroundTruth::new(3, 1);
+        gt.record_interval(0, &[true]);
+    }
+}

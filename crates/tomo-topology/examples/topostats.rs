@@ -1,0 +1,8 @@
+use tomo_topology::*;
+fn main() {
+    let t0 = std::time::Instant::now();
+    let b = BriteGenerator::paper_sized(1).generate().unwrap();
+    let s = SparseGenerator::paper_sized(1).generate().unwrap();
+    println!("brite: {:?} ({:?})", topology_stats(&b), t0.elapsed());
+    println!("sparse: {:?}", topology_stats(&s));
+}

@@ -1,0 +1,144 @@
+//! Configuration of the topology generators.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the BRITE-style two-level generator
+/// ([`crate::BriteGenerator`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BriteConfig {
+    /// Number of Autonomous Systems in the AS-level graph.
+    pub num_ases: usize,
+    /// Number of routers per AS in the router-level graph.
+    pub routers_per_as: usize,
+    /// Barabási–Albert attachment parameter: each new AS peers with this
+    /// many existing ASes.
+    pub as_peering_degree: usize,
+    /// Extra intra-AS router edges added on top of the spanning tree, per
+    /// router (controls router-level redundancy and therefore how often two
+    /// AS-level links share a router-level link).
+    pub extra_intra_edges_per_router: usize,
+    /// Number of router-level peering links instantiated per AS adjacency.
+    pub peering_links_per_adjacency: usize,
+    /// Number of measurement paths to generate.
+    pub num_paths: usize,
+    /// RNG seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for BriteConfig {
+    fn default() -> Self {
+        // Sized to produce roughly 1000 AS-level links and 1500 paths, like
+        // the representative Brite topology of §3.2.
+        Self {
+            num_ases: 60,
+            routers_per_as: 12,
+            as_peering_degree: 2,
+            extra_intra_edges_per_router: 1,
+            peering_links_per_adjacency: 2,
+            num_paths: 1500,
+            seed: 1,
+        }
+    }
+}
+
+impl BriteConfig {
+    /// A much smaller instance for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            num_ases: 8,
+            routers_per_as: 4,
+            as_peering_degree: 2,
+            extra_intra_edges_per_router: 1,
+            peering_links_per_adjacency: 1,
+            num_paths: 60,
+            seed,
+        }
+    }
+}
+
+/// Configuration of the traceroute-derived sparse-topology synthesizer
+/// ([`crate::SparseGenerator`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparseConfig {
+    /// Number of Autonomous Systems in the underlying Internet model. Much
+    /// larger than the Brite case so that measured paths rarely meet.
+    pub num_ases: usize,
+    /// Number of routers per AS.
+    pub routers_per_as: usize,
+    /// Barabási–Albert attachment parameter of the underlying AS graph.
+    pub as_peering_degree: usize,
+    /// Extra intra-AS router edges per router.
+    pub extra_intra_edges_per_router: usize,
+    /// Number of router-level peering links per AS adjacency.
+    pub peering_links_per_adjacency: usize,
+    /// Number of vantage points (end-hosts inside the source ISP) that run
+    /// traceroutes. The paper's operator used "a few".
+    pub num_vantage_points: usize,
+    /// Number of traceroutes attempted. Some are discarded (see
+    /// `discard_probability`), so this is an upper bound on the number of
+    /// measured paths.
+    pub num_traceroutes: usize,
+    /// Probability that a traceroute is incomplete and discarded, mimicking
+    /// unresponsive routers and load balancing artifacts.
+    pub discard_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SparseConfig {
+    fn default() -> Self {
+        // Sized to produce roughly 2000 AS-level links and ~1500 surviving
+        // paths, like the representative Sparse topology of §3.2.
+        Self {
+            num_ases: 450,
+            routers_per_as: 6,
+            as_peering_degree: 1,
+            extra_intra_edges_per_router: 1,
+            peering_links_per_adjacency: 1,
+            num_vantage_points: 3,
+            num_traceroutes: 1900,
+            discard_probability: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+impl SparseConfig {
+    /// A much smaller instance for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            num_ases: 30,
+            routers_per_as: 3,
+            as_peering_degree: 1,
+            extra_intra_edges_per_router: 0,
+            peering_links_per_adjacency: 1,
+            num_vantage_points: 2,
+            num_traceroutes: 80,
+            discard_probability: 0.2,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_sized() {
+        let b = BriteConfig::default();
+        assert_eq!(b.num_paths, 1500);
+        let s = SparseConfig::default();
+        assert!(s.num_ases > b.num_ases);
+        assert!(s.discard_probability > 0.0 && s.discard_probability < 1.0);
+    }
+
+    #[test]
+    fn configs_serialize_round_trip() {
+        let b = BriteConfig::tiny(7);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BriteConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.num_ases, b.num_ases);
+    }
+}

@@ -1,0 +1,84 @@
+//! Topology substrate for the network-tomography reproduction.
+//!
+//! The paper evaluates its algorithms on two families of topologies (§3.2):
+//!
+//! * **Brite topologies** — synthetic two-level (AS-level + router-level)
+//!   topologies produced by the BRITE generator, with ≈1000 AS-level links
+//!   and 1500 measurement paths. These are relatively *dense*: paths
+//!   criss-cross, the tomography system has high rank, and
+//!   Identifiability++ holds.
+//! * **Sparse topologies** — real topologies collected by the source ISP's
+//!   operator by running traceroutes from a few vantage points toward many
+//!   Internet destinations and discarding incomplete traceroutes, yielding
+//!   ≈2000 AS-level links and 1500 paths where *few paths intersect*.
+//!
+//! Neither artifact is available (BRITE is an external C++/Java tool, the
+//! Sparse topologies are proprietary), so this crate rebuilds both:
+//!
+//! * [`brite::BriteGenerator`] — a BRITE-style top-down generator: a
+//!   Barabási–Albert AS-level graph, Waxman-ish router-level graphs per AS,
+//!   inter-AS peering links, and shortest-path routed measurement paths from
+//!   one source AS.
+//! * [`sparse::SparseGenerator`] — mimics the operator's collection process:
+//!   few vantage points, many destinations spread over a much larger AS
+//!   universe, a configurable fraction of traceroutes discarded as
+//!   incomplete, producing a topology where most links carry very few paths.
+//!
+//! Both generators output a [`tomo_graph::Network`] whose AS-level links are
+//! annotated with the underlying router-level links they traverse — the
+//! information the simulator uses to induce link correlations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brite;
+pub mod config;
+pub mod routing;
+pub mod sparse;
+
+pub use brite::BriteGenerator;
+pub use config::{BriteConfig, SparseConfig};
+pub use sparse::SparseGenerator;
+
+use tomo_graph::Network;
+
+/// Summary statistics of a generated topology, used by the experiment
+/// reports to document how dense/sparse each instance is.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyStats {
+    /// Number of AS-level links.
+    pub num_links: usize,
+    /// Number of measurement paths.
+    pub num_paths: usize,
+    /// Number of correlation sets (= number of ASes observed).
+    pub num_correlation_sets: usize,
+    /// Mean number of links per path.
+    pub mean_path_length: f64,
+    /// Mean number of paths per link — a density indicator.
+    pub mean_paths_per_link: f64,
+    /// Fraction of links traversed by two or more paths — the key
+    /// "criss-crossing" indicator: it is high for dense Brite topologies and
+    /// low for sparse traceroute-derived ones, where most links are seen by a
+    /// single path.
+    pub intersected_link_fraction: f64,
+}
+
+/// Computes [`TopologyStats`] for a network.
+pub fn topology_stats(net: &Network) -> TopologyStats {
+    let intersected = net
+        .link_ids()
+        .filter(|&l| net.paths_through_link(l).len() >= 2)
+        .count();
+    TopologyStats {
+        num_links: net.num_links(),
+        num_paths: net.num_paths(),
+        num_correlation_sets: net.correlation_sets().len(),
+        mean_path_length: net.mean_path_length(),
+        mean_paths_per_link: net.mean_paths_per_link(),
+        intersected_link_fraction: if net.num_links() == 0 {
+            0.0
+        } else {
+            intersected as f64 / net.num_links() as f64
+        },
+    }
+}

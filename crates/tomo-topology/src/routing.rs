@@ -1,0 +1,445 @@
+//! Router-level graph machinery shared by the topology generators:
+//! construction of the two-level (AS / router) model, shortest-path routing,
+//! and segmentation of router-level routes into AS-level measured links.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tomo_graph::{AsId, LinkId, Network, NetworkBuilder, NodeId, RouterLinkId};
+
+/// A router in the underlying router-level graph.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// Index of the router (its [`NodeId`] in the generated network).
+    pub id: usize,
+    /// The AS this router belongs to.
+    pub asn: usize,
+}
+
+/// The underlying two-level model: routers grouped into ASes, with
+/// router-level edges (intra-AS and inter-AS).
+#[derive(Clone, Debug, Default)]
+pub struct RouterGraph {
+    /// All routers.
+    pub routers: Vec<Router>,
+    /// Undirected router-level edges as pairs of router indices. The index of
+    /// an edge in this vector is its [`RouterLinkId`].
+    pub edges: Vec<(usize, usize)>,
+    /// Adjacency list: `adj[r]` = list of `(neighbor, edge_index)`.
+    pub adj: Vec<Vec<(usize, usize)>>,
+    /// `as_members[a]` = router indices belonging to AS `a`.
+    pub as_members: Vec<Vec<usize>>,
+    /// AS-level adjacencies (pairs of AS indices) created during generation.
+    pub as_adjacencies: Vec<(usize, usize)>,
+}
+
+impl RouterGraph {
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Adds a router to the given AS and returns its index.
+    pub fn add_router(&mut self, asn: usize) -> usize {
+        let id = self.routers.len();
+        self.routers.push(Router { id, asn });
+        self.adj.push(Vec::new());
+        while self.as_members.len() <= asn {
+            self.as_members.push(Vec::new());
+        }
+        self.as_members[asn].push(id);
+        id
+    }
+
+    /// Adds an undirected router-level edge and returns its index. Parallel
+    /// edges and self-loops are silently ignored (returns the existing edge
+    /// index, or `None`-like sentinel by returning the new index anyway is
+    /// avoided: we simply skip duplicates).
+    pub fn add_edge(&mut self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        if self.adj[a].iter().any(|&(n, _)| n == b) {
+            return None;
+        }
+        let idx = self.edges.len();
+        self.edges.push((a.min(b), a.max(b)));
+        self.adj[a].push((b, idx));
+        self.adj[b].push((a, idx));
+        Some(idx)
+    }
+
+    /// Breadth-first shortest path between two routers; returns the sequence
+    /// of router indices (inclusive of both endpoints), or `None` if the
+    /// routers are disconnected. Ties are broken deterministically by
+    /// neighbor order.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.num_routers();
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[src] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                break;
+            }
+            for &(v, _) in &self.adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    prev[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !visited[dst] {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Some(path)
+    }
+
+    /// Looks up the edge index between two adjacent routers.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<usize> {
+        self.adj[a].iter().find(|&&(n, _)| n == b).map(|&(_, e)| e)
+    }
+}
+
+/// Builds the underlying two-level router graph:
+///
+/// 1. AS-level Barabási–Albert graph over `num_ases` ASes (each new AS peers
+///    with `as_peering_degree` existing ASes chosen preferentially by
+///    degree);
+/// 2. per AS, `routers_per_as` routers connected by a random spanning tree
+///    plus `extra_intra_edges_per_router` random extra edges;
+/// 3. per AS adjacency, `peering_links_per_adjacency` router-level peering
+///    edges between randomly chosen border routers.
+#[allow(clippy::too_many_arguments)]
+pub fn build_router_graph(
+    rng: &mut StdRng,
+    num_ases: usize,
+    routers_per_as: usize,
+    as_peering_degree: usize,
+    extra_intra_edges_per_router: usize,
+    peering_links_per_adjacency: usize,
+) -> RouterGraph {
+    assert!(num_ases >= 2, "need at least two ASes");
+    assert!(routers_per_as >= 1, "need at least one router per AS");
+
+    let mut g = RouterGraph::default();
+
+    // --- Routers and intra-AS connectivity ---------------------------------
+    for asn in 0..num_ases {
+        let first = g.num_routers();
+        for _ in 0..routers_per_as {
+            g.add_router(asn);
+        }
+        let members: Vec<usize> = (first..first + routers_per_as).collect();
+        // Random spanning tree: connect each router (after the first) to a
+        // random earlier router of the same AS.
+        for (i, &r) in members.iter().enumerate().skip(1) {
+            let target = members[rng.gen_range(0..i)];
+            g.add_edge(r, target);
+        }
+        // Extra redundancy edges.
+        if members.len() >= 3 {
+            for &r in &members {
+                for _ in 0..extra_intra_edges_per_router {
+                    let target = *members.choose(rng).expect("non-empty");
+                    g.add_edge(r, target);
+                }
+            }
+        }
+    }
+
+    // --- AS-level Barabási–Albert peering ----------------------------------
+    // degree_pool holds one entry per incident peering for preferential
+    // attachment.
+    let mut degree_pool: Vec<usize> = Vec::new();
+    let mut as_adj: Vec<Vec<usize>> = vec![Vec::new(); num_ases];
+    for new_as in 1..num_ases {
+        let m = as_peering_degree.min(new_as);
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 1000 {
+            guard += 1;
+            let candidate = if degree_pool.is_empty() || rng.gen_bool(0.3) {
+                rng.gen_range(0..new_as)
+            } else {
+                degree_pool[rng.gen_range(0..degree_pool.len())]
+            };
+            if candidate != new_as && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for peer in chosen {
+            as_adj[new_as].push(peer);
+            as_adj[peer].push(new_as);
+            degree_pool.push(new_as);
+            degree_pool.push(peer);
+            g.as_adjacencies.push((peer.min(new_as), peer.max(new_as)));
+        }
+    }
+
+    // --- Router-level peering links ----------------------------------------
+    let adjacencies = g.as_adjacencies.clone();
+    for (a, b) in adjacencies {
+        for _ in 0..peering_links_per_adjacency.max(1) {
+            let ra = *g.as_members[a].choose(rng).expect("AS has routers");
+            let rb = *g.as_members[b].choose(rng).expect("AS has routers");
+            g.add_edge(ra, rb);
+        }
+    }
+
+    g
+}
+
+/// Incrementally builds the *measured* AS-level network out of router-level
+/// routes: every maximal intra-AS segment of a route becomes (or reuses) an
+/// intra-domain AS-level link, every AS-crossing router edge becomes (or
+/// reuses) an inter-domain AS-level link.
+#[derive(Default)]
+pub struct MeasuredNetworkBuilder {
+    builder: NetworkBuilder,
+    /// Maps a canonical (router_a, router_b) endpoint pair to the AS-level
+    /// link already created for it.
+    link_index: HashMap<(usize, usize), LinkId>,
+    paths_added: usize,
+}
+
+impl MeasuredNetworkBuilder {
+    /// Creates an empty measured-network builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern_link(
+        &mut self,
+        graph: &RouterGraph,
+        a: usize,
+        b: usize,
+        asn: usize,
+        router_edges: Vec<usize>,
+    ) -> LinkId {
+        let key = (a.min(b), a.max(b));
+        if let Some(&id) = self.link_index.get(&key) {
+            return id;
+        }
+        let id = self.builder.add_link_with_routers(
+            NodeId(a),
+            NodeId(b),
+            AsId(asn),
+            router_edges.into_iter().map(RouterLinkId).collect(),
+        );
+        let _ = graph;
+        self.link_index.insert(key, id);
+        id
+    }
+
+    /// Converts a router-level route into a sequence of AS-level links,
+    /// interning links as needed, and records it as a measurement path.
+    /// Returns `None` (recording nothing) if the route collapses to zero
+    /// AS-level links or revisits an AS-level link (a loop at the measured
+    /// level).
+    pub fn add_route(&mut self, graph: &RouterGraph, route: &[usize]) -> Option<Vec<LinkId>> {
+        if route.len() < 2 {
+            return None;
+        }
+        let mut links: Vec<LinkId> = Vec::new();
+        let mut segment_start = 0usize;
+        for i in 0..route.len() - 1 {
+            let u = route[i];
+            let v = route[i + 1];
+            let as_u = graph.routers[u].asn;
+            let as_v = graph.routers[v].asn;
+            if as_u == as_v {
+                continue;
+            }
+            // Close the intra-AS segment [segment_start ..= i] if it spans
+            // more than one router.
+            if route[segment_start] != u {
+                let seg: Vec<usize> = (segment_start..i)
+                    .map(|k| {
+                        graph
+                            .edge_between(route[k], route[k + 1])
+                            .expect("route follows edges")
+                    })
+                    .collect();
+                let id = self.intern_link(graph, route[segment_start], u, as_u, seg);
+                links.push(id);
+            }
+            // The inter-AS crossing itself. We attribute the inter-domain
+            // link to the downstream AS (the peer being entered), matching
+            // the paper's view that the source ISP monitors its peers'
+            // inter-domain links.
+            let crossing = graph
+                .edge_between(u, v)
+                .expect("route follows edges");
+            let id = self.intern_link(graph, u, v, as_v, vec![crossing]);
+            links.push(id);
+            segment_start = i + 1;
+        }
+        // Final intra-AS segment down to the destination router.
+        let last = route.len() - 1;
+        if segment_start < last {
+            let as_last = graph.routers[route[last]].asn;
+            let seg: Vec<usize> = (segment_start..last)
+                .map(|k| {
+                    graph
+                        .edge_between(route[k], route[k + 1])
+                        .expect("route follows edges")
+                })
+                .collect();
+            let id = self.intern_link(graph, route[segment_start], route[last], as_last, seg);
+            links.push(id);
+        }
+
+        if links.is_empty() {
+            return None;
+        }
+        // Reject measured-level loops (a link repeated within one path).
+        let mut seen = std::collections::HashSet::new();
+        if !links.iter().all(|l| seen.insert(*l)) {
+            return None;
+        }
+        self.builder.add_path(
+            NodeId(route[0]),
+            NodeId(*route.last().expect("non-empty")),
+            links.clone(),
+        );
+        self.paths_added += 1;
+        Some(links)
+    }
+
+    /// Number of AS-level links interned so far.
+    pub fn num_links(&self) -> usize {
+        self.builder.num_links()
+    }
+
+    /// Number of measurement paths recorded so far.
+    pub fn num_paths(&self) -> usize {
+        self.paths_added
+    }
+
+    /// Finalizes the measured network (per-AS correlation sets).
+    pub fn build(self) -> Result<Network, tomo_graph::GraphError> {
+        self.builder.build()
+    }
+}
+
+/// Picks `count` distinct destination routers outside the source AS,
+/// uniformly at random.
+pub fn pick_destinations(
+    rng: &mut StdRng,
+    graph: &RouterGraph,
+    source_as: usize,
+    count: usize,
+) -> Vec<usize> {
+    let candidates: Vec<usize> = graph
+        .routers
+        .iter()
+        .filter(|r| r.asn != source_as)
+        .map(|r| r.id)
+        .collect();
+    let mut picked = candidates;
+    picked.shuffle(rng);
+    picked.truncate(count);
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_graph(seed: u64) -> RouterGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_router_graph(&mut rng, 6, 4, 2, 1, 1)
+    }
+
+    #[test]
+    fn router_graph_has_expected_size() {
+        let g = small_graph(3);
+        assert_eq!(g.num_routers(), 24);
+        assert_eq!(g.as_members.len(), 6);
+        assert!(g.as_members.iter().all(|m| m.len() == 4));
+        assert!(!g.as_adjacencies.is_empty());
+    }
+
+    #[test]
+    fn shortest_path_connects_peered_ases() {
+        let g = small_graph(4);
+        // The BA construction attaches every AS to at least one earlier AS,
+        // so the whole graph is connected: any two routers have a path.
+        let src = g.as_members[0][0];
+        let dst = g.as_members[5][0];
+        let path = g.shortest_path(src, dst).expect("graph is connected");
+        assert_eq!(path[0], src);
+        assert_eq!(*path.last().unwrap(), dst);
+        // Consecutive routers are adjacent.
+        for w in path.windows(2) {
+            assert!(g.edge_between(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_disconnected_cases() {
+        let mut g = RouterGraph::default();
+        let a = g.add_router(0);
+        let b = g.add_router(1);
+        assert_eq!(g.shortest_path(a, a), Some(vec![a]));
+        assert_eq!(g.shortest_path(a, b), None);
+    }
+
+    #[test]
+    fn add_edge_rejects_loops_and_duplicates() {
+        let mut g = RouterGraph::default();
+        let a = g.add_router(0);
+        let b = g.add_router(0);
+        assert!(g.add_edge(a, a).is_none());
+        assert!(g.add_edge(a, b).is_some());
+        assert!(g.add_edge(b, a).is_none());
+        assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn measured_builder_segments_routes_by_as() {
+        let g = small_graph(5);
+        let mut mb = MeasuredNetworkBuilder::new();
+        let src = g.as_members[0][0];
+        let dst = g.as_members[4][1];
+        let route = g.shortest_path(src, dst).expect("connected");
+        let links = mb.add_route(&g, &route).expect("route yields links");
+        assert!(!links.is_empty());
+        // Adding the same route twice must reuse the interned links.
+        let before = mb.num_links();
+        let _ = mb.add_route(&g, &route);
+        assert_eq!(mb.num_links(), before);
+        assert_eq!(mb.num_paths(), 2);
+        let net = mb.build().expect("valid network");
+        assert_eq!(net.num_paths(), 2);
+        // Router-level annotations must be present on every link.
+        assert!(net.links().iter().all(|l| !l.router_links.is_empty()));
+    }
+
+    #[test]
+    fn pick_destinations_excludes_source_as() {
+        let g = small_graph(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let dests = pick_destinations(&mut rng, &g, 0, 10);
+        assert_eq!(dests.len(), 10);
+        assert!(dests.iter().all(|&d| g.routers[d].asn != 0));
+    }
+}

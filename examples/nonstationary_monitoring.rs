@@ -1,0 +1,109 @@
+//! Non-stationary dynamics: why averaging beats per-interval diagnosis.
+//!
+//! §3.1 of the paper explains that the Bayesian Inference algorithms
+//! approximate a link's state in a *particular* interval by its long-run
+//! probability, which goes wrong when network conditions change over time
+//! (e.g. a link that is normally healthy comes under a flooding attack for a
+//! while). Probability Computation does not suffer from this, because its
+//! answer — the fraction of time each link was congested — is a statement
+//! about the whole monitoring window.
+//!
+//! This example stages exactly that story on the toy topology: link e2 is
+//! quiet for the first 80% of the experiment and severely congested in the
+//! last 20% (the "attack"). It then compares (i) Bayesian-Independence's
+//! per-interval diagnoses during the attack with (ii) Correlation-complete's
+//! frequency estimates over the two halves of the window.
+//!
+//! Run with: `cargo run --release --example nonstationary_monitoring`
+
+use network_tomography::prelude::*;
+
+fn main() {
+    let network = network_tomography::graph::toy::fig1_case1();
+    let e1 = network_tomography::graph::toy::E1;
+    let e2 = network_tomography::graph::toy::E2;
+
+    // ------------------------------------------------------------------
+    // Hand-crafted observations: e1 is congested 30% of the time throughout;
+    // e2 is quiet until t = 800 and then congested in every interval
+    // (a flash crowd / attack on the edge link).
+    // ------------------------------------------------------------------
+    let t_total = 1000;
+    let attack_start = 800;
+    let mut observations = PathObservations::new(network.num_paths(), t_total);
+    let mut truth_e2 = vec![false; t_total];
+    for t in 0..t_total {
+        let e1_bad = t % 10 < 3;
+        let e2_bad = t >= attack_start;
+        truth_e2[t] = e2_bad;
+        // p1 = {e1,e2}, p2 = {e1,e3}, p3 = {e4,e3}
+        observations.set_congested(PathId(0), t, e1_bad || e2_bad);
+        observations.set_congested(PathId(1), t, e1_bad);
+        observations.set_congested(PathId(2), t, false);
+    }
+
+    // ------------------------------------------------------------------
+    // 1. Boolean Inference during the attack.
+    // ------------------------------------------------------------------
+    let mut clink = BayesianIndependence::new();
+    clink.learn(&network, &observations);
+    let mut e2_detected = 0usize;
+    for t in attack_start..t_total {
+        let inferred = clink.infer_interval(&network, &observations.congested_paths(t));
+        if inferred.contains(&e2) {
+            e2_detected += 1;
+        }
+    }
+    println!(
+        "Bayesian-Independence blames e2 in {}/{} attack intervals \
+         (its learned P(e2 congested) ≈ {:.2} reflects the whole window, not the attack)",
+        e2_detected,
+        t_total - attack_start,
+        clink
+            .estimate()
+            .map(|e| e.link_congestion_probability(e2))
+            .unwrap_or(f64::NAN)
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Probability Computation over sub-windows: split the observation
+    //    window and report how frequently e2 was congested in each part —
+    //    the quantity the paper argues the operator should consume.
+    // ------------------------------------------------------------------
+    let algo = CorrelationComplete::default();
+    println!("\nCorrelation-complete, per monitoring window:");
+    println!(
+        "{:<28}{:>12}{:>12}{:>12}{:>12}",
+        "window", "e1 est.", "e1 actual", "e2 est.", "e2 actual"
+    );
+    for (label, range) in [
+        ("before the attack", 0..attack_start),
+        ("during the attack", attack_start..t_total),
+        ("whole window", 0..t_total),
+    ] {
+        // Re-slice the observations for the window.
+        let len = range.end - range.start;
+        let mut window = PathObservations::new(network.num_paths(), len);
+        for (i, t) in range.clone().enumerate() {
+            for p in network.path_ids() {
+                window.set_congested(p, i, observations.is_congested(p, t));
+            }
+        }
+        let estimate = algo.compute(&network, &window);
+        let actual_e1 = range.clone().filter(|t| t % 10 < 3).count() as f64 / len as f64;
+        let actual_e2 = range.clone().filter(|&t| truth_e2[t]).count() as f64 / len as f64;
+        println!(
+            "{:<28}{:>12.3}{:>12.3}{:>12.3}{:>12.3}",
+            label,
+            estimate.link_congestion_probability(e1),
+            actual_e1,
+            estimate.link_congestion_probability(e2),
+            actual_e2
+        );
+    }
+
+    println!(
+        "\nThe frequency report pinpoints the attack window without having to decide, interval by\n\
+         interval, which link to blame — the shift of goal the paper advocates."
+    );
+}

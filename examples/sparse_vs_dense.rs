@@ -1,0 +1,103 @@
+//! Sparse vs dense topologies: why the paper shifts the goal.
+//!
+//! Reproduces, on small instances, the core observation of §3.2 and §5.4:
+//! Boolean Inference works acceptably on dense (BRITE-like) topologies but
+//! degrades on sparse traceroute-derived ones, whereas Probability
+//! Computation (Correlation-complete) stays accurate on both.
+//!
+//! Run with: `cargo run --release --example sparse_vs_dense`
+
+use network_tomography::prelude::*;
+use network_tomography::sim::LossModel;
+use network_tomography::topology::topology_stats;
+
+fn run_on(name: &str, network: &Network, seed: u64) {
+    let stats = topology_stats(network);
+    println!(
+        "\n=== {name}: {} links, {} paths, {:.0}% of links observed by 2+ paths ===",
+        stats.num_links,
+        stats.num_paths,
+        stats.intersected_link_fraction * 100.0
+    );
+
+    let scenario = ScenarioConfig::random_congestion();
+    let config = SimulationConfig {
+        num_intervals: 400,
+        scenario,
+        loss: LossModel::default(),
+        measurement: MeasurementMode::PacketProbes {
+            packets_per_interval: 300,
+        },
+        seed,
+    };
+    let output = Simulator::new(config).run(network);
+
+    // --- Boolean Inference --------------------------------------------------
+    let mut algorithms: Vec<Box<dyn BooleanInference>> = vec![
+        Box::new(Sparsity::new()),
+        Box::new(BayesianIndependence::new()),
+        Box::new(BayesianCorrelation::new()),
+    ];
+    println!("{:<26}{:>16}{:>20}", "Boolean Inference", "detection", "false positives");
+    for algo in algorithms.iter_mut() {
+        let inferred = infer_all_intervals(algo.as_mut(), network, &output.observations);
+        let mut score = InferenceScore::new();
+        for (t, links) in inferred.iter().enumerate() {
+            score.add_interval(links, &output.ground_truth.congested_links(t));
+        }
+        println!(
+            "{:<26}{:>16.3}{:>20.3}",
+            algo.name(),
+            score.detection_rate(),
+            score.false_positive_rate()
+        );
+    }
+
+    // --- Probability Computation ---------------------------------------------
+    println!("{:<26}{:>16}", "Probability Computation", "mean abs error");
+    let algorithms: Vec<Box<dyn ProbabilityComputation>> = vec![
+        Box::new(Independence::default()),
+        Box::new(CorrelationHeuristic::default()),
+        Box::new(CorrelationComplete::default()),
+    ];
+    for algo in algorithms {
+        let estimate = algo.compute(network, &output.observations);
+        let mut stats = AbsoluteErrorStats::new();
+        for link in network.link_ids() {
+            stats.add(
+                output.ground_truth.link_frequency(link),
+                estimate.link_congestion_probability(link),
+            );
+        }
+        println!("{:<26}{:>16.3}", algo.name(), stats.mean());
+    }
+}
+
+fn main() {
+    // A dense BRITE-style instance and a sparse traceroute-derived one of
+    // comparable path count.
+    let mut brite = BriteConfig::tiny(3);
+    brite.num_ases = 14;
+    brite.routers_per_as = 6;
+    brite.num_paths = 200;
+    let dense = BriteGenerator::new(brite)
+        .generate()
+        .expect("brite generation succeeds");
+
+    let mut sparse_cfg = SparseConfig::tiny(3);
+    sparse_cfg.num_ases = 90;
+    sparse_cfg.num_traceroutes = 260;
+    sparse_cfg.num_vantage_points = 3;
+    let sparse = SparseGenerator::new(sparse_cfg)
+        .generate()
+        .expect("sparse generation succeeds");
+
+    run_on("Dense (Brite-like)", &dense, 101);
+    run_on("Sparse (traceroute-derived)", &sparse, 101);
+
+    println!(
+        "\nExpected shape (paper §3.2/§5.4): the inference algorithms lose detection rate and/or\n\
+         gain false positives on the sparse topology, while Correlation-complete keeps the lowest\n\
+         probability-estimation error on both."
+    );
+}

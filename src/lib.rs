@@ -1,0 +1,101 @@
+//! # network-tomography
+//!
+//! A from-scratch Rust reproduction of **"Shifting Network Tomography Toward
+//! A Practical Goal"** (Ghita, Karakus, Argyraki, Thiran — ACM CoNEXT 2011).
+//!
+//! The paper considers a Tier-1 ISP that wants to monitor the congestion of
+//! its peers from end-to-end path measurements only. It shows that the
+//! classical goal — *Boolean Inference*, inferring exactly which links were
+//! congested in each interval — cannot be solved accurately enough under
+//! realistic conditions (sparse traceroute-derived topologies, correlated
+//! links, non-stationary dynamics), and argues for solving *Congestion
+//! Probability Computation* instead: how frequently each set of links is
+//! congested. The paper contributes an algorithm (here
+//! [`prob::CorrelationComplete`]) that solves it accurately under only the
+//! Separability, E2E-Monitoring and Correlation-Sets assumptions.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`graph`] — the network model (links, paths, correlation sets,
+//!   identifiability conditions).
+//! * [`linalg`] — the dense linear-algebra substrate (RREF, QR, null space,
+//!   the incremental null-space update of Algorithm 2).
+//! * [`topology`] — BRITE-style and traceroute-derived topology generators.
+//! * [`sim`] — the congestion/loss simulator and scenarios of §3.2.
+//! * [`prob`] — the Probability Computation algorithms of §5
+//!   (Correlation-complete, Independence, Correlation-heuristic).
+//! * [`inference`] — the Boolean Inference baselines of §3
+//!   (Sparsity, Bayesian-Independence, Bayesian-Correlation).
+//! * [`metrics`] — detection rate, false-positive rate, absolute error, CDFs.
+//! * [`experiments`] — the harness that regenerates every figure and table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use network_tomography::prelude::*;
+//!
+//! // The toy topology of Fig. 1 of the paper.
+//! let network = network_tomography::graph::toy::fig1_case1();
+//!
+//! // Simulate a congestion scenario on it.
+//! let mut scenario = ScenarioConfig::random_congestion();
+//! scenario.congestible_fraction = 0.5;
+//! let sim = Simulator::new(SimulationConfig::fast(scenario, 300, 42));
+//! let output = sim.run(&network);
+//!
+//! // Estimate congestion probabilities from the path observations alone.
+//! let estimate = CorrelationComplete::default().compute(&network, &output.observations);
+//! for link in network.link_ids() {
+//!     let p = estimate.link_congestion_probability(link);
+//!     assert!((0.0..=1.0).contains(&p));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tomo_experiments as experiments;
+pub use tomo_graph as graph;
+pub use tomo_inference as inference;
+pub use tomo_linalg as linalg;
+pub use tomo_metrics as metrics;
+pub use tomo_prob as prob;
+pub use tomo_sim as sim;
+pub use tomo_topology as topology;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use tomo_graph::{
+        AsId, CorrelationSet, CorrelationSubset, LinkId, Network, NetworkBuilder, NodeId, Path,
+        PathId,
+    };
+    pub use tomo_inference::{
+        infer_all_intervals, BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity,
+    };
+    pub use tomo_metrics::{AbsoluteErrorStats, Cdf, InferenceScore};
+    pub use tomo_prob::{
+        CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
+        ProbabilityEstimate,
+    };
+    pub use tomo_sim::{
+        MeasurementMode, PathObservations, ScenarioConfig, ScenarioKind, SimulationConfig,
+        SimulationOutput, Simulator,
+    };
+    pub use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let network = crate::graph::toy::fig1_case1();
+        let mut scenario = ScenarioConfig::no_independence();
+        scenario.congestible_fraction = 0.5;
+        let sim = Simulator::new(SimulationConfig::fast(scenario, 100, 7));
+        let out = sim.run(&network);
+        let est = CorrelationComplete::default().compute(&network, &out.observations);
+        assert_eq!(est.num_links(), network.num_links());
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration tests for reproducibility (fixed seeds) and serialization of
+//! the public data types.
+
+use network_tomography::prelude::*;
+use network_tomography::sim::LossModel;
+
+fn run_once(seed: u64) -> (Network, SimulationOutput, ProbabilityEstimate) {
+    let mut cfg = SparseConfig::tiny(seed);
+    cfg.num_ases = 40;
+    cfg.num_traceroutes = 120;
+    let network = SparseGenerator::new(cfg).generate().expect("valid network");
+    let config = SimulationConfig {
+        num_intervals: 200,
+        scenario: ScenarioConfig::no_independence(),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::PacketProbes {
+            packets_per_interval: 200,
+        },
+        seed: seed * 7 + 1,
+    };
+    let output = Simulator::new(config).run(&network);
+    let estimate = CorrelationComplete::default().compute(&network, &output.observations);
+    (network, output, estimate)
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_given_a_seed() {
+    let (net_a, out_a, est_a) = run_once(11);
+    let (net_b, out_b, est_b) = run_once(11);
+
+    assert_eq!(net_a.num_links(), net_b.num_links());
+    assert_eq!(net_a.num_paths(), net_b.num_paths());
+    for t in 0..out_a.observations.num_intervals() {
+        assert_eq!(
+            out_a.observations.congested_paths(t),
+            out_b.observations.congested_paths(t)
+        );
+    }
+    for l in net_a.link_ids() {
+        assert_eq!(
+            est_a.link_congestion_probability(l),
+            est_b.link_congestion_probability(l)
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_experiments() {
+    let (_, out_a, _) = run_once(1);
+    let (_, out_b, _) = run_once(2);
+    let same = (0..out_a.observations.num_intervals().min(out_b.observations.num_intervals()))
+        .all(|t| out_a.observations.congested_paths(t) == out_b.observations.congested_paths(t));
+    assert!(!same);
+}
+
+#[test]
+fn network_and_observations_serialize_round_trip() {
+    let network = network_tomography::graph::toy::fig1_case2();
+    let json = serde_json::to_string(&network).expect("network serializes");
+    let back: Network = serde_json::from_str(&json).expect("network deserializes");
+    assert_eq!(back.num_links(), network.num_links());
+    assert_eq!(back.num_paths(), network.num_paths());
+    assert_eq!(back.correlation_sets().len(), network.correlation_sets().len());
+
+    let mut obs = PathObservations::new(3, 5);
+    obs.set_congested(PathId(1), 2, true);
+    let json = serde_json::to_string(&obs).expect("observations serialize");
+    let back: PathObservations = serde_json::from_str(&json).expect("observations deserialize");
+    assert!(back.is_congested(PathId(1), 2));
+    assert!(back.is_good(PathId(0), 0));
+}
+
+#[test]
+fn probability_estimate_serializes_round_trip() {
+    let (_, _, estimate) = run_once(4);
+    let json = serde_json::to_string(&estimate).expect("estimate serializes");
+    let back: ProbabilityEstimate = serde_json::from_str(&json).expect("estimate deserializes");
+    assert_eq!(back.num_links(), estimate.num_links());
+    assert_eq!(back.algorithm, estimate.algorithm);
+    assert_eq!(
+        back.diagnostics.num_equations,
+        estimate.diagnostics.num_equations
+    );
+}
+
+#[test]
+fn scenario_configs_serialize_round_trip() {
+    for kind in ScenarioKind::all() {
+        let cfg = ScenarioConfig::for_kind(kind);
+        let json = serde_json::to_string(&cfg).expect("scenario serializes");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("scenario deserializes");
+        assert_eq!(back.kind, kind);
+    }
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: topology generation → simulation →
+//! probability computation / Boolean inference → metrics, exercised through
+//! the public facade exactly as a downstream user would.
+
+use network_tomography::graph::toy;
+use network_tomography::prelude::*;
+use network_tomography::sim::LossModel;
+
+/// Generates a small Brite-like network plus a simulated experiment.
+fn small_brite_experiment(seed: u64, scenario: ScenarioConfig) -> (Network, SimulationOutput) {
+    let mut cfg = BriteConfig::tiny(seed);
+    cfg.num_ases = 12;
+    cfg.routers_per_as = 5;
+    cfg.num_paths = 150;
+    let network = BriteGenerator::new(cfg).generate().expect("valid network");
+    let config = SimulationConfig {
+        num_intervals: 250,
+        scenario,
+        loss: LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed: seed + 1000,
+    };
+    let output = Simulator::new(config).run(&network);
+    (network, output)
+}
+
+#[test]
+fn probability_computation_pipeline_is_accurate_on_dense_topology() {
+    let (network, output) =
+        small_brite_experiment(5, ScenarioConfig::random_congestion());
+    let estimate = CorrelationComplete::default().compute(&network, &output.observations);
+
+    // Compare against the ground-truth frequencies on the congestible links.
+    let mut stats = AbsoluteErrorStats::new();
+    for &l in output.ground_truth.congestible_links() {
+        stats.add(
+            output.ground_truth.link_frequency(l),
+            estimate.link_congestion_probability(l),
+        );
+    }
+    assert!(!stats.is_empty());
+    assert!(
+        stats.mean() < 0.15,
+        "mean abs error too high on a dense topology: {}",
+        stats.mean()
+    );
+
+    // Links that were never congested must get probability ~0.
+    for l in network.link_ids() {
+        if output.ground_truth.link_frequency(l) == 0.0 {
+            assert!(estimate.link_congestion_probability(l) < 0.25);
+        }
+    }
+}
+
+#[test]
+fn correlation_complete_beats_independence_under_correlations() {
+    let (network, output) =
+        small_brite_experiment(9, ScenarioConfig::no_independence());
+
+    // Use the pairs-that-share-a-path resource knob (as the experiment
+    // harness does): on instances this small, unconstrained pair unknowns
+    // add variance that masks the comparison.
+    let ours_algo = CorrelationComplete::new(network_tomography::prob::CorrelationCompleteConfig {
+        require_common_path: true,
+        ..Default::default()
+    });
+    let ours = ours_algo.compute(&network, &output.observations);
+    let baseline = Independence::default().compute(&network, &output.observations);
+
+    let mae = |est: &ProbabilityEstimate| {
+        let mut stats = AbsoluteErrorStats::new();
+        for &l in output.ground_truth.congestible_links() {
+            stats.add(
+                output.ground_truth.link_frequency(l),
+                est.link_congestion_probability(l),
+            );
+        }
+        stats.mean()
+    };
+    let ours_err = mae(&ours);
+    let base_err = mae(&baseline);
+    assert!(
+        ours_err <= base_err + 0.05,
+        "Correlation-complete ({ours_err:.3}) should not lose to Independence ({base_err:.3}) \
+         under correlated congestion"
+    );
+}
+
+#[test]
+fn boolean_inference_pipeline_produces_consistent_explanations() {
+    let (network, output) =
+        small_brite_experiment(3, ScenarioConfig::random_congestion());
+    let mut algorithms: Vec<Box<dyn BooleanInference>> = vec![
+        Box::new(Sparsity::new()),
+        Box::new(BayesianIndependence::new()),
+        Box::new(BayesianCorrelation::new()),
+    ];
+    for algo in algorithms.iter_mut() {
+        let inferred = infer_all_intervals(algo.as_mut(), &network, &output.observations);
+        assert_eq!(inferred.len(), output.observations.num_intervals());
+        let mut score = InferenceScore::new();
+        for (t, links) in inferred.iter().enumerate() {
+            // Under ideal monitoring, every inferred solution must explain
+            // every congested path of its interval (cover it by at least one
+            // inferred link).
+            for p in output.observations.congested_paths(t) {
+                assert!(
+                    network.path(p).links.iter().any(|l| links.contains(l)),
+                    "{}: interval {t}: path {p} not explained",
+                    algo.name()
+                );
+            }
+            score.add_interval(links, &output.ground_truth.congested_links(t));
+        }
+        // On a dense topology under random congestion all algorithms do well
+        // (the Fig. 3 "Random Congestion" group).
+        assert!(
+            score.detection_rate() > 0.7,
+            "{} detection rate {}",
+            algo.name(),
+            score.detection_rate()
+        );
+        assert!(
+            score.false_positive_rate() < 0.35,
+            "{} false positive rate {}",
+            algo.name(),
+            score.false_positive_rate()
+        );
+    }
+}
+
+#[test]
+fn toy_topology_full_stack_matches_paper_example() {
+    // Fig. 1 Case 1 with correlated {e2,e3}: the full stack (simulate with
+    // the congestion model's drivers, probe, estimate) must recover the
+    // correlation in the joint probability.
+    let network = toy::fig1_case1();
+    let mut scenario = ScenarioConfig::no_independence();
+    scenario.congestible_fraction = 0.5;
+    let config = SimulationConfig {
+        num_intervals: 600,
+        scenario,
+        loss: LossModel::default(),
+        measurement: MeasurementMode::PacketProbes {
+            packets_per_interval: 500,
+        },
+        seed: 77,
+    };
+    let output = Simulator::new(config).run(&network);
+    let algo = CorrelationComplete::new(network_tomography::prob::CorrelationCompleteConfig {
+        require_common_path: true,
+        ..Default::default()
+    });
+    let estimate = algo.compute(&network, &output.observations);
+
+    for l in network.link_ids() {
+        let actual = output.ground_truth.link_frequency(l);
+        let est = estimate.link_congestion_probability(l);
+        assert!(
+            (actual - est).abs() < 0.2,
+            "{l}: actual {actual:.3} vs estimated {est:.3}"
+        );
+    }
+}
+
+#[test]
+fn identifiability_reports_agree_with_algorithm_diagnostics() {
+    // On Case 2 of the toy topology, Identifiability++ fails and the
+    // algorithm's diagnostics must reflect that.
+    let network = toy::fig1_case2();
+    let report = network_tomography::graph::check_identifiability_pp(&network, 2);
+    assert!(!report.holds);
+
+    let mut obs = PathObservations::new(network.num_paths(), 50);
+    for t in 0..50 {
+        for p in network.path_ids() {
+            obs.set_congested(p, t, t % 2 == 0);
+        }
+    }
+    let estimate = CorrelationComplete::default().compute(&network, &obs);
+    assert!(estimate.diagnostics.identifiable_targets < estimate.diagnostics.total_targets);
+}
+
+#[test]
+fn experiment_harness_small_scale_smoke() {
+    use network_tomography::experiments::{run_figure4d, table2, ExperimentScale};
+    let t2 = table2();
+    assert_eq!(t2.algorithms.len(), 6);
+    let f4d = run_figure4d(ExperimentScale::Small, 2);
+    assert_eq!(f4d.rows.len(), 2);
+}
