@@ -36,7 +36,8 @@ fn bench_inference_algorithms(c: &mut Criterion) {
     let (network, output) = experiment();
     let mut group = c.benchmark_group("figure3_inference_pipeline");
     group.sample_size(10);
-    let make: Vec<(&str, fn() -> Box<dyn BooleanInference>)> = vec![
+    type Factory = fn() -> Box<dyn BooleanInference>;
+    let make: Vec<(&str, Factory)> = vec![
         ("Sparsity", || Box::new(Sparsity::new())),
         ("Bayesian-Independence", || {
             Box::new(BayesianIndependence::new())

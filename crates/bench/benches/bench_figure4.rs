@@ -7,9 +7,7 @@
 //! produce them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tomo_prob::{
-    CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
-};
+use tomo_prob::{CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation};
 use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 

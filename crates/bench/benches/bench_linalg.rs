@@ -54,7 +54,7 @@ fn bench_least_squares(c: &mut Criterion) {
     for &n in &[100usize, 200, 400] {
         let a = binary_system(n + n / 2, n, 4);
         let mut rng = StdRng::seed_from_u64(5);
-        let b_vec = Vector::from_iter((0..a.rows()).map(|_| -rng.gen_range(0.0..2.0)));
+        let b_vec = Vector::from_iter((0..a.rows()).map(|_| -rng.gen_range(0.0f64..2.0)));
         let opts = LstsqOptions::without_identifiability();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| least_squares(&a, &b_vec, &opts))

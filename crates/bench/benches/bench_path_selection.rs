@@ -17,7 +17,11 @@ use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 fn prepare(
     network: &tomo_graph::Network,
     seed: u64,
-) -> (tomo_sim::PathObservations, Vec<tomo_graph::CorrelationSubset>, BTreeSet<LinkId>) {
+) -> (
+    tomo_sim::PathObservations,
+    Vec<tomo_graph::CorrelationSubset>,
+    BTreeSet<LinkId>,
+) {
     let config = SimulationConfig {
         num_intervals: 120,
         scenario: ScenarioConfig::no_independence(),

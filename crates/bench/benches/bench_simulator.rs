@@ -2,19 +2,25 @@
 //! every figure): topology generation and per-interval simulation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tomo_sim::{
-    LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator,
-};
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 
 fn bench_topology_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_generation");
     group.sample_size(10);
     group.bench_function("brite_tiny", |b| {
-        b.iter(|| BriteGenerator::new(BriteConfig::tiny(1)).generate().unwrap())
+        b.iter(|| {
+            BriteGenerator::new(BriteConfig::tiny(1))
+                .generate()
+                .unwrap()
+        })
     });
     group.bench_function("sparse_tiny", |b| {
-        b.iter(|| SparseGenerator::new(SparseConfig::tiny(1)).generate().unwrap())
+        b.iter(|| {
+            SparseGenerator::new(SparseConfig::tiny(1))
+                .generate()
+                .unwrap()
+        })
     });
     let mut medium = BriteConfig::tiny(2);
     medium.num_ases = 36;
@@ -30,7 +36,9 @@ fn bench_topology_generation(c: &mut Criterion) {
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_100_intervals");
     group.sample_size(10);
-    let network = BriteGenerator::new(BriteConfig::tiny(3)).generate().unwrap();
+    let network = BriteGenerator::new(BriteConfig::tiny(3))
+        .generate()
+        .unwrap();
     for (label, measurement) in [
         ("ideal", MeasurementMode::Ideal),
         (

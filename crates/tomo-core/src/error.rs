@@ -1,0 +1,93 @@
+//! The typed error of the unified estimation API.
+//!
+//! Every fallible entry point of the pipeline layer returns [`TomoError`]
+//! instead of panicking, so binaries, services and tests can react to bad
+//! configuration, unknown estimator names or capability mismatches without
+//! unwinding.
+
+use std::fmt;
+
+use tomo_graph::GraphError;
+
+/// Errors produced by the unified estimation API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TomoError {
+    /// `estimators::by_name` was given a name no estimator registers.
+    UnknownEstimator {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An estimator was asked for a capability it does not implement (e.g.
+    /// per-interval inference from a pure Probability-Computation
+    /// algorithm).
+    UnsupportedCapability {
+        /// The estimator's name.
+        estimator: String,
+        /// The missing capability.
+        capability: &'static str,
+    },
+    /// An estimator was queried before [`crate::Estimator::fit`] ran.
+    NotFitted {
+        /// The estimator's name.
+        estimator: String,
+    },
+    /// Network construction or validation failed.
+    Graph(GraphError),
+    /// A pipeline or experiment configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TomoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TomoError::UnknownEstimator { name } => {
+                write!(
+                    f,
+                    "unknown estimator `{name}` (available: {})",
+                    crate::registry::names().join(", ")
+                )
+            }
+            TomoError::UnsupportedCapability {
+                estimator,
+                capability,
+            } => {
+                write!(f, "estimator `{estimator}` does not support {capability}")
+            }
+            TomoError::NotFitted { estimator } => {
+                write!(f, "estimator `{estimator}` was used before `fit`")
+            }
+            TomoError::Graph(e) => write!(f, "network error: {e}"),
+            TomoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TomoError {}
+
+impl From<GraphError> for TomoError {
+    fn from(e: GraphError) -> Self {
+        TomoError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_available_estimators() {
+        let e = TomoError::UnknownEstimator {
+            name: "nope".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("nope"));
+        assert!(text.contains("correlation-complete"));
+    }
+
+    #[test]
+    fn graph_errors_convert() {
+        let e: TomoError = GraphError::EmptyNetwork.into();
+        assert!(matches!(e, TomoError::Graph(GraphError::EmptyNetwork)));
+        assert!(!e.to_string().is_empty());
+    }
+}

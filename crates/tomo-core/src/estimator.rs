@@ -1,0 +1,251 @@
+//! The unified [`Estimator`] abstraction.
+//!
+//! The paper evaluates two families of algorithms over the same experiments:
+//! *Probability Computation* (§5, [`tomo_prob::ProbabilityComputation`]) and
+//! *Boolean Inference* (§3, [`tomo_inference::BooleanInference`]). They share
+//! a learning phase over the whole observation history and differ in what
+//! they can answer afterwards — a congestion-probability estimate, a
+//! per-interval congested-link set, or both. [`Estimator`] models exactly
+//! that: `fit` + optional capabilities, so one pipeline, one registry and one
+//! experiment harness drive all six algorithms.
+
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_inference::BooleanInference;
+use tomo_prob::{AlgorithmAssumptions, ProbabilityComputation, ProbabilityEstimate};
+use tomo_sim::PathObservations;
+
+use crate::error::TomoError;
+
+/// What an estimator can answer after [`Estimator::fit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Produces a [`ProbabilityEstimate`] (congestion probabilities of links
+    /// and correlation subsets).
+    pub probability: bool,
+    /// Infers the congested-link set of individual intervals.
+    pub interval_inference: bool,
+}
+
+impl Capabilities {
+    /// Probability estimate only.
+    pub const PROBABILITY: Capabilities = Capabilities {
+        probability: true,
+        interval_inference: false,
+    };
+    /// Per-interval inference only.
+    pub const INFERENCE: Capabilities = Capabilities {
+        probability: false,
+        interval_inference: true,
+    };
+    /// Both capabilities.
+    pub const BOTH: Capabilities = Capabilities {
+        probability: true,
+        interval_inference: true,
+    };
+}
+
+/// A congestion estimator: the single interface under which every algorithm
+/// of the paper runs through the [`crate::Pipeline`].
+pub trait Estimator {
+    /// Short human-readable name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// The assumptions / conditions / approximations the algorithm relies on
+    /// (one column of Table 2 of the paper).
+    fn assumptions(&self) -> AlgorithmAssumptions;
+
+    /// What this estimator can answer after fitting.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Learning phase: consume the whole observation history. Must be called
+    /// before [`Estimator::estimate`] or [`Estimator::infer_interval`].
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError>;
+
+    /// The fitted probability estimate, when the estimator supports the
+    /// probability capability and `fit` has run.
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        None
+    }
+
+    /// Infers the congested links of one interval from that interval's
+    /// congested paths.
+    ///
+    /// Errors with [`TomoError::UnsupportedCapability`] when the estimator
+    /// does not implement per-interval inference.
+    fn infer_interval(
+        &self,
+        _network: &Network,
+        _congested_paths: &[PathId],
+    ) -> Result<Vec<LinkId>, TomoError> {
+        Err(TomoError::UnsupportedCapability {
+            estimator: self.name().to_string(),
+            capability: "per-interval inference",
+        })
+    }
+}
+
+/// Adapter presenting a [`ProbabilityComputation`] algorithm as an
+/// [`Estimator`]. `fit` runs the computation and stores the estimate.
+#[derive(Clone, Debug)]
+pub struct ProbEstimator<A> {
+    algorithm: A,
+    fitted: Option<ProbabilityEstimate>,
+}
+
+impl<A: ProbabilityComputation> ProbEstimator<A> {
+    /// Wraps a Probability-Computation algorithm.
+    pub fn new(algorithm: A) -> Self {
+        Self {
+            algorithm,
+            fitted: None,
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+}
+
+impl<A: ProbabilityComputation> Estimator for ProbEstimator<A> {
+    fn name(&self) -> &'static str {
+        self.algorithm.name()
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        self.algorithm.assumptions()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PROBABILITY
+    }
+
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError> {
+        self.fitted = Some(self.algorithm.compute(network, observations));
+        Ok(())
+    }
+
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.fitted.as_ref()
+    }
+}
+
+/// Adapter presenting a [`BooleanInference`] algorithm as an [`Estimator`].
+/// `fit` runs the learning phase; the Bayesian algorithms additionally expose
+/// the probability estimate their learning phase computes.
+#[derive(Clone, Debug)]
+pub struct InferenceEstimator<A> {
+    algorithm: A,
+    fitted: bool,
+}
+
+impl<A: BooleanInference> InferenceEstimator<A> {
+    /// Wraps a Boolean-Inference algorithm.
+    pub fn new(algorithm: A) -> Self {
+        Self {
+            algorithm,
+            fitted: false,
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+}
+
+impl<A: BooleanInference> Estimator for InferenceEstimator<A> {
+    fn name(&self) -> &'static str {
+        self.algorithm.name()
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        self.algorithm.assumptions()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        if self.algorithm.computes_probabilities() {
+            Capabilities::BOTH
+        } else {
+            Capabilities::INFERENCE
+        }
+    }
+
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError> {
+        self.algorithm.learn(network, observations);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.algorithm.probability_estimate()
+    }
+
+    fn infer_interval(
+        &self,
+        network: &Network,
+        congested_paths: &[PathId],
+    ) -> Result<Vec<LinkId>, TomoError> {
+        if !self.fitted {
+            return Err(TomoError::NotFitted {
+                estimator: self.name().to_string(),
+            });
+        }
+        Ok(self.algorithm.infer_interval(network, congested_paths))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy;
+    use tomo_inference::{BayesianIndependence, Sparsity};
+    use tomo_prob::CorrelationComplete;
+
+    fn toy_observations() -> PathObservations {
+        let mut obs = PathObservations::new(3, 60);
+        for t in 0..60 {
+            obs.set_congested(PathId(0), t, t % 3 == 0);
+            obs.set_congested(PathId(1), t, t % 4 == 0);
+        }
+        obs
+    }
+
+    #[test]
+    fn prob_estimator_fits_and_reports() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations();
+        let mut est = ProbEstimator::new(CorrelationComplete::default());
+        assert!(est.estimate().is_none());
+        assert_eq!(est.capabilities(), Capabilities::PROBABILITY);
+        est.fit(&net, &obs).unwrap();
+        let e = est.estimate().expect("fitted");
+        assert_eq!(e.num_links(), net.num_links());
+        // No inference capability.
+        let err = est.infer_interval(&net, &[PathId(0)]).unwrap_err();
+        assert!(matches!(err, TomoError::UnsupportedCapability { .. }));
+    }
+
+    #[test]
+    fn inference_estimator_requires_fit() {
+        let net = toy::fig1_case1();
+        let mut est = InferenceEstimator::new(Sparsity::new());
+        let err = est.infer_interval(&net, &[PathId(0)]).unwrap_err();
+        assert!(matches!(err, TomoError::NotFitted { .. }));
+        est.fit(&net, &toy_observations()).unwrap();
+        let links = est.infer_interval(&net, &[PathId(0)]).unwrap();
+        assert!(!links.is_empty());
+        // Sparsity learns nothing, so no probability estimate.
+        assert!(est.estimate().is_none());
+    }
+
+    #[test]
+    fn bayesian_estimators_expose_their_learned_probabilities() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations();
+        let mut est = InferenceEstimator::new(BayesianIndependence::new());
+        est.fit(&net, &obs).unwrap();
+        assert!(est.estimate().is_some());
+        assert!(est.capabilities().interval_inference);
+    }
+}

@@ -1,0 +1,310 @@
+//! The [`Pipeline`] builder and [`Experiment`] runner.
+//!
+//! A [`Pipeline`] describes one experiment — a network, a congestion
+//! scenario, a measurement setup and a seed — and owns the
+//! simulate → observe → estimate → score loop the paper's evaluation
+//! repeats for every figure:
+//!
+//! ```
+//! use tomo_core::{estimators, Pipeline};
+//! use tomo_sim::ScenarioConfig;
+//!
+//! let network = tomo_graph::toy::fig1_case1();
+//! let outcome = Pipeline::on(network)
+//!     .scenario(ScenarioConfig::random_congestion())
+//!     .intervals(120)
+//!     .seed(7)
+//!     .run(estimators::by_name("correlation-complete").unwrap().as_mut())
+//!     .unwrap();
+//! let estimate = outcome.estimate.expect("probability capability");
+//! assert!(estimate.num_links() > 0);
+//! ```
+//!
+//! To evaluate several estimators on the *same* simulated data (as every
+//! figure does), split the run: [`Pipeline::simulate`] produces an
+//! [`Experiment`], and [`Experiment::evaluate`] scores each estimator
+//! against it.
+
+use tomo_graph::{LinkId, Network};
+use tomo_metrics::{AbsoluteErrorStats, InferenceScore};
+use tomo_prob::ProbabilityEstimate;
+use tomo_sim::{
+    LossModel, MeasurementMode, PathObservations, ScenarioConfig, SimulationConfig,
+    SimulationOutput, Simulator,
+};
+
+use crate::error::TomoError;
+use crate::estimator::Estimator;
+use crate::score;
+
+/// Builder for one experiment over a network.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    network: Network,
+    scenario: ScenarioConfig,
+    num_intervals: usize,
+    seed: u64,
+    loss: LossModel,
+    measurement: MeasurementMode,
+}
+
+impl Pipeline {
+    /// Starts a pipeline over the given network, with the paper's *Random
+    /// Congestion* scenario, 300 intervals, seed 0 and the default loss /
+    /// measurement models.
+    pub fn on(network: Network) -> Self {
+        Self {
+            network,
+            scenario: ScenarioConfig::random_congestion(),
+            num_intervals: 300,
+            seed: 0,
+            loss: LossModel::default(),
+            measurement: MeasurementMode::default(),
+        }
+    }
+
+    /// Sets the congestion scenario.
+    pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets the number of measurement intervals `T`.
+    pub fn intervals(mut self, num_intervals: usize) -> Self {
+        self.num_intervals = num_intervals;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the link-level loss model.
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the measurement mode (ideal monitoring or packet probing).
+    pub fn measurement(mut self, measurement: MeasurementMode) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// The network under measurement.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Runs the simulation, producing an [`Experiment`] ready to evaluate
+    /// estimators on.
+    pub fn simulate(self) -> Result<Experiment, TomoError> {
+        if self.num_intervals == 0 {
+            return Err(TomoError::InvalidConfig(
+                "an experiment needs at least one measurement interval".into(),
+            ));
+        }
+        if let MeasurementMode::PacketProbes {
+            packets_per_interval,
+        } = self.measurement
+        {
+            if packets_per_interval == 0 {
+                return Err(TomoError::InvalidConfig(
+                    "packet probing needs at least one probe per interval".into(),
+                ));
+            }
+        }
+        let config = SimulationConfig {
+            num_intervals: self.num_intervals,
+            scenario: self.scenario,
+            loss: self.loss,
+            measurement: self.measurement,
+            seed: self.seed,
+        };
+        let output = Simulator::new(config).run(&self.network);
+        Ok(Experiment {
+            network: self.network,
+            output,
+        })
+    }
+
+    /// Simulates and evaluates a single estimator: the one-call form of the
+    /// simulate → observe → estimate → score loop.
+    pub fn run(self, estimator: &mut dyn Estimator) -> Result<RunOutcome, TomoError> {
+        self.simulate()?.evaluate(estimator)
+    }
+}
+
+/// A simulated experiment: the network, what the monitor observed, and the
+/// ground truth. Evaluate any number of estimators against it.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    network: Network,
+    output: SimulationOutput,
+}
+
+impl Experiment {
+    /// Wraps an externally produced simulation (e.g. replayed traces).
+    pub fn from_parts(network: Network, output: SimulationOutput) -> Self {
+        Self { network, output }
+    }
+
+    /// The network under measurement.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The full simulation output (observations + ground truth).
+    pub fn output(&self) -> &SimulationOutput {
+        &self.output
+    }
+
+    /// The per-interval path observations the estimators consume.
+    pub fn observations(&self) -> &PathObservations {
+        &self.output.observations
+    }
+
+    /// Fits one estimator on the observations and scores every capability it
+    /// offers against the ground truth.
+    pub fn evaluate(&self, estimator: &mut dyn Estimator) -> Result<RunOutcome, TomoError> {
+        estimator.fit(&self.network, &self.output.observations)?;
+        let capabilities = estimator.capabilities();
+
+        let (estimate, link_errors) = if capabilities.probability {
+            let estimate = estimator
+                .estimate()
+                .cloned()
+                .ok_or_else(|| TomoError::NotFitted {
+                    estimator: estimator.name().to_string(),
+                })?;
+            let errors = score::link_error_stats(&self.network, &self.output, &estimate);
+            (Some(estimate), Some(errors))
+        } else {
+            (None, None)
+        };
+
+        let (inferred, inference_score) = if capabilities.interval_inference {
+            let per_interval: Vec<Vec<LinkId>> = (0..self.output.observations.num_intervals())
+                .map(|t| {
+                    estimator
+                        .infer_interval(&self.network, &self.output.observations.congested_paths(t))
+                })
+                .collect::<Result<_, _>>()?;
+            let score = score::inference_score(&self.output, &per_interval);
+            (Some(per_interval), Some(score))
+        } else {
+            (None, None)
+        };
+
+        Ok(RunOutcome {
+            estimator: estimator.name().to_string(),
+            estimate,
+            link_errors,
+            inferred,
+            inference_score,
+        })
+    }
+}
+
+/// Everything one estimator produced on one experiment.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The estimator's name.
+    pub estimator: String,
+    /// The probability estimate (estimators with the probability
+    /// capability).
+    pub estimate: Option<ProbabilityEstimate>,
+    /// Absolute error of the per-link probabilities against the ground-truth
+    /// frequencies, over the potentially congested links.
+    pub link_errors: Option<AbsoluteErrorStats>,
+    /// Per-interval inferred congested-link sets (estimators with the
+    /// inference capability).
+    pub inferred: Option<Vec<Vec<LinkId>>>,
+    /// Detection / false-positive rates of the per-interval inference.
+    pub inference_score: Option<InferenceScore>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use tomo_graph::toy;
+
+    fn toy_pipeline() -> Pipeline {
+        Pipeline::on(toy::fig1_case1())
+            .scenario(ScenarioConfig::no_independence())
+            .intervals(150)
+            .seed(11)
+            .measurement(MeasurementMode::Ideal)
+    }
+
+    #[test]
+    fn zero_intervals_is_a_config_error() {
+        let err = Pipeline::on(toy::fig1_case1())
+            .intervals(0)
+            .simulate()
+            .unwrap_err();
+        assert!(matches!(err, TomoError::InvalidConfig(_)));
+        let err = Pipeline::on(toy::fig1_case1())
+            .measurement(MeasurementMode::PacketProbes {
+                packets_per_interval: 0,
+            })
+            .simulate()
+            .unwrap_err();
+        assert!(matches!(err, TomoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn probability_estimators_produce_estimates_and_errors() {
+        let experiment = toy_pipeline().simulate().unwrap();
+        let mut est = registry::by_name("correlation-complete").unwrap();
+        let outcome = experiment.evaluate(est.as_mut()).unwrap();
+        let estimate = outcome.estimate.expect("probability capability");
+        assert_eq!(estimate.num_links(), experiment.network().num_links());
+        assert!(outcome.link_errors.is_some());
+        assert!(outcome.inferred.is_none());
+        assert!(outcome.inference_score.is_none());
+    }
+
+    #[test]
+    fn inference_estimators_produce_per_interval_explanations() {
+        let experiment = toy_pipeline().simulate().unwrap();
+        let mut est = registry::by_name("sparsity").unwrap();
+        let outcome = experiment.evaluate(est.as_mut()).unwrap();
+        assert!(outcome.estimate.is_none());
+        let inferred = outcome.inferred.expect("inference capability");
+        assert_eq!(inferred.len(), 150);
+        let score = outcome.inference_score.expect("scored");
+        assert_eq!(score.num_intervals(), 150);
+    }
+
+    #[test]
+    fn bayesian_estimators_produce_both() {
+        let experiment = toy_pipeline().simulate().unwrap();
+        let mut est = registry::by_name("bayesian-correlation").unwrap();
+        let outcome = experiment.evaluate(est.as_mut()).unwrap();
+        assert!(outcome.estimate.is_some());
+        assert!(outcome.inferred.is_some());
+    }
+
+    #[test]
+    fn one_call_run_matches_split_form() {
+        let mut a = registry::by_name("independence").unwrap();
+        let mut b = registry::by_name("independence").unwrap();
+        let one = toy_pipeline().run(a.as_mut()).unwrap();
+        let split = toy_pipeline()
+            .simulate()
+            .unwrap()
+            .evaluate(b.as_mut())
+            .unwrap();
+        let (ea, eb) = (one.estimate.unwrap(), split.estimate.unwrap());
+        for l in toy::fig1_case1().link_ids() {
+            assert_eq!(
+                ea.link_congestion_probability(l),
+                eb.link_congestion_probability(l)
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! String-keyed estimator registry.
+//!
+//! Binaries, configuration files and future CLIs select algorithms by name:
+//!
+//! ```
+//! use tomo_core::estimators;
+//!
+//! let mut est = estimators::by_name("correlation-complete").unwrap();
+//! assert_eq!(est.name(), "Correlation-complete");
+//! ```
+//!
+//! The canonical names (in the column order of Table 2 of the paper) are
+//! returned by [`names`]; matching is case-insensitive and treats spaces and
+//! underscores as dashes, and the historical aliases `tomo` (Sparsity) and
+//! `clink` (Bayesian-Independence, the CLINK inference algorithm — its
+//! probability step is the separate `independence` entry) resolve too.
+
+use tomo_inference::{BayesianCorrelation, BayesianIndependence, Sparsity};
+use tomo_prob::{
+    CorrelationComplete, CorrelationCompleteConfig, CorrelationHeuristic, Independence,
+};
+
+use crate::error::TomoError;
+use crate::estimator::{Estimator, InferenceEstimator, ProbEstimator};
+
+/// The canonical estimator names, in Table-2 column order: the three
+/// Boolean-Inference baselines of §3 followed by the three
+/// Probability-Computation algorithms of §5.
+pub const NAMES: [&str; 6] = [
+    "sparsity",
+    "bayesian-independence",
+    "bayesian-correlation",
+    "independence",
+    "correlation-heuristic",
+    "correlation-complete",
+];
+
+/// The canonical estimator names accepted by [`by_name`].
+pub fn names() -> Vec<&'static str> {
+    NAMES.to_vec()
+}
+
+/// Options applied when constructing estimators by name. The defaults match
+/// each algorithm's own defaults; the fields mirror the paper's §4 resource
+/// knobs for the correlation-aware algorithms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EstimatorOptions {
+    /// Restrict multi-link correlation-subset targets to sets of links
+    /// jointly traversed by at least one path (Correlation-complete and
+    /// Bayesian-Correlation only). Keeps the unknown count proportional to
+    /// the topology on reduced-scale instances.
+    pub require_common_path: bool,
+    /// Maximum correlation-subset size to estimate (Correlation-complete and
+    /// Bayesian-Correlation only); `None` keeps the algorithm default (2).
+    pub max_subset_size: Option<usize>,
+}
+
+impl EstimatorOptions {
+    /// The subset-size cap these options produce (the algorithm default when
+    /// unset).
+    pub fn effective_max_subset_size(&self) -> usize {
+        self.max_subset_size
+            .unwrap_or(CorrelationCompleteConfig::default().max_subset_size)
+    }
+
+    fn correlation_complete_config(&self) -> CorrelationCompleteConfig {
+        CorrelationCompleteConfig {
+            require_common_path: self.require_common_path,
+            max_subset_size: self.effective_max_subset_size(),
+            ..CorrelationCompleteConfig::default()
+        }
+    }
+}
+
+/// Canonicalizes a user-supplied estimator name.
+fn canonical(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace([' ', '_'], "-")
+}
+
+/// Constructs an estimator by name with default options.
+pub fn by_name(name: &str) -> Result<Box<dyn Estimator>, TomoError> {
+    with_options(name, &EstimatorOptions::default())
+}
+
+/// Constructs an estimator by name with the given options.
+pub fn with_options(
+    name: &str,
+    options: &EstimatorOptions,
+) -> Result<Box<dyn Estimator>, TomoError> {
+    let key = canonical(name);
+    let est: Box<dyn Estimator> = match key.as_str() {
+        "sparsity" | "tomo" => Box::new(InferenceEstimator::new(Sparsity::new())),
+        "bayesian-independence" | "clink" => {
+            Box::new(InferenceEstimator::new(BayesianIndependence::new()))
+        }
+        "bayesian-correlation" => Box::new(InferenceEstimator::new(
+            BayesianCorrelation::with_config(options.correlation_complete_config()),
+        )),
+        "independence" => Box::new(ProbEstimator::new(Independence::default())),
+        "correlation-heuristic" => Box::new(ProbEstimator::new(CorrelationHeuristic::default())),
+        "correlation-complete" => Box::new(ProbEstimator::new(CorrelationComplete::new(
+            options.correlation_complete_config(),
+        ))),
+        _ => {
+            return Err(TomoError::UnknownEstimator {
+                name: name.to_string(),
+            })
+        }
+    };
+    Ok(est)
+}
+
+/// Constructs all six estimators in canonical (Table-2) order.
+pub fn all() -> Vec<Box<dyn Estimator>> {
+    all_with_options(&EstimatorOptions::default())
+}
+
+/// Constructs all six estimators in canonical order with the given options.
+pub fn all_with_options(options: &EstimatorOptions) -> Vec<Box<dyn Estimator>> {
+    NAMES
+        .iter()
+        .map(|n| with_options(n, options).expect("canonical names resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_canonical_name_resolves() {
+        for name in NAMES {
+            let est = by_name(name).unwrap();
+            assert!(!est.name().is_empty(), "{name}");
+        }
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn matching_is_forgiving() {
+        assert_eq!(
+            by_name("Correlation-Complete").unwrap().name(),
+            "Correlation-complete"
+        );
+        assert_eq!(
+            by_name("correlation_complete").unwrap().name(),
+            "Correlation-complete"
+        );
+        assert_eq!(
+            by_name(" Bayesian Independence ").unwrap().name(),
+            "Bayesian-Independence"
+        );
+        assert_eq!(by_name("tomo").unwrap().name(), "Sparsity");
+        assert_eq!(by_name("clink").unwrap().name(), "Bayesian-Independence");
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_catalogue() {
+        let err = match by_name("gradient-boost") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown name resolved"),
+        };
+        assert!(matches!(err, TomoError::UnknownEstimator { .. }));
+        assert!(err.to_string().contains("sparsity"));
+    }
+
+    #[test]
+    fn options_reach_the_algorithms() {
+        let options = EstimatorOptions {
+            require_common_path: true,
+            max_subset_size: Some(3),
+        };
+        assert_eq!(options.effective_max_subset_size(), 3);
+        let cfg = options.correlation_complete_config();
+        assert!(cfg.require_common_path);
+        assert_eq!(cfg.max_subset_size, 3);
+        // Estimators still construct under non-default options.
+        for name in NAMES {
+            assert!(with_options(name, &options).is_ok());
+        }
+    }
+}

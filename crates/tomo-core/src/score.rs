@@ -1,0 +1,70 @@
+//! Scoring of fitted estimators against simulation ground truth.
+//!
+//! These are the quantities the paper's figures plot: per-link and
+//! per-subset absolute error of the probability estimates (Fig. 4) and the
+//! detection / false-positive rates of per-interval inference (Fig. 3).
+
+use tomo_graph::{LinkId, Network};
+use tomo_metrics::{AbsoluteErrorStats, InferenceScore};
+use tomo_prob::{potentially_congested_subsets, ProbabilityEstimate};
+use tomo_sim::SimulationOutput;
+
+/// Per-link absolute-error statistics of one estimate on one simulation:
+/// compares the inferred congestion probability of every potentially
+/// congested link with its empirical congestion frequency (the value the
+/// simulator assigned, observed over the whole experiment).
+pub fn link_error_stats(
+    network: &Network,
+    output: &SimulationOutput,
+    estimate: &ProbabilityEstimate,
+) -> AbsoluteErrorStats {
+    let mut stats = AbsoluteErrorStats::new();
+    let pc_links = tomo_prob::subsets::potentially_congested_links(network, &output.observations);
+    for l in pc_links {
+        let actual = output.ground_truth.link_frequency(l);
+        let estimated = estimate.link_congestion_probability(l);
+        stats.add(actual, estimated);
+    }
+    stats
+}
+
+/// Per-subset absolute-error statistics of one estimate (used by Fig. 4(d)):
+/// compares the inferred congestion probability of every potentially
+/// congested correlation subset of 2+ links with the empirical frequency of
+/// all its links being congested simultaneously. Only identifiable subsets
+/// are scored (the paper reports the subsets the algorithm can compute given
+/// its resources).
+pub fn subset_error_stats(
+    network: &Network,
+    output: &SimulationOutput,
+    estimate: &ProbabilityEstimate,
+    max_subset_size: usize,
+) -> AbsoluteErrorStats {
+    let mut stats = AbsoluteErrorStats::new();
+    let subsets = potentially_congested_subsets(network, &output.observations, max_subset_size);
+    for subset in subsets {
+        if subset.len() < 2 {
+            continue;
+        }
+        let links: Vec<LinkId> = subset.links_vec();
+        if !estimate.subset_is_identifiable(&links) {
+            continue;
+        }
+        let Some(estimated) = estimate.subset_congestion_probability(&links) else {
+            continue;
+        };
+        let actual = output.ground_truth.set_frequency(&links);
+        stats.add(actual, estimated);
+    }
+    stats
+}
+
+/// Scores a sequence of per-interval inferred congested-link sets against
+/// the ground truth (detection and false-positive rates of Fig. 3).
+pub fn inference_score(output: &SimulationOutput, inferred: &[Vec<LinkId>]) -> InferenceScore {
+    let mut score = InferenceScore::new();
+    for (t, links) in inferred.iter().enumerate() {
+        score.add_interval(links, &output.ground_truth.congested_links(t));
+    }
+    score
+}

@@ -4,6 +4,7 @@
 
 use tomo_experiments::{
     run_figure3, run_figure4a, run_figure4b, run_figure4c, run_figure4d, table2, ExperimentScale,
+    TomoError,
 };
 
 fn main() {
@@ -15,24 +16,41 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     eprintln!("Running all experiments at {scale:?} scale (seed {seed})...");
 
+    if let Err(e) = run_all(scale, seed) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_all(scale: ExperimentScale, seed: u64) -> Result<(), TomoError> {
     println!("== Table 2 ==\n{}", table2().render());
 
-    let f3 = run_figure3(scale, seed);
-    println!("== Figure 3(a): Detection Rate ==\n{}", f3.render_detection());
+    let f3 = run_figure3(scale, seed)?;
+    println!(
+        "== Figure 3(a): Detection Rate ==\n{}",
+        f3.render_detection()
+    );
     println!(
         "== Figure 3(b): False Positive Rate ==\n{}",
         f3.render_false_positives()
     );
 
-    let f4a = run_figure4a(scale, seed);
-    println!("== Figure 4(a): Mean abs. error, Brite ==\n{}", f4a.render());
-    let f4b = run_figure4b(scale, seed);
-    println!("== Figure 4(b): Mean abs. error, Sparse ==\n{}", f4b.render());
-    let f4c = run_figure4c(scale, seed);
+    let f4a = run_figure4a(scale, seed)?;
+    println!(
+        "== Figure 4(a): Mean abs. error, Brite ==\n{}",
+        f4a.render()
+    );
+    let f4b = run_figure4b(scale, seed)?;
+    println!(
+        "== Figure 4(b): Mean abs. error, Sparse ==\n{}",
+        f4b.render()
+    );
+    let f4c = run_figure4c(scale, seed)?;
     println!("== Figure 4(c): CDF of abs. error ==\n{}", f4c.render());
     for (algo, frac) in &f4c.fraction_within_01 {
         println!("  {algo}: fraction of links with error <= 0.1: {frac:.3}");
     }
-    let f4d = run_figure4d(scale, seed);
+    let f4d = run_figure4d(scale, seed)?;
     println!("\n== Figure 4(d): links vs subsets ==\n{}", f4d.render());
+    Ok(())
 }

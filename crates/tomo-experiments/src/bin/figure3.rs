@@ -14,7 +14,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!("Running Figure 3 at {scale:?} scale (seed {seed})...");
-    let result = run_figure3(scale, seed);
+    let result = run_figure3(scale, seed).unwrap_or_else(|e| {
+        eprintln!("figure3 failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 3(a): Detection Rate\n");
     println!("{}", result.render_detection());
     println!("Figure 3(b): False Positive Rate\n");

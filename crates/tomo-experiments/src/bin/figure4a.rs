@@ -14,7 +14,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!("Running Figure 4(a) at {scale:?} scale (seed {seed})...");
-    let result = run_figure4a(scale, seed);
+    let result = run_figure4a(scale, seed).unwrap_or_else(|e| {
+        eprintln!("figure4a failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 4(a): Mean absolute error, per-link probabilities, Brite topologies\n");
     println!("{}", result.render());
     println!(

@@ -14,7 +14,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!("Running Figure 4(b) at {scale:?} scale (seed {seed})...");
-    let result = run_figure4b(scale, seed);
+    let result = run_figure4b(scale, seed).unwrap_or_else(|e| {
+        eprintln!("figure4b failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 4(b): Mean absolute error, per-link probabilities, Sparse topologies\n");
     println!("{}", result.render());
     println!(

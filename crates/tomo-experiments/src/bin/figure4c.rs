@@ -14,7 +14,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!("Running Figure 4(c) at {scale:?} scale (seed {seed})...");
-    let result = run_figure4c(scale, seed);
+    let result = run_figure4c(scale, seed).unwrap_or_else(|e| {
+        eprintln!("figure4c failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 4(c): CDF of the absolute error (No Independence, Sparse topologies)\n");
     println!("{}", result.render());
     println!("Fraction of links with absolute error <= 0.1:");

@@ -15,7 +15,10 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     eprintln!("Running Figure 4(d) at {scale:?} scale (seed {seed})...");
-    let result = run_figure4d(scale, seed);
+    let result = run_figure4d(scale, seed).unwrap_or_else(|e| {
+        eprintln!("figure4d failed: {e}");
+        std::process::exit(1);
+    });
     println!("Figure 4(d): Correlation-complete, links vs correlation subsets\n");
     println!("{}", result.render());
     println!(

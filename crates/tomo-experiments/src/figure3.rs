@@ -3,14 +3,15 @@
 //! averaged over the intervals of each experiment.
 
 use serde::{Deserialize, Serialize};
-use tomo_inference::{
-    infer_all_intervals, BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity,
-};
-use tomo_metrics::InferenceScore;
+use tomo_core::{estimators, TomoError};
 use tomo_sim::{ScenarioConfig, ScenarioKind};
 
 use crate::report::{fmt3, render_table};
 use crate::scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
+
+/// The registry names of the Boolean-Inference algorithms Fig. 3 compares.
+pub const FIGURE3_ESTIMATORS: [&str; 3] =
+    ["sparsity", "bayesian-independence", "bayesian-correlation"];
 
 /// The per-algorithm scores for one scenario (one group of bars in Fig. 3).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -82,28 +83,25 @@ fn figure3_scenarios() -> Vec<(ScenarioKind, TopologyKind)> {
 }
 
 /// Runs the Figure 3 experiment at the given scale.
-pub fn run_figure3(scale: ExperimentScale, seed: u64) -> Figure3Result {
+pub fn run_figure3(scale: ExperimentScale, seed: u64) -> Result<Figure3Result, TomoError> {
     let mut rows = Vec::new();
     for (kind, topology) in figure3_scenarios() {
         let setup = ExperimentSetup::new(topology, scale, seed);
-        let network = setup.network();
-        let scenario = ScenarioConfig::for_kind(kind);
-        let output = setup.simulate(&network, scenario);
+        let experiment = setup.experiment(ScenarioConfig::for_kind(kind))?;
 
-        let mut algorithms: Vec<Box<dyn BooleanInference>> = vec![
-            Box::new(Sparsity::new()),
-            Box::new(BayesianIndependence::new()),
-            Box::new(BayesianCorrelation::new()),
-        ];
         let mut scores = Vec::new();
-        for algo in algorithms.iter_mut() {
-            let inferred = infer_all_intervals(algo.as_mut(), &network, &output.observations);
-            let mut score = InferenceScore::new();
-            for (t, links) in inferred.iter().enumerate() {
-                score.add_interval(links, &output.ground_truth.congested_links(t));
-            }
+        for name in FIGURE3_ESTIMATORS {
+            let mut estimator = estimators::by_name(name)?;
+            let outcome = experiment.evaluate(estimator.as_mut())?;
+            let score =
+                outcome
+                    .inference_score
+                    .ok_or_else(|| TomoError::UnsupportedCapability {
+                        estimator: outcome.estimator.clone(),
+                        capability: "per-interval inference",
+                    })?;
             scores.push((
-                algo.name().to_string(),
+                outcome.estimator,
                 score.detection_rate(),
                 score.false_positive_rate(),
             ));
@@ -114,11 +112,11 @@ pub fn run_figure3(scale: ExperimentScale, seed: u64) -> Figure3Result {
             scores,
         });
     }
-    Figure3Result {
+    Ok(Figure3Result {
         rows,
         scale: format!("{scale:?}"),
         seed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +125,7 @@ mod tests {
 
     #[test]
     fn small_scale_figure3_has_expected_shape() {
-        let result = run_figure3(ExperimentScale::Small, 7);
+        let result = run_figure3(ExperimentScale::Small, 7).expect("figure 3 runs");
         assert_eq!(result.rows.len(), 5);
         for row in &result.rows {
             assert_eq!(row.scores.len(), 3);

@@ -12,16 +12,23 @@
 //!   Sparse topologies (No-Independence scenario).
 
 use serde::{Deserialize, Serialize};
-use tomo_graph::{LinkId, Network};
-use tomo_metrics::AbsoluteErrorStats;
-use tomo_prob::{
-    potentially_congested_subsets, CorrelationComplete, CorrelationHeuristic, Independence,
-    ProbabilityComputation, ProbabilityEstimate,
-};
-use tomo_sim::{ScenarioConfig, ScenarioKind, SimulationOutput};
+use tomo_core::{estimators, EstimatorOptions, RunOutcome, TomoError};
+use tomo_sim::{ScenarioConfig, ScenarioKind};
+
+// The error statistics live in the pipeline layer now; re-exported here so
+// figure-level consumers keep one import site.
+pub use tomo_core::score::{link_error_stats, subset_error_stats};
 
 use crate::report::{fmt3, render_table};
 use crate::scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
+
+/// The registry names of the Probability-Computation algorithms Fig. 4
+/// compares.
+pub const FIGURE4_ESTIMATORS: [&str; 3] = [
+    "independence",
+    "correlation-heuristic",
+    "correlation-complete",
+];
 
 /// The scenarios evaluated in Fig. 4(a)/(b), in order. Non-stationarity is
 /// layered on top of each (§5.4).
@@ -33,76 +40,34 @@ fn figure4_scenarios() -> Vec<ScenarioKind> {
     ]
 }
 
-fn probability_algorithms() -> Vec<Box<dyn ProbabilityComputation>> {
-    vec![
-        Box::new(Independence::default()),
-        Box::new(CorrelationHeuristic::default()),
-        Box::new(CorrelationComplete::new(harness_correlation_complete_config())),
-    ]
-}
-
-/// The Correlation-complete configuration used by the figure harness: pairs
-/// plus singles, with the `require_common_path` resource knob enabled (§4 of
-/// the paper: the operator configures how much of the computable probability
-/// space to spend resources on). Restricting multi-link targets to pairs that
+/// The estimator options used by the figure harness: pairs plus singles,
+/// with the `require_common_path` resource knob enabled (§4 of the paper:
+/// the operator configures how much of the computable probability space to
+/// spend resources on). Restricting multi-link targets to pairs that
 /// co-occur on some path keeps the unknown count close to the equation count
-/// on the reduced-scale instances, which keeps the per-link estimates from
-/// absorbing minimum-norm noise of unidentifiable pair columns.
-fn harness_correlation_complete_config() -> tomo_prob::CorrelationCompleteConfig {
-    tomo_prob::CorrelationCompleteConfig {
+/// on the reduced-scale instances.
+pub fn harness_options() -> EstimatorOptions {
+    EstimatorOptions {
         require_common_path: true,
-        ..tomo_prob::CorrelationCompleteConfig::default()
+        ..EstimatorOptions::default()
     }
 }
 
-/// Per-link absolute-error statistics of one algorithm on one simulation:
-/// compares the inferred congestion probability of every potentially
-/// congested link with its empirical congestion frequency (the value the
-/// simulator assigned, observed over the whole experiment).
-pub fn link_error_stats(
-    network: &Network,
-    output: &SimulationOutput,
-    estimate: &ProbabilityEstimate,
-) -> AbsoluteErrorStats {
-    let mut stats = AbsoluteErrorStats::new();
-    let pc_links = tomo_prob::subsets::potentially_congested_links(network, &output.observations);
-    for l in pc_links {
-        let actual = output.ground_truth.link_frequency(l);
-        let estimated = estimate.link_congestion_probability(l);
-        stats.add(actual, estimated);
+/// Evaluates one registry estimator on an experiment, insisting on the
+/// probability capability.
+fn evaluate_probability(
+    experiment: &tomo_core::Experiment,
+    name: &str,
+) -> Result<RunOutcome, TomoError> {
+    let mut estimator = estimators::with_options(name, &harness_options())?;
+    let outcome = experiment.evaluate(estimator.as_mut())?;
+    if outcome.estimate.is_none() {
+        return Err(TomoError::UnsupportedCapability {
+            estimator: outcome.estimator,
+            capability: "probability estimation",
+        });
     }
-    stats
-}
-
-/// Per-subset absolute-error statistics of one algorithm (used by Fig. 4(d)):
-/// compares the inferred congestion probability of every potentially
-/// congested correlation subset of 2+ links with the empirical frequency of
-/// all its links being congested simultaneously. Only identifiable subsets
-/// are scored (the paper reports the subsets the algorithm can compute given
-/// its resources).
-pub fn subset_error_stats(
-    network: &Network,
-    output: &SimulationOutput,
-    estimate: &ProbabilityEstimate,
-    max_subset_size: usize,
-) -> AbsoluteErrorStats {
-    let mut stats = AbsoluteErrorStats::new();
-    let subsets = potentially_congested_subsets(network, &output.observations, max_subset_size);
-    for subset in subsets {
-        if subset.len() < 2 {
-            continue;
-        }
-        let links: Vec<LinkId> = subset.links_vec();
-        if !estimate.subset_is_identifiable(&links) {
-            continue;
-        }
-        let Some(estimated) = estimate.subset_congestion_probability(&links) else {
-            continue;
-        };
-        let actual = output.ground_truth.set_frequency(&links);
-        stats.add(actual, estimated);
-    }
-    stats
+    Ok(outcome)
 }
 
 /// One row of Fig. 4(a)/(b): the mean absolute error of each algorithm under
@@ -162,41 +127,40 @@ fn run_figure4_panel(
     topology: TopologyKind,
     scale: ExperimentScale,
     seed: u64,
-) -> Figure4Result {
+) -> Result<Figure4Result, TomoError> {
     let setup = ExperimentSetup::new(topology, scale, seed);
-    let network = setup.network();
     let mut rows = Vec::new();
     for kind in figure4_scenarios() {
         // §5.4: non-stationarity is added on top of every scenario.
         let scenario = ScenarioConfig::for_kind(kind).with_nonstationary(50);
-        let output = setup.simulate(&network, scenario);
+        let experiment = setup.experiment(scenario)?;
         let mut mean_error = Vec::new();
-        for algo in probability_algorithms() {
-            let estimate = algo.compute(&network, &output.observations);
-            let stats = link_error_stats(&network, &output, &estimate);
-            mean_error.push((algo.name().to_string(), stats.mean()));
+        for name in FIGURE4_ESTIMATORS {
+            let outcome = evaluate_probability(&experiment, name)?;
+            let stats = outcome.link_errors.expect("probability outcome has errors");
+            mean_error.push((outcome.estimator, stats.mean()));
         }
         rows.push(Figure4Row {
             scenario: kind.label().to_string(),
             mean_error,
         });
     }
-    Figure4Result {
+    Ok(Figure4Result {
         panel: panel.to_string(),
         topology: topology.label().to_string(),
         rows,
         scale: format!("{scale:?}"),
         seed,
-    }
+    })
 }
 
 /// Runs Fig. 4(a): per-link error on Brite topologies.
-pub fn run_figure4a(scale: ExperimentScale, seed: u64) -> Figure4Result {
+pub fn run_figure4a(scale: ExperimentScale, seed: u64) -> Result<Figure4Result, TomoError> {
     run_figure4_panel("4a", TopologyKind::Brite, scale, seed)
 }
 
 /// Runs Fig. 4(b): per-link error on Sparse topologies.
-pub fn run_figure4b(scale: ExperimentScale, seed: u64) -> Figure4Result {
+pub fn run_figure4b(scale: ExperimentScale, seed: u64) -> Result<Figure4Result, TomoError> {
     run_figure4_panel("4b", TopologyKind::Sparse, scale, seed)
 }
 
@@ -236,25 +200,24 @@ impl Figure4cResult {
 }
 
 /// Runs Fig. 4(c).
-pub fn run_figure4c(scale: ExperimentScale, seed: u64) -> Figure4cResult {
+pub fn run_figure4c(scale: ExperimentScale, seed: u64) -> Result<Figure4cResult, TomoError> {
     let setup = ExperimentSetup::new(TopologyKind::Sparse, scale, seed);
-    let network = setup.network();
     let scenario = ScenarioConfig::for_kind(ScenarioKind::NoIndependence).with_nonstationary(50);
-    let output = setup.simulate(&network, scenario);
+    let experiment = setup.experiment(scenario)?;
     let mut series = Vec::new();
     let mut fraction_within_01 = Vec::new();
-    for algo in probability_algorithms() {
-        let estimate = algo.compute(&network, &output.observations);
-        let stats = link_error_stats(&network, &output, &estimate);
-        fraction_within_01.push((algo.name().to_string(), stats.fraction_within(0.1)));
-        series.push((algo.name().to_string(), stats.cdf().series(0.0, 1.0, 21)));
+    for name in FIGURE4_ESTIMATORS {
+        let outcome = evaluate_probability(&experiment, name)?;
+        let stats = outcome.link_errors.expect("probability outcome has errors");
+        fraction_within_01.push((outcome.estimator.clone(), stats.fraction_within(0.1)));
+        series.push((outcome.estimator, stats.cdf().series(0.0, 1.0, 21)));
     }
-    Figure4cResult {
+    Ok(Figure4cResult {
         series,
         fraction_within_01,
         scale: format!("{scale:?}"),
         seed,
-    }
+    })
 }
 
 /// The result of Fig. 4(d): Correlation-complete's mean absolute error when
@@ -284,22 +247,21 @@ impl Figure4dResult {
 }
 
 /// Runs Fig. 4(d).
-pub fn run_figure4d(scale: ExperimentScale, seed: u64) -> Figure4dResult {
+pub fn run_figure4d(scale: ExperimentScale, seed: u64) -> Result<Figure4dResult, TomoError> {
     let mut rows = Vec::new();
     for topology in [TopologyKind::Brite, TopologyKind::Sparse] {
         let setup = ExperimentSetup::new(topology, scale, seed);
-        let network = setup.network();
         let scenario =
             ScenarioConfig::for_kind(ScenarioKind::NoIndependence).with_nonstationary(50);
-        let output = setup.simulate(&network, scenario);
-        let algo = CorrelationComplete::new(harness_correlation_complete_config());
-        let estimate = algo.compute(&network, &output.observations);
-        let link_stats = link_error_stats(&network, &output, &estimate);
+        let experiment = setup.experiment(scenario)?;
+        let outcome = evaluate_probability(&experiment, "correlation-complete")?;
+        let estimate = outcome.estimate.expect("probability outcome has estimate");
+        let link_stats = outcome.link_errors.expect("probability outcome has errors");
         let subset_stats = subset_error_stats(
-            &network,
-            &output,
+            experiment.network(),
+            experiment.output(),
             &estimate,
-            algo.config().max_subset_size,
+            harness_options().effective_max_subset_size(),
         );
         rows.push((
             topology.label().to_string(),
@@ -308,11 +270,11 @@ pub fn run_figure4d(scale: ExperimentScale, seed: u64) -> Figure4dResult {
             subset_stats.len(),
         ));
     }
-    Figure4dResult {
+    Ok(Figure4dResult {
         rows,
         scale: format!("{scale:?}"),
         seed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -321,7 +283,7 @@ mod tests {
 
     #[test]
     fn small_scale_figure4a_has_expected_shape() {
-        let result = run_figure4a(ExperimentScale::Small, 5);
+        let result = run_figure4a(ExperimentScale::Small, 5).expect("figure 4a runs");
         assert_eq!(result.rows.len(), 3);
         for row in &result.rows {
             assert_eq!(row.mean_error.len(), 3);
@@ -334,7 +296,7 @@ mod tests {
 
     #[test]
     fn small_scale_figure4c_series_are_monotone() {
-        let result = run_figure4c(ExperimentScale::Small, 5);
+        let result = run_figure4c(ExperimentScale::Small, 5).expect("figure 4c runs");
         assert_eq!(result.series.len(), 3);
         for (_, s) in &result.series {
             for w in s.windows(2) {
@@ -346,7 +308,7 @@ mod tests {
 
     #[test]
     fn small_scale_figure4d_scores_both_topologies() {
-        let result = run_figure4d(ExperimentScale::Small, 5);
+        let result = run_figure4d(ExperimentScale::Small, 5).expect("figure 4d runs");
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0].0, "Brite");
         assert_eq!(result.rows[1].0, "Sparse");

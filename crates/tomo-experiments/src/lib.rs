@@ -23,11 +23,12 @@ pub mod report;
 pub mod scenarios;
 pub mod table2;
 
-pub use figure3::{run_figure3, Figure3Result, Figure3Row};
+pub use figure3::{run_figure3, Figure3Result, Figure3Row, FIGURE3_ESTIMATORS};
 pub use figure4::{
-    run_figure4a, run_figure4b, run_figure4c, run_figure4d, Figure4Result, Figure4Row,
-    Figure4cResult, Figure4dResult,
+    harness_options, run_figure4a, run_figure4b, run_figure4c, run_figure4d, Figure4Result,
+    Figure4Row, Figure4cResult, Figure4dResult, FIGURE4_ESTIMATORS,
 };
 pub use report::{render_table, Report};
 pub use scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
 pub use table2::{table2, Table2};
+pub use tomo_core::{estimators, Estimator, EstimatorOptions, Experiment, Pipeline, TomoError};

@@ -2,10 +2,9 @@
 //! simulation parameters, mirroring §3.2 of the paper.
 
 use serde::{Deserialize, Serialize};
+use tomo_core::{Experiment, Pipeline, TomoError};
 use tomo_graph::Network;
-use tomo_sim::{
-    LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, SimulationOutput, Simulator,
-};
+use tomo_sim::{MeasurementMode, ScenarioConfig};
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 
 /// Which family of topologies an experiment runs on.
@@ -148,30 +147,34 @@ impl ExperimentSetup {
     }
 
     /// Generates the measured network.
-    pub fn network(&self) -> Network {
-        match self.topology {
-            TopologyKind::Brite => BriteGenerator::new(self.scale.brite_config(self.seed))
-                .generate()
-                .expect("Brite generation succeeds"),
-            TopologyKind::Sparse => SparseGenerator::new(self.scale.sparse_config(self.seed))
-                .generate()
-                .expect("Sparse generation succeeds"),
-        }
+    pub fn network(&self) -> Result<Network, TomoError> {
+        let network = match self.topology {
+            TopologyKind::Brite => {
+                BriteGenerator::new(self.scale.brite_config(self.seed)).generate()?
+            }
+            TopologyKind::Sparse => {
+                SparseGenerator::new(self.scale.sparse_config(self.seed)).generate()?
+            }
+        };
+        Ok(network)
     }
 
-    /// Runs the simulator for a given congestion scenario on the given
-    /// network (which should come from [`ExperimentSetup::network`]).
-    pub fn simulate(&self, network: &Network, scenario: ScenarioConfig) -> SimulationOutput {
-        let config = SimulationConfig {
-            num_intervals: self.scale.num_intervals(),
-            scenario,
-            loss: LossModel::default(),
-            measurement: self.scale.measurement(),
+    /// Builds the pipeline for a congestion scenario at this setup's scale:
+    /// the measured network plus intervals, probing and seed.
+    pub fn pipeline(&self, scenario: ScenarioConfig) -> Result<Pipeline, TomoError> {
+        Ok(Pipeline::on(self.network()?)
+            .scenario(scenario)
+            .intervals(self.scale.num_intervals())
+            .measurement(self.scale.measurement())
             // Offset the simulation seed from the topology seed so the two
             // random processes are decoupled but still reproducible.
-            seed: self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(17),
-        };
-        Simulator::new(config).run(network)
+            .seed(self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(17)))
+    }
+
+    /// Generates the network and simulates one scenario on it — the
+    /// simulate/observe half of the pipeline, ready to evaluate estimators.
+    pub fn experiment(&self, scenario: ScenarioConfig) -> Result<Experiment, TomoError> {
+        self.pipeline(scenario)?.simulate()
     }
 }
 
@@ -182,8 +185,14 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(ExperimentScale::parse("small"), Some(ExperimentScale::Small));
-        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(
+            ExperimentScale::parse("small"),
+            Some(ExperimentScale::Small)
+        );
+        assert_eq!(
+            ExperimentScale::parse("PAPER"),
+            Some(ExperimentScale::Paper)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 
@@ -197,10 +206,15 @@ mod tests {
     #[test]
     fn small_setup_runs_end_to_end() {
         let setup = ExperimentSetup::new(TopologyKind::Brite, ExperimentScale::Small, 3);
-        let net = setup.network();
-        let out = setup.simulate(&net, ScenarioConfig::random_congestion());
+        let experiment = setup
+            .experiment(ScenarioConfig::random_congestion())
+            .expect("small experiment simulates");
+        let out = experiment.output();
         assert_eq!(out.observations.num_intervals(), 150);
-        assert_eq!(out.ground_truth.num_links(), net.num_links());
+        assert_eq!(
+            out.ground_truth.num_links(),
+            experiment.network().num_links()
+        );
         assert!(!out.ground_truth.congestible_links().is_empty());
     }
 

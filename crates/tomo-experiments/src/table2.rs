@@ -3,10 +3,7 @@
 //! metadata rather than hard-coded.
 
 use serde::{Deserialize, Serialize};
-use tomo_inference::{BayesianCorrelation, BayesianIndependence, BooleanInference, Sparsity};
-use tomo_prob::{
-    CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
-};
+use tomo_core::estimators;
 
 use crate::report::render_table;
 
@@ -44,35 +41,21 @@ impl Table2 {
     }
 }
 
-/// Builds Table 2 from the algorithms' metadata. The columns cover both the
-/// Boolean-Inference algorithms of §3 and the Probability-Computation
-/// algorithms of §5.
+/// Builds Table 2 from the algorithms' metadata: one column per registry
+/// estimator, in the registry's canonical order (the Boolean-Inference
+/// algorithms of §3 followed by the Probability-Computation algorithms of
+/// §5).
 pub fn table2() -> Table2 {
-    let inference: Vec<(&str, tomo_prob::AlgorithmAssumptions)> = {
-        let algos: Vec<Box<dyn BooleanInference>> = vec![
-            Box::new(Sparsity::new()),
-            Box::new(BayesianIndependence::new()),
-            Box::new(BayesianCorrelation::new()),
-        ];
-        algos.iter().map(|a| (a.name(), a.assumptions())).collect()
-    };
-    let probability: Vec<(&str, tomo_prob::AlgorithmAssumptions)> = {
-        let algos: Vec<Box<dyn ProbabilityComputation>> = vec![
-            Box::new(Independence::default()),
-            Box::new(CorrelationHeuristic::default()),
-            Box::new(CorrelationComplete::default()),
-        ];
-        algos.iter().map(|a| (a.name(), a.assumptions())).collect()
-    };
-
-    let all: Vec<(&str, tomo_prob::AlgorithmAssumptions)> =
-        inference.into_iter().chain(probability).collect();
+    let all: Vec<(String, tomo_prob::AlgorithmAssumptions)> = estimators::all()
+        .iter()
+        .map(|e| (e.name().to_string(), e.assumptions()))
+        .collect();
     let row_labels: Vec<String> = all[0].1.rows().iter().map(|(l, _)| l.to_string()).collect();
     let cells: Vec<Vec<bool>> = (0..row_labels.len())
         .map(|r| all.iter().map(|(_, a)| a.rows()[r].1).collect())
         .collect();
     Table2 {
-        algorithms: all.iter().map(|(n, _)| n.to_string()).collect(),
+        algorithms: all.iter().map(|(n, _)| n.clone()).collect(),
         rows: row_labels,
         cells,
     }

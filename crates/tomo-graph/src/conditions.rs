@@ -95,10 +95,7 @@ pub fn check_identifiability_pp(
     let mut by_signature: HashMap<Vec<PathId>, Vec<CorrelationSubset>> = HashMap::new();
     let mut checked = 0usize;
     for subset in subsets {
-        let sig: Vec<PathId> = network
-            .paths_covering_subset(&subset)
-            .into_iter()
-            .collect();
+        let sig: Vec<PathId> = network.paths_covering_subset(&subset).into_iter().collect();
         if sig.is_empty() {
             continue;
         }
@@ -167,8 +164,16 @@ mod tests {
             .expect("the {e1,e4}/{e2,e3} conflict must be reported");
         let pair_a = CorrelationSubset::new(0, [E1, E4]).to_string();
         let pair_b = CorrelationSubset::new(1, [E2, E3]).to_string();
-        assert!(group.members.contains(&pair_a), "members: {:?}", group.members);
-        assert!(group.members.contains(&pair_b), "members: {:?}", group.members);
+        assert!(
+            group.members.contains(&pair_a),
+            "members: {:?}",
+            group.members
+        );
+        assert!(
+            group.members.contains(&pair_b),
+            "members: {:?}",
+            group.members
+        );
     }
 
     #[test]

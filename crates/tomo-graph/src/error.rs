@@ -61,7 +61,10 @@ impl fmt::Display for GraphError {
                 write!(f, "correlation set references unknown link {link}")
             }
             GraphError::LinkInMultipleCorrelationSets { link } => {
-                write!(f, "link {link} is assigned to more than one correlation set")
+                write!(
+                    f,
+                    "link {link} is assigned to more than one correlation set"
+                )
             }
             GraphError::LinkWithoutCorrelationSet { link } => {
                 write!(f, "link {link} is not assigned to any correlation set")

@@ -232,7 +232,10 @@ mod tests {
         );
         // Links({p1}) = {e1, e2} ; Links({p1, p2}) = {e1, e2, e3}
         let l1 = net.links_covered(&[PathId(0)]);
-        assert_eq!(l1.into_iter().collect::<Vec<_>>(), vec![LinkId(0), LinkId(1)]);
+        assert_eq!(
+            l1.into_iter().collect::<Vec<_>>(),
+            vec![LinkId(0), LinkId(1)]
+        );
         let l12 = net.links_covered(&[PathId(0), PathId(1)]);
         assert_eq!(
             l12.into_iter().collect::<Vec<_>>(),
@@ -244,12 +247,21 @@ mod tests {
     fn fig1_correlation_sets() {
         let net = fig1_case1();
         assert_eq!(net.correlation_sets().len(), 3);
-        assert_eq!(net.correlation_set_of(LinkId(1)), net.correlation_set_of(LinkId(2)));
-        assert_ne!(net.correlation_set_of(LinkId(0)), net.correlation_set_of(LinkId(3)));
+        assert_eq!(
+            net.correlation_set_of(LinkId(1)),
+            net.correlation_set_of(LinkId(2))
+        );
+        assert_ne!(
+            net.correlation_set_of(LinkId(0)),
+            net.correlation_set_of(LinkId(3))
+        );
 
         let net2 = fig1_case2();
         assert_eq!(net2.correlation_sets().len(), 2);
-        assert_eq!(net2.correlation_set_of(LinkId(0)), net2.correlation_set_of(LinkId(3)));
+        assert_eq!(
+            net2.correlation_set_of(LinkId(0)),
+            net2.correlation_set_of(LinkId(3))
+        );
     }
 
     #[test]

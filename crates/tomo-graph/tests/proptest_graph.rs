@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use tomo_graph::{AsId, CorrelationSubset, LinkId, NetworkBuilder, Network, NodeId, PathId};
+use tomo_graph::{AsId, CorrelationSubset, LinkId, Network, NetworkBuilder, NodeId, PathId};
 
 /// Builds a random valid network: `n_links` links spread over `n_as` ASes and
 /// `n_paths` random loop-free paths over those links.
@@ -117,7 +117,7 @@ proptest! {
         let unique: BTreeSet<_> = subs.iter().cloned().collect();
         prop_assert_eq!(unique.len(), subs.len());
         for s in &subs {
-            prop_assert!(s.len() >= 1 && s.len() <= k);
+            prop_assert!(!s.is_empty() && s.len() <= k);
             prop_assert!(!net.paths_covering_subset(s).is_empty());
         }
     }

@@ -101,6 +101,14 @@ impl BooleanInference for BayesianCorrelation {
         AlgorithmAssumptions::bayesian_correlation()
     }
 
+    fn computes_probabilities(&self) -> bool {
+        true
+    }
+
+    fn probability_estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate()
+    }
+
     fn learn(&mut self, network: &Network, observations: &PathObservations) {
         let algo = CorrelationComplete::new(self.config.clone());
         self.estimate = Some(algo.compute(network, observations));

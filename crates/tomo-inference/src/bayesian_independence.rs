@@ -76,6 +76,14 @@ impl BooleanInference for BayesianIndependence {
         AlgorithmAssumptions::bayesian_independence()
     }
 
+    fn computes_probabilities(&self) -> bool {
+        true
+    }
+
+    fn probability_estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate()
+    }
+
     fn learn(&mut self, network: &Network, observations: &PathObservations) {
         let algo = Independence::new(self.config.clone());
         self.estimate = Some(algo.compute(network, observations));

@@ -33,7 +33,7 @@ pub use map_solver::{greedy_weighted_cover, CandidateLinks};
 pub use sparsity::Sparsity;
 
 use tomo_graph::{LinkId, Network, PathId};
-use tomo_prob::AlgorithmAssumptions;
+use tomo_prob::{AlgorithmAssumptions, ProbabilityEstimate};
 use tomo_sim::PathObservations;
 
 /// Common interface of the Boolean Inference algorithms.
@@ -53,6 +53,18 @@ pub trait BooleanInference {
     /// Infers the set of congested links of one interval from that
     /// interval's congested paths.
     fn infer_interval(&self, network: &Network, congested_paths: &[PathId]) -> Vec<LinkId>;
+
+    /// Whether the learning phase computes congestion probabilities (true
+    /// for the Bayesian algorithms, whose learning *is* a Probability
+    /// Computation step).
+    fn computes_probabilities(&self) -> bool {
+        false
+    }
+
+    /// The probability estimate computed by the learning phase, if any.
+    fn probability_estimate(&self) -> Option<&ProbabilityEstimate> {
+        None
+    }
 }
 
 /// Runs an inference algorithm over every interval of an experiment,

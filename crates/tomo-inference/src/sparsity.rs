@@ -71,12 +71,11 @@ mod tests {
         let net = fig1_case1();
         let algo = Sparsity::new();
         let inferred = algo.infer_interval(&net, &[PathId(0), PathId(1), PathId(2)]);
-        let truth = vec![E2, E3];
+        let truth = [E2, E3];
         let missed: Vec<_> = truth.iter().filter(|l| !inferred.contains(l)).collect();
-        let false_positives: Vec<_> =
-            inferred.iter().filter(|l| !truth.contains(l)).collect();
-        assert_eq!(missed, vec![&E2]);
-        assert_eq!(false_positives, vec![&E1]);
+        let false_positives: Vec<_> = inferred.iter().filter(|l| !truth.contains(l)).collect();
+        assert_eq!(missed, [&E2]);
+        assert_eq!(false_positives, [&E1]);
     }
 
     #[test]

@@ -133,7 +133,13 @@ pub fn solve_square(a: &Matrix, b: &Vector) -> Option<Vector> {
     let r = rref(&aug);
     // The system has a unique solution iff every one of the first n columns
     // is a pivot column.
-    if r.rank < n || r.pivot_cols.iter().take(n).enumerate().any(|(i, &c)| c != i) {
+    if r.rank < n
+        || r.pivot_cols
+            .iter()
+            .take(n)
+            .enumerate()
+            .any(|(i, &c)| c != i)
+    {
         return None;
     }
     Some(Vector::from_iter((0..n).map(|i| r.rref[(i, n)])))

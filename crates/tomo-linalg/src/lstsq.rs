@@ -124,7 +124,7 @@ pub fn least_squares(a: &Matrix, b: &Vector, opts: &LstsqOptions) -> LstsqSoluti
     // Fast path: full column rank and at least as many rows as columns.
     if rank == n && a.rows() >= n {
         if let Some(x) = qr_least_squares(a, b, opts.tol) {
-            let residual = &a.matvec(&x) - &b;
+            let residual = &a.matvec(&x) - b;
             return LstsqSolution {
                 residual_norm_sq: residual.dot(&residual),
                 x,
@@ -148,7 +148,7 @@ pub fn least_squares(a: &Matrix, b: &Vector, opts: &LstsqOptions) -> LstsqSoluti
         // than panicking deep inside an experiment sweep.
         Vector::zeros(n)
     });
-    let residual = &a.matvec(&x) - &b;
+    let residual = &a.matvec(&x) - b;
     LstsqSolution {
         residual_norm_sq: residual.dot(&residual),
         x,
@@ -193,11 +193,7 @@ mod tests {
 
     #[test]
     fn overdetermined_consistent_system() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let b = Vector::from_slice(&[3.0, -1.0, 2.0]);
         let sol = least_squares_default(&a, &b);
         assert!(sol.x.approx_eq(&Vector::from_slice(&[3.0, -1.0]), 1e-8));

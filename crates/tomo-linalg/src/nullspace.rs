@@ -123,10 +123,7 @@ mod tests {
         //   [1 1 0 0 0]
         //   [1 0 0 0 1]
         // has 5 unknowns and rank 2, so nullity 3.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0, 0.0, 0.0, 0.0],
-            vec![1.0, 0.0, 0.0, 0.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0, 0.0, 1.0]]);
         let ns = nullspace(&a);
         assert_eq!(ns.cols(), 3);
         assert_annihilates(&a, &ns);

@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn dependent_row_leaves_basis_unchanged() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0, 0.0],
-            vec![0.0, 1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0]]);
         let n0 = nullspace(&a);
         assert_eq!(n0.cols(), 1);
         // This row is the sum of the two existing ones minus nothing new in
@@ -175,7 +172,7 @@ mod tests {
         // Start from one equation and add rows one at a time; the dimension
         // of the incrementally maintained null space must always match the
         // batch computation on the accumulated matrix.
-        let rows = vec![
+        let rows = [
             vec![1.0, 1.0, 0.0, 0.0, 0.0],
             vec![0.0, 0.0, 1.0, 1.0, 0.0],
             vec![1.0, 0.0, 1.0, 0.0, 1.0],

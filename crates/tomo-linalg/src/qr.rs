@@ -185,11 +185,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let qr = qr_decompose(&a);
         assert!(qr.reconstruct().approx_eq(&a, 1e-9));
         assert!(is_orthogonal(&qr.q, 1e-9));
@@ -213,11 +209,7 @@ mod tests {
 
     #[test]
     fn qr_rank_detects_deficiency() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let qr = qr_decompose(&a);
         assert_eq!(qr.rank(1e-9), 1);
     }

@@ -27,6 +27,7 @@ impl Vector {
     }
 
     /// Creates a vector from an iterator of values.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(it: impl IntoIterator<Item = f64>) -> Self {
         Self {
             data: it.into_iter().collect(),
@@ -64,11 +65,7 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean (L2) norm.

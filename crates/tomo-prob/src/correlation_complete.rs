@@ -108,8 +108,7 @@ impl ProbabilityComputation for CorrelationComplete {
         let pc_links: BTreeSet<LinkId> = potentially_congested_links(network, observations)
             .into_iter()
             .collect();
-        let mut targets =
-            potentially_congested_subsets(network, observations, cfg.max_subset_size);
+        let mut targets = potentially_congested_subsets(network, observations, cfg.max_subset_size);
         if cfg.require_common_path {
             targets.retain(|s| {
                 if s.len() <= 1 {
@@ -142,13 +141,8 @@ impl ProbabilityComputation for CorrelationComplete {
         }
 
         // --- Algorithm 1: path-set selection ---------------------------------
-        let selection = select_path_sets(
-            network,
-            observations,
-            &targets,
-            &pc_links,
-            &cfg.selection,
-        );
+        let selection =
+            select_path_sets(network, observations, &targets, &pc_links, &cfg.selection);
 
         // --- Assemble and solve the system ------------------------------------
         let estimator = PathSetEstimator::new(observations, cfg.estimator.clone());

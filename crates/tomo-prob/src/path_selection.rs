@@ -29,7 +29,7 @@ use tomo_graph::{CorrelationSubset, LinkId, Network, PathId};
 use tomo_linalg::{nullspace_update, Matrix, NullSpaceUpdate};
 
 use crate::subsets::pruned_complement;
-use crate::system::{row_over_targets, SubsetIndex};
+use crate::system::{induced_subsets, SubsetIndex};
 use tomo_sim::PathObservations;
 
 /// Configuration of the path-set selection.
@@ -100,7 +100,9 @@ pub fn select_path_sets(
     }
 
     // --- Seeding: one path set per target subset (lines 1–5) ---------------
-    let mut path_sets: Vec<Vec<PathId>> = Vec::new();
+    // Each entry carries the path set together with its (already validated)
+    // row over the target columns.
+    let mut path_sets: Vec<(Vec<PathId>, Vec<f64>)> = Vec::new();
     let mut seen_sets: BTreeSet<Vec<PathId>> = BTreeSet::new();
     let mut observing_paths: Vec<Vec<PathId>> = Vec::with_capacity(n_targets);
     for subset in targets {
@@ -109,8 +111,20 @@ pub fn select_path_sets(
         let paths_comp = network.paths_covering_subset(&complement);
         let p: Vec<PathId> = paths_e.difference(&paths_comp).copied().collect();
         observing_paths.push(p.clone());
-        if !p.is_empty() && seen_sets.insert(p.clone()) {
-            path_sets.push(p);
+        // Only path sets whose induced subsets all belong to Ê form usable
+        // equations (the paper's `Row(P, Ê)`): an equation involving a
+        // subset outside the target list would carry an extra unknown the
+        // rank analysis cannot see, silently entangling the targets with
+        // it. Unclean seeds are skipped; the augmentation loop then finds
+        // smaller, clean path sets for their targets instead.
+        if p.is_empty() || !seen_sets.insert(p.clone()) {
+            continue;
+        }
+        // Marking rejected seeds as seen caches the rejection: an unclean
+        // path set can never become an equation, so neither duplicate seeds
+        // nor the augmentation loop need to re-evaluate it.
+        if let Some(row) = target_row(network, &p, potentially_congested, &index) {
+            path_sets.push((p, row));
         }
     }
     let initial_count = path_sets.len();
@@ -120,9 +134,8 @@ pub fn select_path_sets(
     // the seed rows in one at a time with Algorithm 2 avoids a full O(n^3)
     // elimination over the seed matrix.
     let mut nullspace = Matrix::identity(n_targets);
-    for ps in &path_sets {
-        let row = row_over_targets(network, ps, potentially_congested, &index);
-        nullspace = nullspace_update(&nullspace, &row).into_basis();
+    for (_, row) in &path_sets {
+        nullspace = nullspace_update(&nullspace, row).into_basis();
         if nullspace.cols() == 0 {
             break;
         }
@@ -154,24 +167,43 @@ pub fn select_path_sets(
             }
         }
         seen_sets.insert(new_set.clone());
-        path_sets.push(new_set);
+        path_sets.push((new_set, new_row));
         augmented_count += 1;
     }
 
     // --- Identifiability of each target -------------------------------------
     let identifiable = (0..n_targets)
-        .map(|i| {
-            (0..nullspace.cols()).all(|j| nullspace[(i, j)].abs() <= config.tol)
-        })
+        .map(|i| (0..nullspace.cols()).all(|j| nullspace[(i, j)].abs() <= config.tol))
         .collect();
 
     PathSelectionOutcome {
-        path_sets,
+        path_sets: path_sets.into_iter().map(|(ps, _)| ps).collect(),
         initial_count,
         augmented_count,
         final_nullity: nullspace.cols(),
         identifiable,
     }
+}
+
+/// The row of `path_set` over the target columns, or `None` when some
+/// induced subset falls outside Ê. Path sets failing this test must not
+/// become equations: their rows would involve unknowns outside the target
+/// list. Induced subsets are computed once and reused for both the
+/// cleanliness check and the row.
+fn target_row(
+    network: &Network,
+    path_set: &[PathId],
+    potentially_congested: &BTreeSet<LinkId>,
+    index: &SubsetIndex,
+) -> Option<Vec<f64>> {
+    let mut row = vec![0.0; index.num_targets()];
+    for subset in induced_subsets(network, path_set, potentially_congested) {
+        match index.index_of(&subset) {
+            Some(col) if col < index.num_targets() => row[col] = 1.0,
+            _ => return None,
+        }
+    }
+    Some(row)
 }
 
 /// Searches for a path set whose row intersects the current null space
@@ -217,7 +249,9 @@ fn find_augmenting_path_set(
             if seen_sets.contains(candidate) {
                 return false;
             }
-            let row = row_over_targets(network, candidate, potentially_congested, index);
+            let Some(row) = target_row(network, candidate, potentially_congested, index) else {
+                return false;
+            };
             if row_hits_nullspace(&row, nullspace, config.tol) {
                 found = Some((candidate.to_vec(), row));
                 return true;
@@ -305,6 +339,7 @@ fn for_each_subset_by_size(
 mod tests {
     use super::*;
     use crate::subsets::potentially_congested_subsets;
+    use crate::system::row_over_targets;
     use tomo_graph::toy::{fig1_case1, fig1_case2};
     use tomo_graph::PathId;
     use tomo_linalg::gauss::rank;
@@ -334,6 +369,40 @@ mod tests {
             &PathSelectionConfig::default(),
         );
         (outcome, targets)
+    }
+
+    #[test]
+    fn selected_path_sets_never_induce_unknowns_outside_the_targets() {
+        // Regression test: when the target list is capped (here: singletons
+        // only), Algorithm 1 must not select path sets whose equations
+        // involve subsets outside Ê — such equations would entangle the
+        // targets with unknowns the rank analysis cannot see, silently
+        // corrupting "identifiable" estimates. On Fig. 1 Case 1, the path
+        // set {p1, p2} induces the pair {e2, e3} and must be rejected.
+        let net = fig1_case1();
+        let obs = busy_observations(net.num_paths());
+        let targets = potentially_congested_subsets(&net, &obs, 1);
+        assert!(targets.iter().all(|t| t.len() == 1));
+        let pc: BTreeSet<LinkId> = crate::subsets::potentially_congested_links(&net, &obs)
+            .into_iter()
+            .collect();
+        let outcome = select_path_sets(&net, &obs, &targets, &pc, &PathSelectionConfig::default());
+        let index = SubsetIndex::new(targets);
+        for ps in &outcome.path_sets {
+            for subset in crate::system::induced_subsets(&net, ps, &pc) {
+                let col = index.index_of(&subset);
+                assert!(
+                    col.is_some_and(|c| c < index.num_targets()),
+                    "path set {ps:?} induces non-target subset {subset}"
+                );
+            }
+        }
+        // Rejecting unclean seeds must not cost identifiability when clean
+        // alternatives exist: Case 1's four singletons are all pinned by
+        // pair-free path sets (e.g. {p2, p3} induces only singletons), which
+        // the augmentation loop has to find.
+        assert_eq!(outcome.final_nullity, 0);
+        assert_eq!(outcome.identifiable_count(), index.num_targets());
     }
 
     #[test]

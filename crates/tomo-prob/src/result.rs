@@ -155,7 +155,11 @@ impl ProbabilityEstimate {
                 .map(|i| unique[i])
                 .collect();
             let g = self.subset_good_probability(&subset)?;
-            let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if subset.len().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             total += sign * g;
         }
         Some(total.clamp(0.0, 1.0))
@@ -191,31 +195,18 @@ impl ProbabilityEstimate {
 /// strings).
 mod subset_map_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{Deserialize, Error, Value};
 
-    pub fn serialize<S, V>(
-        map: &BTreeMap<BTreeSet<LinkId>, V>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-        V: Serialize + Clone,
-    {
-        let pairs: Vec<(Vec<LinkId>, V)> = map
+    pub fn to_value<V: Serialize>(map: &BTreeMap<BTreeSet<LinkId>, V>) -> Value {
+        let pairs: Vec<(Vec<LinkId>, &V)> = map
             .iter()
-            .map(|(k, v)| (k.iter().copied().collect(), v.clone()))
+            .map(|(k, v)| (k.iter().copied().collect(), v))
             .collect();
-        pairs.serialize(serializer)
+        pairs.to_value()
     }
 
-    pub fn deserialize<'de, D, V>(
-        deserializer: D,
-    ) -> Result<BTreeMap<BTreeSet<LinkId>, V>, D::Error>
-    where
-        D: Deserializer<'de>,
-        V: serde::de::DeserializeOwned,
-    {
-        let pairs: Vec<(Vec<LinkId>, V)> = Vec::deserialize(deserializer)?;
+    pub fn from_value<V: Deserialize>(v: &Value) -> Result<BTreeMap<BTreeSet<LinkId>, V>, Error> {
+        let pairs: Vec<(Vec<LinkId>, V)> = Vec::from_value(v)?;
         Ok(pairs
             .into_iter()
             .map(|(k, v)| (k.into_iter().collect(), v))
@@ -296,7 +287,9 @@ mod tests {
         assert!(est
             .subset_congestion_probability(&[LinkId(0), LinkId(1)])
             .is_none());
-        assert!(est.subset_good_probability(&[LinkId(0), LinkId(1)]).is_none());
+        assert!(est
+            .subset_good_probability(&[LinkId(0), LinkId(1)])
+            .is_none());
     }
 
     #[test]

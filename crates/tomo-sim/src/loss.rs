@@ -57,6 +57,27 @@ impl LossModel {
     pub fn path_is_congested(&self, loss_fraction: f64, d: usize) -> bool {
         loss_fraction > self.path_threshold(d)
     }
+
+    /// Classifies a path from a loss fraction *estimated from `packets`
+    /// probe packets*.
+    ///
+    /// The plain threshold rule is a statement about the underlying loss
+    /// rate; applied directly to a finite-sample fraction it misclassifies a
+    /// good path whenever sampling noise pushes the estimate over the
+    /// threshold (up to ~50 % of intervals for a path whose good links drew
+    /// loss rates near `f`). This variant adds a two-sigma binomial
+    /// confidence slack, so a path is declared congested only when its
+    /// measured loss is inconsistent with every all-good assignment of link
+    /// loss rates. The slack vanishes as `packets → ∞`, recovering the
+    /// asymptotic rule.
+    pub fn path_is_congested_sampled(&self, loss_fraction: f64, d: usize, packets: usize) -> bool {
+        let t = self.path_threshold(d);
+        if packets == 0 {
+            return loss_fraction > t;
+        }
+        let slack = 2.0 * (t * (1.0 - t) / packets as f64).sqrt();
+        loss_fraction > t + slack
+    }
 }
 
 /// How path observations are derived from link states.

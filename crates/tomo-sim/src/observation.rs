@@ -163,10 +163,7 @@ mod tests {
     fn always_good_detection() {
         let o = sample();
         assert_eq!(o.always_good_paths(), vec![PathId(2)]);
-        assert_eq!(
-            o.sometimes_congested_paths(),
-            vec![PathId(0), PathId(1)]
-        );
+        assert_eq!(o.sometimes_congested_paths(), vec![PathId(0), PathId(1)]);
     }
 
     #[test]

@@ -222,8 +222,7 @@ impl ScenarioConfig {
                     if picked.len() >= target {
                         break;
                     }
-                    let fresh: Vec<LinkId> =
-                        g.into_iter().filter(|l| !seen.contains(l)).collect();
+                    let fresh: Vec<LinkId> = g.into_iter().filter(|l| !seen.contains(l)).collect();
                     if fresh.len() < 2 {
                         continue;
                     }
@@ -236,10 +235,8 @@ impl ScenarioConfig {
                 // (e.g. tiny test instances), fill up randomly so the
                 // congestible fraction is still honored.
                 if picked.len() < target {
-                    let mut rest: Vec<LinkId> = observed
-                        .into_iter()
-                        .filter(|l| !seen.contains(l))
-                        .collect();
+                    let mut rest: Vec<LinkId> =
+                        observed.into_iter().filter(|l| !seen.contains(l)).collect();
                     rest.shuffle(rng);
                     picked.extend(rest.into_iter().take(target - picked.len()));
                 }

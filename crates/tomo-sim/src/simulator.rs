@@ -116,7 +116,14 @@ impl Simulator {
                 .add_model_marginals(&marginals, this_epoch as f64 / cfg.num_intervals as f64);
 
             for _ in 0..this_epoch {
-                self.simulate_interval(network, &model, &mut rng, t, &mut ground_truth, &mut observations);
+                self.simulate_interval(
+                    network,
+                    &model,
+                    &mut rng,
+                    t,
+                    &mut ground_truth,
+                    &mut observations,
+                );
                 t += 1;
             }
 
@@ -171,7 +178,11 @@ impl Simulator {
                         }
                     }
                     let loss_fraction = dropped as f64 / packets_per_interval.max(1) as f64;
-                    let congested = cfg.loss.path_is_congested(loss_fraction, path.len());
+                    let congested = cfg.loss.path_is_congested_sampled(
+                        loss_fraction,
+                        path.len(),
+                        packets_per_interval,
+                    );
                     observations.set_congested(path.id, t, congested);
                 }
             }
@@ -211,7 +222,10 @@ mod tests {
                     .links
                     .iter()
                     .any(|&l| out.ground_truth.is_congested(l, t));
-                assert_eq!(out.observations.is_congested(path.id, t), any_link_congested);
+                assert_eq!(
+                    out.observations.is_congested(path.id, t),
+                    any_link_congested
+                );
             }
         }
     }
@@ -270,8 +284,14 @@ mod tests {
         let a = toy_sim(MeasurementMode::Ideal, 42);
         let b = toy_sim(MeasurementMode::Ideal, 42);
         for t in 0..a.observations.num_intervals() {
-            assert_eq!(a.observations.congested_paths(t), b.observations.congested_paths(t));
-            assert_eq!(a.ground_truth.congested_links(t), b.ground_truth.congested_links(t));
+            assert_eq!(
+                a.observations.congested_paths(t),
+                b.observations.congested_paths(t)
+            );
+            assert_eq!(
+                a.ground_truth.congested_links(t),
+                b.ground_truth.congested_links(t)
+            );
         }
     }
 

@@ -284,9 +284,7 @@ impl MeasuredNetworkBuilder {
             // link to the downstream AS (the peer being entered), matching
             // the paper's view that the source ISP monitors its peers'
             // inter-domain links.
-            let crossing = graph
-                .edge_between(u, v)
-                .expect("route follows edges");
+            let crossing = graph.edge_between(u, v).expect("route follows edges");
             let id = self.intern_link(graph, u, v, as_v, vec![crossing]);
             links.push(id);
             segment_start = i + 1;

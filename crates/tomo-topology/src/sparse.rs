@@ -77,12 +77,8 @@ impl SparseGenerator {
         vantage.shuffle(&mut rng);
         vantage.truncate(self.config.num_vantage_points.max(1));
 
-        let destinations = pick_destinations(
-            &mut rng,
-            &graph,
-            source_as,
-            self.config.num_traceroutes,
-        );
+        let destinations =
+            pick_destinations(&mut rng, &graph, source_as, self.config.num_traceroutes);
 
         for (i, &dst) in destinations.iter().enumerate() {
             // Incomplete traceroutes (unresponsive routers, load balancing)
@@ -125,8 +121,12 @@ mod tests {
         // paths intersect one another, so the fraction of links observed by
         // more than one path is markedly lower than in a dense Brite
         // topology of comparable path count.
-        let sparse = SparseGenerator::new(SparseConfig::tiny(5)).generate().unwrap();
-        let brite = BriteGenerator::new(BriteConfig::tiny(5)).generate().unwrap();
+        let sparse = SparseGenerator::new(SparseConfig::tiny(5))
+            .generate()
+            .unwrap();
+        let brite = BriteGenerator::new(BriteConfig::tiny(5))
+            .generate()
+            .unwrap();
         let s = topology_stats(&sparse);
         let b = topology_stats(&brite);
         assert!(
@@ -148,8 +148,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_for_a_seed() {
-        let a = SparseGenerator::new(SparseConfig::tiny(9)).generate().unwrap();
-        let b = SparseGenerator::new(SparseConfig::tiny(9)).generate().unwrap();
+        let a = SparseGenerator::new(SparseConfig::tiny(9))
+            .generate()
+            .unwrap();
+        let b = SparseGenerator::new(SparseConfig::tiny(9))
+            .generate()
+            .unwrap();
         assert_eq!(a.num_links(), b.num_links());
         assert_eq!(a.num_paths(), b.num_paths());
     }

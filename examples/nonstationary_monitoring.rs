@@ -18,7 +18,7 @@
 
 use network_tomography::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TomoError> {
     let network = network_tomography::graph::toy::fig1_case1();
     let e1 = network_tomography::graph::toy::E1;
     let e2 = network_tomography::graph::toy::E2;
@@ -32,10 +32,10 @@ fn main() {
     let attack_start = 800;
     let mut observations = PathObservations::new(network.num_paths(), t_total);
     let mut truth_e2 = vec![false; t_total];
-    for t in 0..t_total {
+    for (t, truth) in truth_e2.iter_mut().enumerate() {
         let e1_bad = t % 10 < 3;
         let e2_bad = t >= attack_start;
-        truth_e2[t] = e2_bad;
+        *truth = e2_bad;
         // p1 = {e1,e2}, p2 = {e1,e3}, p3 = {e4,e3}
         observations.set_congested(PathId(0), t, e1_bad || e2_bad);
         observations.set_congested(PathId(1), t, e1_bad);
@@ -43,13 +43,15 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // 1. Boolean Inference during the attack.
+    // 1. Boolean Inference during the attack. The hand-crafted observations
+    //    go straight through the unified Estimator interface: fit once, then
+    //    per-interval inference.
     // ------------------------------------------------------------------
-    let mut clink = BayesianIndependence::new();
-    clink.learn(&network, &observations);
+    let mut clink = estimators::by_name("bayesian-independence")?;
+    clink.fit(&network, &observations)?;
     let mut e2_detected = 0usize;
     for t in attack_start..t_total {
-        let inferred = clink.infer_interval(&network, &observations.congested_paths(t));
+        let inferred = clink.infer_interval(&network, &observations.congested_paths(t))?;
         if inferred.contains(&e2) {
             e2_detected += 1;
         }
@@ -70,7 +72,7 @@ fn main() {
     //    window and report how frequently e2 was congested in each part —
     //    the quantity the paper argues the operator should consume.
     // ------------------------------------------------------------------
-    let algo = CorrelationComplete::default();
+    let mut algo = estimators::by_name("correlation-complete")?;
     println!("\nCorrelation-complete, per monitoring window:");
     println!(
         "{:<28}{:>12}{:>12}{:>12}{:>12}",
@@ -89,7 +91,8 @@ fn main() {
                 window.set_congested(p, i, observations.is_congested(p, t));
             }
         }
-        let estimate = algo.compute(&network, &window);
+        algo.fit(&network, &window)?;
+        let estimate = algo.estimate().expect("probability capability");
         let actual_e1 = range.clone().filter(|t| t % 10 < 3).count() as f64 / len as f64;
         let actual_e2 = range.clone().filter(|&t| truth_e2[t]).count() as f64 / len as f64;
         println!(
@@ -106,4 +109,5 @@ fn main() {
         "\nThe frequency report pinpoints the attack window without having to decide, interval by\n\
          interval, which link to blame — the shift of goal the paper advocates."
     );
+    Ok(())
 }

@@ -13,9 +13,8 @@
 use std::collections::BTreeMap;
 
 use network_tomography::prelude::*;
-use network_tomography::sim::LossModel;
 
-fn main() {
+fn main() -> Result<(), TomoError> {
     // ------------------------------------------------------------------
     // 1. Topology: a mid-sized BRITE-style instance (the source ISP is AS0).
     // ------------------------------------------------------------------
@@ -23,9 +22,7 @@ fn main() {
     config.num_ases = 16;
     config.routers_per_as = 6;
     config.num_paths = 220;
-    let network = BriteGenerator::new(config)
-        .generate()
-        .expect("topology generation succeeds");
+    let network = BriteGenerator::new(config).generate()?;
     println!(
         "Monitoring {} AS-level links over {} paths across {} peers",
         network.num_links(),
@@ -35,25 +32,25 @@ fn main() {
 
     // ------------------------------------------------------------------
     // 2. Simulate a correlated, non-stationary congestion process — the
-    //    conditions the paper says real peers exhibit.
+    //    conditions the paper says real peers exhibit — and run the paper's
+    //    algorithm on it, all through one pipeline.
     // ------------------------------------------------------------------
-    let scenario = ScenarioConfig::no_independence().with_nonstationary(50);
-    let config = SimulationConfig {
-        num_intervals: 600,
-        scenario,
-        loss: LossModel::default(),
-        measurement: MeasurementMode::PacketProbes {
+    let experiment = Pipeline::on(network.clone())
+        .scenario(ScenarioConfig::no_independence().with_nonstationary(50))
+        .intervals(600)
+        .seed(23)
+        .measurement(MeasurementMode::PacketProbes {
             packets_per_interval: 300,
-        },
-        seed: 23,
-    };
-    let output = Simulator::new(config).run(&network);
+        })
+        .simulate()?;
+    let mut algorithm = estimators::by_name("correlation-complete")?;
+    let outcome = experiment.evaluate(algorithm.as_mut())?;
+    let output = experiment.output();
 
     // ------------------------------------------------------------------
-    // 3. Probability Computation with the paper's algorithm.
+    // 3. The Probability Computation result.
     // ------------------------------------------------------------------
-    let algo = CorrelationComplete::default();
-    let estimate = algo.compute(&network, &output.observations);
+    let estimate = outcome.estimate.as_ref().expect("probability capability");
     println!(
         "Solved a system of {} equations over {} unknowns ({} of {} targets identifiable)",
         estimate.diagnostics.num_equations,
@@ -126,4 +123,5 @@ fn main() {
         stats.mean(),
         stats.quantile(0.9)
     );
+    Ok(())
 }

@@ -1,15 +1,17 @@
-//! Quickstart: the paper's toy topology (Fig. 1) end to end.
+//! Quickstart: the paper's toy topology (Fig. 1) end to end, through the
+//! unified pipeline API.
 //!
 //! Builds the 4-link / 3-path network, simulates a correlated congestion
 //! scenario on it, runs all three Probability Computation algorithms on the
-//! path observations, and compares their per-link estimates with the ground
-//! truth. Also walks the Boolean-Inference failure example of §3.1.
+//! path observations through the estimator registry, and compares their
+//! per-link estimates with the ground truth. Also walks the
+//! Boolean-Inference failure example of §3.1.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use network_tomography::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TomoError> {
     // ------------------------------------------------------------------
     // 1. The Fig. 1 toy topology: links e1..e4, paths p1 = {e1,e2},
     //    p2 = {e1,e3}, p3 = {e4,e3}; correlation sets {e1}, {e2,e3}, {e4}.
@@ -31,21 +33,21 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 2. Simulate: half of the links are congestible, correlated placement,
+    // 2. One pipeline owns the simulate → observe → estimate → score loop:
+    //    half of the links are congestible, correlated placement,
     //    packet-level probing.
     // ------------------------------------------------------------------
     let mut scenario = ScenarioConfig::no_independence();
     scenario.congestible_fraction = 0.5;
-    let config = SimulationConfig {
-        num_intervals: 800,
-        scenario,
-        loss: network_tomography::sim::LossModel::default(),
-        measurement: MeasurementMode::PacketProbes {
+    let experiment = Pipeline::on(network.clone())
+        .scenario(scenario)
+        .intervals(800)
+        .seed(7)
+        .measurement(MeasurementMode::PacketProbes {
             packets_per_interval: 400,
-        },
-        seed: 7,
-    };
-    let output = Simulator::new(config).run(&network);
+        })
+        .simulate()?;
+    let output = experiment.output();
     println!(
         "\nSimulated {} intervals; congestible links: {:?}",
         output.observations.num_intervals(),
@@ -53,34 +55,41 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 3. Probability Computation: estimate how frequently each link is
-    //    congested, from the path observations alone.
+    // 3. Probability Computation: every algorithm is selected from the
+    //    registry by name and evaluated on the same experiment.
     // ------------------------------------------------------------------
-    let algorithms: Vec<Box<dyn ProbabilityComputation>> = vec![
-        Box::new(Independence::default()),
-        Box::new(CorrelationHeuristic::default()),
-        Box::new(CorrelationComplete::default()),
+    let names = [
+        "independence",
+        "correlation-heuristic",
+        "correlation-complete",
     ];
+    let mut outcomes = Vec::new();
+    for name in names {
+        let mut algorithm = estimators::by_name(name)?;
+        outcomes.push(experiment.evaluate(algorithm.as_mut())?);
+    }
     println!("\nPer-link congestion probabilities (actual vs estimated):");
     print!("{:<8}{:>8}", "link", "actual");
-    for a in &algorithms {
-        print!("{:>24}", a.name());
+    for outcome in &outcomes {
+        print!("{:>24}", outcome.estimator);
     }
     println!();
-    let estimates: Vec<ProbabilityEstimate> = algorithms
-        .iter()
-        .map(|a| a.compute(&network, &output.observations))
-        .collect();
     for link in network.link_ids() {
         print!(
             "{:<8}{:>8.3}",
             link.to_string(),
             output.ground_truth.link_frequency(link)
         );
-        for est in &estimates {
-            print!("{:>24.3}", est.link_congestion_probability(link));
+        for outcome in &outcomes {
+            let estimate = outcome.estimate.as_ref().expect("probability capability");
+            print!("{:>24.3}", estimate.link_congestion_probability(link));
         }
         println!();
+    }
+    println!("\nMean absolute error over the potentially congested links:");
+    for outcome in &outcomes {
+        let errors = outcome.link_errors.as_ref().expect("scored");
+        println!("  {:<24} {:.3}", outcome.estimator, errors.mean());
     }
 
     // ------------------------------------------------------------------
@@ -88,14 +97,13 @@ fn main() {
     //    hard): when all three paths are congested there are 8 possible
     //    explanations, and Sparsity always picks {e1, e3}.
     // ------------------------------------------------------------------
-    let sparsity = Sparsity::new();
+    let mut sparsity = estimators::by_name("sparsity")?;
+    sparsity.fit(&network, &output.observations)?;
     let all_paths: Vec<PathId> = network.path_ids().collect();
-    let inferred = sparsity.infer_interval(&network, &all_paths);
+    let inferred = sparsity.infer_interval(&network, &all_paths)?;
     println!(
         "\nSparsity's answer when all paths are congested: {:?} (the paper's {{e1, e3}})",
-        inferred
-            .iter()
-            .map(|l| l.to_string())
-            .collect::<Vec<_>>()
+        inferred.iter().map(|l| l.to_string()).collect::<Vec<_>>()
     );
+    Ok(())
 }

@@ -27,9 +27,17 @@
 //! * [`inference`] — the Boolean Inference baselines of §3
 //!   (Sparsity, Bayesian-Independence, Bayesian-Correlation).
 //! * [`metrics`] — detection rate, false-positive rate, absolute error, CDFs.
-//! * [`experiments`] — the harness that regenerates every figure and table.
+//! * [`pipeline`] — the unified estimation API: the `Estimator` trait, the
+//!   `Pipeline`/`Experiment` runner, the string-keyed estimator registry
+//!   and the typed `TomoError`.
+//! * [`experiments`] — the harness that regenerates every figure and table
+//!   through the pipeline API.
 //!
 //! ## Quickstart
+//!
+//! All six algorithms of the paper run through one entry point: build a
+//! [`pipeline::Pipeline`] over a network, pick an estimator from the
+//! registry by name, and run the simulate → observe → estimate → score loop:
 //!
 //! ```
 //! use network_tomography::prelude::*;
@@ -37,23 +45,33 @@
 //! // The toy topology of Fig. 1 of the paper.
 //! let network = network_tomography::graph::toy::fig1_case1();
 //!
-//! // Simulate a congestion scenario on it.
-//! let mut scenario = ScenarioConfig::random_congestion();
+//! // Simulate a correlated-congestion scenario and run the paper's
+//! // Correlation-complete algorithm on the path observations alone.
+//! let mut scenario = ScenarioConfig::no_independence();
 //! scenario.congestible_fraction = 0.5;
-//! let sim = Simulator::new(SimulationConfig::fast(scenario, 300, 42));
-//! let output = sim.run(&network);
+//! let mut algorithm = estimators::by_name("correlation-complete")?;
+//! let outcome = Pipeline::on(network.clone())
+//!     .scenario(scenario)
+//!     .intervals(300)
+//!     .seed(42)
+//!     .run(algorithm.as_mut())?;
 //!
-//! // Estimate congestion probabilities from the path observations alone.
-//! let estimate = CorrelationComplete::default().compute(&network, &output.observations);
+//! let estimate = outcome.estimate.expect("probability capability");
 //! for link in network.link_ids() {
 //!     let p = estimate.link_congestion_probability(link);
 //!     assert!((0.0..=1.0).contains(&p));
 //! }
+//! # Ok::<(), network_tomography::pipeline::TomoError>(())
 //! ```
+//!
+//! To compare several estimators on the *same* simulated data (as the
+//! paper's figures do), split the run into `Pipeline::simulate()` and
+//! `Experiment::evaluate(..)` — see [`pipeline`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tomo_core as pipeline;
 pub use tomo_experiments as experiments;
 pub use tomo_graph as graph;
 pub use tomo_inference as inference;
@@ -65,6 +83,10 @@ pub use tomo_topology as topology;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use tomo_core::{
+        estimators, Capabilities, Estimator, EstimatorOptions, Experiment, Pipeline, RunOutcome,
+        TomoError,
+    };
     pub use tomo_graph::{
         AsId, CorrelationSet, CorrelationSubset, LinkId, Network, NetworkBuilder, NodeId, Path,
         PathId,
@@ -97,5 +119,22 @@ mod tests {
         let out = sim.run(&network);
         let est = CorrelationComplete::default().compute(&network, &out.observations);
         assert_eq!(est.num_links(), network.num_links());
+    }
+
+    #[test]
+    fn pipeline_facade_runs_registry_estimators() {
+        let network = crate::graph::toy::fig1_case1();
+        let experiment = Pipeline::on(network)
+            .scenario(ScenarioConfig::random_congestion())
+            .intervals(80)
+            .seed(5)
+            .measurement(MeasurementMode::Ideal)
+            .simulate()
+            .expect("simulates");
+        for name in estimators::names() {
+            let mut est = estimators::by_name(name).expect("known name");
+            let outcome = experiment.evaluate(est.as_mut()).expect("evaluates");
+            assert_eq!(outcome.estimator, est.name());
+        }
     }
 }

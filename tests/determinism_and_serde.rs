@@ -48,7 +48,10 @@ fn whole_pipeline_is_deterministic_given_a_seed() {
 fn different_seeds_give_different_experiments() {
     let (_, out_a, _) = run_once(1);
     let (_, out_b, _) = run_once(2);
-    let same = (0..out_a.observations.num_intervals().min(out_b.observations.num_intervals()))
+    let same = (0..out_a
+        .observations
+        .num_intervals()
+        .min(out_b.observations.num_intervals()))
         .all(|t| out_a.observations.congested_paths(t) == out_b.observations.congested_paths(t));
     assert!(!same);
 }
@@ -60,7 +63,10 @@ fn network_and_observations_serialize_round_trip() {
     let back: Network = serde_json::from_str(&json).expect("network deserializes");
     assert_eq!(back.num_links(), network.num_links());
     assert_eq!(back.num_paths(), network.num_paths());
-    assert_eq!(back.correlation_sets().len(), network.correlation_sets().len());
+    assert_eq!(
+        back.correlation_sets().len(),
+        network.correlation_sets().len()
+    );
 
     let mut obs = PathObservations::new(3, 5);
     obs.set_congested(PathId(1), 2, true);

@@ -26,8 +26,7 @@ fn small_brite_experiment(seed: u64, scenario: ScenarioConfig) -> (Network, Simu
 
 #[test]
 fn probability_computation_pipeline_is_accurate_on_dense_topology() {
-    let (network, output) =
-        small_brite_experiment(5, ScenarioConfig::random_congestion());
+    let (network, output) = small_brite_experiment(5, ScenarioConfig::random_congestion());
     let estimate = CorrelationComplete::default().compute(&network, &output.observations);
 
     // Compare against the ground-truth frequencies on the congestible links.
@@ -55,8 +54,7 @@ fn probability_computation_pipeline_is_accurate_on_dense_topology() {
 
 #[test]
 fn correlation_complete_beats_independence_under_correlations() {
-    let (network, output) =
-        small_brite_experiment(9, ScenarioConfig::no_independence());
+    let (network, output) = small_brite_experiment(9, ScenarioConfig::no_independence());
 
     // Use the pairs-that-share-a-path resource knob (as the experiment
     // harness does): on instances this small, unconstrained pair unknowns
@@ -89,8 +87,7 @@ fn correlation_complete_beats_independence_under_correlations() {
 
 #[test]
 fn boolean_inference_pipeline_produces_consistent_explanations() {
-    let (network, output) =
-        small_brite_experiment(3, ScenarioConfig::random_congestion());
+    let (network, output) = small_brite_experiment(3, ScenarioConfig::random_congestion());
     let mut algorithms: Vec<Box<dyn BooleanInference>> = vec![
         Box::new(Sparsity::new()),
         Box::new(BayesianIndependence::new()),
@@ -187,6 +184,6 @@ fn experiment_harness_small_scale_smoke() {
     use network_tomography::experiments::{run_figure4d, table2, ExperimentScale};
     let t2 = table2();
     assert_eq!(t2.algorithms.len(), 6);
-    let f4d = run_figure4d(ExperimentScale::Small, 2);
+    let f4d = run_figure4d(ExperimentScale::Small, 2).expect("figure 4d runs");
     assert_eq!(f4d.rows.len(), 2);
 }

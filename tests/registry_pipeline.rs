@@ -1,0 +1,113 @@
+//! Integration test for the unified estimation API: every algorithm of the
+//! paper, constructed from the registry by name, runs through the same
+//! `Pipeline` entry point on the toy topologies and upholds its contracts —
+//! probability estimates in [0, 1], and per-interval explanations built only
+//! from links of that interval's congested paths.
+
+use std::collections::BTreeSet;
+
+use network_tomography::graph::toy;
+use network_tomography::prelude::*;
+
+fn toy_experiments() -> Vec<Experiment> {
+    [toy::fig1_case1(), toy::fig1_case2(), toy::fig1_default()]
+        .into_iter()
+        .enumerate()
+        .map(|(i, network)| {
+            let mut scenario = ScenarioConfig::no_independence();
+            scenario.congestible_fraction = 0.5;
+            Pipeline::on(network)
+                .scenario(scenario)
+                .intervals(200)
+                .seed(40 + i as u64)
+                .measurement(MeasurementMode::Ideal)
+                .simulate()
+                .expect("toy experiment simulates")
+        })
+        .collect()
+}
+
+#[test]
+fn all_six_registry_estimators_run_on_the_toy_topologies() {
+    for experiment in toy_experiments() {
+        let network = experiment.network();
+        for name in estimators::names() {
+            let mut estimator = estimators::by_name(name).expect("canonical name resolves");
+            let outcome = experiment
+                .evaluate(estimator.as_mut())
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            let capabilities = estimator.capabilities();
+
+            // Probability capability: a full estimate with valid
+            // probabilities for every link and estimated subset.
+            assert_eq!(
+                outcome.estimate.is_some(),
+                capabilities.probability,
+                "{name}"
+            );
+            if let Some(estimate) = &outcome.estimate {
+                assert_eq!(estimate.num_links(), network.num_links(), "{name}");
+                for link in network.link_ids() {
+                    let p = estimate.link_congestion_probability(link);
+                    assert!((0.0..=1.0).contains(&p), "{name}: {link} -> {p}");
+                }
+                for (_, good) in estimate.estimated_subsets() {
+                    assert!((0.0..=1.0).contains(&good), "{name}: subset good {good}");
+                }
+            }
+
+            // Inference capability: one explanation per interval, built only
+            // from links that lie on that interval's congested paths.
+            assert_eq!(
+                outcome.inferred.is_some(),
+                capabilities.interval_inference,
+                "{name}"
+            );
+            if let Some(inferred) = &outcome.inferred {
+                let observations = experiment.observations();
+                assert_eq!(inferred.len(), observations.num_intervals(), "{name}");
+                for (t, links) in inferred.iter().enumerate() {
+                    let congested = observations.congested_paths(t);
+                    let explainable: BTreeSet<LinkId> = congested
+                        .iter()
+                        .flat_map(|&p| network.path(p).links.iter().copied())
+                        .collect();
+                    for l in links {
+                        assert!(
+                            explainable.contains(l),
+                            "{name}: interval {t} blames {l}, which is on no congested path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_options_flow_through_the_pipeline() {
+    let experiment = &toy_experiments()[0];
+    let options = EstimatorOptions {
+        require_common_path: true,
+        max_subset_size: Some(2),
+    };
+    for name in estimators::names() {
+        let mut estimator = estimators::with_options(name, &options).expect("options construct");
+        let outcome = experiment.evaluate(estimator.as_mut()).expect("evaluates");
+        assert_eq!(outcome.estimator, estimator.name());
+    }
+}
+
+#[test]
+fn pipeline_rejects_unknown_names_and_degenerate_configs() {
+    let err = estimators::by_name("does-not-exist")
+        .err()
+        .expect("unknown name");
+    assert!(matches!(err, TomoError::UnknownEstimator { .. }));
+
+    let err = Pipeline::on(toy::fig1_case1())
+        .intervals(0)
+        .simulate()
+        .expect_err("zero intervals rejected");
+    assert!(matches!(err, TomoError::InvalidConfig(_)));
+}

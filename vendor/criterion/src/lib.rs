@@ -1,0 +1,237 @@
+//! Offline shim of `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmark harness with the criterion API surface its
+//! bench files use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `bench_with_input`, [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Instead of criterion's statistical analysis it reports the median
+//! wall-clock time per iteration over `sample_size` samples.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque hint preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id labelled only with a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then `samples` timed calls.
+        std_black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(f());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn run_bench(group: Option<&str>, label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        median_ns: f64::NAN,
+    };
+    let start = Instant::now();
+    f(&mut bencher);
+    let total = start.elapsed();
+    let name = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    println!(
+        "bench {name:<50} {:>14} /iter   ({samples} samples, {:.2?} total)",
+        format_ns(bencher.median_ns),
+        total
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "<no iter() call>".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by a string or [`BenchmarkId`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(Some(&self.name), &id.label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(Some(&self.name), &id.label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(None, name, self.default_sample_size, f);
+        self
+    }
+
+    /// Measures nothing; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,584 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates implementations of the Value-based `serde::Serialize` /
+//! `serde::Deserialize` shim traits. Because the environment has no access
+//! to crates.io, this derive cannot use `syn`/`quote`; instead it parses the
+//! item with a small hand-rolled token-tree scanner and emits the impl as
+//! source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, including `#[serde(with = "module")]` field
+//!   overrides (the module must provide `to_value(&T) -> serde::Value` and
+//!   `from_value(&serde::Value) -> Result<T, serde::Error>`);
+//! * newtype / tuple / unit structs;
+//! * enums with unit, newtype, tuple and struct variants (externally tagged,
+//!   like real serde's default);
+//! * simple generic parameters (`struct Report<T: Serialize> { .. }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list as written, without the angle brackets
+    /// (e.g. `T : Serialize`), or `None` for non-generic items.
+    generics: Option<String>,
+    /// Just the parameter names (e.g. `T`).
+    generic_names: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning
+// ---------------------------------------------------------------------------
+
+/// Flattens `None`-delimited groups (invisible delimiters inserted around
+/// macro_rules metavariable expansions) into their contents.
+fn flatten(stream: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    for tt in stream {
+        match tt {
+            TokenTree::Group(ref g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten(g.stream()));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Cursor over a flattened token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(tokens: Vec<TokenTree>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    /// Skips one `#[...]` attribute if present, returning its bracket body.
+    fn take_attribute(&mut self) -> Option<Vec<TokenTree>> {
+        if self.peek().map(|t| is_punct(t, '#')) == Some(true) {
+            self.pos += 1;
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    return Some(flatten(g.stream()));
+                }
+                other => panic!("serde shim derive: malformed attribute near {other:?}"),
+            }
+        }
+        None
+    }
+
+    /// Skips all attributes, returning the `with = "..."` override if any
+    /// `#[serde(with = "path")]` is among them.
+    fn skip_attributes(&mut self) -> Option<String> {
+        let mut with = None;
+        while let Some(body) = self.take_attribute() {
+            if body.first().map(|t| is_ident(t, "serde")) == Some(true) {
+                with = parse_serde_attribute(&body).or(with);
+            }
+        }
+        with
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_visibility(&mut self) {
+        if self.peek().map(|t| is_ident(t, "pub")) == Some(true) {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type, stopping before a top-level `,` (angle-bracket aware).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Extracts `with = "path"` from the body of a `#[serde(...)]` attribute.
+fn parse_serde_attribute(body: &[TokenTree]) -> Option<String> {
+    let inner = match body.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => flatten(g.stream()),
+        _ => return None,
+    };
+    let mut i = 0;
+    while i < inner.len() {
+        if is_ident(&inner[i], "with") && inner.get(i + 1).map(|t| is_punct(t, '=')) == Some(true) {
+            if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                let text = lit.to_string();
+                return Some(text.trim_matches('"').to_string());
+            }
+        }
+        i += 1;
+    }
+    panic!(
+        "serde shim derive: unsupported #[serde(...)] attribute \
+         (only `with = \"module\"` is implemented)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(flatten(input));
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected item name, found {other:?}"),
+    };
+
+    let (generics, generic_names) = parse_generics(&mut c);
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&mut c, &name)),
+        "enum" => Body::Enum(parse_variants(&mut c, &name)),
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        generic_names,
+        body,
+    }
+}
+
+fn parse_generics(c: &mut Cursor) -> (Option<String>, Vec<String>) {
+    if c.peek().map(|t| is_punct(t, '<')) != Some(true) {
+        return (None, Vec::new());
+    }
+    c.pos += 1;
+    let mut depth = 1i32;
+    let mut text = String::new();
+    let mut names = Vec::new();
+    let mut at_param_start = true;
+    while let Some(tt) = c.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Ident(i) if at_param_start && depth == 1 => {
+                let word = i.to_string();
+                if word != "const" {
+                    names.push(word);
+                    at_param_start = false;
+                }
+            }
+            _ => {
+                if depth == 1 && !matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    at_param_start = false;
+                }
+            }
+        }
+        text.push_str(&tt.to_string());
+        text.push(' ');
+    }
+    (Some(text.trim_end().to_string()), names)
+}
+
+fn parse_struct_fields(c: &mut Cursor, name: &str) -> Fields {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(flatten(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(flatten(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde shim derive: malformed struct `{name}` near {other:?}"),
+    }
+}
+
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Vec<Field> {
+    let mut c = Cursor::new(tokens);
+    let mut fields = Vec::new();
+    loop {
+        let with = c.skip_attributes();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        match c.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        fields.push(Field { name, with });
+        match c.next() {
+            Some(tt) if is_punct(&tt, ',') => continue,
+            _ => break,
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: Vec<TokenTree>) -> usize {
+    let mut c = Cursor::new(tokens);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+        match c.next() {
+            Some(tt) if is_punct(&tt, ',') => continue,
+            _ => break,
+        }
+    }
+    count
+}
+
+fn parse_variants(c: &mut Cursor, name: &str) -> Vec<Variant> {
+    let tokens = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => flatten(g.stream()),
+        other => panic!("serde shim derive: malformed enum `{name}` near {other:?}"),
+    };
+    let mut c = Cursor::new(tokens);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let vname = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(flatten(g.stream())));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(flatten(g.stream())));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        match c.next() {
+            Some(tt) if is_punct(&tt, ',') => continue,
+            _ => break,
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    let ty = if item.generic_names.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.generic_names.join(", "))
+    };
+    let mut header = String::from("impl");
+    if let Some(g) = &item.generics {
+        header.push_str(&format!("<{g}>"));
+    }
+    header.push_str(&format!(" ::serde::{trait_name} for {ty}"));
+    if !item.generic_names.is_empty() {
+        let bounds: Vec<String> = item
+            .generic_names
+            .iter()
+            .map(|n| format!("{n}: ::serde::{trait_name}"))
+            .collect();
+        header.push_str(&format!(" where {}", bounds.join(", ")));
+    }
+    (header, ty)
+}
+
+fn serialize_named_fields(fields: &[Field], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new(); ");
+    for f in fields {
+        let access = accessor(&f.name);
+        let expr = match &f.with {
+            Some(path) => format!("{path}::to_value(&{access})"),
+            None => format!("::serde::Serialize::to_value(&{access})"),
+        };
+        out.push_str(&format!(
+            "fields.push((String::from(\"{}\"), {expr})); ",
+            f.name
+        ));
+    }
+    out.push_str("::serde::Value::Object(fields) }");
+    out
+}
+
+fn deserialize_named_fields(fields: &[Field], source: &str) -> String {
+    let mut out = String::from("{ ");
+    for f in fields {
+        let expr = match &f.with {
+            Some(path) => format!(
+                "{path}::from_value(match {source}.get(\"{n}\") {{ \
+                   Some(x) => x, None => &::serde::Value::Null }})?",
+                n = f.name
+            ),
+            None => format!("::serde::object_field({source}, \"{n}\")?", n = f.name),
+        };
+        out.push_str(&format!("{n}: {expr}, ", n = f.name));
+    }
+    out.push('}');
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (header, _) = impl_header(item, "Serialize");
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            serialize_named_fields(fields, &|n| format!("self.{n}"))
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")), "
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = serialize_named_fields(fields, &|n| format!("(*{n})"));
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![ \
+                               (String::from(\"{vn}\"), {inner})]), ",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![ \
+                               (String::from(\"{vn}\"), ::serde::Serialize::to_value(x0))]), "
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![ \
+                               (String::from(\"{vn}\"), ::serde::Value::Array(vec![{items}]))]), ",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (header, ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let init = deserialize_named_fields(fields, "v");
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{ \
+                   return Err(::serde::Error::expected(\"object for `{name}`\", v)); \
+                 }} Ok({name} {init})"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Array(items) if items.len() == {n} => \
+                     Ok({name}({items})), \
+                   other => Err(::serde::Error::expected(\"array for `{name}`\", other)), \
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("let _ = v; Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}), "));
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}), "));
+                    }
+                    Fields::Named(fields) => {
+                        let init = deserialize_named_fields(fields, "inner");
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {init}), "));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)), "
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{ \
+                               ::serde::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}::{vn}({items})), \
+                               other => Err(::serde::Error::expected( \
+                                 \"array for variant `{vn}`\", other)), \
+                             }}, ",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => Err(::serde::Error::msg( \
+                       format!(\"unknown variant `{{other}}` of `{name}`\"))), \
+                   }}, \
+                   ::serde::Value::Object(fields) if fields.len() == 1 => {{ \
+                     let (tag, inner) = &fields[0]; \
+                     let _ = inner; \
+                     match tag.as_str() {{ \
+                       {tagged_arms} \
+                       other => Err(::serde::Error::msg( \
+                         format!(\"unknown variant `{{other}}` of `{name}`\"))), \
+                     }} \
+                   }} \
+                   other => Err(::serde::Error::expected(\"string or object for `{name}`\", other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<{ty}, ::serde::Error> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}
+
+/// `#[derive(Serialize)]` for the serde shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` for the serde shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}
