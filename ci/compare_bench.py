@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a criterion-shim JSON report against a
+committed baseline and fail on wall-clock regressions.
+
+Both files use the format the vendored criterion shim emits when
+``TOMO_BENCH_JSON=path`` is set: one JSON object per line with ``name``,
+``median_ns`` and ``samples`` keys.
+
+Rules:
+
+* a benchmark regresses when ``current >= baseline * threshold``
+  (default threshold 1.25, i.e. >25% slower);
+* benchmarks where either side is faster than ``--min-ns`` (default 50 µs)
+  are reported but never fail the gate — at that scale the shim's median
+  over a handful of smoke samples is noise;
+* a benchmark present in the baseline but missing from the current run
+  fails (deleting a hot-path bench must come with a baseline refresh);
+* a benchmark present only in the current run is reported as new.
+
+Refresh baselines with ``--update`` (copies the current report over the
+baseline file); see README "Refreshing bench baselines".
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    """Parses a JSON-lines bench report into {name: median_ns}."""
+    results = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    results[entry["name"]] = float(entry["median_ns"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
+                    sys.exit(f"{path}:{lineno}: malformed bench entry: {e}")
+    except OSError as e:
+        sys.exit(f"cannot read {path}: {e}")
+    if not results:
+        sys.exit(f"{path}: no benchmark entries found")
+    return results
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json file")
+    parser.add_argument("--current", required=True, help="fresh TOMO_BENCH_JSON report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when current >= baseline * threshold (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-ns",
+        type=float,
+        default=50_000,
+        help="ignore regressions when either median is below this (default 50000)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current report and exit",
+    )
+    args = parser.parse_args()
+
+    current = load_report(args.current)
+
+    if args.update:
+        with open(args.current, "r", encoding="utf-8") as src:
+            content = src.read()
+        with open(args.baseline, "w", encoding="utf-8") as dst:
+            dst.write(content)
+        print(f"baseline {args.baseline} refreshed from {args.current}")
+        return
+
+    baseline = load_report(args.baseline)
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        if name not in current:
+            failures.append(
+                f"MISSING  {name}: present in baseline but not in the current run "
+                f"(refresh {args.baseline} if the bench was intentionally removed)"
+            )
+            continue
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "ok"
+        if ratio >= args.threshold:
+            if min(cur_ns, base_ns) < args.min_ns:
+                verdict = "noise (below --min-ns, not gated)"
+            else:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"REGRESSION  {name}: {fmt_ns(base_ns)} -> {fmt_ns(cur_ns)} "
+                    f"({ratio:.2f}x, threshold {args.threshold:.2f}x)"
+                )
+        print(f"  {name:<50} {fmt_ns(base_ns):>12} -> {fmt_ns(cur_ns):>12}  {ratio:5.2f}x  {verdict}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<50} {'—':>12} -> {fmt_ns(current[name]):>12}   new (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} bench-regression failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print(
+            f"\nIf the slowdown is intended, refresh the baseline:\n"
+            f"  python3 ci/compare_bench.py --baseline {args.baseline} "
+            f"--current {args.current} --update",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("bench-regression gate: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+//! Benchmarks of the parallel sweep engine: the same small grid at several
+//! thread counts (scheduler overhead + scaling on multi-core hosts) and the
+//! JSON-lines rendering of the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_sim::ScenarioKind;
+use tomo_sweep::{SweepGrid, SweepRunner, TopologySpec};
+use tomo_topology::BriteConfig;
+
+/// A 24-task grid that exercises topology generation, both estimator
+/// capability families, and result collection.
+fn bench_grid() -> SweepGrid {
+    SweepGrid::new()
+        .topology(TopologySpec::Toy)
+        .topology(TopologySpec::Brite(BriteConfig::tiny(1)))
+        .scenario(ScenarioKind::RandomCongestion)
+        .scenario(ScenarioKind::NoIndependence)
+        .estimator("sparsity")
+        .estimator("independence")
+        .estimator("correlation-complete")
+        .interval_count(40)
+        .seed_axis(0)
+        .seed_axis(1)
+}
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    let grid = bench_grid();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let runner = SweepRunner::new().threads(threads);
+                b.iter(|| runner.run(&grid).expect("sweep runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_report");
+    group.sample_size(20);
+    let report = SweepRunner::new()
+        .threads(1)
+        .run(&bench_grid())
+        .expect("sweep runs");
+    group.bench_function("to_jsonl", |b| b.iter(|| report.to_jsonl()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads, bench_sweep_report);
+criterion_main!(benches);

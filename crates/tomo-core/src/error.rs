@@ -35,6 +35,15 @@ pub enum TomoError {
     Graph(GraphError),
     /// A pipeline or experiment configuration is invalid.
     InvalidConfig(String),
+    /// A batch/sweep task panicked while running on a worker thread. The
+    /// panic is caught at the task boundary so one bad task cannot poison a
+    /// whole pool of workers.
+    TaskPanic {
+        /// Index of the task that panicked.
+        task: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for TomoError {
@@ -58,6 +67,9 @@ impl fmt::Display for TomoError {
             }
             TomoError::Graph(e) => write!(f, "network error: {e}"),
             TomoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TomoError::TaskPanic { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
         }
     }
 }

@@ -34,7 +34,7 @@ pub use registry as estimators;
 
 pub use error::TomoError;
 pub use estimator::{Capabilities, Estimator, InferenceEstimator, ProbEstimator};
-pub use pipeline::{Experiment, Pipeline, RunOutcome};
+pub use pipeline::{run_batch, Experiment, Pipeline, PipelineTask, RunOutcome};
 pub use registry::EstimatorOptions;
 
 #[cfg(test)]

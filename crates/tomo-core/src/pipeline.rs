@@ -10,20 +10,25 @@
 //! use tomo_sim::ScenarioConfig;
 //!
 //! let network = tomo_graph::toy::fig1_case1();
+//! let mut algorithm = estimators::by_name("correlation-complete")?;
 //! let outcome = Pipeline::on(network)
 //!     .scenario(ScenarioConfig::random_congestion())
 //!     .intervals(120)
 //!     .seed(7)
-//!     .run(estimators::by_name("correlation-complete").unwrap().as_mut())
-//!     .unwrap();
+//!     .run(algorithm.as_mut())?;
 //! let estimate = outcome.estimate.expect("probability capability");
 //! assert!(estimate.num_links() > 0);
+//! # Ok::<(), tomo_core::TomoError>(())
 //! ```
 //!
 //! To evaluate several estimators on the *same* simulated data (as every
 //! figure does), split the run: [`Pipeline::simulate`] produces an
 //! [`Experiment`], and [`Experiment::evaluate`] scores each estimator
 //! against it.
+//!
+//! For batch and sweep execution, [`Pipeline::into_task`] defers the run
+//! into a self-contained, `Send` [`PipelineTask`] that can be shipped to a
+//! worker thread and executed there (see the `tomo-sweep` crate).
 
 use tomo_graph::{LinkId, Network};
 use tomo_metrics::{AbsoluteErrorStats, InferenceScore};
@@ -135,6 +140,63 @@ impl Pipeline {
     pub fn run(self, estimator: &mut dyn Estimator) -> Result<RunOutcome, TomoError> {
         self.simulate()?.evaluate(estimator)
     }
+
+    /// Defers this pipeline into a self-contained [`PipelineTask`] that
+    /// constructs the named registry estimator when executed. The task owns
+    /// all of its inputs and is `Send`, so batch runners (see the
+    /// `tomo-sweep` crate) can fan tasks across worker threads.
+    pub fn into_task(self, estimator: impl Into<String>) -> PipelineTask {
+        PipelineTask {
+            pipeline: self,
+            estimator: estimator.into(),
+            options: crate::registry::EstimatorOptions::default(),
+        }
+    }
+}
+
+/// A deferred pipeline run: a [`Pipeline`] plus the registry name (and
+/// options) of the estimator to evaluate on it. Unlike
+/// [`Pipeline::run`], which borrows a live estimator, a task carries only
+/// owned data — it can be queued, cloned, serialized into a work list, and
+/// executed on any thread.
+#[derive(Clone, Debug)]
+pub struct PipelineTask {
+    pipeline: Pipeline,
+    estimator: String,
+    options: crate::registry::EstimatorOptions,
+}
+
+impl PipelineTask {
+    /// Overrides the estimator construction options (the §4 resource knobs).
+    pub fn with_options(mut self, options: crate::registry::EstimatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The registry name of the estimator this task will run.
+    pub fn estimator(&self) -> &str {
+        &self.estimator
+    }
+
+    /// The pipeline this task will execute.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Executes the task: resolves the estimator from the registry, runs the
+    /// simulate → observe → estimate → score loop, and returns the outcome.
+    pub fn run(&self) -> Result<RunOutcome, TomoError> {
+        let mut estimator = crate::registry::with_options(&self.estimator, &self.options)?;
+        self.pipeline.clone().run(estimator.as_mut())
+    }
+}
+
+/// Runs a batch of tasks sequentially, collecting every outcome. The
+/// parallel counterpart lives in the `tomo-sweep` crate; this entry point is
+/// for callers that want batch semantics (uniform error collection, outcome
+/// order matching task order) without threads.
+pub fn run_batch(tasks: &[PipelineTask]) -> Vec<Result<RunOutcome, TomoError>> {
+    tasks.iter().map(PipelineTask::run).collect()
 }
 
 /// A simulated experiment: the network, what the monitor observed, and the
@@ -287,6 +349,45 @@ mod tests {
         let outcome = experiment.evaluate(est.as_mut()).unwrap();
         assert!(outcome.estimate.is_some());
         assert!(outcome.inferred.is_some());
+    }
+
+    #[test]
+    fn tasks_are_send_and_match_direct_runs() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PipelineTask>();
+
+        let task = toy_pipeline().into_task("independence");
+        assert_eq!(task.estimator(), "independence");
+        let from_task = task.run().unwrap();
+        let mut est = registry::by_name("independence").unwrap();
+        let direct = toy_pipeline().run(est.as_mut()).unwrap();
+        let (ea, eb) = (from_task.estimate.unwrap(), direct.estimate.unwrap());
+        for l in toy::fig1_case1().link_ids() {
+            assert_eq!(
+                ea.link_congestion_probability(l),
+                eb.link_congestion_probability(l)
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_preserves_order_and_collects_errors() {
+        let tasks = vec![
+            toy_pipeline().into_task("sparsity"),
+            toy_pipeline().into_task("no-such-estimator"),
+            toy_pipeline().into_task("correlation-complete"),
+        ];
+        let outcomes = run_batch(&tasks);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].as_ref().unwrap().estimator, "Sparsity");
+        assert!(matches!(
+            outcomes[1],
+            Err(TomoError::UnknownEstimator { .. })
+        ));
+        assert_eq!(
+            outcomes[2].as_ref().unwrap().estimator,
+            "Correlation-complete"
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Parallel experiment sweeps over the paper's evaluation grids.
+//!
+//! ```text
+//! sweep [--grid fig3|fig4|table2|ci|demo] [--grid-file grid.json]
+//!       [--scale small|medium|paper] [--threads N] [--base-seed N]
+//!       [--out report.jsonl] [--print-grid] [--self-check]
+//! ```
+//!
+//! Writes one JSON line per grid cell (task order, byte-identical across
+//! thread counts) to `--out` or stdout, and a human summary to stderr.
+//! `--print-grid` dumps the resolved grid as JSON instead of running it;
+//! `--self-check` additionally re-runs the grid single-threaded and verifies
+//! the two reports are byte-identical, reporting the speedup.
+
+use std::process::exit;
+
+use tomo_experiments::{sweeps, ExperimentScale, SweepGrid, SweepRunner};
+
+struct Args {
+    grid: Option<String>,
+    grid_file: Option<String>,
+    scale: ExperimentScale,
+    threads: Option<usize>,
+    base_seed: u64,
+    out: Option<String>,
+    print_grid: bool,
+    self_check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--grid fig3|fig4|table2|ci|demo] [--grid-file PATH]\n\
+         \x20            [--scale small|medium|paper] [--threads N] [--base-seed N]\n\
+         \x20            [--out PATH] [--print-grid] [--self-check]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        grid: None,
+        grid_file: None,
+        scale: ExperimentScale::Small,
+        threads: None,
+        base_seed: 1,
+        out: None,
+        print_grid: false,
+        self_check: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--grid" => args.grid = Some(value(&mut i)),
+            "--grid-file" => args.grid_file = Some(value(&mut i)),
+            "--scale" => {
+                args.scale = ExperimentScale::parse(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--threads" => args.threads = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--base-seed" => args.base_seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value(&mut i)),
+            "--print-grid" => args.print_grid = true,
+            "--self-check" => args.self_check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn load_grid(args: &Args) -> SweepGrid {
+    if let Some(path) = &args.grid_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read grid file `{path}`: {e}");
+            exit(1);
+        });
+        return serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse grid file `{path}`: {e}");
+            exit(1);
+        });
+    }
+    let name = args.grid.as_deref().unwrap_or("demo");
+    sweeps::by_name(name, args.scale, args.base_seed).unwrap_or_else(|| {
+        eprintln!("unknown grid `{name}` (available: fig3, fig4, table2, ci, demo)");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let grid = load_grid(&args);
+
+    if args.print_grid {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&grid).expect("grid serializes")
+        );
+        return;
+    }
+
+    let runner = match args.threads {
+        Some(n) => SweepRunner::new().threads(n),
+        None => SweepRunner::new(),
+    };
+    eprintln!(
+        "Sweeping {} tasks on {} thread(s)...",
+        grid.num_tasks(),
+        runner.num_threads()
+    );
+    let report = runner.run(&grid).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        exit(1);
+    });
+    eprintln!("{}", report.summary());
+
+    if args.self_check {
+        eprintln!("Self-check: re-running single-threaded...");
+        let single = SweepRunner::new()
+            .threads(1)
+            .run(&grid)
+            .unwrap_or_else(|e| {
+                eprintln!("single-threaded sweep failed: {e}");
+                exit(1);
+            });
+        eprintln!("{}", single.summary());
+        if single.to_jsonl() != report.to_jsonl() {
+            eprintln!("self-check FAILED: reports differ across thread counts");
+            exit(1);
+        }
+        let speedup = single.elapsed.as_secs_f64() / report.elapsed.as_secs_f64().max(1e-9);
+        eprintln!(
+            "self-check OK: byte-identical reports; {:.2}x speedup at {} thread(s)",
+            speedup, report.threads
+        );
+    }
+
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, report.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1);
+            });
+            eprintln!("Report written to {path}");
+        }
+        None => print!("{}", report.to_jsonl()),
+    }
+}

@@ -13,6 +13,11 @@
 //! Every run is deterministic given a seed, and every result can be rendered
 //! as a text table (the same rows/series the paper plots) or serialized to
 //! JSON for archival in `EXPERIMENTS.md`.
+//!
+//! The [`sweeps`] module re-expresses the figures as parallel
+//! [`SweepGrid`]s — the cartesian product of topologies × scenarios ×
+//! estimators × interval counts × seeds — and the `sweep` binary fans them
+//! across the `tomo-sweep` thread pool into a JSON-lines report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +26,7 @@ pub mod figure3;
 pub mod figure4;
 pub mod report;
 pub mod scenarios;
+pub mod sweeps;
 pub mod table2;
 
 pub use figure3::{run_figure3, Figure3Result, Figure3Row, FIGURE3_ESTIMATORS};
@@ -32,3 +38,4 @@ pub use report::{render_table, Report};
 pub use scenarios::{ExperimentScale, ExperimentSetup, TopologyKind};
 pub use table2::{table2, Table2};
 pub use tomo_core::{estimators, Estimator, EstimatorOptions, Experiment, Pipeline, TomoError};
+pub use tomo_sweep::{SweepGrid, SweepRecord, SweepReport, SweepRunner, TopologySpec};

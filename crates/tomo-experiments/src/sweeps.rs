@@ -1,0 +1,171 @@
+//! The paper's evaluation re-expressed as [`SweepGrid`]s.
+//!
+//! Each figure-shaped grid covers (at least) the cells the corresponding
+//! figure plots, plus replications along the seed axis, so one parallel
+//! sweep regenerates a figure's data with error bars instead of a single
+//! draw. The `sweep` binary exposes them by name (`fig3`, `fig4`, `table2`,
+//! `ci`, `demo`).
+
+use tomo_sim::ScenarioKind;
+use tomo_sweep::{SweepGrid, TopologySpec};
+
+use crate::figure3::FIGURE3_ESTIMATORS;
+use crate::figure4::FIGURE4_ESTIMATORS;
+use crate::scenarios::ExperimentScale;
+use tomo_core::estimators;
+use tomo_topology::{BriteConfig, SparseConfig};
+
+/// Number of seed-axis replications the figure grids run per cell.
+pub const REPLICATIONS: u64 = 3;
+
+fn replicated(mut grid: SweepGrid, replications: u64) -> SweepGrid {
+    for seed in 0..replications {
+        grid = grid.seed_axis(seed);
+    }
+    grid
+}
+
+/// Both topology families at the given scale, seeded from the base seed.
+fn scale_topologies(grid: SweepGrid, scale: ExperimentScale, base_seed: u64) -> SweepGrid {
+    grid.topology(TopologySpec::Brite(scale.brite_config(base_seed)))
+        .topology(TopologySpec::Sparse(scale.sparse_config(base_seed)))
+}
+
+/// Figure 3 as a grid: the Boolean-Inference algorithms across all five
+/// scenarios on both topology families. A superset of the figure (which
+/// pairs each scenario with one topology), so the sweep also shows how each
+/// scenario behaves on the *other* family.
+pub fn figure3_grid(scale: ExperimentScale, base_seed: u64) -> SweepGrid {
+    let mut grid = scale_topologies(SweepGrid::new(), scale, base_seed)
+        .base_seed(base_seed)
+        .interval_count(scale.num_intervals())
+        .measurement(scale.measurement());
+    for kind in ScenarioKind::all() {
+        grid = grid.scenario(kind);
+    }
+    for name in FIGURE3_ESTIMATORS {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, REPLICATIONS)
+}
+
+/// Figure 4 as a grid: the Probability-Computation algorithms under the
+/// Random / Concentrated / No-Independence scenarios with non-stationarity
+/// layered on (§5.4), on both topology families.
+pub fn figure4_grid(scale: ExperimentScale, base_seed: u64) -> SweepGrid {
+    let mut grid = scale_topologies(SweepGrid::new(), scale, base_seed)
+        .base_seed(base_seed)
+        .interval_count(scale.num_intervals())
+        .measurement(scale.measurement())
+        .nonstationary(50);
+    for kind in [
+        ScenarioKind::RandomCongestion,
+        ScenarioKind::ConcentratedCongestion,
+        ScenarioKind::NoIndependence,
+    ] {
+        grid = grid.scenario(kind);
+    }
+    for name in FIGURE4_ESTIMATORS {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, REPLICATIONS)
+}
+
+/// Table 2 as a grid: all six registry estimators across every scenario on
+/// both topology families — the empirical companion to the assumption
+/// matrix (each algorithm's accuracy degrades in the scenarios that violate
+/// its assumptions).
+pub fn table2_grid(scale: ExperimentScale, base_seed: u64) -> SweepGrid {
+    let mut grid = scale_topologies(SweepGrid::new(), scale, base_seed)
+        .base_seed(base_seed)
+        .interval_count(scale.num_intervals())
+        .measurement(scale.measurement());
+    for kind in ScenarioKind::all() {
+        grid = grid.scenario(kind);
+    }
+    for name in estimators::NAMES {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, REPLICATIONS)
+}
+
+/// The CI acceptance grid: ≥500 cheap runs (three small topologies × five
+/// scenarios × all six estimators × six replications) that a release build
+/// finishes in well under a minute per thread-count.
+pub fn ci_grid(base_seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::new()
+        .base_seed(base_seed)
+        .topology(TopologySpec::Toy)
+        .topology(TopologySpec::Brite(BriteConfig::tiny(base_seed)))
+        .topology(TopologySpec::Sparse(SparseConfig::tiny(base_seed)))
+        .interval_count(60);
+    for kind in ScenarioKind::all() {
+        grid = grid.scenario(kind);
+    }
+    for name in estimators::NAMES {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, 6)
+}
+
+/// A minutes-long-even-in-debug demo grid: the toy topology, two scenarios,
+/// three estimators, two replications.
+pub fn demo_grid(base_seed: u64) -> SweepGrid {
+    SweepGrid::new()
+        .base_seed(base_seed)
+        .topology(TopologySpec::Toy)
+        .scenario(ScenarioKind::RandomCongestion)
+        .scenario(ScenarioKind::NoIndependence)
+        .estimator("sparsity")
+        .estimator("independence")
+        .estimator("correlation-complete")
+        .interval_count(60)
+        .seed_axis(0)
+        .seed_axis(1)
+}
+
+/// Resolves a named grid (`fig3` / `fig4` / `table2` / `ci` / `demo`).
+pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<SweepGrid> {
+    match name.to_ascii_lowercase().as_str() {
+        "fig3" | "figure3" => Some(figure3_grid(scale, base_seed)),
+        "fig4" | "figure4" => Some(figure4_grid(scale, base_seed)),
+        "table2" => Some(table2_grid(scale, base_seed)),
+        "ci" => Some(ci_grid(base_seed)),
+        "demo" => Some(demo_grid(base_seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_grids_validate_and_cover_the_figures() {
+        let f3 = figure3_grid(ExperimentScale::Small, 1);
+        f3.validate().unwrap();
+        assert_eq!(f3.num_tasks(), 2 * 5 * 3 * 3);
+        let f4 = figure4_grid(ExperimentScale::Small, 1);
+        f4.validate().unwrap();
+        assert_eq!(f4.num_tasks(), 2 * 3 * 3 * 3);
+        assert_eq!(f4.nonstationary_epoch, Some(50));
+        let t2 = table2_grid(ExperimentScale::Small, 1);
+        t2.validate().unwrap();
+        assert_eq!(t2.num_tasks(), 2 * 5 * 6 * 3);
+    }
+
+    #[test]
+    fn ci_grid_exceeds_five_hundred_runs() {
+        let grid = ci_grid(1);
+        grid.validate().unwrap();
+        assert!(grid.num_tasks() >= 500, "{} tasks", grid.num_tasks());
+    }
+
+    #[test]
+    fn named_lookup_resolves_all_names() {
+        for name in ["fig3", "FIG4", "table2", "ci", "demo"] {
+            assert!(by_name(name, ExperimentScale::Small, 1).is_some(), "{name}");
+        }
+        assert!(by_name("nope", ExperimentScale::Small, 1).is_none());
+    }
+}

@@ -1,0 +1,417 @@
+//! Sweep-grid description: the cartesian product of topologies × scenarios ×
+//! estimators × interval counts × seeds, plus the deterministic per-task
+//! seed derivation.
+
+use serde::{Deserialize, Serialize};
+use tomo_core::{estimators, EstimatorOptions, TomoError};
+use tomo_graph::Network;
+use tomo_sim::{MeasurementMode, ScenarioConfig, ScenarioKind};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+/// SplitMix64-style hash combining a base seed and an index (a task's
+/// simulation-cell index, or an axis seed) into a derived seed.
+///
+/// Tasks derive **all** their randomness from this value, never from worker
+/// identity or scheduling, which is what makes sweep output bit-identical
+/// regardless of thread count.
+pub fn derive_seed(base_seed: u64, task_index: u64) -> u64 {
+    let mut z = base_seed ^ task_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One topology axis value: which generator to run and with which
+/// configuration. The spec's embedded generator seed is combined with the
+/// task's seed-axis value (see [`TopologySpec::generate`]), so one spec
+/// yields a family of instances across the seed axis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The toy four-link topology of Fig. 1 — for cheap CI-scale grids.
+    Toy,
+    /// A BRITE-style dense topology.
+    Brite(BriteConfig),
+    /// A traceroute-derived sparse topology.
+    Sparse(SparseConfig),
+}
+
+impl TopologySpec {
+    /// The label used in sweep records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologySpec::Toy => "Toy",
+            TopologySpec::Brite(_) => "Brite",
+            TopologySpec::Sparse(_) => "Sparse",
+        }
+    }
+
+    /// Generates the measured network for one seed-axis value. Cells that
+    /// share a topology spec and axis seed (e.g. different estimators on the
+    /// same instance) see the same network.
+    pub fn generate(&self, axis_seed: u64) -> Result<Network, TomoError> {
+        match self {
+            TopologySpec::Toy => Ok(tomo_graph::toy::fig1_case1()),
+            TopologySpec::Brite(config) => {
+                let mut config = config.clone();
+                config.seed = derive_seed(config.seed, axis_seed);
+                Ok(BriteGenerator::new(config).generate()?)
+            }
+            TopologySpec::Sparse(config) => {
+                let mut config = config.clone();
+                config.seed = derive_seed(config.seed, axis_seed);
+                Ok(SparseGenerator::new(config).generate()?)
+            }
+        }
+    }
+}
+
+/// A cartesian experiment grid. Every combination of the five axes becomes
+/// one [`SweepTask`]; the grid is plain data and round-trips through JSON,
+/// so sweeps can be described in files and checked into CI.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Base seed hashed with each task's simulation-cell index into its
+    /// simulation seed (see [`SweepTask::sim_seed`]).
+    pub base_seed: u64,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Congestion-scenario axis.
+    pub scenarios: Vec<ScenarioKind>,
+    /// Estimator axis (registry names, see `tomo_core::estimators`).
+    pub estimators: Vec<String>,
+    /// Measurement-interval-count axis.
+    pub interval_counts: Vec<usize>,
+    /// Seed axis: replication seeds, also fed into topology generation.
+    pub seeds: Vec<u64>,
+    /// Measurement mode shared by every cell.
+    pub measurement: MeasurementMode,
+    /// When set, layers non-stationarity (probabilities re-drawn every this
+    /// many intervals) on top of every scenario, as §5.4 of the paper does.
+    pub nonstationary_epoch: Option<usize>,
+    /// Restrict multi-link correlation targets to co-traversed sets (the §4
+    /// resource knob; mirrors `EstimatorOptions::require_common_path`).
+    pub require_common_path: bool,
+    /// Cap on the correlation-subset size (None keeps the algorithm
+    /// default).
+    pub max_subset_size: Option<usize>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepGrid {
+    /// An empty grid with the harness defaults (ideal monitoring,
+    /// common-path restriction on). Every axis starts empty; populate all
+    /// five before running ([`SweepGrid::validate`] enforces it).
+    pub fn new() -> Self {
+        Self {
+            base_seed: 0,
+            topologies: Vec::new(),
+            scenarios: Vec::new(),
+            estimators: Vec::new(),
+            interval_counts: Vec::new(),
+            seeds: Vec::new(),
+            measurement: MeasurementMode::Ideal,
+            nonstationary_epoch: None,
+            require_common_path: true,
+            max_subset_size: None,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Adds a topology axis value.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topologies.push(spec);
+        self
+    }
+
+    /// Adds a scenario axis value.
+    pub fn scenario(mut self, kind: ScenarioKind) -> Self {
+        self.scenarios.push(kind);
+        self
+    }
+
+    /// Adds an estimator axis value (a registry name).
+    pub fn estimator(mut self, name: impl Into<String>) -> Self {
+        self.estimators.push(name.into());
+        self
+    }
+
+    /// Adds an interval-count axis value.
+    pub fn interval_count(mut self, intervals: usize) -> Self {
+        self.interval_counts.push(intervals);
+        self
+    }
+
+    /// Adds a seed axis value.
+    pub fn seed_axis(mut self, seed: u64) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Sets the measurement mode.
+    pub fn measurement(mut self, measurement: MeasurementMode) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// Layers non-stationarity on every scenario.
+    pub fn nonstationary(mut self, epoch_len: usize) -> Self {
+        self.nonstationary_epoch = Some(epoch_len.max(1));
+        self
+    }
+
+    /// The estimator options every cell constructs its estimator with.
+    pub fn estimator_options(&self) -> EstimatorOptions {
+        EstimatorOptions {
+            require_common_path: self.require_common_path,
+            max_subset_size: self.max_subset_size,
+        }
+    }
+
+    /// Number of cells in the grid.
+    pub fn num_tasks(&self) -> usize {
+        self.topologies.len()
+            * self.scenarios.len()
+            * self.estimators.len()
+            * self.interval_counts.len()
+            * self.seeds.len()
+    }
+
+    /// Checks that the grid is runnable: every axis non-empty, every
+    /// estimator name resolvable, every interval count positive.
+    pub fn validate(&self) -> Result<(), TomoError> {
+        if self.num_tasks() == 0 {
+            return Err(TomoError::InvalidConfig(
+                "sweep grid has an empty axis (topologies, scenarios, estimators, \
+                 interval_counts and seeds must all be non-empty)"
+                    .into(),
+            ));
+        }
+        for name in &self.estimators {
+            estimators::by_name(name)?;
+        }
+        if let Some(&bad) = self.interval_counts.iter().find(|&&t| t == 0) {
+            return Err(TomoError::InvalidConfig(format!(
+                "interval count {bad} is not positive"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Enumerates the grid's cells in canonical order (topologies, then
+    /// scenarios, then estimators, then interval counts, then seeds —
+    /// rightmost axis fastest). Task indices are assigned in this order and
+    /// are stable for a given grid.
+    ///
+    /// Each task also carries its *simulation-cell* index: the position of
+    /// its (topology, scenario, intervals, seed) coordinate with the
+    /// estimator axis projected out. Cells differing only in estimator share
+    /// a simulation cell and therefore (via [`SweepTask::sim_seed`]) see the
+    /// same simulated observations — the paper's figures compare estimators
+    /// on shared data, and so do sweeps.
+    pub fn tasks(&self) -> Vec<SweepTask> {
+        let mut tasks = Vec::with_capacity(self.num_tasks());
+        let mut index = 0;
+        let (n_sc, n_iv, n_seeds) = (
+            self.scenarios.len(),
+            self.interval_counts.len(),
+            self.seeds.len(),
+        );
+        for (topology, _) in self.topologies.iter().enumerate() {
+            for (sc_i, &scenario) in self.scenarios.iter().enumerate() {
+                for estimator in &self.estimators {
+                    for (iv_i, &intervals) in self.interval_counts.iter().enumerate() {
+                        for (s_i, &seed) in self.seeds.iter().enumerate() {
+                            let sim_cell = ((topology * n_sc + sc_i) * n_iv + iv_i) * n_seeds + s_i;
+                            tasks.push(SweepTask {
+                                index,
+                                sim_cell,
+                                topology,
+                                scenario,
+                                estimator: estimator.clone(),
+                                intervals,
+                                seed,
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        tasks
+    }
+
+    /// The scenario configuration a task with the given kind runs, with the
+    /// grid's non-stationarity layered on if configured.
+    pub fn scenario_config(&self, kind: ScenarioKind) -> ScenarioConfig {
+        let config = ScenarioConfig::for_kind(kind);
+        match self.nonstationary_epoch {
+            Some(epoch) => config.with_nonstationary(epoch),
+            None => config,
+        }
+    }
+}
+
+/// One cell of a [`SweepGrid`]: a fully resolved coordinate plus its task
+/// index, from which its simulation seed derives.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepTask {
+    /// Position in the grid's canonical enumeration order.
+    pub index: usize,
+    /// Position of this task's (topology, scenario, intervals, seed)
+    /// coordinate with the estimator axis projected out: tasks differing
+    /// only in estimator share this value and hence their simulated data.
+    pub sim_cell: usize,
+    /// Index into the grid's topology axis.
+    pub topology: usize,
+    /// Scenario kind.
+    pub scenario: ScenarioKind,
+    /// Estimator registry name.
+    pub estimator: String,
+    /// Number of measurement intervals.
+    pub intervals: usize,
+    /// Seed-axis value (replication seed, also varies the topology
+    /// instance).
+    pub seed: u64,
+}
+
+impl SweepTask {
+    /// The simulation seed of this task: `hash(base_seed, sim_cell)`.
+    ///
+    /// A pure function of the grid and the task's coordinates — never of
+    /// scheduling — so sweep output is bit-identical across thread counts;
+    /// and a function of the *simulation cell* rather than the raw task
+    /// index, so estimators are scored against identical observations.
+    pub fn sim_seed(&self, base_seed: u64) -> u64 {
+        derive_seed(base_seed, self.sim_cell as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_grid() -> SweepGrid {
+        SweepGrid::new()
+            .topology(TopologySpec::Toy)
+            .topology(TopologySpec::Brite(BriteConfig::tiny(1)))
+            .scenario(ScenarioKind::RandomCongestion)
+            .scenario(ScenarioKind::NoIndependence)
+            .estimator("sparsity")
+            .estimator("independence")
+            .estimator("correlation-complete")
+            .interval_count(40)
+            .seed_axis(0)
+            .seed_axis(1)
+    }
+
+    #[test]
+    fn task_enumeration_is_the_full_product_in_stable_order() {
+        let grid = demo_grid();
+        // 2 topologies × 2 scenarios × 3 estimators × 1 interval count × 2 seeds.
+        assert_eq!(grid.num_tasks(), 24);
+        let tasks = grid.tasks();
+        assert_eq!(tasks.len(), grid.num_tasks());
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        // Rightmost axis (seeds) varies fastest.
+        assert_eq!(tasks[0].seed, 0);
+        assert_eq!(tasks[1].seed, 1);
+        assert_eq!(tasks[0].estimator, tasks[1].estimator);
+        // Leftmost axis (topology) varies slowest.
+        assert!(tasks.iter().take(12).all(|t| t.topology == 0));
+        assert!(tasks.iter().skip(12).all(|t| t.topology == 1));
+    }
+
+    #[test]
+    fn estimator_cells_share_a_simulation_cell() {
+        let grid = demo_grid();
+        let tasks = grid.tasks();
+        // Tasks with identical (topology, scenario, intervals, seed) but
+        // different estimators share sim_cell, and hence the simulation
+        // seed; tasks differing in any other coordinate do not.
+        for a in &tasks {
+            for b in &tasks {
+                let same_cell = a.topology == b.topology
+                    && a.scenario == b.scenario
+                    && a.intervals == b.intervals
+                    && a.seed == b.seed;
+                assert_eq!(
+                    a.sim_cell == b.sim_cell,
+                    same_cell,
+                    "tasks {} and {}",
+                    a.index,
+                    b.index
+                );
+                assert_eq!(
+                    a.sim_seed(grid.base_seed) == b.sim_seed(grid.base_seed),
+                    same_cell
+                );
+            }
+        }
+        // The number of distinct simulation cells is the product of the
+        // non-estimator axes.
+        let cells: std::collections::BTreeSet<usize> = tasks.iter().map(|t| t.sim_cell).collect();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+        // Consecutive indices should not produce consecutive seeds.
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        assert!(a.abs_diff(b) > 1 << 20);
+    }
+
+    #[test]
+    fn validation_rejects_empty_axes_unknown_names_and_zero_intervals() {
+        assert!(SweepGrid::new().validate().is_err());
+        let bad_name = demo_grid().estimator("gradient-boost");
+        assert!(matches!(
+            bad_name.validate(),
+            Err(TomoError::UnknownEstimator { .. })
+        ));
+        let mut zero = demo_grid();
+        zero.interval_counts = vec![0];
+        assert!(matches!(zero.validate(), Err(TomoError::InvalidConfig(_))));
+        assert!(demo_grid().validate().is_ok());
+    }
+
+    #[test]
+    fn grids_round_trip_through_json() {
+        let grid = demo_grid().nonstationary(25).base_seed(9);
+        let json = serde_json::to_string(&grid).unwrap();
+        let back: SweepGrid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_tasks(), grid.num_tasks());
+        assert_eq!(back.base_seed, 9);
+        assert_eq!(back.nonstationary_epoch, Some(25));
+        assert_eq!(back.tasks().len(), grid.tasks().len());
+    }
+
+    #[test]
+    fn topology_specs_generate_seeded_instances() {
+        let spec = TopologySpec::Brite(BriteConfig::tiny(3));
+        let a = spec.generate(0).unwrap();
+        let b = spec.generate(0).unwrap();
+        let c = spec.generate(1).unwrap();
+        assert_eq!(a.num_links(), b.num_links());
+        let same =
+            a.num_links() == c.num_links() && a.paths().iter().zip(c.paths()).all(|(x, y)| x == y);
+        assert!(!same, "axis seed must vary the instance");
+        assert_eq!(TopologySpec::Toy.generate(5).unwrap().num_links(), 4);
+    }
+}

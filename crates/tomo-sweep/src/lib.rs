@@ -1,0 +1,59 @@
+//! Parallel experiment-sweep engine for the network-tomography workspace.
+//!
+//! The paper's evaluation repeats one experiment shape — topology × scenario
+//! × estimator × interval count × seed — hundreds of times. This crate turns
+//! that cartesian product into an explicit, serializable [`SweepGrid`] and
+//! fans its cells across a hand-rolled thread pool:
+//!
+//! * [`SweepGrid`] — the grid description. Every axis is data (JSON in, JSON
+//!   out), so grids can live in files, CI configs and issue reports.
+//! * [`pool::parallel_map`] — a chunked work-stealing pool on `std::thread`
+//!   (the build environment has no crates.io access, so no `rayon`): workers
+//!   claim fixed-size chunks of the task list from a shared atomic cursor
+//!   until it runs dry. A panicking task is caught at the task boundary and
+//!   surfaced as [`TomoError::TaskPanic`] instead of poisoning the pool.
+//! * [`SweepRunner`] — executes a grid and collects one [`SweepRecord`] per
+//!   cell into a [`SweepReport`] with a JSON-lines rendering.
+//!
+//! ## Determinism
+//!
+//! Results are **bit-identical regardless of thread count**. Two mechanisms
+//! guarantee it:
+//!
+//! 1. every task derives its simulation seed purely from the grid's base
+//!    seed and its own coordinates (`sim_seed = hash(base_seed, sim_cell)`,
+//!    see [`derive_seed`] and [`SweepTask::sim_seed`]) — never from which
+//!    worker ran it or when. The `sim_cell` index projects out the estimator
+//!    axis, so cells differing only in estimator are scored against
+//!    identical simulated observations, exactly like the paper's figures;
+//! 2. records are stored by task index, so the report (and its JSON-lines
+//!    serialization) is in task order no matter the completion order.
+//!
+//! ```
+//! use tomo_sweep::{SweepGrid, SweepRunner, TopologySpec};
+//! use tomo_sim::ScenarioKind;
+//!
+//! let grid = SweepGrid::new()
+//!     .topology(TopologySpec::Toy)
+//!     .scenario(ScenarioKind::RandomCongestion)
+//!     .estimator("sparsity")
+//!     .estimator("correlation-complete")
+//!     .interval_count(60)
+//!     .seed_axis(0)
+//!     .seed_axis(1);
+//! let report = SweepRunner::new().threads(2).run(&grid)?;
+//! assert_eq!(report.records.len(), 4);
+//! # Ok::<(), tomo_core::TomoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod pool;
+pub mod runner;
+
+pub use grid::{derive_seed, SweepGrid, SweepTask, TopologySpec};
+pub use pool::parallel_map;
+pub use runner::{SweepRecord, SweepReport, SweepRunner};
+pub use tomo_core::TomoError;

@@ -1,0 +1,197 @@
+//! A hand-rolled chunked work-stealing thread pool on `std::thread`.
+//!
+//! The build environment has no access to crates.io, so instead of `rayon`
+//! the sweep engine uses the simplest scheduler that load-balances well for
+//! its workload (hundreds of tasks, each milliseconds to seconds): the task
+//! list is split into fixed-size chunks, and workers claim the next unclaimed
+//! chunk from a shared atomic cursor until the list runs dry. Fast workers
+//! therefore "steal" the chunks a slow worker never reached — chunk-level
+//! work stealing without per-task locking.
+//!
+//! Panic containment: each task runs under `catch_unwind`, so a panicking
+//! task is recorded as [`TomoError::TaskPanic`] and the pool shuts down
+//! cleanly instead of poisoning shared state or aborting the process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tomo_core::TomoError;
+
+/// Upper bound on the chunk size: small enough to balance load even when a
+/// few tasks dominate the runtime.
+const MAX_CHUNK: usize = 16;
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item of `items` on `threads` worker threads and
+/// returns the results **in item order**.
+///
+/// `f` receives the item index and the item; the index is the only identity
+/// a task has, so deterministic pipelines must derive all randomness from it
+/// (see [`crate::derive_seed`]). The result order is independent of thread
+/// count and scheduling.
+///
+/// Error handling is fail-fast: the first task error (by item index, among
+/// the tasks that ran) aborts the sweep — workers stop claiming new chunks
+/// and the error is returned. A panic inside `f` is caught and converted to
+/// [`TomoError::TaskPanic`] rather than unwinding across the pool. When
+/// several tasks fail, the reported error is the failed task with the lowest
+/// index that was reached before shutdown.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, TomoError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, TomoError> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(n);
+    // Aim for ~4 chunks per worker so fast workers can steal from slow ones,
+    // but never exceed MAX_CHUNK items per claim.
+    let chunk = n.div_ceil(threads * 4).clamp(1, MAX_CHUNK);
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Vec<Mutex<Option<Result<R, TomoError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    let worker = || loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        for (i, item) in items
+            .iter()
+            .enumerate()
+            .take((start + chunk).min(n))
+            .skip(start)
+        {
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item))).unwrap_or_else(|payload| {
+                Err(TomoError::TaskPanic {
+                    task: i,
+                    message: panic_message(payload.as_ref()),
+                })
+            });
+            if outcome.is_err() {
+                abort.store(true, Ordering::Relaxed);
+            }
+            *results[i].lock().expect("result slot lock") = Some(outcome);
+        }
+    };
+
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads - 1 {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for slot in &results {
+        let outcome = slot.lock().expect("result slot lock").take();
+        match outcome {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // Only reachable after an abort: chunks beyond the failure were
+            // never claimed. The error lives in an earlier slot, so keep
+            // scanning backward-compatibly — but an earlier slot must have
+            // held it already, making this unreachable in practice.
+            None => {
+                return Err(TomoError::InvalidConfig(
+                    "sweep aborted before all tasks ran".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 3, 8, 200] {
+            let out = parallel_map(&items, threads, |i, &x| Ok(x * 2 + i as u64)).unwrap();
+            let expected: Vec<u64> = (0..100).map(|x| x * 3).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], 4, |_, &x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_task_surfaces_as_tomo_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let err = parallel_map(&items, threads, |_, &x| {
+                if x == 13 {
+                    panic!("task {x} exploded");
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+            match err {
+                TomoError::TaskPanic { task, message } => {
+                    assert_eq!(task, 13);
+                    assert!(message.contains("exploded"), "message: {message}");
+                }
+                other => panic!("expected TaskPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_failing_task_aborts_the_pool() {
+        let items: Vec<usize> = (0..256).collect();
+        let err = parallel_map(&items, 4, |_, &x| {
+            if x == 7 {
+                Err(TomoError::InvalidConfig("bad cell".into()))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, TomoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn the_pool_survives_a_panic_and_can_run_again() {
+        let items: Vec<usize> = (0..32).collect();
+        let _ = parallel_map(&items, 4, |_, &x| {
+            if x == 0 {
+                panic!("first run panics");
+            }
+            Ok(x)
+        });
+        // A fresh call afterwards works normally (nothing was poisoned).
+        let out = parallel_map(&items, 4, |_, &x| Ok(x + 1)).unwrap();
+        assert_eq!(out[0], 1);
+        assert_eq!(out.len(), 32);
+    }
+}

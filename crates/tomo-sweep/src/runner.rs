@@ -1,0 +1,269 @@
+//! Executes a [`SweepGrid`] across the thread pool and renders the results
+//! as JSON lines.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use tomo_core::{Pipeline, TomoError};
+use tomo_graph::Network;
+
+use crate::grid::{SweepGrid, SweepTask};
+use crate::pool::parallel_map;
+
+/// The scored result of one sweep cell — one JSON line of the report.
+///
+/// Metric fields are `null` when the estimator lacks the capability (e.g.
+/// the Boolean-Inference baselines produce no probability error, the pure
+/// Probability-Computation algorithms no detection rate).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Task index in the grid's canonical order.
+    pub task: usize,
+    /// Topology label (`Toy` / `Brite` / `Sparse`).
+    pub topology: String,
+    /// Scenario label, as in the paper's figures.
+    pub scenario: String,
+    /// Estimator display name.
+    pub estimator: String,
+    /// Number of measurement intervals.
+    pub intervals: usize,
+    /// Seed-axis value of the cell.
+    pub seed: u64,
+    /// Derived simulation seed (`hash(base_seed, sim_cell)`; shared by the
+    /// cells that differ only in estimator).
+    pub sim_seed: u64,
+    /// Number of measured links in the generated instance.
+    pub links: usize,
+    /// Number of measurement paths in the generated instance.
+    pub paths: usize,
+    /// Mean absolute error of the per-link congestion probabilities
+    /// (probability capability only).
+    pub mean_abs_error: Option<f64>,
+    /// Maximum absolute error (probability capability only).
+    pub max_abs_error: Option<f64>,
+    /// Per-interval detection rate (inference capability only).
+    pub detection_rate: Option<f64>,
+    /// Per-interval false-positive rate (inference capability only).
+    pub false_positive_rate: Option<f64>,
+}
+
+impl SweepRecord {
+    /// Renders the record as one compact JSON line.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+    }
+}
+
+/// Everything a sweep produced: per-cell records in task order, plus timing
+/// metadata (kept out of the JSON-lines rendering so the report bytes stay
+/// identical across thread counts).
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// One record per grid cell, in task order.
+    pub records: Vec<SweepRecord>,
+    /// Thread count the sweep ran with.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Renders the report as JSON lines (one record per line, task order).
+    /// This rendering is byte-identical across thread counts for a fixed
+    /// grid and base seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A one-line human summary (includes timing, so not deterministic).
+    pub fn summary(&self) -> String {
+        let secs = self.elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.records.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        format!(
+            "{} tasks on {} thread(s) in {:.2}s ({:.1} tasks/s)",
+            self.records.len(),
+            self.threads,
+            secs,
+            rate
+        )
+    }
+}
+
+/// Runs sweep grids over the chunked work-stealing pool.
+#[derive(Clone, Debug)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Validates the grid and runs every cell, returning records in task
+    /// order. Fails fast on the first cell error; a panicking cell surfaces
+    /// as [`TomoError::TaskPanic`].
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, TomoError> {
+        grid.validate()?;
+        let tasks = grid.tasks();
+        let start = Instant::now();
+        // Generate each distinct (topology, axis-seed) instance exactly once
+        // (in parallel): every cell differing only in scenario, estimator or
+        // interval count reuses the same network instead of regenerating it.
+        let combos: Vec<(usize, u64)> = (0..grid.topologies.len())
+            .flat_map(|t| grid.seeds.iter().map(move |&s| (t, s)))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let generated = parallel_map(&combos, self.threads, |_, &(t, s)| {
+            grid.topologies[t].generate(s)
+        })?;
+        let networks: HashMap<(usize, u64), Network> = combos.into_iter().zip(generated).collect();
+        let records = parallel_map(&tasks, self.threads, |_, task| {
+            run_task(grid, task, &networks[&(task.topology, task.seed)])
+        })?;
+        Ok(SweepReport {
+            records,
+            threads: self.threads,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Executes one grid cell: simulate the scenario on the (pre-generated)
+/// network, evaluate the estimator, and flatten the outcome into a
+/// [`SweepRecord`].
+fn run_task(
+    grid: &SweepGrid,
+    task: &SweepTask,
+    network: &Network,
+) -> Result<SweepRecord, TomoError> {
+    let (links, paths) = (network.num_links(), network.num_paths());
+    let sim_seed = task.sim_seed(grid.base_seed);
+
+    let outcome = Pipeline::on(network.clone())
+        .scenario(grid.scenario_config(task.scenario))
+        .intervals(task.intervals)
+        .measurement(grid.measurement)
+        .seed(sim_seed)
+        .into_task(task.estimator.as_str())
+        .with_options(grid.estimator_options())
+        .run()?;
+
+    Ok(SweepRecord {
+        task: task.index,
+        topology: grid.topologies[task.topology].label().to_string(),
+        scenario: task.scenario.label().to_string(),
+        estimator: outcome.estimator,
+        intervals: task.intervals,
+        seed: task.seed,
+        sim_seed,
+        links,
+        paths,
+        mean_abs_error: outcome.link_errors.as_ref().map(|e| e.mean()),
+        max_abs_error: outcome.link_errors.as_ref().map(|e| e.max()),
+        detection_rate: outcome.inference_score.as_ref().map(|s| s.detection_rate()),
+        false_positive_rate: outcome
+            .inference_score
+            .as_ref()
+            .map(|s| s.false_positive_rate()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::TopologySpec;
+    use tomo_sim::ScenarioKind;
+
+    fn toy_grid() -> SweepGrid {
+        SweepGrid::new()
+            .topology(TopologySpec::Toy)
+            .scenario(ScenarioKind::RandomCongestion)
+            .scenario(ScenarioKind::NoIndependence)
+            .estimator("sparsity")
+            .estimator("correlation-complete")
+            .interval_count(40)
+            .seed_axis(0)
+            .seed_axis(1)
+    }
+
+    #[test]
+    fn records_carry_capability_matched_metrics() {
+        let report = SweepRunner::new().threads(2).run(&toy_grid()).unwrap();
+        assert_eq!(report.records.len(), 8);
+        for r in &report.records {
+            match r.estimator.as_str() {
+                "Sparsity" => {
+                    assert!(r.mean_abs_error.is_none());
+                    assert!(r.detection_rate.is_some());
+                }
+                "Correlation-complete" => {
+                    assert!(r.mean_abs_error.is_some());
+                    assert!(r.detection_rate.is_none());
+                }
+                other => panic!("unexpected estimator {other}"),
+            }
+            assert_eq!(r.links, 4);
+            assert_eq!(r.intervals, 40);
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_line_per_record() {
+        let report = SweepRunner::new().threads(1).run(&toy_grid()).unwrap();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            let back: SweepRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back.task, i);
+        }
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected_before_running() {
+        let err = SweepRunner::new().run(&SweepGrid::new()).unwrap_err();
+        assert!(matches!(err, TomoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn summary_mentions_threads_and_tasks() {
+        let report = SweepRunner::new().threads(3).run(&toy_grid()).unwrap();
+        let s = report.summary();
+        assert!(s.contains("8 tasks"), "{s}");
+        assert!(s.contains("3 thread"), "{s}");
+    }
+}

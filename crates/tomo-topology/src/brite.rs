@@ -33,6 +33,15 @@ impl BriteGenerator {
         })
     }
 
+    /// Creates a generator for a large random network aiming at
+    /// approximately `target_links` measured links (see
+    /// [`BriteConfig::with_target_links`]). `BriteGenerator::sized(5_000,
+    /// seed)` and beyond are the sweep-scale instances; generation at that
+    /// size is a release-mode affair.
+    pub fn sized(target_links: usize, seed: u64) -> Self {
+        Self::new(BriteConfig::with_target_links(target_links, seed))
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &BriteConfig {
         &self.config
@@ -158,6 +167,33 @@ mod tests {
         let same =
             a.num_links() == b.num_links() && a.paths().iter().zip(b.paths()).all(|(x, y)| x == y);
         assert!(!same);
+    }
+
+    #[test]
+    fn sized_generator_hits_small_targets() {
+        let net = BriteGenerator::sized(400, 11).generate().unwrap();
+        let links = net.num_links();
+        assert!(
+            (260..=540).contains(&links),
+            "target 400, got {links} links"
+        );
+        assert!(net.num_paths() > 100);
+    }
+
+    /// Sweep-scale calibration: `with_target_links(5000)` really produces a
+    /// ≥5k-link measured network. Takes tens of seconds in debug mode, so it
+    /// is ignored by default; CI and developers run it in release via
+    /// `cargo test -p tomo-topology --release -- --ignored large_random`.
+    #[test]
+    #[ignore = "multi-second generation; run in release with -- --ignored"]
+    fn large_random_network_reaches_5k_links() {
+        let net = BriteGenerator::new(BriteConfig::large(1))
+            .generate()
+            .unwrap();
+        let stats = topology_stats(&net);
+        assert!(stats.num_links >= 5_000, "stats: {stats:?}");
+        assert!(stats.num_paths >= 5_000, "stats: {stats:?}");
+        assert!(stats.mean_paths_per_link > 1.0, "stats: {stats:?}");
     }
 
     #[test]

@@ -54,6 +54,42 @@ impl BriteConfig {
             seed,
         }
     }
+
+    /// A large sweep-scale instance: ≥5000 measured AS-level links, several
+    /// thousand paths. Generation takes seconds in release mode; meant for
+    /// `--release` sweeps and benches, not the unit-test suite.
+    pub fn large(seed: u64) -> Self {
+        // Aim ~10 % above 5k so the generated count clears the bar with
+        // margin across seeds.
+        Self::with_target_links(5_500, seed)
+    }
+
+    /// Derives a configuration aiming at approximately `target_links`
+    /// measured AS-level links (the unit the estimators see).
+    ///
+    /// The measured link count scales with the number of ASes — every AS
+    /// adjacency contributes inter-domain links and every traversed AS
+    /// contributes intra-domain segments — provided enough paths are routed
+    /// to keep touching fresh ASes. The constants below were calibrated
+    /// empirically at this geometry (≈14.6 measured links per AS at 1.5
+    /// paths per target link) and hold within ±35 % from a few hundred to
+    /// several thousand links.
+    pub fn with_target_links(target_links: usize, seed: u64) -> Self {
+        let target_links = target_links.max(50);
+        let num_ases = (target_links / 14).max(8);
+        // Scale the path budget with the target so coverage keeps up, with
+        // the default's 1.5 paths-per-link ratio.
+        let num_paths = (target_links * 3) / 2;
+        Self {
+            num_ases,
+            routers_per_as: 12,
+            as_peering_degree: 2,
+            extra_intra_edges_per_router: 1,
+            peering_links_per_adjacency: 2,
+            num_paths,
+            seed,
+        }
+    }
 }
 
 /// Configuration of the traceroute-derived sparse-topology synthesizer

@@ -32,6 +32,9 @@
 //!   and the typed `TomoError`.
 //! * [`experiments`] — the harness that regenerates every figure and table
 //!   through the pipeline API.
+//! * [`sweep`] — the parallel experiment-sweep engine: cartesian scenario
+//!   grids fanned across a work-stealing thread pool with deterministic
+//!   per-task seeding and JSON-lines reports.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +82,7 @@ pub use tomo_linalg as linalg;
 pub use tomo_metrics as metrics;
 pub use tomo_prob as prob;
 pub use tomo_sim as sim;
+pub use tomo_sweep as sweep;
 pub use tomo_topology as topology;
 
 /// Commonly used types, re-exported for convenience.
@@ -103,6 +107,7 @@ pub mod prelude {
         MeasurementMode, PathObservations, ScenarioConfig, ScenarioKind, SimulationConfig,
         SimulationOutput, Simulator,
     };
+    pub use tomo_sweep::{SweepGrid, SweepRecord, SweepReport, SweepRunner, TopologySpec};
     pub use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 }
 

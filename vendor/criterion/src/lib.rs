@@ -9,11 +9,20 @@
 //!
 //! Instead of criterion's statistical analysis it reports the median
 //! wall-clock time per iteration over `sample_size` samples.
+//!
+//! Two environment variables adapt the harness to CI:
+//!
+//! * `TOMO_BENCH_SAMPLES=n` overrides every benchmark's sample count
+//!   ("smoke mode": `n = 3` keeps a full bench run to seconds);
+//! * `TOMO_BENCH_JSON=path` appends one JSON line per benchmark
+//!   (`{"name": ..., "median_ns": ..., "samples": ...}`) to `path`, the
+//!   format the `ci/compare_bench.py` regression gate consumes.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// An opaque hint preventing the optimizer from deleting a computation.
@@ -66,7 +75,29 @@ impl Bencher {
     }
 }
 
+/// Parses a `TOMO_BENCH_SAMPLES`-style override; `None` or junk keeps the
+/// configured sample count.
+fn sample_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// Renders one benchmark result as the JSON line `TOMO_BENCH_JSON` appends.
+fn json_line(name: &str, median_ns: f64, samples: usize) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    format!("{{\"name\": \"{escaped}\", \"median_ns\": {median_ns:.1}, \"samples\": {samples}}}")
+}
+
 fn run_bench(group: Option<&str>, label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let samples =
+        sample_override(std::env::var("TOMO_BENCH_SAMPLES").ok().as_deref()).unwrap_or(samples);
     let mut bencher = Bencher {
         samples,
         median_ns: f64::NAN,
@@ -83,6 +114,19 @@ fn run_bench(group: Option<&str>, label: &str, samples: usize, f: impl FnOnce(&m
         format_ns(bencher.median_ns),
         total
     );
+    if let Ok(path) = std::env::var("TOMO_BENCH_JSON") {
+        if !path.is_empty() && !bencher.median_ns.is_nan() {
+            let line = json_line(&name, bencher.median_ns, samples);
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| writeln!(file, "{line}"));
+            if let Err(e) = appended {
+                eprintln!("criterion shim: cannot append to {path}: {e}");
+            }
+        }
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -233,5 +277,25 @@ mod tests {
     fn id_labels() {
         assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn sample_override_parses_or_keeps_default() {
+        assert_eq!(sample_override(None), None);
+        assert_eq!(sample_override(Some("3")), Some(3));
+        assert_eq!(sample_override(Some(" 12 ")), Some(12));
+        assert_eq!(sample_override(Some("0")), Some(1));
+        assert_eq!(sample_override(Some("junk")), None);
+    }
+
+    #[test]
+    fn json_lines_are_parseable_and_escaped() {
+        let line = json_line("group/label", 1234.56, 3);
+        assert_eq!(
+            line,
+            "{\"name\": \"group/label\", \"median_ns\": 1234.6, \"samples\": 3}"
+        );
+        let tricky = json_line("we\"ird\\name", 1.0, 1);
+        assert!(tricky.contains("we\\\"ird\\\\name"));
     }
 }
