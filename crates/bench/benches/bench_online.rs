@@ -1,0 +1,99 @@
+//! Benchmarks of the online (streaming) estimation path: steady-state
+//! incremental ingest vs. the full batch refit a naive daemon would run per
+//! observation batch, plus the structural-rebuild cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tomo_core::online::{OnlineEstimator, OnlineIndependence};
+use tomo_graph::Network;
+use tomo_prob::{Independence, ProbabilityComputation};
+use tomo_sim::{MeasurementMode, PathObservations, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator};
+
+const WARMUP_INTERVALS: usize = 400;
+const BATCH_INTERVALS: usize = 10;
+
+/// A BRITE-style instance with enough paths for the equation system to have
+/// real size (~60 paths, ~hundreds of links).
+fn network() -> Network {
+    BriteGenerator::new(BriteConfig::tiny(7))
+        .generate()
+        .expect("tiny instance generates")
+}
+
+/// Simulates a drifting-loss stream and splits off the trailing batch.
+fn simulate(network: &Network) -> (PathObservations, PathObservations) {
+    let config = SimulationConfig {
+        num_intervals: WARMUP_INTERVALS + BATCH_INTERVALS,
+        scenario: ScenarioConfig::drifting_loss(),
+        loss: tomo_sim::LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed: 3,
+    };
+    let output = Simulator::new(config).run(network);
+    let all = &output.observations;
+    let mut warmup = PathObservations::new(all.num_paths(), WARMUP_INTERVALS);
+    let mut batch = PathObservations::new(all.num_paths(), BATCH_INTERVALS);
+    for t in 0..WARMUP_INTERVALS {
+        for p in 0..all.num_paths() {
+            let id = tomo_graph::PathId(p);
+            warmup.set_congested(id, t, all.is_congested(id, t));
+        }
+    }
+    for t in 0..BATCH_INTERVALS {
+        for p in 0..all.num_paths() {
+            let id = tomo_graph::PathId(p);
+            batch.set_congested(id, t, all.is_congested(id, t + WARMUP_INTERVALS));
+        }
+    }
+    (warmup, batch)
+}
+
+fn bench_online(c: &mut Criterion) {
+    let network = network();
+    let (warmup, batch) = simulate(&network);
+
+    let mut warmed = OnlineIndependence::default();
+    warmed
+        .ingest(&network, &warmup)
+        .expect("warmup ingest succeeds");
+
+    let mut group = c.benchmark_group("online");
+    group.sample_size(20);
+
+    // Steady state: the pc set is stable after warmup, so every further
+    // batch rides the cached-solver path. This is the daemon's hot loop.
+    group.bench_function("incremental_ingest_10", |b| {
+        let mut online = warmed.clone();
+        b.iter(|| {
+            online
+                .ingest(&network, &batch)
+                .expect("steady-state ingest")
+        })
+    });
+
+    // What a daemon without the online path would do per batch: re-fit the
+    // batch estimator on the whole accumulated window.
+    let full_window = {
+        let mut online = warmed.clone();
+        online.ingest(&network, &batch).expect("ingest");
+        online.window().expect("warmed window").to_observations()
+    };
+    group.bench_function("full_batch_refit", |b| {
+        let algorithm = Independence::default();
+        b.iter(|| algorithm.compute(&network, &full_window))
+    });
+
+    // Structural rebuild: fit from scratch through the online path (one
+    // Full refit folding every equation through Algorithm 2).
+    group.bench_function("structural_rebuild", |b| {
+        b.iter(|| {
+            let mut online = OnlineIndependence::default();
+            online.ingest(&network, &warmup).expect("rebuild ingest")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

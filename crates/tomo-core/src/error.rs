@@ -44,6 +44,11 @@ pub enum TomoError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// JSON (de)serialization failed — a malformed wire message, snapshot or
+    /// report line.
+    Serde(String),
+    /// An I/O operation (socket, snapshot file, report file) failed.
+    Io(String),
 }
 
 impl fmt::Display for TomoError {
@@ -70,6 +75,8 @@ impl fmt::Display for TomoError {
             TomoError::TaskPanic { task, message } => {
                 write!(f, "task {task} panicked: {message}")
             }
+            TomoError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            TomoError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -79,6 +86,12 @@ impl std::error::Error for TomoError {}
 impl From<GraphError> for TomoError {
     fn from(e: GraphError) -> Self {
         TomoError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for TomoError {
+    fn from(e: std::io::Error) -> Self {
+        TomoError::Io(e.to_string())
     }
 }
 
@@ -101,5 +114,14 @@ mod tests {
         let e: TomoError = GraphError::EmptyNetwork.into();
         assert!(matches!(e, TomoError::Graph(GraphError::EmptyNetwork)));
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        let e: TomoError = io.into();
+        assert!(matches!(e, TomoError::Io(_)));
+        assert!(e.to_string().contains("refused"));
+        assert!(TomoError::Serde("bad".into()).to_string().contains("bad"));
     }
 }

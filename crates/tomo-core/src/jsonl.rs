@@ -1,0 +1,123 @@
+//! Shared JSON-lines helpers.
+//!
+//! Two subsystems speak JSON lines — the sweep engine renders one record per
+//! line into report files, and the `tomo-serve` daemon frames every wire
+//! message as one JSON object per line. Both go through this module so the
+//! framing rules live in exactly one place:
+//!
+//! * one compact JSON value per line, terminated by `\n`;
+//! * no embedded newlines inside a line (the serializer escapes them);
+//! * blank lines are ignored on decode (tolerant of trailing newlines and
+//!   hand-edited files).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TomoError;
+
+/// Encodes one value as a single compact JSON line (no trailing newline).
+pub fn encode_line<T: Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+/// Encodes a sequence of values as JSON lines, one per value, each terminated
+/// by `\n`.
+pub fn encode_lines<'a, T, I>(values: I) -> String
+where
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = String::new();
+    for value in values {
+        out.push_str(&encode_line(value));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes one JSON line into `T`. The line may carry a trailing newline.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, TomoError> {
+    serde_json::from_str(line.trim_end_matches(['\r', '\n']))
+        .map_err(|e| TomoError::Serde(format!("invalid JSON line: {e}")))
+}
+
+/// Decodes a whole JSON-lines document, skipping blank lines. Fails on the
+/// first malformed line, reporting its (1-based) line number.
+pub fn decode_lines<T: Deserialize>(text: &str) -> Result<Vec<T>, TomoError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            serde_json::from_str(line)
+                .map_err(|e| TomoError::Serde(format!("invalid JSON on line {}: {e}", i + 1)))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        name: String,
+        value: f64,
+    }
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record {
+                name: "a".into(),
+                value: 0.5,
+            },
+            Record {
+                name: "b\nwith newline".into(),
+                value: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_one_record_per_line() {
+        let text = encode_lines(&records());
+        assert_eq!(text.lines().count(), 2, "{text:?}");
+        let back: Vec<Record> = decode_lines(&text).unwrap();
+        assert_eq!(back, records());
+    }
+
+    #[test]
+    fn embedded_newlines_are_escaped() {
+        let line = encode_line(&records()[1]);
+        assert!(!line.contains('\n'));
+        let back: Record = decode_line(&line).unwrap();
+        assert_eq!(back, records()[1]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!(
+            "\n{}\n\n{}\n\n",
+            encode_line(&records()[0]),
+            encode_line(&records()[1])
+        );
+        let back: Vec<Record> = decode_lines(&text).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let text = format!("{}\nnot json\n", encode_line(&records()[0]));
+        let err = decode_lines::<Record>(&text).unwrap_err();
+        assert!(matches!(err, TomoError::Serde(_)));
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn decode_line_tolerates_trailing_newline() {
+        let line = format!("{}\r\n", encode_line(&records()[0]));
+        let back: Record = decode_line(&line).unwrap();
+        assert_eq!(back, records()[0]);
+    }
+}

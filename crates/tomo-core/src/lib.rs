@@ -17,13 +17,22 @@
 //!   configuration select algorithms by name;
 //! * [`TomoError`] — the typed error replacing panics at the API boundary;
 //! * [`score`] — the figure-level metrics (per-link / per-subset absolute
-//!   error, detection and false-positive rates).
+//!   error, detection and false-positive rates);
+//! * [`online`] — the streaming extension: [`OnlineEstimator`] adds
+//!   `ingest(batch)` on top of [`Estimator`], with an incremental
+//!   linear-system implementation ([`OnlineIndependence`]) and a
+//!   buffer-and-refit adapter ([`BufferedOnline`]) for every registry
+//!   algorithm;
+//! * [`jsonl`] — the shared JSON-lines framing used by sweep reports and the
+//!   `tomo-serve` wire protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod estimator;
+pub mod jsonl;
+pub mod online;
 pub mod pipeline;
 pub mod registry;
 pub mod score;
@@ -34,6 +43,7 @@ pub use registry as estimators;
 
 pub use error::TomoError;
 pub use estimator::{Capabilities, Estimator, InferenceEstimator, ProbEstimator};
+pub use online::{BufferedOnline, OnlineEstimator, OnlineIndependence, Refit};
 pub use pipeline::{run_batch, Experiment, Pipeline, PipelineTask, RunOutcome};
 pub use registry::EstimatorOptions;
 

@@ -1,0 +1,787 @@
+//! Online (streaming) estimation: ingest observation batches, keep the
+//! estimate fresh.
+//!
+//! The batch [`Estimator`] re-fits from the full observation matrix every
+//! time. A long-running tomography daemon instead receives a few intervals
+//! at a time and wants the cheapest correct update. [`OnlineEstimator`]
+//! models that: `ingest(batch)` folds new intervals in and reports whether
+//! the refit was [`Refit::Incremental`] or [`Refit::Full`].
+//!
+//! Two implementations ship:
+//!
+//! * [`OnlineIndependence`] — a genuinely incremental form of the
+//!   linear-system Independence estimator. The equation *structure* (which
+//!   path sets appear, which links are unknowns) changes only when a path
+//!   is congested for the first time (or congestion ages out of a bounded
+//!   window), while the right-hand side (empirical log-probabilities)
+//!   changes on every interval. Steady state is therefore: update counters,
+//!   re-apply a cached solver — no elimination, no factorization. When the
+//!   structure does change, the estimator rebuilds, computing the new
+//!   null-space basis incrementally row-by-row via
+//!   [`tomo_linalg::nullspace_update`] (Algorithm 2 of the paper) with a
+//!   from-scratch recomputation as fallback when the folded basis degrades
+//!   numerically.
+//! * [`BufferedOnline`] — the adapter that gives *every* registry algorithm
+//!   an online form by buffering a rolling [`ObservationWindow`] and
+//!   re-running the batch fit on each ingest (always [`Refit::Full`]).
+//!
+//! The invariant both uphold (and the integration tests assert): after any
+//! sequence of ingests, the estimate equals — up to solver tolerance — a
+//! single batch fit on the concatenation of the retained observations.
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_linalg::{least_squares, nullspace_update, solve_multi, LstsqOptions, Matrix, Vector};
+use tomo_prob::result::EstimateDiagnostics;
+use tomo_prob::subsets::potentially_congested_links;
+use tomo_prob::AlgorithmAssumptions;
+use tomo_prob::{baseline_path_sets, IndependenceConfig, ProbabilityEstimate};
+use tomo_sim::{ObservationWindow, PathObservations};
+
+use crate::error::TomoError;
+use crate::estimator::{Capabilities, Estimator};
+use crate::registry::EstimatorOptions;
+
+/// What kind of work one [`OnlineEstimator::ingest`] call had to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Refit {
+    /// Only the right-hand side changed: the cached equation structure,
+    /// solver and null-space basis were reused.
+    Incremental,
+    /// The equation structure changed (or the estimator has no incremental
+    /// form): everything was rebuilt from the retained observations.
+    Full,
+}
+
+/// Lifetime counters of an online estimator's refit behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefitCounts {
+    /// Ingests served by the incremental path.
+    pub incremental: u64,
+    /// Ingests that required a full structural rebuild.
+    pub full: u64,
+    /// Full rebuilds where the incrementally folded null-space basis
+    /// degraded numerically and was recomputed from scratch.
+    pub basis_rebuilds: u64,
+}
+
+/// A streaming estimator: a batch [`Estimator`] that can also fold in new
+/// observation intervals without being re-fit from scratch by the caller.
+pub trait OnlineEstimator: Estimator {
+    /// Ingests a batch of new intervals (a [`PathObservations`] whose
+    /// interval axis is the batch) and refreshes the estimate.
+    fn ingest(&mut self, network: &Network, batch: &PathObservations) -> Result<Refit, TomoError>;
+
+    /// The rolling window of retained observations, once at least one
+    /// interval has been ingested.
+    fn window(&self) -> Option<&ObservationWindow>;
+
+    /// Lifetime refit counters.
+    fn refit_counts(&self) -> RefitCounts;
+
+    /// Restores the lifetime interval counter after a snapshot restore,
+    /// where re-ingesting the retained window would otherwise reset it to
+    /// the window length. No-op before the first ingest.
+    fn restore_total_ingested(&mut self, total: u64);
+
+    /// Total intervals ingested over the estimator's lifetime.
+    fn intervals_ingested(&self) -> u64 {
+        self.window().map_or(0, |w| w.total_ingested())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnlineIndependence
+// ---------------------------------------------------------------------------
+
+/// The cached equation structure of [`OnlineIndependence`]: everything that
+/// only changes when the potentially-congested link set changes.
+#[derive(Clone, Debug)]
+struct Structure {
+    /// The potentially congested links, sorted (the unknown columns).
+    pc_links: Vec<LinkId>,
+    /// Indices (into the path-set list) of the equations with at least one
+    /// unknown.
+    active_sets: Vec<usize>,
+    /// The system matrix: one row per active set, one column per pc link.
+    matrix: Matrix,
+    /// Cached pseudo-solver `(AᵀA + λI)⁻¹Aᵀ`; `None` when even the ridge
+    /// system was singular (then every ingest re-solves from scratch).
+    solver: Option<Matrix>,
+    /// Per-unknown identifiability derived from the null-space basis.
+    identifiable: Vec<bool>,
+    /// Rank of the system matrix (`columns − basis columns`).
+    rank: usize,
+}
+
+/// Incremental, streaming form of the Independence linear-system estimator.
+///
+/// See the module docs for the design; the observable contract is that
+/// [`Estimator::estimate`] always equals (within solver tolerance) what
+/// [`tomo_prob::Independence`] computes on the retained window.
+#[derive(Clone, Debug)]
+pub struct OnlineIndependence {
+    config: IndependenceConfig,
+    capacity: Option<usize>,
+    window: Option<ObservationWindow>,
+    /// All candidate path sets (singles + capped pairs), fixed per network.
+    path_sets: Vec<Vec<PathId>>,
+    /// Per path set: intervals in the window where every member was good.
+    set_all_good: Vec<u64>,
+    /// Per path: intervals in the window where the path was congested.
+    path_congested: Vec<u64>,
+    structure: Option<Structure>,
+    estimate: Option<ProbabilityEstimate>,
+    counts: RefitCounts,
+}
+
+impl Default for OnlineIndependence {
+    fn default() -> Self {
+        Self::new(IndependenceConfig::default(), None)
+    }
+}
+
+impl OnlineIndependence {
+    /// Creates the estimator; `window_capacity` bounds the retained
+    /// intervals (`None` keeps the full history).
+    pub fn new(config: IndependenceConfig, window_capacity: Option<usize>) -> Self {
+        Self {
+            config,
+            capacity: window_capacity,
+            window: None,
+            path_sets: Vec::new(),
+            set_all_good: Vec::new(),
+            path_congested: Vec::new(),
+            structure: None,
+            estimate: None,
+            counts: RefitCounts::default(),
+        }
+    }
+
+    /// The refit counters (also available through the trait).
+    pub fn counts(&self) -> RefitCounts {
+        self.counts
+    }
+
+    /// Maximum absolute deviation of the current per-link probabilities from
+    /// a from-scratch batch fit on the retained window — the correctness
+    /// check the integration tests (and the daemon's self-check) use.
+    pub fn deviation_from_batch(&self, network: &Network) -> Result<f64, TomoError> {
+        let window = self.window.as_ref().ok_or_else(|| TomoError::NotFitted {
+            estimator: self.name().to_string(),
+        })?;
+        let estimate = self.estimate.as_ref().ok_or_else(|| TomoError::NotFitted {
+            estimator: self.name().to_string(),
+        })?;
+        use tomo_prob::ProbabilityComputation;
+        let batch = tomo_prob::Independence::new(self.config.clone())
+            .compute(network, &window.to_observations());
+        let mut worst = 0.0f64;
+        for l in network.link_ids() {
+            let d = (batch.link_congestion_probability(l)
+                - estimate.link_congestion_probability(l))
+            .abs();
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+
+    /// Resets all streaming state (window, caches; the lifetime refit
+    /// counters are kept).
+    pub fn reset(&mut self) {
+        self.window = None;
+        self.path_sets.clear();
+        self.set_all_good.clear();
+        self.path_congested.clear();
+        self.structure = None;
+        self.estimate = None;
+    }
+
+    /// Applies one interval's flags to the counters with weight `+1`
+    /// (ingest) or `-1` (eviction).
+    fn apply_interval(&mut self, flags: &[bool], add: bool) {
+        for (p, &congested) in flags.iter().enumerate() {
+            if congested {
+                if add {
+                    self.path_congested[p] += 1;
+                } else {
+                    self.path_congested[p] -= 1;
+                }
+            }
+        }
+        for (i, set) in self.path_sets.iter().enumerate() {
+            if set.iter().all(|p| !flags[p.index()]) {
+                if add {
+                    self.set_all_good[i] += 1;
+                } else {
+                    self.set_all_good[i] -= 1;
+                }
+            }
+        }
+    }
+
+    /// The clamped empirical `ln P(all paths of the set good)` — identical
+    /// to [`tomo_prob::PathSetEstimator::log_all_good_probability`] on the
+    /// materialized window.
+    fn log_all_good(&self, set_index: usize, num_intervals: usize) -> f64 {
+        let t = num_intervals.max(1) as f64;
+        let floor = (self.config.estimator.min_virtual_observations / t).min(0.5);
+        let fraction = self.set_all_good[set_index] as f64 / t;
+        fraction.clamp(floor, 1.0).ln()
+    }
+
+    /// The right-hand-side vector over the active equations.
+    fn rhs(&self, structure: &Structure, num_intervals: usize) -> Vector {
+        Vector::from_iter(
+            structure
+                .active_sets
+                .iter()
+                .map(|&i| self.log_all_good(i, num_intervals)),
+        )
+    }
+
+    /// Rebuilds the equation structure after a potentially-congested-set
+    /// change, folding the null-space basis row-by-row through Algorithm 2.
+    fn rebuild_structure(&mut self, network: &Network) {
+        let window = self.window.as_ref().expect("rebuild needs a window");
+        let observations = window.to_observations();
+        let pc_links = potentially_congested_links(network, &observations);
+        if pc_links.is_empty() {
+            self.structure = Some(Structure {
+                pc_links,
+                active_sets: Vec::new(),
+                matrix: Matrix::zeros(0, 0),
+                solver: None,
+                identifiable: Vec::new(),
+                rank: 0,
+            });
+            return;
+        }
+        let col_of = |l: LinkId| pc_links.binary_search(&l).ok();
+
+        let mut active_sets = Vec::new();
+        let mut matrix = Matrix::zeros(0, pc_links.len());
+        // Start from the null space of the empty system (the identity) and
+        // fold each equation row in with the incremental update of
+        // Algorithm 2, exactly as the paper's path selection does.
+        let mut basis = Matrix::identity(pc_links.len());
+        for (i, set) in self.path_sets.iter().enumerate() {
+            let mut row = vec![0.0; pc_links.len()];
+            let mut nonzero = false;
+            for l in network.links_covered(set.iter()) {
+                if let Some(c) = col_of(l) {
+                    row[c] = 1.0;
+                    nonzero = true;
+                }
+            }
+            if !nonzero {
+                continue;
+            }
+            basis = nullspace_update(&basis, &row).into_basis();
+            matrix.push_row(&row);
+            active_sets.push(i);
+        }
+
+        // Fallback when the incrementally folded basis degrades: it must
+        // still annihilate the assembled matrix.
+        if basis.cols() > 0 && matrix.matmul(&basis).max_abs() > 1e-6 {
+            basis = tomo_linalg::nullspace(&matrix);
+            self.counts.basis_rebuilds += 1;
+        }
+        let identifiable: Vec<bool> = (0..pc_links.len())
+            .map(|i| (0..basis.cols()).all(|j| basis[(i, j)].abs() <= 1e-7))
+            .collect();
+        let rank = pc_links.len() - basis.cols();
+
+        // Cache the ridge pseudo-solver for the incremental path.
+        let n = pc_links.len();
+        let at = matrix.transpose();
+        let mut ata = at.matmul(&matrix);
+        for i in 0..n {
+            ata[(i, i)] += self.config.ridge;
+        }
+        let solver = solve_multi(&ata, &at);
+
+        self.structure = Some(Structure {
+            pc_links,
+            active_sets,
+            matrix,
+            solver,
+            identifiable,
+            rank,
+        });
+    }
+
+    /// Recomputes the published estimate from the current structure and
+    /// counters. `solved` carries the solution vector when the caller
+    /// already has one; otherwise the cached solver (or a full least-squares
+    /// solve) produces it.
+    fn refresh_estimate(&mut self, network: &Network, solved: Option<Vector>) {
+        let window = self.window.as_ref().expect("refresh needs a window");
+        let num_intervals = window.len();
+        let structure = self.structure.as_ref().expect("refresh needs a structure");
+        let mut estimate = ProbabilityEstimate::new(self.name(), network.num_links());
+        estimate.independence_fallback = true;
+
+        // Links that are observed but not potentially congested are known
+        // good (exactly as the batch algorithm reports them).
+        let pc: std::collections::BTreeSet<LinkId> = structure.pc_links.iter().copied().collect();
+        for l in network.link_ids() {
+            if !pc.contains(&l) && !network.paths_through_link(l).is_empty() {
+                estimate.set_link(l, 0.0, true);
+            }
+        }
+
+        if structure.pc_links.is_empty() {
+            estimate.diagnostics = EstimateDiagnostics {
+                total_targets: 0,
+                ..EstimateDiagnostics::default()
+            };
+            self.estimate = Some(estimate);
+            return;
+        }
+
+        let b = self.rhs(structure, num_intervals);
+        let x = match solved {
+            Some(x) => x,
+            None => match &structure.solver {
+                Some(p) => p.matvec(&b),
+                None => {
+                    let opts = LstsqOptions {
+                        ridge: self.config.ridge,
+                        compute_identifiability: false,
+                        ..LstsqOptions::default()
+                    };
+                    least_squares(&structure.matrix, &b, &opts).x
+                }
+            },
+        };
+
+        for (c, &l) in structure.pc_links.iter().enumerate() {
+            let good = x[c].exp().clamp(0.0, 1.0);
+            estimate.set_link(l, 1.0 - good, structure.identifiable[c]);
+        }
+        estimate.diagnostics = EstimateDiagnostics {
+            num_equations: structure.matrix.rows(),
+            num_unknowns: structure.pc_links.len(),
+            rank: structure.rank,
+            identifiable_targets: structure.identifiable.iter().filter(|&&b| b).count(),
+            total_targets: structure.pc_links.len(),
+        };
+        self.estimate = Some(estimate);
+    }
+}
+
+impl Estimator for OnlineIndependence {
+    fn name(&self) -> &'static str {
+        "Online-Independence"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::independence_step()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PROBABILITY
+    }
+
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError> {
+        self.reset();
+        self.ingest(network, observations)?;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate.as_ref()
+    }
+}
+
+impl OnlineEstimator for OnlineIndependence {
+    fn ingest(&mut self, network: &Network, batch: &PathObservations) -> Result<Refit, TomoError> {
+        if batch.num_paths() != network.num_paths() {
+            return Err(TomoError::InvalidConfig(format!(
+                "batch has {} paths but the network has {}",
+                batch.num_paths(),
+                network.num_paths()
+            )));
+        }
+        if self.window.is_none() {
+            self.window = Some(ObservationWindow::with_capacity(
+                network.num_paths(),
+                self.capacity,
+            ));
+            self.path_sets = baseline_path_sets(network, batch, self.config.max_pair_equations);
+            self.set_all_good = vec![0; self.path_sets.len()];
+            self.path_congested = vec![0; network.num_paths()];
+        }
+        if self
+            .window
+            .as_ref()
+            .expect("window just ensured")
+            .num_paths()
+            != network.num_paths()
+        {
+            return Err(TomoError::InvalidConfig(
+                "network changed shape between ingests; create a fresh estimator".into(),
+            ));
+        }
+
+        // Fold the batch into the window and the counters, remembering which
+        // paths were congested before so a structure change is detectable.
+        let was_congested: Vec<bool> = self.path_congested.iter().map(|&c| c > 0).collect();
+        for t in 0..batch.num_intervals() {
+            let flags: Vec<bool> = (0..batch.num_paths())
+                .map(|p| batch.is_congested(PathId(p), t))
+                .collect();
+            let evicted = self
+                .window
+                .as_mut()
+                .expect("window exists")
+                .push_flags(flags.clone());
+            self.apply_interval(&flags, true);
+            if let Some(old) = evicted {
+                self.apply_interval(&old, false);
+            }
+        }
+        let now_congested: Vec<bool> = self.path_congested.iter().map(|&c| c > 0).collect();
+
+        let structural_change = self.structure.is_none() || was_congested != now_congested;
+        if structural_change {
+            self.rebuild_structure(network);
+            // Solve exactly as the batch algorithm does at rebuild points.
+            let structure = self.structure.as_ref().expect("just rebuilt");
+            let solved = if structure.pc_links.is_empty() {
+                None
+            } else {
+                let b = self.rhs(structure, self.window.as_ref().expect("window").len());
+                let opts = LstsqOptions {
+                    ridge: self.config.ridge,
+                    compute_identifiability: false,
+                    ..LstsqOptions::default()
+                };
+                Some(least_squares(&structure.matrix, &b, &opts).x)
+            };
+            self.refresh_estimate(network, solved);
+            self.counts.full += 1;
+            Ok(Refit::Full)
+        } else {
+            self.refresh_estimate(network, None);
+            self.counts.incremental += 1;
+            Ok(Refit::Incremental)
+        }
+    }
+
+    fn window(&self) -> Option<&ObservationWindow> {
+        self.window.as_ref()
+    }
+
+    fn refit_counts(&self) -> RefitCounts {
+        self.counts
+    }
+
+    fn restore_total_ingested(&mut self, total: u64) {
+        if let Some(window) = self.window.as_mut() {
+            window.restore_total_ingested(total);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BufferedOnline
+// ---------------------------------------------------------------------------
+
+/// Gives any registry estimator an online form by buffering a rolling
+/// window and re-running the batch fit on every ingest.
+pub struct BufferedOnline {
+    inner: Box<dyn Estimator + Send>,
+    capacity: Option<usize>,
+    window: Option<ObservationWindow>,
+    counts: RefitCounts,
+}
+
+impl BufferedOnline {
+    /// Wraps a batch estimator; `window_capacity` bounds the buffered
+    /// intervals (`None` keeps everything).
+    pub fn new(inner: Box<dyn Estimator + Send>, window_capacity: Option<usize>) -> Self {
+        Self {
+            inner,
+            capacity: window_capacity,
+            window: None,
+            counts: RefitCounts::default(),
+        }
+    }
+}
+
+impl Estimator for BufferedOnline {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        self.inner.assumptions()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError> {
+        self.window = None;
+        self.ingest(network, observations)?;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.inner.estimate()
+    }
+
+    fn infer_interval(
+        &self,
+        network: &Network,
+        congested_paths: &[PathId],
+    ) -> Result<Vec<LinkId>, TomoError> {
+        self.inner.infer_interval(network, congested_paths)
+    }
+}
+
+impl OnlineEstimator for BufferedOnline {
+    fn ingest(&mut self, network: &Network, batch: &PathObservations) -> Result<Refit, TomoError> {
+        if batch.num_paths() != network.num_paths() {
+            return Err(TomoError::InvalidConfig(format!(
+                "batch has {} paths but the network has {}",
+                batch.num_paths(),
+                network.num_paths()
+            )));
+        }
+        let window = self.window.get_or_insert_with(|| {
+            ObservationWindow::with_capacity(network.num_paths(), self.capacity)
+        });
+        for t in 0..batch.num_intervals() {
+            let flags: Vec<bool> = (0..batch.num_paths())
+                .map(|p| batch.is_congested(PathId(p), t))
+                .collect();
+            window.push_flags(flags);
+        }
+        let observations = window.to_observations();
+        self.inner.fit(network, &observations)?;
+        self.counts.full += 1;
+        Ok(Refit::Full)
+    }
+
+    fn window(&self) -> Option<&ObservationWindow> {
+        self.window.as_ref()
+    }
+
+    fn refit_counts(&self) -> RefitCounts {
+        self.counts
+    }
+
+    fn restore_total_ingested(&mut self, total: u64) {
+        if let Some(window) = self.window.as_mut() {
+            window.restore_total_ingested(total);
+        }
+    }
+}
+
+/// Constructs an online estimator by registry name.
+///
+/// `independence` resolves to the incremental [`OnlineIndependence`]; every
+/// other registry name is wrapped in [`BufferedOnline`] (correct, but each
+/// ingest is a full refit).
+pub fn online_by_name(
+    name: &str,
+    options: &EstimatorOptions,
+    window_capacity: Option<usize>,
+) -> Result<Box<dyn OnlineEstimator + Send>, TomoError> {
+    let canonical = crate::registry::canonical(name);
+    if canonical == "independence" || canonical == "online-independence" {
+        return Ok(Box::new(OnlineIndependence::new(
+            IndependenceConfig::default(),
+            window_capacity,
+        )));
+    }
+    let inner = crate::registry::with_options(name, options)?;
+    Ok(Box::new(BufferedOnline::new(inner, window_capacity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy;
+    use tomo_prob::{Independence, ProbabilityComputation};
+
+    /// Splits observations into consecutive batches of `chunk` intervals.
+    fn batches(obs: &PathObservations, chunk: usize) -> Vec<PathObservations> {
+        let mut out = Vec::new();
+        let mut t = 0;
+        while t < obs.num_intervals() {
+            let len = chunk.min(obs.num_intervals() - t);
+            let mut b = PathObservations::new(obs.num_paths(), len);
+            for dt in 0..len {
+                for p in 0..obs.num_paths() {
+                    b.set_congested(PathId(p), dt, obs.is_congested(PathId(p), t + dt));
+                }
+            }
+            out.push(b);
+            t += len;
+        }
+        out
+    }
+
+    /// Deterministic observations on the Fig. 1 toy topology: e1 congested
+    /// 20% of the time, e3 25% on a disjoint schedule.
+    fn toy_observations(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let e1_bad = ti % 5 == 0;
+            let e3_bad = ti % 4 == 1;
+            obs.set_congested(PathId(0), ti, e1_bad);
+            obs.set_congested(PathId(1), ti, e1_bad || e3_bad);
+            obs.set_congested(PathId(2), ti, e3_bad);
+        }
+        obs
+    }
+
+    #[test]
+    fn incremental_ingest_matches_batch_fit() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(200);
+        let mut online = OnlineIndependence::default();
+        for batch in batches(&obs, 7) {
+            online.ingest(&net, &batch).unwrap();
+        }
+        let batch_est = Independence::default().compute(&net, &obs);
+        let online_est = online.estimate().expect("fitted");
+        for l in net.link_ids() {
+            let (a, b) = (
+                batch_est.link_congestion_probability(l),
+                online_est.link_congestion_probability(l),
+            );
+            assert!((a - b).abs() < 1e-5, "link {l}: batch {a} vs online {b}");
+            assert_eq!(
+                batch_est.link_is_identifiable(l),
+                online_est.link_is_identifiable(l),
+                "identifiability of {l}"
+            );
+        }
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn steady_state_ingests_are_incremental() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(300);
+        let mut online = OnlineIndependence::default();
+        let mut refits = Vec::new();
+        for batch in batches(&obs, 20) {
+            refits.push(online.ingest(&net, &batch).unwrap());
+        }
+        // Every path (and hence the pc set) has shown congestion within the
+        // first batch, so everything after it rides the incremental path.
+        assert_eq!(refits[0], Refit::Full);
+        assert!(
+            refits[1..].iter().all(|r| *r == Refit::Incremental),
+            "{refits:?}"
+        );
+        let counts = online.refit_counts();
+        assert_eq!(counts.full, 1);
+        assert_eq!(counts.incremental, refits.len() as u64 - 1);
+        assert_eq!(online.intervals_ingested(), 300);
+    }
+
+    #[test]
+    fn first_congestion_of_a_path_forces_a_full_refit() {
+        let net = toy::fig1_case1();
+        let mut online = OnlineIndependence::default();
+        // First batch: only p1 (= e1/e2) congested.
+        let mut b1 = PathObservations::new(3, 10);
+        b1.set_congested(PathId(0), 2, true);
+        assert_eq!(online.ingest(&net, &b1).unwrap(), Refit::Full);
+        // Second batch: same structure -> incremental.
+        assert_eq!(online.ingest(&net, &b1).unwrap(), Refit::Incremental);
+        // Third batch: p3 congests for the first time -> structure changes.
+        let mut b3 = PathObservations::new(3, 10);
+        b3.set_congested(PathId(2), 0, true);
+        assert_eq!(online.ingest(&net, &b3).unwrap(), Refit::Full);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bounded_window_tracks_the_batch_fit_on_retained_intervals() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(240);
+        let mut online = OnlineIndependence::new(IndependenceConfig::default(), Some(60));
+        for batch in batches(&obs, 12) {
+            online.ingest(&net, &batch).unwrap();
+        }
+        assert_eq!(online.window().unwrap().len(), 60);
+        assert!(online.window().unwrap().evicted() > 0);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn all_good_stream_reports_known_good_links() {
+        let net = toy::fig1_case1();
+        let mut online = OnlineIndependence::default();
+        let refit = online.ingest(&net, &PathObservations::new(3, 25)).unwrap();
+        assert_eq!(refit, Refit::Full);
+        let est = online.estimate().unwrap();
+        for l in net.link_ids() {
+            assert_eq!(est.link_congestion_probability(l), 0.0);
+            assert!(est.link_is_identifiable(l));
+        }
+    }
+
+    #[test]
+    fn fit_resets_and_matches_a_single_ingest() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(100);
+        let mut online = OnlineIndependence::default();
+        // Pollute with unrelated data first; fit must discard it.
+        online.ingest(&net, &toy_observations(33)).unwrap();
+        online.fit(&net, &obs).unwrap();
+        assert_eq!(online.window().unwrap().len(), 100);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn mismatched_batch_shape_is_rejected() {
+        let net = toy::fig1_case1();
+        let mut online = OnlineIndependence::default();
+        let err = online
+            .ingest(&net, &PathObservations::new(5, 4))
+            .unwrap_err();
+        assert!(matches!(err, TomoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn buffered_online_wraps_any_registry_estimator() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(80);
+        let mut online =
+            online_by_name("correlation-complete", &EstimatorOptions::default(), None).unwrap();
+        for batch in batches(&obs, 40) {
+            assert_eq!(online.ingest(&net, &batch).unwrap(), Refit::Full);
+        }
+        assert_eq!(online.intervals_ingested(), 80);
+        let est = online.estimate().expect("probability capability");
+        // Must equal the straight batch fit on the concatenation.
+        let mut batch_est = crate::registry::by_name("correlation-complete").unwrap();
+        batch_est.fit(&net, &obs).unwrap();
+        let batch_est = batch_est.estimate().unwrap();
+        for l in net.link_ids() {
+            assert!(
+                (est.link_congestion_probability(l) - batch_est.link_congestion_probability(l))
+                    .abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn online_registry_resolves_the_incremental_path_for_independence() {
+        let online = online_by_name("independence", &EstimatorOptions::default(), Some(50));
+        assert_eq!(online.unwrap().name(), "Online-Independence");
+        assert!(online_by_name("no-such", &EstimatorOptions::default(), None).is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //! `clink` (Bayesian-Independence, the CLINK inference algorithm — its
 //! probability step is the separate `independence` entry) resolve too.
 
+use serde::{Deserialize, Serialize};
 use tomo_inference::{BayesianCorrelation, BayesianIndependence, Sparsity};
 use tomo_prob::{
     CorrelationComplete, CorrelationCompleteConfig, CorrelationHeuristic, Independence,
@@ -42,8 +43,9 @@ pub fn names() -> Vec<&'static str> {
 
 /// Options applied when constructing estimators by name. The defaults match
 /// each algorithm's own defaults; the fields mirror the paper's §4 resource
-/// knobs for the correlation-aware algorithms.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// knobs for the correlation-aware algorithms. Serializable so service
+/// configurations (e.g. `tomo-serve` snapshots) can embed it directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EstimatorOptions {
     /// Restrict multi-link correlation-subset targets to sets of links
     /// jointly traversed by at least one path (Correlation-complete and
@@ -72,13 +74,14 @@ impl EstimatorOptions {
     }
 }
 
-/// Canonicalizes a user-supplied estimator name.
-fn canonical(name: &str) -> String {
+/// Canonicalizes a user-supplied estimator name (shared with the online
+/// registry in [`crate::online`], so the matching rules cannot drift).
+pub(crate) fn canonical(name: &str) -> String {
     name.trim().to_ascii_lowercase().replace([' ', '_'], "-")
 }
 
 /// Constructs an estimator by name with default options.
-pub fn by_name(name: &str) -> Result<Box<dyn Estimator>, TomoError> {
+pub fn by_name(name: &str) -> Result<Box<dyn Estimator + Send>, TomoError> {
     with_options(name, &EstimatorOptions::default())
 }
 
@@ -86,9 +89,9 @@ pub fn by_name(name: &str) -> Result<Box<dyn Estimator>, TomoError> {
 pub fn with_options(
     name: &str,
     options: &EstimatorOptions,
-) -> Result<Box<dyn Estimator>, TomoError> {
+) -> Result<Box<dyn Estimator + Send>, TomoError> {
     let key = canonical(name);
-    let est: Box<dyn Estimator> = match key.as_str() {
+    let est: Box<dyn Estimator + Send> = match key.as_str() {
         "sparsity" | "tomo" => Box::new(InferenceEstimator::new(Sparsity::new())),
         "bayesian-independence" | "clink" => {
             Box::new(InferenceEstimator::new(BayesianIndependence::new()))
@@ -111,12 +114,12 @@ pub fn with_options(
 }
 
 /// Constructs all six estimators in canonical (Table-2) order.
-pub fn all() -> Vec<Box<dyn Estimator>> {
+pub fn all() -> Vec<Box<dyn Estimator + Send>> {
     all_with_options(&EstimatorOptions::default())
 }
 
 /// Constructs all six estimators in canonical order with the given options.
-pub fn all_with_options(options: &EstimatorOptions) -> Vec<Box<dyn Estimator>> {
+pub fn all_with_options(options: &EstimatorOptions) -> Vec<Box<dyn Estimator + Send>> {
     NAMES
         .iter()
         .map(|n| with_options(n, options).expect("canonical names resolve"))

@@ -108,6 +108,26 @@ pub fn ci_grid(base_seed: u64) -> SweepGrid {
     replicated(grid, 6)
 }
 
+/// The streaming-workload grid: the dynamic scenarios the `tomo-serve`
+/// daemon is built for (drifting loss probabilities, churning correlation
+/// structure), run over both tiny topology families with the estimators
+/// that have online forms. Batch scores on these grids are the reference
+/// the daemon's continuously updated estimates chase.
+pub fn stream_grid(base_seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::new()
+        .base_seed(base_seed)
+        .topology(TopologySpec::Toy)
+        .topology(TopologySpec::Brite(BriteConfig::tiny(base_seed)))
+        .interval_count(120);
+    for kind in ScenarioKind::streaming() {
+        grid = grid.scenario(kind);
+    }
+    for name in ["sparsity", "independence", "correlation-complete"] {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, REPLICATIONS)
+}
+
 /// A minutes-long-even-in-debug demo grid: the toy topology, two scenarios,
 /// three estimators, two replications.
 pub fn demo_grid(base_seed: u64) -> SweepGrid {
@@ -124,13 +144,15 @@ pub fn demo_grid(base_seed: u64) -> SweepGrid {
         .seed_axis(1)
 }
 
-/// Resolves a named grid (`fig3` / `fig4` / `table2` / `ci` / `demo`).
+/// Resolves a named grid (`fig3` / `fig4` / `table2` / `ci` / `stream` /
+/// `demo`).
 pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<SweepGrid> {
     match name.to_ascii_lowercase().as_str() {
         "fig3" | "figure3" => Some(figure3_grid(scale, base_seed)),
         "fig4" | "figure4" => Some(figure4_grid(scale, base_seed)),
         "table2" => Some(table2_grid(scale, base_seed)),
         "ci" => Some(ci_grid(base_seed)),
+        "stream" | "streaming" => Some(stream_grid(base_seed)),
         "demo" => Some(demo_grid(base_seed)),
         _ => None,
     }
@@ -163,9 +185,36 @@ mod tests {
 
     #[test]
     fn named_lookup_resolves_all_names() {
-        for name in ["fig3", "FIG4", "table2", "ci", "demo"] {
+        for name in ["fig3", "FIG4", "table2", "ci", "stream", "demo"] {
             assert!(by_name(name, ExperimentScale::Small, 1).is_some(), "{name}");
         }
         assert!(by_name("nope", ExperimentScale::Small, 1).is_none());
+    }
+
+    #[test]
+    fn stream_grid_covers_the_dynamic_scenarios_and_runs() {
+        let grid = stream_grid(5);
+        grid.validate().unwrap();
+        assert_eq!(grid.num_tasks(), 2 * 2 * 3 * 3);
+        use tomo_sim::ScenarioKind;
+        assert!(grid.scenarios.contains(&ScenarioKind::DriftingLoss));
+        assert!(grid.scenarios.contains(&ScenarioKind::CorrelationChurn));
+        // A trimmed instance actually executes through the sweep runner.
+        let mut small = grid;
+        small.topologies.truncate(1);
+        small.seeds.truncate(1);
+        small.interval_counts = vec![40];
+        let report = tomo_sweep::SweepRunner::new()
+            .threads(2)
+            .run(&small)
+            .unwrap();
+        assert_eq!(report.records.len(), 2 * 3);
+        for record in &report.records {
+            assert!(
+                record.scenario == "Drifting Loss" || record.scenario == "Correlation Churn",
+                "{}",
+                record.scenario
+            );
+        }
     }
 }

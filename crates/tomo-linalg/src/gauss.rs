@@ -145,6 +145,46 @@ pub fn solve_square(a: &Matrix, b: &Vector) -> Option<Vector> {
     Some(Vector::from_iter((0..n).map(|i| r.rref[(i, n)])))
 }
 
+/// Solves the square system `a * X = B` for a whole matrix of right-hand
+/// sides in one elimination pass.
+///
+/// Equivalent to calling [`solve_square`] once per column of `b`, but the
+/// O(n³) elimination is paid once instead of once per column — this is what
+/// makes caching `(AᵀA + λI)⁻¹Aᵀ` affordable for the online estimators,
+/// which re-apply the cached solver to every new observation batch.
+///
+/// Returns `None` if `a` is not square, the row counts do not match, or `a`
+/// is (numerically) singular.
+pub fn solve_multi(a: &Matrix, b: &Matrix) -> Option<Matrix> {
+    let (rows, cols) = a.shape();
+    if rows != cols || b.rows() != rows {
+        return None;
+    }
+    let n = rows;
+    let k = b.cols();
+    // Build the augmented matrix [a | B] and reduce it.
+    let mut aug = Matrix::zeros(n, n + k);
+    for i in 0..n {
+        for j in 0..n {
+            aug[(i, j)] = a[(i, j)];
+        }
+        for j in 0..k {
+            aug[(i, n + j)] = b[(i, j)];
+        }
+    }
+    let r = rref(&aug);
+    if r.rank < n
+        || r.pivot_cols
+            .iter()
+            .take(n)
+            .enumerate()
+            .any(|(i, &c)| c != i)
+    {
+        return None;
+    }
+    Some(Matrix::from_fn(n, k, |i, j| r.rref[(i, n + j)]))
+}
+
 /// Checks whether appending `row` to the rows of `a` increases its rank.
 ///
 /// This is the test used when deciding whether a new path-set equation is
@@ -223,6 +263,26 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
         let b = Vector::from_slice(&[1.0]);
         assert!(solve_square(&a, &b).is_none());
+    }
+
+    #[test]
+    fn solve_multi_matches_per_column_solves() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 1.0, 0.0], vec![1.0, -1.0, 3.0]]);
+        let x = solve_multi(&a, &b).expect("system is regular");
+        assert_eq!(x.shape(), (2, 3));
+        for j in 0..3 {
+            let xj = solve_square(&a, &b.col(j)).unwrap();
+            assert!(x.col(j).approx_eq(&xj, 1e-9), "column {j}");
+        }
+    }
+
+    #[test]
+    fn solve_multi_detects_singular_and_shape_mismatch() {
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve_multi(&singular, &Matrix::identity(2)).is_none());
+        let a = Matrix::identity(2);
+        assert!(solve_multi(&a, &Matrix::zeros(3, 1)).is_none());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod nullspace_update;
 pub mod qr;
 pub mod vector;
 
-pub use gauss::{rank, rref, solve_square, RrefResult};
+pub use gauss::{rank, rref, solve_multi, solve_square, RrefResult};
 pub use lstsq::{least_squares, LstsqOptions, LstsqSolution};
 pub use matrix::Matrix;
 pub use nullspace::nullspace;

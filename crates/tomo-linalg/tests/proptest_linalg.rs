@@ -95,6 +95,64 @@ proptest! {
     }
 
     #[test]
+    fn row_sequence_fold_spans_batch_nullspace(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0f64)], 6),
+            1..=10,
+        ),
+    ) {
+        // Fold a whole random row sequence through Algorithm 2, starting
+        // from the null space of the empty system (the identity), exactly
+        // as the online estimator rebuilds its basis. After every step the
+        // incrementally maintained basis must describe the same null space
+        // as a from-scratch recompute on the accumulated matrix.
+        let n = 6;
+        let mut basis = Matrix::identity(n);
+        let mut acc = Matrix::zeros(0, n);
+        for row in &rows {
+            let before = basis.cols();
+            let increases = gauss::row_increases_rank(&acc, row);
+            let upd = nullspace_update(&basis, row);
+            // Algorithm 2 reduces the basis exactly when the row is a new,
+            // linearly independent equation.
+            prop_assert_eq!(upd.reduced(), increases);
+            basis = upd.into_basis();
+            acc.push_row(row);
+            prop_assert_eq!(basis.cols(), if increases { before - 1 } else { before });
+            // Same dimension as the batch null space...
+            prop_assert_eq!(basis.cols(), nullspace(&acc).cols());
+            if basis.cols() > 0 {
+                // ...annihilated by the accumulated matrix...
+                prop_assert!(acc.matmul(&basis).max_abs() < 1e-7);
+                // ...and of full column rank, so it *spans* the null space
+                // rather than collapsing into a subspace of it.
+                prop_assert_eq!(gauss::rank(&basis.transpose()), basis.cols());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_agrees_with_per_column_solves(
+        data in proptest::collection::vec(-4.0f64..4.0, 16),
+        bdata in proptest::collection::vec(-4.0f64..4.0, 4 * 3),
+    ) {
+        let a = Matrix::from_vec(4, 4, data);
+        let b = Matrix::from_vec(4, 3, bdata);
+        let multi = gauss::solve_multi(&a, &b);
+        let singles: Vec<Option<Vector>> =
+            (0..3).map(|j| gauss::solve_square(&a, &b.col(j))).collect();
+        match multi {
+            Some(x) => {
+                for (j, single) in singles.iter().enumerate() {
+                    let single = single.as_ref().expect("singular detection must agree");
+                    prop_assert!(x.col(j).approx_eq(single, 1e-6));
+                }
+            }
+            None => prop_assert!(singles.iter().any(|s| s.is_none())),
+        }
+    }
+
+    #[test]
     fn matmul_is_associative(
         a in small_matrix(4, 3),
         bdata in proptest::collection::vec(-3.0f64..3.0, 3 * 4),

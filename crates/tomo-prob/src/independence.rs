@@ -76,7 +76,11 @@ impl Independence {
 /// good, plus up to `max_pairs` pairs of intersecting paths. The pairs are
 /// chosen deterministically by scanning links and pairing consecutive paths
 /// that share them, which spreads the pairs over the whole topology.
-pub(crate) fn baseline_path_sets(
+///
+/// Public because the online (streaming) form of the Independence estimator
+/// in `tomo-core` builds the same equation structure and keeps it cached
+/// between observation batches.
+pub fn baseline_path_sets(
     network: &Network,
     observations: &PathObservations,
     max_pairs: usize,

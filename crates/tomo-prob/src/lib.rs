@@ -40,7 +40,7 @@ pub use assumptions::AlgorithmAssumptions;
 pub use correlation_complete::{CorrelationComplete, CorrelationCompleteConfig};
 pub use correlation_heuristic::{CorrelationHeuristic, CorrelationHeuristicConfig};
 pub use estimator::{EstimatorConfig, PathSetEstimator};
-pub use independence::{Independence, IndependenceConfig};
+pub use independence::{baseline_path_sets, Independence, IndependenceConfig};
 pub use path_selection::{select_path_sets, PathSelectionConfig, PathSelectionOutcome};
 pub use result::ProbabilityEstimate;
 pub use subsets::potentially_congested_subsets;

@@ -1,0 +1,253 @@
+//! Observation-stream recorder and replay client for the daemon.
+//!
+//! ```text
+//! probe-client gen    --out obs.jsonl [--topology toy] [--seed N]
+//!                     [--scenario drifting-loss] [--intervals 200]
+//!                     [--probes N]
+//! probe-client replay --in obs.jsonl [--addr 127.0.0.1:7070] [--batch 10]
+//!                     [--rate 0] [--query-every 50]
+//!                     [--check-batch TOL --estimator independence
+//!                      --topology toy --seed N] [--shutdown]
+//! ```
+//!
+//! `gen` simulates a congestion scenario and records the per-interval
+//! congested-path sets as JSON lines. `replay` streams a recorded file into
+//! a running daemon at a configurable rate (intervals/second; 0 = as fast
+//! as possible), printing the end-to-end estimate drift (L∞ distance
+//! between consecutive queries). With `--check-batch`, the final daemon
+//! estimate is compared against an offline batch fit of the same estimator
+//! on the full stream and the exit code reports the verdict — the daemon's
+//! window must be unbounded (or at least the stream length) for the
+//! comparison to be meaningful.
+
+use std::process::exit;
+
+use tomo_core::{estimators, TomoError};
+use tomo_graph::LinkId;
+use tomo_serve::protocol::Request;
+use tomo_serve::stream::{
+    decode_stream, encode_stream, record_scenario, stream_to_observations, ObservedInterval,
+};
+use tomo_serve::Client;
+use tomo_sim::{MeasurementMode, ScenarioConfig, ScenarioKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: probe-client gen    --out PATH [--topology NAME] [--seed N]\n\
+         \x20                      [--scenario NAME] [--intervals N] [--probes N]\n\
+         \x20      probe-client replay --in PATH [--addr HOST:PORT] [--batch N]\n\
+         \x20                      [--rate PER_SEC] [--query-every N] [--shutdown]\n\
+         \x20                      [--check-batch TOL --estimator NAME --topology NAME --seed N]\n\
+         scenarios: random, concentrated, no-independence, no-stationarity,\n\
+         \x20           sparse, drifting-loss, correlation-churn"
+    );
+    exit(2);
+}
+
+fn parse_scenario(name: &str) -> Option<ScenarioKind> {
+    Some(match name.trim().to_ascii_lowercase().as_str() {
+        "random" | "random-congestion" => ScenarioKind::RandomCongestion,
+        "concentrated" | "concentrated-congestion" => ScenarioKind::ConcentratedCongestion,
+        "no-independence" => ScenarioKind::NoIndependence,
+        "no-stationarity" => ScenarioKind::NoStationarity,
+        "sparse" | "sparse-topology" => ScenarioKind::SparseTopology,
+        "drifting-loss" | "drift" => ScenarioKind::DriftingLoss,
+        "correlation-churn" | "churn" => ScenarioKind::CorrelationChurn,
+        _ => return None,
+    })
+}
+
+#[derive(Default)]
+struct Options {
+    addr: String,
+    input: Option<String>,
+    out: Option<String>,
+    topology: String,
+    seed: u64,
+    scenario: String,
+    intervals: usize,
+    probes: Option<usize>,
+    batch: usize,
+    rate: f64,
+    query_every: usize,
+    check_batch: Option<f64>,
+    estimator: String,
+    shutdown: bool,
+}
+
+fn parse_options(argv: &[String]) -> Options {
+    let mut o = Options {
+        addr: "127.0.0.1:7070".into(),
+        topology: "toy".into(),
+        scenario: "drifting-loss".into(),
+        intervals: 200,
+        batch: 10,
+        rate: 0.0,
+        query_every: 50,
+        estimator: "independence".into(),
+        ..Options::default()
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => o.addr = value(&mut i),
+            "--in" => o.input = Some(value(&mut i)),
+            "--out" => o.out = Some(value(&mut i)),
+            "--topology" => o.topology = value(&mut i),
+            "--seed" => o.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scenario" => o.scenario = value(&mut i),
+            "--intervals" => o.intervals = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--probes" => o.probes = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--batch" => o.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => o.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--query-every" => o.query_every = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--check-batch" => {
+                o.check_batch = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--estimator" => o.estimator = value(&mut i),
+            "--shutdown" => o.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    o
+}
+
+fn gen(o: &Options) {
+    let Some(out) = &o.out else {
+        eprintln!("gen needs --out PATH");
+        usage();
+    };
+    let network = tomo_serve::resolve_topology(&o.topology, o.seed).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    let Some(kind) = parse_scenario(&o.scenario) else {
+        eprintln!("unknown scenario `{}`", o.scenario);
+        usage();
+    };
+    let measurement = match o.probes {
+        Some(n) if n > 0 => MeasurementMode::PacketProbes {
+            packets_per_interval: n,
+        },
+        _ => MeasurementMode::Ideal,
+    };
+    let stream = record_scenario(
+        &network,
+        ScenarioConfig::for_kind(kind),
+        o.intervals.max(1),
+        o.seed,
+        measurement,
+    );
+    std::fs::write(out, encode_stream(&stream)).unwrap_or_else(|e| {
+        eprintln!("cannot write `{out}`: {e}");
+        exit(1);
+    });
+    let congested = stream.iter().filter(|i| !i.congested.is_empty()).count();
+    eprintln!(
+        "Recorded {} intervals ({} with congestion) on {} paths to {out}",
+        stream.len(),
+        congested,
+        network.num_paths()
+    );
+}
+
+fn linf(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn replay(o: &Options) -> Result<(), TomoError> {
+    let Some(input) = &o.input else {
+        eprintln!("replay needs --in PATH");
+        usage();
+    };
+    let text = std::fs::read_to_string(input)?;
+    let stream: Vec<ObservedInterval> = decode_stream(&text)?;
+    if stream.is_empty() {
+        return Err(TomoError::InvalidConfig(format!("`{input}` is empty")));
+    }
+    let mut client = Client::connect(&o.addr)?;
+    let batch_size = o.batch.max(1);
+    let mut previous: Option<Vec<f64>> = None;
+    let mut sent = 0usize;
+    let mut since_query = 0usize;
+    for chunk in stream.chunks(batch_size) {
+        let (refit, total) =
+            client.observe_batch(chunk.iter().map(|i| i.congested.clone()).collect())?;
+        sent += chunk.len();
+        since_query += chunk.len();
+        if since_query >= o.query_every.max(1) || sent == stream.len() {
+            since_query = 0;
+            let probabilities = client.query()?;
+            let drift = previous.as_ref().map(|prev| linf(prev, &probabilities));
+            match drift {
+                Some(d) => println!("intervals={total} refit={refit:?} drift={d:.6}"),
+                None => println!("intervals={total} refit={refit:?} drift=n/a"),
+            }
+            previous = Some(probabilities);
+        }
+        if o.rate > 0.0 {
+            let secs = chunk.len() as f64 / o.rate;
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        }
+    }
+    let final_probabilities = client.query()?;
+
+    if let Some(tolerance) = o.check_batch {
+        let network = tomo_serve::resolve_topology(&o.topology, o.seed)?;
+        let observations = stream_to_observations(&stream, network.num_paths())?;
+        let mut offline = estimators::by_name(&o.estimator)?;
+        offline.fit(&network, &observations)?;
+        let estimate = offline.estimate().ok_or_else(|| {
+            TomoError::InvalidConfig(format!(
+                "estimator `{}` has no probability capability",
+                o.estimator
+            ))
+        })?;
+        let offline_probabilities: Vec<f64> = (0..network.num_links())
+            .map(|l| estimate.link_congestion_probability(LinkId(l)))
+            .collect();
+        let deviation = linf(&offline_probabilities, &final_probabilities);
+        println!("check-batch: max |daemon − offline| = {deviation:.6} (tolerance {tolerance})");
+        if deviation > tolerance {
+            eprintln!("check-batch FAILED");
+            exit(1);
+        }
+        println!("check-batch OK");
+    }
+
+    if o.shutdown {
+        let _ = client.call(&Request::Shutdown)?;
+        eprintln!("daemon asked to shut down");
+    }
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((mode, rest)) = argv.split_first() else {
+        usage();
+    };
+    let o = parse_options(rest);
+    match mode.as_str() {
+        "gen" => gen(&o),
+        "replay" => {
+            if let Err(e) = replay(&o) {
+                eprintln!("replay failed: {e}");
+                exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,153 @@
+//! The streaming-tomography daemon.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7070] [--estimator independence]
+//!       [--topology toy|brite-tiny|sparse-tiny] [--topology-file net.json]
+//!       [--seed N] [--window N] [--threads N]
+//!       [--snapshot state.json] [--snapshot-every N] [--restore]
+//! ```
+//!
+//! Listens for JSON-lines requests (see `tomo_serve::protocol`), ingesting
+//! probe observations and serving continuously updated estimates. With
+//! `--snapshot`, state is persisted (atomically) on demand, every
+//! `--snapshot-every` intervals, and on shutdown; `--restore` resumes from
+//! an existing snapshot instead of starting empty.
+
+use std::process::exit;
+
+use tomo_core::EstimatorOptions;
+use tomo_serve::{ServeConfig, ServeEngine, Server};
+
+struct Args {
+    addr: String,
+    estimator: String,
+    topology: String,
+    topology_file: Option<String>,
+    seed: u64,
+    window: Option<usize>,
+    threads: usize,
+    snapshot: Option<String>,
+    snapshot_every: Option<u64>,
+    restore: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--estimator NAME]\n\
+         \x20            [--topology toy|brite-tiny|sparse-tiny] [--topology-file PATH]\n\
+         \x20            [--seed N] [--window N] [--threads N]\n\
+         \x20            [--snapshot PATH] [--snapshot-every N] [--restore]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".into(),
+        estimator: "independence".into(),
+        topology: "toy".into(),
+        topology_file: None,
+        seed: 0,
+        window: None,
+        threads: 4,
+        snapshot: None,
+        snapshot_every: None,
+        restore: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i),
+            "--estimator" => args.estimator = value(&mut i),
+            "--topology" => args.topology = value(&mut i),
+            "--topology-file" => args.topology_file = Some(value(&mut i)),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--snapshot" => args.snapshot = Some(value(&mut i)),
+            "--snapshot-every" => {
+                args.snapshot_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--restore" => args.restore = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn build_engine(args: &Args) -> ServeEngine {
+    if args.restore {
+        let Some(path) = &args.snapshot else {
+            eprintln!("--restore needs --snapshot PATH");
+            exit(2);
+        };
+        if std::path::Path::new(path).exists() {
+            eprintln!(
+                "Restoring state from {path} (topology, estimator and window \
+                 come from the snapshot; --snapshot/--snapshot-every from this \
+                 invocation apply to future writes)..."
+            );
+            let mut engine = ServeEngine::restore_from_file(path).unwrap_or_else(|e| {
+                eprintln!("cannot restore snapshot: {e}");
+                exit(1);
+            });
+            engine.set_snapshot_config(args.snapshot.clone(), args.snapshot_every);
+            return engine;
+        }
+        eprintln!("No snapshot at {path} yet; starting fresh.");
+    }
+    let network = match &args.topology_file {
+        Some(path) => tomo_serve::load_topology_file(path),
+        None => tomo_serve::resolve_topology(&args.topology, args.seed),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot build topology: {e}");
+        exit(1);
+    });
+    let config = ServeConfig {
+        estimator: args.estimator.clone(),
+        options: EstimatorOptions::default(),
+        window_capacity: args.window,
+        snapshot_path: args.snapshot.clone(),
+        snapshot_every: args.snapshot_every,
+    };
+    ServeEngine::new(network, config).unwrap_or_else(|e| {
+        eprintln!("cannot create engine: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = build_engine(&args);
+    let stats = engine.stats();
+    let server = Server::bind(&args.addr, engine, args.threads).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.addr);
+        exit(1);
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    eprintln!(
+        "tomo-serve listening on {addr} (estimator: {}, links: {}, paths: {}, window: {})",
+        stats.estimator,
+        stats.links,
+        stats.paths,
+        stats
+            .window_capacity
+            .map_or("unbounded".to_string(), |c| c.to_string()),
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        exit(1);
+    }
+    eprintln!("tomo-serve: shut down cleanly");
+}

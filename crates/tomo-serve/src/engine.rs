@@ -1,0 +1,522 @@
+//! The daemon's core: topology + online estimator + rolling window behind
+//! one mutex, plus JSON snapshot/restore for crash recovery.
+
+use tomo_core::online::{online_by_name, OnlineEstimator};
+use tomo_core::{EstimatorOptions, TomoError};
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_sim::PathObservations;
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{Request, Response, ServeStats};
+
+/// Daemon configuration (everything except the topology).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Registry name of the serving estimator (`independence` gets the
+    /// incremental path; every other name is buffered + fully refit).
+    pub estimator: String,
+    /// Estimator construction options (the §4 resource knobs).
+    pub options: EstimatorOptions,
+    /// Rolling-window capacity in intervals (`None` = unbounded).
+    pub window_capacity: Option<usize>,
+    /// Where snapshots are written (`None` disables snapshotting).
+    pub snapshot_path: Option<String>,
+    /// Automatically snapshot every `n` ingested intervals.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            estimator: "independence".into(),
+            options: EstimatorOptions::default(),
+            window_capacity: None,
+            snapshot_path: None,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// The persisted daemon state: everything needed to resume serving after a
+/// crash. Estimates are *derived* state — the restore path re-ingests the
+/// retained window, which reproduces them exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The daemon configuration at snapshot time.
+    pub config: ServeConfig,
+    /// The served topology.
+    pub network: Network,
+    /// Retained intervals as sparse congested-path lists, oldest first.
+    pub intervals: Vec<Vec<usize>>,
+    /// Lifetime interval count at snapshot time (retained + evicted).
+    pub total_ingested: u64,
+}
+
+/// The daemon engine: handles decoded [`Request`]s against the online
+/// estimator. Connection handling wraps this in a `Mutex` (see
+/// [`crate::server`]); the engine itself is single-threaded.
+pub struct ServeEngine {
+    network: Network,
+    config: ServeConfig,
+    online: Box<dyn OnlineEstimator + Send>,
+    snapshots_written: u64,
+    intervals_at_last_snapshot: u64,
+}
+
+impl ServeEngine {
+    /// Creates an engine serving the given topology.
+    pub fn new(network: Network, config: ServeConfig) -> Result<Self, TomoError> {
+        let online = online_by_name(&config.estimator, &config.options, config.window_capacity)?;
+        Ok(Self {
+            network,
+            config,
+            online,
+            snapshots_written: 0,
+            intervals_at_last_snapshot: 0,
+        })
+    }
+
+    /// Overrides where (and how often) snapshots are written — used after a
+    /// restore so the operator's current invocation wins over the path and
+    /// cadence embedded in the snapshot file.
+    pub fn set_snapshot_config(&mut self, path: Option<String>, every: Option<u64>) {
+        self.config.snapshot_path = path;
+        self.config.snapshot_every = every;
+    }
+
+    /// The served topology.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The daemon configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Handles one request, returning the response to send back.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Observe { congested } => self.observe(vec![congested]),
+            Request::ObserveBatch { intervals } => self.observe(intervals),
+            Request::Query => self.query(),
+            Request::Infer { congested } => self.infer(&congested),
+            Request::Stats => Response::StatsReport(self.stats()),
+            Request::Snapshot => match self.write_snapshot() {
+                Ok(Some(path)) => Response::Snapshotted { path },
+                Ok(None) => Response::Error {
+                    message: "no snapshot path configured".into(),
+                },
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Shutdown => {
+                // Best-effort final snapshot; shutdown proceeds regardless.
+                let _ = self.write_snapshot();
+                Response::Bye
+            }
+        }
+    }
+
+    /// Builds an ingest batch from per-interval congested-path lists,
+    /// validating every path index.
+    fn batch_from_intervals(
+        &self,
+        intervals: &[Vec<usize>],
+    ) -> Result<PathObservations, TomoError> {
+        let num_paths = self.network.num_paths();
+        let mut batch = PathObservations::new(num_paths, intervals.len());
+        for (t, congested) in intervals.iter().enumerate() {
+            for &p in congested {
+                if p >= num_paths {
+                    return Err(TomoError::InvalidConfig(format!(
+                        "path index {p} out of range (paths: {num_paths})"
+                    )));
+                }
+                batch.set_congested(PathId(p), t, true);
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Ingests a batch of intervals given their congested-path lists.
+    fn observe(&mut self, intervals: Vec<Vec<usize>>) -> Response {
+        if intervals.is_empty() {
+            return Response::Error {
+                message: "empty observation batch".into(),
+            };
+        }
+        let batch = match self.batch_from_intervals(&intervals) {
+            Ok(batch) => batch,
+            Err(e) => return Response::from_error(&e),
+        };
+        let ingested = intervals.len();
+        match self.online.ingest(&self.network, &batch) {
+            Ok(refit) => {
+                let total = self.online.intervals_ingested();
+                if let Some(every) = self.config.snapshot_every {
+                    if total - self.intervals_at_last_snapshot >= every {
+                        let _ = self.write_snapshot();
+                    }
+                }
+                Response::Ack {
+                    ingested,
+                    refit,
+                    intervals: total,
+                }
+            }
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// The current per-link estimate.
+    fn query(&self) -> Response {
+        match self.online.estimate() {
+            Some(estimate) => {
+                let links = self.network.num_links();
+                Response::Estimate {
+                    probabilities: (0..links)
+                        .map(|l| estimate.link_congestion_probability(LinkId(l)))
+                        .collect(),
+                    identifiable: (0..links)
+                        .map(|l| estimate.link_is_identifiable(LinkId(l)))
+                        .collect(),
+                    intervals: self.online.intervals_ingested(),
+                }
+            }
+            None => Response::Error {
+                message: "no estimate yet: ingest observations first".into(),
+            },
+        }
+    }
+
+    /// Boolean inference for one interval's congested paths.
+    fn infer(&self, congested: &[usize]) -> Response {
+        let num_paths = self.network.num_paths();
+        if let Some(&bad) = congested.iter().find(|&&p| p >= num_paths) {
+            return Response::Error {
+                message: format!("path index {bad} out of range (paths: {num_paths})"),
+            };
+        }
+        let paths: Vec<PathId> = congested.iter().map(|&p| PathId(p)).collect();
+        match self.online.infer_interval(&self.network, &paths) {
+            Ok(links) => Response::Inferred {
+                links: links.into_iter().map(|l| l.index()).collect(),
+            },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Current daemon statistics.
+    pub fn stats(&self) -> ServeStats {
+        let (window_len, total) = match self.online.window() {
+            Some(w) => (w.len(), w.total_ingested()),
+            None => (0, 0),
+        };
+        ServeStats {
+            estimator: self.online.name().to_string(),
+            links: self.network.num_links(),
+            paths: self.network.num_paths(),
+            window_len,
+            window_capacity: self.config.window_capacity,
+            total_ingested: total,
+            refits: self.online.refit_counts(),
+            snapshots_written: self.snapshots_written,
+        }
+    }
+
+    /// Builds the in-memory snapshot of the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let (intervals, total) = match self.online.window() {
+            Some(w) => (w.to_congested_sets(), w.total_ingested()),
+            None => (Vec::new(), 0),
+        };
+        Snapshot {
+            config: self.config.clone(),
+            network: self.network.clone(),
+            intervals,
+            total_ingested: total,
+        }
+    }
+
+    /// Writes a snapshot to the configured path; `Ok(None)` when
+    /// snapshotting is disabled.
+    pub fn write_snapshot(&mut self) -> Result<Option<String>, TomoError> {
+        let Some(path) = self.config.snapshot_path.clone() else {
+            return Ok(None);
+        };
+        let snapshot = self.snapshot();
+        let json = serde_json::to_string(&snapshot).map_err(|e| TomoError::Serde(e.to_string()))?;
+        // Write-then-rename so a crash mid-write never corrupts the last
+        // good snapshot.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        self.snapshots_written += 1;
+        self.intervals_at_last_snapshot = self.online.intervals_ingested();
+        Ok(Some(path))
+    }
+
+    /// Restores an engine from a snapshot: rebuilds the estimator and
+    /// re-ingests the retained window, reproducing the pre-crash estimate
+    /// exactly. The lifetime interval counter is restored from the
+    /// snapshot; refit counters restart (they describe this process's
+    /// work). The replay bypasses the auto-snapshot cadence so restoring
+    /// never overwrites the file it is reading from.
+    pub fn restore(snapshot: Snapshot) -> Result<Self, TomoError> {
+        let mut engine = Self::new(snapshot.network, snapshot.config)?;
+        if !snapshot.intervals.is_empty() {
+            let batch = engine
+                .batch_from_intervals(&snapshot.intervals)
+                .map_err(|e| TomoError::InvalidConfig(format!("snapshot replay failed: {e}")))?;
+            engine.online.ingest(&engine.network, &batch)?;
+            engine
+                .online
+                .restore_total_ingested(snapshot.total_ingested);
+            engine.intervals_at_last_snapshot = engine.online.intervals_ingested();
+        }
+        Ok(engine)
+    }
+
+    /// Restores an engine from a snapshot file written by
+    /// [`ServeEngine::write_snapshot`].
+    pub fn restore_from_file(path: &str) -> Result<Self, TomoError> {
+        let text = std::fs::read_to_string(path)?;
+        let snapshot: Snapshot =
+            serde_json::from_str(&text).map_err(|e| TomoError::Serde(e.to_string()))?;
+        Self::restore(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_core::Refit;
+    use tomo_graph::toy;
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(toy::fig1_case1(), ServeConfig::default()).unwrap()
+    }
+
+    /// A deterministic batch: p1 and p2 congested on disjoint schedules.
+    fn intervals(n: usize, offset: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|t| {
+                let t = t + offset;
+                let mut congested = Vec::new();
+                if t.is_multiple_of(5) {
+                    congested.push(0);
+                    congested.push(1);
+                }
+                if t % 4 == 1 {
+                    congested.push(2);
+                }
+                congested
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observe_then_query_round_trip() {
+        let mut engine = engine();
+        let ack = engine.handle(Request::ObserveBatch {
+            intervals: intervals(40, 0),
+        });
+        assert!(
+            matches!(
+                ack,
+                Response::Ack {
+                    ingested: 40,
+                    refit: Refit::Full,
+                    intervals: 40
+                }
+            ),
+            "{ack:?}"
+        );
+        let ack = engine.handle(Request::ObserveBatch {
+            intervals: intervals(40, 40),
+        });
+        assert!(
+            matches!(
+                ack,
+                Response::Ack {
+                    refit: Refit::Incremental,
+                    ..
+                }
+            ),
+            "{ack:?}"
+        );
+        match engine.handle(Request::Query) {
+            Response::Estimate {
+                probabilities,
+                identifiable,
+                intervals,
+            } => {
+                assert_eq!(probabilities.len(), 4);
+                assert_eq!(identifiable.len(), 4);
+                assert_eq!(intervals, 80);
+                assert!(probabilities.iter().all(|p| (0.0..=1.0).contains(p)));
+                // e1 (shared by p1, p2) is congested ~20% of intervals.
+                assert!((probabilities[0] - 0.2).abs() < 0.1, "{probabilities:?}");
+            }
+            other => panic!("expected estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_before_observations_is_an_error() {
+        let mut engine = engine();
+        assert!(matches!(
+            engine.handle(Request::Query),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_paths_are_rejected_without_state_change() {
+        let mut engine = engine();
+        let response = engine.handle(Request::Observe {
+            congested: vec![99],
+        });
+        assert!(matches!(response, Response::Error { .. }), "{response:?}");
+        assert_eq!(engine.stats().total_ingested, 0);
+    }
+
+    #[test]
+    fn inference_capability_is_honored_per_estimator() {
+        // Independence has no inference capability -> Error.
+        let mut engine = engine();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(20, 0),
+        });
+        assert!(matches!(
+            engine.handle(Request::Infer { congested: vec![0] }),
+            Response::Error { .. }
+        ));
+        // Sparsity (buffered) supports it.
+        let config = ServeConfig {
+            estimator: "sparsity".into(),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(toy::fig1_case1(), config).unwrap();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(20, 0),
+        });
+        match engine.handle(Request::Infer {
+            congested: vec![0, 1],
+        }) {
+            Response::Inferred { links } => assert!(!links.is_empty()),
+            other => panic!("expected inference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_ingestion_and_refits() {
+        let mut engine = engine();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(30, 0),
+        });
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(30, 30),
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.estimator, "Online-Independence");
+        assert_eq!(stats.total_ingested, 60);
+        assert_eq!(stats.window_len, 60);
+        assert_eq!(stats.refits.full, 1);
+        assert_eq!(stats.refits.incremental, 1);
+        assert_eq!(stats.links, 4);
+        assert_eq!(stats.paths, 3);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_estimate() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("tomo-serve-test-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            window_capacity: Some(50),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(toy::fig1_case1(), config).unwrap();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(70, 0),
+        });
+        let written = match engine.handle(Request::Snapshot) {
+            Response::Snapshotted { path } => path,
+            other => panic!("expected snapshot ack, got {other:?}"),
+        };
+        let before = engine.handle(Request::Query);
+
+        let mut restored = ServeEngine::restore_from_file(&written).unwrap();
+        let after = restored.handle(Request::Query);
+        match (&before, &after) {
+            (
+                Response::Estimate {
+                    probabilities: a, ..
+                },
+                Response::Estimate {
+                    probabilities: b, ..
+                },
+            ) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-9, "before {a:?} after {b:?}");
+                }
+            }
+            other => panic!("expected two estimates, got {other:?}"),
+        }
+        // The restored window keeps only the retained intervals, but the
+        // lifetime counter survives the restore.
+        let stats = restored.stats();
+        assert_eq!(stats.window_len, 50);
+        assert_eq!(stats.total_ingested, 70);
+        let _ = std::fs::remove_file(&written);
+    }
+
+    #[test]
+    fn auto_snapshot_fires_on_the_configured_cadence() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("tomo-serve-auto-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_every: Some(25),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(toy::fig1_case1(), config).unwrap();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(10, 0),
+        });
+        assert_eq!(engine.stats().snapshots_written, 0);
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(20, 10),
+        });
+        assert_eq!(engine.stats().snapshots_written, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shutdown_writes_a_final_snapshot_when_configured() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("tomo-serve-bye-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(toy::fig1_case1(), config).unwrap();
+        engine.handle(Request::ObserveBatch {
+            intervals: intervals(5, 0),
+        });
+        assert!(matches!(engine.handle(Request::Shutdown), Response::Bye));
+        assert!(std::path::Path::new(&path).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,89 @@
+//! `tomo-serve` — the online streaming-tomography daemon.
+//!
+//! The paper's estimators are batch: every figure re-fits from a full
+//! observation matrix. This crate turns the workspace into a long-running
+//! service: a `std::net` TCP daemon that ingests probe observations as
+//! JSON lines, keeps per-path observations in a rolling window, and serves
+//! link-probability / boolean-inference queries from continuously updated
+//! estimates — incrementally re-estimated through
+//! [`tomo_core::online::OnlineEstimator`] whenever the equation structure
+//! allows it.
+//!
+//! * [`protocol`] — the JSON-lines wire protocol (requests, responses,
+//!   grammar).
+//! * [`engine`] — the request handler: topology + online estimator +
+//!   snapshot/restore crash recovery.
+//! * [`server`] — the TCP accept loop on the `tomo-sweep` worker pool, plus
+//!   the synchronous [`Client`].
+//! * [`stream`] — helpers to record scenario simulations as observation
+//!   JSONL files and replay them (used by the `probe-client` binary).
+//!
+//! Binaries: `serve` (the daemon) and `probe-client` (record / replay /
+//! verify).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod stream;
+
+pub use engine::{ServeConfig, ServeEngine, Snapshot};
+pub use protocol::{Request, Response, ServeStats};
+pub use server::{Client, Server};
+
+use tomo_core::TomoError;
+use tomo_graph::Network;
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+/// Resolves a named topology for the daemon and the replay client.
+///
+/// Accepted names: `toy` (the Fig. 1 four-link fixture), `brite-tiny` /
+/// `sparse-tiny` (the generators' CI-scale instances, seeded by `seed`).
+/// Anything else errors with the accepted list.
+pub fn resolve_topology(name: &str, seed: u64) -> Result<Network, TomoError> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "toy" => Ok(tomo_graph::toy::fig1_case1()),
+        "brite-tiny" => Ok(BriteGenerator::new(BriteConfig::tiny(seed)).generate()?),
+        "sparse-tiny" => Ok(SparseGenerator::new(SparseConfig::tiny(seed)).generate()?),
+        other => Err(TomoError::InvalidConfig(format!(
+            "unknown topology `{other}` (available: toy, brite-tiny, sparse-tiny; \
+             or pass --topology-file)"
+        ))),
+    }
+}
+
+/// Loads a topology from a JSON file written with `serde_json` over
+/// [`Network`].
+pub fn load_topology_file(path: &str) -> Result<Network, TomoError> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| TomoError::Serde(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_topologies_resolve() {
+        assert_eq!(resolve_topology("toy", 0).unwrap().num_links(), 4);
+        assert!(resolve_topology("brite-tiny", 1).unwrap().num_links() > 4);
+        assert!(resolve_topology("sparse-tiny", 1).unwrap().num_paths() > 0);
+        assert!(resolve_topology("nope", 0).is_err());
+    }
+
+    #[test]
+    fn topology_files_round_trip() {
+        let net = resolve_topology("toy", 0).unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("tomo-serve-topo-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&path, serde_json::to_string(&net).unwrap()).unwrap();
+        let back = load_topology_file(&path).unwrap();
+        assert_eq!(back.num_links(), net.num_links());
+        assert_eq!(back.num_paths(), net.num_paths());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,223 @@
+//! The daemon's wire protocol: JSON lines over TCP.
+//!
+//! Framing is the shared [`tomo_core::jsonl`] convention — exactly one JSON
+//! object per `\n`-terminated line, no embedded newlines. Every request line
+//! produces exactly one response line, in order. The grammar (externally
+//! tagged, as rendered by the serde shim):
+//!
+//! ```text
+//! request  = observe | observe-batch | query | infer | stats | snapshot | shutdown
+//! observe        = {"Observe": {"congested": [pathIdx, ...]}}
+//! observe-batch  = {"ObserveBatch": {"intervals": [[pathIdx, ...], ...]}}
+//! query          = "Query"
+//! infer          = {"Infer": {"congested": [pathIdx, ...]}}
+//! stats          = "Stats"
+//! snapshot       = "Snapshot"
+//! shutdown       = "Shutdown"
+//!
+//! response = ack | estimate | inferred | stats | snapshotted | error | bye
+//! ack            = {"Ack": {"ingested": n, "refit": "Incremental"|"Full", "intervals": n}}
+//! estimate       = {"Estimate": {"probabilities": [f, ...], "identifiable": [b, ...],
+//!                   "intervals": n}}
+//! inferred       = {"Inferred": {"links": [linkIdx, ...]}}
+//! stats          = {"StatsReport": { ... see ServeStats ... }}
+//! snapshotted    = {"Snapshotted": {"path": "..."}}
+//! error          = {"Error": {"message": "..."}}
+//! bye            = "Bye"
+//! ```
+//!
+//! Path and link indices are the dense 0-based ids of the daemon's
+//! topology; `probabilities[i]` is the congestion probability of link `i`.
+
+use serde::{Deserialize, Serialize};
+use tomo_core::online::RefitCounts;
+use tomo_core::{Refit, TomoError};
+
+/// One client request (one JSON line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Ingest a single measurement interval given its congested paths.
+    Observe {
+        /// Dense indices of the paths observed congested this interval.
+        congested: Vec<usize>,
+    },
+    /// Ingest several consecutive intervals in one round trip.
+    ObserveBatch {
+        /// One congested-path list per interval, oldest first.
+        intervals: Vec<Vec<usize>>,
+    },
+    /// Fetch the current per-link congestion-probability estimate.
+    Query,
+    /// Boolean inference: which links were congested in an interval with
+    /// the given congested paths (estimators with the inference capability).
+    Infer {
+        /// Dense indices of the congested paths of the interval.
+        congested: Vec<usize>,
+    },
+    /// Fetch daemon statistics.
+    Stats,
+    /// Write a snapshot to the daemon's configured snapshot path.
+    Snapshot,
+    /// Stop the daemon (a final snapshot is written when configured).
+    Shutdown,
+}
+
+/// Daemon statistics reported by [`Request::Stats`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Display name of the serving estimator.
+    pub estimator: String,
+    /// Number of links in the served topology.
+    pub links: usize,
+    /// Number of measurement paths in the served topology.
+    pub paths: usize,
+    /// Intervals currently retained in the rolling window.
+    pub window_len: usize,
+    /// Window capacity (`null` = unbounded).
+    pub window_capacity: Option<usize>,
+    /// Total intervals ingested over the daemon's lifetime.
+    pub total_ingested: u64,
+    /// Incremental / full refit counters.
+    pub refits: RefitCounts,
+    /// Snapshots written so far.
+    pub snapshots_written: u64,
+}
+
+/// One daemon response (one JSON line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Observation batch accepted.
+    Ack {
+        /// Intervals ingested by this request.
+        ingested: usize,
+        /// Whether the refit was incremental or full.
+        refit: Refit,
+        /// Lifetime interval count after the ingest.
+        intervals: u64,
+    },
+    /// The current estimate.
+    Estimate {
+        /// `probabilities[i]` = congestion probability of link `i`.
+        probabilities: Vec<f64>,
+        /// Whether each link's probability is identifiable from the data.
+        identifiable: Vec<bool>,
+        /// Intervals the estimate is based on.
+        intervals: u64,
+    },
+    /// Inferred congested links for one interval.
+    Inferred {
+        /// Dense link indices.
+        links: Vec<usize>,
+    },
+    /// Daemon statistics.
+    StatsReport(ServeStats),
+    /// Snapshot written.
+    Snapshotted {
+        /// Path of the snapshot file.
+        path: String,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Acknowledges a shutdown; the daemon stops accepting connections.
+    Bye,
+}
+
+impl Response {
+    /// Builds an error response from any [`TomoError`].
+    pub fn from_error(e: &TomoError) -> Self {
+        Response::Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Encodes a protocol message as one JSON line (no trailing newline).
+pub fn encode<T: Serialize>(message: &T) -> String {
+    tomo_core::jsonl::encode_line(message)
+}
+
+/// Decodes a protocol message from one JSON line.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, TomoError> {
+    tomo_core::jsonl::decode_line(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let requests = vec![
+            Request::Observe {
+                congested: vec![0, 3],
+            },
+            Request::ObserveBatch {
+                intervals: vec![vec![1], vec![], vec![0, 2]],
+            },
+            Request::Query,
+            Request::Infer { congested: vec![2] },
+            Request::Stats,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode(&request);
+            assert!(!line.contains('\n'));
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_format() {
+        let responses = vec![
+            Response::Ack {
+                ingested: 10,
+                refit: Refit::Incremental,
+                intervals: 320,
+            },
+            Response::Estimate {
+                probabilities: vec![0.25, 0.0],
+                identifiable: vec![true, false],
+                intervals: 320,
+            },
+            Response::Inferred { links: vec![4, 7] },
+            Response::StatsReport(ServeStats {
+                estimator: "Online-Independence".into(),
+                links: 4,
+                paths: 3,
+                window_len: 60,
+                window_capacity: Some(60),
+                total_ingested: 320,
+                refits: RefitCounts {
+                    incremental: 30,
+                    full: 2,
+                    basis_rebuilds: 0,
+                },
+                snapshots_written: 1,
+            }),
+            Response::Snapshotted {
+                path: "/tmp/snap.json".into(),
+            },
+            Response::Error {
+                message: "bad request".into(),
+            },
+            Response::Bye,
+        ];
+        for response in responses {
+            let back: Response = decode(&encode(&response)).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_serde_errors() {
+        assert!(matches!(
+            decode::<Request>("{nope"),
+            Err(TomoError::Serde(_))
+        ));
+    }
+}

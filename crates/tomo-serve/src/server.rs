@@ -1,0 +1,213 @@
+//! The TCP front end: a `std::net` listener fanning connections onto the
+//! `tomo-sweep` worker pool.
+//!
+//! Each accepted connection becomes one pool job that reads JSON-lines
+//! requests until the client disconnects; every request is handled under
+//! the shared engine mutex and answered with exactly one response line.
+//! The accept loop polls a non-blocking listener so a `Shutdown` request
+//! (observed via a shared flag) stops the daemon promptly without any
+//! platform-specific socket tricks.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tomo_core::TomoError;
+use tomo_sweep::WorkerPool;
+
+use crate::engine::ServeEngine;
+use crate::protocol::{decode, encode, Request, Response};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on connections, so idle connections observe the shutdown
+/// flag instead of blocking the drain forever.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// The daemon: listener + engine + connection pool.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Mutex<ServeEngine>>,
+    shutdown: Arc<AtomicBool>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (e.g. `127.0.0.1:7070`; port 0 picks an
+    /// ephemeral port, see [`Server::local_addr`]).
+    pub fn bind(addr: &str, engine: ServeEngine, threads: usize) -> Result<Self, TomoError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            engine: Arc::new(Mutex::new(engine)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            pool: WorkerPool::new(threads),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, TomoError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The shared shutdown flag; setting it stops the accept loop.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop until a client sends `Shutdown` (or the
+    /// shutdown flag is raised externally). Existing connections are
+    /// drained before returning.
+    pub fn run(self) -> Result<(), TomoError> {
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&self.engine);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    self.pool
+                        .submit(move || handle_connection(stream, &engine, &shutdown))?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.pool.wait_idle();
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF or shutdown.
+fn handle_connection(stream: TcpStream, engine: &Mutex<ServeEngine>, shutdown: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets an idle connection notice the shutdown
+    // flag; without it, `Server::run`'s drain would wait on clients that
+    // never send another byte.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("tomo-serve: cannot clone connection: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client went away
+            Ok(_) => {}
+            // Timeout (WouldBlock or TimedOut depending on the platform):
+            // poll the shutdown flag and keep waiting. `line` keeps any
+            // partial fragment read before the timeout; the next
+            // `read_line` appends the rest of the line to it.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request_line = std::mem::take(&mut line);
+        if request_line.trim().is_empty() {
+            continue;
+        }
+        let response = match decode::<Request>(&request_line) {
+            Ok(Request::Shutdown) => {
+                let mut engine = engine.lock().expect("engine lock");
+                let response = engine.handle(Request::Shutdown);
+                shutdown.store(true, Ordering::Relaxed);
+                response
+            }
+            Ok(request) => {
+                let mut engine = engine.lock().expect("engine lock");
+                engine.handle(request)
+            }
+            Err(e) => Response::from_error(&e),
+        };
+        let stop = matches!(response, Response::Bye);
+        if writeln!(writer, "{}", encode(&response)).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if stop {
+            break;
+        }
+    }
+}
+
+/// A minimal synchronous client for the daemon protocol, used by the
+/// `probe-client` binary and the integration tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: &str) -> Result<Self, TomoError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the matching response line.
+    pub fn call(&mut self, request: &Request) -> Result<Response, TomoError> {
+        writeln!(self.writer, "{}", encode(request))?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(TomoError::Io("daemon closed the connection".into()));
+        }
+        decode(&line)
+    }
+
+    /// Convenience: ingest a batch of intervals, returning the `Ack` fields
+    /// `(refit, lifetime interval count)`.
+    pub fn observe_batch(
+        &mut self,
+        intervals: Vec<Vec<usize>>,
+    ) -> Result<(tomo_core::Refit, u64), TomoError> {
+        match self.call(&Request::ObserveBatch { intervals })? {
+            Response::Ack {
+                refit, intervals, ..
+            } => Ok((refit, intervals)),
+            Response::Error { message } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: query the current per-link probabilities.
+    pub fn query(&mut self) -> Result<Vec<f64>, TomoError> {
+        match self.call(&Request::Query)? {
+            Response::Estimate { probabilities, .. } => Ok(probabilities),
+            Response::Error { message } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}

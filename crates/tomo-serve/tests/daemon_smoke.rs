@@ -1,0 +1,198 @@
+//! End-to-end daemon tests over real TCP: stream a simulated scenario into
+//! a running server, verify queries match an offline batch fit, exercise
+//! snapshot/restore, and shut the daemon down over the wire.
+
+use tomo_core::{estimators, Refit};
+use tomo_graph::LinkId;
+use tomo_serve::protocol::{Request, Response};
+use tomo_serve::stream::{record_scenario, stream_to_observations};
+use tomo_serve::{Client, ServeConfig, ServeEngine, Server};
+use tomo_sim::{MeasurementMode, ScenarioConfig};
+
+/// Starts a daemon on an ephemeral loopback port, returning the address and
+/// the thread running the accept loop.
+fn start_daemon(config: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+    let engine = ServeEngine::new(network, config).unwrap();
+    let server = Server::bind("127.0.0.1:0", engine, 2).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle)
+}
+
+/// 200 intervals of the drifting-loss scenario on the toy topology.
+fn toy_stream() -> Vec<Vec<usize>> {
+    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+    let mut scenario = ScenarioConfig::drifting_loss();
+    scenario.congestible_fraction = 0.5;
+    record_scenario(&network, scenario, 200, 11, MeasurementMode::Ideal)
+        .into_iter()
+        .map(|i| i.congested)
+        .collect()
+}
+
+#[test]
+fn replayed_stream_matches_offline_batch_fit() {
+    let (addr, handle) = start_daemon(ServeConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let stream = toy_stream();
+    let mut refits = Vec::new();
+    for chunk in stream.chunks(10) {
+        let (refit, _) = client.observe_batch(chunk.to_vec()).unwrap();
+        refits.push(refit);
+    }
+    // Steady state must ride the incremental path.
+    assert!(refits.contains(&Refit::Incremental), "{refits:?}");
+
+    let daemon = client.query().unwrap();
+
+    // Offline: the same estimator on the full concatenated stream.
+    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+    let observations = stream_to_observations(
+        &stream
+            .iter()
+            .map(|c| tomo_serve::stream::ObservedInterval {
+                congested: c.clone(),
+            })
+            .collect::<Vec<_>>(),
+        network.num_paths(),
+    )
+    .unwrap();
+    let mut offline = estimators::by_name("independence").unwrap();
+    offline.fit(&network, &observations).unwrap();
+    let estimate = offline.estimate().unwrap();
+    for (l, &got) in daemon.iter().enumerate() {
+        let want = estimate.link_congestion_probability(LinkId(l));
+        assert!(
+            (want - got).abs() < 1e-5,
+            "link {l}: offline {want} vs daemon {got}"
+        );
+    }
+
+    // Stats reflect the ingestion pattern.
+    match client.call(&Request::Stats).unwrap() {
+        Response::StatsReport(stats) => {
+            assert_eq!(stats.total_ingested, 200);
+            assert!(stats.refits.incremental > 0);
+            assert!(stats.refits.full >= 1);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    let bye = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(bye, Response::Bye));
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_one_consistent_engine() {
+    let (addr, handle) = start_daemon(ServeConfig::default());
+    let stream = toy_stream();
+
+    // Two writers split the stream; a reader polls in between.
+    let (first, second) = stream.split_at(stream.len() / 2);
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    for chunk in first.chunks(20) {
+        a.observe_batch(chunk.to_vec()).unwrap();
+    }
+    for chunk in second.chunks(20) {
+        b.observe_batch(chunk.to_vec()).unwrap();
+    }
+    // Close the writer connections so their server-side jobs finish —
+    // `Server::run` drains live connections before returning.
+    drop(a);
+    drop(b);
+
+    let mut reader = Client::connect(&addr).unwrap();
+    match reader.call(&Request::Stats).unwrap() {
+        Response::StatsReport(stats) => assert_eq!(stats.total_ingested, 200),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    assert_eq!(reader.query().unwrap().len(), 4);
+
+    reader.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    let (addr, handle) = start_daemon(ServeConfig::default());
+
+    // Talk to the daemon at the raw socket level.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "this is not json").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Error"), "{line}");
+
+    // The same connection still serves valid requests afterwards.
+    writeln!(writer, "{{\"Observe\": {{\"congested\": [0]}}}}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Ack"), "{line}");
+
+    writeln!(writer, "\"Shutdown\"").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Bye"), "{line}");
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_completes_even_with_an_idle_connection_open() {
+    let (addr, handle) = start_daemon(ServeConfig::default());
+    // An idle client that never sends a byte must not block the drain:
+    // connection reads poll the shutdown flag on a timeout.
+    let _idle = std::net::TcpStream::connect(&addr).unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn snapshot_over_the_wire_then_restore_into_a_new_daemon() {
+    let snapshot_path = std::env::temp_dir()
+        .join(format!("tomo-serve-smoke-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let config = ServeConfig {
+        snapshot_path: Some(snapshot_path.clone()),
+        window_capacity: Some(120),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_daemon(config);
+    let mut client = Client::connect(&addr).unwrap();
+    for chunk in toy_stream().chunks(25) {
+        client.observe_batch(chunk.to_vec()).unwrap();
+    }
+    match client.call(&Request::Snapshot).unwrap() {
+        Response::Snapshotted { path } => assert_eq!(path, snapshot_path),
+        other => panic!("expected snapshot ack, got {other:?}"),
+    }
+    let before = client.query().unwrap();
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+
+    // "Crash recovery": a brand-new daemon restored from the file serves
+    // the same estimate.
+    let mut restored = ServeEngine::restore_from_file(&snapshot_path).unwrap();
+    match restored.handle(Request::Query) {
+        Response::Estimate { probabilities, .. } => {
+            assert_eq!(probabilities.len(), before.len());
+            // The pre-crash estimate may come from the incremental solver
+            // and the restored one from a full refit; they agree to solver
+            // tolerance.
+            for (x, y) in probabilities.iter().zip(&before) {
+                assert!((x - y).abs() < 1e-6, "{probabilities:?} vs {before:?}");
+            }
+        }
+        other => panic!("expected estimate, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&snapshot_path);
+}

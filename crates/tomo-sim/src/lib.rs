@@ -30,10 +30,12 @@ pub mod observation;
 pub mod scenario;
 pub mod simulator;
 pub mod state;
+pub mod window;
 
 pub use correlation_model::{CongestionModel, Driver};
 pub use loss::{LossModel, MeasurementMode};
 pub use observation::PathObservations;
-pub use scenario::{CongestiblePlacement, ScenarioConfig, ScenarioKind};
+pub use scenario::{CongestiblePlacement, ProbabilityEvolution, ScenarioConfig, ScenarioKind};
 pub use simulator::{SimulationConfig, SimulationOutput, Simulator};
 pub use state::GroundTruth;
+pub use window::ObservationWindow;

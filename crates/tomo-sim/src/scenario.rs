@@ -33,7 +33,8 @@ use tomo_graph::{LinkId, Network};
 
 use crate::correlation_model::{shared_router_groups, CongestionModel, Driver};
 
-/// The named scenarios of the paper's evaluation.
+/// The named scenarios of the paper's evaluation, plus the streaming
+/// (dynamic-workload) scenarios used by the `tomo-serve` daemon evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScenarioKind {
     /// Congestible links chosen uniformly at random (Brite topology).
@@ -47,10 +48,20 @@ pub enum ScenarioKind {
     NoStationarity,
     /// Random Congestion applied to a Sparse topology.
     SparseTopology,
+    /// Streaming workload: congestion probabilities drift by a bounded
+    /// random walk every epoch instead of being re-drawn, modelling loss
+    /// rates that evolve gradually under load.
+    DriftingLoss,
+    /// Streaming workload: the correlation structure itself churns — the
+    /// congestible links are periodically re-partitioned into new correlated
+    /// driver groups with fresh probabilities.
+    CorrelationChurn,
 }
 
 impl ScenarioKind {
-    /// All scenario kinds, in the order of Fig. 3 of the paper.
+    /// The paper's five scenario kinds, in the order of Fig. 3. The
+    /// streaming kinds are separate (see [`ScenarioKind::streaming`]) so the
+    /// figure grids keep their published shape.
     pub fn all() -> [ScenarioKind; 5] {
         [
             ScenarioKind::RandomCongestion,
@@ -61,6 +72,11 @@ impl ScenarioKind {
         ]
     }
 
+    /// The streaming (dynamic-workload) scenario kinds.
+    pub fn streaming() -> [ScenarioKind; 2] {
+        [ScenarioKind::DriftingLoss, ScenarioKind::CorrelationChurn]
+    }
+
     /// The label used in the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -69,8 +85,32 @@ impl ScenarioKind {
             ScenarioKind::NoIndependence => "No Independence",
             ScenarioKind::NoStationarity => "No Stationarity",
             ScenarioKind::SparseTopology => "Sparse Topology",
+            ScenarioKind::DriftingLoss => "Drifting Loss",
+            ScenarioKind::CorrelationChurn => "Correlation Churn",
         }
     }
+}
+
+/// How the congestion probabilities of a non-stationary scenario move
+/// between epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProbabilityEvolution {
+    /// Re-draw every driver probability uniformly from (0, 1) — the paper's
+    /// "No Stationarity" behavior.
+    Redraw,
+    /// Bounded random walk: each driver probability moves by a uniform step
+    /// in `[-sigma, sigma]`, clamped to (0, 1).
+    Drift {
+        /// Maximum per-epoch step size.
+        sigma: f64,
+    },
+    /// Re-partition the congestible links into new driver groups of at most
+    /// `max_group` links each, with fresh probabilities — the correlation
+    /// structure itself changes.
+    Churn {
+        /// Largest driver group formed by a churn step.
+        max_group: usize,
+    },
 }
 
 /// How the congestible links are placed.
@@ -101,6 +141,11 @@ pub struct ScenarioConfig {
     /// For non-stationary runs: the probabilities are re-drawn every
     /// `epoch_len` intervals ("every few time intervals").
     pub epoch_len: usize,
+    /// How probabilities move between epochs of a non-stationary run.
+    /// `None` keeps the paper's behavior ([`ProbabilityEvolution::Redraw`]);
+    /// the streaming scenarios use drift / churn. Optional so grid files
+    /// written before this field existed still parse.
+    pub evolution: Option<ProbabilityEvolution>,
 }
 
 impl ScenarioConfig {
@@ -112,6 +157,7 @@ impl ScenarioConfig {
             congestible_fraction: 0.10,
             stationary: true,
             epoch_len: 50,
+            evolution: None,
         }
     }
 
@@ -153,6 +199,33 @@ impl ScenarioConfig {
         }
     }
 
+    /// The streaming *Drifting Loss* scenario: random placement, but the
+    /// probabilities random-walk every `epoch_len` intervals instead of
+    /// being re-drawn, so estimates decay gracefully rather than jumping.
+    pub fn drifting_loss() -> Self {
+        Self {
+            kind: ScenarioKind::DriftingLoss,
+            stationary: false,
+            epoch_len: 20,
+            evolution: Some(ProbabilityEvolution::Drift { sigma: 0.15 }),
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The streaming *Correlation Churn* scenario: correlated placement, and
+    /// every `epoch_len` intervals the congestible links are re-partitioned
+    /// into new correlated driver groups with fresh probabilities.
+    pub fn correlation_churn() -> Self {
+        Self {
+            kind: ScenarioKind::CorrelationChurn,
+            placement: CongestiblePlacement::Correlated,
+            stationary: false,
+            epoch_len: 25,
+            evolution: Some(ProbabilityEvolution::Churn { max_group: 3 }),
+            ..Self::random_congestion()
+        }
+    }
+
     /// The configuration for a named scenario kind.
     pub fn for_kind(kind: ScenarioKind) -> Self {
         match kind {
@@ -161,6 +234,18 @@ impl ScenarioConfig {
             ScenarioKind::NoIndependence => Self::no_independence(),
             ScenarioKind::NoStationarity => Self::no_stationarity(),
             ScenarioKind::SparseTopology => Self::sparse_topology(),
+            ScenarioKind::DriftingLoss => Self::drifting_loss(),
+            ScenarioKind::CorrelationChurn => Self::correlation_churn(),
+        }
+    }
+
+    /// Evolves the congestion model between epochs of a non-stationary run
+    /// according to this scenario's [`ProbabilityEvolution`].
+    pub fn evolve_model(&self, model: &CongestionModel, rng: &mut StdRng) -> CongestionModel {
+        match self.evolution.unwrap_or(ProbabilityEvolution::Redraw) {
+            ProbabilityEvolution::Redraw => redraw_probabilities(model, rng),
+            ProbabilityEvolution::Drift { sigma } => drift_probabilities(model, sigma, rng),
+            ProbabilityEvolution::Churn { max_group } => churn_drivers(model, max_group, rng),
         }
     }
 
@@ -330,6 +415,51 @@ pub fn redraw_probabilities(model: &CongestionModel, rng: &mut StdRng) -> Conges
     CongestionModel::new(drivers)
 }
 
+/// Moves every driver probability by a bounded uniform step in
+/// `[-sigma, sigma]`, clamped into (0, 1), keeping the driver structure
+/// fixed — the *Drifting Loss* evolution.
+pub fn drift_probabilities(
+    model: &CongestionModel,
+    sigma: f64,
+    rng: &mut StdRng,
+) -> CongestionModel {
+    let sigma = sigma.abs().max(1e-6);
+    let drivers = model
+        .drivers
+        .iter()
+        .map(|d| Driver {
+            probability: (d.probability + rng.gen_range(-sigma..sigma)).clamp(0.01, 0.99),
+            members: d.members.clone(),
+        })
+        .collect();
+    CongestionModel::new(drivers)
+}
+
+/// Re-partitions the congestible links into new driver groups of at most
+/// `max_group` links with fresh probabilities — the *Correlation Churn*
+/// evolution. The congestible link *set* is preserved; only the grouping
+/// (which links fail together) and the probabilities change.
+pub fn churn_drivers(
+    model: &CongestionModel,
+    max_group: usize,
+    rng: &mut StdRng,
+) -> CongestionModel {
+    let max_group = max_group.max(1);
+    let mut links = model.congestible_links();
+    links.shuffle(rng);
+    let mut drivers = Vec::new();
+    let mut i = 0usize;
+    while i < links.len() {
+        let size = rng.gen_range(1..=max_group).min(links.len() - i);
+        drivers.push(Driver {
+            probability: rng.gen_range(0.01..1.0),
+            members: links[i..i + size].to_vec(),
+        });
+        i += size;
+    }
+    CongestionModel::new(drivers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +536,93 @@ mod tests {
                 assert_eq!(m, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn streaming_kinds_resolve_and_carry_evolutions() {
+        let drift = ScenarioConfig::drifting_loss();
+        assert!(!drift.stationary);
+        assert!(matches!(
+            drift.evolution,
+            Some(ProbabilityEvolution::Drift { .. })
+        ));
+        let churn = ScenarioConfig::correlation_churn();
+        assert_eq!(churn.placement, CongestiblePlacement::Correlated);
+        assert!(matches!(
+            churn.evolution,
+            Some(ProbabilityEvolution::Churn { .. })
+        ));
+        for kind in ScenarioKind::streaming() {
+            assert_eq!(ScenarioConfig::for_kind(kind).kind, kind);
+            assert!(!kind.label().is_empty());
+        }
+        // The paper's figure list is unchanged by the streaming kinds.
+        assert_eq!(ScenarioKind::all().len(), 5);
+    }
+
+    #[test]
+    fn drift_moves_probabilities_by_bounded_steps() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cfg = ScenarioConfig::drifting_loss();
+        cfg.congestible_fraction = 0.5;
+        let m1 = cfg.build_model(&net, &mut rng);
+        let m2 = drift_probabilities(&m1, 0.15, &mut rng);
+        assert_eq!(m1.congestible_links(), m2.congestible_links());
+        for (a, b) in m1.drivers.iter().zip(&m2.drivers) {
+            assert_eq!(a.members, b.members);
+            assert!((a.probability - b.probability).abs() <= 0.15 + 1e-12);
+            assert!((0.01..=0.99).contains(&b.probability));
+        }
+    }
+
+    #[test]
+    fn churn_preserves_the_congestible_set_but_regroups_it() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cfg = ScenarioConfig::correlation_churn();
+        cfg.congestible_fraction = 1.0; // all 4 toy links, so groups can form
+        let m1 = cfg.build_model(&net, &mut rng);
+        let m2 = churn_drivers(&m1, 3, &mut rng);
+        assert_eq!(m1.congestible_links(), m2.congestible_links());
+        for d in &m2.drivers {
+            assert!(!d.members.is_empty() && d.members.len() <= 3);
+            assert!(d.probability > 0.0 && d.probability < 1.0);
+        }
+        // Across many churn steps the grouping must actually change at least
+        // once (it is a re-partition, not a redraw).
+        let sig = |m: &CongestionModel| {
+            let mut groups: Vec<Vec<LinkId>> = m
+                .drivers
+                .iter()
+                .map(|d| {
+                    let mut g = d.members.clone();
+                    g.sort_unstable();
+                    g
+                })
+                .collect();
+            groups.sort();
+            groups
+        };
+        let changed = (0..20).any(|_| sig(&churn_drivers(&m1, 3, &mut rng)) != sig(&m1));
+        assert!(changed);
+    }
+
+    #[test]
+    fn evolve_model_dispatches_on_the_configured_evolution() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut cfg = ScenarioConfig::drifting_loss();
+        cfg.congestible_fraction = 0.5;
+        let m1 = cfg.build_model(&net, &mut rng);
+        let drifted = cfg.evolve_model(&m1, &mut rng);
+        for (a, b) in m1.drivers.iter().zip(&drifted.drivers) {
+            assert!((a.probability - b.probability).abs() <= 0.15 + 1e-12);
+        }
+        // No evolution configured -> paper redraw semantics.
+        cfg.evolution = None;
+        let redrawn = cfg.evolve_model(&m1, &mut rng);
+        assert_eq!(m1.congestible_links(), redrawn.congestible_links());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use tomo_graph::Network;
 use crate::correlation_model::CongestionModel;
 use crate::loss::{LossModel, MeasurementMode};
 use crate::observation::PathObservations;
-use crate::scenario::{redraw_probabilities, ScenarioConfig};
+use crate::scenario::ScenarioConfig;
 use crate::state::GroundTruth;
 
 /// Configuration of one simulated experiment.
@@ -128,7 +128,7 @@ impl Simulator {
             }
 
             if !cfg.scenario.stationary && t < cfg.num_intervals {
-                model = redraw_probabilities(&model, &mut rng);
+                model = cfg.scenario.evolve_model(&model, &mut rng);
             }
         }
 

@@ -1,0 +1,235 @@
+//! Rolling per-path observation windows for streaming ingestion.
+//!
+//! The batch estimators consume a fixed [`PathObservations`] matrix. A
+//! long-running daemon instead receives intervals one (or a few) at a time
+//! and must bound its memory: [`ObservationWindow`] is the ring buffer in
+//! between — intervals are pushed as they arrive, the oldest interval is
+//! evicted once the configured capacity is reached, and the current contents
+//! can be materialized back into a [`PathObservations`] whenever a batch
+//! (re)fit is needed.
+
+use std::collections::VecDeque;
+
+use tomo_graph::PathId;
+
+use crate::observation::PathObservations;
+
+/// A bounded (or unbounded) sliding window of per-interval path observations.
+#[derive(Clone, Debug)]
+pub struct ObservationWindow {
+    num_paths: usize,
+    capacity: Option<usize>,
+    /// One entry per retained interval: the congestion flag of every path.
+    intervals: VecDeque<Vec<bool>>,
+    total_ingested: u64,
+}
+
+impl ObservationWindow {
+    /// An unbounded window over `num_paths` paths.
+    pub fn new(num_paths: usize) -> Self {
+        Self {
+            num_paths,
+            capacity: None,
+            intervals: VecDeque::new(),
+            total_ingested: 0,
+        }
+    }
+
+    /// A window that retains at most `capacity` intervals (`None` keeps
+    /// everything). A capacity of `Some(0)` is clamped to `Some(1)`.
+    pub fn with_capacity(num_paths: usize, capacity: Option<usize>) -> Self {
+        Self {
+            capacity: capacity.map(|c| c.max(1)),
+            ..Self::new(num_paths)
+        }
+    }
+
+    /// Number of observed paths.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+
+    /// The retention capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of intervals currently retained.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns `true` when no intervals are retained.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total number of intervals ever pushed (including evicted ones).
+    pub fn total_ingested(&self) -> u64 {
+        self.total_ingested
+    }
+
+    /// Number of intervals evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.total_ingested - self.intervals.len() as u64
+    }
+
+    /// Restores the lifetime ingest counter after a snapshot restore (the
+    /// retained intervals are re-pushed, which would otherwise reset it).
+    /// Clamped up to the retained count so `evicted` stays consistent.
+    pub fn restore_total_ingested(&mut self, total: u64) {
+        self.total_ingested = total.max(self.intervals.len() as u64);
+    }
+
+    /// The congestion flags of the `i`-th retained interval (oldest first).
+    pub fn interval(&self, i: usize) -> &[bool] {
+        &self.intervals[i]
+    }
+
+    /// Pushes one interval given the set of congested paths; all other paths
+    /// are recorded good. Out-of-range path indices are rejected. Returns the
+    /// evicted interval's flags when the push overflowed the capacity.
+    pub fn push_congested(&mut self, congested: &[PathId]) -> Result<Option<Vec<bool>>, String> {
+        let mut flags = vec![false; self.num_paths];
+        for p in congested {
+            let slot = flags.get_mut(p.index()).ok_or_else(|| {
+                format!(
+                    "path index {} out of range (paths: {})",
+                    p.index(),
+                    self.num_paths
+                )
+            })?;
+            *slot = true;
+        }
+        Ok(self.push_flags(flags))
+    }
+
+    /// Pushes one interval as a full flag vector (`flags.len()` must equal
+    /// [`ObservationWindow::num_paths`]). Returns the evicted interval, if
+    /// the window was at capacity.
+    pub fn push_flags(&mut self, flags: Vec<bool>) -> Option<Vec<bool>> {
+        assert_eq!(flags.len(), self.num_paths, "flag vector length mismatch");
+        self.total_ingested += 1;
+        self.intervals.push_back(flags);
+        match self.capacity {
+            Some(cap) if self.intervals.len() > cap => self.intervals.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Materializes the retained intervals into a [`PathObservations`] matrix
+    /// (interval 0 = oldest retained).
+    pub fn to_observations(&self) -> PathObservations {
+        let mut obs = PathObservations::new(self.num_paths, self.intervals.len());
+        for (t, flags) in self.intervals.iter().enumerate() {
+            for (p, &congested) in flags.iter().enumerate() {
+                if congested {
+                    obs.set_congested(PathId(p), t, congested);
+                }
+            }
+        }
+        obs
+    }
+
+    /// The retained intervals as sparse congested-path index lists (oldest
+    /// first) — the compact form used by daemon snapshots.
+    pub fn to_congested_sets(&self) -> Vec<Vec<usize>> {
+        self.intervals
+            .iter()
+            .map(|flags| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, &c)| c.then_some(p))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuilds a window from the sparse snapshot form produced by
+    /// [`ObservationWindow::to_congested_sets`]. `total_ingested` restores
+    /// the lifetime counter (clamped up to the retained count).
+    pub fn from_congested_sets(
+        num_paths: usize,
+        capacity: Option<usize>,
+        sets: &[Vec<usize>],
+        total_ingested: u64,
+    ) -> Result<Self, String> {
+        let mut window = Self::with_capacity(num_paths, capacity);
+        for set in sets {
+            let ids: Vec<PathId> = set.iter().map(|&p| PathId(p)).collect();
+            window.push_congested(&ids)?;
+        }
+        window.total_ingested = total_ingested.max(window.intervals.len() as u64);
+        Ok(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_window_retains_everything() {
+        let mut w = ObservationWindow::new(3);
+        for t in 0..10 {
+            let evicted = w.push_congested(&[PathId(t % 3)]).unwrap();
+            assert!(evicted.is_none());
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.total_ingested(), 10);
+        assert_eq!(w.evicted(), 0);
+        let obs = w.to_observations();
+        assert_eq!(obs.num_intervals(), 10);
+        assert!(obs.is_congested(PathId(0), 0));
+        assert!(obs.is_good(PathId(1), 0));
+    }
+
+    #[test]
+    fn bounded_window_evicts_oldest() {
+        let mut w = ObservationWindow::with_capacity(2, Some(3));
+        assert!(w.push_congested(&[PathId(0)]).unwrap().is_none());
+        assert!(w.push_congested(&[PathId(1)]).unwrap().is_none());
+        assert!(w.push_congested(&[]).unwrap().is_none());
+        let evicted = w.push_congested(&[PathId(0), PathId(1)]).unwrap();
+        assert_eq!(evicted, Some(vec![true, false]));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_ingested(), 4);
+        assert_eq!(w.evicted(), 1);
+        // Oldest retained interval is now the second push.
+        assert_eq!(w.interval(0), &[false, true]);
+    }
+
+    #[test]
+    fn out_of_range_paths_are_rejected() {
+        let mut w = ObservationWindow::new(2);
+        assert!(w.push_congested(&[PathId(2)]).is_err());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_form_round_trips() {
+        let mut w = ObservationWindow::with_capacity(4, Some(8));
+        for t in 0..12 {
+            w.push_congested(&[PathId(t % 4), PathId((t + 1) % 4)])
+                .unwrap();
+        }
+        let sets = w.to_congested_sets();
+        let back =
+            ObservationWindow::from_congested_sets(4, Some(8), &sets, w.total_ingested()).unwrap();
+        assert_eq!(back.len(), w.len());
+        assert_eq!(back.total_ingested(), w.total_ingested());
+        for i in 0..w.len() {
+            assert_eq!(back.interval(i), w.interval(i));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut w = ObservationWindow::with_capacity(1, Some(0));
+        w.push_congested(&[]).unwrap();
+        w.push_congested(&[PathId(0)]).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.interval(0), &[true]);
+    }
+}

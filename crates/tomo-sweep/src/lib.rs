@@ -54,6 +54,6 @@ pub mod pool;
 pub mod runner;
 
 pub use grid::{derive_seed, SweepGrid, SweepTask, TopologySpec};
-pub use pool::parallel_map;
+pub use pool::{parallel_map, WorkerPool};
 pub use runner::{SweepRecord, SweepReport, SweepRunner};
 pub use tomo_core::TomoError;

@@ -12,9 +12,10 @@
 //! task is recorded as [`TomoError::TaskPanic`] and the pool shuts down
 //! cleanly instead of poisoning shared state or aborting the process.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use tomo_core::TomoError;
 
@@ -125,6 +126,140 @@ where
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Long-lived worker pool
+// ---------------------------------------------------------------------------
+
+/// A job submitted to the [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+    /// Jobs currently executing on a worker.
+    in_flight: usize,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job arrives or the pool shuts down.
+    job_ready: Condvar,
+    /// Signalled when a job finishes (for [`WorkerPool::wait_idle`]).
+    job_done: Condvar,
+}
+
+/// A long-lived pool of worker threads consuming a shared job queue.
+///
+/// [`parallel_map`] covers the sweep engine's finite task lists; the
+/// `tomo-serve` daemon instead needs workers that outlive any single batch —
+/// every accepted connection becomes one job that runs until the client
+/// disconnects. Jobs are `FnOnce` closures; a panicking job is caught at the
+/// job boundary (same containment policy as [`parallel_map`]) and logged,
+/// leaving the worker alive for the next job.
+///
+/// Dropping the pool shuts it down: queued-but-unstarted jobs are discarded,
+/// running jobs complete, workers are joined.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                in_flight: 0,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Fails once the pool has begun shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), TomoError> {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        if queue.shutdown {
+            return Err(TomoError::InvalidConfig(
+                "worker pool is shutting down".into(),
+            ));
+        }
+        queue.jobs.push_back(Box::new(job));
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until every submitted job has finished executing.
+    pub fn wait_idle(&self) {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        while !queue.jobs.is_empty() || queue.in_flight > 0 {
+            queue = self
+                .shared
+                .job_done
+                .wait(queue)
+                .expect("pool queue lock poisoned");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            queue.shutdown = true;
+            queue.jobs.clear();
+        }
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    queue.in_flight += 1;
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .job_ready
+                    .wait(queue)
+                    .expect("pool queue lock poisoned");
+            }
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            eprintln!(
+                "worker pool: job panicked: {}",
+                panic_message(payload.as_ref())
+            );
+        }
+        let mut queue = shared.queue.lock().expect("pool queue lock");
+        queue.in_flight -= 1;
+        shared.job_done.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +313,56 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, TomoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.num_threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn worker_pool_contains_job_panics() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("job exploded")).unwrap();
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_pool_rejects_jobs_after_drop_begins() {
+        // Shutdown discards unstarted jobs and joins workers; a fresh pool
+        // still works afterwards (nothing global is poisoned).
+        {
+            let pool = WorkerPool::new(1);
+            pool.submit(|| std::thread::sleep(std::time::Duration::from_millis(5)))
+                .unwrap();
+        }
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        pool.submit(move || flag.store(true, Ordering::Relaxed))
+            .unwrap();
+        pool.wait_idle();
+        assert!(done.load(Ordering::Relaxed));
     }
 
     #[test]

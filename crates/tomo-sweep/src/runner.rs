@@ -51,7 +51,7 @@ pub struct SweepRecord {
 impl SweepRecord {
     /// Renders the record as one compact JSON line.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+        tomo_core::jsonl::encode_line(self)
     }
 }
 
@@ -69,16 +69,11 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Renders the report as JSON lines (one record per line, task order).
-    /// This rendering is byte-identical across thread counts for a fixed
-    /// grid and base seed.
+    /// Renders the report as JSON lines (one record per line, task order)
+    /// via the shared [`tomo_core::jsonl`] framing. This rendering is
+    /// byte-identical across thread counts for a fixed grid and base seed.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for record in &self.records {
-            out.push_str(&record.to_json_line());
-            out.push('\n');
-        }
-        out
+        tomo_core::jsonl::encode_lines(&self.records)
     }
 
     /// A one-line human summary (includes timing, so not deterministic).

@@ -35,6 +35,9 @@
 //! * [`sweep`] — the parallel experiment-sweep engine: cartesian scenario
 //!   grids fanned across a work-stealing thread pool with deterministic
 //!   per-task seeding and JSON-lines reports.
+//! * [`serve`] — the online streaming-tomography daemon: TCP JSON-lines
+//!   ingestion of probe observations, rolling windows, incrementally
+//!   re-estimated queries, snapshot/restore crash recovery.
 //!
 //! ## Quickstart
 //!
@@ -81,12 +84,14 @@ pub use tomo_inference as inference;
 pub use tomo_linalg as linalg;
 pub use tomo_metrics as metrics;
 pub use tomo_prob as prob;
+pub use tomo_serve as serve;
 pub use tomo_sim as sim;
 pub use tomo_sweep as sweep;
 pub use tomo_topology as topology;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use tomo_core::online::{OnlineEstimator, OnlineIndependence, Refit};
     pub use tomo_core::{
         estimators, Capabilities, Estimator, EstimatorOptions, Experiment, Pipeline, RunOutcome,
         TomoError,
@@ -103,6 +108,7 @@ pub mod prelude {
         CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
         ProbabilityEstimate,
     };
+    pub use tomo_serve::{ServeConfig, ServeEngine, Server};
     pub use tomo_sim::{
         MeasurementMode, PathObservations, ScenarioConfig, ScenarioKind, SimulationConfig,
         SimulationOutput, Simulator,
