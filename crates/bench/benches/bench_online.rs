@@ -1,9 +1,12 @@
-//! Benchmarks of the online (streaming) estimation path: steady-state
-//! incremental ingest vs. the full batch refit a naive daemon would run per
-//! observation batch, plus the structural-rebuild cost.
+//! Benchmarks of the online (streaming) estimation path, driven through
+//! the serving surface (`TomographySession` — the handle every daemon
+//! tenant ingests through): steady-state incremental ingest vs. the full
+//! batch refit a naive daemon would run per observation batch, plus the
+//! structural-rebuild cost. Bench names are stable across the session-API
+//! redesign so the committed baselines keep gating regressions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tomo_core::online::{OnlineEstimator, OnlineIndependence};
+use tomo_core::{SessionConfig, TomographySession};
 use tomo_graph::Network;
 use tomo_prob::{Independence, ProbabilityComputation};
 use tomo_sim::{MeasurementMode, PathObservations, ScenarioConfig, SimulationConfig, Simulator};
@@ -20,8 +23,9 @@ fn network() -> Network {
         .expect("tiny instance generates")
 }
 
-/// Simulates a drifting-loss stream and splits off the trailing batch.
-fn simulate(network: &Network) -> (PathObservations, PathObservations) {
+/// Simulates a drifting-loss stream, returning (warmup, trailing batch) in
+/// the sparse congested-path form the serving surface ingests.
+fn simulate(network: &Network) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
     let config = SimulationConfig {
         num_intervals: WARMUP_INTERVALS + BATCH_INTERVALS,
         scenario: ScenarioConfig::drifting_loss(),
@@ -30,53 +34,60 @@ fn simulate(network: &Network) -> (PathObservations, PathObservations) {
         seed: 3,
     };
     let output = Simulator::new(config).run(network);
-    let all = &output.observations;
-    let mut warmup = PathObservations::new(all.num_paths(), WARMUP_INTERVALS);
-    let mut batch = PathObservations::new(all.num_paths(), BATCH_INTERVALS);
-    for t in 0..WARMUP_INTERVALS {
-        for p in 0..all.num_paths() {
-            let id = tomo_graph::PathId(p);
-            warmup.set_congested(id, t, all.is_congested(id, t));
-        }
-    }
-    for t in 0..BATCH_INTERVALS {
-        for p in 0..all.num_paths() {
-            let id = tomo_graph::PathId(p);
-            batch.set_congested(id, t, all.is_congested(id, t + WARMUP_INTERVALS));
-        }
-    }
+    let all: Vec<Vec<usize>> = (0..output.observations.num_intervals())
+        .map(|t| {
+            output
+                .observations
+                .congested_paths(t)
+                .into_iter()
+                .map(|p| p.index())
+                .collect()
+        })
+        .collect();
+    let batch = all[WARMUP_INTERVALS..].to_vec();
+    let mut warmup = all;
+    warmup.truncate(WARMUP_INTERVALS);
     (warmup, batch)
+}
+
+fn session(network: &Network) -> TomographySession {
+    TomographySession::new(network.clone(), SessionConfig::default()).expect("independence session")
 }
 
 fn bench_online(c: &mut Criterion) {
     let network = network();
     let (warmup, batch) = simulate(&network);
 
-    let mut warmed = OnlineIndependence::default();
-    warmed
-        .ingest(&network, &warmup)
-        .expect("warmup ingest succeeds");
+    let mut warmed = session(&network);
+    warmed.observe(&warmup).expect("warmup ingest succeeds");
 
     let mut group = c.benchmark_group("online");
     group.sample_size(20);
 
     // Steady state: the pc set is stable after warmup, so every further
-    // batch rides the cached-solver path. This is the daemon's hot loop.
+    // batch rides the cached-solver path. This is the daemon's hot loop,
+    // including the sparse-to-dense conversion the wire form pays.
     group.bench_function("incremental_ingest_10", |b| {
-        let mut online = warmed.clone();
-        b.iter(|| {
-            online
-                .ingest(&network, &batch)
-                .expect("steady-state ingest")
-        })
+        // Sessions own their estimator; rebuild one per bench run by
+        // replaying the warmup (cheap relative to the measured loop).
+        let mut online = session(&network);
+        online.observe(&warmup).expect("warmup");
+        b.iter(|| online.observe(&batch).expect("steady-state ingest"))
     });
 
     // What a daemon without the online path would do per batch: re-fit the
     // batch estimator on the whole accumulated window.
     let full_window = {
-        let mut online = warmed.clone();
-        online.ingest(&network, &batch).expect("ingest");
-        online.window().expect("warmed window").to_observations()
+        let mut online = session(&network);
+        online.observe(&warmup).expect("warmup");
+        online.observe(&batch).expect("ingest");
+        let mut obs = PathObservations::new(network.num_paths(), warmup.len() + batch.len());
+        for (t, congested) in warmup.iter().chain(batch.iter()).enumerate() {
+            for &p in congested {
+                obs.set_congested(tomo_graph::PathId(p), t, true);
+            }
+        }
+        obs
     };
     group.bench_function("full_batch_refit", |b| {
         let algorithm = Independence::default();
@@ -87,8 +98,8 @@ fn bench_online(c: &mut Criterion) {
     // Full refit folding every equation through Algorithm 2).
     group.bench_function("structural_rebuild", |b| {
         b.iter(|| {
-            let mut online = OnlineIndependence::default();
-            online.ingest(&network, &warmup).expect("rebuild ingest")
+            let mut online = session(&network);
+            online.observe(&warmup).expect("rebuild ingest")
         })
     });
 

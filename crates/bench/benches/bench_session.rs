@@ -1,0 +1,102 @@
+//! Benchmarks of the multi-tenant serving layer: per-tenant ingest
+//! throughput through the sharded `EngineRegistry` (enqueue + drain +
+//! incremental refit per tenant) at 1 shard vs 8 shards, and the
+//! tenant-lookup + query path. The shard contrast gates the dispatch
+//! overhead of the sharded map (hash, per-shard lock) — on a
+//! multi-core box it additionally buys lock independence, which a
+//! single-threaded bench cannot show.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tomo_core::{SessionConfig, TomographySession};
+use tomo_serve::{EngineRegistry, RegistryConfig, TenantEntry, TenantId};
+
+const TENANTS: usize = 8;
+const WARMUP_INTERVALS: usize = 100;
+const BATCH_INTERVALS: usize = 10;
+
+/// A deterministic toy-topology stream: paths congest on disjoint
+/// schedules so the incremental path engages after the first batch.
+fn intervals(n: usize, offset: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|t| {
+            let t = t + offset;
+            let mut congested = Vec::new();
+            if t.is_multiple_of(5) {
+                congested.extend([0, 1]);
+            }
+            if t % 4 == 1 {
+                congested.push(2);
+            }
+            congested
+        })
+        .collect()
+}
+
+/// A registry with `TENANTS` warmed toy tenants on `shards` shards.
+fn fleet(shards: usize) -> (EngineRegistry, Vec<Arc<TenantEntry>>) {
+    let registry = EngineRegistry::new(RegistryConfig {
+        num_shards: shards,
+        ..RegistryConfig::default()
+    });
+    let mut entries = Vec::new();
+    for i in 0..TENANTS {
+        let session =
+            TomographySession::new(tomo_graph::toy::fig1_case1(), SessionConfig::default())
+                .expect("toy session");
+        let entry = registry
+            .create(TenantId::new(format!("as-{i}")).expect("valid id"), session)
+            .expect("fresh tenant");
+        registry.observe(&entry, intervals(WARMUP_INTERVALS, i));
+        registry.flush(&entry);
+        entries.push(entry);
+    }
+    (registry, entries)
+}
+
+fn bench_session(c: &mut Criterion) {
+    let batch = intervals(BATCH_INTERVALS, 17);
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+
+    // Round-robin one batch into each of the 8 tenants through the
+    // registry (enqueue + inline drain + incremental refit), at both shard
+    // counts. Per-iteration work = 8 tenants × 10 intervals.
+    for shards in [1usize, 8] {
+        let (registry, entries) = fleet(shards);
+        group.bench_function(format!("ingest_round_robin_{shards}shard"), |b| {
+            b.iter(|| {
+                for entry in &entries {
+                    let response = registry.observe(entry, batch.clone());
+                    assert!(
+                        matches!(response, tomo_serve::Response::Accepted { .. }),
+                        "{response:?}"
+                    );
+                }
+            })
+        });
+    }
+
+    // The read path: tenant lookup by id + estimate assembly.
+    let (registry, _entries) = fleet(8);
+    let ids: Vec<TenantId> = (0..TENANTS)
+        .map(|i| TenantId::new(format!("as-{i}")).expect("valid id"))
+        .collect();
+    group.bench_function("lookup_and_query_8tenants", |b| {
+        b.iter(|| {
+            for id in &ids {
+                let entry = registry.lookup(id).expect("tenant exists");
+                let response = registry.query(&entry);
+                assert!(
+                    matches!(response, tomo_serve::Response::Estimate(_)),
+                    "{response:?}"
+                );
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ pub mod online;
 pub mod pipeline;
 pub mod registry;
 pub mod score;
+pub mod session;
 
 /// The string-keyed estimator registry, under the name binaries use:
 /// `estimators::by_name("correlation-complete")`.
@@ -43,9 +44,12 @@ pub use registry as estimators;
 
 pub use error::TomoError;
 pub use estimator::{Capabilities, Estimator, InferenceEstimator, ProbEstimator};
-pub use online::{BufferedOnline, OnlineEstimator, OnlineIndependence, Refit};
+pub use online::{BufferedOnline, OnlineCorrelation, OnlineEstimator, OnlineIndependence, Refit};
 pub use pipeline::{run_batch, Experiment, Pipeline, PipelineTask, RunOutcome};
 pub use registry::EstimatorOptions;
+pub use session::{
+    SessionAck, SessionConfig, SessionEstimate, SessionSnapshot, SessionStats, TomographySession,
+};
 
 #[cfg(test)]
 mod tests {

@@ -35,7 +35,10 @@ use tomo_linalg::{least_squares, nullspace_update, solve_multi, LstsqOptions, Ma
 use tomo_prob::result::EstimateDiagnostics;
 use tomo_prob::subsets::potentially_congested_links;
 use tomo_prob::AlgorithmAssumptions;
-use tomo_prob::{baseline_path_sets, IndependenceConfig, ProbabilityEstimate};
+use tomo_prob::{
+    baseline_path_sets, CorrelationComplete, CorrelationCompleteConfig, CorrelationSystem,
+    IndependenceConfig, ProbabilityEstimate,
+};
 use tomo_sim::{ObservationWindow, PathObservations};
 
 use crate::error::TomoError;
@@ -119,16 +122,27 @@ struct Structure {
 /// See the module docs for the design; the observable contract is that
 /// [`Estimator::estimate`] always equals (within solver tolerance) what
 /// [`tomo_prob::Independence`] computes on the retained window.
+///
+/// With a decay factor (see [`OnlineIndependence::with_decay`]) the
+/// right-hand sides are estimated from exponentially reweighted counters
+/// (`weight = λ^age`) instead of plain window fractions, so drifting loss
+/// rates are tracked faster than truncation alone allows. Decay has no
+/// batch equivalent; [`OnlineIndependence::deviation_from_batch`] is only
+/// defined without it.
 #[derive(Clone, Debug)]
 pub struct OnlineIndependence {
     config: IndependenceConfig,
     capacity: Option<usize>,
+    decay: Option<f64>,
     window: Option<ObservationWindow>,
     /// All candidate path sets (singles + capped pairs), fixed per network.
     path_sets: Vec<Vec<PathId>>,
-    /// Per path set: intervals in the window where every member was good.
-    set_all_good: Vec<u64>,
-    /// Per path: intervals in the window where the path was congested.
+    /// Per path set: (decay-weighted) intervals in the window where every
+    /// member was good. Exact integer counts when decay is off.
+    set_all_good: Vec<f64>,
+    /// Per path: intervals in the window where the path was congested
+    /// (unweighted presence counts — the equation structure depends only on
+    /// *whether* a path has congested within the window).
     path_congested: Vec<u64>,
     structure: Option<Structure>,
     estimate: Option<ProbabilityEstimate>,
@@ -145,9 +159,20 @@ impl OnlineIndependence {
     /// Creates the estimator; `window_capacity` bounds the retained
     /// intervals (`None` keeps the full history).
     pub fn new(config: IndependenceConfig, window_capacity: Option<usize>) -> Self {
+        Self::with_decay(config, window_capacity, None)
+    }
+
+    /// Creates the estimator with an exponential reweighting factor
+    /// `decay ∈ (0, 1)` on top of (optional) truncation.
+    pub fn with_decay(
+        config: IndependenceConfig,
+        window_capacity: Option<usize>,
+        decay: Option<f64>,
+    ) -> Self {
         Self {
             config,
             capacity: window_capacity,
+            decay,
             window: None,
             path_sets: Vec::new(),
             set_all_good: Vec::new(),
@@ -156,6 +181,11 @@ impl OnlineIndependence {
             estimate: None,
             counts: RefitCounts::default(),
         }
+    }
+
+    /// The decay factor as a multiplier (1 when reweighting is disabled).
+    fn lambda(&self) -> f64 {
+        self.decay.unwrap_or(1.0)
     }
 
     /// The refit counters (also available through the trait).
@@ -167,6 +197,13 @@ impl OnlineIndependence {
     /// a from-scratch batch fit on the retained window — the correctness
     /// check the integration tests (and the daemon's self-check) use.
     pub fn deviation_from_batch(&self, network: &Network) -> Result<f64, TomoError> {
+        if self.decay.is_some() {
+            return Err(TomoError::InvalidConfig(
+                "deviation_from_batch is undefined under exponential decay \
+                 (the batch estimator weights every interval equally)"
+                    .into(),
+            ));
+        }
         let window = self.window.as_ref().ok_or_else(|| TomoError::NotFitted {
             estimator: self.name().to_string(),
         })?;
@@ -197,46 +234,74 @@ impl OnlineIndependence {
         self.estimate = None;
     }
 
-    /// Applies one interval's flags to the counters with weight `+1`
-    /// (ingest) or `-1` (eviction).
-    fn apply_interval(&mut self, flags: &[bool], add: bool) {
+    /// Folds one freshly pushed interval into the counters. Under decay the
+    /// previously accumulated weighted counts are scaled by `λ` first (every
+    /// older interval just aged by one step); the new interval enters with
+    /// weight 1.
+    fn add_interval(&mut self, flags: &[bool]) {
+        let lambda = self.lambda();
+        if lambda < 1.0 {
+            for c in &mut self.set_all_good {
+                *c *= lambda;
+            }
+        }
         for (p, &congested) in flags.iter().enumerate() {
             if congested {
-                if add {
-                    self.path_congested[p] += 1;
-                } else {
-                    self.path_congested[p] -= 1;
-                }
+                self.path_congested[p] += 1;
             }
         }
         for (i, set) in self.path_sets.iter().enumerate() {
             if set.iter().all(|p| !flags[p.index()]) {
-                if add {
-                    self.set_all_good[i] += 1;
-                } else {
-                    self.set_all_good[i] -= 1;
-                }
+                self.set_all_good[i] += 1.0;
             }
         }
     }
 
+    /// Removes an evicted interval from the counters. At eviction time the
+    /// oldest interval carries weight `λ^capacity` (it has aged `capacity`
+    /// steps since it was pushed); without decay that is exactly 1.
+    fn evict_interval(&mut self, flags: &[bool]) {
+        let capacity = self
+            .window
+            .as_ref()
+            .and_then(|w| w.capacity())
+            .expect("evictions only happen on bounded windows");
+        let weight = self.lambda().powi(capacity as i32);
+        for (p, &congested) in flags.iter().enumerate() {
+            if congested {
+                self.path_congested[p] -= 1;
+            }
+        }
+        for (i, set) in self.path_sets.iter().enumerate() {
+            if set.iter().all(|p| !flags[p.index()]) {
+                self.set_all_good[i] = (self.set_all_good[i] - weight).max(0.0);
+            }
+        }
+    }
+
+    /// The effective (weighted) sample size the empirical fractions divide
+    /// by: the window length without decay, `Σ λ^age` with it.
+    fn effective_weight(&self) -> f64 {
+        self.window.as_ref().map_or(0.0, |w| w.total_weight())
+    }
+
     /// The clamped empirical `ln P(all paths of the set good)` — identical
     /// to [`tomo_prob::PathSetEstimator::log_all_good_probability`] on the
-    /// materialized window.
-    fn log_all_good(&self, set_index: usize, num_intervals: usize) -> f64 {
-        let t = num_intervals.max(1) as f64;
+    /// materialized window when decay is off.
+    fn log_all_good(&self, set_index: usize, weight: f64) -> f64 {
+        let t = if weight > 0.0 { weight } else { 1.0 };
         let floor = (self.config.estimator.min_virtual_observations / t).min(0.5);
-        let fraction = self.set_all_good[set_index] as f64 / t;
+        let fraction = self.set_all_good[set_index] / t;
         fraction.clamp(floor, 1.0).ln()
     }
 
     /// The right-hand-side vector over the active equations.
-    fn rhs(&self, structure: &Structure, num_intervals: usize) -> Vector {
+    fn rhs(&self, structure: &Structure, weight: f64) -> Vector {
         Vector::from_iter(
             structure
                 .active_sets
                 .iter()
-                .map(|&i| self.log_all_good(i, num_intervals)),
+                .map(|&i| self.log_all_good(i, weight)),
         )
     }
 
@@ -317,8 +382,7 @@ impl OnlineIndependence {
     /// already has one; otherwise the cached solver (or a full least-squares
     /// solve) produces it.
     fn refresh_estimate(&mut self, network: &Network, solved: Option<Vector>) {
-        let window = self.window.as_ref().expect("refresh needs a window");
-        let num_intervals = window.len();
+        let weight = self.effective_weight();
         let structure = self.structure.as_ref().expect("refresh needs a structure");
         let mut estimate = ProbabilityEstimate::new(self.name(), network.num_links());
         estimate.independence_fallback = true;
@@ -341,7 +405,7 @@ impl OnlineIndependence {
             return;
         }
 
-        let b = self.rhs(structure, num_intervals);
+        let b = self.rhs(structure, weight);
         let x = match solved {
             Some(x) => x,
             None => match &structure.solver {
@@ -406,12 +470,13 @@ impl OnlineEstimator for OnlineIndependence {
             )));
         }
         if self.window.is_none() {
-            self.window = Some(ObservationWindow::with_capacity(
+            self.window = Some(ObservationWindow::with_decay(
                 network.num_paths(),
                 self.capacity,
+                self.decay,
             ));
             self.path_sets = baseline_path_sets(network, batch, self.config.max_pair_equations);
-            self.set_all_good = vec![0; self.path_sets.len()];
+            self.set_all_good = vec![0.0; self.path_sets.len()];
             self.path_congested = vec![0; network.num_paths()];
         }
         if self
@@ -438,9 +503,9 @@ impl OnlineEstimator for OnlineIndependence {
                 .as_mut()
                 .expect("window exists")
                 .push_flags(flags.clone());
-            self.apply_interval(&flags, true);
+            self.add_interval(&flags);
             if let Some(old) = evicted {
-                self.apply_interval(&old, false);
+                self.evict_interval(&old);
             }
         }
         let now_congested: Vec<bool> = self.path_congested.iter().map(|&c| c > 0).collect();
@@ -453,7 +518,7 @@ impl OnlineEstimator for OnlineIndependence {
             let solved = if structure.pc_links.is_empty() {
                 None
             } else {
-                let b = self.rhs(structure, self.window.as_ref().expect("window").len());
+                let b = self.rhs(structure, self.effective_weight());
                 let opts = LstsqOptions {
                     ridge: self.config.ridge,
                     compute_identifiability: false,
@@ -466,6 +531,362 @@ impl OnlineEstimator for OnlineIndependence {
             Ok(Refit::Full)
         } else {
             self.refresh_estimate(network, None);
+            self.counts.incremental += 1;
+            Ok(Refit::Incremental)
+        }
+    }
+
+    fn window(&self) -> Option<&ObservationWindow> {
+        self.window.as_ref()
+    }
+
+    fn refit_counts(&self) -> RefitCounts {
+        self.counts
+    }
+
+    fn restore_total_ingested(&mut self, total: u64) {
+        if let Some(window) = self.window.as_mut() {
+            window.restore_total_ingested(total);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnlineCorrelation
+// ---------------------------------------------------------------------------
+
+/// Cached state of [`OnlineCorrelation`] that only changes when the
+/// potentially-congested path bitmap changes: the Algorithm-1 selection and
+/// assembled system, the ridge pseudo-solver over its columns, and the
+/// per-equation (weighted) all-good counters.
+struct CorrStructure {
+    /// Targets, selection and equation system from `tomo-prob`.
+    sys: CorrelationSystem,
+    /// Dense system matrix (rows = equations, columns = subsets including
+    /// auxiliaries).
+    matrix: Matrix,
+    /// Cached ridge pseudo-solver `(AᵀA + λI)⁻¹Aᵀ`; `None` when even the
+    /// ridge system was singular (then every refresh re-solves from
+    /// scratch).
+    solver: Option<Matrix>,
+    /// Per equation: (decay-weighted) count of intervals in the window where
+    /// every path of the equation's path set was good.
+    set_all_good: Vec<f64>,
+}
+
+/// Incremental, streaming form of the paper's Correlation-complete
+/// Probability Computation algorithm.
+///
+/// Like [`OnlineIndependence`], it exploits that the expensive part of the
+/// batch fit — target enumeration, Algorithm-1 path-set selection and the
+/// equation-system assembly — depends on the observations only through
+/// which paths have congested within the window. While that bitmap is
+/// stable, an ingest only moves the per-equation all-good counters and
+/// re-applies a cached ridge pseudo-solver ([`Refit::Incremental`]); when
+/// it changes, targets and selection are rebuilt from the retained window
+/// ([`Refit::Full`]). The observable contract is that the estimate always
+/// equals — up to solver tolerance — a batch
+/// [`tomo_prob::CorrelationComplete`] fit on the retained window (without
+/// decay).
+pub struct OnlineCorrelation {
+    config: CorrelationCompleteConfig,
+    capacity: Option<usize>,
+    decay: Option<f64>,
+    window: Option<ObservationWindow>,
+    /// Per path: intervals in the window where the path was congested
+    /// (unweighted presence counts; drives structure-change detection).
+    path_congested: Vec<u64>,
+    structure: Option<CorrStructure>,
+    estimate: Option<ProbabilityEstimate>,
+    counts: RefitCounts,
+}
+
+impl Default for OnlineCorrelation {
+    fn default() -> Self {
+        Self::new(CorrelationCompleteConfig::default(), None)
+    }
+}
+
+impl OnlineCorrelation {
+    /// Creates the estimator; `window_capacity` bounds the retained
+    /// intervals (`None` keeps the full history).
+    pub fn new(config: CorrelationCompleteConfig, window_capacity: Option<usize>) -> Self {
+        Self::with_decay(config, window_capacity, None)
+    }
+
+    /// Creates the estimator with an exponential reweighting factor
+    /// `decay ∈ (0, 1)` on top of (optional) truncation.
+    pub fn with_decay(
+        config: CorrelationCompleteConfig,
+        window_capacity: Option<usize>,
+        decay: Option<f64>,
+    ) -> Self {
+        Self {
+            config,
+            capacity: window_capacity,
+            decay,
+            window: None,
+            path_congested: Vec::new(),
+            structure: None,
+            estimate: None,
+            counts: RefitCounts::default(),
+        }
+    }
+
+    fn lambda(&self) -> f64 {
+        self.decay.unwrap_or(1.0)
+    }
+
+    /// The refit counters (also available through the trait).
+    pub fn counts(&self) -> RefitCounts {
+        self.counts
+    }
+
+    /// Maximum absolute deviation of the current per-link probabilities from
+    /// a from-scratch batch fit on the retained window. Undefined under
+    /// decay (there is no equally-weighted batch equivalent).
+    pub fn deviation_from_batch(&self, network: &Network) -> Result<f64, TomoError> {
+        if self.decay.is_some() {
+            return Err(TomoError::InvalidConfig(
+                "deviation_from_batch is undefined under exponential decay".into(),
+            ));
+        }
+        let window = self.window.as_ref().ok_or_else(|| TomoError::NotFitted {
+            estimator: self.name().to_string(),
+        })?;
+        let estimate = self.estimate.as_ref().ok_or_else(|| TomoError::NotFitted {
+            estimator: self.name().to_string(),
+        })?;
+        use tomo_prob::ProbabilityComputation;
+        let batch = CorrelationComplete::new(self.config.clone())
+            .compute(network, &window.to_observations());
+        let mut worst = 0.0f64;
+        for l in network.link_ids() {
+            let d = (batch.link_congestion_probability(l)
+                - estimate.link_congestion_probability(l))
+            .abs();
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+
+    /// Resets all streaming state (the lifetime refit counters are kept).
+    pub fn reset(&mut self) {
+        self.window = None;
+        self.path_congested.clear();
+        self.structure = None;
+        self.estimate = None;
+    }
+
+    /// Rebuilds targets, selection, system and counters from the retained
+    /// window, and caches the ridge pseudo-solver for the incremental path.
+    fn rebuild_structure(&mut self, network: &Network) {
+        let window = self.window.as_ref().expect("rebuild needs a window");
+        let observations = window.to_observations();
+        let sys = CorrelationSystem::build(&self.config, network, &observations);
+        let matrix = sys.system.matrix();
+
+        // Recompute the per-equation weighted all-good counters from the
+        // retained intervals (the equation list just changed shape).
+        let mut set_all_good = vec![0.0; sys.system.num_equations()];
+        for i in 0..window.len() {
+            let flags = window.interval(i);
+            let weight = window.interval_weight(i);
+            for (e, eq) in sys.system.equations().iter().enumerate() {
+                if eq.path_set.iter().all(|p| !flags[p.index()]) {
+                    set_all_good[e] += weight;
+                }
+            }
+        }
+
+        let solver = if matrix.rows() == 0 || matrix.cols() == 0 {
+            None
+        } else {
+            let at = matrix.transpose();
+            let mut ata = at.matmul(&matrix);
+            for i in 0..ata.rows() {
+                ata[(i, i)] += self.config.ridge;
+            }
+            solve_multi(&ata, &at)
+        };
+
+        self.structure = Some(CorrStructure {
+            sys,
+            matrix,
+            solver,
+            set_all_good,
+        });
+    }
+
+    /// Recomputes the published estimate from the cached structure and
+    /// counters. `batch_solve` forces the same least-squares path the batch
+    /// algorithm uses (rebuild points); otherwise the cached pseudo-solver
+    /// answers.
+    fn refresh_estimate(&mut self, network: &Network, batch_solve: bool) {
+        let window = self.window.as_ref().expect("refresh needs a window");
+        let weight = window.total_weight();
+        let structure = self.structure.as_ref().expect("refresh needs a structure");
+        if structure.sys.is_empty() {
+            self.estimate = Some(
+                structure
+                    .sys
+                    .estimate_from_solution(self.name(), network, &[]),
+            );
+            return;
+        }
+
+        // Weighted empirical right-hand sides, clamped exactly like
+        // `PathSetEstimator::log_all_good_probability`.
+        let t = if weight > 0.0 { weight } else { 1.0 };
+        let floor = (self.config.estimator.min_virtual_observations / t).min(0.5);
+        let b = Vector::from_iter(
+            structure
+                .set_all_good
+                .iter()
+                .map(|&c| (c / t).clamp(floor, 1.0).ln()),
+        );
+
+        let opts = LstsqOptions {
+            ridge: self.config.ridge,
+            compute_identifiability: false,
+            ..LstsqOptions::default()
+        };
+        let x = if batch_solve {
+            least_squares(&structure.matrix, &b, &opts).x
+        } else {
+            match &structure.solver {
+                Some(p) => p.matvec(&b),
+                None => least_squares(&structure.matrix, &b, &opts).x,
+            }
+        };
+        let good: Vec<f64> = x
+            .as_slice()
+            .iter()
+            .map(|&y| y.exp().clamp(0.0, 1.0))
+            .collect();
+        self.estimate = Some(
+            structure
+                .sys
+                .estimate_from_solution(self.name(), network, &good),
+        );
+    }
+}
+
+impl Estimator for OnlineCorrelation {
+    fn name(&self) -> &'static str {
+        "Online-Correlation-complete"
+    }
+
+    fn assumptions(&self) -> AlgorithmAssumptions {
+        AlgorithmAssumptions::correlation_complete()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PROBABILITY
+    }
+
+    fn fit(&mut self, network: &Network, observations: &PathObservations) -> Result<(), TomoError> {
+        self.reset();
+        self.ingest(network, observations)?;
+        Ok(())
+    }
+
+    fn estimate(&self) -> Option<&ProbabilityEstimate> {
+        self.estimate.as_ref()
+    }
+}
+
+impl OnlineEstimator for OnlineCorrelation {
+    fn ingest(&mut self, network: &Network, batch: &PathObservations) -> Result<Refit, TomoError> {
+        if batch.num_paths() != network.num_paths() {
+            return Err(TomoError::InvalidConfig(format!(
+                "batch has {} paths but the network has {}",
+                batch.num_paths(),
+                network.num_paths()
+            )));
+        }
+        if self.window.is_none() {
+            self.window = Some(ObservationWindow::with_decay(
+                network.num_paths(),
+                self.capacity,
+                self.decay,
+            ));
+            self.path_congested = vec![0; network.num_paths()];
+        }
+        if self
+            .window
+            .as_ref()
+            .expect("window just ensured")
+            .num_paths()
+            != network.num_paths()
+        {
+            return Err(TomoError::InvalidConfig(
+                "network changed shape between ingests; create a fresh estimator".into(),
+            ));
+        }
+
+        let was_congested: Vec<bool> = self.path_congested.iter().map(|&c| c > 0).collect();
+        let lambda = self.lambda();
+        for t in 0..batch.num_intervals() {
+            let flags: Vec<bool> = (0..batch.num_paths())
+                .map(|p| batch.is_congested(PathId(p), t))
+                .collect();
+            let evicted = self
+                .window
+                .as_mut()
+                .expect("window exists")
+                .push_flags(flags.clone());
+            // Fold the interval into the per-equation counters (when a
+            // structure is cached — a rebuild recomputes them anyway).
+            if let Some(structure) = self.structure.as_mut() {
+                if lambda < 1.0 {
+                    for c in &mut structure.set_all_good {
+                        *c *= lambda;
+                    }
+                }
+                for (e, eq) in structure.sys.system.equations().iter().enumerate() {
+                    if eq.path_set.iter().all(|p| !flags[p.index()]) {
+                        structure.set_all_good[e] += 1.0;
+                    }
+                }
+            }
+            for (p, &congested) in flags.iter().enumerate() {
+                if congested {
+                    self.path_congested[p] += 1;
+                }
+            }
+            if let Some(old) = evicted {
+                let capacity = self
+                    .window
+                    .as_ref()
+                    .and_then(|w| w.capacity())
+                    .expect("evictions only happen on bounded windows");
+                let weight = lambda.powi(capacity as i32);
+                if let Some(structure) = self.structure.as_mut() {
+                    for (e, eq) in structure.sys.system.equations().iter().enumerate() {
+                        if eq.path_set.iter().all(|p| !old[p.index()]) {
+                            structure.set_all_good[e] =
+                                (structure.set_all_good[e] - weight).max(0.0);
+                        }
+                    }
+                }
+                for (p, &congested) in old.iter().enumerate() {
+                    if congested {
+                        self.path_congested[p] -= 1;
+                    }
+                }
+            }
+        }
+        let now_congested: Vec<bool> = self.path_congested.iter().map(|&c| c > 0).collect();
+
+        let structural_change = self.structure.is_none() || was_congested != now_congested;
+        if structural_change {
+            self.rebuild_structure(network);
+            self.refresh_estimate(network, true);
+            self.counts.full += 1;
+            Ok(Refit::Full)
+        } else {
+            self.refresh_estimate(network, false);
             self.counts.incremental += 1;
             Ok(Refit::Incremental)
         }
@@ -585,19 +1006,47 @@ impl OnlineEstimator for BufferedOnline {
 
 /// Constructs an online estimator by registry name.
 ///
-/// `independence` resolves to the incremental [`OnlineIndependence`]; every
+/// `independence` resolves to the incremental [`OnlineIndependence`] and
+/// `correlation-complete` to the incremental [`OnlineCorrelation`]; every
 /// other registry name is wrapped in [`BufferedOnline`] (correct, but each
 /// ingest is a full refit).
+///
+/// `decay` enables exponential reweighting (`λ ∈ (0, 1)`); only the two
+/// incremental estimators support it — buffered estimators re-fit from the
+/// unweighted window and would silently ignore it, so the combination is
+/// rejected.
 pub fn online_by_name(
     name: &str,
     options: &EstimatorOptions,
     window_capacity: Option<usize>,
+    decay: Option<f64>,
 ) -> Result<Box<dyn OnlineEstimator + Send>, TomoError> {
+    if let Some(lambda) = decay {
+        if !(lambda > 0.0 && lambda < 1.0) {
+            return Err(TomoError::InvalidConfig(format!(
+                "decay must lie in (0, 1), got {lambda}"
+            )));
+        }
+    }
     let canonical = crate::registry::canonical(name);
     if canonical == "independence" || canonical == "online-independence" {
-        return Ok(Box::new(OnlineIndependence::new(
+        return Ok(Box::new(OnlineIndependence::with_decay(
             IndependenceConfig::default(),
             window_capacity,
+            decay,
+        )));
+    }
+    if canonical == "correlation-complete" || canonical == "online-correlation-complete" {
+        return Ok(Box::new(OnlineCorrelation::with_decay(
+            options.correlation_complete_config(),
+            window_capacity,
+            decay,
+        )));
+    }
+    if decay.is_some() {
+        return Err(TomoError::InvalidConfig(format!(
+            "estimator `{name}` has no decay-aware online form \
+             (decay is supported by independence and correlation-complete)"
         )));
     }
     let inner = crate::registry::with_options(name, options)?;
@@ -758,15 +1207,20 @@ mod tests {
     fn buffered_online_wraps_any_registry_estimator() {
         let net = toy::fig1_case1();
         let obs = toy_observations(80);
-        let mut online =
-            online_by_name("correlation-complete", &EstimatorOptions::default(), None).unwrap();
+        let mut online = online_by_name(
+            "bayesian-correlation",
+            &EstimatorOptions::default(),
+            None,
+            None,
+        )
+        .unwrap();
         for batch in batches(&obs, 40) {
             assert_eq!(online.ingest(&net, &batch).unwrap(), Refit::Full);
         }
         assert_eq!(online.intervals_ingested(), 80);
         let est = online.estimate().expect("probability capability");
         // Must equal the straight batch fit on the concatenation.
-        let mut batch_est = crate::registry::by_name("correlation-complete").unwrap();
+        let mut batch_est = crate::registry::by_name("bayesian-correlation").unwrap();
         batch_est.fit(&net, &obs).unwrap();
         let batch_est = batch_est.estimate().unwrap();
         for l in net.link_ids() {
@@ -779,9 +1233,200 @@ mod tests {
     }
 
     #[test]
-    fn online_registry_resolves_the_incremental_path_for_independence() {
-        let online = online_by_name("independence", &EstimatorOptions::default(), Some(50));
+    fn online_registry_resolves_the_incremental_paths() {
+        let online = online_by_name("independence", &EstimatorOptions::default(), Some(50), None);
         assert_eq!(online.unwrap().name(), "Online-Independence");
-        assert!(online_by_name("no-such", &EstimatorOptions::default(), None).is_err());
+        let online = online_by_name(
+            "correlation-complete",
+            &EstimatorOptions::default(),
+            None,
+            None,
+        );
+        assert_eq!(online.unwrap().name(), "Online-Correlation-complete");
+        assert!(online_by_name("no-such", &EstimatorOptions::default(), None, None).is_err());
+        // Decay is rejected for buffered estimators and bad factors.
+        assert!(online_by_name("sparsity", &EstimatorOptions::default(), None, Some(0.9)).is_err());
+        assert!(online_by_name(
+            "independence",
+            &EstimatorOptions::default(),
+            None,
+            Some(1.5)
+        )
+        .is_err());
+        assert!(online_by_name(
+            "independence",
+            &EstimatorOptions::default(),
+            None,
+            Some(0.9)
+        )
+        .is_ok());
+    }
+
+    // -- OnlineCorrelation ---------------------------------------------------
+
+    /// Observations exercising correlated links on the Fig. 1 topology:
+    /// e1 congested 20% of the time, {e2,e3} perfectly correlated at 40%.
+    fn correlated_observations(t: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let e1_bad = ti % 25 < 5;
+            let e23_bad = ti % 5 < 2;
+            obs.set_congested(PathId(0), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(1), ti, e1_bad || e23_bad);
+            obs.set_congested(PathId(2), ti, e23_bad);
+        }
+        obs
+    }
+
+    #[test]
+    fn online_correlation_matches_batch_fit() {
+        use tomo_prob::ProbabilityComputation;
+        let net = toy::fig1_case1();
+        let obs = correlated_observations(200);
+        let mut online = OnlineCorrelation::default();
+        for batch in batches(&obs, 7) {
+            online.ingest(&net, &batch).unwrap();
+        }
+        let batch_est = CorrelationComplete::default().compute(&net, &obs);
+        let online_est = online.estimate().expect("fitted");
+        for l in net.link_ids() {
+            let (a, b) = (
+                batch_est.link_congestion_probability(l),
+                online_est.link_congestion_probability(l),
+            );
+            assert!((a - b).abs() < 1e-5, "link {l}: batch {a} vs online {b}");
+            assert_eq!(
+                batch_est.link_is_identifiable(l),
+                online_est.link_is_identifiable(l),
+                "identifiability of {l}"
+            );
+        }
+        // Subset (pair) probabilities survive the incremental path too.
+        for (subset, good) in batch_est.estimated_subsets() {
+            let links: Vec<_> = subset.iter().copied().collect();
+            let online_joint = online_est.subset_good_probability(&links);
+            assert!(
+                online_joint.is_some(),
+                "subset {subset:?} missing from online estimate"
+            );
+            assert!((online_joint.unwrap() - good).abs() < 1e-5, "{subset:?}");
+        }
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn online_correlation_steady_state_is_incremental() {
+        let net = toy::fig1_case1();
+        let obs = correlated_observations(300);
+        let mut online = OnlineCorrelation::default();
+        let mut refits = Vec::new();
+        for batch in batches(&obs, 25) {
+            refits.push(online.ingest(&net, &batch).unwrap());
+        }
+        assert_eq!(refits[0], Refit::Full);
+        assert!(
+            refits[1..].iter().all(|r| *r == Refit::Incremental),
+            "{refits:?}"
+        );
+        let counts = online.refit_counts();
+        assert_eq!(counts.full, 1);
+        assert_eq!(counts.incremental, refits.len() as u64 - 1);
+        assert_eq!(online.intervals_ingested(), 300);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn online_correlation_bounded_window_tracks_batch() {
+        let net = toy::fig1_case1();
+        let obs = correlated_observations(240);
+        let mut online = OnlineCorrelation::new(CorrelationCompleteConfig::default(), Some(75));
+        for batch in batches(&obs, 12) {
+            online.ingest(&net, &batch).unwrap();
+        }
+        assert_eq!(online.window().unwrap().len(), 75);
+        assert!(online.window().unwrap().evicted() > 0);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn online_correlation_structure_change_forces_full_refit() {
+        let net = toy::fig1_case1();
+        let mut online = OnlineCorrelation::default();
+        let mut b1 = PathObservations::new(3, 10);
+        b1.set_congested(PathId(0), 2, true);
+        assert_eq!(online.ingest(&net, &b1).unwrap(), Refit::Full);
+        assert_eq!(online.ingest(&net, &b1).unwrap(), Refit::Incremental);
+        let mut b3 = PathObservations::new(3, 10);
+        b3.set_congested(PathId(2), 0, true);
+        assert_eq!(online.ingest(&net, &b3).unwrap(), Refit::Full);
+        assert!(online.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    // -- Decay ---------------------------------------------------------------
+
+    /// A drifting stream: `path` congested at `before` rate for the first
+    /// `t_drift` intervals, then at `after` rate.
+    fn drifting_flags(t: usize, t_drift: usize, before: usize, after: usize) -> PathObservations {
+        let mut obs = PathObservations::new(3, t);
+        for ti in 0..t {
+            let period = if ti < t_drift { before } else { after };
+            let bad = ti % period == 0;
+            obs.set_congested(PathId(0), ti, bad);
+            obs.set_congested(PathId(1), ti, bad || ti % 4 == 1);
+            obs.set_congested(PathId(2), ti, ti % 4 == 1);
+        }
+        obs
+    }
+
+    #[test]
+    fn decayed_window_tracks_drift_faster_than_truncation() {
+        let net = toy::fig1_case1();
+        // e1's congestion rate jumps from 10% to 50% at t = 300; both
+        // estimators then see 60 post-drift intervals.
+        let obs = drifting_flags(360, 300, 10, 2);
+        let mut truncating = OnlineIndependence::new(IndependenceConfig::default(), Some(200));
+        let mut decayed =
+            OnlineIndependence::with_decay(IndependenceConfig::default(), Some(200), Some(0.95));
+        for batch in batches(&obs, 20) {
+            truncating.ingest(&net, &batch).unwrap();
+            decayed.ingest(&net, &batch).unwrap();
+        }
+        let post_drift_rate = 0.5;
+        let e1 = tomo_graph::toy::E1;
+        let trunc_err = (truncating
+            .estimate()
+            .unwrap()
+            .link_congestion_probability(e1)
+            - post_drift_rate)
+            .abs();
+        let decay_err =
+            (decayed.estimate().unwrap().link_congestion_probability(e1) - post_drift_rate).abs();
+        // The truncating window still averages 140 pre-drift intervals into
+        // the rate; the decayed window has all but forgotten them.
+        assert!(
+            decay_err < trunc_err,
+            "decayed {decay_err} should beat truncating {trunc_err}"
+        );
+        assert!(decay_err < 0.1, "decayed error too large: {decay_err}");
+        // And deviation_from_batch is explicitly undefined under decay.
+        assert!(decayed.deviation_from_batch(&net).is_err());
+    }
+
+    #[test]
+    fn decay_without_drift_agrees_with_the_stationary_rate() {
+        let net = toy::fig1_case1();
+        let obs = toy_observations(400);
+        let mut decayed =
+            OnlineIndependence::with_decay(IndependenceConfig::default(), None, Some(0.99));
+        for batch in batches(&obs, 20) {
+            decayed.ingest(&net, &batch).unwrap();
+        }
+        // Stationary stream: the reweighted estimate still recovers the true
+        // rate (e1 congested 20% of intervals), just with a shorter memory.
+        let p = decayed
+            .estimate()
+            .unwrap()
+            .link_congestion_probability(tomo_graph::toy::E1);
+        assert!((p - 0.2).abs() < 0.1, "{p}");
     }
 }

@@ -228,6 +228,80 @@ impl Experiment {
         &self.output.observations
     }
 
+    /// Streams the observations through a [`TomographySession`] in chunks of
+    /// `chunk` intervals (as a daemon tenant would receive them) and scores
+    /// the *final* estimate exactly like [`Experiment::evaluate`]. This is
+    /// the sweep engine's streaming mode: it exercises the incremental
+    /// ingest paths instead of one batch fit.
+    pub fn evaluate_streaming(
+        &self,
+        session: &mut crate::session::TomographySession,
+        chunk: usize,
+    ) -> Result<RunOutcome, TomoError> {
+        if chunk == 0 {
+            return Err(TomoError::InvalidConfig(
+                "streaming chunk must be at least one interval".into(),
+            ));
+        }
+        if session.network().num_paths() != self.output.observations.num_paths() {
+            return Err(TomoError::InvalidConfig(format!(
+                "session monitors {} paths but the experiment observed {}",
+                session.network().num_paths(),
+                self.output.observations.num_paths()
+            )));
+        }
+        let observations = &self.output.observations;
+        let mut t = 0;
+        while t < observations.num_intervals() {
+            let len = chunk.min(observations.num_intervals() - t);
+            let intervals: Vec<Vec<usize>> = (t..t + len)
+                .map(|ti| {
+                    observations
+                        .congested_paths(ti)
+                        .into_iter()
+                        .map(|p| p.index())
+                        .collect()
+                })
+                .collect();
+            session.observe(&intervals)?;
+            t += len;
+        }
+
+        let capabilities = session.estimator().capabilities();
+        let (estimate, link_errors) =
+            if capabilities.probability {
+                let estimate = session.estimator().estimate().cloned().ok_or_else(|| {
+                    TomoError::NotFitted {
+                        estimator: session.estimator().name().to_string(),
+                    }
+                })?;
+                let errors = score::link_error_stats(&self.network, &self.output, &estimate);
+                (Some(estimate), Some(errors))
+            } else {
+                (None, None)
+            };
+        let (inferred, inference_score) = if capabilities.interval_inference {
+            let per_interval: Vec<Vec<LinkId>> = (0..observations.num_intervals())
+                .map(|ti| {
+                    session
+                        .estimator()
+                        .infer_interval(&self.network, &observations.congested_paths(ti))
+                })
+                .collect::<Result<_, _>>()?;
+            let score = score::inference_score(&self.output, &per_interval);
+            (Some(per_interval), Some(score))
+        } else {
+            (None, None)
+        };
+        Ok(RunOutcome {
+            estimator: session.estimator().name().to_string(),
+            estimate,
+            link_errors,
+            inferred,
+            inference_score,
+        })
+    }
+
     /// Fits one estimator on the observations and scores every capability it
     /// offers against the ground truth.
     pub fn evaluate(&self, estimator: &mut dyn Estimator) -> Result<RunOutcome, TomoError> {

@@ -65,7 +65,7 @@ impl EstimatorOptions {
             .unwrap_or(CorrelationCompleteConfig::default().max_subset_size)
     }
 
-    fn correlation_complete_config(&self) -> CorrelationCompleteConfig {
+    pub(crate) fn correlation_complete_config(&self) -> CorrelationCompleteConfig {
         CorrelationCompleteConfig {
             require_common_path: self.require_common_path,
             max_subset_size: self.effective_max_subset_size(),

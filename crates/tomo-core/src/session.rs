@@ -1,0 +1,439 @@
+//! The [`TomographySession`] handle: one monitored topology behind one
+//! object.
+//!
+//! A session owns a topology, a registry-resolved online estimator and its
+//! rolling [`ObservationWindow`](tomo_sim::ObservationWindow), and exposes
+//! the daemon-shaped surface — sparse congested-path ingest, estimate /
+//! inference queries, stats and a serializable snapshot — without any
+//! transport attached. The same type therefore serves three callers:
+//!
+//! * **embedded** — library users, sweeps and tests drive it directly
+//!   (synchronously; see [`crate::Experiment::evaluate_streaming`]);
+//! * **over the wire** — `tomo-serve`'s sharded `EngineRegistry` keeps one
+//!   session per tenant behind a per-tenant lock and speaks the v2
+//!   protocol to it;
+//! * **snapshots** — [`SessionSnapshot`] is the serialized form both the
+//!   daemon's per-tenant snapshot files and embedded checkpointing use.
+//!
+//! Restoring a snapshot re-ingests the retained window through the same
+//! estimator, which reproduces the pre-snapshot estimate to solver
+//! tolerance (exactly, when the pre-snapshot estimate came from a full
+//! refit).
+
+use serde::{Deserialize, Serialize};
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_sim::PathObservations;
+
+use crate::error::TomoError;
+use crate::online::{online_by_name, OnlineEstimator, Refit, RefitCounts};
+use crate::registry::EstimatorOptions;
+
+/// Everything a session needs besides the topology. Serializable so
+/// snapshots and service configurations embed it directly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Registry name of the serving estimator (`independence` and
+    /// `correlation-complete` get incremental paths; every other name is
+    /// buffered + fully refit per ingest).
+    pub estimator: String,
+    /// Estimator construction options (the §4 resource knobs).
+    pub options: EstimatorOptions,
+    /// Rolling-window capacity in intervals (`None` = unbounded).
+    pub window_capacity: Option<usize>,
+    /// Exponential reweighting factor `λ ∈ (0, 1)` (`None` = equal
+    /// weights). Only supported by the incremental estimators.
+    pub decay: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            estimator: "independence".into(),
+            options: EstimatorOptions::default(),
+            window_capacity: None,
+            decay: None,
+        }
+    }
+}
+
+/// The acknowledgement of one [`TomographySession::observe`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionAck {
+    /// Intervals ingested by this call.
+    pub ingested: usize,
+    /// Whether the refit was incremental or full.
+    pub refit: Refit,
+    /// Lifetime interval count after the ingest.
+    pub intervals: u64,
+}
+
+/// The current estimate, in dense per-link form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionEstimate {
+    /// `probabilities[i]` = congestion probability of link `i`.
+    pub probabilities: Vec<f64>,
+    /// Whether each link's probability is identifiable from the data.
+    pub identifiable: Vec<bool>,
+    /// Intervals the estimate is based on (lifetime count).
+    pub intervals: u64,
+}
+
+/// Session statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Display name of the serving estimator.
+    pub estimator: String,
+    /// Number of links in the served topology.
+    pub links: usize,
+    /// Number of measurement paths in the served topology.
+    pub paths: usize,
+    /// Intervals currently retained in the rolling window.
+    pub window_len: usize,
+    /// Window capacity (`null` = unbounded).
+    pub window_capacity: Option<usize>,
+    /// Exponential decay factor (`null` = equal weights).
+    pub decay: Option<f64>,
+    /// Total intervals ingested over the session's lifetime.
+    pub total_ingested: u64,
+    /// Incremental / full refit counters.
+    pub refits: RefitCounts,
+}
+
+/// The serialized form of a session: everything needed to reconstruct it.
+/// Estimates are *derived* state — [`TomographySession::restore`]
+/// re-ingests the retained window, which reproduces them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session configuration at snapshot time.
+    pub config: SessionConfig,
+    /// The monitored topology.
+    pub network: Network,
+    /// Retained intervals as sparse congested-path lists, oldest first.
+    pub intervals: Vec<Vec<usize>>,
+    /// Lifetime interval count at snapshot time (retained + evicted).
+    pub total_ingested: u64,
+}
+
+/// One monitored topology + online estimator + rolling window behind one
+/// handle. See the module docs.
+pub struct TomographySession {
+    network: Network,
+    config: SessionConfig,
+    online: Box<dyn OnlineEstimator + Send>,
+}
+
+impl TomographySession {
+    /// Creates a session monitoring the given topology.
+    pub fn new(network: Network, config: SessionConfig) -> Result<Self, TomoError> {
+        let online = online_by_name(
+            &config.estimator,
+            &config.options,
+            config.window_capacity,
+            config.decay,
+        )?;
+        Ok(Self {
+            network,
+            config,
+            online,
+        })
+    }
+
+    /// The monitored topology.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The underlying online estimator.
+    pub fn estimator(&self) -> &dyn OnlineEstimator {
+        self.online.as_ref()
+    }
+
+    /// Total intervals ingested over the session's lifetime.
+    pub fn intervals_ingested(&self) -> u64 {
+        self.online.intervals_ingested()
+    }
+
+    /// Validates sparse per-interval congested-path lists against the
+    /// topology and materializes them into an ingest batch.
+    fn batch_from_intervals(
+        &self,
+        intervals: &[Vec<usize>],
+    ) -> Result<PathObservations, TomoError> {
+        let num_paths = self.network.num_paths();
+        let mut batch = PathObservations::new(num_paths, intervals.len());
+        for (t, congested) in intervals.iter().enumerate() {
+            for &p in congested {
+                if p >= num_paths {
+                    return Err(TomoError::InvalidConfig(format!(
+                        "path index {p} out of range (paths: {num_paths})"
+                    )));
+                }
+                batch.set_congested(PathId(p), t, true);
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Ingests a batch of measurement intervals given their congested-path
+    /// index lists (oldest first) and refreshes the estimate.
+    pub fn observe(&mut self, intervals: &[Vec<usize>]) -> Result<SessionAck, TomoError> {
+        if intervals.is_empty() {
+            return Err(TomoError::InvalidConfig("empty observation batch".into()));
+        }
+        let batch = self.batch_from_intervals(intervals)?;
+        let refit = self.online.ingest(&self.network, &batch)?;
+        Ok(SessionAck {
+            ingested: intervals.len(),
+            refit,
+            intervals: self.online.intervals_ingested(),
+        })
+    }
+
+    /// Ingests a pre-built observation batch (dense form). Embedded callers
+    /// that already hold a [`PathObservations`] skip the sparse round trip.
+    pub fn observe_batch(&mut self, batch: &PathObservations) -> Result<SessionAck, TomoError> {
+        let refit = self.online.ingest(&self.network, batch)?;
+        Ok(SessionAck {
+            ingested: batch.num_intervals(),
+            refit,
+            intervals: self.online.intervals_ingested(),
+        })
+    }
+
+    /// The current per-link estimate; errors before the first ingest.
+    pub fn query(&self) -> Result<SessionEstimate, TomoError> {
+        let estimate = self.online.estimate().ok_or_else(|| TomoError::NotFitted {
+            estimator: self.online.name().to_string(),
+        })?;
+        let links = self.network.num_links();
+        Ok(SessionEstimate {
+            probabilities: (0..links)
+                .map(|l| estimate.link_congestion_probability(LinkId(l)))
+                .collect(),
+            identifiable: (0..links)
+                .map(|l| estimate.link_is_identifiable(LinkId(l)))
+                .collect(),
+            intervals: self.online.intervals_ingested(),
+        })
+    }
+
+    /// Boolean inference for one interval's congested paths (estimators
+    /// with the inference capability).
+    pub fn infer(&self, congested: &[usize]) -> Result<Vec<usize>, TomoError> {
+        let num_paths = self.network.num_paths();
+        if let Some(&bad) = congested.iter().find(|&&p| p >= num_paths) {
+            return Err(TomoError::InvalidConfig(format!(
+                "path index {bad} out of range (paths: {num_paths})"
+            )));
+        }
+        let paths: Vec<PathId> = congested.iter().map(|&p| PathId(p)).collect();
+        let links = self.online.infer_interval(&self.network, &paths)?;
+        Ok(links.into_iter().map(|l| l.index()).collect())
+    }
+
+    /// Current session statistics.
+    pub fn stats(&self) -> SessionStats {
+        let (window_len, total) = match self.online.window() {
+            Some(w) => (w.len(), w.total_ingested()),
+            None => (0, 0),
+        };
+        SessionStats {
+            estimator: self.online.name().to_string(),
+            links: self.network.num_links(),
+            paths: self.network.num_paths(),
+            window_len,
+            window_capacity: self.config.window_capacity,
+            decay: self.config.decay,
+            total_ingested: total,
+            refits: self.online.refit_counts(),
+        }
+    }
+
+    /// Builds the serializable snapshot of the current state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let (intervals, total) = match self.online.window() {
+            Some(w) => (w.to_congested_sets(), w.total_ingested()),
+            None => (Vec::new(), 0),
+        };
+        SessionSnapshot {
+            config: self.config.clone(),
+            network: self.network.clone(),
+            intervals,
+            total_ingested: total,
+        }
+    }
+
+    /// Reconstructs a session from a snapshot: rebuilds the estimator and
+    /// re-ingests the retained window, reproducing the pre-snapshot
+    /// estimate. The lifetime interval counter is restored from the
+    /// snapshot; refit counters restart (they describe this process's
+    /// work).
+    pub fn restore(snapshot: SessionSnapshot) -> Result<Self, TomoError> {
+        let mut session = Self::new(snapshot.network, snapshot.config)?;
+        if !snapshot.intervals.is_empty() {
+            session
+                .observe(&snapshot.intervals)
+                .map_err(|e| TomoError::InvalidConfig(format!("snapshot replay failed: {e}")))?;
+            session
+                .online
+                .restore_total_ingested(snapshot.total_ingested);
+        }
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::toy;
+
+    fn session() -> TomographySession {
+        TomographySession::new(toy::fig1_case1(), SessionConfig::default()).unwrap()
+    }
+
+    /// A deterministic stream: p1/p2 and p3 congested on disjoint schedules.
+    fn intervals(n: usize, offset: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|t| {
+                let t = t + offset;
+                let mut congested = Vec::new();
+                if t.is_multiple_of(5) {
+                    congested.push(0);
+                    congested.push(1);
+                }
+                if t % 4 == 1 {
+                    congested.push(2);
+                }
+                congested
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observe_then_query_round_trip() {
+        let mut session = session();
+        let ack = session.observe(&intervals(40, 0)).unwrap();
+        assert_eq!(ack.ingested, 40);
+        assert_eq!(ack.refit, Refit::Full);
+        assert_eq!(ack.intervals, 40);
+        let ack = session.observe(&intervals(40, 40)).unwrap();
+        assert_eq!(ack.refit, Refit::Incremental);
+        let estimate = session.query().unwrap();
+        assert_eq!(estimate.probabilities.len(), 4);
+        assert_eq!(estimate.identifiable.len(), 4);
+        assert_eq!(estimate.intervals, 80);
+        assert!(estimate
+            .probabilities
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
+        // e1 (shared by p1, p2) is congested ~20% of intervals.
+        assert!(
+            (estimate.probabilities[0] - 0.2).abs() < 0.1,
+            "{:?}",
+            estimate.probabilities
+        );
+    }
+
+    #[test]
+    fn query_before_observations_is_an_error() {
+        assert!(matches!(
+            session().query(),
+            Err(TomoError::NotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_input_is_rejected_without_state_change() {
+        let mut session = session();
+        assert!(session.observe(&[]).is_err());
+        assert!(session.observe(&[vec![99]]).is_err());
+        assert_eq!(session.stats().total_ingested, 0);
+    }
+
+    #[test]
+    fn inference_capability_is_honored_per_estimator() {
+        // Independence has no inference capability.
+        let mut session = session();
+        session.observe(&intervals(20, 0)).unwrap();
+        assert!(matches!(
+            session.infer(&[0]),
+            Err(TomoError::UnsupportedCapability { .. })
+        ));
+        // Sparsity (buffered) supports it.
+        let config = SessionConfig {
+            estimator: "sparsity".into(),
+            ..SessionConfig::default()
+        };
+        let mut session = TomographySession::new(toy::fig1_case1(), config).unwrap();
+        session.observe(&intervals(20, 0)).unwrap();
+        assert!(!session.infer(&[0, 1]).unwrap().is_empty());
+        assert!(session.infer(&[9]).is_err());
+    }
+
+    #[test]
+    fn stats_track_ingestion_and_refits() {
+        let mut session = session();
+        session.observe(&intervals(30, 0)).unwrap();
+        session.observe(&intervals(30, 30)).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.estimator, "Online-Independence");
+        assert_eq!(stats.total_ingested, 60);
+        assert_eq!(stats.window_len, 60);
+        assert_eq!(stats.refits.full, 1);
+        assert_eq!(stats.refits.incremental, 1);
+        assert_eq!(stats.links, 4);
+        assert_eq!(stats.paths, 3);
+        assert_eq!(stats.decay, None);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_estimate() {
+        let config = SessionConfig {
+            window_capacity: Some(50),
+            ..SessionConfig::default()
+        };
+        let mut session = TomographySession::new(toy::fig1_case1(), config).unwrap();
+        session.observe(&intervals(70, 0)).unwrap();
+        let before = session.query().unwrap();
+
+        // Through the serialized form, as the daemon's snapshot files do.
+        let json = serde_json::to_string(&session.snapshot()).unwrap();
+        let snapshot: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = TomographySession::restore(snapshot).unwrap();
+        let after = restored.query().unwrap();
+        for (x, y) in before.probabilities.iter().zip(&after.probabilities) {
+            assert!((x - y).abs() < 1e-9, "{before:?} vs {after:?}");
+        }
+        // The restored window keeps only the retained intervals, but the
+        // lifetime counter survives.
+        let stats = restored.stats();
+        assert_eq!(stats.window_len, 50);
+        assert_eq!(stats.total_ingested, 70);
+    }
+
+    #[test]
+    fn sessions_serve_every_registry_estimator() {
+        for name in crate::registry::NAMES {
+            let config = SessionConfig {
+                estimator: (*name).into(),
+                ..SessionConfig::default()
+            };
+            let mut session = TomographySession::new(toy::fig1_case1(), config).unwrap();
+            let ack = session.observe(&intervals(30, 0)).unwrap();
+            assert_eq!(ack.intervals, 30, "{name}");
+        }
+        assert!(TomographySession::new(
+            toy::fig1_case1(),
+            SessionConfig {
+                estimator: "no-such".into(),
+                ..SessionConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -111,14 +111,17 @@ pub fn ci_grid(base_seed: u64) -> SweepGrid {
 /// The streaming-workload grid: the dynamic scenarios the `tomo-serve`
 /// daemon is built for (drifting loss probabilities, churning correlation
 /// structure), run over both tiny topology families with the estimators
-/// that have online forms. Batch scores on these grids are the reference
-/// the daemon's continuously updated estimates chase.
+/// that have online forms. Every cell runs through the session API
+/// (`TomographySession` chunked ingest — the daemon's code path), so this
+/// grid exercises the incremental refit machinery end to end and its
+/// scores are directly comparable to what a daemon tenant would serve.
 pub fn stream_grid(base_seed: u64) -> SweepGrid {
     let mut grid = SweepGrid::new()
         .base_seed(base_seed)
         .topology(TopologySpec::Toy)
         .topology(TopologySpec::Brite(BriteConfig::tiny(base_seed)))
-        .interval_count(120);
+        .interval_count(120)
+        .streaming(20);
     for kind in ScenarioKind::streaming() {
         grid = grid.scenario(kind);
     }
@@ -196,6 +199,8 @@ mod tests {
         let grid = stream_grid(5);
         grid.validate().unwrap();
         assert_eq!(grid.num_tasks(), 2 * 2 * 3 * 3);
+        // The stream grid runs through the session API (chunked ingest).
+        assert_eq!(grid.streaming_chunk, Some(20));
         use tomo_sim::ScenarioKind;
         assert!(grid.scenarios.contains(&ScenarioKind::DriftingLoss));
         assert!(grid.scenarios.contains(&ScenarioKind::CorrelationChurn));

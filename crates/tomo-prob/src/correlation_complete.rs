@@ -18,13 +18,13 @@
 use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
-use tomo_graph::{LinkId, Network};
+use tomo_graph::{CorrelationSubset, LinkId, Network};
 use tomo_linalg::LstsqOptions;
 use tomo_sim::PathObservations;
 
 use crate::assumptions::AlgorithmAssumptions;
 use crate::estimator::{EstimatorConfig, PathSetEstimator};
-use crate::path_selection::{select_path_sets, PathSelectionConfig};
+use crate::path_selection::{select_path_sets, PathSelectionConfig, PathSelectionOutcome};
 use crate::result::{EstimateDiagnostics, ProbabilityEstimate};
 use crate::subsets::{potentially_congested_links, potentially_congested_subsets};
 use crate::system::EquationSystem;
@@ -61,6 +61,155 @@ impl Default for CorrelationCompleteConfig {
             estimator: EstimatorConfig::default(),
             ridge: 1e-8,
         }
+    }
+}
+
+/// The fitted *structure* of the Probability Computation algorithm:
+/// everything steps 1–3 derive from the observations *before* the final
+/// solve — the potentially congested links, the target subsets, the
+/// Algorithm-1 path-set selection and the assembled equation system.
+///
+/// The structure depends on the observations only through which paths were
+/// ever congested (the always-good-path set): streaming callers can
+/// therefore cache it across batches and re-solve with fresh right-hand
+/// sides as long as that bitmap is stable (see `tomo-core`'s
+/// `OnlineCorrelation`), while [`CorrelationComplete::compute`] rebuilds it
+/// every time.
+#[derive(Clone, Debug)]
+pub struct CorrelationSystem {
+    /// The potentially congested links.
+    pub pc_links: BTreeSet<LinkId>,
+    /// The target correlation subsets (the unknowns to report), in column
+    /// order.
+    pub targets: Vec<CorrelationSubset>,
+    /// The Algorithm-1 selection outcome (path sets + identifiability).
+    pub selection: PathSelectionOutcome,
+    /// The assembled log-linear system over the selected path sets.
+    pub system: EquationSystem,
+}
+
+impl CorrelationSystem {
+    /// Runs steps 1–3 of the algorithm: derive targets, select path sets,
+    /// assemble the equation system (with right-hand sides estimated from
+    /// `observations`).
+    pub fn build(
+        config: &CorrelationCompleteConfig,
+        network: &Network,
+        observations: &PathObservations,
+    ) -> Self {
+        // --- Targets -------------------------------------------------------
+        let pc_links: BTreeSet<LinkId> = potentially_congested_links(network, observations)
+            .into_iter()
+            .collect();
+        let mut targets =
+            potentially_congested_subsets(network, observations, config.max_subset_size);
+        if config.require_common_path {
+            targets.retain(|s| {
+                if s.len() <= 1 {
+                    return true;
+                }
+                // Keep the subset only if some path traverses all its links.
+                let links = s.links_vec();
+                let first = links[0];
+                network
+                    .paths_through_link(first)
+                    .iter()
+                    .any(|&p| links.iter().all(|&l| network.path(p).traverses(l)))
+            });
+        }
+        if targets.is_empty() {
+            return Self {
+                pc_links,
+                targets,
+                selection: PathSelectionOutcome {
+                    path_sets: Vec::new(),
+                    initial_count: 0,
+                    augmented_count: 0,
+                    final_nullity: 0,
+                    identifiable: Vec::new(),
+                },
+                system: EquationSystem::new(Vec::new()),
+            };
+        }
+
+        // --- Algorithm 1: path-set selection -------------------------------
+        let selection = select_path_sets(
+            network,
+            observations,
+            &targets,
+            &pc_links,
+            &config.selection,
+        );
+
+        // --- Assemble the system -------------------------------------------
+        let estimator = PathSetEstimator::new(observations, config.estimator.clone());
+        let mut system = EquationSystem::new(targets.clone());
+        for ps in &selection.path_sets {
+            system.add_path_set(network, &estimator, &pc_links, ps);
+        }
+        Self {
+            pc_links,
+            targets,
+            selection,
+            system,
+        }
+    }
+
+    /// Whether there is nothing to estimate (no path was ever congested).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Assembles the reported [`ProbabilityEstimate`] from a solution of the
+    /// system (`good_probability[col]` per column of the subset index,
+    /// targets first). Shared between the batch solve and streaming callers
+    /// that re-solve with updated right-hand sides.
+    pub fn estimate_from_solution(
+        &self,
+        name: &'static str,
+        network: &Network,
+        good_probability: &[f64],
+    ) -> ProbabilityEstimate {
+        let mut estimate = ProbabilityEstimate::new(name, network.num_links());
+        let total_targets = self.targets.len();
+        if total_targets == 0 {
+            // Nothing was ever congested: every observed link is an
+            // identifiable zero.
+            estimate.diagnostics = EstimateDiagnostics {
+                total_targets: 0,
+                ..EstimateDiagnostics::default()
+            };
+            for l in network.link_ids() {
+                if !network.paths_through_link(l).is_empty() {
+                    estimate.set_link(l, 0.0, true);
+                }
+            }
+            return estimate;
+        }
+        for (i, subset) in self.targets.iter().enumerate() {
+            let col = self
+                .system
+                .index()
+                .index_of(subset)
+                .expect("targets are always indexed");
+            let good = good_probability[col];
+            let identifiable = self.selection.identifiable.get(i).copied().unwrap_or(false);
+            estimate.set_subset_good(subset.links.iter().copied(), good, identifiable);
+        }
+        // Links that are not potentially congested are known good.
+        for l in network.link_ids() {
+            if !self.pc_links.contains(&l) && !network.paths_through_link(l).is_empty() {
+                estimate.set_link(l, 0.0, true);
+            }
+        }
+        estimate.diagnostics = EstimateDiagnostics {
+            num_equations: self.system.num_equations(),
+            num_unknowns: self.system.index().len(),
+            rank: total_targets - self.selection.final_nullity,
+            identifiable_targets: self.selection.identifiable_count(),
+            total_targets,
+        };
+        estimate
     }
 }
 
@@ -101,87 +250,17 @@ impl ProbabilityComputation for CorrelationComplete {
     }
 
     fn compute(&self, network: &Network, observations: &PathObservations) -> ProbabilityEstimate {
-        let cfg = &self.config;
-        let mut estimate = ProbabilityEstimate::new(self.name(), network.num_links());
-
-        // --- Targets ---------------------------------------------------------
-        let pc_links: BTreeSet<LinkId> = potentially_congested_links(network, observations)
-            .into_iter()
-            .collect();
-        let mut targets = potentially_congested_subsets(network, observations, cfg.max_subset_size);
-        if cfg.require_common_path {
-            targets.retain(|s| {
-                if s.len() <= 1 {
-                    return true;
-                }
-                // Keep the subset only if some path traverses all its links.
-                let links = s.links_vec();
-                let first = links[0];
-                network
-                    .paths_through_link(first)
-                    .iter()
-                    .any(|&p| links.iter().all(|&l| network.path(p).traverses(l)))
-            });
-        }
-        let total_targets = targets.len();
-        if total_targets == 0 {
-            // Nothing was ever congested: every link has probability 0, which
-            // is exactly what the empty estimate reports.
-            estimate.diagnostics = EstimateDiagnostics {
-                total_targets: 0,
-                ..EstimateDiagnostics::default()
-            };
-            // Links on always-good paths are identifiable zeros.
-            for l in network.link_ids() {
-                if !network.paths_through_link(l).is_empty() {
-                    estimate.set_link(l, 0.0, true);
-                }
-            }
-            return estimate;
-        }
-
-        // --- Algorithm 1: path-set selection ---------------------------------
-        let selection =
-            select_path_sets(network, observations, &targets, &pc_links, &cfg.selection);
-
-        // --- Assemble and solve the system ------------------------------------
-        let estimator = PathSetEstimator::new(observations, cfg.estimator.clone());
-        let mut system = EquationSystem::new(targets.clone());
-        for ps in &selection.path_sets {
-            system.add_path_set(network, &estimator, &pc_links, ps);
+        let sys = CorrelationSystem::build(&self.config, network, observations);
+        if sys.is_empty() {
+            return sys.estimate_from_solution(self.name(), network, &[]);
         }
         let opts = LstsqOptions {
-            ridge: cfg.ridge,
+            ridge: self.config.ridge,
             compute_identifiability: false,
             ..LstsqOptions::default()
         };
-        let solved = system.solve(&opts);
-
-        // --- Report ------------------------------------------------------------
-        for (i, subset) in targets.iter().enumerate() {
-            let col = system
-                .index()
-                .index_of(subset)
-                .expect("targets are always indexed");
-            let good = solved.good_probability[col];
-            let identifiable = selection.identifiable.get(i).copied().unwrap_or(false);
-            estimate.set_subset_good(subset.links.iter().copied(), good, identifiable);
-        }
-        // Links that are not potentially congested are known good.
-        for l in network.link_ids() {
-            if !pc_links.contains(&l) && !network.paths_through_link(l).is_empty() {
-                estimate.set_link(l, 0.0, true);
-            }
-        }
-
-        estimate.diagnostics = EstimateDiagnostics {
-            num_equations: system.num_equations(),
-            num_unknowns: system.index().len(),
-            rank: total_targets - selection.final_nullity,
-            identifiable_targets: selection.identifiable_count(),
-            total_targets,
-        };
-        estimate
+        let solved = sys.system.solve(&opts);
+        sys.estimate_from_solution(self.name(), network, &solved.good_probability)
     }
 }
 

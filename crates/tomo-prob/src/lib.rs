@@ -37,7 +37,7 @@ pub mod subsets;
 pub mod system;
 
 pub use assumptions::AlgorithmAssumptions;
-pub use correlation_complete::{CorrelationComplete, CorrelationCompleteConfig};
+pub use correlation_complete::{CorrelationComplete, CorrelationCompleteConfig, CorrelationSystem};
 pub use correlation_heuristic::{CorrelationHeuristic, CorrelationHeuristicConfig};
 pub use estimator::{EstimatorConfig, PathSetEstimator};
 pub use independence::{baseline_path_sets, Independence, IndependenceConfig};

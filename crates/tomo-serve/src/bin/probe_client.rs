@@ -1,24 +1,30 @@
-//! Observation-stream recorder and replay client for the daemon.
+//! Observation-stream recorder and replay client for the daemon (v2).
 //!
 //! ```text
 //! probe-client gen    --out obs.jsonl [--topology toy] [--seed N]
 //!                     [--scenario drifting-loss] [--intervals 200]
 //!                     [--probes N]
-//! probe-client replay --in obs.jsonl [--addr 127.0.0.1:7070] [--batch 10]
-//!                     [--rate 0] [--query-every 50]
-//!                     [--check-batch TOL --estimator independence
-//!                      --topology toy --seed N] [--shutdown]
+//! probe-client replay --in obs.jsonl [--addr 127.0.0.1:7070] [--tenant default]
+//!                     [--create] [--batch 10] [--rate 0] [--query-every 50]
+//!                     [--estimator independence] [--topology toy] [--seed N]
+//!                     [--window N] [--decay L]
+//!                     [--check-batch TOL] [--drop] [--shutdown]
 //! ```
 //!
 //! `gen` simulates a congestion scenario and records the per-interval
 //! congested-path sets as JSON lines. `replay` streams a recorded file into
-//! a running daemon at a configurable rate (intervals/second; 0 = as fast
-//! as possible), printing the end-to-end estimate drift (L∞ distance
-//! between consecutive queries). With `--check-batch`, the final daemon
-//! estimate is compared against an offline batch fit of the same estimator
-//! on the full stream and the exit code reports the verdict — the daemon's
-//! window must be unbounded (or at least the stream length) for the
-//! comparison to be meaningful.
+//! a running daemon as one tenant, at a configurable rate
+//! (intervals/second; 0 = as fast as possible), printing the end-to-end
+//! estimate drift (L∞ distance between consecutive queries). With
+//! `--create` the tenant is created first (from `--topology/--seed/
+//! --estimator/--window/--decay`); otherwise the client attaches to an
+//! existing tenant. A `Busy` response makes the client flush (wait for the
+//! tenant's ingest queue to drain) and retry — explicit backpressure
+//! instead of unbounded socket queues. With `--check-batch`, the final
+//! daemon estimate is compared against an offline batch fit of the same
+//! estimator on the full stream and the exit code reports the verdict —
+//! the tenant's window must be unbounded (or at least the stream length),
+//! and decay off, for the comparison to be meaningful.
 
 use std::process::exit;
 
@@ -35,9 +41,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: probe-client gen    --out PATH [--topology NAME] [--seed N]\n\
          \x20                      [--scenario NAME] [--intervals N] [--probes N]\n\
-         \x20      probe-client replay --in PATH [--addr HOST:PORT] [--batch N]\n\
-         \x20                      [--rate PER_SEC] [--query-every N] [--shutdown]\n\
-         \x20                      [--check-batch TOL --estimator NAME --topology NAME --seed N]\n\
+         \x20      probe-client replay --in PATH [--addr HOST:PORT] [--tenant NAME]\n\
+         \x20                      [--create] [--batch N] [--rate PER_SEC] [--query-every N]\n\
+         \x20                      [--estimator NAME] [--topology NAME] [--seed N]\n\
+         \x20                      [--window N] [--decay L]\n\
+         \x20                      [--check-batch TOL] [--drop] [--shutdown]\n\
          scenarios: random, concentrated, no-independence, no-stationarity,\n\
          \x20           sparse, drifting-loss, correlation-churn"
     );
@@ -60,6 +68,8 @@ fn parse_scenario(name: &str) -> Option<ScenarioKind> {
 #[derive(Default)]
 struct Options {
     addr: String,
+    tenant: String,
+    create: bool,
     input: Option<String>,
     out: Option<String>,
     topology: String,
@@ -70,14 +80,18 @@ struct Options {
     batch: usize,
     rate: f64,
     query_every: usize,
+    window: Option<usize>,
+    decay: Option<f64>,
     check_batch: Option<f64>,
     estimator: String,
+    drop: bool,
     shutdown: bool,
 }
 
 fn parse_options(argv: &[String]) -> Options {
     let mut o = Options {
         addr: "127.0.0.1:7070".into(),
+        tenant: "default".into(),
         topology: "toy".into(),
         scenario: "drifting-loss".into(),
         intervals: 200,
@@ -95,6 +109,8 @@ fn parse_options(argv: &[String]) -> Options {
     while i < argv.len() {
         match argv[i].as_str() {
             "--addr" => o.addr = value(&mut i),
+            "--tenant" => o.tenant = value(&mut i),
+            "--create" => o.create = true,
             "--in" => o.input = Some(value(&mut i)),
             "--out" => o.out = Some(value(&mut i)),
             "--topology" => o.topology = value(&mut i),
@@ -105,10 +121,13 @@ fn parse_options(argv: &[String]) -> Options {
             "--batch" => o.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--rate" => o.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--query-every" => o.query_every = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--window" => o.window = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--decay" => o.decay = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--check-batch" => {
                 o.check_batch = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--estimator" => o.estimator = value(&mut i),
+            "--drop" => o.drop = true,
             "--shutdown" => o.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -178,31 +197,76 @@ fn replay(o: &Options) -> Result<(), TomoError> {
         return Err(TomoError::InvalidConfig(format!("`{input}` is empty")));
     }
     let mut client = Client::connect(&o.addr)?;
+    if o.create {
+        let (links, paths) = client.create_tenant(
+            o.tenant.clone(),
+            &o.topology,
+            o.seed,
+            &o.estimator,
+            o.window,
+            o.decay,
+        )?;
+        eprintln!(
+            "created tenant {} ({} links, {} paths)",
+            o.tenant, links, paths
+        );
+    } else {
+        client.set_tenant(o.tenant.clone());
+        match client.call(&Request::Attach)? {
+            tomo_serve::Response::Attached { .. } => {}
+            tomo_serve::Response::Error { message, .. } => {
+                return Err(TomoError::InvalidConfig(format!(
+                    "cannot attach to tenant {}: {message} (use --create?)",
+                    o.tenant
+                )))
+            }
+            other => {
+                return Err(TomoError::InvalidConfig(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        }
+    }
+
     let batch_size = o.batch.max(1);
     let mut previous: Option<Vec<f64>> = None;
     let mut sent = 0usize;
     let mut since_query = 0usize;
+    let mut busy_retries = 0u64;
     for chunk in stream.chunks(batch_size) {
-        let (refit, total) =
-            client.observe_batch(chunk.iter().map(|i| i.congested.clone()).collect())?;
+        // Bounded-queue backpressure: a Busy answer means "drain first".
+        loop {
+            if client.observe_batch(chunk.iter().map(|i| i.congested.clone()).collect())? {
+                break;
+            }
+            busy_retries += 1;
+            client.flush()?;
+        }
         sent += chunk.len();
         since_query += chunk.len();
         if since_query >= o.query_every.max(1) || sent == stream.len() {
             since_query = 0;
-            let probabilities = client.query()?;
-            let drift = previous.as_ref().map(|prev| linf(prev, &probabilities));
+            let total = client.flush()?;
+            let estimate = client.query()?;
+            let drift = previous
+                .as_ref()
+                .map(|prev| linf(prev, &estimate.probabilities));
             match drift {
-                Some(d) => println!("intervals={total} refit={refit:?} drift={d:.6}"),
-                None => println!("intervals={total} refit={refit:?} drift=n/a"),
+                Some(d) => println!("intervals={total} drift={d:.6}"),
+                None => println!("intervals={total} drift=n/a"),
             }
-            previous = Some(probabilities);
+            previous = Some(estimate.probabilities);
         }
         if o.rate > 0.0 {
             let secs = chunk.len() as f64 / o.rate;
             std::thread::sleep(std::time::Duration::from_secs_f64(secs));
         }
     }
-    let final_probabilities = client.query()?;
+    client.flush()?;
+    let final_estimate = client.query()?;
+    if busy_retries > 0 {
+        eprintln!("backpressure: {busy_retries} Busy responses absorbed via Flush");
+    }
 
     if let Some(tolerance) = o.check_batch {
         let network = tomo_serve::resolve_topology(&o.topology, o.seed)?;
@@ -218,7 +282,7 @@ fn replay(o: &Options) -> Result<(), TomoError> {
         let offline_probabilities: Vec<f64> = (0..network.num_links())
             .map(|l| estimate.link_congestion_probability(LinkId(l)))
             .collect();
-        let deviation = linf(&offline_probabilities, &final_probabilities);
+        let deviation = linf(&offline_probabilities, &final_estimate.probabilities);
         println!("check-batch: max |daemon − offline| = {deviation:.6} (tolerance {tolerance})");
         if deviation > tolerance {
             eprintln!("check-batch FAILED");
@@ -227,6 +291,10 @@ fn replay(o: &Options) -> Result<(), TomoError> {
         println!("check-batch OK");
     }
 
+    if o.drop {
+        let _ = client.call(&Request::Drop)?;
+        eprintln!("tenant {} dropped", o.tenant);
+    }
     if o.shutdown {
         let _ = client.call(&Request::Shutdown)?;
         eprintln!("daemon asked to shut down");

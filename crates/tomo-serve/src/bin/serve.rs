@@ -1,42 +1,54 @@
-//! The streaming-tomography daemon.
+//! The multi-tenant streaming-tomography daemon.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7070] [--estimator independence]
+//! serve [--addr 127.0.0.1:7070] [--threads 8] [--shards 8] [--queue-bound 64]
+//!       [--snapshot-dir DIR] [--snapshot-every N] [--restore]
+//!       [--tenant NAME:TOPOLOGY[:SEED]]...
 //!       [--topology toy|brite-tiny|sparse-tiny] [--topology-file net.json]
-//!       [--seed N] [--window N] [--threads N]
-//!       [--snapshot state.json] [--snapshot-every N] [--restore]
+//!       [--estimator independence] [--seed N] [--window N] [--decay L]
 //! ```
 //!
-//! Listens for JSON-lines requests (see `tomo_serve::protocol`), ingesting
-//! probe observations and serving continuously updated estimates. With
-//! `--snapshot`, state is persisted (atomically) on demand, every
-//! `--snapshot-every` intervals, and on shutdown; `--restore` resumes from
-//! an existing snapshot instead of starting empty.
+//! Listens for v2 JSON-lines request envelopes (see
+//! `tomo_serve::protocol`). Tenants can be pre-created at boot with
+//! repeated `--tenant NAME:TOPOLOGY[:SEED]` specs (sharing the
+//! `--estimator/--window/--decay` defaults), created over the wire with
+//! `Create`, or restored from `--snapshot-dir` with `--restore`. When no
+//! tenant spec, no restore and no explicit topology produce any tenant, a
+//! `default` tenant on `--topology` is created so single-tenant usage
+//! stays one command. With `--snapshot-dir`, per-tenant state is persisted
+//! atomically on demand (`Snapshot`/`SnapshotAll`), every
+//! `--snapshot-every` intervals, and on shutdown.
 
 use std::process::exit;
+use std::sync::Arc;
 
-use tomo_core::EstimatorOptions;
-use tomo_serve::{ServeConfig, ServeEngine, Server};
+use tomo_core::{SessionConfig, TomographySession};
+use tomo_serve::{EngineRegistry, RegistryConfig, Server, TenantId};
 
 struct Args {
     addr: String,
-    estimator: String,
-    topology: String,
-    topology_file: Option<String>,
-    seed: u64,
-    window: Option<usize>,
     threads: usize,
-    snapshot: Option<String>,
+    shards: usize,
+    queue_bound: usize,
+    snapshot_dir: Option<String>,
     snapshot_every: Option<u64>,
     restore: bool,
+    tenants: Vec<String>,
+    topology: String,
+    topology_file: Option<String>,
+    estimator: String,
+    seed: u64,
+    window: Option<usize>,
+    decay: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--estimator NAME]\n\
+        "usage: serve [--addr HOST:PORT] [--threads N] [--shards N] [--queue-bound N]\n\
+         \x20            [--snapshot-dir DIR] [--snapshot-every N] [--restore]\n\
+         \x20            [--tenant NAME:TOPOLOGY[:SEED]]...\n\
          \x20            [--topology toy|brite-tiny|sparse-tiny] [--topology-file PATH]\n\
-         \x20            [--seed N] [--window N] [--threads N]\n\
-         \x20            [--snapshot PATH] [--snapshot-every N] [--restore]"
+         \x20            [--estimator NAME] [--seed N] [--window N] [--decay LAMBDA]"
     );
     exit(2);
 }
@@ -44,15 +56,19 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7070".into(),
-        estimator: "independence".into(),
-        topology: "toy".into(),
-        topology_file: None,
-        seed: 0,
-        window: None,
-        threads: 4,
-        snapshot: None,
+        threads: 8,
+        shards: 8,
+        queue_bound: 64,
+        snapshot_dir: None,
         snapshot_every: None,
         restore: false,
+        tenants: Vec::new(),
+        topology: "toy".into(),
+        topology_file: None,
+        estimator: "independence".into(),
+        seed: 0,
+        window: None,
+        decay: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,17 +79,21 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--addr" => args.addr = value(&mut i),
-            "--estimator" => args.estimator = value(&mut i),
-            "--topology" => args.topology = value(&mut i),
-            "--topology-file" => args.topology_file = Some(value(&mut i)),
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--window" => args.window = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--snapshot" => args.snapshot = Some(value(&mut i)),
+            "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-bound" => args.queue_bound = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--snapshot-dir" => args.snapshot_dir = Some(value(&mut i)),
             "--snapshot-every" => {
                 args.snapshot_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--restore" => args.restore = true,
+            "--tenant" => args.tenants.push(value(&mut i)),
+            "--topology" => args.topology = value(&mut i),
+            "--topology-file" => args.topology_file = Some(value(&mut i)),
+            "--estimator" => args.estimator = value(&mut i),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--decay" => args.decay = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -85,65 +105,145 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_engine(args: &Args) -> ServeEngine {
-    if args.restore {
-        let Some(path) = &args.snapshot else {
-            eprintln!("--restore needs --snapshot PATH");
-            exit(2);
-        };
-        if std::path::Path::new(path).exists() {
-            eprintln!(
-                "Restoring state from {path} (topology, estimator and window \
-                 come from the snapshot; --snapshot/--snapshot-every from this \
-                 invocation apply to future writes)..."
-            );
-            let mut engine = ServeEngine::restore_from_file(path).unwrap_or_else(|e| {
-                eprintln!("cannot restore snapshot: {e}");
-                exit(1);
-            });
-            engine.set_snapshot_config(args.snapshot.clone(), args.snapshot_every);
-            return engine;
-        }
-        eprintln!("No snapshot at {path} yet; starting fresh.");
+/// Creates one tenant from a `NAME:TOPOLOGY[:SEED]` spec.
+fn create_tenant_from_spec(registry: &EngineRegistry, spec: &str, args: &Args) {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        eprintln!("bad --tenant spec `{spec}` (expected NAME:TOPOLOGY[:SEED])");
+        exit(2);
     }
-    let network = match &args.topology_file {
+    let name = parts[0];
+    let topology = parts.get(1).copied().unwrap_or(args.topology.as_str());
+    let seed = match parts.get(2) {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad seed in --tenant spec `{spec}`");
+            exit(2)
+        }),
+        None => args.seed,
+    };
+    create_tenant(registry, name, topology, None, seed, args);
+}
+
+fn create_tenant(
+    registry: &EngineRegistry,
+    name: &str,
+    topology: &str,
+    topology_file: Option<&str>,
+    seed: u64,
+    args: &Args,
+) {
+    let id = TenantId::new(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    if registry.lookup(&id).is_some() {
+        // Already restored from a snapshot; the operator's spec is a no-op.
+        eprintln!("tenant {name}: already restored from snapshot, keeping restored state");
+        return;
+    }
+    let network = match topology_file {
         Some(path) => tomo_serve::load_topology_file(path),
-        None => tomo_serve::resolve_topology(&args.topology, args.seed),
+        None => tomo_serve::resolve_topology(topology, seed),
     }
     .unwrap_or_else(|e| {
-        eprintln!("cannot build topology: {e}");
+        eprintln!("tenant {name}: cannot build topology: {e}");
         exit(1);
     });
-    let config = ServeConfig {
+    let config = SessionConfig {
         estimator: args.estimator.clone(),
-        options: EstimatorOptions::default(),
+        options: Default::default(),
         window_capacity: args.window,
-        snapshot_path: args.snapshot.clone(),
-        snapshot_every: args.snapshot_every,
+        decay: args.decay,
     };
-    ServeEngine::new(network, config).unwrap_or_else(|e| {
-        eprintln!("cannot create engine: {e}");
+    let session = TomographySession::new(network, config).unwrap_or_else(|e| {
+        eprintln!("tenant {name}: cannot create session: {e}");
         exit(1);
-    })
+    });
+    let entry = registry.create(id, session).unwrap_or_else(|e| {
+        eprintln!("tenant {name}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "tenant {name}: {topology} ({} links, {} paths, estimator {})",
+        entry.num_links(),
+        entry.num_paths(),
+        args.estimator
+    );
 }
 
 fn main() {
     let args = parse_args();
-    let engine = build_engine(&args);
-    let stats = engine.stats();
-    let server = Server::bind(&args.addr, engine, args.threads).unwrap_or_else(|e| {
+    // --topology-file only feeds the implicit `default` tenant; combining
+    // it with explicit tenant specs would silently serve generator
+    // topologies instead of the measured one, so reject the ambiguity.
+    if args.topology_file.is_some() && !args.tenants.is_empty() {
+        eprintln!(
+            "--topology-file applies to the implicit `default` tenant and cannot be \
+             combined with --tenant specs (create file-backed tenants by running one \
+             daemon per file, or extend the spec syntax)"
+        );
+        exit(2);
+    }
+    let registry = Arc::new(EngineRegistry::new(RegistryConfig {
+        num_shards: args.shards,
+        queue_bound: args.queue_bound,
+        snapshot_dir: args.snapshot_dir.clone(),
+        snapshot_every: args.snapshot_every,
+    }));
+
+    if args.restore {
+        let Some(dir) = &args.snapshot_dir else {
+            eprintln!("--restore needs --snapshot-dir DIR");
+            exit(2);
+        };
+        match registry.restore_fleet(dir) {
+            Ok(names) if names.is_empty() => {
+                eprintln!("No snapshots under {dir} yet; starting fresh.")
+            }
+            Ok(names) => eprintln!(
+                "Restored {} tenant(s) from {dir}: {}",
+                names.len(),
+                names.join(", ")
+            ),
+            Err(e) => {
+                eprintln!("cannot restore fleet: {e}");
+                exit(1);
+            }
+        }
+    }
+    for spec in &args.tenants {
+        create_tenant_from_spec(&registry, spec, &args);
+    }
+    if args.topology_file.is_some() && registry.num_tenants() > 0 {
+        eprintln!(
+            "note: --topology-file ignored (tenants were restored from snapshots; \
+             the file only seeds the implicit `default` tenant of an empty fleet)"
+        );
+    }
+    if registry.num_tenants() == 0 {
+        // Single-tenant convenience: one default tenant on the CLI topology
+        // (or --topology-file, which is only honored on this path).
+        create_tenant(
+            &registry,
+            "default",
+            &args.topology,
+            args.topology_file.as_deref(),
+            args.seed,
+            &args,
+        );
+    }
+
+    let tenants = registry.num_tenants();
+    let shards = registry.config().num_shards;
+    let server = Server::bind(&args.addr, registry, args.threads).unwrap_or_else(|e| {
         eprintln!("cannot bind {}: {e}", args.addr);
         exit(1);
     });
     let addr = server.local_addr().expect("bound listener has an address");
     eprintln!(
-        "tomo-serve listening on {addr} (estimator: {}, links: {}, paths: {}, window: {})",
-        stats.estimator,
-        stats.links,
-        stats.paths,
-        stats
-            .window_capacity
-            .map_or("unbounded".to_string(), |c| c.to_string()),
+        "tomo-serve v2 listening on {addr} ({tenants} tenant(s), {shards} shard(s), \
+         queue bound {}, {} worker(s))",
+        args.queue_bound, args.threads
     );
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");

@@ -1,18 +1,21 @@
-//! `tomo-serve` — the online streaming-tomography daemon.
+//! `tomo-serve` — the online multi-tenant streaming-tomography daemon.
 //!
 //! The paper's estimators are batch: every figure re-fits from a full
 //! observation matrix. This crate turns the workspace into a long-running
-//! service: a `std::net` TCP daemon that ingests probe observations as
-//! JSON lines, keeps per-path observations in a rolling window, and serves
+//! service: one `std::net` TCP daemon serves a **fleet** of independently
+//! administered topologies (tenants) on one port and one worker pool,
+//! ingesting probe observations as JSON lines and answering
 //! link-probability / boolean-inference queries from continuously updated
 //! estimates — incrementally re-estimated through
 //! [`tomo_core::online::OnlineEstimator`] whenever the equation structure
-//! allows it.
+//! allows it. Each tenant is a [`tomo_core::TomographySession`] behind a
+//! per-shard lock with a **bounded ingest queue**: overload answers `Busy`
+//! instead of queueing unboundedly on the socket.
 //!
-//! * [`protocol`] — the JSON-lines wire protocol (requests, responses,
-//!   grammar).
-//! * [`engine`] — the request handler: topology + online estimator +
-//!   snapshot/restore crash recovery.
+//! * [`protocol`] — the versioned v2 wire protocol (envelopes, typed
+//!   requests/responses, error taxonomy, grammar).
+//! * [`registry`] — the sharded [`EngineRegistry`]: tenant lifecycle,
+//!   bounded ingest queues, per-tenant snapshot files, fleet restore.
 //! * [`server`] — the TCP accept loop on the `tomo-sweep` worker pool, plus
 //!   the synchronous [`Client`].
 //! * [`stream`] — helpers to record scenario simulations as observation
@@ -24,13 +27,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod engine;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod stream;
 
-pub use engine::{ServeConfig, ServeEngine, Snapshot};
-pub use protocol::{Request, Response, ServeStats};
+pub use protocol::{
+    ErrorKind, FleetStats, Request, RequestEnvelope, Response, ResponseEnvelope, TenantStats,
+    TenantSummary, PROTOCOL_VERSION,
+};
+pub use registry::{EngineRegistry, RegistryConfig, TenantEntry, TenantId};
 pub use server::{Client, Server};
 
 use tomo_core::TomoError;

@@ -1,52 +1,120 @@
-//! The daemon's wire protocol: JSON lines over TCP.
+//! The daemon's versioned multi-tenant wire protocol (v2): JSON lines over
+//! TCP.
 //!
 //! Framing is the shared [`tomo_core::jsonl`] convention — exactly one JSON
 //! object per `\n`-terminated line, no embedded newlines. Every request line
-//! produces exactly one response line, in order. The grammar (externally
-//! tagged, as rendered by the serde shim):
+//! produces exactly one response line, in order. Each line is a versioned
+//! *envelope* naming the tenant it addresses:
 //!
 //! ```text
-//! request  = observe | observe-batch | query | infer | stats | snapshot | shutdown
-//! observe        = {"Observe": {"congested": [pathIdx, ...]}}
-//! observe-batch  = {"ObserveBatch": {"intervals": [[pathIdx, ...], ...]}}
-//! query          = "Query"
-//! infer          = {"Infer": {"congested": [pathIdx, ...]}}
-//! stats          = "Stats"
-//! snapshot       = "Snapshot"
-//! shutdown       = "Shutdown"
-//!
-//! response = ack | estimate | inferred | stats | snapshotted | error | bye
-//! ack            = {"Ack": {"ingested": n, "refit": "Incremental"|"Full", "intervals": n}}
-//! estimate       = {"Estimate": {"probabilities": [f, ...], "identifiable": [b, ...],
-//!                   "intervals": n}}
-//! inferred       = {"Inferred": {"links": [linkIdx, ...]}}
-//! stats          = {"StatsReport": { ... see ServeStats ... }}
-//! snapshotted    = {"Snapshotted": {"path": "..."}}
-//! error          = {"Error": {"message": "..."}}
-//! bye            = "Bye"
+//! request-line  = {"v": 2, "tenant": "as-7018", "req": REQUEST}
+//! response-line = {"v": 2, "tenant": "as-7018", "resp": RESPONSE}
 //! ```
 //!
-//! Path and link indices are the dense 0-based ids of the daemon's
+//! `tenant` may be omitted after an `Attach` bound the connection to a
+//! default tenant, and is ignored by the fleet-level requests
+//! (`ListTenants`, `FleetStats`, `SnapshotAll`, `Shutdown`). The request
+//! grammar (externally tagged, as rendered by the serde shim):
+//!
+//! ```text
+//! REQUEST = lifecycle | ingest | query | fleet
+//! lifecycle:
+//!   {"Create": {"topology": "toy|brite-tiny|sparse-tiny", "seed": n?,
+//!               "estimator": name?, "window": n?, "decay": f?, "options": {...}?}}
+//!   "Attach"                      bind the connection's default tenant
+//!   "Drop"                        remove the tenant (final snapshot written)
+//! ingest:
+//!   {"Observe": {"congested": [pathIdx, ...]}}
+//!   {"ObserveBatch": {"intervals": [[pathIdx, ...], ...]}}
+//!   "Flush"                       block until the tenant's ingest queue drains
+//! query:
+//!   "Query"   {"Infer": {"congested": [...]}}   "Stats"   "Snapshot"
+//! fleet:
+//!   "ListTenants"   "FleetStats"   "SnapshotAll"   "Shutdown"
+//!
+//! RESPONSE = {"Created": {"links": n, "paths": n}}
+//!          | {"Attached": {"links": n, "paths": n}}
+//!          | "Dropped"
+//!          | {"Accepted": {"ingested": n, "pending_batches": n}}
+//!          | {"Busy": {"pending_batches": n, "bound": n}}
+//!          | {"Flushed": {"intervals": n}}
+//!          | {"Estimate": {"probabilities": [...], "identifiable": [...], "intervals": n}}
+//!          | {"Inferred": {"links": [...]}}
+//!          | {"Stats": {...}} | {"Fleet": {...}} | {"Tenants": {"tenants": [...]}}
+//!          | {"Snapshotted": {"path": "..."}}
+//!          | {"Error": {"kind": KIND, "message": "..."}}
+//!          | "Bye"
+//!
+//! KIND = "UnsupportedVersion" | "UnknownTenant" | "TenantExists"
+//!      | "InvalidRequest" | "Unsupported" | "Internal"
+//! ```
+//!
+//! **Backpressure.** `Observe`/`ObserveBatch` *enqueue* onto the tenant's
+//! bounded ingest queue; the refit happens asynchronously with respect to
+//! the `Accepted` acknowledgement. Drain-on-first-enqueuer semantics: the
+//! connection whose enqueue finds no active drainer folds the queue into
+//! the session before its own response is written (so a lone synchronous
+//! client pays its own ingest cost inline and never sees `Busy`), while
+//! every other connection's observes return immediately. When the queue is
+//! full the daemon answers `Busy` instead of buffering unboundedly —
+//! clients should `Flush` (or back off) and retry. `Flush` is the barrier
+//! that makes a following `Query` reflect everything previously accepted.
+//!
+//! **Migration from v1.** The v1 protocol (PR 3) had no envelope, a single
+//! implicit topology and synchronous `Ack` responses carrying the refit
+//! kind. A v1 line (any JSON without a `"v"` field, e.g. `"Query"` or
+//! `{"Observe": ...}`) now yields `Error{kind: UnsupportedVersion}` with a
+//! hint. Equivalents: wrap requests in the envelope, create/attach a tenant
+//! first, read refit counters from `Stats`, and use `Flush` before
+//! `Query` where v1 relied on `Ack` being synchronous.
+//!
+//! Path and link indices are the dense 0-based ids of the tenant's
 //! topology; `probabilities[i]` is the congestion probability of link `i`.
 
 use serde::{Deserialize, Serialize};
 use tomo_core::online::RefitCounts;
-use tomo_core::{Refit, TomoError};
+use tomo_core::{EstimatorOptions, SessionEstimate, SessionStats, TomoError};
 
-/// One client request (one JSON line).
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// One client request (the `req` field of a request envelope).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Ingest a single measurement interval given its congested paths.
+    /// Create a tenant monitoring a named topology. The tenant id comes
+    /// from the envelope.
+    Create {
+        /// Named topology (`toy`, `brite-tiny`, `sparse-tiny`).
+        topology: String,
+        /// Topology generator seed (default 0).
+        seed: Option<u64>,
+        /// Registry estimator name (default `independence`).
+        estimator: Option<String>,
+        /// Rolling-window capacity (default unbounded).
+        window: Option<usize>,
+        /// Exponential decay factor `λ ∈ (0, 1)` (default none).
+        decay: Option<f64>,
+        /// Estimator construction options (default all-default).
+        options: Option<EstimatorOptions>,
+    },
+    /// Bind the envelope's tenant as this connection's default tenant, so
+    /// subsequent requests may omit the `tenant` field.
+    Attach,
+    /// Remove the tenant (a final snapshot is written when configured).
+    Drop,
+    /// Enqueue a single measurement interval given its congested paths.
     Observe {
         /// Dense indices of the paths observed congested this interval.
         congested: Vec<usize>,
     },
-    /// Ingest several consecutive intervals in one round trip.
+    /// Enqueue several consecutive intervals in one round trip.
     ObserveBatch {
         /// One congested-path list per interval, oldest first.
         intervals: Vec<Vec<usize>>,
     },
-    /// Fetch the current per-link congestion-probability estimate.
+    /// Block until the tenant's ingest queue has fully drained.
+    Flush,
+    /// Fetch the tenant's current per-link congestion-probability estimate.
     Query,
     /// Boolean inference: which links were congested in an interval with
     /// the given congested paths (estimators with the inference capability).
@@ -54,63 +122,147 @@ pub enum Request {
         /// Dense indices of the congested paths of the interval.
         congested: Vec<usize>,
     },
-    /// Fetch daemon statistics.
+    /// Fetch tenant statistics.
     Stats,
-    /// Write a snapshot to the daemon's configured snapshot path.
+    /// Write the tenant's snapshot file.
     Snapshot,
-    /// Stop the daemon (a final snapshot is written when configured).
+    /// List all tenants (fleet-level).
+    ListTenants,
+    /// Fetch daemon-wide statistics (fleet-level).
+    FleetStats,
+    /// Snapshot every tenant (fleet-level).
+    SnapshotAll,
+    /// Stop the daemon; all tenants are snapshotted when configured.
     Shutdown,
 }
 
-/// Daemon statistics reported by [`Request::Stats`].
+/// Machine-readable error taxonomy of the v2 protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The line was not a v2 envelope (v1 traffic lands here; see the
+    /// module docs for the migration map).
+    UnsupportedVersion,
+    /// The addressed tenant does not exist (create or check the id).
+    UnknownTenant,
+    /// `Create` addressed a tenant id that already exists.
+    TenantExists,
+    /// The request was malformed or referenced invalid data (bad path
+    /// index, bad tenant id, missing tenant field, unknown topology…).
+    InvalidRequest,
+    /// The tenant's estimator lacks the requested capability.
+    Unsupported,
+    /// The daemon failed internally (I/O, serialization).
+    Internal,
+}
+
+/// Per-tenant statistics reported by [`Request::Stats`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ServeStats {
-    /// Display name of the serving estimator.
-    pub estimator: String,
-    /// Number of links in the served topology.
-    pub links: usize,
-    /// Number of measurement paths in the served topology.
-    pub paths: usize,
-    /// Intervals currently retained in the rolling window.
-    pub window_len: usize,
-    /// Window capacity (`null` = unbounded).
-    pub window_capacity: Option<usize>,
-    /// Total intervals ingested over the daemon's lifetime.
-    pub total_ingested: u64,
-    /// Incremental / full refit counters.
-    pub refits: RefitCounts,
-    /// Snapshots written so far.
+pub struct TenantStats {
+    /// The tenant id.
+    pub tenant: String,
+    /// The underlying session statistics.
+    pub session: SessionStats,
+    /// Observe batches currently queued (not yet ingested).
+    pub pending_batches: usize,
+    /// The ingest-queue bound.
+    pub queue_bound: usize,
+    /// Observe requests rejected with `Busy` so far.
+    pub busy_rejections: u64,
+    /// Ingest batches that failed after being accepted (internal errors).
+    pub ingest_errors: u64,
+    /// Snapshot files written for this tenant.
     pub snapshots_written: u64,
 }
 
-/// One daemon response (one JSON line).
+/// One row of [`Response::Tenants`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// The tenant id.
+    pub tenant: String,
+    /// Registry name of the serving estimator.
+    pub estimator: String,
+    /// Links in the tenant's topology.
+    pub links: usize,
+    /// Paths in the tenant's topology.
+    pub paths: usize,
+    /// Lifetime intervals ingested.
+    pub intervals: u64,
+}
+
+/// Daemon-wide statistics reported by [`Request::FleetStats`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Number of tenants currently registered.
+    pub tenants: usize,
+    /// Number of registry shards.
+    pub shards: usize,
+    /// Lifetime intervals ingested across all tenants.
+    pub total_ingested: u64,
+    /// `Busy` rejections across all tenants.
+    pub busy_rejections: u64,
+    /// Aggregate refit counters across all tenants.
+    pub refits: RefitCounts,
+}
+
+/// One daemon response (the `resp` field of a response envelope).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Response {
-    /// Observation batch accepted.
-    Ack {
-        /// Intervals ingested by this request.
+    /// Tenant created.
+    Created {
+        /// Links in the tenant's topology.
+        links: usize,
+        /// Paths in the tenant's topology.
+        paths: usize,
+    },
+    /// Connection bound to the tenant.
+    Attached {
+        /// Links in the tenant's topology.
+        links: usize,
+        /// Paths in the tenant's topology.
+        paths: usize,
+    },
+    /// Tenant removed.
+    Dropped,
+    /// Observation batch accepted onto the tenant's ingest queue. The
+    /// refit is asynchronous relative to this acknowledgement (though the
+    /// connection that tripped the drain performs it before responding);
+    /// `Flush` before `Query` to observe the batch's effect.
+    Accepted {
+        /// Intervals accepted by this request.
         ingested: usize,
-        /// Whether the refit was incremental or full.
-        refit: Refit,
-        /// Lifetime interval count after the ingest.
+        /// Batches queued behind this one (including it).
+        pending_batches: usize,
+    },
+    /// The tenant's ingest queue is full; retry after backing off (or
+    /// `Flush`). Overload degrades explicitly instead of queueing
+    /// unboundedly on the socket.
+    Busy {
+        /// Batches currently queued.
+        pending_batches: usize,
+        /// The queue bound.
+        bound: usize,
+    },
+    /// The tenant's ingest queue is drained.
+    Flushed {
+        /// Lifetime interval count after the drain.
         intervals: u64,
     },
-    /// The current estimate.
-    Estimate {
-        /// `probabilities[i]` = congestion probability of link `i`.
-        probabilities: Vec<f64>,
-        /// Whether each link's probability is identifiable from the data.
-        identifiable: Vec<bool>,
-        /// Intervals the estimate is based on.
-        intervals: u64,
-    },
+    /// The tenant's current estimate.
+    Estimate(SessionEstimate),
     /// Inferred congested links for one interval.
     Inferred {
         /// Dense link indices.
         links: Vec<usize>,
     },
-    /// Daemon statistics.
-    StatsReport(ServeStats),
+    /// Tenant statistics.
+    Stats(TenantStats),
+    /// Daemon-wide statistics.
+    Fleet(FleetStats),
+    /// The tenant listing.
+    Tenants {
+        /// One row per tenant, sorted by id.
+        tenants: Vec<TenantSummary>,
+    },
     /// Snapshot written.
     Snapshotted {
         /// Path of the snapshot file.
@@ -118,6 +270,8 @@ pub enum Response {
     },
     /// The request failed; the connection stays usable.
     Error {
+        /// Machine-readable cause.
+        kind: ErrorKind,
         /// Human-readable cause.
         message: String,
     },
@@ -126,10 +280,62 @@ pub enum Response {
 }
 
 impl Response {
-    /// Builds an error response from any [`TomoError`].
+    /// Builds an error response from a [`TomoError`], mapping the typed
+    /// variants onto the wire taxonomy.
     pub fn from_error(e: &TomoError) -> Self {
+        let kind = match e {
+            TomoError::UnknownEstimator { .. } | TomoError::InvalidConfig(_) => {
+                ErrorKind::InvalidRequest
+            }
+            TomoError::UnsupportedCapability { .. } => ErrorKind::Unsupported,
+            TomoError::NotFitted { .. } => ErrorKind::InvalidRequest,
+            _ => ErrorKind::Internal,
+        };
         Response::Error {
+            kind,
             message: e.to_string(),
+        }
+    }
+
+    /// An error response with an explicit kind.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// A request envelope (one request line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version; must be [`PROTOCOL_VERSION`].
+    pub v: u64,
+    /// The addressed tenant (optional for fleet-level requests and on
+    /// connections bound via `Attach`).
+    pub tenant: Option<String>,
+    /// The request.
+    pub req: Request,
+}
+
+/// A response envelope (one response line).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version (always [`PROTOCOL_VERSION`]).
+    pub v: u64,
+    /// The tenant the response concerns, echoed back when known.
+    pub tenant: Option<String>,
+    /// The response.
+    pub resp: Response,
+}
+
+impl ResponseEnvelope {
+    /// Wraps a response for the given tenant.
+    pub fn new(tenant: Option<String>, resp: Response) -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            tenant,
+            resp,
         }
     }
 }
@@ -144,6 +350,37 @@ pub fn decode<T: Deserialize>(line: &str) -> Result<T, TomoError> {
     tomo_core::jsonl::decode_line(line)
 }
 
+/// Decodes a request line with version discrimination: malformed JSON and
+/// bad envelopes map to [`ErrorKind::InvalidRequest`] /
+/// [`ErrorKind::UnsupportedVersion`] responses the caller can send back
+/// directly (boxed — the happy path shouldn't carry the error's size).
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, Box<Response>> {
+    let error = |kind, message: String| Box::new(Response::error(kind, message));
+    let value: serde::Value = serde_json::parse(line.trim())
+        .map_err(|e| error(ErrorKind::InvalidRequest, format!("malformed JSON: {e}")))?;
+    match value.get("v").and_then(|v| v.as_u64()) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(other) => {
+            return Err(error(
+                ErrorKind::UnsupportedVersion,
+                format!("protocol version {other} is not supported (this daemon speaks v{PROTOCOL_VERSION})"),
+            ))
+        }
+        None => {
+            return Err(error(
+                ErrorKind::UnsupportedVersion,
+                format!(
+                    "missing envelope: expected {{\"v\": {PROTOCOL_VERSION}, \"tenant\": ..., \
+                     \"req\": ...}} (v1 lines are no longer accepted; see the README migration \
+                     note)"
+                ),
+            ))
+        }
+    }
+    RequestEnvelope::from_value(&value)
+        .map_err(|e| error(ErrorKind::InvalidRequest, format!("bad envelope: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,73 +388,178 @@ mod tests {
     #[test]
     fn requests_round_trip_through_the_wire_format() {
         let requests = vec![
+            Request::Create {
+                topology: "brite-tiny".into(),
+                seed: Some(3),
+                estimator: Some("correlation-complete".into()),
+                window: Some(256),
+                decay: Some(0.97),
+                options: Some(EstimatorOptions::default()),
+            },
+            Request::Attach,
+            Request::Drop,
             Request::Observe {
                 congested: vec![0, 3],
             },
             Request::ObserveBatch {
                 intervals: vec![vec![1], vec![], vec![0, 2]],
             },
+            Request::Flush,
             Request::Query,
             Request::Infer { congested: vec![2] },
             Request::Stats,
             Request::Snapshot,
+            Request::ListTenants,
+            Request::FleetStats,
+            Request::SnapshotAll,
             Request::Shutdown,
         ];
-        for request in requests {
-            let line = encode(&request);
+        for req in requests {
+            let envelope = RequestEnvelope {
+                v: PROTOCOL_VERSION,
+                tenant: Some("as-7018".into()),
+                req,
+            };
+            let line = encode(&envelope);
             assert!(!line.contains('\n'));
-            let back: Request = decode(&line).unwrap();
-            assert_eq!(back, request);
+            let back = decode_request(&line).unwrap();
+            assert_eq!(back, envelope);
         }
     }
 
     #[test]
     fn responses_round_trip_through_the_wire_format() {
         let responses = vec![
-            Response::Ack {
+            Response::Created { links: 4, paths: 3 },
+            Response::Attached { links: 4, paths: 3 },
+            Response::Dropped,
+            Response::Accepted {
                 ingested: 10,
-                refit: Refit::Incremental,
-                intervals: 320,
+                pending_batches: 2,
             },
-            Response::Estimate {
+            Response::Busy {
+                pending_batches: 64,
+                bound: 64,
+            },
+            Response::Flushed { intervals: 320 },
+            Response::Estimate(SessionEstimate {
                 probabilities: vec![0.25, 0.0],
                 identifiable: vec![true, false],
                 intervals: 320,
-            },
+            }),
             Response::Inferred { links: vec![4, 7] },
-            Response::StatsReport(ServeStats {
-                estimator: "Online-Independence".into(),
-                links: 4,
-                paths: 3,
-                window_len: 60,
-                window_capacity: Some(60),
-                total_ingested: 320,
-                refits: RefitCounts {
-                    incremental: 30,
-                    full: 2,
-                    basis_rebuilds: 0,
+            Response::Stats(TenantStats {
+                tenant: "as-7018".into(),
+                session: SessionStats {
+                    estimator: "Online-Independence".into(),
+                    links: 4,
+                    paths: 3,
+                    window_len: 60,
+                    window_capacity: Some(60),
+                    decay: Some(0.97),
+                    total_ingested: 320,
+                    refits: RefitCounts {
+                        incremental: 30,
+                        full: 2,
+                        basis_rebuilds: 0,
+                    },
                 },
+                pending_batches: 1,
+                queue_bound: 64,
+                busy_rejections: 7,
+                ingest_errors: 0,
                 snapshots_written: 1,
             }),
+            Response::Fleet(FleetStats {
+                tenants: 3,
+                shards: 8,
+                total_ingested: 960,
+                busy_rejections: 7,
+                refits: RefitCounts::default(),
+            }),
+            Response::Tenants {
+                tenants: vec![TenantSummary {
+                    tenant: "as-7018".into(),
+                    estimator: "independence".into(),
+                    links: 4,
+                    paths: 3,
+                    intervals: 320,
+                }],
+            },
             Response::Snapshotted {
-                path: "/tmp/snap.json".into(),
+                path: "/tmp/snapshots/as-7018.json".into(),
             },
-            Response::Error {
-                message: "bad request".into(),
-            },
+            Response::error(ErrorKind::UnknownTenant, "no tenant `x`"),
             Response::Bye,
         ];
-        for response in responses {
-            let back: Response = decode(&encode(&response)).unwrap();
-            assert_eq!(back, response);
+        for resp in responses {
+            let envelope = ResponseEnvelope::new(Some("as-7018".into()), resp);
+            let back: ResponseEnvelope = decode(&encode(&envelope)).unwrap();
+            assert_eq!(back, envelope);
+        }
+    }
+
+    /// Unwraps the error response of a rejected request line.
+    fn rejected(line: &str) -> (ErrorKind, String) {
+        match *decode_request(line).expect_err("line must be rejected") {
+            Response::Error { kind, message } => (kind, message),
+            other => panic!("{other:?}"),
         }
     }
 
     #[test]
-    fn malformed_lines_decode_to_serde_errors() {
+    fn version_discrimination_matches_the_taxonomy() {
+        // Not JSON at all.
+        assert_eq!(rejected("{nope").0, ErrorKind::InvalidRequest);
+        // Valid JSON, no envelope: v1 traffic.
+        for v1_line in ["\"Query\"", "{\"Observe\": {\"congested\": [0]}}"] {
+            let (kind, message) = rejected(v1_line);
+            assert_eq!(kind, ErrorKind::UnsupportedVersion);
+            assert!(message.contains("v1"), "{message}");
+        }
+        // Wrong version number.
+        let (kind, message) = rejected("{\"v\": 3, \"req\": \"Query\"}");
+        assert_eq!(kind, ErrorKind::UnsupportedVersion);
+        assert!(message.contains("3"), "{message}");
+        // Right version, bad request.
+        assert_eq!(
+            rejected("{\"v\": 2, \"req\": \"Frobnicate\"}").0,
+            ErrorKind::InvalidRequest
+        );
+        // Tenant omitted is fine at the envelope level.
+        let envelope = decode_request("{\"v\": 2, \"req\": \"Query\"}").unwrap();
+        assert_eq!(envelope.tenant, None);
+        assert_eq!(envelope.req, Request::Query);
+    }
+
+    #[test]
+    fn tomo_errors_map_onto_the_wire_taxonomy() {
+        let unsupported = Response::from_error(&TomoError::UnsupportedCapability {
+            estimator: "Online-Independence".into(),
+            capability: "per-interval inference",
+        });
         assert!(matches!(
-            decode::<Request>("{nope"),
-            Err(TomoError::Serde(_))
+            unsupported,
+            Response::Error {
+                kind: ErrorKind::Unsupported,
+                ..
+            }
+        ));
+        let invalid = Response::from_error(&TomoError::InvalidConfig("bad".into()));
+        assert!(matches!(
+            invalid,
+            Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
+        ));
+        let internal = Response::from_error(&TomoError::Io("disk on fire".into()));
+        assert!(matches!(
+            internal,
+            Response::Error {
+                kind: ErrorKind::Internal,
+                ..
+            }
         ));
     }
 }

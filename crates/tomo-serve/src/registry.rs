@@ -1,0 +1,823 @@
+//! The sharded multi-tenant engine registry.
+//!
+//! One daemon process serves a fleet of independently administered
+//! topologies: each tenant owns a [`TomographySession`] behind its own
+//! lock, tenants are distributed over hash-selected *shards* (so tenant
+//! lookup never contends on one global map lock), and every tenant carries
+//! a **bounded ingest queue** — `Observe` traffic enqueues and returns
+//! immediately, a single drainer folds queued batches into the session,
+//! and once the queue is full further observes are rejected with `Busy`
+//! instead of queueing unboundedly on the socket.
+//!
+//! Locking discipline (deadlock-free by construction):
+//!
+//! * a shard's map mutex is only held for lookup / insert / remove — never
+//!   while a tenant lock is taken;
+//! * a tenant's queue mutex and state (session) mutex are never held at
+//!   the same time: the drainer pops under the queue lock, releases it,
+//!   then ingests under the state lock;
+//! * `Flush` waits on the queue condvar, which releases the queue lock
+//!   while blocked.
+//!
+//! Snapshots are per-tenant files `<dir>/<tenant>.json` written atomically
+//! (write-to-temp, then rename), so a crash mid-write never corrupts the
+//! last good snapshot; [`EngineRegistry::restore_fleet`] reloads a whole
+//! directory at boot.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use tomo_core::{SessionSnapshot, TomoError, TomographySession};
+
+use crate::protocol::{ErrorKind, FleetStats, Response, TenantStats, TenantSummary};
+
+/// A validated tenant identifier: 1–64 characters drawn from
+/// `[A-Za-z0-9._-]` (safe to embed in snapshot file names).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Validates and wraps a tenant id.
+    pub fn new(id: impl Into<String>) -> Result<Self, TomoError> {
+        let id = id.into();
+        let ok = !id.is_empty()
+            && id.len() <= 64
+            && id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if !ok {
+            return Err(TomoError::InvalidConfig(format!(
+                "invalid tenant id `{id}`: 1-64 characters from [A-Za-z0-9._-]"
+            )));
+        }
+        Ok(Self(id))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// FNV-1a over the id bytes — the shard selector.
+    fn hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.0.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Registry configuration.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Number of shards the tenant map is split over.
+    pub num_shards: usize,
+    /// Maximum `Observe`/`ObserveBatch` requests queued per tenant before
+    /// the daemon answers `Busy`.
+    pub queue_bound: usize,
+    /// Directory for per-tenant snapshot files (`None` disables
+    /// snapshotting).
+    pub snapshot_dir: Option<String>,
+    /// Automatically snapshot a tenant every `n` ingested intervals.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 8,
+            queue_bound: 64,
+            snapshot_dir: None,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// The bounded per-tenant ingest queue.
+struct IngestQueue {
+    /// Pending observe batches, oldest first.
+    batches: VecDeque<Vec<Vec<usize>>>,
+    /// Whether a drainer is currently folding batches into the session.
+    draining: bool,
+    /// Set by `drop_tenant` before its final flush: further observes are
+    /// rejected, so nothing can slip in after the final snapshot (the
+    /// lost-update race a bare map-removal would leave open).
+    closed: bool,
+    /// Observe requests rejected with `Busy`.
+    busy_rejections: u64,
+}
+
+/// Mutable per-tenant state behind the session lock.
+struct TenantState {
+    session: TomographySession,
+    snapshots_written: u64,
+    intervals_at_last_snapshot: u64,
+    ingest_errors: u64,
+}
+
+/// One tenant: session state + ingest queue + drain/flush signaling.
+pub struct TenantEntry {
+    id: TenantId,
+    /// Immutable topology facts, readable without any lock.
+    num_paths: usize,
+    num_links: usize,
+    state: Mutex<TenantState>,
+    queue: Mutex<IngestQueue>,
+    /// Signaled whenever the queue becomes empty and no drain is running.
+    idle: Condvar,
+}
+
+impl TenantEntry {
+    fn new(id: TenantId, session: TomographySession) -> Self {
+        Self {
+            id,
+            num_paths: session.network().num_paths(),
+            num_links: session.network().num_links(),
+            state: Mutex::new(TenantState {
+                session,
+                snapshots_written: 0,
+                intervals_at_last_snapshot: 0,
+                ingest_errors: 0,
+            }),
+            queue: Mutex::new(IngestQueue {
+                batches: VecDeque::new(),
+                draining: false,
+                closed: false,
+                busy_rejections: 0,
+            }),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// The tenant id.
+    pub fn id(&self) -> &TenantId {
+        &self.id
+    }
+
+    /// Links in the tenant's topology.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Paths in the tenant's topology.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+}
+
+/// One shard of the tenant map.
+struct Shard {
+    tenants: Mutex<HashMap<String, Arc<TenantEntry>>>,
+}
+
+/// The sharded multi-tenant registry — the daemon's engine.
+pub struct EngineRegistry {
+    config: RegistryConfig,
+    shards: Vec<Shard>,
+    busy_rejections: AtomicU64,
+}
+
+impl EngineRegistry {
+    /// Creates an empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        let num_shards = config.num_shards.max(1);
+        let shards = (0..num_shards)
+            .map(|_| Shard {
+                tenants: Mutex::new(HashMap::new()),
+            })
+            .collect();
+        Self {
+            config: RegistryConfig {
+                num_shards,
+                queue_bound: config.queue_bound.max(1),
+                ..config
+            },
+            shards,
+            busy_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    fn shard(&self, id: &TenantId) -> &Shard {
+        let index = (id.hash() % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Registers a new tenant. Errors when the id is already taken.
+    pub fn create(
+        &self,
+        id: TenantId,
+        session: TomographySession,
+    ) -> Result<Arc<TenantEntry>, TomoError> {
+        let shard = self.shard(&id);
+        let mut tenants = shard.tenants.lock().expect("shard lock");
+        if tenants.contains_key(id.as_str()) {
+            return Err(TomoError::InvalidConfig(format!(
+                "tenant `{id}` already exists"
+            )));
+        }
+        let entry = Arc::new(TenantEntry::new(id.clone(), session));
+        tenants.insert(id.as_str().to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a tenant up.
+    pub fn lookup(&self, id: &TenantId) -> Option<Arc<TenantEntry>> {
+        self.shard(id)
+            .tenants
+            .lock()
+            .expect("shard lock")
+            .get(id.as_str())
+            .cloned()
+    }
+
+    /// Removes a tenant: unregisters it (new requests see `UnknownTenant`),
+    /// drains its remaining queue, and writes a final snapshot when
+    /// configured. The snapshot file is left on disk so a later `create` +
+    /// restore can resurrect the tenant.
+    pub fn drop_tenant(&self, id: &TenantId) -> Result<(), TomoError> {
+        let entry = {
+            let mut tenants = self.shard(id).tenants.lock().expect("shard lock");
+            tenants
+                .remove(id.as_str())
+                .ok_or_else(|| TomoError::InvalidConfig(format!("unknown tenant `{id}`")))?
+        };
+        // Close the queue first: an Observe that resolved the entry before
+        // the map removal now gets `UnknownTenant` instead of enqueueing
+        // behind the final snapshot (acknowledged-then-lost data).
+        entry.queue.lock().expect("tenant queue lock").closed = true;
+        self.flush(&entry);
+        if self.config.snapshot_dir.is_some() {
+            let _ = self.snapshot_tenant(&entry);
+        }
+        Ok(())
+    }
+
+    /// All tenants, sorted by id.
+    fn entries(&self) -> Vec<Arc<TenantEntry>> {
+        let mut all: Vec<Arc<TenantEntry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.tenants
+                    .lock()
+                    .expect("shard lock")
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.id.as_str().cmp(b.id.as_str()));
+        all
+    }
+
+    /// The tenant listing.
+    pub fn list(&self) -> Vec<TenantSummary> {
+        self.entries()
+            .into_iter()
+            .map(|e| {
+                let state = e.state.lock().expect("tenant state lock");
+                TenantSummary {
+                    tenant: e.id.as_str().to_string(),
+                    estimator: state.session.config().estimator.clone(),
+                    links: e.num_links,
+                    paths: e.num_paths,
+                    intervals: state.session.intervals_ingested(),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tenants.lock().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Enqueues an observe batch onto the tenant's bounded ingest queue.
+    /// Returns `Accepted` (and drains the queue if no drainer is active),
+    /// or `Busy` when the queue is full. Path indices are validated *before*
+    /// enqueueing so accepted batches cannot fail for client reasons.
+    pub fn observe(&self, entry: &Arc<TenantEntry>, intervals: Vec<Vec<usize>>) -> Response {
+        if intervals.is_empty() {
+            return Response::error(ErrorKind::InvalidRequest, "empty observation batch");
+        }
+        for congested in &intervals {
+            if let Some(&bad) = congested.iter().find(|&&p| p >= entry.num_paths) {
+                return Response::error(
+                    ErrorKind::InvalidRequest,
+                    format!("path index {bad} out of range (paths: {})", entry.num_paths),
+                );
+            }
+        }
+        let ingested = intervals.len();
+        let (drain, pending) = {
+            let mut queue = entry.queue.lock().expect("tenant queue lock");
+            if queue.closed {
+                return Response::error(
+                    ErrorKind::UnknownTenant,
+                    format!("tenant `{}` was dropped", entry.id),
+                );
+            }
+            if queue.batches.len() >= self.config.queue_bound {
+                queue.busy_rejections += 1;
+                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                return Response::Busy {
+                    pending_batches: queue.batches.len(),
+                    bound: self.config.queue_bound,
+                };
+            }
+            queue.batches.push_back(intervals);
+            let drain = if queue.draining {
+                false
+            } else {
+                queue.draining = true;
+                true
+            };
+            (drain, queue.batches.len())
+        };
+        if drain {
+            self.drain(entry);
+        }
+        Response::Accepted {
+            ingested,
+            pending_batches: pending,
+        }
+    }
+
+    /// Folds queued batches into the session until the queue is empty.
+    /// Exactly one drainer runs per tenant (the connection thread whose
+    /// enqueue flipped the `draining` flag); everyone else enqueues and
+    /// moves on.
+    fn drain(&self, entry: &Arc<TenantEntry>) {
+        loop {
+            let batch = {
+                let mut queue = entry.queue.lock().expect("tenant queue lock");
+                match queue.batches.pop_front() {
+                    Some(batch) => batch,
+                    None => {
+                        queue.draining = false;
+                        entry.idle.notify_all();
+                        return;
+                    }
+                }
+            };
+            let mut state = entry.state.lock().expect("tenant state lock");
+            if let Err(e) = state.session.observe(&batch) {
+                // Batches are validated at enqueue time, so this is an
+                // internal failure; count it and keep serving.
+                state.ingest_errors += 1;
+                eprintln!("tomo-serve: tenant {}: ingest failed: {e}", entry.id);
+            }
+            self.maybe_autosnapshot(entry, &mut state);
+        }
+    }
+
+    /// Blocks until the tenant's ingest queue has fully drained, returning
+    /// the lifetime interval count afterwards. If batches are pending with
+    /// no active drainer (its thread died, or the queue was filled out of
+    /// band), the flusher takes the drain over instead of waiting forever.
+    pub fn flush(&self, entry: &Arc<TenantEntry>) -> u64 {
+        let mut queue = entry.queue.lock().expect("tenant queue lock");
+        loop {
+            if queue.batches.is_empty() && !queue.draining {
+                break;
+            }
+            if !queue.draining {
+                queue.draining = true;
+                drop(queue);
+                self.drain(entry);
+                queue = entry.queue.lock().expect("tenant queue lock");
+                continue;
+            }
+            queue = entry.idle.wait(queue).expect("tenant queue condvar");
+        }
+        drop(queue);
+        let state = entry.state.lock().expect("tenant state lock");
+        state.session.intervals_ingested()
+    }
+
+    /// The tenant's current estimate.
+    pub fn query(&self, entry: &Arc<TenantEntry>) -> Response {
+        let state = entry.state.lock().expect("tenant state lock");
+        match state.session.query() {
+            Ok(estimate) => Response::Estimate(estimate),
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Boolean inference for one interval.
+    pub fn infer(&self, entry: &Arc<TenantEntry>, congested: &[usize]) -> Response {
+        let state = entry.state.lock().expect("tenant state lock");
+        match state.session.infer(congested) {
+            Ok(links) => Response::Inferred { links },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Per-tenant statistics.
+    pub fn stats(&self, entry: &Arc<TenantEntry>) -> TenantStats {
+        let session_stats = {
+            let state = entry.state.lock().expect("tenant state lock");
+            (state.session.stats(), state.ingest_errors, {
+                state.snapshots_written
+            })
+        };
+        let (pending, busy) = {
+            let queue = entry.queue.lock().expect("tenant queue lock");
+            (queue.batches.len(), queue.busy_rejections)
+        };
+        TenantStats {
+            tenant: entry.id.as_str().to_string(),
+            session: session_stats.0,
+            pending_batches: pending,
+            queue_bound: self.config.queue_bound,
+            busy_rejections: busy,
+            ingest_errors: session_stats.1,
+            snapshots_written: session_stats.2,
+        }
+    }
+
+    /// Daemon-wide statistics.
+    pub fn fleet_stats(&self) -> FleetStats {
+        let mut total_ingested = 0;
+        let mut refits = tomo_core::online::RefitCounts::default();
+        let entries = self.entries();
+        let tenants = entries.len();
+        for e in &entries {
+            let state = e.state.lock().expect("tenant state lock");
+            let stats = state.session.stats();
+            total_ingested += stats.total_ingested;
+            refits.incremental += stats.refits.incremental;
+            refits.full += stats.refits.full;
+            refits.basis_rebuilds += stats.refits.basis_rebuilds;
+        }
+        FleetStats {
+            tenants,
+            shards: self.config.num_shards,
+            total_ingested,
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            refits,
+        }
+    }
+
+    /// The snapshot file path of a tenant, when snapshotting is configured.
+    pub fn snapshot_path(&self, id: &TenantId) -> Option<String> {
+        self.config
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| format!("{dir}/{id}.json"))
+    }
+
+    /// Writes one tenant's snapshot file atomically (write-then-rename).
+    /// `Ok(None)` when snapshotting is disabled.
+    pub fn snapshot_tenant(&self, entry: &Arc<TenantEntry>) -> Result<Option<String>, TomoError> {
+        let Some(path) = self.snapshot_path(&entry.id) else {
+            return Ok(None);
+        };
+        let mut state = entry.state.lock().expect("tenant state lock");
+        self.write_snapshot(&path, &mut state)?;
+        Ok(Some(path))
+    }
+
+    /// The one atomic-write path both snapshot entry points share:
+    /// serialize under the caller's state lock, write to a temp file,
+    /// rename over the last good snapshot, then bump the counters.
+    fn write_snapshot(&self, path: &str, state: &mut TenantState) -> Result<(), TomoError> {
+        if let Some(dir) = &self.config.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(&state.session.snapshot())
+            .map_err(|e| TomoError::Serde(e.to_string()))?;
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        state.snapshots_written += 1;
+        state.intervals_at_last_snapshot = state.session.intervals_ingested();
+        Ok(())
+    }
+
+    /// Auto-snapshot hook run by the drainer after each ingested batch.
+    fn maybe_autosnapshot(&self, entry: &Arc<TenantEntry>, state: &mut TenantState) {
+        let Some(every) = self.config.snapshot_every else {
+            return;
+        };
+        let Some(path) = self.snapshot_path(&entry.id) else {
+            return;
+        };
+        if state.session.intervals_ingested() - state.intervals_at_last_snapshot < every {
+            return;
+        }
+        if let Err(e) = self.write_snapshot(&path, state) {
+            eprintln!("tomo-serve: tenant {}: auto-snapshot failed: {e}", entry.id);
+        }
+    }
+
+    /// Snapshots every tenant, returning the written paths (tenants whose
+    /// snapshot failed are reported on stderr and skipped).
+    pub fn snapshot_all(&self) -> Vec<String> {
+        let mut written = Vec::new();
+        for entry in self.entries() {
+            match self.snapshot_tenant(&entry) {
+                Ok(Some(path)) => written.push(path),
+                Ok(None) => {}
+                Err(e) => eprintln!("tomo-serve: tenant {}: snapshot failed: {e}", entry.id),
+            }
+        }
+        written
+    }
+
+    /// Restores a fleet from the snapshot directory: every `*.json` file
+    /// becomes one tenant (named after the file stem). Returns the restored
+    /// tenant ids, sorted.
+    pub fn restore_fleet(&self, dir: &str) -> Result<Vec<String>, TomoError> {
+        let mut restored = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(restored),
+            Err(e) => return Err(e.into()),
+        };
+        for file in entries {
+            let path = file?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let id = TenantId::new(stem)?;
+            let text = std::fs::read_to_string(&path)?;
+            let snapshot: SessionSnapshot =
+                serde_json::from_str(&text).map_err(|e| TomoError::Serde(e.to_string()))?;
+            let session = TomographySession::restore(snapshot).map_err(|e| {
+                TomoError::InvalidConfig(format!("cannot restore tenant `{id}`: {e}"))
+            })?;
+            self.create(id.clone(), session)?;
+            restored.push(id.as_str().to_string());
+        }
+        restored.sort();
+        Ok(restored)
+    }
+
+    /// Shutdown hook: snapshots every tenant (when configured).
+    pub fn shutdown(&self) {
+        let _ = self.snapshot_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_core::SessionConfig;
+
+    fn toy_session() -> TomographySession {
+        TomographySession::new(tomo_graph::toy::fig1_case1(), SessionConfig::default()).unwrap()
+    }
+
+    fn intervals(n: usize, offset: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|t| {
+                let t = t + offset;
+                let mut congested = Vec::new();
+                if t.is_multiple_of(5) {
+                    congested.extend([0, 1]);
+                }
+                if t % 4 == 1 {
+                    congested.push(2);
+                }
+                congested
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tenant_ids_are_validated() {
+        assert!(TenantId::new("as-7018").is_ok());
+        assert!(TenantId::new("A.b_c-9").is_ok());
+        assert!(TenantId::new("").is_err());
+        assert!(TenantId::new("has space").is_err());
+        assert!(TenantId::new("../escape").is_err());
+        assert!(TenantId::new("x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn tenants_hash_across_shards() {
+        let registry = EngineRegistry::new(RegistryConfig {
+            num_shards: 4,
+            ..RegistryConfig::default()
+        });
+        for i in 0..32 {
+            registry
+                .create(TenantId::new(format!("t{i}")).unwrap(), toy_session())
+                .unwrap();
+        }
+        assert_eq!(registry.num_tenants(), 32);
+        // FNV spreads 32 ids over 4 shards: no shard should be empty.
+        for shard in &registry.shards {
+            assert!(!shard.tenants.lock().unwrap().is_empty());
+        }
+        assert_eq!(registry.list().len(), 32);
+    }
+
+    #[test]
+    fn create_lookup_drop_lifecycle() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let id = TenantId::new("as-1").unwrap();
+        registry.create(id.clone(), toy_session()).unwrap();
+        assert!(registry.lookup(&id).is_some());
+        // Duplicate create fails.
+        assert!(registry.create(id.clone(), toy_session()).is_err());
+        registry.drop_tenant(&id).unwrap();
+        assert!(registry.lookup(&id).is_none());
+        assert!(registry.drop_tenant(&id).is_err());
+    }
+
+    #[test]
+    fn observe_flush_query_round_trip() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let id = TenantId::new("as-1").unwrap();
+        let entry = registry.create(id, toy_session()).unwrap();
+        let resp = registry.observe(&entry, intervals(40, 0));
+        assert!(
+            matches!(resp, Response::Accepted { ingested: 40, .. }),
+            "{resp:?}"
+        );
+        assert_eq!(registry.flush(&entry), 40);
+        match registry.query(&entry) {
+            Response::Estimate(est) => {
+                assert_eq!(est.probabilities.len(), 4);
+                assert_eq!(est.intervals, 40);
+            }
+            other => panic!("expected estimate, got {other:?}"),
+        }
+        let stats = registry.stats(&entry);
+        assert_eq!(stats.session.total_ingested, 40);
+        assert_eq!(stats.pending_batches, 0);
+        assert_eq!(stats.busy_rejections, 0);
+        assert_eq!(stats.ingest_errors, 0);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_before_the_queue() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let entry = registry
+            .create(TenantId::new("as-1").unwrap(), toy_session())
+            .unwrap();
+        assert!(matches!(
+            registry.observe(&entry, vec![]),
+            Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
+        ));
+        assert!(matches!(
+            registry.observe(&entry, vec![vec![99]]),
+            Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
+        ));
+        assert_eq!(registry.stats(&entry).session.total_ingested, 0);
+    }
+
+    #[test]
+    fn full_queue_answers_busy_and_recovers_after_flush() {
+        let registry = EngineRegistry::new(RegistryConfig {
+            queue_bound: 2,
+            ..RegistryConfig::default()
+        });
+        let entry = registry
+            .create(TenantId::new("noisy").unwrap(), toy_session())
+            .unwrap();
+        // Pre-fill the queue under a parked drain flag so nothing drains.
+        {
+            let mut queue = entry.queue.lock().unwrap();
+            queue.draining = true;
+            queue.batches.push_back(intervals(5, 0));
+            queue.batches.push_back(intervals(5, 5));
+        }
+        match registry.observe(&entry, intervals(5, 10)) {
+            Response::Busy {
+                pending_batches,
+                bound,
+            } => {
+                assert_eq!(pending_batches, 2);
+                assert_eq!(bound, 2);
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        assert_eq!(registry.stats(&entry).busy_rejections, 1);
+        assert_eq!(registry.fleet_stats().busy_rejections, 1);
+        // Un-park; flush takes the drain over and empties the queue.
+        {
+            let mut queue = entry.queue.lock().unwrap();
+            queue.draining = false;
+        }
+        assert_eq!(registry.flush(&entry), 10);
+        // With room again, observes are accepted once more.
+        let resp = registry.observe(&entry, intervals(5, 10));
+        assert!(matches!(resp, Response::Accepted { .. }), "{resp:?}");
+        assert_eq!(registry.flush(&entry), 15);
+    }
+
+    #[test]
+    fn observes_racing_a_drop_are_rejected_not_lost() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let id = TenantId::new("as-1").unwrap();
+        let entry = registry.create(id.clone(), toy_session()).unwrap();
+        registry.observe(&entry, intervals(5, 0));
+        registry.drop_tenant(&id).unwrap();
+        // A stale entry handle (resolved before the drop) can no longer
+        // enqueue: the batch would land after the final snapshot and be
+        // silently lost, so it is refused instead of Accepted.
+        match registry.observe(&entry, intervals(5, 5)) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownTenant),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_snapshot_restore_round_trip() {
+        let dir = std::env::temp_dir()
+            .join(format!("tomo-registry-snap-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let config = RegistryConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+        let registry = EngineRegistry::new(config.clone());
+        let mut estimates = Vec::new();
+        for (i, name) in ["as-1", "as-2", "as-3"].iter().enumerate() {
+            let entry = registry
+                .create(TenantId::new(*name).unwrap(), toy_session())
+                .unwrap();
+            registry.observe(&entry, intervals(30 + 10 * i, i));
+            registry.flush(&entry);
+            let paths = registry.snapshot_tenant(&entry).unwrap().unwrap();
+            assert!(paths.ends_with(&format!("{name}.json")));
+            match registry.query(&entry) {
+                Response::Estimate(est) => estimates.push(est),
+                other => panic!("{other:?}"),
+            }
+        }
+
+        let restored = EngineRegistry::new(config);
+        let names = restored.restore_fleet(&dir).unwrap();
+        assert_eq!(names, vec!["as-1", "as-2", "as-3"]);
+        for (i, name) in names.iter().enumerate() {
+            let entry = restored
+                .lookup(&TenantId::new(name.clone()).unwrap())
+                .unwrap();
+            match restored.query(&entry) {
+                Response::Estimate(est) => {
+                    assert_eq!(est.intervals, estimates[i].intervals);
+                    for (a, b) in est.probabilities.iter().zip(&estimates[i].probabilities) {
+                        assert!((a - b).abs() < 1e-9);
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_fires_on_the_configured_cadence() {
+        let dir = std::env::temp_dir()
+            .join(format!("tomo-registry-auto-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let registry = EngineRegistry::new(RegistryConfig {
+            snapshot_dir: Some(dir.clone()),
+            snapshot_every: Some(25),
+            ..RegistryConfig::default()
+        });
+        let entry = registry
+            .create(TenantId::new("as-1").unwrap(), toy_session())
+            .unwrap();
+        registry.observe(&entry, intervals(10, 0));
+        registry.flush(&entry);
+        assert_eq!(registry.stats(&entry).snapshots_written, 0);
+        registry.observe(&entry, intervals(20, 10));
+        registry.flush(&entry);
+        assert_eq!(registry.stats(&entry).snapshots_written, 1);
+        assert!(std::path::Path::new(&format!("{dir}/as-1.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,24 +1,32 @@
 //! The TCP front end: a `std::net` listener fanning connections onto the
-//! `tomo-sweep` worker pool.
+//! `tomo-sweep` worker pool, dispatching v2 envelopes to the sharded
+//! [`EngineRegistry`].
 //!
 //! Each accepted connection becomes one pool job that reads JSON-lines
-//! requests until the client disconnects; every request is handled under
-//! the shared engine mutex and answered with exactly one response line.
-//! The accept loop polls a non-blocking listener so a `Shutdown` request
-//! (observed via a shared flag) stops the daemon promptly without any
-//! platform-specific socket tricks.
+//! request envelopes until the client disconnects; every request is
+//! answered with exactly one response envelope, in order. A connection can
+//! bind a default tenant with `Attach` and omit the `tenant` field
+//! afterwards. Ingest requests only *enqueue* onto the tenant's bounded
+//! queue (the first enqueuer drains it), so one flooding tenant cannot
+//! occupy the engine while another tenant's queries wait — the flooder gets
+//! `Busy` instead. The accept loop polls a non-blocking listener so a
+//! `Shutdown` request (observed via a shared flag) stops the daemon
+//! promptly without any platform-specific socket tricks.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
-use tomo_core::TomoError;
+use tomo_core::{SessionConfig, SessionEstimate, TomoError, TomographySession};
 use tomo_sweep::WorkerPool;
 
-use crate::engine::ServeEngine;
-use crate::protocol::{decode, encode, Request, Response};
+use crate::protocol::{
+    decode, decode_request, encode, ErrorKind, Request, RequestEnvelope, Response,
+    ResponseEnvelope, TenantStats, PROTOCOL_VERSION,
+};
+use crate::registry::{EngineRegistry, TenantId};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -27,23 +35,28 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// flag instead of blocking the drain forever.
 const READ_POLL: Duration = Duration::from_millis(200);
 
-/// The daemon: listener + engine + connection pool.
+/// The daemon: listener + sharded registry + connection pool.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<Mutex<ServeEngine>>,
+    registry: Arc<EngineRegistry>,
     shutdown: Arc<AtomicBool>,
     pool: WorkerPool,
 }
 
 impl Server {
     /// Binds the daemon to `addr` (e.g. `127.0.0.1:7070`; port 0 picks an
-    /// ephemeral port, see [`Server::local_addr`]).
-    pub fn bind(addr: &str, engine: ServeEngine, threads: usize) -> Result<Self, TomoError> {
+    /// ephemeral port, see [`Server::local_addr`]). `threads` sizes the
+    /// connection pool — each live connection occupies one worker.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<EngineRegistry>,
+        threads: usize,
+    ) -> Result<Self, TomoError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Self {
             listener,
-            engine: Arc::new(Mutex::new(engine)),
+            registry,
             shutdown: Arc::new(AtomicBool::new(false)),
             pool: WorkerPool::new(threads),
         })
@@ -59,9 +72,15 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
+    /// The registry the server dispatches to.
+    pub fn registry(&self) -> &Arc<EngineRegistry> {
+        &self.registry
+    }
+
     /// Runs the accept loop until a client sends `Shutdown` (or the
     /// shutdown flag is raised externally). Existing connections are
-    /// drained before returning.
+    /// drained before returning; every tenant is snapshotted on the way
+    /// out when snapshotting is configured.
     pub fn run(self) -> Result<(), TomoError> {
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
@@ -69,10 +88,10 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    let engine = Arc::clone(&self.engine);
+                    let registry = Arc::clone(&self.registry);
                     let shutdown = Arc::clone(&self.shutdown);
                     self.pool
-                        .submit(move || handle_connection(stream, &engine, &shutdown))?;
+                        .submit(move || handle_connection(stream, &registry, &shutdown))?;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -81,12 +100,13 @@ impl Server {
             }
         }
         self.pool.wait_idle();
+        self.registry.shutdown();
         Ok(())
     }
 }
 
 /// Serves one connection until EOF or shutdown.
-fn handle_connection(stream: TcpStream, engine: &Mutex<ServeEngine>, shutdown: &AtomicBool) {
+fn handle_connection(stream: TcpStream, registry: &Arc<EngineRegistry>, shutdown: &AtomicBool) {
     let _ = stream.set_nodelay(true);
     // A finite read timeout lets an idle connection notice the shutdown
     // flag; without it, `Server::run`'s drain would wait on clients that
@@ -101,6 +121,8 @@ fn handle_connection(stream: TcpStream, engine: &Mutex<ServeEngine>, shutdown: &
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // The connection's default tenant, bound by `Attach`.
+    let mut attached: Option<TenantId> = None;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client went away
@@ -128,21 +150,13 @@ fn handle_connection(stream: TcpStream, engine: &Mutex<ServeEngine>, shutdown: &
         if request_line.trim().is_empty() {
             continue;
         }
-        let response = match decode::<Request>(&request_line) {
-            Ok(Request::Shutdown) => {
-                let mut engine = engine.lock().expect("engine lock");
-                let response = engine.handle(Request::Shutdown);
-                shutdown.store(true, Ordering::Relaxed);
-                response
-            }
-            Ok(request) => {
-                let mut engine = engine.lock().expect("engine lock");
-                engine.handle(request)
-            }
-            Err(e) => Response::from_error(&e),
+        let (tenant, response) = match decode_request(&request_line) {
+            Ok(envelope) => dispatch(registry, envelope, &mut attached, shutdown),
+            Err(error_response) => (None, *error_response),
         };
         let stop = matches!(response, Response::Bye);
-        if writeln!(writer, "{}", encode(&response)).is_err() {
+        let envelope = ResponseEnvelope::new(tenant, response);
+        if writeln!(writer, "{}", encode(&envelope)).is_err() {
             break;
         }
         let _ = writer.flush();
@@ -152,11 +166,153 @@ fn handle_connection(stream: TcpStream, engine: &Mutex<ServeEngine>, shutdown: &
     }
 }
 
-/// A minimal synchronous client for the daemon protocol, used by the
-/// `probe-client` binary and the integration tests.
+/// Handles one decoded envelope, returning the tenant to echo and the
+/// response.
+fn dispatch(
+    registry: &Arc<EngineRegistry>,
+    envelope: RequestEnvelope,
+    attached: &mut Option<TenantId>,
+    shutdown: &AtomicBool,
+) -> (Option<String>, Response) {
+    let RequestEnvelope { tenant, req, .. } = envelope;
+
+    // Fleet-level requests ignore the tenant field.
+    match &req {
+        Request::ListTenants => {
+            return (
+                None,
+                Response::Tenants {
+                    tenants: registry.list(),
+                },
+            )
+        }
+        Request::FleetStats => return (None, Response::Fleet(registry.fleet_stats())),
+        Request::SnapshotAll => {
+            let written = registry.snapshot_all();
+            return (
+                None,
+                Response::Snapshotted {
+                    path: written.join(","),
+                },
+            );
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::Relaxed);
+            return (None, Response::Bye);
+        }
+        _ => {}
+    }
+
+    // Everything else is tenant-scoped: resolve the explicit tenant or the
+    // connection's attachment.
+    let id =
+        match tenant
+            .map(TenantId::new)
+            .or_else(|| attached.clone().map(Ok))
+        {
+            Some(Ok(id)) => id,
+            Some(Err(e)) => return (None, Response::from_error(&e)),
+            None => return (
+                None,
+                Response::error(
+                    ErrorKind::InvalidRequest,
+                    "request needs a tenant: set the envelope's `tenant` field or `Attach` first",
+                ),
+            ),
+        };
+    let echo = Some(id.as_str().to_string());
+
+    let response = match req {
+        Request::Create {
+            topology,
+            seed,
+            estimator,
+            window,
+            decay,
+            options,
+        } => {
+            let network = match crate::resolve_topology(&topology, seed.unwrap_or(0)) {
+                Ok(network) => network,
+                Err(e) => return (echo, Response::from_error(&e)),
+            };
+            let config = SessionConfig {
+                estimator: estimator.unwrap_or_else(|| "independence".into()),
+                options: options.unwrap_or_default(),
+                window_capacity: window,
+                decay,
+            };
+            let session = match TomographySession::new(network, config) {
+                Ok(session) => session,
+                Err(e) => return (echo, Response::from_error(&e)),
+            };
+            match registry.create(id, session) {
+                Ok(entry) => Response::Created {
+                    links: entry.num_links(),
+                    paths: entry.num_paths(),
+                },
+                Err(e) => Response::error(ErrorKind::TenantExists, e.to_string()),
+            }
+        }
+        Request::Drop => match registry.drop_tenant(&id) {
+            Ok(()) => {
+                if attached.as_ref() == Some(&id) {
+                    *attached = None;
+                }
+                Response::Dropped
+            }
+            Err(e) => Response::error(ErrorKind::UnknownTenant, e.to_string()),
+        },
+        other => {
+            let Some(entry) = registry.lookup(&id) else {
+                return (
+                    echo,
+                    Response::error(ErrorKind::UnknownTenant, format!("unknown tenant `{id}`")),
+                );
+            };
+            match other {
+                Request::Attach => {
+                    *attached = Some(id.clone());
+                    Response::Attached {
+                        links: entry.num_links(),
+                        paths: entry.num_paths(),
+                    }
+                }
+                Request::Observe { congested } => registry.observe(&entry, vec![congested]),
+                Request::ObserveBatch { intervals } => registry.observe(&entry, intervals),
+                Request::Flush => Response::Flushed {
+                    intervals: registry.flush(&entry),
+                },
+                Request::Query => registry.query(&entry),
+                Request::Infer { congested } => registry.infer(&entry, &congested),
+                Request::Stats => Response::Stats(registry.stats(&entry)),
+                Request::Snapshot => match registry.snapshot_tenant(&entry) {
+                    Ok(Some(path)) => Response::Snapshotted { path },
+                    Ok(None) => Response::error(
+                        ErrorKind::InvalidRequest,
+                        "no snapshot directory configured (start the daemon with --snapshot-dir)",
+                    ),
+                    Err(e) => Response::from_error(&e),
+                },
+                // Handled before tenant resolution.
+                Request::Create { .. }
+                | Request::Drop
+                | Request::ListTenants
+                | Request::FleetStats
+                | Request::SnapshotAll
+                | Request::Shutdown => unreachable!("handled before tenant resolution"),
+            }
+        }
+    };
+    (echo, response)
+}
+
+/// A minimal synchronous v2 client for the daemon protocol, used by the
+/// `probe-client` binary and the integration tests. The client tracks a
+/// current tenant and stamps it into every envelope.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    tenant: Option<String>,
 }
 
 impl Client {
@@ -168,43 +324,108 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            tenant: None,
         })
     }
 
-    /// Sends one request and reads the matching response line.
+    /// Sets the tenant stamped into subsequent request envelopes.
+    pub fn set_tenant(&mut self, tenant: impl Into<String>) {
+        self.tenant = Some(tenant.into());
+    }
+
+    /// The tenant currently stamped into request envelopes.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Sends one request envelope and reads the matching response envelope,
+    /// returning its `resp` field.
     pub fn call(&mut self, request: &Request) -> Result<Response, TomoError> {
-        writeln!(self.writer, "{}", encode(request))?;
+        let envelope = RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            tenant: self.tenant.clone(),
+            req: request.clone(),
+        };
+        writeln!(self.writer, "{}", encode(&envelope))?;
         self.writer.flush()?;
         let mut line = String::new();
         let read = self.reader.read_line(&mut line)?;
         if read == 0 {
             return Err(TomoError::Io("daemon closed the connection".into()));
         }
-        decode(&line)
+        let envelope: ResponseEnvelope = decode(&line)?;
+        Ok(envelope.resp)
     }
 
-    /// Convenience: ingest a batch of intervals, returning the `Ack` fields
-    /// `(refit, lifetime interval count)`.
-    pub fn observe_batch(
+    /// Convenience: create a tenant with the given topology and estimator
+    /// (and set it as the client's current tenant).
+    pub fn create_tenant(
         &mut self,
-        intervals: Vec<Vec<usize>>,
-    ) -> Result<(tomo_core::Refit, u64), TomoError> {
-        match self.call(&Request::ObserveBatch { intervals })? {
-            Response::Ack {
-                refit, intervals, ..
-            } => Ok((refit, intervals)),
-            Response::Error { message } => Err(TomoError::InvalidConfig(message)),
+        tenant: impl Into<String>,
+        topology: &str,
+        seed: u64,
+        estimator: &str,
+        window: Option<usize>,
+        decay: Option<f64>,
+    ) -> Result<(usize, usize), TomoError> {
+        self.set_tenant(tenant);
+        match self.call(&Request::Create {
+            topology: topology.into(),
+            seed: Some(seed),
+            estimator: Some(estimator.into()),
+            window,
+            decay,
+            options: None,
+        })? {
+            Response::Created { links, paths } => Ok((links, paths)),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
             other => Err(TomoError::InvalidConfig(format!(
                 "unexpected response {other:?}"
             ))),
         }
     }
 
-    /// Convenience: query the current per-link probabilities.
-    pub fn query(&mut self) -> Result<Vec<f64>, TomoError> {
+    /// Convenience: enqueue a batch of intervals. `Ok(true)` when accepted,
+    /// `Ok(false)` when the tenant's ingest queue was full (`Busy`).
+    pub fn observe_batch(&mut self, intervals: Vec<Vec<usize>>) -> Result<bool, TomoError> {
+        match self.call(&Request::ObserveBatch { intervals })? {
+            Response::Accepted { .. } => Ok(true),
+            Response::Busy { .. } => Ok(false),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: block until the tenant's ingest queue drains, returning
+    /// the lifetime interval count.
+    pub fn flush(&mut self) -> Result<u64, TomoError> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed { intervals } => Ok(intervals),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: query the tenant's current estimate.
+    pub fn query(&mut self) -> Result<SessionEstimate, TomoError> {
         match self.call(&Request::Query)? {
-            Response::Estimate { probabilities, .. } => Ok(probabilities),
-            Response::Error { message } => Err(TomoError::InvalidConfig(message)),
+            Response::Estimate(estimate) => Ok(estimate),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: fetch the tenant's statistics.
+    pub fn stats(&mut self) -> Result<TenantStats, TomoError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
             other => Err(TomoError::InvalidConfig(format!(
                 "unexpected response {other:?}"
             ))),

@@ -1,23 +1,35 @@
 //! End-to-end daemon tests over real TCP: stream a simulated scenario into
-//! a running server, verify queries match an offline batch fit, exercise
-//! snapshot/restore, and shut the daemon down over the wire.
+//! a running v2 server, verify queries match an offline batch fit, exercise
+//! snapshot/restore and the protocol's error taxonomy, and shut the daemon
+//! down over the wire.
 
-use tomo_core::{estimators, Refit};
+use std::sync::Arc;
+
+use tomo_core::{estimators, SessionConfig, TomographySession};
 use tomo_graph::LinkId;
 use tomo_serve::protocol::{Request, Response};
 use tomo_serve::stream::{record_scenario, stream_to_observations};
-use tomo_serve::{Client, ServeConfig, ServeEngine, Server};
+use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server, TenantId};
 use tomo_sim::{MeasurementMode, ScenarioConfig};
 
-/// Starts a daemon on an ephemeral loopback port, returning the address and
-/// the thread running the accept loop.
-fn start_daemon(config: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
-    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
-    let engine = ServeEngine::new(network, config).unwrap();
-    let server = Server::bind("127.0.0.1:0", engine, 2).unwrap();
+/// Starts a daemon on an ephemeral loopback port with the given registry,
+/// returning the address and the accept-loop thread.
+fn start_daemon(registry: EngineRegistry) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", Arc::new(registry), 4).unwrap();
     let addr = server.local_addr().unwrap().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server runs"));
     (addr, handle)
+}
+
+/// A registry with one `default` tenant on the toy topology.
+fn default_registry(config: RegistryConfig) -> EngineRegistry {
+    let registry = EngineRegistry::new(config);
+    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+    let session = TomographySession::new(network, SessionConfig::default()).unwrap();
+    registry
+        .create(TenantId::new("default").unwrap(), session)
+        .unwrap();
+    registry
 }
 
 /// 200 intervals of the drifting-loss scenario on the toy topology.
@@ -33,19 +45,19 @@ fn toy_stream() -> Vec<Vec<usize>> {
 
 #[test]
 fn replayed_stream_matches_offline_batch_fit() {
-    let (addr, handle) = start_daemon(ServeConfig::default());
+    let (addr, handle) = start_daemon(default_registry(RegistryConfig::default()));
     let mut client = Client::connect(&addr).unwrap();
+    client.set_tenant("default");
 
     let stream = toy_stream();
-    let mut refits = Vec::new();
     for chunk in stream.chunks(10) {
-        let (refit, _) = client.observe_batch(chunk.to_vec()).unwrap();
-        refits.push(refit);
+        assert!(client.observe_batch(chunk.to_vec()).unwrap());
     }
-    // Steady state must ride the incremental path.
-    assert!(refits.contains(&Refit::Incremental), "{refits:?}");
-
+    // Flush is the barrier that makes the following query reflect
+    // everything accepted above.
+    assert_eq!(client.flush().unwrap(), 200);
     let daemon = client.query().unwrap();
+    assert_eq!(daemon.intervals, 200);
 
     // Offline: the same estimator on the full concatenated stream.
     let network = tomo_serve::resolve_topology("toy", 0).unwrap();
@@ -62,7 +74,7 @@ fn replayed_stream_matches_offline_batch_fit() {
     let mut offline = estimators::by_name("independence").unwrap();
     offline.fit(&network, &observations).unwrap();
     let estimate = offline.estimate().unwrap();
-    for (l, &got) in daemon.iter().enumerate() {
+    for (l, &got) in daemon.probabilities.iter().enumerate() {
         let want = estimate.link_congestion_probability(LinkId(l));
         assert!(
             (want - got).abs() < 1e-5,
@@ -70,15 +82,12 @@ fn replayed_stream_matches_offline_batch_fit() {
         );
     }
 
-    // Stats reflect the ingestion pattern.
-    match client.call(&Request::Stats).unwrap() {
-        Response::StatsReport(stats) => {
-            assert_eq!(stats.total_ingested, 200);
-            assert!(stats.refits.incremental > 0);
-            assert!(stats.refits.full >= 1);
-        }
-        other => panic!("expected stats, got {other:?}"),
-    }
+    // Stats reflect the ingestion pattern, including the incremental path.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.session.total_ingested, 200);
+    assert!(stats.session.refits.incremental > 0);
+    assert!(stats.session.refits.full >= 1);
+    assert_eq!(stats.busy_rejections, 0);
 
     let bye = client.call(&Request::Shutdown).unwrap();
     assert!(matches!(bye, Response::Bye));
@@ -86,67 +95,90 @@ fn replayed_stream_matches_offline_batch_fit() {
 }
 
 #[test]
-fn concurrent_clients_share_one_consistent_engine() {
-    let (addr, handle) = start_daemon(ServeConfig::default());
+fn concurrent_clients_share_one_consistent_tenant() {
+    let (addr, handle) = start_daemon(default_registry(RegistryConfig::default()));
     let stream = toy_stream();
 
-    // Two writers split the stream; a reader polls in between.
+    // Two writers split the stream; attach binds the connection's default
+    // tenant so the envelopes can omit it.
     let (first, second) = stream.split_at(stream.len() / 2);
     let mut a = Client::connect(&addr).unwrap();
+    a.set_tenant("default");
+    assert!(matches!(
+        a.call(&Request::Attach).unwrap(),
+        Response::Attached { links: 4, paths: 3 }
+    ));
     let mut b = Client::connect(&addr).unwrap();
+    b.set_tenant("default");
     for chunk in first.chunks(20) {
         a.observe_batch(chunk.to_vec()).unwrap();
     }
     for chunk in second.chunks(20) {
         b.observe_batch(chunk.to_vec()).unwrap();
     }
-    // Close the writer connections so their server-side jobs finish —
-    // `Server::run` drains live connections before returning.
+    a.flush().unwrap();
+    b.flush().unwrap();
     drop(a);
     drop(b);
 
     let mut reader = Client::connect(&addr).unwrap();
-    match reader.call(&Request::Stats).unwrap() {
-        Response::StatsReport(stats) => assert_eq!(stats.total_ingested, 200),
-        other => panic!("expected stats, got {other:?}"),
-    }
-    assert_eq!(reader.query().unwrap().len(), 4);
+    reader.set_tenant("default");
+    assert_eq!(reader.stats().unwrap().session.total_ingested, 200);
+    assert_eq!(reader.query().unwrap().probabilities.len(), 4);
 
     reader.call(&Request::Shutdown).unwrap();
     handle.join().unwrap();
 }
 
 #[test]
-fn malformed_lines_get_error_responses_and_the_connection_survives() {
-    let (addr, handle) = start_daemon(ServeConfig::default());
+fn protocol_taxonomy_over_the_wire() {
+    let (addr, handle) = start_daemon(default_registry(RegistryConfig::default()));
 
     // Talk to the daemon at the raw socket level.
     use std::io::{BufRead, BufReader, Write};
     let stream = std::net::TcpStream::connect(&addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
+    let mut call = |line: &str| -> String {
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response
+    };
 
-    writeln!(writer, "this is not json").unwrap();
-    let mut line = String::new();
-    reader.read_line(&mut line).unwrap();
-    assert!(line.contains("Error"), "{line}");
-
+    // Malformed JSON -> InvalidRequest, connection survives.
+    let r = call("this is not json");
+    assert!(r.contains("InvalidRequest"), "{r}");
+    // v1 lines -> UnsupportedVersion with a migration hint.
+    let r = call("\"Query\"");
+    assert!(r.contains("UnsupportedVersion"), "{r}");
+    let r = call("{\"Observe\": {\"congested\": [0]}}");
+    assert!(r.contains("UnsupportedVersion"), "{r}");
+    // Future versions -> UnsupportedVersion.
+    let r = call("{\"v\": 9, \"tenant\": \"default\", \"req\": \"Query\"}");
+    assert!(r.contains("UnsupportedVersion"), "{r}");
+    // Unknown tenant -> UnknownTenant.
+    let r = call("{\"v\": 2, \"tenant\": \"nope\", \"req\": \"Stats\"}");
+    assert!(r.contains("UnknownTenant"), "{r}");
+    // Missing tenant on a tenant-scoped request -> InvalidRequest.
+    let r = call("{\"v\": 2, \"req\": \"Stats\"}");
+    assert!(r.contains("InvalidRequest"), "{r}");
     // The same connection still serves valid requests afterwards.
-    writeln!(writer, "{{\"Observe\": {{\"congested\": [0]}}}}").unwrap();
-    line.clear();
-    reader.read_line(&mut line).unwrap();
-    assert!(line.contains("Ack"), "{line}");
+    let r =
+        call("{\"v\": 2, \"tenant\": \"default\", \"req\": {\"Observe\": {\"congested\": [0]}}}");
+    assert!(r.contains("Accepted"), "{r}");
+    // Inference on an estimator without the capability -> Unsupported.
+    let r = call("{\"v\": 2, \"tenant\": \"default\", \"req\": {\"Infer\": {\"congested\": [0]}}}");
+    assert!(r.contains("Unsupported"), "{r}");
 
-    writeln!(writer, "\"Shutdown\"").unwrap();
-    line.clear();
-    reader.read_line(&mut line).unwrap();
-    assert!(line.contains("Bye"), "{line}");
+    let r = call("{\"v\": 2, \"req\": \"Shutdown\"}");
+    assert!(r.contains("Bye"), "{r}");
     handle.join().unwrap();
 }
 
 #[test]
 fn shutdown_completes_even_with_an_idle_connection_open() {
-    let (addr, handle) = start_daemon(ServeConfig::default());
+    let (addr, handle) = start_daemon(default_registry(RegistryConfig::default()));
     // An idle client that never sends a byte must not block the drain:
     // connection reads poll the shutdown flag on a timeout.
     let _idle = std::net::TcpStream::connect(&addr).unwrap();
@@ -157,42 +189,45 @@ fn shutdown_completes_even_with_an_idle_connection_open() {
 
 #[test]
 fn snapshot_over_the_wire_then_restore_into_a_new_daemon() {
-    let snapshot_path = std::env::temp_dir()
-        .join(format!("tomo-serve-smoke-{}.json", std::process::id()))
+    let dir = std::env::temp_dir()
+        .join(format!("tomo-serve-smoke-{}", std::process::id()))
         .to_string_lossy()
         .into_owned();
-    let config = ServeConfig {
-        snapshot_path: Some(snapshot_path.clone()),
-        window_capacity: Some(120),
-        ..ServeConfig::default()
+    let config = RegistryConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..RegistryConfig::default()
     };
-    let (addr, handle) = start_daemon(config);
+    let (addr, handle) = start_daemon(default_registry(config.clone()));
     let mut client = Client::connect(&addr).unwrap();
+    client.set_tenant("default");
     for chunk in toy_stream().chunks(25) {
         client.observe_batch(chunk.to_vec()).unwrap();
     }
+    client.flush().unwrap();
     match client.call(&Request::Snapshot).unwrap() {
-        Response::Snapshotted { path } => assert_eq!(path, snapshot_path),
+        Response::Snapshotted { path } => assert_eq!(path, format!("{dir}/default.json")),
         other => panic!("expected snapshot ack, got {other:?}"),
     }
     let before = client.query().unwrap();
     client.call(&Request::Shutdown).unwrap();
     handle.join().unwrap();
 
-    // "Crash recovery": a brand-new daemon restored from the file serves
-    // the same estimate.
-    let mut restored = ServeEngine::restore_from_file(&snapshot_path).unwrap();
-    match restored.handle(Request::Query) {
-        Response::Estimate { probabilities, .. } => {
-            assert_eq!(probabilities.len(), before.len());
+    // "Crash recovery": a brand-new registry restored from the directory
+    // serves the same estimate.
+    let restored = EngineRegistry::new(config);
+    assert_eq!(restored.restore_fleet(&dir).unwrap(), vec!["default"]);
+    let entry = restored.lookup(&TenantId::new("default").unwrap()).unwrap();
+    match restored.query(&entry) {
+        Response::Estimate(after) => {
+            assert_eq!(after.probabilities.len(), before.probabilities.len());
             // The pre-crash estimate may come from the incremental solver
             // and the restored one from a full refit; they agree to solver
             // tolerance.
-            for (x, y) in probabilities.iter().zip(&before) {
-                assert!((x - y).abs() < 1e-6, "{probabilities:?} vs {before:?}");
+            for (x, y) in after.probabilities.iter().zip(&before.probabilities) {
+                assert!((x - y).abs() < 1e-6, "{after:?} vs {before:?}");
             }
         }
         other => panic!("expected estimate, got {other:?}"),
     }
-    let _ = std::fs::remove_file(&snapshot_path);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -15,10 +15,19 @@ use tomo_graph::PathId;
 use crate::observation::PathObservations;
 
 /// A bounded (or unbounded) sliding window of per-interval path observations.
+///
+/// Beyond plain truncation, the window can carry an exponential *decay*
+/// factor `λ ∈ (0, 1)`: retained intervals are then weighted `λ^age`
+/// (newest = 1), so estimators consuming the window through its weight
+/// helpers ([`ObservationWindow::interval_weight`],
+/// [`ObservationWindow::total_weight`]) forget old intervals gradually
+/// instead of all at once at eviction. The window itself always stores raw
+/// flags; decay only changes how its contents are meant to be weighted.
 #[derive(Clone, Debug)]
 pub struct ObservationWindow {
     num_paths: usize,
     capacity: Option<usize>,
+    decay: Option<f64>,
     /// One entry per retained interval: the congestion flag of every path.
     intervals: VecDeque<Vec<bool>>,
     total_ingested: u64,
@@ -30,6 +39,7 @@ impl ObservationWindow {
         Self {
             num_paths,
             capacity: None,
+            decay: None,
             intervals: VecDeque::new(),
             total_ingested: 0,
         }
@@ -41,6 +51,51 @@ impl ObservationWindow {
         Self {
             capacity: capacity.map(|c| c.max(1)),
             ..Self::new(num_paths)
+        }
+    }
+
+    /// A window with an exponential reweighting factor on top of (optional)
+    /// truncation. `decay` must lie in `(0, 1)`; `None` weights every
+    /// retained interval equally.
+    pub fn with_decay(num_paths: usize, capacity: Option<usize>, decay: Option<f64>) -> Self {
+        if let Some(lambda) = decay {
+            assert!(
+                lambda > 0.0 && lambda < 1.0,
+                "decay must lie in (0, 1), got {lambda}"
+            );
+        }
+        Self {
+            decay,
+            ..Self::with_capacity(num_paths, capacity)
+        }
+    }
+
+    /// The exponential decay factor, if reweighting is enabled.
+    pub fn decay(&self) -> Option<f64> {
+        self.decay
+    }
+
+    /// The decay factor as a multiplier (1 when reweighting is disabled).
+    pub fn lambda(&self) -> f64 {
+        self.decay.unwrap_or(1.0)
+    }
+
+    /// The weight of the `i`-th retained interval (oldest first): `λ^age`
+    /// with the newest interval at weight 1. Out-of-range indices (and the
+    /// empty window) report weight 1, matching age 0.
+    pub fn interval_weight(&self, i: usize) -> f64 {
+        let age = self.intervals.len().saturating_sub(i + 1) as i32;
+        self.lambda().powi(age)
+    }
+
+    /// Total weight of the retained intervals: `Σ λ^age`, which is exactly
+    /// [`ObservationWindow::len`] when decay is disabled. This is the
+    /// effective sample size weighted estimators divide by.
+    pub fn total_weight(&self) -> f64 {
+        let n = self.intervals.len();
+        match self.decay {
+            None => n as f64,
+            Some(lambda) => (1.0 - lambda.powi(n as i32)) / (1.0 - lambda),
         }
     }
 
@@ -222,6 +277,38 @@ mod tests {
         for i in 0..w.len() {
             assert_eq!(back.interval(i), w.interval(i));
         }
+    }
+
+    #[test]
+    fn decayed_weights_follow_age() {
+        let mut w = ObservationWindow::with_decay(1, Some(4), Some(0.5));
+        assert_eq!(w.decay(), Some(0.5));
+        for _ in 0..3 {
+            w.push_congested(&[]).unwrap();
+        }
+        // Ages 2, 1, 0 -> weights 0.25, 0.5, 1.
+        assert!((w.interval_weight(0) - 0.25).abs() < 1e-12);
+        assert!((w.interval_weight(1) - 0.5).abs() < 1e-12);
+        assert!((w.interval_weight(2) - 1.0).abs() < 1e-12);
+        assert!((w.total_weight() - 1.75).abs() < 1e-12);
+        // Empty windows and out-of-range indices are age 0 (weight 1), not
+        // an underflow.
+        let empty = ObservationWindow::with_decay(1, None, Some(0.5));
+        assert_eq!(empty.interval_weight(0), 1.0);
+        assert_eq!(w.interval_weight(99), 1.0);
+        // Without decay the helpers degrade to plain counting.
+        let mut plain = ObservationWindow::with_capacity(1, Some(4));
+        plain.push_congested(&[]).unwrap();
+        plain.push_congested(&[]).unwrap();
+        assert_eq!(plain.lambda(), 1.0);
+        assert_eq!(plain.interval_weight(0), 1.0);
+        assert_eq!(plain.total_weight(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must lie in (0, 1)")]
+    fn decay_outside_unit_interval_is_rejected() {
+        let _ = ObservationWindow::with_decay(1, None, Some(1.5));
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub struct SweepGrid {
     /// Cap on the correlation-subset size (None keeps the algorithm
     /// default).
     pub max_subset_size: Option<usize>,
+    /// When set, every cell runs in *streaming* mode: the simulated
+    /// observations are fed through a `tomo_core::TomographySession` in
+    /// chunks of this many intervals (exercising the incremental ingest
+    /// paths) instead of one batch fit. `None` keeps the batch pipeline.
+    pub streaming_chunk: Option<usize>,
 }
 
 impl Default for SweepGrid {
@@ -119,6 +124,7 @@ impl SweepGrid {
             nonstationary_epoch: None,
             require_common_path: true,
             max_subset_size: None,
+            streaming_chunk: None,
         }
     }
 
@@ -170,6 +176,13 @@ impl SweepGrid {
         self
     }
 
+    /// Switches every cell to streaming mode: observations are ingested
+    /// through a `TomographySession` in chunks of `chunk` intervals.
+    pub fn streaming(mut self, chunk: usize) -> Self {
+        self.streaming_chunk = Some(chunk.max(1));
+        self
+    }
+
     /// The estimator options every cell constructs its estimator with.
     pub fn estimator_options(&self) -> EstimatorOptions {
         EstimatorOptions {
@@ -204,6 +217,11 @@ impl SweepGrid {
             return Err(TomoError::InvalidConfig(format!(
                 "interval count {bad} is not positive"
             )));
+        }
+        if self.streaming_chunk == Some(0) {
+            return Err(TomoError::InvalidConfig(
+                "streaming chunk must be at least one interval".into(),
+            ));
         }
         Ok(())
     }

@@ -168,14 +168,33 @@ fn run_task(
     let (links, paths) = (network.num_links(), network.num_paths());
     let sim_seed = task.sim_seed(grid.base_seed);
 
-    let outcome = Pipeline::on(network.clone())
+    let pipeline = Pipeline::on(network.clone())
         .scenario(grid.scenario_config(task.scenario))
         .intervals(task.intervals)
         .measurement(grid.measurement)
-        .seed(sim_seed)
-        .into_task(task.estimator.as_str())
-        .with_options(grid.estimator_options())
-        .run()?;
+        .seed(sim_seed);
+    let outcome = match grid.streaming_chunk {
+        // Streaming mode: the same simulated data, ingested through a
+        // TomographySession in chunks (the daemon's code path), scored on
+        // the final estimate.
+        Some(chunk) => {
+            let experiment = pipeline.simulate()?;
+            let mut session = tomo_core::TomographySession::new(
+                network.clone(),
+                tomo_core::SessionConfig {
+                    estimator: task.estimator.clone(),
+                    options: grid.estimator_options(),
+                    window_capacity: None,
+                    decay: None,
+                },
+            )?;
+            experiment.evaluate_streaming(&mut session, chunk)?
+        }
+        None => pipeline
+            .into_task(task.estimator.as_str())
+            .with_options(grid.estimator_options())
+            .run()?,
+    };
 
     Ok(SweepRecord {
         task: task.index,
@@ -246,6 +265,33 @@ mod tests {
             let back: SweepRecord = serde_json::from_str(line).unwrap();
             assert_eq!(back.task, i);
         }
+    }
+
+    #[test]
+    fn streaming_mode_matches_batch_scores_for_unbounded_sessions() {
+        let batch = SweepRunner::new().threads(2).run(&toy_grid()).unwrap();
+        let mut streaming_grid = toy_grid();
+        streaming_grid.streaming_chunk = Some(7);
+        let streaming = SweepRunner::new().threads(2).run(&streaming_grid).unwrap();
+        assert_eq!(batch.records.len(), streaming.records.len());
+        // An unbounded session that ingested everything scores like the
+        // batch fit (to solver tolerance); only the display names differ
+        // (the online forms of the estimators answer).
+        for (a, b) in batch.records.iter().zip(&streaming.records) {
+            match (a.mean_abs_error, b.mean_abs_error) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-5, "{x} vs {y}"),
+                (None, None) => {}
+                other => panic!("capability mismatch: {other:?}"),
+            }
+            match (a.detection_rate, b.detection_rate) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12),
+                (None, None) => {}
+                other => panic!("capability mismatch: {other:?}"),
+            }
+        }
+        // And the streaming report is itself deterministic across threads.
+        let again = SweepRunner::new().threads(1).run(&streaming_grid).unwrap();
+        assert_eq!(streaming.to_jsonl(), again.to_jsonl());
     }
 
     #[test]

@@ -35,9 +35,10 @@
 //! * [`sweep`] — the parallel experiment-sweep engine: cartesian scenario
 //!   grids fanned across a work-stealing thread pool with deterministic
 //!   per-task seeding and JSON-lines reports.
-//! * [`serve`] — the online streaming-tomography daemon: TCP JSON-lines
-//!   ingestion of probe observations, rolling windows, incrementally
-//!   re-estimated queries, snapshot/restore crash recovery.
+//! * [`serve`] — the online multi-tenant streaming-tomography daemon: one
+//!   process serves a fleet of topologies (sharded tenant registry,
+//!   versioned v2 JSON-lines protocol, bounded-ingest backpressure),
+//!   incrementally re-estimated queries, per-tenant snapshot/restore.
 //!
 //! ## Quickstart
 //!
@@ -91,10 +92,10 @@ pub use tomo_topology as topology;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use tomo_core::online::{OnlineEstimator, OnlineIndependence, Refit};
+    pub use tomo_core::online::{OnlineCorrelation, OnlineEstimator, OnlineIndependence, Refit};
     pub use tomo_core::{
         estimators, Capabilities, Estimator, EstimatorOptions, Experiment, Pipeline, RunOutcome,
-        TomoError,
+        SessionConfig, TomoError, TomographySession,
     };
     pub use tomo_graph::{
         AsId, CorrelationSet, CorrelationSubset, LinkId, Network, NetworkBuilder, NodeId, Path,
@@ -108,7 +109,7 @@ pub mod prelude {
         CorrelationComplete, CorrelationHeuristic, Independence, ProbabilityComputation,
         ProbabilityEstimate,
     };
-    pub use tomo_serve::{ServeConfig, ServeEngine, Server};
+    pub use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server, TenantId};
     pub use tomo_sim::{
         MeasurementMode, PathObservations, ScenarioConfig, ScenarioKind, SimulationConfig,
         SimulationOutput, Simulator,

@@ -117,6 +117,13 @@ fn run_bench(group: Option<&str>, label: &str, samples: usize, f: impl FnOnce(&m
     if let Ok(path) = std::env::var("TOMO_BENCH_JSON") {
         if !path.is_empty() && !bencher.median_ns.is_nan() {
             let line = json_line(&name, bencher.median_ns, samples);
+            // Cargo runs bench binaries with the *package* directory as
+            // cwd, so a workspace-relative path's parent may not exist yet.
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
             let appended = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
