@@ -1,0 +1,152 @@
+//! C10K serving benchmark: sustained ingest throughput and query latency
+//! against a live event-driven daemon while ~1k idle monitor connections
+//! stay parked on it.
+//!
+//! The point of the event-driven connection layer is that idle
+//! connections are (nearly) free: they occupy a pollfd slot, not a
+//! thread. These benches gate that property end-to-end over real loopback
+//! TCP — if idle connections ever regress to costing scheduler or
+//! per-request work, the medians move.
+//!
+//! Units are sized to clear the regression gate's noise floor: the ingest
+//! bench pushes 100 intervals (10 batches + flush) per iteration and the
+//! query bench does 25 query round trips per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use tomo_core::{SessionConfig, TomographySession};
+use tomo_serve::protocol::Request;
+use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server, TenantId};
+
+const IDLE_CONNS: usize = 1000;
+const HOT_TENANTS: usize = 4;
+const BATCH: usize = 10;
+const BATCHES_PER_ITER: usize = 10;
+const QUERIES_PER_ITER: usize = 25;
+
+/// A deterministic toy-topology stream.
+fn intervals(n: usize, offset: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|t| {
+            let t = t + offset;
+            let mut congested = Vec::new();
+            if t.is_multiple_of(5) {
+                congested.extend([0, 1]);
+            }
+            if t % 4 == 1 {
+                congested.push(2);
+            }
+            congested
+        })
+        .collect()
+}
+
+struct LiveDaemon {
+    addr: String,
+    /// Parked monitor connections; dropped (closed) on teardown.
+    _monitors: Vec<Client>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveDaemon {
+    /// Boots a daemon with warmed hot tenants and parks ~1k attached idle
+    /// connections on it.
+    fn start() -> Self {
+        let _ = tomo_net::raise_nofile_limit(IDLE_CONNS as u64 + 512);
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        for k in 0..HOT_TENANTS {
+            let session = TomographySession::new(
+                tomo_serve::resolve_topology("toy", 0).expect("toy topology"),
+                SessionConfig::default(),
+            )
+            .expect("toy session");
+            let entry = registry
+                .create(
+                    TenantId::new(format!("hot-{k}")).expect("valid id"),
+                    session,
+                )
+                .expect("fresh tenant");
+            registry.observe(&entry, intervals(100, k));
+            registry.flush(&entry);
+        }
+        let server = Server::bind("127.0.0.1:0", Arc::new(registry), 4).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+        let mut monitors = Vec::with_capacity(IDLE_CONNS);
+        for j in 0..IDLE_CONNS {
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    // An fd-limited environment still benches, just with a
+                    // thinner idle tier — report, don't abort.
+                    eprintln!("bench_c10k: stopped at {j} idle conns: {e}");
+                    break;
+                }
+            };
+            client.set_tenant(format!("hot-{}", j % HOT_TENANTS));
+            match client.call(&Request::Attach) {
+                Ok(_) => monitors.push(client),
+                Err(e) => {
+                    eprintln!("bench_c10k: attach failed at {j} idle conns: {e}");
+                    break;
+                }
+            }
+        }
+        Self {
+            addr,
+            _monitors: monitors,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for LiveDaemon {
+    fn drop(&mut self) {
+        if let Ok(mut admin) = Client::connect(&self.addr) {
+            let _ = admin.call(&Request::Shutdown);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn bench_c10k(c: &mut Criterion) {
+    let daemon = LiveDaemon::start();
+    let mut group = c.benchmark_group("c10k");
+    group.sample_size(10);
+
+    let mut hot = Client::connect(&daemon.addr).expect("hot client");
+    hot.set_tenant("hot-0");
+    let batch = intervals(BATCH, 37);
+    group.bench_function("ingest_100_intervals_with_1k_idle_conns", |b| {
+        b.iter(|| {
+            for _ in 0..BATCHES_PER_ITER {
+                while !hot.observe_batch(batch.clone()).expect("observe") {
+                    hot.flush().expect("flush");
+                }
+            }
+            hot.flush().expect("flush")
+        })
+    });
+
+    let mut querier = Client::connect(&daemon.addr).expect("query client");
+    querier.set_tenant("hot-1");
+    group.bench_function("query_25_round_trips_with_1k_idle_conns", |b| {
+        b.iter(|| {
+            let mut last = 0u64;
+            for _ in 0..QUERIES_PER_ITER {
+                last = querier.query().expect("query").intervals;
+            }
+            last
+        })
+    });
+
+    group.finish();
+    drop(daemon);
+}
+
+criterion_group!(benches, bench_c10k);
+criterion_main!(benches);

@@ -1,0 +1,595 @@
+//! The readiness-polled event loop: one I/O thread owns every socket.
+//!
+//! [`EventLoop::run`] multiplexes a nonblocking listener plus all accepted
+//! connections through raw [`poll(2)`](crate::sys::poll_fds). Inbound bytes
+//! are staged in a per-connection read ring and framed into `\n`-terminated
+//! lines; each complete line is handed to the [`Service`] **on the I/O
+//! thread**, so the service must never block — it hands CPU work to a
+//! worker pool and replies later through the cloneable [`Sender`], which
+//! queues response lines onto an outbox and wakes the loop via a
+//! self-pipe. Responses are staged in a per-connection write ring and
+//! drained whenever the socket reports writable.
+//!
+//! Invariants the loop maintains:
+//!
+//! * thread count is constant: no thread is ever spawned per connection;
+//! * a connection with a queued response is polled for `POLLOUT` until its
+//!   write ring drains, then the interest is dropped (no busy wake-ups);
+//! * a line longer than [`NetConfig::max_line_bytes`] or a write ring
+//!   exceeding [`NetConfig::max_write_buffer`] closes the offending
+//!   connection (bounded memory per connection, misbehavers cannot balloon
+//!   the daemon);
+//! * when the accept limit [`NetConfig::max_conns`] is reached, new
+//!   connections get the service's [`Service::overload_line`] written
+//!   best-effort before the close — an explicit reject, not a silent drop;
+//! * after [`Sender::shutdown`], the loop stops accepting and reading,
+//!   drains every pending write ring (bounded by
+//!   [`NetConfig::drain_grace_ms`]), closes everything and returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::ring::ByteRing;
+use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+/// Initial capacity of each connection's read/write ring.
+const INITIAL_RING: usize = 1024;
+
+/// Identifies one live connection. Slot indices are reused after a close,
+/// so the id carries a generation: a stale id (from a request whose
+/// connection died while the worker computed the response) no longer
+/// resolves, and the late response is dropped instead of reaching an
+/// unrelated client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnId {
+    slot: u32,
+    gen: u32,
+}
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}.{}", self.slot, self.gen)
+    }
+}
+
+/// Event-loop tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Maximum live connections; further accepts are rejected with the
+    /// service's overload line. `None` = unlimited.
+    pub max_conns: Option<usize>,
+    /// A connection whose unframed partial line exceeds this is closed.
+    pub max_line_bytes: usize,
+    /// A connection whose pending response bytes exceed this (a reader
+    /// slower than its request rate) is closed.
+    pub max_write_buffer: usize,
+    /// Poll timeout; bounds the latency of noticing an externally raised
+    /// shutdown flag.
+    pub poll_timeout_ms: i32,
+    /// After shutdown, how long to keep draining pending response bytes
+    /// before closing connections that will not accept them.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_conns: None,
+            max_line_bytes: 8 * 1024 * 1024,
+            max_write_buffer: 16 * 1024 * 1024,
+            poll_timeout_ms: 200,
+            drain_grace_ms: 1000,
+        }
+    }
+}
+
+/// What the event loop serves. Callbacks run on the I/O thread and must not
+/// block; hand work off and respond asynchronously via the [`Sender`].
+pub trait Service: Send + Sync {
+    /// A connection was accepted.
+    fn on_open(&self, conn: ConnId, peer: SocketAddr) {
+        let _ = (conn, peer);
+    }
+
+    /// A complete request line arrived (terminator stripped).
+    fn on_line(&self, conn: ConnId, line: String);
+
+    /// The connection closed (EOF, error, overflow, or shutdown drain).
+    /// Not called for connections rejected at the accept limit.
+    fn on_close(&self, conn: ConnId) {
+        let _ = conn;
+    }
+
+    /// The line written (with a newline appended) to connections rejected
+    /// at the accept limit, before the close. `None` closes silently.
+    fn overload_line(&self) -> Option<String> {
+        None
+    }
+}
+
+/// A queued instruction from worker threads to the I/O thread.
+enum Command {
+    /// Queue `line` (plus newline) for writing.
+    Send { conn: ConnId, line: String },
+    /// Queue `line`, then close once the write ring drains.
+    SendThenClose { conn: ConnId, line: String },
+    /// Close immediately (pending writes are abandoned).
+    Close { conn: ConnId },
+}
+
+/// Shared state between [`Sender`]s and the loop.
+struct Outbox {
+    commands: Mutex<VecDeque<Command>>,
+    shutdown: Arc<AtomicBool>,
+    /// Write end of the self-pipe; any byte wakes the poller.
+    wake_tx: UnixStream,
+}
+
+impl Outbox {
+    fn push(&self, command: Command) {
+        self.commands
+            .lock()
+            .expect("outbox lock")
+            .push_back(command);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // A full pipe already guarantees a pending wake-up; errors after
+        // loop exit just mean nobody is listening anymore.
+        let _ = (&self.wake_tx).write(&[1u8]);
+    }
+}
+
+/// Cloneable handle for queueing response lines onto the event loop.
+#[derive(Clone)]
+pub struct Sender {
+    outbox: Arc<Outbox>,
+}
+
+impl Sender {
+    /// Queues `line` for `conn`. Lines sent for a connection that has
+    /// since closed are dropped.
+    pub fn send(&self, conn: ConnId, line: String) {
+        self.outbox.push(Command::Send { conn, line });
+    }
+
+    /// Queues `line`, closing the connection once it is written.
+    pub fn send_then_close(&self, conn: ConnId, line: String) {
+        self.outbox.push(Command::SendThenClose { conn, line });
+    }
+
+    /// Closes the connection, abandoning pending writes.
+    pub fn close(&self, conn: ConnId) {
+        self.outbox.push(Command::Close { conn });
+    }
+
+    /// Asks the loop to stop: no more accepts or reads, pending writes are
+    /// drained (bounded), then [`EventLoop::run`] returns.
+    pub fn shutdown(&self) {
+        self.outbox.shutdown.store(true, Ordering::Relaxed);
+        self.outbox.wake();
+    }
+}
+
+/// One registered connection.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    read: ByteRing,
+    /// Resume hint for newline scans of the read ring.
+    scan_from: usize,
+    write: ByteRing,
+    /// Close once the write ring drains.
+    closing: bool,
+}
+
+/// The slot map of live connections.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_gen: u32,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_gen: 1,
+        }
+    }
+
+    fn insert(&mut self, stream: TcpStream) -> ConnId {
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1).max(1);
+        let conn = Conn {
+            stream,
+            gen,
+            read: ByteRing::with_capacity(INITIAL_RING),
+            scan_from: 0,
+            write: ByteRing::with_capacity(INITIAL_RING),
+            closing: false,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        ConnId {
+            slot: slot as u32,
+            gen,
+        }
+    }
+
+    fn get(&mut self, id: ConnId) -> Option<&mut Conn> {
+        self.slots
+            .get_mut(id.slot as usize)?
+            .as_mut()
+            .filter(|c| c.gen == id.gen)
+    }
+
+    fn remove(&mut self, id: ConnId) -> Option<Conn> {
+        let slot = id.slot as usize;
+        if self.slots.get(slot)?.as_ref()?.gen != id.gen {
+            return None;
+        }
+        let conn = self.slots[slot].take();
+        self.free.push(slot);
+        self.live -= 1;
+        conn
+    }
+
+    /// Ids of all live connections.
+    fn ids(&self) -> Vec<ConnId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, c)| {
+                c.as_ref().map(|c| ConnId {
+                    slot: slot as u32,
+                    gen: c.gen,
+                })
+            })
+            .collect()
+    }
+}
+
+/// The multiplexer: a bound listener plus the machinery [`run`] needs.
+///
+/// [`run`]: EventLoop::run
+pub struct EventLoop {
+    listener: TcpListener,
+    config: NetConfig,
+    outbox: Arc<Outbox>,
+    wake_rx: UnixStream,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    /// Binds `addr` (port 0 picks an ephemeral port).
+    pub fn bind(addr: &str, config: NetConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        Ok(Self {
+            listener,
+            config,
+            outbox: Arc::new(Outbox {
+                commands: Mutex::new(VecDeque::new()),
+                shutdown: Arc::clone(&shutdown),
+                wake_tx,
+            }),
+            wake_rx,
+            shutdown,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for queueing responses and requesting shutdown.
+    pub fn sender(&self) -> Sender {
+        Sender {
+            outbox: Arc::clone(&self.outbox),
+        }
+    }
+
+    /// The shutdown flag; raising it externally stops the loop within one
+    /// poll timeout (use [`Sender::shutdown`] to stop it immediately).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the loop until shutdown. See the module docs for semantics.
+    pub fn run<S: Service>(self, service: &S) -> io::Result<()> {
+        let mut slab = Slab::new();
+        let mut draining_since: Option<Instant> = None;
+        // Reused across iterations; fds[i] watches targets[i].
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut targets: Vec<Target> = Vec::new();
+
+        loop {
+            // 1. Apply queued worker commands, then eagerly flush the
+            // connections they touched (saves a poll round trip per
+            // response on an unsaturated socket).
+            let commands: Vec<Command> = {
+                let mut queue = self.outbox.commands.lock().expect("outbox lock");
+                queue.drain(..).collect()
+            };
+            let mut touched = Vec::new();
+            for command in commands {
+                match command {
+                    Command::Send { conn, line } => {
+                        if self.queue_line(&mut slab, conn, &line, false) {
+                            touched.push(conn);
+                        } else {
+                            self.close_conn(&mut slab, conn, service);
+                        }
+                    }
+                    Command::SendThenClose { conn, line } => {
+                        if self.queue_line(&mut slab, conn, &line, true) {
+                            touched.push(conn);
+                        } else {
+                            self.close_conn(&mut slab, conn, service);
+                        }
+                    }
+                    Command::Close { conn } => self.close_conn(&mut slab, conn, service),
+                }
+            }
+            for conn in touched {
+                self.flush_conn(&mut slab, conn, service);
+            }
+
+            // 2. Shutdown: enter the drain phase, and leave it once every
+            // pending response byte is out (or the grace expires).
+            if self.shutdown.load(Ordering::Relaxed) && draining_since.is_none() {
+                draining_since = Some(Instant::now());
+            }
+            if let Some(since) = draining_since {
+                let outbox_empty = self.outbox.commands.lock().expect("outbox lock").is_empty();
+                let flushed =
+                    outbox_empty && slab.slots.iter().flatten().all(|c| c.write.is_empty());
+                if flushed || since.elapsed().as_millis() as u64 >= self.config.drain_grace_ms {
+                    for id in slab.ids() {
+                        self.close_conn(&mut slab, id, service);
+                    }
+                    return Ok(());
+                }
+            }
+            let draining = draining_since.is_some();
+
+            // 3. Build the poll set: self-pipe, listener (while accepting),
+            // then every connection with a current interest.
+            fds.clear();
+            targets.clear();
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            targets.push(Target::Wake);
+            if !draining {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                targets.push(Target::Listener);
+            }
+            for (slot, conn) in slab.slots.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let mut events = 0i16;
+                if !draining {
+                    events |= POLLIN;
+                }
+                if !conn.write.is_empty() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                    targets.push(Target::Conn(ConnId {
+                        slot: slot as u32,
+                        gen: conn.gen,
+                    }));
+                }
+            }
+
+            let timeout = if draining {
+                50
+            } else {
+                self.config.poll_timeout_ms
+            };
+            poll_fds(&mut fds, timeout)?;
+
+            // 4. Dispatch readiness. Commands queued while we process are
+            // picked up at the top of the next iteration.
+            for i in 0..fds.len() {
+                let fd = fds[i];
+                match targets[i] {
+                    Target::Wake if fd.readable() => self.drain_wake_pipe(),
+                    Target::Listener if fd.readable() => self.accept_ready(&mut slab, service),
+                    Target::Conn(id) => {
+                        if fd.writable() {
+                            self.flush_conn(&mut slab, id, service);
+                        }
+                        if fd.readable() && !self.read_conn(&mut slab, id, service) {
+                            self.close_conn(&mut slab, id, service);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Empties the self-pipe so level-triggered polling goes quiet again.
+    fn drain_wake_pipe(&self) {
+        let mut sink = [0u8; 256];
+        while let Ok(n) = (&self.wake_rx).read(&mut sink) {
+            if n < sink.len() {
+                break;
+            }
+        }
+    }
+
+    /// Accepts until the listener would block, enforcing the accept limit.
+    fn accept_ready<S: Service>(&self, slab: &mut Slab, service: &S) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let at_limit = self
+                        .config
+                        .max_conns
+                        .is_some_and(|limit| slab.live >= limit);
+                    if at_limit {
+                        self.reject_overload(stream, service);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = slab.insert(stream);
+                    service.on_open(id, peer);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Transient accept failures (ECONNABORTED, EMFILE…):
+                    // yield briefly instead of spinning on the error.
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Best-effort overload reject: write the service's reject line, close.
+    fn reject_overload<S: Service>(&self, stream: TcpStream, service: &S) {
+        if let Some(line) = service.overload_line() {
+            let _ = stream.set_nonblocking(true);
+            let _ = (&stream).write_all(format!("{line}\n").as_bytes());
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Appends a line to a connection's write ring. Returns false when the
+    /// connection must be closed instead (write-buffer overflow).
+    fn queue_line(&self, slab: &mut Slab, id: ConnId, line: &str, close_after: bool) -> bool {
+        let Some(conn) = slab.get(id) else {
+            // Stale id: the connection closed while the response was
+            // computed. Nothing to do.
+            return true;
+        };
+        if conn.write.len() + line.len() + 1 > self.config.max_write_buffer {
+            return false;
+        }
+        conn.write.extend_from_slice(line.as_bytes());
+        conn.write.extend_from_slice(b"\n");
+        if close_after {
+            conn.closing = true;
+        }
+        true
+    }
+
+    /// Drains a connection's write ring toward the socket; closes on error
+    /// or once a `closing` connection finishes flushing.
+    fn flush_conn<S: Service>(&self, slab: &mut Slab, id: ConnId, service: &S) {
+        let should_close = match slab.get(id) {
+            Some(conn) => {
+                let Conn {
+                    stream,
+                    write,
+                    closing,
+                    ..
+                } = conn;
+                match write.write_to(stream) {
+                    Ok(_) => write.is_empty() && *closing,
+                    Err(_) => true,
+                }
+            }
+            None => return,
+        };
+        if should_close {
+            self.close_conn(slab, id, service);
+        }
+    }
+
+    /// Reads until the socket would block, framing complete lines into the
+    /// service. Returns false when the connection should close (EOF, error,
+    /// or an unframed line beyond the limit). Re-borrows the slab around
+    /// every `on_line` call so a service may close connections from within
+    /// the callback.
+    fn read_conn<S: Service>(&self, slab: &mut Slab, id: ConnId, service: &S) -> bool {
+        loop {
+            let read = match slab.get(id) {
+                Some(conn) => {
+                    if conn.closing {
+                        // A goodbye is in flight; drop further requests.
+                        return true;
+                    }
+                    let Conn { stream, read, .. } = conn;
+                    read.read_from(stream)
+                }
+                None => return true,
+            };
+            match read {
+                Ok(0) => return false,
+                Ok(_) => loop {
+                    let line = match slab.get(id) {
+                        Some(conn) => {
+                            if conn.closing {
+                                return true;
+                            }
+                            let Conn {
+                                read, scan_from, ..
+                            } = conn;
+                            match read.take_line(scan_from) {
+                                Some(line) => line,
+                                None => {
+                                    if read.len() > self.config.max_line_bytes {
+                                        return false;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        None => return true,
+                    };
+                    let text = String::from_utf8_lossy(&line).into_owned();
+                    service.on_line(id, text);
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Removes and closes a connection, notifying the service.
+    fn close_conn<S: Service>(&self, slab: &mut Slab, id: ConnId, service: &S) {
+        if let Some(conn) = slab.remove(id) {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            service.on_close(id);
+        }
+    }
+}
+
+/// What each poll entry watches.
+#[derive(Clone, Copy)]
+enum Target {
+    Wake,
+    Listener,
+    Conn(ConnId),
+}

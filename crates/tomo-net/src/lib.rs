@@ -1,0 +1,38 @@
+//! tomo-net: a dependency-free, readiness-polled nonblocking TCP
+//! multiplexer for line-framed (JSON-lines) protocols.
+//!
+//! The crate exists so the tomography daemon can hold ten thousand mostly
+//! idle monitoring sessions without ten thousand threads: a **single I/O
+//! thread** owns every socket (listener included) and multiplexes them
+//! through raw [`poll(2)`](sys::poll_fds), declared as a thin FFI shim in
+//! [`sys`] because the offline build environment has no `libc`/`mio`/`tokio`
+//! crates. Everything above the two `extern "C"` syscalls is safe Rust on
+//! `std::net`.
+//!
+//! The pieces:
+//!
+//! * [`sys`] — `poll(2)` + `RLIMIT_NOFILE` FFI (the only `unsafe` in the
+//!   workspace);
+//! * [`ByteRing`] — growable circular byte buffers staging reads and writes
+//!   per connection, with resumable newline framing;
+//! * [`EventLoop`] / [`Service`] / [`Sender`] — the loop itself: accepts,
+//!   reads, frames lines into `Service::on_line` (which must hand CPU work
+//!   to a worker pool and not block), and drains response lines queued via
+//!   the cloneable `Sender` from any thread.
+//!
+//! The intended topology, as used by `tomo-serve`:
+//!
+//! ```text
+//!  clients ──TCP──► EventLoop (1 thread: poll/accept/read/frame/write)
+//!                      │ on_line(conn, line)          ▲ Sender::send
+//!                      ▼                              │
+//!                  WorkerPool (N threads: parse/dispatch/estimate)
+//! ```
+
+pub mod event_loop;
+pub mod ring;
+pub mod sys;
+
+pub use event_loop::{ConnId, EventLoop, NetConfig, Sender, Service};
+pub use ring::ByteRing;
+pub use sys::raise_nofile_limit;

@@ -1,0 +1,227 @@
+//! Growable byte ring buffers for per-connection read/write staging.
+//!
+//! A [`ByteRing`] is a circular byte queue: the read path appends socket
+//! bytes at the tail and consumes framed lines from the head; the write path
+//! appends queued response lines at the tail and drains toward the socket
+//! from the head. Both ends are O(1) amortized, nothing is shifted on
+//! consume, and the storage only grows (doubling) when the pending byte
+//! count actually requires it — a mostly-idle connection stays at its small
+//! initial allocation forever.
+
+use std::io::{self, Read, Write};
+
+/// How many bytes a single `read_from` pulls per call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A growable circular byte buffer.
+#[derive(Debug)]
+pub struct ByteRing {
+    buf: Vec<u8>,
+    /// Index of the first pending byte.
+    start: usize,
+    /// Number of pending bytes.
+    len: usize,
+}
+
+impl ByteRing {
+    /// An empty ring with the given initial capacity (rounded up to 64).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: vec![0; capacity.max(64)],
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bytes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current storage capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The pending bytes as (head, tail) slices, head first.
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        let head_len = self.len.min(self.buf.len() - self.start);
+        let head = &self.buf[self.start..self.start + head_len];
+        let tail = &self.buf[..self.len - head_len];
+        (head, tail)
+    }
+
+    /// The byte at pending offset `i` (0 = oldest).
+    fn at(&self, i: usize) -> u8 {
+        self.buf[(self.start + i) % self.buf.len()]
+    }
+
+    /// Ensures space for `additional` more bytes, unwrapping the ring into
+    /// the front of the (possibly larger) storage.
+    fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        if needed <= self.buf.len() {
+            return;
+        }
+        let new_cap = needed.next_power_of_two().max(self.buf.len() * 2);
+        let mut new_buf = vec![0; new_cap];
+        let (head, tail) = self.as_slices();
+        new_buf[..head.len()].copy_from_slice(head);
+        new_buf[head.len()..head.len() + tail.len()].copy_from_slice(tail);
+        self.buf = new_buf;
+        self.start = 0;
+    }
+
+    /// Appends `bytes` at the tail.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.reserve(bytes.len());
+        let cap = self.buf.len();
+        let mut write_at = (self.start + self.len) % cap;
+        let first = bytes.len().min(cap - write_at);
+        self.buf[write_at..write_at + first].copy_from_slice(&bytes[..first]);
+        write_at = (write_at + first) % cap;
+        let rest = &bytes[first..];
+        self.buf[write_at..write_at + rest.len()].copy_from_slice(rest);
+        self.len += bytes.len();
+    }
+
+    /// Drops the `n` oldest pending bytes.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.start = (self.start + n) % self.buf.len();
+        self.len -= n;
+        if self.len == 0 {
+            self.start = 0;
+        }
+    }
+
+    /// Finds the first `b` at pending offset >= `from`, returning its
+    /// pending offset.
+    pub fn find_byte(&self, b: u8, from: usize) -> Option<usize> {
+        (from..self.len).find(|&i| self.at(i) == b)
+    }
+
+    /// Removes and returns the oldest `\n`-terminated line (line bytes
+    /// without the terminator). `scan_from` is a resume hint: offsets below
+    /// it are known newline-free, making repeated scans of a growing
+    /// partial line linear overall. On `None`, the hint is advanced to the
+    /// current length.
+    pub fn take_line(&mut self, scan_from: &mut usize) -> Option<Vec<u8>> {
+        match self.find_byte(b'\n', *scan_from) {
+            Some(pos) => {
+                let mut line = vec![0u8; pos];
+                let (head, tail) = self.as_slices();
+                let from_head = pos.min(head.len());
+                line[..from_head].copy_from_slice(&head[..from_head]);
+                line[from_head..].copy_from_slice(&tail[..pos - from_head]);
+                self.consume(pos + 1);
+                *scan_from = 0;
+                Some(line)
+            }
+            None => {
+                *scan_from = self.len;
+                None
+            }
+        }
+    }
+
+    /// Reads once from `r` (up to one chunk) into the ring. Returns the
+    /// byte count (0 = EOF); `WouldBlock` surfaces as the io error.
+    pub fn read_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        let mut chunk = [0u8; READ_CHUNK];
+        let n = r.read(&mut chunk)?;
+        self.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Writes pending bytes to `w` until drained or `WouldBlock` (which is
+    /// swallowed — pending bytes stay queued). Returns bytes written.
+    pub fn write_to(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        let mut total = 0;
+        while !self.is_empty() {
+            let n = {
+                let (head, _) = self.as_slices();
+                match w.write(head) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            self.consume(n);
+            total += n;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_consume_wraps_around() {
+        let mut ring = ByteRing::with_capacity(64);
+        // Fill-and-drain repeatedly so start walks around the buffer.
+        for round in 0..50 {
+            let payload = vec![round as u8; 37];
+            ring.extend_from_slice(&payload);
+            let (head, tail) = ring.as_slices();
+            let got: Vec<u8> = head.iter().chain(tail).copied().collect();
+            assert_eq!(got, payload, "round {round}");
+            ring.consume(37);
+            assert!(ring.is_empty());
+        }
+        // Never needed to grow: 37 < 64.
+        assert_eq!(ring.capacity(), 64);
+    }
+
+    #[test]
+    fn growth_preserves_order_across_the_wrap_point() {
+        let mut ring = ByteRing::with_capacity(64);
+        ring.extend_from_slice(&[1; 40]);
+        ring.consume(30);
+        // Tail now wraps; force growth and verify byte order.
+        let big: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        ring.extend_from_slice(&big);
+        let (head, tail) = ring.as_slices();
+        let got: Vec<u8> = head.iter().chain(tail).copied().collect();
+        assert_eq!(&got[..10], &[1; 10]);
+        assert_eq!(&got[10..], &big[..]);
+    }
+
+    #[test]
+    fn take_line_frames_partial_input() {
+        let mut ring = ByteRing::with_capacity(64);
+        let mut scan = 0;
+        ring.extend_from_slice(b"hel");
+        assert_eq!(ring.take_line(&mut scan), None);
+        assert_eq!(scan, 3);
+        ring.extend_from_slice(b"lo\nwor");
+        assert_eq!(ring.take_line(&mut scan).unwrap(), b"hello");
+        assert_eq!(scan, 0);
+        assert_eq!(ring.take_line(&mut scan), None);
+        ring.extend_from_slice(b"ld\n\n");
+        assert_eq!(ring.take_line(&mut scan).unwrap(), b"world");
+        assert_eq!(ring.take_line(&mut scan).unwrap(), b"");
+        assert_eq!(ring.take_line(&mut scan), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn write_to_drains_into_a_sink() {
+        let mut ring = ByteRing::with_capacity(64);
+        ring.extend_from_slice(&[9u8; 300]);
+        let mut sink = Vec::new();
+        let written = ring.write_to(&mut sink).unwrap();
+        assert_eq!(written, 300);
+        assert_eq!(sink, vec![9u8; 300]);
+        assert!(ring.is_empty());
+    }
+}

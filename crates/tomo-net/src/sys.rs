@@ -1,0 +1,180 @@
+//! The thin FFI shim under the event loop: raw `poll(2)` plus the
+//! `RLIMIT_NOFILE` pair, declared directly against libc symbols so the crate
+//! stays dependency-free (the build environment has no crates.io access, so
+//! the `libc` crate is not an option).
+//!
+//! This module is the only place in the workspace that contains `unsafe`
+//! code; everything it exposes is a safe wrapper.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable data (or a connection to accept) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing now would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` fd set, layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry watching `fd` for `events` (`POLLIN` / `POLLOUT` ORed).
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The returned event mask (valid after [`poll`] reported readiness).
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Whether the fd is readable (or has pending errors to collect via a
+    /// read: `POLLERR`/`POLLHUP`/`POLLNVAL` are folded in so callers observe
+    /// broken sockets through their normal read path).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the fd is writable.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+}
+
+// The libc symbols themselves. `nfds_t` is `unsigned long` on every platform
+// this workspace targets (linux-gnu / linux-musl); `timeout` is milliseconds,
+// -1 blocks indefinitely.
+extern "C" {
+    fn poll(
+        fds: *mut PollFd,
+        nfds: core::ffi::c_ulong,
+        timeout: core::ffi::c_int,
+    ) -> core::ffi::c_int;
+    fn getrlimit(resource: core::ffi::c_int, rlim: *mut RLimit) -> core::ffi::c_int;
+    fn setrlimit(resource: core::ffi::c_int, rlim: *const RLimit) -> core::ffi::c_int;
+}
+
+/// Blocks until at least one fd in `fds` is ready or `timeout_ms` elapses
+/// (-1 = no timeout). Returns the number of ready entries; 0 on timeout.
+/// `EINTR` is retried internally so callers never observe it.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-compatible structs, and `len()` is its true
+        // length; the kernel writes only the `revents` fields.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// `struct rlimit`: soft (cur) and hard (max) limits.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+/// `RLIMIT_NOFILE` on Linux.
+const RLIMIT_NOFILE: core::ffi::c_int = 7;
+
+/// Raises the soft open-file limit toward `want` (capped at the hard limit)
+/// and returns the resulting soft limit. C10K harnesses call this so a
+/// default `ulimit -n 1024` does not truncate a 1k-connection run.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut limit = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `limit` is a valid `#[repr(C)]` rlimit the kernel fills in.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if limit.rlim_cur >= want {
+        return Ok(limit.rlim_cur);
+    }
+    let raised = RLimit {
+        rlim_cur: want.min(limit.rlim_max),
+        rlim_max: limit.rlim_max,
+    };
+    // SAFETY: `raised` is a valid rlimit with cur <= max.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(raised.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_times_out_on_a_silent_socket() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn poll_reports_readable_after_a_write() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable());
+    }
+
+    #[test]
+    fn poll_reports_hup_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        // The peer is gone: the fold-in makes the caller read the EOF.
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let current = raise_nofile_limit(0).unwrap();
+        assert!(current > 0);
+        // Asking for what we already have (or less) never lowers it.
+        let after = raise_nofile_limit(current).unwrap();
+        assert!(after >= current);
+    }
+}

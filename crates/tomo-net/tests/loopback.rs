@@ -1,0 +1,303 @@
+//! Loopback integration tests for the tomo-net event loop: framing across
+//! partial reads, interleaved slow writers, registration churn at the
+//! 1k-socket scale, overload rejection, and shutdown draining.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tomo_net::{ConnId, EventLoop, NetConfig, Sender, Service};
+
+/// Echo service: replies `echo:<line>` to every line, counting opens/closes.
+struct Echo {
+    sender: Mutex<Option<Sender>>,
+    opens: AtomicUsize,
+    closes: AtomicUsize,
+    last_open: Mutex<Option<ConnId>>,
+    max_conns_line: Option<String>,
+}
+
+impl Echo {
+    fn new(max_conns_line: Option<String>) -> Self {
+        Self {
+            sender: Mutex::new(None),
+            opens: AtomicUsize::new(0),
+            closes: AtomicUsize::new(0),
+            last_open: Mutex::new(None),
+            max_conns_line,
+        }
+    }
+
+    fn sender(&self) -> Sender {
+        self.sender.lock().unwrap().clone().expect("sender set")
+    }
+}
+
+impl Service for Echo {
+    fn on_open(&self, conn: ConnId, _peer: SocketAddr) {
+        self.opens.fetch_add(1, Ordering::SeqCst);
+        *self.last_open.lock().unwrap() = Some(conn);
+    }
+
+    fn on_line(&self, conn: ConnId, line: String) {
+        self.sender().send(conn, format!("echo:{line}"));
+    }
+
+    fn on_close(&self, _conn: ConnId) {
+        self.closes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn overload_line(&self) -> Option<String> {
+        self.max_conns_line.clone()
+    }
+}
+
+/// Boots an echo server on an ephemeral port; returns (addr, service,
+/// sender, join handle).
+fn spawn_echo(
+    config: NetConfig,
+    overload: Option<String>,
+) -> (SocketAddr, Arc<Echo>, Sender, thread::JoinHandle<()>) {
+    let event_loop = EventLoop::bind("127.0.0.1:0", config).expect("bind");
+    let addr = event_loop.local_addr().expect("local addr");
+    let sender = event_loop.sender();
+    let service = Arc::new(Echo::new(overload));
+    *service.sender.lock().unwrap() = Some(sender.clone());
+    let service_for_loop = Arc::clone(&service);
+    let handle = thread::spawn(move || {
+        event_loop.run(&*service_for_loop).expect("event loop");
+    });
+    (addr, service, sender, handle)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn frames_lines_split_across_many_partial_writes() {
+    let (addr, _service, sender, handle) = spawn_echo(NetConfig::default(), None);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Dribble one request byte-by-byte, then a burst of three more in a
+    // single write; framing must be identical either way.
+    for b in b"hello world" {
+        stream.write_all(&[*b]).unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(1));
+    }
+    stream.write_all(b"\nalpha\nbeta\ngamma\n").unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        got.push(line.trim_end().to_string());
+    }
+    assert_eq!(
+        got,
+        vec!["echo:hello world", "echo:alpha", "echo:beta", "echo:gamma"]
+    );
+
+    sender.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn interleaves_slow_writers_without_blocking_fast_ones() {
+    let (addr, _service, sender, handle) = spawn_echo(NetConfig::default(), None);
+
+    // The slow writer dribbles a long line; the fast writer pipelines many
+    // full requests meanwhile and must see all its responses promptly.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    let mut fast = TcpStream::connect(addr).unwrap();
+    fast.set_nodelay(true).unwrap();
+
+    let payload = "s".repeat(64);
+    let slow_handle = thread::spawn(move || {
+        for chunk in payload.as_bytes().chunks(4) {
+            slow.write_all(chunk).unwrap();
+            slow.flush().unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+        slow.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(slow);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    });
+
+    let mut fast_reader = BufReader::new(fast.try_clone().unwrap());
+    let start = Instant::now();
+    for i in 0..200 {
+        fast.write_all(format!("fast-{i}\n").as_bytes()).unwrap();
+        let mut line = String::new();
+        fast_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), format!("echo:fast-{i}"));
+    }
+    // 200 round trips must not be serialized behind the ~160ms dribble.
+    // Generous bound: the point is "not blocked", not a latency SLO.
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "fast client starved: {:?}",
+        start.elapsed()
+    );
+
+    assert_eq!(
+        slow_handle.join().unwrap(),
+        format!("echo:{}", "s".repeat(64))
+    );
+    sender.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn survives_1k_socket_registration_churn() {
+    tomo_net::raise_nofile_limit(4096).ok();
+    let (addr, service, sender, handle) = spawn_echo(NetConfig::default(), None);
+
+    // Wave 1: 500 concurrent sockets, one round trip each, then all close.
+    let mut wave = Vec::new();
+    for i in 0..500 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("w1-{i}\n").as_bytes()).unwrap();
+        wave.push(s);
+    }
+    for (i, s) in wave.iter_mut().enumerate() {
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), format!("echo:w1-{i}"));
+    }
+    drop(wave);
+    wait_for(
+        || service.closes.load(Ordering::SeqCst) >= 500,
+        "wave-1 closes",
+    );
+
+    // Wave 2: 500 short-lived connects reusing the freed slots; the
+    // generation tags must keep ids distinct even as slots recycle.
+    for i in 0..500 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("w2-{i}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), format!("echo:w2-{i}"));
+    }
+    assert_eq!(service.opens.load(Ordering::SeqCst), 1000);
+    wait_for(
+        || service.closes.load(Ordering::SeqCst) >= 1000,
+        "wave-2 closes",
+    );
+
+    sender.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn rejects_accepts_beyond_max_conns_with_the_overload_line() {
+    let config = NetConfig {
+        max_conns: Some(2),
+        ..NetConfig::default()
+    };
+    let (addr, service, sender, handle) = spawn_echo(config, Some("overloaded".to_string()));
+
+    let mut a = TcpStream::connect(addr).unwrap();
+    let mut b = TcpStream::connect(addr).unwrap();
+    for (i, s) in [&mut a, &mut b].into_iter().enumerate() {
+        s.write_all(format!("keep-{i}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), format!("echo:keep-{i}"));
+    }
+
+    // Third connection: must get the overload line, then EOF.
+    let rejected = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(rejected);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "overloaded");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // Rejected connections never reach on_open/on_close.
+    assert_eq!(service.opens.load(Ordering::SeqCst), 2);
+
+    // Freeing a slot re-opens the door.
+    drop(a);
+    wait_for(
+        || service.closes.load(Ordering::SeqCst) >= 1,
+        "slot to free",
+    );
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.write_all(b"late\n").unwrap();
+    let mut reader = BufReader::new(c);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "echo:late");
+
+    drop(b);
+    sender.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_responses_before_closing() {
+    let (addr, _service, sender, handle) = spawn_echo(NetConfig::default(), None);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"last-words\n").unwrap();
+    // Give the loop a beat to frame the request, then shut down; the queued
+    // response must still arrive before the close.
+    thread::sleep(Duration::from_millis(50));
+    sender.shutdown();
+    handle.join().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut all = String::new();
+    reader.read_to_string(&mut all).unwrap();
+    assert!(
+        all.contains("echo:last-words"),
+        "response lost in shutdown: {all:?}"
+    );
+}
+
+#[test]
+fn stale_conn_ids_are_ignored_after_slot_reuse() {
+    let (addr, service, sender, handle) = spawn_echo(NetConfig::default(), None);
+
+    // Open, capture the id, close: the slot is now free for reuse.
+    let first = TcpStream::connect(addr).unwrap();
+    wait_for(|| service.opens.load(Ordering::SeqCst) >= 1, "first open");
+    let stale = service.last_open.lock().unwrap().expect("captured id");
+    drop(first);
+    wait_for(|| service.closes.load(Ordering::SeqCst) >= 1, "first close");
+
+    // The next connection reuses the freed slot under a new generation. A
+    // response addressed to the stale id (a worker finishing after the
+    // client vanished) must NOT leak into the new connection's stream.
+    let mut s = TcpStream::connect(addr).unwrap();
+    wait_for(|| service.opens.load(Ordering::SeqCst) >= 2, "second open");
+    let fresh = service.last_open.lock().unwrap().expect("captured id");
+    assert_ne!(stale, fresh, "generation must differ on slot reuse");
+    sender.send(stale, "ghost-response".to_string());
+
+    s.write_all(b"alive\n").unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "echo:alive", "stale send leaked through");
+
+    sender.shutdown();
+    handle.join().unwrap();
+}

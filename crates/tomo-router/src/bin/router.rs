@@ -1,0 +1,200 @@
+//! The consistent-hash fleet router.
+//!
+//! ```text
+//! router serve     --fleet FILE [--addr 127.0.0.1:7000] [--threads 8]
+//!                  [--vnodes 64] [--max-conns N]
+//! router rebalance --fleet OLD_FILE --to NEW_FILE [--vnodes 64]
+//! router owner     --fleet FILE [--vnodes 64] TENANT...
+//! ```
+//!
+//! `serve` fronts a static fleet of `tomo-serve` daemons with one v2
+//! endpoint: clients speak the exact protocol they would speak to a single
+//! daemon, and the router forwards each tenant's traffic to the backend
+//! owning it on the hash ring (fleet-level requests fan out and merge).
+//!
+//! `rebalance` moves tenants between two fleet shapes via snapshot
+//! handoff: for every tenant whose ring owner changed, it snapshots on the
+//! old owner, drops it there, and restores inline on the new owner. Run it
+//! after editing the fleet file, before restarting `serve` with the new
+//! file. Both fleets' daemons must be up and started with
+//! `--snapshot-dir`.
+//!
+//! `owner` prints the owning backend per tenant — handy for debugging
+//! placement.
+//!
+//! The fleet file lists one backend address per line; blank lines and
+//! `#` comments are ignored:
+//!
+//! ```text
+//! # production fleet
+//! 10.0.0.1:7070
+//! 10.0.0.2:7070
+//! ```
+
+use std::process::exit;
+
+use tomo_router::{rebalance, Fleet, HashRing, Router, DEFAULT_VNODES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: router serve     --fleet FILE [--addr HOST:PORT] [--threads N]\n\
+         \x20                         [--vnodes N] [--max-conns N]\n\
+         \x20      router rebalance --fleet OLD_FILE --to NEW_FILE [--vnodes N]\n\
+         \x20      router owner     --fleet FILE [--vnodes N] TENANT..."
+    );
+    exit(2);
+}
+
+/// Parses a fleet file: one backend address per line, `#` comments and
+/// blank lines ignored.
+fn load_fleet_file(path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read fleet file {path}: {e}");
+        exit(1);
+    });
+    let backends: Vec<String> = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    if backends.is_empty() {
+        eprintln!("fleet file {path} lists no backends");
+        exit(1);
+    }
+    backends
+}
+
+struct Flags {
+    fleet: Option<String>,
+    to: Option<String>,
+    addr: String,
+    threads: usize,
+    vnodes: usize,
+    max_conns: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(argv: &[String]) -> Flags {
+    let mut flags = Flags {
+        fleet: None,
+        to: None,
+        addr: "127.0.0.1:7000".into(),
+        threads: 8,
+        vnodes: DEFAULT_VNODES,
+        max_conns: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fleet" => flags.fleet = Some(value(&mut i)),
+            "--to" => flags.to = Some(value(&mut i)),
+            "--addr" => flags.addr = value(&mut i),
+            "--threads" => flags.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--vnodes" => flags.vnodes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                flags.max_conns = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else { usage() };
+    let flags = parse_flags(&argv[1..]);
+    let Some(fleet_path) = &flags.fleet else {
+        eprintln!("--fleet FILE is required");
+        usage();
+    };
+    let backends = load_fleet_file(fleet_path);
+
+    match command.as_str() {
+        "serve" => {
+            // Same C10K posture as the daemon: headroom above the client
+            // limit, plus the pooled backend sockets.
+            if let Some(limit) = flags.max_conns {
+                let _ = tomo_net::raise_nofile_limit(limit as u64 + 256);
+            } else {
+                let _ = tomo_net::raise_nofile_limit(16_384);
+            }
+            let fleet = Fleet::new(&backends, flags.vnodes);
+            let router = Router::bind(&flags.addr, fleet, flags.threads, flags.max_conns)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot bind {}: {e}", flags.addr);
+                    exit(1);
+                });
+            let addr = router.local_addr().expect("bound listener has an address");
+            let limit = flags
+                .max_conns
+                .map_or("unlimited".to_string(), |n| n.to_string());
+            eprintln!(
+                "tomo-router listening on {addr} ({} backend(s), {} vnode(s) each, \
+                 {} worker(s), max conns {limit})",
+                backends.len(),
+                flags.vnodes,
+                flags.threads
+            );
+            if let Err(e) = router.run() {
+                eprintln!("router error: {e}");
+                exit(1);
+            }
+            eprintln!("tomo-router: shut down cleanly");
+        }
+        "rebalance" => {
+            let Some(to_path) = &flags.to else {
+                eprintln!("rebalance needs --to NEW_FILE");
+                usage();
+            };
+            let new_backends = load_fleet_file(to_path);
+            match rebalance(&backends, &new_backends, flags.vnodes) {
+                Ok(moves) if moves.is_empty() => {
+                    eprintln!("rebalance: nothing to move ({} tenant moves)", moves.len())
+                }
+                Ok(moves) => {
+                    for m in &moves {
+                        eprintln!(
+                            "moved {}: {} -> {} ({} intervals)",
+                            m.tenant, m.from, m.to, m.intervals
+                        );
+                    }
+                    eprintln!("rebalance: moved {} tenant(s)", moves.len());
+                }
+                Err(e) => {
+                    eprintln!("rebalance failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "owner" => {
+            if flags.positional.is_empty() {
+                eprintln!("owner needs at least one TENANT");
+                usage();
+            }
+            let ring = HashRing::new(&backends, flags.vnodes);
+            for tenant in &flags.positional {
+                match ring.backend_for(tenant) {
+                    Some(owner) => println!("{tenant}\t{owner}"),
+                    None => println!("{tenant}\t<empty fleet>"),
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+        }
+    }
+}

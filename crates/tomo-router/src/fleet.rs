@@ -1,0 +1,267 @@
+//! The backend fleet: pooled connections to `tomo-serve` daemons, plus the
+//! fan-out/merge logic for fleet-level requests.
+//!
+//! The router keeps a small pool of idle TCP connections per backend. A
+//! proxied request checks a connection out, performs one request/response
+//! round trip on it, and returns it; a connection that fails mid-call is
+//! discarded and the call retried once on a fresh socket (pooled sockets
+//! go stale when a backend restarts). Because backend connections are
+//! **shared across client connections**, the router never relies on
+//! backend-side `Attach` state — every forwarded envelope carries its
+//! tenant explicitly.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tomo_serve::protocol::{FleetStats, Response, ResponseEnvelope, TenantSummary};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Idle pooled connections kept per backend.
+const POOL_PER_BACKEND: usize = 8;
+
+/// Connect/IO timeout on backend calls: a hung backend must not wedge a
+/// router worker forever.
+const BACKEND_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One pooled connection to a backend daemon.
+struct BackendConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BackendConn {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(BACKEND_TIMEOUT))?;
+        stream.set_write_timeout(Some(BACKEND_TIMEOUT))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// One request/response round trip: writes `line`, reads one response
+    /// line. An EOF (backend closed) is an error so the caller retries on
+    /// a fresh socket.
+    fn call(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "backend closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// The static backend fleet: hash ring + per-backend connection pools.
+pub struct Fleet {
+    ring: HashRing,
+    pools: HashMap<String, Mutex<Vec<BackendConn>>>,
+}
+
+impl Fleet {
+    /// Builds a fleet over `backends` with `vnodes` virtual nodes each
+    /// (pass [`DEFAULT_VNODES`] unless tuning).
+    pub fn new<S: AsRef<str>>(backends: &[S], vnodes: usize) -> Self {
+        let ring = HashRing::new(backends, vnodes);
+        let pools = ring
+            .backends()
+            .iter()
+            .map(|addr| (addr.clone(), Mutex::new(Vec::new())))
+            .collect();
+        Self { ring, pools }
+    }
+
+    /// Builds a fleet with the default virtual-node count.
+    pub fn with_default_vnodes<S: AsRef<str>>(backends: &[S]) -> Self {
+        Self::new(backends, DEFAULT_VNODES)
+    }
+
+    /// The hash ring (for ownership queries).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The backend owning `tenant`. `None` only for an empty fleet.
+    pub fn owner_of(&self, tenant: &str) -> Option<&str> {
+        self.ring.backend_for(tenant)
+    }
+
+    /// One request/response round trip against `backend` on a pooled
+    /// connection. A call that fails on a pooled socket is retried once on
+    /// a freshly connected one.
+    pub fn call(&self, backend: &str, line: &str) -> io::Result<String> {
+        let pooled = self.checkout(backend);
+        if let Some(mut conn) = pooled {
+            match conn.call(line) {
+                Ok(response) => {
+                    self.checkin(backend, conn);
+                    return Ok(response);
+                }
+                Err(_) => { /* stale pooled socket: fall through to a fresh one */ }
+            }
+        }
+        let mut fresh = BackendConn::connect(backend)?;
+        let response = fresh.call(line)?;
+        self.checkin(backend, fresh);
+        Ok(response)
+    }
+
+    /// Sends `line` to every backend, collecting each response line in
+    /// backend order. Per-backend failures surface as `Err` entries so the
+    /// caller can decide whether a partial merge is acceptable.
+    pub fn fan_out(&self, line: &str) -> Vec<(String, io::Result<String>)> {
+        self.ring
+            .backends()
+            .iter()
+            .map(|addr| (addr.clone(), self.call(addr, line)))
+            .collect()
+    }
+
+    fn checkout(&self, backend: &str) -> Option<BackendConn> {
+        self.pools
+            .get(backend)
+            .and_then(|pool| pool.lock().expect("backend pool lock").pop())
+    }
+
+    fn checkin(&self, backend: &str, conn: BackendConn) {
+        if let Some(pool) = self.pools.get(backend) {
+            let mut pool = pool.lock().expect("backend pool lock");
+            if pool.len() < POOL_PER_BACKEND {
+                pool.push(conn);
+            }
+        }
+    }
+}
+
+/// Merges per-backend [`FleetStats`] into the fleet-wide view the router
+/// reports: counters sum (`shards` included — it becomes "total shards
+/// across the fleet"), per-tenant rows concatenate sorted by tenant id.
+pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
+    let mut merged = FleetStats {
+        tenants: 0,
+        shards: 0,
+        total_ingested: 0,
+        busy_rejections: 0,
+        refits: Default::default(),
+        live_connections: 0,
+        per_tenant: Vec::new(),
+    };
+    for part in parts {
+        merged.tenants += part.tenants;
+        merged.shards += part.shards;
+        merged.total_ingested += part.total_ingested;
+        merged.busy_rejections += part.busy_rejections;
+        merged.refits.incremental += part.refits.incremental;
+        merged.refits.full += part.refits.full;
+        merged.refits.basis_rebuilds += part.refits.basis_rebuilds;
+        merged.live_connections += part.live_connections;
+        merged.per_tenant.extend(part.per_tenant.iter().cloned());
+    }
+    merged.per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    merged
+}
+
+/// Merges per-backend tenant listings, sorted by tenant id.
+pub fn merge_tenant_lists(parts: &[Vec<TenantSummary>]) -> Vec<TenantSummary> {
+    let mut merged: Vec<TenantSummary> = parts.iter().flatten().cloned().collect();
+    merged.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    merged
+}
+
+/// Parses one backend response line into its envelope.
+pub fn parse_response(line: &str) -> Result<ResponseEnvelope, String> {
+    tomo_serve::protocol::decode(line).map_err(|e| e.to_string())
+}
+
+/// Extracts the `resp` of a backend response line, mapping parse failures
+/// to a router-side internal error response.
+pub fn response_of(line: &str) -> Response {
+    match parse_response(line) {
+        Ok(envelope) => envelope.resp,
+        Err(e) => Response::error(
+            tomo_serve::protocol::ErrorKind::Internal,
+            format!("unparseable backend response: {e}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_serve::protocol::TenantLoad;
+
+    #[test]
+    fn fleet_stats_merge_sums_counters_and_sorts_tenants() {
+        let a = FleetStats {
+            tenants: 2,
+            shards: 8,
+            total_ingested: 100,
+            busy_rejections: 3,
+            refits: Default::default(),
+            live_connections: 5,
+            per_tenant: vec![
+                TenantLoad {
+                    tenant: "zeta".into(),
+                    pending_batches: 1,
+                    live_conns: 2,
+                },
+                TenantLoad {
+                    tenant: "alpha".into(),
+                    pending_batches: 0,
+                    live_conns: 3,
+                },
+            ],
+        };
+        let b = FleetStats {
+            tenants: 1,
+            shards: 8,
+            total_ingested: 50,
+            busy_rejections: 1,
+            refits: Default::default(),
+            live_connections: 4,
+            per_tenant: vec![TenantLoad {
+                tenant: "mid".into(),
+                pending_batches: 2,
+                live_conns: 4,
+            }],
+        };
+        let merged = merge_fleet_stats(&[a, b]);
+        assert_eq!(merged.tenants, 3);
+        assert_eq!(merged.shards, 16);
+        assert_eq!(merged.total_ingested, 150);
+        assert_eq!(merged.busy_rejections, 4);
+        assert_eq!(merged.live_connections, 9);
+        let names: Vec<&str> = merged
+            .per_tenant
+            .iter()
+            .map(|t| t.tenant.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn tenant_list_merge_is_sorted() {
+        let summary = |name: &str| TenantSummary {
+            tenant: name.into(),
+            estimator: "independence".into(),
+            links: 4,
+            paths: 3,
+            intervals: 0,
+        };
+        let merged = merge_tenant_lists(&[vec![summary("c"), summary("a")], vec![summary("b")]]);
+        let names: Vec<&str> = merged.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

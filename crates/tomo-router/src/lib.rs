@@ -1,0 +1,19 @@
+//! tomo-router: consistent-hash fleet routing for `tomo-serve` daemons.
+//!
+//! A fleet of independent `tomo-serve` daemons becomes one logical service:
+//! the router hashes each [`TenantId`](tomo_serve::TenantId) onto a backend
+//! with a virtual-node consistent-hash ring ([`ring`]), proxies v2
+//! JSON-lines to the owning backend over pooled connections ([`fleet`]),
+//! terminates client connections on its own `tomo-net` event loop
+//! ([`server`]), and moves tenants between backends via snapshot handoff
+//! when the fleet changes shape ([`rebalance`]).
+
+pub mod fleet;
+pub mod rebalance;
+pub mod ring;
+pub mod server;
+
+pub use fleet::Fleet;
+pub use rebalance::{rebalance, Move};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use server::Router;

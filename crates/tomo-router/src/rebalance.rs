@@ -1,0 +1,151 @@
+//! Tenant handoff when the fleet changes shape.
+//!
+//! Consistent hashing guarantees that growing or shrinking the fleet moves
+//! only ~1/n of tenants — but someone still has to move them. This module
+//! walks the *old* fleet, computes each tenant's owner under the *new*
+//! ring, and for every tenant whose owner changed performs a snapshot
+//! handoff:
+//!
+//! 1. `Snapshot` on the old owner → the daemon writes its per-tenant
+//!    snapshot file and answers with the path;
+//! 2. read the snapshot file (router and daemons share a filesystem in the
+//!    static-fleet deployments this targets);
+//! 3. `Drop` on the old owner;
+//! 4. `Restore{snapshot}` on the new owner with the file's JSON inline.
+//!
+//! Steps run strictly in that order per tenant, so a crash mid-rebalance
+//! leaves each tenant either fully moved or still on its old owner with a
+//! snapshot file on disk — never half-moved. The estimator state travels
+//! byte-for-byte: estimates on the new owner match the old owner exactly.
+
+use std::collections::HashMap;
+
+use tomo_core::TomoError;
+use tomo_serve::protocol::{Request, Response};
+use tomo_serve::Client;
+
+use crate::ring::HashRing;
+
+/// One completed tenant move.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Move {
+    /// The tenant that moved.
+    pub tenant: String,
+    /// The backend it moved from.
+    pub from: String,
+    /// The backend it moved to.
+    pub to: String,
+    /// Observation intervals carried across in the snapshot.
+    pub intervals: u64,
+}
+
+/// Moves every tenant whose owner differs between the ring over
+/// `old_backends` and the ring over `new_backends` (same `vnodes` on
+/// both). Returns the moves performed, in the order they completed.
+///
+/// Backends present in both fleets must be running; the old fleet is
+/// enumerated via `ListTenants` per backend. Fails fast on the first
+/// tenant that cannot be moved — already-completed moves stay completed
+/// (rerunning rebalance is idempotent: moved tenants hash to their new
+/// owner and are skipped).
+pub fn rebalance(
+    old_backends: &[String],
+    new_backends: &[String],
+    vnodes: usize,
+) -> Result<Vec<Move>, TomoError> {
+    let new_ring = HashRing::new(new_backends, vnodes);
+    if new_ring.is_empty() {
+        return Err(TomoError::InvalidConfig(
+            "rebalance target fleet is empty".into(),
+        ));
+    }
+    let mut moves = Vec::new();
+    // One cached client per destination backend; sources get their own.
+    let mut dest_clients: HashMap<String, Client> = HashMap::new();
+
+    for source in old_backends {
+        let mut source_client = Client::connect(source)?;
+        let tenants = match source_client.call(&Request::ListTenants)? {
+            Response::Tenants { tenants } => tenants,
+            other => {
+                return Err(TomoError::InvalidConfig(format!(
+                    "backend {source}: unexpected ListTenants response {other:?}"
+                )))
+            }
+        };
+        for summary in tenants {
+            let tenant = summary.tenant;
+            let target = new_ring
+                .backend_for(&tenant)
+                .expect("non-empty ring owns every tenant")
+                .to_string();
+            if &target == source {
+                continue;
+            }
+            let intervals = move_tenant(&mut source_client, &mut dest_clients, &tenant, &target)?;
+            moves.push(Move {
+                tenant,
+                from: source.clone(),
+                to: target,
+                intervals,
+            });
+        }
+    }
+    Ok(moves)
+}
+
+/// Performs one snapshot → read → drop → restore handoff. Returns the
+/// interval count reported by the restoring backend.
+fn move_tenant(
+    source: &mut Client,
+    dest_clients: &mut HashMap<String, Client>,
+    tenant: &str,
+    target: &str,
+) -> Result<u64, TomoError> {
+    source.set_tenant(tenant);
+    let path = match source.call(&Request::Snapshot)? {
+        Response::Snapshotted { path } => path,
+        Response::Error { message, .. } => {
+            return Err(TomoError::InvalidConfig(format!(
+                "tenant {tenant}: snapshot on old owner failed: {message} \
+                 (rebalance needs daemons started with --snapshot-dir)"
+            )))
+        }
+        other => {
+            return Err(TomoError::InvalidConfig(format!(
+                "tenant {tenant}: unexpected Snapshot response {other:?}"
+            )))
+        }
+    };
+    let snapshot = std::fs::read_to_string(&path).map_err(|e| {
+        TomoError::Io(format!(
+            "tenant {tenant}: cannot read snapshot file {path}: {e}"
+        ))
+    })?;
+
+    if !dest_clients.contains_key(target) {
+        dest_clients.insert(target.to_string(), Client::connect(target)?);
+    }
+    let dest = dest_clients.get_mut(target).expect("just inserted");
+
+    // Drop before restore: a tenant must never be live on two backends.
+    match source.call(&Request::Drop)? {
+        Response::Dropped => {}
+        other => {
+            return Err(TomoError::InvalidConfig(format!(
+                "tenant {tenant}: unexpected Drop response {other:?}"
+            )))
+        }
+    }
+    dest.set_tenant(tenant);
+    match dest.call(&Request::Restore { snapshot })? {
+        Response::Restored { intervals, .. } => Ok(intervals),
+        Response::Error { message, .. } => Err(TomoError::InvalidConfig(format!(
+            "tenant {tenant}: restore on {target} failed after drop — state is in \
+             snapshot file {path}: {message}"
+        ))),
+        other => Err(TomoError::InvalidConfig(format!(
+            "tenant {tenant}: unexpected Restore response {other:?}"
+        ))),
+    }
+}

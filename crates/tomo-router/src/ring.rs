@@ -1,0 +1,150 @@
+//! Consistent hashing of tenants onto a static backend fleet.
+//!
+//! Each backend address is projected onto the ring at `vnodes` pseudo-random
+//! points (hash of `"addr#i"`); a tenant maps to the backend owning the
+//! first ring point at or after the tenant's own hash (wrapping). The
+//! virtual nodes smooth the load split, and the classic consistent-hashing
+//! property holds: growing a fleet of `n` backends by one relocates only
+//! about `1/(n+1)` of the tenants, all of them onto the new backend — the
+//! rest keep their owner, so a rebalance only moves the sessions that must
+//! move.
+
+/// Default number of virtual nodes per backend.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// FNV-1a, finalized with a splitmix64-style mix: FNV alone clusters on
+/// short, similar keys (`"addr#0"`, `"addr#1"`, …) and a clustered ring
+/// defeats the even-split purpose of virtual nodes.
+pub fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over a static list of backend addresses.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(ring position, index into backends)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    backends: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual nodes per backend. Duplicate
+    /// addresses are collapsed; order of `backends` does not affect the
+    /// mapping.
+    pub fn new<S: AsRef<str>>(backends: &[S], vnodes: usize) -> Self {
+        let mut unique: Vec<String> = Vec::new();
+        for b in backends {
+            let b = b.as_ref();
+            if !unique.iter().any(|u| u == b) {
+                unique.push(b.to_string());
+            }
+        }
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(unique.len() * vnodes);
+        for (idx, addr) in unique.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((hash_key(&format!("{addr}#{v}")), idx));
+            }
+        }
+        // Position ties (vanishingly rare) resolve by backend index so the
+        // mapping is deterministic regardless of input order.
+        points.sort_unstable();
+        Self {
+            points,
+            backends: unique,
+        }
+    }
+
+    /// The deduplicated backend list.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Number of distinct backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the ring has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// The backend owning `key` (first ring point clockwise from the key's
+    /// hash). `None` only for an empty ring.
+    pub fn backend_for(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_key(key);
+        let idx = match self.points.binary_search_by(|&(pos, _)| pos.cmp(&h)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap past the top
+            Err(i) => i,
+        };
+        Some(&self.backends[self.points[idx].1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7000")).collect()
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_order_independent() {
+        let a = HashRing::new(&fleet(4), 64);
+        let mut reversed = fleet(4);
+        reversed.reverse();
+        let b = HashRing::new(&reversed, 64);
+        for t in 0..200 {
+            let key = format!("tenant-{t}");
+            assert_eq!(a.backend_for(&key), b.backend_for(&key));
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut addrs = fleet(3);
+        addrs.extend(fleet(3));
+        let ring = HashRing::new(&addrs, 8);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn load_split_is_roughly_even() {
+        let ring = HashRing::new(&fleet(4), DEFAULT_VNODES);
+        let mut counts = vec![0usize; 4];
+        for t in 0..4000 {
+            let owner = ring.backend_for(&format!("tenant-{t}")).unwrap();
+            let idx = ring.backends().iter().position(|b| b == owner).unwrap();
+            counts[idx] += 1;
+        }
+        // Perfect split is 1000 each; virtual nodes keep the skew modest.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (400..=1800).contains(&c),
+                "backend {i} got {c} of 4000 tenants: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_maps_nothing() {
+        let ring = HashRing::new::<String>(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.backend_for("t"), None);
+    }
+}

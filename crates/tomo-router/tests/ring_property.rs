@@ -1,0 +1,99 @@
+//! Property tests for the consistent-hash ring: growing the fleet by one
+//! backend must move only ~1/(n+1) of tenants, and every tenant that moves
+//! must move *to* the new backend — no collateral reshuffling between
+//! surviving backends. This is the property that makes snapshot-handoff
+//! rebalancing cheap.
+
+use proptest::prelude::*;
+use tomo_router::{HashRing, DEFAULT_VNODES};
+
+/// Backend address for index `i` (stable, collision-free names).
+fn backend(i: usize) -> String {
+    format!("10.0.0.{}:7070", i + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding one backend to an `n`-backend fleet relocates roughly a
+    /// 1/(n+1) fraction of tenants, and only onto the new backend.
+    #[test]
+    fn growing_the_fleet_moves_about_one_nth_of_tenants(
+        n in 2usize..8,
+        tenant_ids in proptest::collection::vec(0u64..1_000_000, 200..400),
+    ) {
+        let old_backends: Vec<String> = (0..n).map(backend).collect();
+        let mut new_backends = old_backends.clone();
+        new_backends.push(backend(n));
+        let added = backend(n);
+
+        let old_ring = HashRing::new(&old_backends, DEFAULT_VNODES);
+        let new_ring = HashRing::new(&new_backends, DEFAULT_VNODES);
+
+        let mut tenants: Vec<String> =
+            tenant_ids.iter().map(|id| format!("tenant-{id}")).collect();
+        tenants.sort();
+        tenants.dedup();
+
+        let mut moved = 0usize;
+        for tenant in &tenants {
+            let before = old_ring.backend_for(tenant).unwrap();
+            let after = new_ring.backend_for(tenant).unwrap();
+            if before != after {
+                // The only legal destination is the backend we added.
+                prop_assert_eq!(
+                    after, added.as_str(),
+                    "tenant {} moved {} -> {} instead of to the new backend",
+                    tenant, before, after
+                );
+                moved += 1;
+            }
+        }
+
+        // Expect ~|tenants|/(n+1) movers. Virtual nodes keep the variance
+        // modest; allow a generous 3x band plus slack for small samples.
+        let expected = tenants.len() as f64 / (n as f64 + 1.0);
+        let bound = (3.0 * expected + 10.0).ceil() as usize;
+        prop_assert!(
+            moved <= bound,
+            "{} of {} tenants moved when adding 1 backend to {} (expected ~{:.0}, bound {})",
+            moved, tenants.len(), n, expected, bound
+        );
+    }
+
+    /// Shrinking is symmetric: tenants not owned by the removed backend
+    /// stay exactly where they were.
+    #[test]
+    fn shrinking_the_fleet_only_moves_the_removed_backends_tenants(
+        n in 3usize..8,
+        victim in 0usize..8,
+        tenant_ids in proptest::collection::vec(0u64..1_000_000, 100..300),
+    ) {
+        let victim = victim % n;
+        let old_backends: Vec<String> = (0..n).map(backend).collect();
+        let removed = old_backends[victim].clone();
+        let new_backends: Vec<String> = old_backends
+            .iter()
+            .filter(|b| **b != removed)
+            .cloned()
+            .collect();
+
+        let old_ring = HashRing::new(&old_backends, DEFAULT_VNODES);
+        let new_ring = HashRing::new(&new_backends, DEFAULT_VNODES);
+
+        for id in &tenant_ids {
+            let tenant = format!("tenant-{id}");
+            let before = old_ring.backend_for(&tenant).unwrap();
+            let after = new_ring.backend_for(&tenant).unwrap();
+            if before != removed {
+                prop_assert_eq!(
+                    before, after,
+                    "tenant {} was reshuffled {} -> {} though its owner survived",
+                    tenant, before, after
+                );
+            } else {
+                prop_assert_ne!(after, removed.as_str());
+            }
+        }
+    }
+}

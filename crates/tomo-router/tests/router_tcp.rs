@@ -1,0 +1,417 @@
+//! End-to-end router tests over real TCP: a router in front of live
+//! `tomo-serve` backends must preserve the single-daemon v2 semantics
+//! (including `Busy`/`Flush` backpressure and `Attach` binding), merge
+//! fleet-level fan-outs, and hand tenants off between backends with their
+//! estimator state intact.
+
+use std::sync::Arc;
+
+use tomo_core::estimators;
+use tomo_graph::LinkId;
+use tomo_router::{rebalance, Fleet, Router, DEFAULT_VNODES};
+use tomo_serve::protocol::{ErrorKind, Request, Response};
+use tomo_serve::stream::{record_scenario, stream_to_observations, ObservedInterval};
+use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server};
+use tomo_sim::{MeasurementMode, ScenarioConfig};
+
+/// Starts one backend daemon on an ephemeral port.
+fn start_backend(config: RegistryConfig, threads: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(EngineRegistry::new(config)),
+        threads,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("backend runs"));
+    (addr, handle)
+}
+
+/// Starts a router over `backends` on an ephemeral port.
+fn start_router(backends: &[String]) -> (String, std::thread::JoinHandle<()>) {
+    let fleet = Fleet::new(backends, DEFAULT_VNODES);
+    let router = Router::bind("127.0.0.1:0", fleet, 4, None).unwrap();
+    let addr = router.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || router.run().expect("router runs"));
+    (addr, handle)
+}
+
+/// Records a drifting-loss stream on a named topology.
+fn stream_for(topology: &str, seed: u64, intervals: usize) -> Vec<Vec<usize>> {
+    let network = tomo_serve::resolve_topology(topology, seed).unwrap();
+    let mut scenario = ScenarioConfig::drifting_loss();
+    scenario.congestible_fraction = 0.5;
+    record_scenario(&network, scenario, intervals, seed, MeasurementMode::Ideal)
+        .into_iter()
+        .map(|i| i.congested)
+        .collect()
+}
+
+/// Offline batch fit on a stream, as dense link probabilities.
+fn offline_fit(topology: &str, seed: u64, estimator: &str, stream: &[Vec<usize>]) -> Vec<f64> {
+    let network = tomo_serve::resolve_topology(topology, seed).unwrap();
+    let observations = stream_to_observations(
+        &stream
+            .iter()
+            .map(|c| ObservedInterval {
+                congested: c.clone(),
+            })
+            .collect::<Vec<_>>(),
+        network.num_paths(),
+    )
+    .unwrap();
+    let mut offline = estimators::by_name(estimator).unwrap();
+    offline.fit(&network, &observations).unwrap();
+    let estimate = offline.estimate().unwrap();
+    (0..network.num_links())
+        .map(|l| estimate.link_congestion_probability(LinkId(l)))
+        .collect()
+}
+
+/// The core proxy contract: tenants spread across two backends, per-tenant
+/// traffic routes to the owner and matches the offline fit, fleet requests
+/// merge across backends (with per-tenant load rows and live-connection
+/// totals), `Attach` binds the *client's* router connection, and
+/// `Shutdown` through the router stops the whole fleet.
+#[test]
+fn router_spreads_tenants_and_merges_fleet_views() {
+    let (b1, h1) = start_backend(RegistryConfig::default(), 3);
+    let (b2, h2) = start_backend(RegistryConfig::default(), 3);
+    let backends = vec![b1.clone(), b2.clone()];
+    let (router_addr, router_handle) = start_router(&backends);
+
+    // 10 tenants, all created *through the router*.
+    let fleet_view = Fleet::new(&backends, DEFAULT_VNODES);
+    let tenants: Vec<String> = (0..10).map(|i| format!("as-{i}")).collect();
+    let mut per_backend = std::collections::HashMap::new();
+    for tenant in &tenants {
+        let owner = fleet_view.owner_of(tenant).unwrap().to_string();
+        *per_backend.entry(owner).or_insert(0usize) += 1;
+        let mut client = Client::connect(&router_addr).unwrap();
+        client
+            .create_tenant(tenant.clone(), "toy", 0, "independence", None, None)
+            .unwrap();
+    }
+    // With 10 tenants and 64 vnodes the deterministic hash spreads over
+    // both backends; this guards against a degenerate ring.
+    assert_eq!(per_backend.len(), 2, "placement: {per_backend:?}");
+
+    // Each backend only knows its own tenants.
+    for backend in &backends {
+        let mut direct = Client::connect(backend).unwrap();
+        match direct.call(&Request::ListTenants).unwrap() {
+            Response::Tenants { tenants: rows } => {
+                assert_eq!(rows.len(), per_backend[backend], "{backend}");
+                for row in rows {
+                    assert_eq!(fleet_view.owner_of(&row.tenant).unwrap(), backend);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // Stream through the router; estimates must match the offline fit.
+    let stream = stream_for("toy", 0, 100);
+    let want = offline_fit("toy", 0, "independence", &stream);
+    for tenant in &tenants {
+        let mut client = Client::connect(&router_addr).unwrap();
+        client.set_tenant(tenant.clone());
+        for chunk in stream.chunks(20) {
+            while !client.observe_batch(chunk.to_vec()).unwrap() {
+                client.flush().unwrap();
+            }
+        }
+        assert_eq!(client.flush().unwrap(), 100, "{tenant}");
+        let got = client.query().unwrap();
+        assert_eq!(got.intervals, 100);
+        for (l, (g, w)) in got.probabilities.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-3, "{tenant} link {l}: {g} vs {w}");
+        }
+    }
+
+    // Attach binds the router-side client connection: after Attach the
+    // tenant field can be omitted entirely.
+    let mut attached = Client::connect(&router_addr).unwrap();
+    attached.set_tenant("as-3");
+    assert!(matches!(
+        attached.call(&Request::Attach).unwrap(),
+        Response::Attached { .. }
+    ));
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = std::net::TcpStream::connect(&router_addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        // Attach with a tenant, then query with *no* tenant field.
+        writeln!(raw, r#"{{"v":2,"tenant":"as-7","req":"Attach"}}"#).unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("Attached"), "{line}");
+        line.clear();
+        writeln!(raw).unwrap(); // blank lines stay ignored through the router
+        writeln!(raw, r#"{{"v":2,"tenant":null,"req":"Stats"}}"#).unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"Stats\""), "{line}");
+        assert!(line.contains("\"as-7\""), "{line}");
+    }
+
+    // Fleet views through the router merge both backends.
+    let mut admin = Client::connect(&router_addr).unwrap();
+    match admin.call(&Request::ListTenants).unwrap() {
+        Response::Tenants { tenants: rows } => {
+            let names: Vec<&str> = rows.iter().map(|t| t.tenant.as_str()).collect();
+            let mut want_names: Vec<&str> = tenants.iter().map(String::as_str).collect();
+            want_names.sort();
+            assert_eq!(names, want_names);
+            assert!(rows.iter().all(|t| t.intervals == 100));
+        }
+        other => panic!("{other:?}"),
+    }
+    match admin.call(&Request::FleetStats).unwrap() {
+        Response::Fleet(fleet) => {
+            assert_eq!(fleet.tenants, 10);
+            assert_eq!(fleet.total_ingested, 1000);
+            // Both daemons report 8 shards; the merged view sums them.
+            assert_eq!(fleet.shards, 16);
+            assert_eq!(fleet.per_tenant.len(), 10);
+            let mut names: Vec<&str> = fleet.per_tenant.iter().map(|t| t.tenant.as_str()).collect();
+            let sorted = {
+                let mut s = names.clone();
+                s.sort();
+                s
+            };
+            assert_eq!(names, sorted, "per-tenant rows must arrive sorted");
+            names.dedup();
+            assert_eq!(names.len(), 10);
+            // The router's pooled backend connections are live connections,
+            // and the forwarded Attach calls bound some of them to tenants.
+            assert!(fleet.live_connections > 0, "{fleet:?}");
+            let bound: u64 = fleet.per_tenant.iter().map(|t| t.live_conns).sum();
+            assert!(
+                bound >= 1,
+                "no tenant shows a live attached conn: {fleet:?}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // A tenant-scoped request with no tenant and no attachment is a typed
+    // error from the router itself.
+    let mut bare = Client::connect(&router_addr).unwrap();
+    match bare.call(&Request::Stats).unwrap() {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::InvalidRequest);
+            assert!(message.contains("tenant"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Shutdown through the router stops backends and router alike.
+    assert!(matches!(
+        admin.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    router_handle.join().unwrap();
+    h1.join().unwrap();
+    h2.join().unwrap();
+}
+
+/// Backpressure passes through unchanged: flooding a tenant behind the
+/// router yields `Busy` (observe_batch → false), a `Flush` absorbs it, and
+/// the backend's own rejection counters agree.
+#[test]
+fn busy_flush_retry_flows_through_the_router() {
+    let config = RegistryConfig {
+        queue_bound: 2,
+        ..RegistryConfig::default()
+    };
+    let (b1, h1) = start_backend(config, 4);
+    let backends = vec![b1];
+    let (router_addr, router_handle) = start_router(&backends);
+
+    let mut admin = Client::connect(&router_addr).unwrap();
+    // A buffered full-refit estimator makes batch drains slow enough for
+    // concurrent writers to overflow a queue bound of 2.
+    admin
+        .create_tenant("noisy", "brite-tiny", 3, "bayesian-correlation", None, None)
+        .unwrap();
+
+    // Flood through the router from three connections at once until the
+    // queue bound bites (the exact same drill the direct-path backpressure
+    // test runs against a bare daemon).
+    let stream = Arc::new(stream_for("brite-tiny", 3, 400));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let busy_total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut flooders = Vec::new();
+    for f in 0..3 {
+        let router_addr = router_addr.clone();
+        let stream = Arc::clone(&stream);
+        let stop = Arc::clone(&stop);
+        let busy_total = Arc::clone(&busy_total);
+        flooders.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&router_addr).unwrap();
+            client.set_tenant("noisy");
+            'outer: for _round in 0..50 {
+                for chunk in stream.chunks(40).skip(f % 2) {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    match client.observe_batch(chunk.to_vec()) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            busy_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(tomo_core::TomoError::Io(_)) => break 'outer,
+                        Err(e) => panic!("flooder failed: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for _ in 0..2000 {
+        if busy_total.load(std::sync::atomic::Ordering::Relaxed) >= 5 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for flooder in flooders {
+        flooder.join().unwrap();
+    }
+    let busy = busy_total.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        busy >= 5,
+        "flood never hit the queue bound through the router (busy: {busy})"
+    );
+
+    // The canonical recovery sequence works through the router too:
+    // Busy → Flush → retry until accepted.
+    admin.set_tenant("noisy");
+    for chunk in stream.chunks(40).take(3) {
+        while !admin.observe_batch(chunk.to_vec()).unwrap() {
+            admin.flush().unwrap();
+        }
+    }
+    admin.flush().unwrap();
+
+    // The backend's own counters agree that backpressure engaged.
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.queue_bound, 2);
+    assert!(stats.busy_rejections >= busy, "{stats:?}");
+    assert_eq!(stats.ingest_errors, 0);
+
+    assert!(matches!(
+        admin.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    router_handle.join().unwrap();
+    h1.join().unwrap();
+}
+
+/// Growing the fleet: rebalance moves exactly the tenants whose ring owner
+/// changed — via snapshot-file handoff — and their estimates survive the
+/// move to snapshot precision. Rerunning rebalance is a no-op.
+#[test]
+fn rebalance_hands_tenants_off_with_estimates_intact() {
+    let dir1 = std::env::temp_dir()
+        .join(format!("tomo-router-rb1-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let dir2 = std::env::temp_dir()
+        .join(format!("tomo-router-rb2-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let (b1, h1) = start_backend(
+        RegistryConfig {
+            snapshot_dir: Some(dir1.clone()),
+            ..RegistryConfig::default()
+        },
+        2,
+    );
+    let (b2, h2) = start_backend(
+        RegistryConfig {
+            snapshot_dir: Some(dir2.clone()),
+            ..RegistryConfig::default()
+        },
+        2,
+    );
+    let old_fleet = vec![b1.clone()];
+    let new_fleet = vec![b1.clone(), b2.clone()];
+
+    // Seed 6 tenants on the single-backend fleet and record their
+    // estimates.
+    let stream = stream_for("toy", 0, 90);
+    let tenants: Vec<String> = (0..6).map(|i| format!("tin-{i}")).collect();
+    let mut before = std::collections::HashMap::new();
+    for tenant in &tenants {
+        let mut client = Client::connect(&b1).unwrap();
+        client
+            .create_tenant(tenant.clone(), "toy", 0, "independence", None, None)
+            .unwrap();
+        for chunk in stream.chunks(30) {
+            while !client.observe_batch(chunk.to_vec()).unwrap() {
+                client.flush().unwrap();
+            }
+        }
+        client.flush().unwrap();
+        before.insert(tenant.clone(), client.query().unwrap());
+    }
+
+    // Hand off to the grown fleet.
+    let moves = rebalance(&old_fleet, &new_fleet, DEFAULT_VNODES).unwrap();
+    let new_ring = Fleet::new(&new_fleet, DEFAULT_VNODES);
+    let expected_movers: Vec<&String> = tenants
+        .iter()
+        .filter(|t| new_ring.owner_of(t).unwrap() != b1)
+        .collect();
+    assert!(
+        !expected_movers.is_empty(),
+        "degenerate ring: no tenant maps to the new backend"
+    );
+    assert_eq!(moves.len(), expected_movers.len());
+    for m in &moves {
+        assert_eq!(m.from, b1, "{m:?}");
+        assert_eq!(
+            m.to, b2,
+            "growing by one backend only moves tenants to it: {m:?}"
+        );
+        assert_eq!(m.intervals, 90, "{m:?}");
+    }
+
+    // Rerunning against the same shape moves nothing.
+    assert!(rebalance(&new_fleet, &new_fleet, DEFAULT_VNODES)
+        .unwrap()
+        .is_empty());
+
+    // Through a router over the new fleet, every tenant answers with its
+    // pre-move estimate.
+    let (router_addr, router_handle) = start_router(&new_fleet);
+    let mut client = Client::connect(&router_addr).unwrap();
+    for tenant in &tenants {
+        client.set_tenant(tenant.clone());
+        let after = client.query().unwrap();
+        let expected = &before[tenant];
+        assert_eq!(after.intervals, expected.intervals, "{tenant}");
+        // Same tolerance as the direct snapshot/restore round-trip test:
+        // the JSON float encoding bounds snapshot precision near 1e-8.
+        for (a, b) in after.probabilities.iter().zip(&expected.probabilities) {
+            assert!((a - b).abs() < 1e-6, "{tenant}: {after:?} vs {expected:?}");
+        }
+    }
+    match client.call(&Request::ListTenants).unwrap() {
+        Response::Tenants { tenants: rows } => {
+            assert_eq!(rows.len(), 6);
+            assert!(rows.iter().all(|t| t.intervals == 90));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    router_handle.join().unwrap();
+    h1.join().unwrap();
+    h2.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

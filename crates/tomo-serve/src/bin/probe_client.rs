@@ -9,6 +9,10 @@
 //!                     [--estimator independence] [--topology toy] [--seed N]
 //!                     [--window N] [--decay L]
 //!                     [--check-batch TOL] [--drop] [--shutdown]
+//! probe-client swarm  --connections N [--idle M] [--addr 127.0.0.1:7070]
+//!                     [--tenant swarm] [--create] [--topology toy] [--seed N]
+//!                     [--scenario drifting-loss] [--intervals 200] [--batch 10]
+//!                     [--estimator independence] [--shutdown]
 //! ```
 //!
 //! `gen` simulates a congestion scenario and records the per-interval
@@ -25,6 +29,16 @@
 //! estimator on the full stream and the exit code reports the verdict —
 //! the tenant's window must be unbounded (or at least the stream length),
 //! and decay off, for the comparison to be meaningful.
+//!
+//! `swarm` drives the C10K surface: it holds `--connections` concurrent
+//! connections open against one endpoint (daemon or router). `--idle M` of
+//! them are idle monitors — they `Attach` once and only `Query`
+//! occasionally — while the remaining hot connections each own a tenant
+//! (`NAME-hot-K`) and stream a generated scenario into it, absorbing
+//! `Busy` via `Flush`+retry. Every connection is held for the whole run
+//! (one connection per tenant, never reconnect-per-batch). The summary
+//! line reports ingest throughput and monitor-query latency quantiles, and
+//! the exit code checks every hot tenant ingested the full stream.
 
 use std::process::exit;
 
@@ -46,6 +60,10 @@ fn usage() -> ! {
          \x20                      [--estimator NAME] [--topology NAME] [--seed N]\n\
          \x20                      [--window N] [--decay L]\n\
          \x20                      [--check-batch TOL] [--drop] [--shutdown]\n\
+         \x20      probe-client swarm  --connections N [--idle M] [--addr HOST:PORT]\n\
+         \x20                      [--tenant PREFIX] [--create] [--topology NAME] [--seed N]\n\
+         \x20                      [--scenario NAME] [--intervals N] [--batch N]\n\
+         \x20                      [--estimator NAME] [--shutdown]\n\
          scenarios: random, concentrated, no-independence, no-stationarity,\n\
          \x20           sparse, drifting-loss, correlation-churn"
     );
@@ -86,6 +104,8 @@ struct Options {
     estimator: String,
     drop: bool,
     shutdown: bool,
+    connections: usize,
+    idle: usize,
 }
 
 fn parse_options(argv: &[String]) -> Options {
@@ -129,6 +149,8 @@ fn parse_options(argv: &[String]) -> Options {
             "--estimator" => o.estimator = value(&mut i),
             "--drop" => o.drop = true,
             "--shutdown" => o.shutdown = true,
+            "--connections" => o.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--idle" => o.idle = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -302,6 +324,181 @@ fn replay(o: &Options) -> Result<(), TomoError> {
     Ok(())
 }
 
+/// Quantile of a sorted latency sample (nearest-rank).
+fn quantile_ms(sorted_ns: &[u128], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
+}
+
+fn swarm(o: &Options) -> Result<(), TomoError> {
+    if o.connections == 0 {
+        eprintln!("swarm needs --connections N");
+        usage();
+    }
+    if o.idle > o.connections {
+        return Err(TomoError::InvalidConfig(format!(
+            "--idle {} exceeds --connections {}",
+            o.idle, o.connections
+        )));
+    }
+    let hot = (o.connections - o.idle).max(1);
+    let idle = o.connections - hot;
+    // Every connection is a client-side fd too; ask for headroom.
+    let _ = tomo_net::raise_nofile_limit(o.connections as u64 + 256);
+
+    // The hot tenants' shared stream, generated in-process.
+    let network = tomo_serve::resolve_topology(&o.topology, o.seed)?;
+    let Some(kind) = parse_scenario(&o.scenario) else {
+        eprintln!("unknown scenario `{}`", o.scenario);
+        usage();
+    };
+    let stream: Vec<Vec<usize>> = record_scenario(
+        &network,
+        ScenarioConfig::for_kind(kind),
+        o.intervals.max(1),
+        o.seed,
+        MeasurementMode::Ideal,
+    )
+    .into_iter()
+    .map(|i| i.congested)
+    .collect();
+    let stream = std::sync::Arc::new(stream);
+
+    // Hot connections first: each owns tenant `PREFIX-hot-K` for the whole
+    // run (create or attach), so monitors have tenants to watch.
+    let hot_tenant = |k: usize| format!("{}-hot-{k}", o.tenant);
+    let mut hot_clients = Vec::with_capacity(hot);
+    for k in 0..hot {
+        let mut client = Client::connect(&o.addr)?;
+        if o.create {
+            client.create_tenant(
+                hot_tenant(k),
+                &o.topology,
+                o.seed,
+                &o.estimator,
+                o.window,
+                o.decay,
+            )?;
+        } else {
+            client.set_tenant(hot_tenant(k));
+            match client.call(&Request::Attach)? {
+                tomo_serve::Response::Attached { .. } => {}
+                other => {
+                    return Err(TomoError::InvalidConfig(format!(
+                        "cannot attach hot tenant {}: {other:?} (use --create?)",
+                        hot_tenant(k)
+                    )))
+                }
+            }
+        }
+        hot_clients.push(client);
+    }
+
+    // Idle monitors: attach once, round-robin over the hot tenants, and
+    // hold the connection open without traffic.
+    let mut monitors = Vec::with_capacity(idle);
+    for j in 0..idle {
+        let mut client = Client::connect(&o.addr)?;
+        client.set_tenant(hot_tenant(j % hot));
+        match client.call(&Request::Attach)? {
+            tomo_serve::Response::Attached { .. } => {}
+            other => {
+                return Err(TomoError::InvalidConfig(format!(
+                    "monitor {j} cannot attach: {other:?}"
+                )))
+            }
+        }
+        monitors.push(client);
+        if (j + 1) % 250 == 0 {
+            eprintln!("swarm: {} idle monitors connected", j + 1);
+        }
+    }
+
+    // Stream the scenario through every hot connection concurrently while
+    // the monitors stay parked.
+    let batch_size = o.batch.max(1);
+    let busy_total = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let ingest_started = std::time::Instant::now();
+    let mut writers = Vec::new();
+    for (k, mut client) in hot_clients.into_iter().enumerate() {
+        let stream = std::sync::Arc::clone(&stream);
+        let busy_total = std::sync::Arc::clone(&busy_total);
+        writers.push(std::thread::spawn(move || -> Result<Client, TomoError> {
+            for chunk in stream.chunks(batch_size) {
+                loop {
+                    if client.observe_batch(chunk.to_vec())? {
+                        break;
+                    }
+                    busy_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    client.flush()?;
+                }
+            }
+            let total = client.flush()?;
+            if total != stream.len() as u64 {
+                return Err(TomoError::InvalidConfig(format!(
+                    "hot tenant {k}: ingested {total} of {} intervals",
+                    stream.len()
+                )));
+            }
+            Ok(client)
+        }));
+    }
+    let mut hot_clients = Vec::new();
+    for writer in writers {
+        hot_clients.push(writer.join().expect("writer thread")?);
+    }
+    let ingest_elapsed = ingest_started.elapsed();
+
+    // One monitor-query pass across every idle connection: the "occasional
+    // Query" of an idle monitor, timed for the latency quantiles.
+    let mut latencies_ns: Vec<u128> = Vec::with_capacity(idle.max(1));
+    if monitors.is_empty() {
+        // No idle tier requested; time the hot connections instead.
+        for client in &mut hot_clients {
+            let start = std::time::Instant::now();
+            client.query()?;
+            latencies_ns.push(start.elapsed().as_nanos());
+        }
+    } else {
+        for client in &mut monitors {
+            let start = std::time::Instant::now();
+            let estimate = client.query()?;
+            latencies_ns.push(start.elapsed().as_nanos());
+            if estimate.intervals != stream.len() as u64 {
+                return Err(TomoError::InvalidConfig(format!(
+                    "monitor saw {} intervals, expected {}",
+                    estimate.intervals,
+                    stream.len()
+                )));
+            }
+        }
+    }
+    latencies_ns.sort_unstable();
+
+    let ingested = (stream.len() * hot) as f64;
+    let rate = ingested / ingest_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "swarm: connections={} idle={idle} hot={hot} intervals_per_tenant={} \
+         ingest_rate_per_sec={rate:.0} busy_retries={} queries={} \
+         query_p50_ms={:.3} query_p95_ms={:.3}",
+        o.connections,
+        stream.len(),
+        busy_total.load(std::sync::atomic::Ordering::Relaxed),
+        latencies_ns.len(),
+        quantile_ms(&latencies_ns, 0.50),
+        quantile_ms(&latencies_ns, 0.95),
+    );
+
+    if o.shutdown {
+        let _ = hot_clients[0].call(&Request::Shutdown)?;
+        eprintln!("daemon asked to shut down");
+    }
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((mode, rest)) = argv.split_first() else {
@@ -313,6 +510,12 @@ fn main() {
         "replay" => {
             if let Err(e) = replay(&o) {
                 eprintln!("replay failed: {e}");
+                exit(1);
+            }
+        }
+        "swarm" => {
+            if let Err(e) = swarm(&o) {
+                eprintln!("swarm failed: {e}");
                 exit(1);
             }
         }

@@ -1,7 +1,8 @@
 //! The multi-tenant streaming-tomography daemon.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7070] [--threads 8] [--shards 8] [--queue-bound 64]
+//! serve [--addr 127.0.0.1:7070] [--threads 8] [--max-conns N]
+//!       [--shards 8] [--queue-bound 64]
 //!       [--snapshot-dir DIR] [--snapshot-every N] [--restore]
 //!       [--tenant NAME:TOPOLOGY[:SEED]]...
 //!       [--topology toy|brite-tiny|sparse-tiny] [--topology-file net.json]
@@ -28,6 +29,7 @@ use tomo_serve::{EngineRegistry, RegistryConfig, Server, TenantId};
 struct Args {
     addr: String,
     threads: usize,
+    max_conns: Option<usize>,
     shards: usize,
     queue_bound: usize,
     snapshot_dir: Option<String>,
@@ -44,7 +46,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--threads N] [--shards N] [--queue-bound N]\n\
+        "usage: serve [--addr HOST:PORT] [--threads N] [--max-conns N] [--shards N] [--queue-bound N]\n\
          \x20            [--snapshot-dir DIR] [--snapshot-every N] [--restore]\n\
          \x20            [--tenant NAME:TOPOLOGY[:SEED]]...\n\
          \x20            [--topology toy|brite-tiny|sparse-tiny] [--topology-file PATH]\n\
@@ -57,6 +59,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7070".into(),
         threads: 8,
+        max_conns: None,
         shards: 8,
         queue_bound: 64,
         snapshot_dir: None,
@@ -80,6 +83,9 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--addr" => args.addr = value(&mut i),
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                args.max_conns = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--queue-bound" => args.queue_bound = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--snapshot-dir" => args.snapshot_dir = Some(value(&mut i)),
@@ -235,14 +241,25 @@ fn main() {
 
     let tenants = registry.num_tenants();
     let shards = registry.config().num_shards;
-    let server = Server::bind(&args.addr, registry, args.threads).unwrap_or_else(|e| {
-        eprintln!("cannot bind {}: {e}", args.addr);
-        exit(1);
-    });
+    // A C10K daemon must not be silently truncated by a 1024-fd default
+    // soft limit: ask for headroom above the connection target.
+    if let Some(limit) = args.max_conns {
+        let _ = tomo_net::raise_nofile_limit(limit as u64 + 64);
+    } else {
+        let _ = tomo_net::raise_nofile_limit(16_384);
+    }
+    let server = Server::bind_with_limit(&args.addr, registry, args.threads, args.max_conns)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            exit(1);
+        });
     let addr = server.local_addr().expect("bound listener has an address");
+    let limit = args
+        .max_conns
+        .map_or("unlimited".to_string(), |n| n.to_string());
     eprintln!(
         "tomo-serve v2 listening on {addr} ({tenants} tenant(s), {shards} shard(s), \
-         queue bound {}, {} worker(s))",
+         queue bound {}, {} worker(s), max conns {limit})",
         args.queue_bound, args.threads
     );
     if let Err(e) = server.run() {

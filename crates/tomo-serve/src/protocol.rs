@@ -29,6 +29,7 @@
 //!   "Flush"                       block until the tenant's ingest queue drains
 //! query:
 //!   "Query"   {"Infer": {"congested": [...]}}   "Stats"   "Snapshot"
+//!   {"Restore": {"snapshot": "<SessionSnapshot JSON>"}}   create-from-snapshot
 //! fleet:
 //!   "ListTenants"   "FleetStats"   "SnapshotAll"   "Shutdown"
 //!
@@ -42,12 +43,20 @@
 //!          | {"Inferred": {"links": [...]}}
 //!          | {"Stats": {...}} | {"Fleet": {...}} | {"Tenants": {"tenants": [...]}}
 //!          | {"Snapshotted": {"path": "..."}}
+//!          | {"Restored": {"links": n, "paths": n, "intervals": n}}
 //!          | {"Error": {"kind": KIND, "message": "..."}}
 //!          | "Bye"
 //!
 //! KIND = "UnsupportedVersion" | "UnknownTenant" | "TenantExists"
-//!      | "InvalidRequest" | "Unsupported" | "Internal"
+//!      | "InvalidRequest" | "Unsupported" | "Overloaded" | "Internal"
 //! ```
+//!
+//! **Overload.** A daemon started with `--max-conns N` answers the
+//! `N+1`-th concurrent connection with one
+//! `{"Error": {"kind": "Overloaded", ...}}` envelope and closes it — an
+//! explicit, typed reject on the accept path rather than a silent drop or
+//! an unbounded accept queue. Load balancers (tomo-router) treat it as
+//! "try again later / elsewhere".
 //!
 //! **Backpressure.** `Observe`/`ObserveBatch` *enqueue* onto the tenant's
 //! bounded ingest queue; the refit happens asynchronously with respect to
@@ -126,6 +135,14 @@ pub enum Request {
     Stats,
     /// Write the tenant's snapshot file.
     Snapshot,
+    /// Create the envelope's tenant from an inline session snapshot (the
+    /// receiving half of a tenant handoff: `Snapshot` on the old owner,
+    /// `Restore` on the new one). Fails with `TenantExists` when the id is
+    /// already registered.
+    Restore {
+        /// The `SessionSnapshot` JSON produced by a snapshot file.
+        snapshot: String,
+    },
     /// List all tenants (fleet-level).
     ListTenants,
     /// Fetch daemon-wide statistics (fleet-level).
@@ -151,6 +168,10 @@ pub enum ErrorKind {
     InvalidRequest,
     /// The tenant's estimator lacks the requested capability.
     Unsupported,
+    /// The daemon is at its connection limit (`--max-conns`); sent once on
+    /// a rejected connection before it is closed. Retry later or on
+    /// another backend.
+    Overloaded,
     /// The daemon failed internally (I/O, serialization).
     Internal,
 }
@@ -189,6 +210,19 @@ pub struct TenantSummary {
     pub intervals: u64,
 }
 
+/// Per-tenant load row of [`FleetStats`]: the two signals a balancer needs
+/// to spot a hot tenant (queued ingest it has not folded yet, and how many
+/// connections are attached to it right now).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// The tenant id.
+    pub tenant: String,
+    /// Observe batches currently queued (not yet ingested).
+    pub pending_batches: usize,
+    /// Connections currently attached to this tenant.
+    pub live_conns: u64,
+}
+
 /// Daemon-wide statistics reported by [`Request::FleetStats`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FleetStats {
@@ -202,6 +236,10 @@ pub struct FleetStats {
     pub busy_rejections: u64,
     /// Aggregate refit counters across all tenants.
     pub refits: RefitCounts,
+    /// Connections currently open on this daemon.
+    pub live_connections: u64,
+    /// Per-tenant load rows, sorted by tenant id.
+    pub per_tenant: Vec<TenantLoad>,
 }
 
 /// One daemon response (the `resp` field of a response envelope).
@@ -267,6 +305,15 @@ pub enum Response {
     Snapshotted {
         /// Path of the snapshot file.
         path: String,
+    },
+    /// Tenant created from an inline snapshot ([`Request::Restore`]).
+    Restored {
+        /// Links in the restored topology.
+        links: usize,
+        /// Paths in the restored topology.
+        paths: usize,
+        /// Lifetime intervals the restored session had already ingested.
+        intervals: u64,
     },
     /// The request failed; the connection stays usable.
     Error {
@@ -409,6 +456,9 @@ mod tests {
             Request::Infer { congested: vec![2] },
             Request::Stats,
             Request::Snapshot,
+            Request::Restore {
+                snapshot: "{\"estimator\":\"independence\"}".into(),
+            },
             Request::ListTenants,
             Request::FleetStats,
             Request::SnapshotAll,
@@ -476,6 +526,12 @@ mod tests {
                 total_ingested: 960,
                 busy_rejections: 7,
                 refits: RefitCounts::default(),
+                live_connections: 12,
+                per_tenant: vec![TenantLoad {
+                    tenant: "as-7018".into(),
+                    pending_batches: 2,
+                    live_conns: 5,
+                }],
             }),
             Response::Tenants {
                 tenants: vec![TenantSummary {
@@ -489,7 +545,13 @@ mod tests {
             Response::Snapshotted {
                 path: "/tmp/snapshots/as-7018.json".into(),
             },
+            Response::Restored {
+                links: 4,
+                paths: 3,
+                intervals: 320,
+            },
             Response::error(ErrorKind::UnknownTenant, "no tenant `x`"),
+            Response::error(ErrorKind::Overloaded, "connection limit reached"),
             Response::Bye,
         ];
         for resp in responses {

@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use tomo_core::{SessionSnapshot, TomoError, TomographySession};
 
-use crate::protocol::{ErrorKind, FleetStats, Response, TenantStats, TenantSummary};
+use crate::protocol::{ErrorKind, FleetStats, Response, TenantLoad, TenantStats, TenantSummary};
 
 /// A validated tenant identifier: 1–64 characters drawn from
 /// `[A-Za-z0-9._-]` (safe to embed in snapshot file names).
@@ -134,6 +134,9 @@ pub struct TenantEntry {
     queue: Mutex<IngestQueue>,
     /// Signaled whenever the queue becomes empty and no drain is running.
     idle: Condvar,
+    /// Connections currently attached to this tenant (load signal for
+    /// `FleetStats` and the fleet router).
+    live_conns: AtomicU64,
 }
 
 impl TenantEntry {
@@ -155,6 +158,7 @@ impl TenantEntry {
                 busy_rejections: 0,
             }),
             idle: Condvar::new(),
+            live_conns: AtomicU64::new(0),
         }
     }
 
@@ -172,6 +176,27 @@ impl TenantEntry {
     pub fn num_paths(&self) -> usize {
         self.num_paths
     }
+
+    /// Records a connection attaching to this tenant.
+    pub fn attach_conn(&self) {
+        self.live_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an attached connection going away.
+    pub fn detach_conn(&self) {
+        // Saturating: a detach can race a counter reset only through API
+        // misuse, but a transient underflow must not wrap to u64::MAX.
+        let _ = self
+            .live_conns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+
+    /// Connections currently attached to this tenant.
+    pub fn live_conns(&self) -> u64 {
+        self.live_conns.load(Ordering::Relaxed)
+    }
 }
 
 /// One shard of the tenant map.
@@ -184,6 +209,9 @@ pub struct EngineRegistry {
     config: RegistryConfig,
     shards: Vec<Shard>,
     busy_rejections: AtomicU64,
+    /// Connections currently open on the daemon serving this registry
+    /// (maintained by the server's connection layer).
+    live_connections: AtomicU64,
 }
 
 impl EngineRegistry {
@@ -203,7 +231,27 @@ impl EngineRegistry {
             },
             shards,
             busy_rejections: AtomicU64::new(0),
+            live_connections: AtomicU64::new(0),
         }
+    }
+
+    /// Records a connection opening on the serving daemon.
+    pub fn conn_opened(&self) {
+        self.live_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closing on the serving daemon.
+    pub fn conn_closed(&self) {
+        let _ = self
+            .live_connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+
+    /// Connections currently open on the serving daemon.
+    pub fn live_connections(&self) -> u64 {
+        self.live_connections.load(Ordering::Relaxed)
     }
 
     /// The registry configuration.
@@ -459,13 +507,22 @@ impl EngineRegistry {
         let mut refits = tomo_core::online::RefitCounts::default();
         let entries = self.entries();
         let tenants = entries.len();
+        let mut per_tenant = Vec::with_capacity(tenants);
         for e in &entries {
-            let state = e.state.lock().expect("tenant state lock");
-            let stats = state.session.stats();
+            let stats = {
+                let state = e.state.lock().expect("tenant state lock");
+                state.session.stats()
+            };
             total_ingested += stats.total_ingested;
             refits.incremental += stats.refits.incremental;
             refits.full += stats.refits.full;
             refits.basis_rebuilds += stats.refits.basis_rebuilds;
+            let pending = e.queue.lock().expect("tenant queue lock").batches.len();
+            per_tenant.push(TenantLoad {
+                tenant: e.id.as_str().to_string(),
+                pending_batches: pending,
+                live_conns: e.live_conns(),
+            });
         }
         FleetStats {
             tenants,
@@ -473,7 +530,32 @@ impl EngineRegistry {
             total_ingested,
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             refits,
+            live_connections: self.live_connections(),
+            per_tenant,
         }
+    }
+
+    /// Serializes a tenant's current session to `SessionSnapshot` JSON
+    /// without touching disk — the sending half of an inline handoff.
+    pub fn snapshot_json(&self, entry: &Arc<TenantEntry>) -> Result<String, TomoError> {
+        let state = entry.state.lock().expect("tenant state lock");
+        serde_json::to_string(&state.session.snapshot())
+            .map_err(|e| TomoError::Serde(e.to_string()))
+    }
+
+    /// Creates a tenant from an inline `SessionSnapshot` JSON string — the
+    /// receiving half of a tenant handoff. Errors when the snapshot does
+    /// not parse/restore or the tenant already exists.
+    pub fn restore_tenant(
+        &self,
+        id: TenantId,
+        snapshot_json: &str,
+    ) -> Result<Arc<TenantEntry>, TomoError> {
+        let snapshot: SessionSnapshot = serde_json::from_str(snapshot_json)
+            .map_err(|e| TomoError::InvalidConfig(format!("bad snapshot payload: {e}")))?;
+        let session = TomographySession::restore(snapshot)
+            .map_err(|e| TomoError::InvalidConfig(format!("cannot restore tenant `{id}`: {e}")))?;
+        self.create(id, session)
     }
 
     /// The snapshot file path of a tenant, when snapshotting is configured.
@@ -795,6 +877,70 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_tenant_from_inline_snapshot_round_trips() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let id = TenantId::new("as-1").unwrap();
+        let entry = registry.create(id.clone(), toy_session()).unwrap();
+        registry.observe(&entry, intervals(40, 0));
+        registry.flush(&entry);
+        let snapshot = {
+            let state = entry.state.lock().unwrap();
+            serde_json::to_string(&state.session.snapshot()).unwrap()
+        };
+        let before = match registry.query(&entry) {
+            Response::Estimate(est) => est,
+            other => panic!("{other:?}"),
+        };
+
+        // Hand the snapshot to a second registry under a new id.
+        let other = EngineRegistry::new(RegistryConfig::default());
+        let restored = other
+            .restore_tenant(TenantId::new("as-1").unwrap(), &snapshot)
+            .unwrap();
+        match other.query(&restored) {
+            Response::Estimate(est) => {
+                assert_eq!(est.intervals, before.intervals);
+                for (a, b) in est.probabilities.iter().zip(&before.probabilities) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Occupied id and garbage payloads are typed failures.
+        assert!(registry.restore_tenant(id, &snapshot).is_err());
+        assert!(other
+            .restore_tenant(TenantId::new("as-2").unwrap(), "{not json")
+            .is_err());
+    }
+
+    #[test]
+    fn live_connection_counters_feed_fleet_stats() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let entry = registry
+            .create(TenantId::new("as-1").unwrap(), toy_session())
+            .unwrap();
+        registry.conn_opened();
+        registry.conn_opened();
+        entry.attach_conn();
+        entry.attach_conn();
+        entry.detach_conn();
+        let fleet = registry.fleet_stats();
+        assert_eq!(fleet.live_connections, 2);
+        assert_eq!(fleet.per_tenant.len(), 1);
+        assert_eq!(fleet.per_tenant[0].tenant, "as-1");
+        assert_eq!(fleet.per_tenant[0].live_conns, 1);
+        assert_eq!(fleet.per_tenant[0].pending_batches, 0);
+        registry.conn_closed();
+        registry.conn_closed();
+        registry.conn_closed(); // saturates at zero, never wraps
+        assert_eq!(registry.live_connections(), 0);
+        entry.detach_conn();
+        entry.detach_conn();
+        assert_eq!(entry.live_conns(), 0);
     }
 
     #[test]

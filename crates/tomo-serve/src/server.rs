@@ -1,25 +1,38 @@
-//! The TCP front end: a `std::net` listener fanning connections onto the
-//! `tomo-sweep` worker pool, dispatching v2 envelopes to the sharded
-//! [`EngineRegistry`].
+//! The TCP front end: a `tomo-net` event loop feeding the `tomo-sweep`
+//! worker pool, dispatching v2 envelopes to the sharded [`EngineRegistry`].
 //!
-//! Each accepted connection becomes one pool job that reads JSON-lines
-//! request envelopes until the client disconnects; every request is
-//! answered with exactly one response envelope, in order. A connection can
-//! bind a default tenant with `Attach` and omit the `tenant` field
-//! afterwards. Ingest requests only *enqueue* onto the tenant's bounded
-//! queue (the first enqueuer drains it), so one flooding tenant cannot
-//! occupy the engine while another tenant's queries wait — the flooder gets
-//! `Busy` instead. The accept loop polls a non-blocking listener so a
-//! `Shutdown` request (observed via a shared flag) stops the daemon
-//! promptly without any platform-specific socket tricks.
+//! The connection layer is event-driven (C10K): a **single I/O thread**
+//! owns every socket through the readiness-polled
+//! [`tomo_net::EventLoop`], so ten thousand mostly idle monitoring
+//! sessions cost ten thousand file descriptors — not ten thousand
+//! threads. Complete request lines are framed on the I/O thread and handed
+//! to the fixed-size worker pool, which does only CPU work (parse,
+//! dispatch, estimate) and queues each response back through the loop's
+//! [`tomo_net::Sender`]. Total thread count is `1 + threads`, independent
+//! of the connection count.
+//!
+//! Per-connection ordering is preserved without dedicating a worker per
+//! connection: each connection keeps a queue of pending request lines and
+//! at most one in-flight pool job drains it (the job that finds the queue
+//! empty unflags itself; the next arriving line submits a fresh job) — the
+//! same drain-on-first-enqueuer shape the registry uses for ingest.
+//!
+//! Wire semantics are unchanged from the thread-per-connection server:
+//! every request line produces exactly one response line in order, `Attach`
+//! binds a default tenant, ingest backpressure still answers `Busy`, and
+//! `Shutdown` drains pending responses (the `Bye` is delivered) before the
+//! daemon stops. One addition: a connection limit (`--max-conns`) rejects
+//! surplus connections with a typed `Overloaded` error envelope instead of
+//! accepting unboundedly.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
 
 use tomo_core::{SessionConfig, SessionEstimate, TomoError, TomographySession};
+use tomo_net::{ConnId, EventLoop, NetConfig, Sender, Service};
 use tomo_sweep::WorkerPool;
 
 use crate::protocol::{
@@ -28,46 +41,57 @@ use crate::protocol::{
 };
 use crate::registry::{EngineRegistry, TenantId};
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-/// Read timeout on connections, so idle connections observe the shutdown
-/// flag instead of blocking the drain forever.
-const READ_POLL: Duration = Duration::from_millis(200);
-
-/// The daemon: listener + sharded registry + connection pool.
+/// The daemon: event loop + sharded registry + CPU worker pool.
 pub struct Server {
-    listener: TcpListener,
+    event_loop: EventLoop,
     registry: Arc<EngineRegistry>,
     shutdown: Arc<AtomicBool>,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
 }
 
 impl Server {
     /// Binds the daemon to `addr` (e.g. `127.0.0.1:7070`; port 0 picks an
-    /// ephemeral port, see [`Server::local_addr`]). `threads` sizes the
-    /// connection pool — each live connection occupies one worker.
+    /// ephemeral port, see [`Server::local_addr`]). `threads` sizes the CPU
+    /// worker pool — connections are multiplexed on one I/O thread and do
+    /// **not** occupy workers while idle.
     pub fn bind(
         addr: &str,
         registry: Arc<EngineRegistry>,
         threads: usize,
     ) -> Result<Self, TomoError> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
+        Self::bind_with_limit(addr, registry, threads, None)
+    }
+
+    /// [`Server::bind`] with a connection limit: at most `max_conns` live
+    /// connections; surplus accepts get one `Overloaded` error envelope
+    /// and are closed.
+    pub fn bind_with_limit(
+        addr: &str,
+        registry: Arc<EngineRegistry>,
+        threads: usize,
+        max_conns: Option<usize>,
+    ) -> Result<Self, TomoError> {
+        let config = NetConfig {
+            max_conns,
+            ..NetConfig::default()
+        };
+        let event_loop = EventLoop::bind(addr, config).map_err(TomoError::from)?;
+        let shutdown = event_loop.shutdown_flag();
         Ok(Self {
-            listener,
+            event_loop,
             registry,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            pool: WorkerPool::new(threads),
+            shutdown,
+            pool: Arc::new(WorkerPool::new(threads)),
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> Result<std::net::SocketAddr, TomoError> {
-        Ok(self.listener.local_addr()?)
+        Ok(self.event_loop.local_addr()?)
     }
 
-    /// The shared shutdown flag; setting it stops the accept loop.
+    /// The shared shutdown flag; setting it stops the daemon within one
+    /// poll interval.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
     }
@@ -77,91 +101,197 @@ impl Server {
         &self.registry
     }
 
-    /// Runs the accept loop until a client sends `Shutdown` (or the
-    /// shutdown flag is raised externally). Existing connections are
-    /// drained before returning; every tenant is snapshotted on the way
-    /// out when snapshotting is configured.
+    /// Runs the event loop until a client sends `Shutdown` (or the
+    /// shutdown flag is raised externally). Pending responses are drained
+    /// before returning; every tenant is snapshotted on the way out when
+    /// snapshotting is configured.
     pub fn run(self) -> Result<(), TomoError> {
-        loop {
-            if self.shutdown.load(Ordering::Relaxed) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let registry = Arc::clone(&self.registry);
-                    let shutdown = Arc::clone(&self.shutdown);
-                    self.pool
-                        .submit(move || handle_connection(stream, &registry, &shutdown))?;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-        self.pool.wait_idle();
-        self.registry.shutdown();
+        let Server {
+            event_loop,
+            registry,
+            pool,
+            ..
+        } = self;
+        let service = ServeService {
+            registry: Arc::clone(&registry),
+            pool: Arc::clone(&pool),
+            sender: event_loop.sender(),
+            shutdown: event_loop.shutdown_flag(),
+            conns: Mutex::new(HashMap::new()),
+        };
+        event_loop.run(&service).map_err(TomoError::from)?;
+        pool.wait_idle();
+        registry.shutdown();
         Ok(())
     }
 }
 
-/// Serves one connection until EOF or shutdown.
-fn handle_connection(stream: TcpStream, registry: &Arc<EngineRegistry>, shutdown: &AtomicBool) {
-    let _ = stream.set_nodelay(true);
-    // A finite read timeout lets an idle connection notice the shutdown
-    // flag; without it, `Server::run`'s drain would wait on clients that
-    // never send another byte.
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("tomo-serve: cannot clone connection: {e}");
+/// Per-connection state: the request queue feeding the worker pool and the
+/// connection's tenant attachment.
+struct ConnCtx {
+    inner: Mutex<ConnInner>,
+}
+
+struct ConnInner {
+    /// Request lines framed but not yet dispatched, oldest first.
+    pending: VecDeque<String>,
+    /// Whether a pool job is currently draining `pending` (at most one per
+    /// connection — this is what keeps responses in request order).
+    processing: bool,
+    /// The connection's default tenant, bound by `Attach`.
+    attached: Option<TenantId>,
+    /// The entry whose `live_conns` this connection currently counts
+    /// toward (kept as the entry so the decrement works even after the
+    /// tenant is dropped from the registry).
+    counted: Option<Arc<crate::registry::TenantEntry>>,
+    /// Set by `on_close`; late attachment updates must not re-increment.
+    closed: bool,
+}
+
+/// The [`Service`] bridging the event loop to the registry.
+struct ServeService {
+    registry: Arc<EngineRegistry>,
+    pool: Arc<WorkerPool>,
+    sender: Sender,
+    shutdown: Arc<AtomicBool>,
+    conns: Mutex<HashMap<ConnId, Arc<ConnCtx>>>,
+}
+
+impl Service for ServeService {
+    fn on_open(&self, conn: ConnId, _peer: std::net::SocketAddr) {
+        self.registry.conn_opened();
+        self.conns.lock().expect("conn map lock").insert(
+            conn,
+            Arc::new(ConnCtx {
+                inner: Mutex::new(ConnInner {
+                    pending: VecDeque::new(),
+                    processing: false,
+                    attached: None,
+                    counted: None,
+                    closed: false,
+                }),
+            }),
+        );
+    }
+
+    fn on_line(&self, conn: ConnId, line: String) {
+        if line.trim().is_empty() {
+            // Blank lines are ignored without a response (as before).
             return;
         }
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    // The connection's default tenant, bound by `Attach`.
-    let mut attached: Option<TenantId> = None;
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF: client went away
-            Ok(_) => {}
-            // Timeout (WouldBlock or TimedOut depending on the platform):
-            // poll the shutdown flag and keep waiting. `line` keeps any
-            // partial fragment read before the timeout; the next
-            // `read_line` appends the rest of the line to it.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-                continue;
+        let Some(ctx) = self
+            .conns
+            .lock()
+            .expect("conn map lock")
+            .get(&conn)
+            .cloned()
+        else {
+            return;
+        };
+        let submit = {
+            let mut inner = ctx.inner.lock().expect("conn ctx lock");
+            inner.pending.push_back(line);
+            if inner.processing {
+                false
+            } else {
+                inner.processing = true;
+                true
             }
-            Err(_) => break,
+        };
+        if submit {
+            let registry = Arc::clone(&self.registry);
+            let sender = self.sender.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            let job = move || drain_conn(&registry, &ctx, conn, &sender, &shutdown);
+            if let Err(e) = self.pool.submit(job) {
+                eprintln!("tomo-serve: cannot schedule connection work: {e}");
+            }
         }
-        let request_line = std::mem::take(&mut line);
-        if request_line.trim().is_empty() {
-            continue;
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        self.registry.conn_closed();
+        let ctx = self.conns.lock().expect("conn map lock").remove(&conn);
+        if let Some(ctx) = ctx {
+            let mut inner = ctx.inner.lock().expect("conn ctx lock");
+            inner.closed = true;
+            inner.pending.clear();
+            if let Some(entry) = inner.counted.take() {
+                entry.detach_conn();
+            }
         }
-        let (tenant, response) = match decode_request(&request_line) {
+    }
+
+    fn overload_line(&self) -> Option<String> {
+        Some(encode(&ResponseEnvelope::new(
+            None,
+            Response::error(
+                ErrorKind::Overloaded,
+                "connection limit reached (--max-conns); retry later or on another backend",
+            ),
+        )))
+    }
+}
+
+/// Worker-pool job: drains one connection's pending request lines in
+/// order, dispatching each and queueing the response back through the
+/// event loop. Exactly one runs per connection at a time.
+fn drain_conn(
+    registry: &Arc<EngineRegistry>,
+    ctx: &Arc<ConnCtx>,
+    conn: ConnId,
+    sender: &Sender,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let (line, mut attached) = {
+            let mut inner = ctx.inner.lock().expect("conn ctx lock");
+            match inner.pending.pop_front() {
+                Some(line) => (line, inner.attached.clone()),
+                None => {
+                    inner.processing = false;
+                    return;
+                }
+            }
+        };
+        let attached_before = attached.clone();
+        let (tenant, response) = match decode_request(&line) {
             Ok(envelope) => dispatch(registry, envelope, &mut attached, shutdown),
             Err(error_response) => (None, *error_response),
         };
+        if attached != attached_before {
+            update_attachment(registry, ctx, attached);
+        }
         let stop = matches!(response, Response::Bye);
         let envelope = ResponseEnvelope::new(tenant, response);
-        if writeln!(writer, "{}", encode(&envelope)).is_err() {
-            break;
-        }
-        let _ = writer.flush();
         if stop {
-            break;
+            sender.send_then_close(conn, encode(&envelope));
+            // `Shutdown` already raised the flag; the queued `Bye` wakes
+            // the loop, which drains pending writes and exits.
+        } else {
+            sender.send(conn, encode(&envelope));
+        }
+    }
+}
+
+/// Applies an attachment change to the connection's live-conn accounting:
+/// the previously counted tenant loses this connection, the newly attached
+/// one (if it still exists and the connection is still open) gains it.
+fn update_attachment(
+    registry: &Arc<EngineRegistry>,
+    ctx: &Arc<ConnCtx>,
+    attached: Option<TenantId>,
+) {
+    let entry = attached.as_ref().and_then(|id| registry.lookup(id));
+    let mut inner = ctx.inner.lock().expect("conn ctx lock");
+    inner.attached = attached;
+    if let Some(old) = inner.counted.take() {
+        old.detach_conn();
+    }
+    if !inner.closed {
+        if let Some(entry) = entry {
+            entry.attach_conn();
+            inner.counted = Some(entry);
         }
     }
 }
@@ -253,6 +383,23 @@ fn dispatch(
                 Err(e) => Response::error(ErrorKind::TenantExists, e.to_string()),
             }
         }
+        Request::Restore { snapshot } => {
+            if registry.lookup(&id).is_some() {
+                Response::error(
+                    ErrorKind::TenantExists,
+                    format!("tenant `{id}` already exists; drop it before restoring"),
+                )
+            } else {
+                match registry.restore_tenant(id, &snapshot) {
+                    Ok(entry) => Response::Restored {
+                        links: entry.num_links(),
+                        paths: entry.num_paths(),
+                        intervals: registry.stats(&entry).session.total_ingested,
+                    },
+                    Err(e) => Response::from_error(&e),
+                }
+            }
+        }
         Request::Drop => match registry.drop_tenant(&id) {
             Ok(()) => {
                 if attached.as_ref() == Some(&id) {
@@ -295,6 +442,7 @@ fn dispatch(
                 },
                 // Handled before tenant resolution.
                 Request::Create { .. }
+                | Request::Restore { .. }
                 | Request::Drop
                 | Request::ListTenants
                 | Request::FleetStats

@@ -1,0 +1,225 @@
+//! Tests for the event-driven connection layer: typed overload rejection
+//! at the accept limit, inline tenant restore (the handoff primitive), and
+//! the C10K property itself — thread count stays flat as connections pile
+//! up.
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use tomo_core::{SessionConfig, TomographySession};
+use tomo_serve::protocol::{ErrorKind, Request, Response};
+use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server, TenantId};
+
+/// A registry with one `default` tenant on the toy topology.
+fn default_registry(config: RegistryConfig) -> EngineRegistry {
+    let registry = EngineRegistry::new(config);
+    let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+    let session = TomographySession::new(network, SessionConfig::default()).unwrap();
+    registry
+        .create(TenantId::new("default").unwrap(), session)
+        .unwrap();
+    registry
+}
+
+/// Current thread count of this process (Linux `/proc/self/status`).
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn accepts_beyond_max_conns_get_a_typed_overloaded_error() {
+    let server = Server::bind_with_limit(
+        "127.0.0.1:0",
+        Arc::new(default_registry(RegistryConfig::default())),
+        2,
+        Some(2),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+
+    // Fill both slots and prove they work.
+    let mut a = Client::connect(&addr).unwrap();
+    a.set_tenant("default");
+    let mut b = Client::connect(&addr).unwrap();
+    b.set_tenant("default");
+    assert!(matches!(
+        a.call(&Request::Attach).unwrap(),
+        Response::Attached { .. }
+    ));
+    assert!(matches!(
+        b.call(&Request::Stats).unwrap(),
+        Response::Stats(_)
+    ));
+
+    // The third connection is rejected with one typed envelope, then EOF —
+    // never a silent drop.
+    let rejected = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(rejected);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let envelope: tomo_serve::protocol::ResponseEnvelope =
+        tomo_serve::protocol::decode(&line).unwrap();
+    match envelope.resp {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Overloaded);
+            assert!(message.contains("max-conns"), "{message}");
+        }
+        other => panic!("expected Overloaded error, got {other:?}"),
+    }
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "rejected conn must be closed after the line"
+    );
+
+    // Attached connections were untouched by the reject, and freeing a
+    // slot readmits new clients.
+    assert!(matches!(
+        a.call(&Request::Stats).unwrap(),
+        Response::Stats(_)
+    ));
+    drop(b);
+    // The slot frees asynchronously; retry until the daemon readmits.
+    let mut readmitted = None;
+    for _ in 0..100 {
+        let mut c = match Client::connect(&addr) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        c.set_tenant("default");
+        if let Ok(Response::Stats(_)) = c.call(&Request::Stats) {
+            readmitted = Some(c);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        readmitted.is_some(),
+        "daemon never readmitted after a close"
+    );
+
+    assert!(matches!(a.call(&Request::Shutdown).unwrap(), Response::Bye));
+    handle.join().unwrap();
+}
+
+#[test]
+fn restore_creates_a_tenant_from_an_inline_snapshot() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(default_registry(RegistryConfig::default())),
+        2,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_tenant("default");
+    let intervals: Vec<Vec<usize>> = (0..60)
+        .map(|t| if t % 3 == 0 { vec![0, 1] } else { vec![] })
+        .collect();
+    assert!(client.observe_batch(intervals).unwrap());
+    assert_eq!(client.flush().unwrap(), 60);
+    let before = client.query().unwrap();
+
+    // Serialize the session out of band (what a router reads from the
+    // snapshot file during handoff) and restore it under a new id.
+    let snapshot = {
+        let network = tomo_serve::resolve_topology("toy", 0).unwrap();
+        let session = TomographySession::new(network, SessionConfig::default()).unwrap();
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let entry = registry
+            .create(TenantId::new("tmp").unwrap(), session)
+            .unwrap();
+        let congested: Vec<Vec<usize>> = (0..60)
+            .map(|t| if t % 3 == 0 { vec![0, 1] } else { vec![] })
+            .collect();
+        registry.observe(&entry, congested);
+        registry.flush(&entry);
+        registry.snapshot_json(&entry).unwrap()
+    };
+    client.set_tenant("clone");
+    match client
+        .call(&Request::Restore {
+            snapshot: snapshot.clone(),
+        })
+        .unwrap()
+    {
+        Response::Restored {
+            links,
+            paths,
+            intervals,
+        } => {
+            assert_eq!(links, 4);
+            assert_eq!(paths, 3);
+            assert_eq!(intervals, 60);
+        }
+        other => panic!("expected Restored, got {other:?}"),
+    }
+    let after = client.query().unwrap();
+    assert_eq!(after.intervals, before.intervals);
+    for (a, b) in after.probabilities.iter().zip(&before.probabilities) {
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    // Restoring over an occupied id is a typed conflict.
+    match client.call(&Request::Restore { snapshot }).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::TenantExists),
+        other => panic!("expected TenantExists, got {other:?}"),
+    }
+
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    handle.join().unwrap();
+}
+
+#[test]
+fn thread_count_stays_flat_as_connections_pile_up() {
+    tomo_net::raise_nofile_limit(2048).ok();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(default_registry(RegistryConfig::default())),
+        4,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+
+    // Warm up: one round trip so the loop and pool threads all exist.
+    let mut warm = Client::connect(&addr).unwrap();
+    warm.set_tenant("default");
+    warm.stats().unwrap();
+    let baseline = thread_count();
+
+    // 300 live connections, each exercised once. A thread-per-connection
+    // server would add ~300 threads here; the event-driven one adds zero.
+    let mut clients = Vec::new();
+    for _ in 0..300 {
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_tenant("default");
+        c.stats().unwrap();
+        clients.push(c);
+    }
+    let with_connections = thread_count();
+    assert_eq!(
+        with_connections, baseline,
+        "thread count grew with connection count ({baseline} -> {with_connections})"
+    );
+
+    drop(clients);
+    assert!(matches!(
+        warm.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    handle.join().unwrap();
+}
