@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Docs-drift gate: the operations runbook must track the wire protocol.
+
+``docs/OPERATIONS.md`` documents the v2 request grammar and the full error
+taxonomy. Those lists rot silently when someone adds a ``Request`` or
+``ErrorKind`` variant to ``crates/tomo-serve/src/protocol.rs`` without
+touching the runbook — so CI extracts the variant names straight from the
+enum source and fails unless every one of them appears in the doc.
+
+The check is membership, not prose: each variant name must occur verbatim
+somewhere in OPERATIONS.md. Removing a variant from the protocol without
+pruning the doc also fails (the doc would promise an error kind the daemon
+can no longer emit).
+"""
+
+import re
+import sys
+
+PROTOCOL = "crates/tomo-serve/src/protocol.rs"
+OPERATIONS = "docs/OPERATIONS.md"
+
+# Enums whose variants the runbook must enumerate.
+ENUMS = ("ErrorKind", "Request")
+
+
+def enum_variants(source, enum_name):
+    """Extracts top-level variant names of ``pub enum <enum_name>``."""
+    match = re.search(
+        rf"pub enum {enum_name}\s*\{{(.*?)\n\}}", source, re.DOTALL
+    )
+    if not match:
+        sys.exit(f"check_docs: cannot find `pub enum {enum_name}` in {PROTOCOL}")
+    body = match.group(1)
+    variants = []
+    depth = 0
+    for line in body.splitlines():
+        stripped = line.strip()
+        # Only lines at brace-depth 0 can start a variant; skip attribute
+        # lines, doc comments, and the bodies of struct-style variants.
+        if depth == 0 and stripped and not stripped.startswith(("#", "/")):
+            m = re.match(r"([A-Z][A-Za-z0-9]*)", stripped)
+            if m:
+                variants.append(m.group(1))
+        depth += line.count("{") + line.count("(") - line.count("}") - line.count(")")
+    if not variants:
+        sys.exit(f"check_docs: no variants parsed for {enum_name}")
+    return variants
+
+
+def main():
+    try:
+        with open(PROTOCOL, encoding="utf-8") as fh:
+            source = fh.read()
+        with open(OPERATIONS, encoding="utf-8") as fh:
+            doc = fh.read()
+    except OSError as e:
+        sys.exit(f"check_docs: {e}")
+
+    failures = []
+    doc_words = set(re.findall(r"[A-Za-z0-9]+", doc))
+    for enum_name in ENUMS:
+        variants = enum_variants(source, enum_name)
+        missing = [v for v in variants if v not in doc_words]
+        failures.extend(
+            f"{enum_name}::{v} is in {PROTOCOL} but never mentioned in {OPERATIONS}"
+            for v in missing
+        )
+        print(
+            f"check_docs: {enum_name}: {len(variants)} variants, "
+            f"{len(variants) - len(missing)} documented"
+        )
+
+    if failures:
+        print("check_docs: FAIL — the operations runbook drifted from the protocol:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("check_docs: OK — OPERATIONS.md covers the full protocol surface")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Smoke-test assertions over a `probe-client metrics` JSON report.
+
+The daemon's fleet `Metrics` response is one JSON object (see
+``MetricsReport`` in ``crates/tomo-serve/src/protocol.rs``). CI captures it
+with ``probe-client metrics --addr ... > report.json`` and runs this script
+to assert the observability layer actually observed something:
+
+* ``--expect-total N``: the fleet-wide ingested-interval counter is exactly N;
+* ``--expect-tenants N``: exactly N per-tenant rows;
+* ``--require-net``: network I/O counters are present and non-zero;
+* ``--sum-of A.json B.json ...``: *merge consistency* — this report's
+  ``total_intervals`` equals the sum over the listed per-backend reports,
+  its tenant names are exactly the union of theirs, and each merged row's
+  ``ingested_intervals`` is the sum over same-named backend rows (several
+  backends may legitimately carry the same tenant id — the implicit
+  ``default`` tenant, or a tenant mid-rebalance — and the router merges
+  those rows into one). This is the invariant that catches a router
+  dropping or double-counting a backend in the fan-out.
+
+Every populated per-tenant row is additionally required to carry ordered,
+non-zero ingest quantiles (p50 <= p95 <= p99) — histograms that were wired
+through but never recorded show up here as zeros.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot load metrics report {path}: {e}")
+
+
+def fail(msg):
+    sys.exit(f"check_metrics: FAIL: {msg}")
+
+
+def check_rows(report, path):
+    for row in report.get("per_tenant", []):
+        tenant = row.get("tenant", "<unnamed>")
+        if row.get("ingested_intervals", 0) == 0:
+            continue
+        ingest = row.get("ingest", {})
+        if ingest.get("count", 0) == 0:
+            fail(f"{path}: tenant {tenant} ingested intervals but has an empty histogram")
+        p50, p95, p99 = (ingest.get(k, 0) for k in ("p50_ns", "p95_ns", "p99_ns"))
+        if not 0 < p50 <= p95 <= p99:
+            fail(f"{path}: tenant {tenant} quantiles not ordered/non-zero: {p50} {p95} {p99}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", required=True, help="MetricsReport JSON file")
+    parser.add_argument("--expect-total", type=int, default=None)
+    parser.add_argument("--expect-tenants", type=int, default=None)
+    parser.add_argument("--require-net", action="store_true")
+    parser.add_argument("--sum-of", nargs="+", default=None, metavar="BACKEND_REPORT")
+    args = parser.parse_args()
+
+    report = load(args.report)
+    total = report.get("total_intervals", 0)
+    rows = report.get("per_tenant", [])
+
+    if args.expect_total is not None and total != args.expect_total:
+        fail(f"total_intervals {total} != expected {args.expect_total}")
+    if args.expect_tenants is not None and len(rows) != args.expect_tenants:
+        names = [r.get("tenant") for r in rows]
+        fail(f"{len(rows)} per-tenant rows != expected {args.expect_tenants}: {names}")
+    if args.require_net:
+        net = report.get("net")
+        if not net:
+            fail("net counters missing from report")
+        for key in ("accepted", "lines_in", "lines_out", "bytes_in", "bytes_out"):
+            if net.get(key, 0) <= 0:
+                fail(f"net counter {key} is zero: {net}")
+    check_rows(report, args.report)
+
+    if args.sum_of:
+        backend_total = 0
+        backend_intervals = {}
+        for path in args.sum_of:
+            backend = load(path)
+            backend_total += backend.get("total_intervals", 0)
+            for r in backend.get("per_tenant", []):
+                tenant = r.get("tenant")
+                backend_intervals[tenant] = backend_intervals.get(tenant, 0) + r.get(
+                    "ingested_intervals", 0
+                )
+            check_rows(backend, path)
+        if total != backend_total:
+            fail(
+                f"merge inconsistency: merged total_intervals {total} != "
+                f"sum of backend totals {backend_total}"
+            )
+        # Tenant names are compared as a set: two backends may both carry a
+        # tenant id (the implicit `default` tenant, or one mid-rebalance),
+        # and the router merges same-id rows into one. The per-tenant
+        # interval sums must still agree exactly.
+        merged_intervals = {
+            r.get("tenant"): r.get("ingested_intervals", 0) for r in rows
+        }
+        if sorted(merged_intervals) != sorted(set(backend_intervals)):
+            fail(
+                f"merge inconsistency: merged tenants {sorted(merged_intervals)} "
+                f"!= union of backend tenants {sorted(set(backend_intervals))}"
+            )
+        if merged_intervals != backend_intervals:
+            diff = {
+                t: (merged_intervals.get(t), backend_intervals.get(t))
+                for t in set(merged_intervals) | set(backend_intervals)
+                if merged_intervals.get(t) != backend_intervals.get(t)
+            }
+            fail(f"merge inconsistency: per-tenant interval sums differ (merged, backends): {diff}")
+
+    print(
+        f"check_metrics: OK ({args.report}: total_intervals={total}, "
+        f"tenants={len(rows)}{', merge-consistent' if args.sum_of else ''})"
+    )
+
+
+if __name__ == "__main__":
+    main()

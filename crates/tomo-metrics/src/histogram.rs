@@ -1,0 +1,422 @@
+//! Log-bucketed latency histograms for the serving path.
+//!
+//! The hot path records one `u64` (nanoseconds) per event into a
+//! fixed-size array of atomic counters — no allocation, no lock, no sample
+//! vector that grows with traffic (PAPERS.md's "Outrunning Big KATs"
+//! lesson: representation choice is what keeps the hot path cheap). The
+//! bucketing is **log-linear** (HDR-style): each power-of-two octave is
+//! split into [`SUB_BUCKETS`] linear sub-buckets, so the relative width of
+//! any bucket is at most `1/SUB_BUCKETS` = 12.5% — quantiles read from
+//! bucket bounds are never more than one bucket width away from the exact
+//! order statistic.
+//!
+//! Two types split the recording and reporting halves:
+//!
+//! * [`AtomicHistogram`] — the write side: `record` is a relaxed
+//!   `fetch_add` on one bucket (plus count/sum/max), safe to share across
+//!   worker threads behind an `Arc` with no mutex;
+//! * [`HistogramSnapshot`] — the read side: a serializable dense count
+//!   vector with [`quantile`](HistogramSnapshot::quantile) extraction and
+//!   elementwise [`merge`](HistogramSnapshot::merge), so a fleet router can
+//!   combine per-backend histograms and recompute p50/p95/p99 *after*
+//!   merging (averaging per-backend quantiles would be wrong).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power-of-two octave (must be a power of two).
+pub const SUB_BUCKETS: usize = 8;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 3;
+
+/// Total buckets: values below [`SUB_BUCKETS`] get exact unit buckets,
+/// then each of the remaining octaves (top bit 3..=63) contributes
+/// [`SUB_BUCKETS`] sub-buckets.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS * 62;
+
+/// The bucket index containing `value`. Values below [`SUB_BUCKETS`] map
+/// to exact unit buckets; larger values map to `(octave, sub-bucket)`
+/// pairs where the sub-bucket is the top [`SUB_BITS`] bits after the
+/// leading one.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS * (msb - SUB_BITS + 1) as usize + sub
+}
+
+/// The half-open value range `[lo, hi)` covered by bucket `index`. The
+/// top bucket's exclusive bound saturates at `u64::MAX` (that bucket also
+/// holds `u64::MAX` itself).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64 + 1);
+    }
+    let msb = (index / SUB_BUCKETS) as u32 + SUB_BITS - 1;
+    let sub = (index % SUB_BUCKETS) as u128;
+    let width = 1u128 << (msb - SUB_BITS);
+    let lo = (1u128 << msb) + sub * width;
+    let hi = (lo + width).min(u64::MAX as u128);
+    (lo as u64, hi as u64)
+}
+
+/// The value a bucket reports for the samples it holds: the largest value
+/// the bucket can contain. Conservative (quantiles round *up* within one
+/// bucket width) and exact for the unit buckets below [`SUB_BUCKETS`].
+fn bucket_representative(index: usize) -> u64 {
+    let (_, hi) = bucket_bounds(index);
+    hi - 1
+}
+
+/// The lock-free recording side: a fixed array of relaxed atomic bucket
+/// counters plus count/sum/max. Share behind an `Arc`; `record` never
+/// blocks and never allocates.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed atomics; safe from any thread).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters. Concurrent `record` calls may
+    /// or may not be included (each sample is atomic, the scan is not), so
+    /// a snapshot taken under load is approximate by one in-flight sample
+    /// per recording thread — fine for monitoring, documented here so
+    /// nobody builds an exactly-once pipeline on it.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// The serializable reporting side: dense bucket counts (trailing zero
+/// buckets trimmed) plus count/sum/max. Merging two snapshots and then
+/// extracting quantiles gives the quantiles of the combined sample set —
+/// the property the fleet router relies on.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket sample counts, bucket 0 first, trailing zeros trimmed.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (the non-atomic path, for tests and offline use).
+    pub fn record(&mut self, value: u64) {
+        let index = bucket_index(value);
+        if self.counts.len() <= index {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += 1;
+        self.count += 1;
+        // Wrapping, matching `AtomicHistogram`'s fetch_add: the sum is
+        // modular in the (infeasible) event total latency exceeds u64.
+        self.sum = self.sum.wrapping_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / total as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) by nearest rank: the reported value
+    /// is the upper bound of the bucket holding the rank-`⌈q·n⌉` sample,
+    /// so it is within one bucket width (≤ 12.5% relative) above the exact
+    /// order statistic and **monotone in `q`** by construction. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_representative(index);
+            }
+        }
+        bucket_representative(self.counts.len().saturating_sub(1))
+    }
+
+    /// Adds `other`'s samples into `self` (elementwise bucket sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A derived latency summary: the headline quantiles plus the full
+/// histogram they were read from, so downstream mergers can recompute
+/// them after combining backends.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// The underlying histogram (merge these, then re-derive quantiles).
+    pub hist: HistogramSnapshot,
+}
+
+impl LatencySummary {
+    /// Derives the summary quantiles from a histogram snapshot.
+    pub fn from_snapshot(hist: HistogramSnapshot) -> Self {
+        Self {
+            count: hist.count,
+            p50_ns: hist.quantile(0.50),
+            p95_ns: hist.quantile(0.95),
+            p99_ns: hist.quantile(0.99),
+            max_ns: hist.max,
+            mean_ns: hist.mean(),
+            hist,
+        }
+    }
+
+    /// Merges `other` into `self` at the histogram level and re-derives
+    /// the quantiles — the correct way to combine summaries from several
+    /// backends (never average quantiles).
+    pub fn merge(&mut self, other: &LatencySummary) {
+        let mut hist = std::mem::take(&mut self.hist);
+        hist.merge(&other.hist);
+        *self = LatencySummary::from_snapshot(hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_bounded() {
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|offset| (1u64 << shift).saturating_add(offset)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0;
+        for v in values {
+            let index = bucket_index(v);
+            assert!(index < NUM_BUCKETS, "v={v} index={index}");
+            assert!(index >= last, "index not monotone at v={v}");
+            last = index;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_partition_the_value_space() {
+        // Consecutive buckets tile [0, u64::MAX] with no gap or overlap.
+        for index in 0..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(index);
+            let (next_lo, _) = bucket_bounds(index + 1);
+            assert!(lo < hi, "bucket {index} empty: [{lo}, {hi})");
+            assert_eq!(hi, next_lo, "gap/overlap after bucket {index}");
+        }
+        let (_, top_hi) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(top_hi, u64::MAX);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for index in SUB_BUCKETS..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(index);
+            let width = hi - lo;
+            assert!(
+                (width as f64) <= lo as f64 / SUB_BUCKETS as f64 * 2.0,
+                "bucket {index} too wide: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_and_snapshot_recording_agree() {
+        let atomic = AtomicHistogram::new();
+        let mut direct = HistogramSnapshot::new();
+        for v in [0, 1, 7, 8, 9, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            atomic.record(v);
+            direct.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count, direct.count);
+        assert_eq!(snap.sum, direct.sum);
+        assert_eq!(snap.max, direct.max);
+        assert_eq!(snap.counts, direct.counts);
+        assert_eq!(atomic.count(), 10);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_exact_order_statistic() {
+        let mut h = HistogramSnapshot::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| i * i % 50_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            // Within one bucket: the reported value's bucket contains exact.
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(approx >= lo && approx < hi.max(lo + 1), "q={q}");
+        }
+        assert_eq!(h.quantile(1.0), {
+            let (_, hi) = bucket_bounds(bucket_index(*samples.last().unwrap()));
+            hi - 1
+        });
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = HistogramSnapshot::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let summary = LatencySummary::from_snapshot(h);
+        assert_eq!(summary.p95_ns, 0);
+        assert_eq!(summary.count, 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        let mut whole = HistogramSnapshot::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 10_000;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn summaries_merge_at_the_histogram_level() {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        // a holds small samples, b holds large ones: the merged p95 must
+        // come from the combined distribution, not an average of the two.
+        for _ in 0..100 {
+            a.record(100);
+            b.record(1_000_000);
+        }
+        let mut merged = LatencySummary::from_snapshot(a);
+        merged.merge(&LatencySummary::from_snapshot(b));
+        assert_eq!(merged.count, 200);
+        assert!(merged.p95_ns >= 1_000_000, "p95 {}", merged.p95_ns);
+        assert!(merged.p50_ns <= 127, "p50 {}", merged.p50_ns);
+        let roundtrip: LatencySummary =
+            serde_json::from_str(&serde_json::to_string(&merged).unwrap()).unwrap();
+        assert_eq!(roundtrip, merged);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_buckets() {
+        let mut h = HistogramSnapshot::new();
+        for v in [3, 900, 70_000, 5_000_000] {
+            h.record(v);
+        }
+        let back: HistogramSnapshot =
+            serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+}

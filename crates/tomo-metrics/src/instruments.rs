@@ -1,0 +1,156 @@
+//! Per-tenant serving instruments: the write-side bundle a registry entry
+//! carries so the dispatch path can record latencies and admission events
+//! without taking any lock beyond the work it already does.
+//!
+//! One [`Instruments`] lives inside each tenant entry (behind the entry's
+//! `Arc`, *outside* its mutexes): ingest and query latency go into
+//! [`AtomicHistogram`]s, admission-control events (shed batches, expired
+//! deadlines) into relaxed counters. [`Instruments::snapshot`] freezes the
+//! lot into a serializable [`InstrumentsSnapshot`] for the `Metrics`
+//! response.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{AtomicHistogram, LatencySummary};
+
+/// Lock-free per-tenant instruments (the recording side).
+#[derive(Debug, Default)]
+pub struct Instruments {
+    /// Per-batch session ingest latency (the `session.observe` fold).
+    ingest: AtomicHistogram,
+    /// Read-path latency (`Query` estimate reads and `Infer` calls).
+    query: AtomicHistogram,
+    /// Batches dropped by shed-oldest admission.
+    shed_batches: AtomicU64,
+    /// Intervals inside those dropped batches.
+    shed_intervals: AtomicU64,
+    /// Deadline-expired work discarded before execution (stale queued
+    /// batches dropped at drain + requests expired at dequeue).
+    timeouts: AtomicU64,
+}
+
+impl Instruments {
+    /// Fresh all-zero instruments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ingest fold taking `ns` nanoseconds.
+    pub fn record_ingest_ns(&self, ns: u64) {
+        self.ingest.record(ns);
+    }
+
+    /// Records one read-path call taking `ns` nanoseconds.
+    pub fn record_query_ns(&self, ns: u64) {
+        self.query.record(ns);
+    }
+
+    /// Records one batch of `intervals` intervals dropped by shed-oldest.
+    pub fn record_shed(&self, intervals: u64) {
+        self.shed_batches.fetch_add(1, Ordering::Relaxed);
+        self.shed_intervals.fetch_add(intervals, Ordering::Relaxed);
+    }
+
+    /// Records one piece of deadline-expired work discarded unexecuted.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batches dropped by shed-oldest so far.
+    pub fn shed_batches(&self) -> u64 {
+        self.shed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Deadline expiries so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the instruments into a serializable snapshot with derived
+    /// p50/p95/p99 summaries.
+    pub fn snapshot(&self) -> InstrumentsSnapshot {
+        InstrumentsSnapshot {
+            ingest: LatencySummary::from_snapshot(self.ingest.snapshot()),
+            query: LatencySummary::from_snapshot(self.query.snapshot()),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            shed_intervals: self.shed_intervals.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The serializable read side of [`Instruments`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentsSnapshot {
+    /// Ingest-fold latency summary.
+    pub ingest: LatencySummary,
+    /// Read-path latency summary.
+    pub query: LatencySummary,
+    /// Batches dropped by shed-oldest admission.
+    pub shed_batches: u64,
+    /// Intervals inside those dropped batches.
+    pub shed_intervals: u64,
+    /// Deadline-expired work discarded before execution.
+    pub timeouts: u64,
+}
+
+impl InstrumentsSnapshot {
+    /// Merges `other` into `self`: histograms merge elementwise (quantiles
+    /// re-derived), counters add.
+    pub fn merge(&mut self, other: &InstrumentsSnapshot) {
+        self.ingest.merge(&other.ingest);
+        self.query.merge(&other.query);
+        self.shed_batches += other.shed_batches;
+        self.shed_intervals += other.shed_intervals;
+        self.timeouts += other.timeouts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_snapshot_carries_all_counters() {
+        let ins = Instruments::new();
+        for ns in [1_000, 2_000, 4_000, 1_000_000] {
+            ins.record_ingest_ns(ns);
+        }
+        ins.record_query_ns(500);
+        ins.record_shed(7);
+        ins.record_shed(3);
+        ins.record_timeout();
+        let snap = ins.snapshot();
+        assert_eq!(snap.ingest.count, 4);
+        assert_eq!(snap.query.count, 1);
+        assert_eq!(snap.shed_batches, 2);
+        assert_eq!(snap.shed_intervals, 10);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(ins.shed_batches(), 2);
+        assert_eq!(ins.timeouts(), 1);
+        assert!(snap.ingest.p95_ns >= 1_000_000);
+        assert!(snap.ingest.p50_ns <= snap.ingest.p95_ns);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_rederives_quantiles() {
+        let a = Instruments::new();
+        let b = Instruments::new();
+        for _ in 0..50 {
+            a.record_ingest_ns(100);
+            b.record_ingest_ns(1_000_000);
+        }
+        a.record_shed(4);
+        b.record_timeout();
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.ingest.count, 100);
+        assert_eq!(merged.shed_batches, 1);
+        assert_eq!(merged.shed_intervals, 4);
+        assert_eq!(merged.timeouts, 1);
+        assert!(merged.ingest.p95_ns >= 1_000_000);
+        assert!(merged.ingest.p50_ns <= 127);
+    }
+}

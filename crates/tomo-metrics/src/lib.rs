@@ -9,14 +9,27 @@
 //!   the actual congestion probability of a link (or set of links) and the
 //!   inferred one — its mean over the potentially congested links, and its
 //!   CDF.
+//!
+//! Plus the **serving observability** layer the daemon records into on its
+//! hot path:
+//!
+//! * [`histogram`] — lock-free log-bucketed latency histograms
+//!   ([`AtomicHistogram`]) with serializable, mergeable snapshots and
+//!   p50/p95/p99 extraction ([`HistogramSnapshot`], [`LatencySummary`]);
+//! * [`instruments`] — the per-tenant bundle ([`Instruments`]) of latency
+//!   histograms and admission counters (sheds, deadline expiries).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cdf;
 pub mod error_stats;
+pub mod histogram;
 pub mod inference;
+pub mod instruments;
 
 pub use cdf::Cdf;
 pub use error_stats::{mean_absolute_error, AbsoluteErrorStats};
+pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencySummary};
 pub use inference::{detection_and_false_positive, InferenceScore, IntervalScore};
+pub use instruments::{Instruments, InstrumentsSnapshot};

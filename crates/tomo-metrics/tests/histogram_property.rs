@@ -1,0 +1,91 @@
+//! Property tests for the serving histograms: every recorded sample lands
+//! in a bucket whose range contains it, quantile extraction is monotone in
+//! `q` and bounded by the bucketing's relative error, and merging is
+//! equivalent to recording into one histogram.
+
+use proptest::prelude::*;
+use tomo_metrics::histogram::{bucket_bounds, bucket_index, NUM_BUCKETS};
+use tomo_metrics::HistogramSnapshot;
+
+/// Strategy: latency-like samples spanning ns to hours, plus edge values.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..100_000,
+        100_000u64..10_000_000_000,
+        Just(0u64),
+        Just(u64::MAX),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn samples_land_in_a_containing_bucket(v in sample()) {
+        let index = bucket_index(v);
+        prop_assert!(index < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(index);
+        prop_assert!(lo <= v, "bucket [{lo}, {hi}) misses {v} from below");
+        // The top bucket's bound saturates and also holds u64::MAX itself.
+        prop_assert!(v < hi || hi == u64::MAX, "bucket [{lo}, {hi}) misses {v} from above");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in proptest::collection::vec(sample(), 1..200)) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let extracted: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for pair in extracted.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {extracted:?}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_order_statistic(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = h.quantile(q);
+        // Nearest-rank over bucket upper bounds: never below the exact
+        // order statistic, and within the same bucket (≤ 12.5% relative).
+        prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(approx >= lo && approx <= hi, "q={q}: {approx} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn merging_matches_recording_into_one(
+        left in proptest::collection::vec(sample(), 0..100),
+        right in proptest::collection::vec(sample(), 0..100),
+    ) {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        let mut whole = HistogramSnapshot::new();
+        for &v in &left {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &whole);
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+}

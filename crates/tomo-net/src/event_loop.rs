@@ -31,7 +31,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -85,6 +85,56 @@ impl Default for NetConfig {
             max_write_buffer: 16 * 1024 * 1024,
             poll_timeout_ms: 200,
             drain_grace_ms: 1000,
+        }
+    }
+}
+
+/// Loop-level I/O counters, maintained with relaxed atomics on the I/O
+/// thread and readable from any thread. Obtain the shared handle with
+/// [`EventLoop::counters`] **before** [`EventLoop::run`] consumes the loop;
+/// the counters outlive the loop, so a metrics endpoint can keep reporting
+/// final totals while the daemon drains.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    lines_in: AtomicU64,
+    lines_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCountersSnapshot {
+    /// Connections accepted into the loop.
+    pub accepted: u64,
+    /// Connections rejected at the accept limit (`max_conns`).
+    pub rejected_overload: u64,
+    /// Complete request lines framed into the service.
+    pub lines_in: u64,
+    /// Response lines queued for writing.
+    pub lines_out: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl NetCounters {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads all counters (relaxed; each counter individually exact).
+    pub fn snapshot(&self) -> NetCountersSnapshot {
+        NetCountersSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            lines_in: self.lines_in.load(Ordering::Relaxed),
+            lines_out: self.lines_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -278,6 +328,7 @@ pub struct EventLoop {
     outbox: Arc<Outbox>,
     wake_rx: UnixStream,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
 }
 
 impl EventLoop {
@@ -299,6 +350,7 @@ impl EventLoop {
             }),
             wake_rx,
             shutdown,
+            counters: Arc::new(NetCounters::default()),
         })
     }
 
@@ -318,6 +370,12 @@ impl EventLoop {
     /// poll timeout (use [`Sender::shutdown`] to stop it immediately).
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
+    }
+
+    /// The loop's shared I/O counters. Clone the `Arc` before calling
+    /// [`EventLoop::run`] (which consumes the loop).
+    pub fn counters(&self) -> Arc<NetCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Runs the loop until shutdown. See the module docs for semantics.
@@ -454,6 +512,7 @@ impl EventLoop {
                         .max_conns
                         .is_some_and(|limit| slab.live >= limit);
                     if at_limit {
+                        NetCounters::add(&self.counters.rejected_overload, 1);
                         self.reject_overload(stream, service);
                         continue;
                     }
@@ -462,6 +521,7 @@ impl EventLoop {
                     }
                     let _ = stream.set_nodelay(true);
                     let id = slab.insert(stream);
+                    NetCounters::add(&self.counters.accepted, 1);
                     service.on_open(id, peer);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -497,6 +557,7 @@ impl EventLoop {
         }
         conn.write.extend_from_slice(line.as_bytes());
         conn.write.extend_from_slice(b"\n");
+        NetCounters::add(&self.counters.lines_out, 1);
         if close_after {
             conn.closing = true;
         }
@@ -515,7 +576,10 @@ impl EventLoop {
                     ..
                 } = conn;
                 match write.write_to(stream) {
-                    Ok(_) => write.is_empty() && *closing,
+                    Ok(n) => {
+                        NetCounters::add(&self.counters.bytes_out, n as u64);
+                        write.is_empty() && *closing
+                    }
                     Err(_) => true,
                 }
             }
@@ -546,30 +610,34 @@ impl EventLoop {
             };
             match read {
                 Ok(0) => return false,
-                Ok(_) => loop {
-                    let line = match slab.get(id) {
-                        Some(conn) => {
-                            if conn.closing {
-                                return true;
-                            }
-                            let Conn {
-                                read, scan_from, ..
-                            } = conn;
-                            match read.take_line(scan_from) {
-                                Some(line) => line,
-                                None => {
-                                    if read.len() > self.config.max_line_bytes {
-                                        return false;
+                Ok(n) => {
+                    NetCounters::add(&self.counters.bytes_in, n as u64);
+                    loop {
+                        let line = match slab.get(id) {
+                            Some(conn) => {
+                                if conn.closing {
+                                    return true;
+                                }
+                                let Conn {
+                                    read, scan_from, ..
+                                } = conn;
+                                match read.take_line(scan_from) {
+                                    Some(line) => line,
+                                    None => {
+                                        if read.len() > self.config.max_line_bytes {
+                                            return false;
+                                        }
+                                        break;
                                     }
-                                    break;
                                 }
                             }
-                        }
-                        None => return true,
-                    };
-                    let text = String::from_utf8_lossy(&line).into_owned();
-                    service.on_line(id, text);
-                },
+                            None => return true,
+                        };
+                        let text = String::from_utf8_lossy(&line).into_owned();
+                        NetCounters::add(&self.counters.lines_in, 1);
+                        service.on_line(id, text);
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return false,

@@ -33,6 +33,8 @@ pub mod event_loop;
 pub mod ring;
 pub mod sys;
 
-pub use event_loop::{ConnId, EventLoop, NetConfig, Sender, Service};
+pub use event_loop::{
+    ConnId, EventLoop, NetConfig, NetCounters, NetCountersSnapshot, Sender, Service,
+};
 pub use ring::ByteRing;
 pub use sys::raise_nofile_limit;

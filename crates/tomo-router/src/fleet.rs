@@ -16,7 +16,9 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use tomo_serve::protocol::{FleetStats, Response, ResponseEnvelope, TenantSummary};
+use tomo_serve::protocol::{
+    FleetStats, MetricsReport, NetMetrics, Response, ResponseEnvelope, TenantMetrics, TenantSummary,
+};
 
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
@@ -154,6 +156,8 @@ pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
         shards: 0,
         total_ingested: 0,
         busy_rejections: 0,
+        shed_batches: 0,
+        timeouts: 0,
         refits: Default::default(),
         live_connections: 0,
         per_tenant: Vec::new(),
@@ -163,6 +167,8 @@ pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
         merged.shards += part.shards;
         merged.total_ingested += part.total_ingested;
         merged.busy_rejections += part.busy_rejections;
+        merged.shed_batches += part.shed_batches;
+        merged.timeouts += part.timeouts;
         merged.refits.incremental += part.refits.incremental;
         merged.refits.full += part.refits.full;
         merged.refits.basis_rebuilds += part.refits.basis_rebuilds;
@@ -170,6 +176,58 @@ pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
         merged.per_tenant.extend(part.per_tenant.iter().cloned());
     }
     merged.per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    merged
+}
+
+/// Merges per-backend [`MetricsReport`]s into the fleet-wide view: totals
+/// and network counters sum, per-tenant rows concatenate sorted by tenant
+/// id. Tenants are disjoint across backends by construction (the ring
+/// assigns each to one owner), but a row collision — e.g. mid-rebalance —
+/// is merged **histogram-wise** (bucket counts add, quantiles re-derived),
+/// never by averaging quantiles, which would be statistically meaningless.
+pub fn merge_metrics(parts: &[MetricsReport]) -> MetricsReport {
+    let mut merged = MetricsReport {
+        total_intervals: 0,
+        busy_rejections: 0,
+        shed_batches: 0,
+        timeouts: 0,
+        net: None,
+        per_tenant: Vec::new(),
+    };
+    let mut rows: Vec<TenantMetrics> = Vec::new();
+    for part in parts {
+        merged.total_intervals += part.total_intervals;
+        merged.busy_rejections += part.busy_rejections;
+        merged.shed_batches += part.shed_batches;
+        merged.timeouts += part.timeouts;
+        if let Some(part_net) = part.net {
+            let net = merged.net.get_or_insert_with(NetMetrics::default);
+            net.accepted += part_net.accepted;
+            net.rejected_overload += part_net.rejected_overload;
+            net.lines_in += part_net.lines_in;
+            net.lines_out += part_net.lines_out;
+            net.bytes_in += part_net.bytes_in;
+            net.bytes_out += part_net.bytes_out;
+        }
+        for row in &part.per_tenant {
+            match rows.iter_mut().find(|r| r.tenant == row.tenant) {
+                Some(existing) => {
+                    existing.ingested_intervals += row.ingested_intervals;
+                    existing.queue_depth += row.queue_depth;
+                    existing.queue_bound = existing.queue_bound.max(row.queue_bound);
+                    existing.busy_rejections += row.busy_rejections;
+                    existing.shed_batches += row.shed_batches;
+                    existing.shed_intervals += row.shed_intervals;
+                    existing.timeouts += row.timeouts;
+                    existing.ingest.merge(&row.ingest);
+                    existing.query.merge(&row.query);
+                }
+                None => rows.push(row.clone()),
+            }
+        }
+    }
+    rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    merged.per_tenant = rows;
     merged
 }
 
@@ -209,6 +267,8 @@ mod tests {
             shards: 8,
             total_ingested: 100,
             busy_rejections: 3,
+            shed_batches: 2,
+            timeouts: 1,
             refits: Default::default(),
             live_connections: 5,
             per_tenant: vec![
@@ -229,6 +289,8 @@ mod tests {
             shards: 8,
             total_ingested: 50,
             busy_rejections: 1,
+            shed_batches: 1,
+            timeouts: 4,
             refits: Default::default(),
             live_connections: 4,
             per_tenant: vec![TenantLoad {
@@ -242,6 +304,8 @@ mod tests {
         assert_eq!(merged.shards, 16);
         assert_eq!(merged.total_ingested, 150);
         assert_eq!(merged.busy_rejections, 4);
+        assert_eq!(merged.shed_batches, 3);
+        assert_eq!(merged.timeouts, 5);
         assert_eq!(merged.live_connections, 9);
         let names: Vec<&str> = merged
             .per_tenant
@@ -249,6 +313,76 @@ mod tests {
             .map(|t| t.tenant.as_str())
             .collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn metrics_merge_sums_totals_and_rederives_quantiles() {
+        use tomo_metrics::{HistogramSnapshot, LatencySummary};
+
+        let summary = |samples: &[u64]| {
+            let mut hist = HistogramSnapshot::new();
+            for &s in samples {
+                hist.record(s);
+            }
+            LatencySummary::from_snapshot(hist)
+        };
+        let row = |tenant: &str, intervals: u64, samples: &[u64]| TenantMetrics {
+            tenant: tenant.into(),
+            ingested_intervals: intervals,
+            queue_depth: 1,
+            queue_bound: 64,
+            admission: Default::default(),
+            busy_rejections: 0,
+            shed_batches: 0,
+            shed_intervals: 0,
+            timeouts: 0,
+            ingest: summary(samples),
+            query: LatencySummary::default(),
+        };
+        let a = MetricsReport {
+            total_intervals: 100,
+            busy_rejections: 2,
+            shed_batches: 1,
+            timeouts: 0,
+            net: Some(NetMetrics {
+                accepted: 5,
+                ..NetMetrics::default()
+            }),
+            per_tenant: vec![row("zeta", 60, &[1_000, 2_000]), row("alpha", 40, &[500])],
+        };
+        let b = MetricsReport {
+            total_intervals: 50,
+            busy_rejections: 1,
+            shed_batches: 0,
+            timeouts: 3,
+            net: Some(NetMetrics {
+                accepted: 7,
+                ..NetMetrics::default()
+            }),
+            // Same tenant as backend `a` (mid-rebalance): histograms must
+            // combine, not average.
+            per_tenant: vec![row("zeta", 50, &[1_000_000])],
+        };
+        let merged = merge_metrics(&[a, b]);
+        assert_eq!(merged.total_intervals, 150);
+        assert_eq!(merged.busy_rejections, 3);
+        assert_eq!(merged.shed_batches, 1);
+        assert_eq!(merged.timeouts, 3);
+        assert_eq!(merged.net.unwrap().accepted, 12);
+        let names: Vec<&str> = merged
+            .per_tenant
+            .iter()
+            .map(|t| t.tenant.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        let zeta = &merged.per_tenant[1];
+        assert_eq!(zeta.ingested_intervals, 110);
+        assert_eq!(zeta.ingest.count, 3);
+        // Re-derived from the combined histogram: the p99 reflects the
+        // 1ms outlier from backend `b`, which quantile-averaging would
+        // have hidden.
+        assert!(zeta.ingest.p99_ns >= 1_000_000, "{}", zeta.ingest.p99_ns);
+        assert!(zeta.ingest.p50_ns <= 3_000, "{}", zeta.ingest.p50_ns);
     }
 
     #[test]

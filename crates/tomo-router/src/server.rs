@@ -8,8 +8,10 @@
 //! * tenant-scoped requests go to the backend owning the tenant on the
 //!   consistent-hash ring, over a pooled connection, and the backend's
 //!   response line is forwarded to the client verbatim;
-//! * fleet-level requests (`ListTenants`, `FleetStats`, `SnapshotAll`) fan
-//!   out to every backend and the responses are merged;
+//! * fleet-level requests (`ListTenants`, `FleetStats`, `Metrics`,
+//!   `SnapshotAll`) fan out to every backend and the responses are merged
+//!   (metrics histograms merge bucket-wise, so fleet quantiles are exact,
+//!   not averaged);
 //! * `Shutdown` fans out to every backend, answers `Bye`, then stops the
 //!   router itself.
 //!
@@ -33,7 +35,7 @@ use tomo_serve::protocol::{
 };
 use tomo_sweep::WorkerPool;
 
-use crate::fleet::{merge_fleet_stats, merge_tenant_lists, response_of, Fleet};
+use crate::fleet::{merge_fleet_stats, merge_metrics, merge_tenant_lists, response_of, Fleet};
 
 /// The router daemon: event loop + fleet + worker pool.
 pub struct Router {
@@ -250,14 +252,22 @@ fn route_line(
         Ok(envelope) => envelope,
         Err(error_response) => return RouteOutcome::reply(*error_response, None, attached),
     };
-    let RequestEnvelope { tenant, req, .. } = envelope;
+    let RequestEnvelope {
+        tenant,
+        deadline_ms,
+        req,
+        ..
+    } = envelope;
 
-    // Fleet-level requests: fan out and merge.
+    // Fleet-level requests: fan out and merge. The client's deadline is
+    // not forwarded on fan-outs — a partial fleet answer is worse than a
+    // slightly late merged one.
     match &req {
-        Request::ListTenants | Request::FleetStats | Request::SnapshotAll => {
+        Request::ListTenants | Request::FleetStats | Request::Metrics | Request::SnapshotAll => {
             let forward = encode(&RequestEnvelope {
                 v: PROTOCOL_VERSION,
                 tenant: None,
+                deadline_ms: None,
                 req: req.clone(),
             });
             let results = fleet.fan_out(&forward);
@@ -287,6 +297,7 @@ fn route_line(
             let forward = encode(&RequestEnvelope {
                 v: PROTOCOL_VERSION,
                 tenant: None,
+                deadline_ms: None,
                 req: Request::Shutdown,
             });
             for (backend, result) in fleet.fan_out(&forward) {
@@ -322,9 +333,14 @@ fn route_line(
             attached,
         );
     };
+    // Tenant-scoped forwards keep the client's deadline: the backend
+    // restarts the clock from its own enqueue time, so router transit
+    // isn't charged against it, but a request stuck in a backend queue
+    // still times out there.
     let forward = encode(&RequestEnvelope {
         v: PROTOCOL_VERSION,
         tenant: Some(tenant.clone()),
+        deadline_ms,
         req: req.clone(),
     });
     let response_line = match fleet.call(&owner, &forward) {
@@ -395,6 +411,21 @@ fn merge_backend_responses(req: &Request, responses: Vec<Response>) -> Response 
                 }
             }
             Response::Fleet(merge_fleet_stats(&parts))
+        }
+        Request::Metrics => {
+            let mut parts = Vec::with_capacity(responses.len());
+            for resp in responses {
+                match resp {
+                    Response::Metrics(report) => parts.push(report),
+                    other => {
+                        return Response::error(
+                            ErrorKind::Internal,
+                            format!("unexpected backend response {other:?}"),
+                        )
+                    }
+                }
+            }
+            Response::Metrics(merge_metrics(&parts))
         }
         Request::SnapshotAll => {
             let mut paths = Vec::new();

@@ -307,6 +307,100 @@ fn busy_flush_retry_flows_through_the_router() {
     h1.join().unwrap();
 }
 
+/// The observability contract through the router: `Metrics` fans out and
+/// merges such that the router-reported ingest total equals the sum of
+/// what each backend reports directly (the CI merge-consistency
+/// invariant), per-tenant histogram rows survive the merge, and a
+/// tenant-scoped request's `deadline_ms` is forwarded to the owning
+/// backend where it produces the same typed `Timeout`.
+#[test]
+fn metrics_merge_through_the_router_is_consistent_with_backends() {
+    let (b1, h1) = start_backend(RegistryConfig::default(), 3);
+    let (b2, h2) = start_backend(RegistryConfig::default(), 3);
+    let backends = vec![b1.clone(), b2.clone()];
+    let (router_addr, router_handle) = start_router(&backends);
+
+    let fleet_view = Fleet::new(&backends, DEFAULT_VNODES);
+    let tenants: Vec<String> = (0..8).map(|i| format!("obs-{i}")).collect();
+    let owners: std::collections::HashSet<&str> = tenants
+        .iter()
+        .map(|t| fleet_view.owner_of(t).unwrap())
+        .collect();
+    assert_eq!(owners.len(), 2, "placement degenerate");
+
+    let stream = stream_for("toy", 0, 60);
+    for tenant in &tenants {
+        let mut client = Client::connect(&router_addr).unwrap();
+        client
+            .create_tenant(tenant.clone(), "toy", 0, "independence", None, None)
+            .unwrap();
+        for chunk in stream.chunks(20) {
+            while !client.observe_batch(chunk.to_vec()).unwrap() {
+                client.flush().unwrap();
+            }
+        }
+        assert_eq!(client.flush().unwrap(), 60);
+        client.query().unwrap();
+    }
+
+    // Each backend's own report, fetched directly.
+    let mut backend_total = 0u64;
+    let mut backend_rows = 0usize;
+    for backend in &backends {
+        let report = Client::connect(backend).unwrap().metrics().unwrap();
+        assert!(report.total_intervals > 0, "{backend} ingested nothing");
+        backend_total += report.total_intervals;
+        backend_rows += report.per_tenant.len();
+    }
+    assert_eq!(backend_total, 60 * tenants.len() as u64);
+
+    // The router-merged report must agree exactly.
+    let mut admin = Client::connect(&router_addr).unwrap();
+    let merged = admin.metrics().unwrap();
+    assert_eq!(merged.total_intervals, backend_total);
+    assert_eq!(merged.per_tenant.len(), backend_rows);
+    let names: Vec<&str> = merged
+        .per_tenant
+        .iter()
+        .map(|t| t.tenant.as_str())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "merged rows must arrive sorted");
+    for row in &merged.per_tenant {
+        assert_eq!(row.ingested_intervals, 60, "{}", row.tenant);
+        assert!(row.ingest.count >= 1, "{}", row.tenant);
+        assert!(row.ingest.p50_ns > 0 && row.ingest.p50_ns <= row.ingest.p99_ns);
+        assert_eq!(row.query.count, 1, "{}", row.tenant);
+    }
+    // Both backends contributed their network counters to the merged view.
+    let net = merged.net.expect("merged net counters");
+    assert!(net.accepted >= 2, "{net:?}");
+    assert!(net.lines_in > 0 && net.lines_out > 0, "{net:?}");
+
+    // A deadline on a tenant-scoped request survives the forward: the
+    // owning backend, not the router, answers the typed Timeout.
+    let mut impatient = Client::connect(&router_addr).unwrap();
+    impatient.set_tenant(tenants[0].clone());
+    impatient.set_deadline_ms(Some(0));
+    match impatient.call(&Request::Query).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+        other => panic!("expected Timeout through the router, got {other:?}"),
+    }
+    impatient.set_deadline_ms(None);
+    assert_eq!(impatient.query().unwrap().intervals, 60);
+    let after = admin.metrics().unwrap();
+    assert_eq!(after.timeouts, 1);
+
+    assert!(matches!(
+        admin.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    router_handle.join().unwrap();
+    h1.join().unwrap();
+    h2.join().unwrap();
+}
+
 /// Growing the fleet: rebalance moves exactly the tenants whose ring owner
 /// changed — via snapshot-file handoff — and their estimates survive the
 /// move to snapshot precision. Rerunning rebalance is a no-op.

@@ -13,6 +13,7 @@
 //!                     [--tenant swarm] [--create] [--topology toy] [--seed N]
 //!                     [--scenario drifting-loss] [--intervals 200] [--batch 10]
 //!                     [--estimator independence] [--shutdown]
+//! probe-client metrics [--addr 127.0.0.1:7070] [--shutdown]
 //! ```
 //!
 //! `gen` simulates a congestion scenario and records the per-interval
@@ -37,8 +38,15 @@
 //! (`NAME-hot-K`) and stream a generated scenario into it, absorbing
 //! `Busy` via `Flush`+retry. Every connection is held for the whole run
 //! (one connection per tenant, never reconnect-per-batch). The summary
-//! line reports ingest throughput and monitor-query latency quantiles, and
-//! the exit code checks every hot tenant ingested the full stream.
+//! line reports ingest throughput and monitor-query latency quantiles
+//! alongside the **server-reported** dispatch quantiles from the daemon's
+//! own histograms, so queue+network skew between what the client measures
+//! and what the server executes is visible at a glance. The exit code
+//! checks every hot tenant ingested the full stream.
+//!
+//! `metrics` fetches the fleet `Metrics` report and prints it as one JSON
+//! line (machine-readable; CI parses it to assert counters are non-zero
+//! and merge-consistent through the router).
 
 use std::process::exit;
 
@@ -64,6 +72,7 @@ fn usage() -> ! {
          \x20                      [--tenant PREFIX] [--create] [--topology NAME] [--seed N]\n\
          \x20                      [--scenario NAME] [--intervals N] [--batch N]\n\
          \x20                      [--estimator NAME] [--shutdown]\n\
+         \x20      probe-client metrics [--addr HOST:PORT] [--shutdown]\n\
          scenarios: random, concentrated, no-independence, no-stationarity,\n\
          \x20           sparse, drifting-loss, correlation-churn"
     );
@@ -492,8 +501,55 @@ fn swarm(o: &Options) -> Result<(), TomoError> {
         quantile_ms(&latencies_ns, 0.95),
     );
 
+    // The server's own view of the same queries: merged dispatch-latency
+    // histograms across the hot tenants. Client wall-clock minus these is
+    // connection-queue + network skew. Best-effort — an endpoint that
+    // predates the `Metrics` request just skips the line.
+    match hot_clients[0].metrics() {
+        Ok(report) => {
+            let prefix = format!("{}-hot-", o.tenant);
+            let mut server_query: Option<tomo_metrics::LatencySummary> = None;
+            for row in &report.per_tenant {
+                if !row.tenant.starts_with(&prefix) {
+                    continue;
+                }
+                match &mut server_query {
+                    Some(acc) => acc.merge(&row.query),
+                    None => server_query = Some(row.query.clone()),
+                }
+            }
+            if let Some(sq) = server_query {
+                println!(
+                    "swarm-server: query_p50_ms={:.3} query_p95_ms={:.3} query_p99_ms={:.3} \
+                     count={} (daemon dispatch histograms; client minus server = queue+net skew)",
+                    sq.p50_ns as f64 / 1e6,
+                    sq.p95_ns as f64 / 1e6,
+                    sq.p99_ns as f64 / 1e6,
+                    sq.count,
+                );
+            }
+        }
+        Err(e) => eprintln!("swarm: endpoint did not answer Metrics ({e}); skipping server view"),
+    }
+
     if o.shutdown {
         let _ = hot_clients[0].call(&Request::Shutdown)?;
+        eprintln!("daemon asked to shut down");
+    }
+    Ok(())
+}
+
+/// Fetches the fleet `Metrics` report and prints it as one JSON line.
+fn metrics(o: &Options) -> Result<(), TomoError> {
+    let mut client = Client::connect(&o.addr)?;
+    let report = client.metrics()?;
+    println!(
+        "{}",
+        serde_json::to_string(&report)
+            .map_err(|e| TomoError::InvalidConfig(format!("cannot encode metrics: {e}")))?
+    );
+    if o.shutdown {
+        let _ = client.call(&Request::Shutdown)?;
         eprintln!("daemon asked to shut down");
     }
     Ok(())
@@ -516,6 +572,12 @@ fn main() {
         "swarm" => {
             if let Err(e) = swarm(&o) {
                 eprintln!("swarm failed: {e}");
+                exit(1);
+            }
+        }
+        "metrics" => {
+            if let Err(e) = metrics(&o) {
+                eprintln!("metrics failed: {e}");
                 exit(1);
             }
         }

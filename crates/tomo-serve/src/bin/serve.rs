@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7070] [--threads 8] [--max-conns N]
-//!       [--shards 8] [--queue-bound 64]
+//!       [--shards 8] [--queue-bound 64] [--admission busy|shed-oldest]
 //!       [--snapshot-dir DIR] [--snapshot-every N] [--restore]
 //!       [--tenant NAME:TOPOLOGY[:SEED]]...
 //!       [--topology toy|brite-tiny|sparse-tiny] [--topology-file net.json]
@@ -24,6 +24,7 @@ use std::process::exit;
 use std::sync::Arc;
 
 use tomo_core::{SessionConfig, TomographySession};
+use tomo_serve::protocol::AdmissionPolicy;
 use tomo_serve::{EngineRegistry, RegistryConfig, Server, TenantId};
 
 struct Args {
@@ -32,6 +33,7 @@ struct Args {
     max_conns: Option<usize>,
     shards: usize,
     queue_bound: usize,
+    admission: AdmissionPolicy,
     snapshot_dir: Option<String>,
     snapshot_every: Option<u64>,
     restore: bool,
@@ -47,6 +49,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--threads N] [--max-conns N] [--shards N] [--queue-bound N]\n\
+         \x20            [--admission busy|shed-oldest]\n\
          \x20            [--snapshot-dir DIR] [--snapshot-every N] [--restore]\n\
          \x20            [--tenant NAME:TOPOLOGY[:SEED]]...\n\
          \x20            [--topology toy|brite-tiny|sparse-tiny] [--topology-file PATH]\n\
@@ -62,6 +65,7 @@ fn parse_args() -> Args {
         max_conns: None,
         shards: 8,
         queue_bound: 64,
+        admission: AdmissionPolicy::Busy,
         snapshot_dir: None,
         snapshot_every: None,
         restore: false,
@@ -88,6 +92,12 @@ fn parse_args() -> Args {
             }
             "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--queue-bound" => args.queue_bound = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--admission" => {
+                args.admission = value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--snapshot-dir" => args.snapshot_dir = Some(value(&mut i)),
             "--snapshot-every" => {
                 args.snapshot_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
@@ -193,6 +203,7 @@ fn main() {
     let registry = Arc::new(EngineRegistry::new(RegistryConfig {
         num_shards: args.shards,
         queue_bound: args.queue_bound,
+        default_admission: args.admission,
         snapshot_dir: args.snapshot_dir.clone(),
         snapshot_every: args.snapshot_every,
     }));
@@ -259,8 +270,8 @@ fn main() {
         .map_or("unlimited".to_string(), |n| n.to_string());
     eprintln!(
         "tomo-serve v2 listening on {addr} ({tenants} tenant(s), {shards} shard(s), \
-         queue bound {}, {} worker(s), max conns {limit})",
-        args.queue_bound, args.threads
+         queue bound {}, admission {:?}, {} worker(s), max conns {limit})",
+        args.queue_bound, args.admission, args.threads
     );
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");

@@ -7,20 +7,25 @@
 //! *envelope* naming the tenant it addresses:
 //!
 //! ```text
-//! request-line  = {"v": 2, "tenant": "as-7018", "req": REQUEST}
+//! request-line  = {"v": 2, "tenant": "as-7018", "deadline_ms": n?, "req": REQUEST}
 //! response-line = {"v": 2, "tenant": "as-7018", "resp": RESPONSE}
 //! ```
 //!
 //! `tenant` may be omitted after an `Attach` bound the connection to a
 //! default tenant, and is ignored by the fleet-level requests
-//! (`ListTenants`, `FleetStats`, `SnapshotAll`, `Shutdown`). The request
-//! grammar (externally tagged, as rendered by the serde shim):
+//! (`ListTenants`, `FleetStats`, `Metrics`, `SnapshotAll`, `Shutdown`).
+//! `deadline_ms` is an optional per-request deadline: if the request is
+//! still queued when the deadline expires, it is answered with
+//! `Error{kind: Timeout}` **without being executed** (checked at dequeue,
+//! so stale work never reaches the session). The request grammar
+//! (externally tagged, as rendered by the serde shim):
 //!
 //! ```text
 //! REQUEST = lifecycle | ingest | query | fleet
 //! lifecycle:
 //!   {"Create": {"topology": "toy|brite-tiny|sparse-tiny", "seed": n?,
-//!               "estimator": name?, "window": n?, "decay": f?, "options": {...}?}}
+//!               "estimator": name?, "window": n?, "decay": f?, "options": {...}?,
+//!               "admission": "Busy"|"ShedOldest"?}}
 //!   "Attach"                      bind the connection's default tenant
 //!   "Drop"                        remove the tenant (final snapshot written)
 //! ingest:
@@ -31,7 +36,7 @@
 //!   "Query"   {"Infer": {"congested": [...]}}   "Stats"   "Snapshot"
 //!   {"Restore": {"snapshot": "<SessionSnapshot JSON>"}}   create-from-snapshot
 //! fleet:
-//!   "ListTenants"   "FleetStats"   "SnapshotAll"   "Shutdown"
+//!   "ListTenants"   "FleetStats"   "Metrics"   "SnapshotAll"   "Shutdown"
 //!
 //! RESPONSE = {"Created": {"links": n, "paths": n}}
 //!          | {"Attached": {"links": n, "paths": n}}
@@ -42,13 +47,15 @@
 //!          | {"Estimate": {"probabilities": [...], "identifiable": [...], "intervals": n}}
 //!          | {"Inferred": {"links": [...]}}
 //!          | {"Stats": {...}} | {"Fleet": {...}} | {"Tenants": {"tenants": [...]}}
+//!          | {"Metrics": {...}}                  see [`MetricsReport`]
 //!          | {"Snapshotted": {"path": "..."}}
 //!          | {"Restored": {"links": n, "paths": n, "intervals": n}}
 //!          | {"Error": {"kind": KIND, "message": "..."}}
 //!          | "Bye"
 //!
 //! KIND = "UnsupportedVersion" | "UnknownTenant" | "TenantExists"
-//!      | "InvalidRequest" | "Unsupported" | "Overloaded" | "Internal"
+//!      | "InvalidRequest" | "Unsupported" | "Overloaded" | "Timeout"
+//!      | "Internal"
 //! ```
 //!
 //! **Overload.** A daemon started with `--max-conns N` answers the
@@ -69,6 +76,23 @@
 //! clients should `Flush` (or back off) and retry. `Flush` is the barrier
 //! that makes a following `Query` reflect everything previously accepted.
 //!
+//! **Admission policy.** A tenant created with
+//! `"admission": "ShedOldest"` (or under a daemon started with
+//! `--admission shed-oldest`) trades completeness for freshness: when its
+//! ingest queue is full, the **oldest queued batch is dropped** to make
+//! room and the new batch is `Accepted` — the response shape never changes,
+//! and the drops are visible as `shed_batches`/`shed_intervals` in `Stats`
+//! and `Metrics`. The default policy (`Busy`) keeps every accepted batch
+//! and pushes the retry burden onto the client.
+//!
+//! **Observability.** `Metrics` (fleet-level) returns a [`MetricsReport`]:
+//! per-tenant log-bucketed ingest/query latency histograms with derived
+//! p50/p95/p99, queue depth and bound, and the admission counters
+//! (busy/shed/timeout). The histograms are mergeable — the fleet router
+//! fans `Metrics` out to every backend, merges the histograms bucketwise
+//! and re-derives the quantiles, so fleet-level percentiles are exact with
+//! respect to the bucketing (never an average of per-backend percentiles).
+//!
 //! **Migration from v1.** The v1 protocol (PR 3) had no envelope, a single
 //! implicit topology and synchronous `Ack` responses carrying the refit
 //! kind. A v1 line (any JSON without a `"v"` field, e.g. `"Query"` or
@@ -83,9 +107,38 @@
 use serde::{Deserialize, Serialize};
 use tomo_core::online::RefitCounts;
 use tomo_core::{EstimatorOptions, SessionEstimate, SessionStats, TomoError};
+use tomo_metrics::LatencySummary;
 
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 2;
+
+/// What a tenant's ingest queue does when it is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the new batch with `Busy`; every accepted batch is kept
+    /// (completeness over freshness). The default.
+    #[default]
+    Busy,
+    /// Drop the **oldest queued batch** to make room and accept the new
+    /// one (freshness over completeness); drops are counted as
+    /// `shed_batches`/`shed_intervals`.
+    ShedOldest,
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = TomoError;
+
+    /// Parses the CLI spelling (`busy` / `shed-oldest`).
+    fn from_str(s: &str) -> Result<Self, TomoError> {
+        match s {
+            "busy" => Ok(AdmissionPolicy::Busy),
+            "shed-oldest" => Ok(AdmissionPolicy::ShedOldest),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unknown admission policy `{other}` (expected `busy` or `shed-oldest`)"
+            ))),
+        }
+    }
+}
 
 /// One client request (the `req` field of a request envelope).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -105,6 +158,9 @@ pub enum Request {
         decay: Option<f64>,
         /// Estimator construction options (default all-default).
         options: Option<EstimatorOptions>,
+        /// Full-queue admission policy (default: the daemon's
+        /// `--admission` setting, itself defaulting to `Busy`).
+        admission: Option<AdmissionPolicy>,
     },
     /// Bind the envelope's tenant as this connection's default tenant, so
     /// subsequent requests may omit the `tenant` field.
@@ -147,6 +203,9 @@ pub enum Request {
     ListTenants,
     /// Fetch daemon-wide statistics (fleet-level).
     FleetStats,
+    /// Fetch the observability report (fleet-level): per-tenant latency
+    /// histograms with p50/p95/p99, queue depths, admission counters.
+    Metrics,
     /// Snapshot every tenant (fleet-level).
     SnapshotAll,
     /// Stop the daemon; all tenants are snapshotted when configured.
@@ -172,6 +231,10 @@ pub enum ErrorKind {
     /// a rejected connection before it is closed. Retry later or on
     /// another backend.
     Overloaded,
+    /// The request's `deadline_ms` expired while it was still queued; it
+    /// was discarded without being executed. Retry with a larger deadline
+    /// or treat the result as stale.
+    Timeout,
     /// The daemon failed internally (I/O, serialization).
     Internal,
 }
@@ -189,6 +252,12 @@ pub struct TenantStats {
     pub queue_bound: usize,
     /// Observe requests rejected with `Busy` so far.
     pub busy_rejections: u64,
+    /// Queued batches dropped by shed-oldest admission.
+    pub shed_batches: u64,
+    /// Intervals inside those dropped batches.
+    pub shed_intervals: u64,
+    /// Deadline-expired work discarded before execution.
+    pub timeouts: u64,
     /// Ingest batches that failed after being accepted (internal errors).
     pub ingest_errors: u64,
     /// Snapshot files written for this tenant.
@@ -234,12 +303,86 @@ pub struct FleetStats {
     pub total_ingested: u64,
     /// `Busy` rejections across all tenants.
     pub busy_rejections: u64,
+    /// Batches dropped by shed-oldest admission across all tenants.
+    pub shed_batches: u64,
+    /// Deadline expiries across all tenants.
+    pub timeouts: u64,
     /// Aggregate refit counters across all tenants.
     pub refits: RefitCounts,
     /// Connections currently open on this daemon.
     pub live_connections: u64,
     /// Per-tenant load rows, sorted by tenant id.
     pub per_tenant: Vec<TenantLoad>,
+}
+
+/// One row of [`MetricsReport`]: everything the observability layer knows
+/// about one tenant.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// The tenant id.
+    pub tenant: String,
+    /// Lifetime intervals folded into the session (survives restore).
+    pub ingested_intervals: u64,
+    /// Observe batches currently queued (not yet ingested).
+    pub queue_depth: usize,
+    /// The ingest-queue bound.
+    pub queue_bound: usize,
+    /// The tenant's full-queue admission policy.
+    pub admission: AdmissionPolicy,
+    /// Observe requests rejected with `Busy`.
+    pub busy_rejections: u64,
+    /// Queued batches dropped by shed-oldest admission.
+    pub shed_batches: u64,
+    /// Intervals inside those dropped batches.
+    pub shed_intervals: u64,
+    /// Deadline-expired work discarded before execution.
+    pub timeouts: u64,
+    /// Ingest-fold latency (per batch), with p50/p95/p99 and the full
+    /// mergeable histogram.
+    pub ingest: LatencySummary,
+    /// Read-path latency (`Query`/`Infer`), same shape.
+    pub query: LatencySummary,
+}
+
+/// Connection-layer I/O totals of one daemon (from the `tomo-net` event
+/// loop). Absent when the registry is queried without a network front end
+/// (e.g. in-process tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetMetrics {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections rejected at the accept limit.
+    pub rejected_overload: u64,
+    /// Request lines framed in.
+    pub lines_in: u64,
+    /// Response lines queued out.
+    pub lines_out: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+/// The observability report returned by [`Request::Metrics`]. Reports from
+/// several backends merge: counters add, histograms merge bucketwise with
+/// quantiles re-derived (`sum of backend ingested_intervals == merged
+/// total_intervals` is the invariant CI checks through the router).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Lifetime intervals ingested across all tenants (= the sum of the
+    /// per-tenant `ingested_intervals`).
+    pub total_intervals: u64,
+    /// `Busy` rejections across all tenants.
+    pub busy_rejections: u64,
+    /// Shed batches across all tenants.
+    pub shed_batches: u64,
+    /// Deadline expiries across all tenants.
+    pub timeouts: u64,
+    /// Connection-layer totals (absent without a network front end; a
+    /// router merge sums the backends that reported one).
+    pub net: Option<NetMetrics>,
+    /// Per-tenant rows, sorted by tenant id.
+    pub per_tenant: Vec<TenantMetrics>,
 }
 
 /// One daemon response (the `resp` field of a response envelope).
@@ -296,6 +439,8 @@ pub enum Response {
     Stats(TenantStats),
     /// Daemon-wide statistics.
     Fleet(FleetStats),
+    /// The observability report ([`Request::Metrics`]).
+    Metrics(MetricsReport),
     /// The tenant listing.
     Tenants {
         /// One row per tenant, sorted by id.
@@ -361,6 +506,12 @@ pub struct RequestEnvelope {
     /// The addressed tenant (optional for fleet-level requests and on
     /// connections bound via `Attach`).
     pub tenant: Option<String>,
+    /// Optional per-request deadline, milliseconds from the moment the
+    /// daemon frames the line. A request whose elapsed queue time reaches
+    /// the deadline is answered `Error{kind: Timeout}` **without being
+    /// executed** (so `deadline_ms: 0` deterministically times out —
+    /// useful as a liveness probe that must never cost session work).
+    pub deadline_ms: Option<u64>,
     /// The request.
     pub req: Request,
 }
@@ -442,6 +593,7 @@ mod tests {
                 window: Some(256),
                 decay: Some(0.97),
                 options: Some(EstimatorOptions::default()),
+                admission: Some(AdmissionPolicy::ShedOldest),
             },
             Request::Attach,
             Request::Drop,
@@ -461,13 +613,15 @@ mod tests {
             },
             Request::ListTenants,
             Request::FleetStats,
+            Request::Metrics,
             Request::SnapshotAll,
             Request::Shutdown,
         ];
-        for req in requests {
+        for (i, req) in requests.into_iter().enumerate() {
             let envelope = RequestEnvelope {
                 v: PROTOCOL_VERSION,
                 tenant: Some("as-7018".into()),
+                deadline_ms: if i % 2 == 0 { Some(250) } else { None },
                 req,
             };
             let line = encode(&envelope);
@@ -517,6 +671,9 @@ mod tests {
                 pending_batches: 1,
                 queue_bound: 64,
                 busy_rejections: 7,
+                shed_batches: 3,
+                shed_intervals: 30,
+                timeouts: 2,
                 ingest_errors: 0,
                 snapshots_written: 1,
             }),
@@ -525,12 +682,47 @@ mod tests {
                 shards: 8,
                 total_ingested: 960,
                 busy_rejections: 7,
+                shed_batches: 3,
+                timeouts: 2,
                 refits: RefitCounts::default(),
                 live_connections: 12,
                 per_tenant: vec![TenantLoad {
                     tenant: "as-7018".into(),
                     pending_batches: 2,
                     live_conns: 5,
+                }],
+            }),
+            Response::Metrics(MetricsReport {
+                total_intervals: 960,
+                busy_rejections: 7,
+                shed_batches: 3,
+                timeouts: 2,
+                net: Some(NetMetrics {
+                    accepted: 1000,
+                    rejected_overload: 4,
+                    lines_in: 5000,
+                    lines_out: 5000,
+                    bytes_in: 1 << 20,
+                    bytes_out: 1 << 21,
+                }),
+                per_tenant: vec![TenantMetrics {
+                    tenant: "as-7018".into(),
+                    ingested_intervals: 960,
+                    queue_depth: 2,
+                    queue_bound: 64,
+                    admission: AdmissionPolicy::ShedOldest,
+                    busy_rejections: 7,
+                    shed_batches: 3,
+                    shed_intervals: 30,
+                    timeouts: 2,
+                    ingest: {
+                        let mut h = tomo_metrics::HistogramSnapshot::new();
+                        for ns in [6_000, 7_000, 200_000] {
+                            h.record(ns);
+                        }
+                        LatencySummary::from_snapshot(h)
+                    },
+                    query: LatencySummary::default(),
                 }],
             }),
             Response::Tenants {
@@ -552,6 +744,7 @@ mod tests {
             },
             Response::error(ErrorKind::UnknownTenant, "no tenant `x`"),
             Response::error(ErrorKind::Overloaded, "connection limit reached"),
+            Response::error(ErrorKind::Timeout, "deadline expired after 5 ms in queue"),
             Response::Bye,
         ];
         for resp in responses {
@@ -588,10 +781,28 @@ mod tests {
             rejected("{\"v\": 2, \"req\": \"Frobnicate\"}").0,
             ErrorKind::InvalidRequest
         );
-        // Tenant omitted is fine at the envelope level.
+        // Tenant and deadline omitted are fine at the envelope level.
         let envelope = decode_request("{\"v\": 2, \"req\": \"Query\"}").unwrap();
         assert_eq!(envelope.tenant, None);
+        assert_eq!(envelope.deadline_ms, None);
         assert_eq!(envelope.req, Request::Query);
+        let envelope =
+            decode_request("{\"v\": 2, \"deadline_ms\": 40, \"req\": \"Query\"}").unwrap();
+        assert_eq!(envelope.deadline_ms, Some(40));
+    }
+
+    #[test]
+    fn admission_policies_parse_from_cli_spellings() {
+        assert_eq!(
+            "busy".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::Busy
+        );
+        assert_eq!(
+            "shed-oldest".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::ShedOldest
+        );
+        assert!("drop-newest".parse::<AdmissionPolicy>().is_err());
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Busy);
     }
 
     #[test]

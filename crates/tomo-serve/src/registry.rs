@@ -7,7 +7,17 @@
 //! a **bounded ingest queue** — `Observe` traffic enqueues and returns
 //! immediately, a single drainer folds queued batches into the session,
 //! and once the queue is full further observes are rejected with `Busy`
-//! instead of queueing unboundedly on the socket.
+//! instead of queueing unboundedly on the socket — or, for tenants created
+//! with the `ShedOldest` admission policy, the oldest queued batch is
+//! dropped to make room (freshness over completeness, every drop counted).
+//!
+//! Every tenant also carries lock-free [`Instruments`] (outside its
+//! mutexes): the drainer records per-batch ingest latency, the read path
+//! records query latency, and admission events (sheds, expired deadlines)
+//! bump relaxed counters — the numbers behind the `Metrics` response.
+//! Queued batches remember their request deadline; the drainer discards
+//! batches whose deadline passed while they waited instead of folding
+//! stale data into the session.
 //!
 //! Locking discipline (deadlock-free by construction):
 //!
@@ -27,10 +37,15 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use tomo_core::{SessionSnapshot, TomoError, TomographySession};
+use tomo_metrics::Instruments;
 
-use crate::protocol::{ErrorKind, FleetStats, Response, TenantLoad, TenantStats, TenantSummary};
+use crate::protocol::{
+    AdmissionPolicy, ErrorKind, FleetStats, MetricsReport, NetMetrics, Response, TenantLoad,
+    TenantMetrics, TenantStats, TenantSummary,
+};
 
 /// A validated tenant identifier: 1–64 characters drawn from
 /// `[A-Za-z0-9._-]` (safe to embed in snapshot file names).
@@ -89,6 +104,9 @@ pub struct RegistryConfig {
     pub snapshot_dir: Option<String>,
     /// Automatically snapshot a tenant every `n` ingested intervals.
     pub snapshot_every: Option<u64>,
+    /// Full-queue admission policy for tenants whose `Create` did not pick
+    /// one (the daemon's `--admission` flag).
+    pub default_admission: AdmissionPolicy,
 }
 
 impl Default for RegistryConfig {
@@ -98,14 +116,23 @@ impl Default for RegistryConfig {
             queue_bound: 64,
             snapshot_dir: None,
             snapshot_every: None,
+            default_admission: AdmissionPolicy::Busy,
         }
     }
+}
+
+/// One queued observe batch: the validated intervals plus the request
+/// deadline they must be ingested by (stale batches are discarded at
+/// drain, never folded into the session).
+struct QueuedBatch {
+    intervals: Vec<Vec<usize>>,
+    deadline: Option<Instant>,
 }
 
 /// The bounded per-tenant ingest queue.
 struct IngestQueue {
     /// Pending observe batches, oldest first.
-    batches: VecDeque<Vec<Vec<usize>>>,
+    batches: VecDeque<QueuedBatch>,
     /// Whether a drainer is currently folding batches into the session.
     draining: bool,
     /// Set by `drop_tenant` before its final flush: further observes are
@@ -130,6 +157,12 @@ pub struct TenantEntry {
     /// Immutable topology facts, readable without any lock.
     num_paths: usize,
     num_links: usize,
+    /// Full-queue admission policy, fixed at create time.
+    admission: AdmissionPolicy,
+    /// Lock-free latency histograms + admission counters (no mutex; the
+    /// dispatch path records into these while holding whatever lock the
+    /// work itself needed, never an extra one).
+    instruments: Instruments,
     state: Mutex<TenantState>,
     queue: Mutex<IngestQueue>,
     /// Signaled whenever the queue becomes empty and no drain is running.
@@ -140,11 +173,13 @@ pub struct TenantEntry {
 }
 
 impl TenantEntry {
-    fn new(id: TenantId, session: TomographySession) -> Self {
+    fn new(id: TenantId, session: TomographySession, admission: AdmissionPolicy) -> Self {
         Self {
             id,
             num_paths: session.network().num_paths(),
             num_links: session.network().num_links(),
+            admission,
+            instruments: Instruments::new(),
             state: Mutex::new(TenantState {
                 session,
                 snapshots_written: 0,
@@ -175,6 +210,17 @@ impl TenantEntry {
     /// Paths in the tenant's topology.
     pub fn num_paths(&self) -> usize {
         self.num_paths
+    }
+
+    /// The tenant's full-queue admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// The tenant's lock-free instruments (latency histograms, admission
+    /// counters). The server records request-level deadline expiries here.
+    pub fn instruments(&self) -> &Instruments {
+        &self.instruments
     }
 
     /// Records a connection attaching to this tenant.
@@ -209,6 +255,12 @@ pub struct EngineRegistry {
     config: RegistryConfig,
     shards: Vec<Shard>,
     busy_rejections: AtomicU64,
+    /// Batches dropped by shed-oldest admission, daemon-wide (per-tenant
+    /// counts live in each entry's instruments; this global survives
+    /// tenant drops).
+    shed_batches: AtomicU64,
+    /// Deadline expiries, daemon-wide.
+    timeouts: AtomicU64,
     /// Connections currently open on the daemon serving this registry
     /// (maintained by the server's connection layer).
     live_connections: AtomicU64,
@@ -231,6 +283,8 @@ impl EngineRegistry {
             },
             shards,
             busy_rejections: AtomicU64::new(0),
+            shed_batches: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             live_connections: AtomicU64::new(0),
         }
     }
@@ -264,12 +318,26 @@ impl EngineRegistry {
         &self.shards[index]
     }
 
-    /// Registers a new tenant. Errors when the id is already taken.
+    /// Registers a new tenant under the registry's default admission
+    /// policy. Errors when the id is already taken.
     pub fn create(
         &self,
         id: TenantId,
         session: TomographySession,
     ) -> Result<Arc<TenantEntry>, TomoError> {
+        self.create_with_admission(id, session, None)
+    }
+
+    /// Registers a new tenant with an explicit full-queue admission policy
+    /// (`None` falls back to the registry default). Errors when the id is
+    /// already taken.
+    pub fn create_with_admission(
+        &self,
+        id: TenantId,
+        session: TomographySession,
+        admission: Option<AdmissionPolicy>,
+    ) -> Result<Arc<TenantEntry>, TomoError> {
+        let admission = admission.unwrap_or(self.config.default_admission);
         let shard = self.shard(&id);
         let mut tenants = shard.tenants.lock().expect("shard lock");
         if tenants.contains_key(id.as_str()) {
@@ -277,7 +345,7 @@ impl EngineRegistry {
                 "tenant `{id}` already exists"
             )));
         }
-        let entry = Arc::new(TenantEntry::new(id.clone(), session));
+        let entry = Arc::new(TenantEntry::new(id.clone(), session, admission));
         tenants.insert(id.as_str().to_string(), Arc::clone(&entry));
         Ok(entry)
     }
@@ -362,6 +430,20 @@ impl EngineRegistry {
     /// or `Busy` when the queue is full. Path indices are validated *before*
     /// enqueueing so accepted batches cannot fail for client reasons.
     pub fn observe(&self, entry: &Arc<TenantEntry>, intervals: Vec<Vec<usize>>) -> Response {
+        self.observe_deadline(entry, intervals, None)
+    }
+
+    /// [`EngineRegistry::observe`] with a request deadline: if the batch is
+    /// still queued when `deadline` passes, the drainer discards it (and
+    /// counts a timeout) instead of folding stale data into the session.
+    /// Under the `ShedOldest` admission policy a full queue drops its
+    /// oldest batch to make room instead of answering `Busy`.
+    pub fn observe_deadline(
+        &self,
+        entry: &Arc<TenantEntry>,
+        intervals: Vec<Vec<usize>>,
+        deadline: Option<Instant>,
+    ) -> Response {
         if intervals.is_empty() {
             return Response::error(ErrorKind::InvalidRequest, "empty observation batch");
         }
@@ -383,14 +465,30 @@ impl EngineRegistry {
                 );
             }
             if queue.batches.len() >= self.config.queue_bound {
-                queue.busy_rejections += 1;
-                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                return Response::Busy {
-                    pending_batches: queue.batches.len(),
-                    bound: self.config.queue_bound,
-                };
+                match entry.admission {
+                    AdmissionPolicy::Busy => {
+                        queue.busy_rejections += 1;
+                        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        return Response::Busy {
+                            pending_batches: queue.batches.len(),
+                            bound: self.config.queue_bound,
+                        };
+                    }
+                    AdmissionPolicy::ShedOldest => {
+                        // Freshness over completeness: drop the oldest
+                        // *queued* batch (the one whose data is stalest)
+                        // and accept the new one in its place.
+                        if let Some(oldest) = queue.batches.pop_front() {
+                            entry.instruments.record_shed(oldest.intervals.len() as u64);
+                            self.shed_batches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
-            queue.batches.push_back(intervals);
+            queue.batches.push_back(QueuedBatch {
+                intervals,
+                deadline,
+            });
             let drain = if queue.draining {
                 false
             } else {
@@ -425,15 +523,43 @@ impl EngineRegistry {
                     }
                 }
             };
+            // Deadline check at dequeue: a batch that waited past its
+            // request deadline is discarded unexecuted — the client was
+            // promised freshness, not late work.
+            if batch
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                self.record_timeout(entry);
+                continue;
+            }
+            let started = Instant::now();
             let mut state = entry.state.lock().expect("tenant state lock");
-            if let Err(e) = state.session.observe(&batch) {
+            if let Err(e) = state.session.observe(&batch.intervals) {
                 // Batches are validated at enqueue time, so this is an
                 // internal failure; count it and keep serving.
                 state.ingest_errors += 1;
                 eprintln!("tomo-serve: tenant {}: ingest failed: {e}", entry.id);
             }
+            entry
+                .instruments
+                .record_ingest_ns(started.elapsed().as_nanos() as u64);
             self.maybe_autosnapshot(entry, &mut state);
         }
+    }
+
+    /// Counts one deadline expiry against the tenant and the daemon. The
+    /// server also calls this when a request expires at connection-queue
+    /// dequeue (before it ever reaches the registry).
+    pub fn record_timeout(&self, entry: &Arc<TenantEntry>) {
+        entry.instruments.record_timeout();
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one deadline expiry not attributable to a live tenant (the
+    /// daemon-wide counter still moves).
+    pub fn record_anonymous_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Blocks until the tenant's ingest queue has fully drained, returning
@@ -460,22 +586,35 @@ impl EngineRegistry {
         state.session.intervals_ingested()
     }
 
-    /// The tenant's current estimate.
+    /// The tenant's current estimate. The recorded query latency includes
+    /// the wait for the state lock — contention is part of what an
+    /// operator needs to see.
     pub fn query(&self, entry: &Arc<TenantEntry>) -> Response {
+        let started = Instant::now();
         let state = entry.state.lock().expect("tenant state lock");
-        match state.session.query() {
+        let response = match state.session.query() {
             Ok(estimate) => Response::Estimate(estimate),
             Err(e) => Response::from_error(&e),
-        }
+        };
+        entry
+            .instruments
+            .record_query_ns(started.elapsed().as_nanos() as u64);
+        response
     }
 
-    /// Boolean inference for one interval.
+    /// Boolean inference for one interval (recorded as read-path latency,
+    /// like `query`).
     pub fn infer(&self, entry: &Arc<TenantEntry>, congested: &[usize]) -> Response {
+        let started = Instant::now();
         let state = entry.state.lock().expect("tenant state lock");
-        match state.session.infer(congested) {
+        let response = match state.session.infer(congested) {
             Ok(links) => Response::Inferred { links },
             Err(e) => Response::from_error(&e),
-        }
+        };
+        entry
+            .instruments
+            .record_query_ns(started.elapsed().as_nanos() as u64);
+        response
     }
 
     /// Per-tenant statistics.
@@ -490,12 +629,16 @@ impl EngineRegistry {
             let queue = entry.queue.lock().expect("tenant queue lock");
             (queue.batches.len(), queue.busy_rejections)
         };
+        let instruments = entry.instruments.snapshot();
         TenantStats {
             tenant: entry.id.as_str().to_string(),
             session: session_stats.0,
             pending_batches: pending,
             queue_bound: self.config.queue_bound,
             busy_rejections: busy,
+            shed_batches: instruments.shed_batches,
+            shed_intervals: instruments.shed_intervals,
+            timeouts: instruments.timeouts,
             ingest_errors: session_stats.1,
             snapshots_written: session_stats.2,
         }
@@ -529,8 +672,54 @@ impl EngineRegistry {
             shards: self.config.num_shards,
             total_ingested,
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             refits,
             live_connections: self.live_connections(),
+            per_tenant,
+        }
+    }
+
+    /// The observability report behind [`crate::protocol::Request::Metrics`]:
+    /// one [`TenantMetrics`] row per tenant (latency summaries derived from
+    /// the instruments, queue depth, admission counters) plus daemon-wide
+    /// totals. `net` carries the connection-layer counters when the caller
+    /// runs behind a `tomo-net` front end.
+    pub fn metrics(&self, net: Option<NetMetrics>) -> MetricsReport {
+        let entries = self.entries();
+        let mut per_tenant = Vec::with_capacity(entries.len());
+        let mut total_intervals = 0;
+        for e in &entries {
+            let ingested = {
+                let state = e.state.lock().expect("tenant state lock");
+                state.session.intervals_ingested()
+            };
+            let (pending, busy) = {
+                let queue = e.queue.lock().expect("tenant queue lock");
+                (queue.batches.len(), queue.busy_rejections)
+            };
+            let instruments = e.instruments.snapshot();
+            total_intervals += ingested;
+            per_tenant.push(TenantMetrics {
+                tenant: e.id.as_str().to_string(),
+                ingested_intervals: ingested,
+                queue_depth: pending,
+                queue_bound: self.config.queue_bound,
+                admission: e.admission,
+                busy_rejections: busy,
+                shed_batches: instruments.shed_batches,
+                shed_intervals: instruments.shed_intervals,
+                timeouts: instruments.timeouts,
+                ingest: instruments.ingest,
+                query: instruments.query,
+            });
+        }
+        MetricsReport {
+            total_intervals,
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            net,
             per_tenant,
         }
     }
@@ -790,8 +979,14 @@ mod tests {
         {
             let mut queue = entry.queue.lock().unwrap();
             queue.draining = true;
-            queue.batches.push_back(intervals(5, 0));
-            queue.batches.push_back(intervals(5, 5));
+            queue.batches.push_back(QueuedBatch {
+                intervals: intervals(5, 0),
+                deadline: None,
+            });
+            queue.batches.push_back(QueuedBatch {
+                intervals: intervals(5, 5),
+                deadline: None,
+            });
         }
         match registry.observe(&entry, intervals(5, 10)) {
             Response::Busy {
@@ -941,6 +1136,126 @@ mod tests {
         entry.detach_conn();
         entry.detach_conn();
         assert_eq!(entry.live_conns(), 0);
+    }
+
+    #[test]
+    fn shed_oldest_drops_exactly_the_oldest_batch() {
+        let registry = EngineRegistry::new(RegistryConfig {
+            queue_bound: 3,
+            ..RegistryConfig::default()
+        });
+        let entry = registry
+            .create_with_admission(
+                TenantId::new("fresh").unwrap(),
+                toy_session(),
+                Some(AdmissionPolicy::ShedOldest),
+            )
+            .unwrap();
+        assert_eq!(entry.admission(), AdmissionPolicy::ShedOldest);
+        // Park the drainer (a stalled worker) so the queue actually fills.
+        entry.queue.lock().unwrap().draining = true;
+        let batches: Vec<Vec<Vec<usize>>> = (0..4).map(|i| intervals(5 + i, 7 * i)).collect();
+        for batch in &batches {
+            let resp = registry.observe(&entry, batch.clone());
+            assert!(matches!(resp, Response::Accepted { .. }), "{resp:?}");
+        }
+        // The 4th observe shed the oldest queued batch (batches[0]).
+        let stats = registry.stats(&entry);
+        assert_eq!(stats.shed_batches, 1);
+        assert_eq!(stats.shed_intervals, batches[0].len() as u64);
+        assert_eq!(stats.busy_rejections, 0);
+        assert_eq!(registry.fleet_stats().shed_batches, 1);
+
+        entry.queue.lock().unwrap().draining = false;
+        let retained: u64 = batches[1..].iter().map(|b| b.len() as u64).sum();
+        assert_eq!(registry.flush(&entry), retained);
+
+        // The estimate matches an offline fit of the retained suffix —
+        // proof the drop hit exactly the oldest batch and nothing else.
+        let mut offline = toy_session();
+        for batch in &batches[1..] {
+            offline.observe(batch).unwrap();
+        }
+        let expected = offline.query().unwrap();
+        match registry.query(&entry) {
+            Response::Estimate(est) => {
+                assert_eq!(est.intervals, expected.intervals);
+                for (a, b) in est.probabilities.iter().zip(&expected.probabilities) {
+                    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_expired_batches_are_dropped_at_drain() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let entry = registry
+            .create(TenantId::new("as-1").unwrap(), toy_session())
+            .unwrap();
+        // Stall the worker: both batches sit in the queue, the first past
+        // its deadline by the time the drain runs.
+        entry.queue.lock().unwrap().draining = true;
+        let expired = registry.observe_deadline(&entry, intervals(5, 0), Some(Instant::now()));
+        assert!(matches!(expired, Response::Accepted { .. }), "{expired:?}");
+        let fresh = registry.observe_deadline(&entry, intervals(7, 5), None);
+        assert!(matches!(fresh, Response::Accepted { .. }), "{fresh:?}");
+        entry.queue.lock().unwrap().draining = false;
+
+        // Only the fresh batch reaches the session; the stale one counts
+        // as a timeout instead of being executed late.
+        assert_eq!(registry.flush(&entry), 7);
+        let stats = registry.stats(&entry);
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.session.total_ingested, 7);
+        assert_eq!(registry.fleet_stats().timeouts, 1);
+    }
+
+    #[test]
+    fn metrics_reports_latency_histograms_and_totals() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        for (name, n) in [("as-1", 30), ("as-2", 50)] {
+            let entry = registry
+                .create(TenantId::new(name).unwrap(), toy_session())
+                .unwrap();
+            registry.observe(&entry, intervals(n, 0));
+            registry.flush(&entry);
+            registry.query(&entry);
+        }
+        let report = registry.metrics(None);
+        assert_eq!(report.per_tenant.len(), 2);
+        assert_eq!(report.total_intervals, 80);
+        assert_eq!(report.net, None);
+        assert_eq!(
+            report.total_intervals,
+            report
+                .per_tenant
+                .iter()
+                .map(|t| t.ingested_intervals)
+                .sum::<u64>()
+        );
+        let tenants: Vec<&str> = report
+            .per_tenant
+            .iter()
+            .map(|t| t.tenant.as_str())
+            .collect();
+        assert_eq!(tenants, ["as-1", "as-2"]);
+        for row in &report.per_tenant {
+            assert_eq!(row.queue_depth, 0);
+            assert_eq!(row.admission, AdmissionPolicy::Busy);
+            assert!(row.ingest.count >= 1, "{row:?}");
+            assert_eq!(row.query.count, 1);
+            assert!(row.ingest.p50_ns > 0);
+            assert!(row.ingest.p50_ns <= row.ingest.p95_ns);
+            assert!(row.ingest.p95_ns <= row.ingest.p99_ns);
+            assert!(row.ingest.p99_ns <= row.ingest.hist.max.max(row.ingest.p99_ns));
+        }
+        let net = NetMetrics {
+            accepted: 3,
+            ..NetMetrics::default()
+        };
+        assert_eq!(registry.metrics(Some(net)).net, Some(net));
     }
 
     #[test]

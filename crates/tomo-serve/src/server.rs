@@ -24,20 +24,29 @@
 //! daemon stops. One addition: a connection limit (`--max-conns`) rejects
 //! surplus connections with a typed `Overloaded` error envelope instead of
 //! accepting unboundedly.
+//!
+//! Observability and deadlines ride the same path: each pending line
+//! carries its enqueue timestamp, and an envelope `deadline_ms` is checked
+//! **at dequeue** — a request that sat in the connection queue past its
+//! deadline answers a typed `Timeout` error without ever dispatching, so a
+//! stalled worker pool sheds stale work instead of executing it late. The
+//! fleet-level `Metrics` request snapshots the registry's per-tenant
+//! instruments together with the event loop's I/O counters.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use tomo_core::{SessionConfig, SessionEstimate, TomoError, TomographySession};
-use tomo_net::{ConnId, EventLoop, NetConfig, Sender, Service};
+use tomo_net::{ConnId, EventLoop, NetConfig, NetCounters, Sender, Service};
 use tomo_sweep::WorkerPool;
 
 use crate::protocol::{
-    decode, decode_request, encode, ErrorKind, Request, RequestEnvelope, Response,
-    ResponseEnvelope, TenantStats, PROTOCOL_VERSION,
+    decode, decode_request, encode, ErrorKind, MetricsReport, NetMetrics, Request, RequestEnvelope,
+    Response, ResponseEnvelope, TenantStats, PROTOCOL_VERSION,
 };
 use crate::registry::{EngineRegistry, TenantId};
 
@@ -117,6 +126,9 @@ impl Server {
             pool: Arc::clone(&pool),
             sender: event_loop.sender(),
             shutdown: event_loop.shutdown_flag(),
+            // Grabbed before `run` consumes the loop; workers read it when
+            // serving fleet `Metrics`.
+            net: event_loop.counters(),
             conns: Mutex::new(HashMap::new()),
         };
         event_loop.run(&service).map_err(TomoError::from)?;
@@ -133,8 +145,11 @@ struct ConnCtx {
 }
 
 struct ConnInner {
-    /// Request lines framed but not yet dispatched, oldest first.
-    pending: VecDeque<String>,
+    /// Request lines framed but not yet dispatched, oldest first, each
+    /// stamped with its arrival time so `deadline_ms` is measured from
+    /// when the request entered the queue (what the client experiences),
+    /// not from when a worker happened to pick it up.
+    pending: VecDeque<(String, Instant)>,
     /// Whether a pool job is currently draining `pending` (at most one per
     /// connection — this is what keeps responses in request order).
     processing: bool,
@@ -154,6 +169,7 @@ struct ServeService {
     pool: Arc<WorkerPool>,
     sender: Sender,
     shutdown: Arc<AtomicBool>,
+    net: Arc<NetCounters>,
     conns: Mutex<HashMap<ConnId, Arc<ConnCtx>>>,
 }
 
@@ -190,7 +206,7 @@ impl Service for ServeService {
         };
         let submit = {
             let mut inner = ctx.inner.lock().expect("conn ctx lock");
-            inner.pending.push_back(line);
+            inner.pending.push_back((line, Instant::now()));
             if inner.processing {
                 false
             } else {
@@ -202,7 +218,8 @@ impl Service for ServeService {
             let registry = Arc::clone(&self.registry);
             let sender = self.sender.clone();
             let shutdown = Arc::clone(&self.shutdown);
-            let job = move || drain_conn(&registry, &ctx, conn, &sender, &shutdown);
+            let net = Arc::clone(&self.net);
+            let job = move || drain_conn(&registry, &ctx, conn, &sender, &shutdown, &net);
             if let Err(e) = self.pool.submit(job) {
                 eprintln!("tomo-serve: cannot schedule connection work: {e}");
             }
@@ -242,12 +259,13 @@ fn drain_conn(
     conn: ConnId,
     sender: &Sender,
     shutdown: &AtomicBool,
+    net: &NetCounters,
 ) {
     loop {
-        let (line, mut attached) = {
+        let (line, received, mut attached) = {
             let mut inner = ctx.inner.lock().expect("conn ctx lock");
             match inner.pending.pop_front() {
-                Some(line) => (line, inner.attached.clone()),
+                Some((line, received)) => (line, received, inner.attached.clone()),
                 None => {
                     inner.processing = false;
                     return;
@@ -256,7 +274,20 @@ fn drain_conn(
         };
         let attached_before = attached.clone();
         let (tenant, response) = match decode_request(&line) {
-            Ok(envelope) => dispatch(registry, envelope, &mut attached, shutdown),
+            Ok(envelope) => {
+                // Deadline check happens here, at dequeue: if the request
+                // sat in the connection queue past its deadline, answer
+                // `Timeout` without dispatching — stale work is never
+                // executed.
+                let expired = envelope
+                    .deadline_ms
+                    .is_some_and(|ms| received.elapsed().as_millis() as u64 >= ms);
+                if expired {
+                    timeout_response(registry, &envelope, attached.as_ref())
+                } else {
+                    dispatch(registry, envelope, received, &mut attached, shutdown, net)
+                }
+            }
             Err(error_response) => (None, *error_response),
         };
         if attached != attached_before {
@@ -296,15 +327,71 @@ fn update_attachment(
     }
 }
 
+/// Builds the `Timeout` error for a request whose deadline expired while
+/// it waited in the connection queue, charging the timeout to the tenant's
+/// instruments when the envelope (or attachment) names one that exists.
+fn timeout_response(
+    registry: &Arc<EngineRegistry>,
+    envelope: &RequestEnvelope,
+    attached: Option<&TenantId>,
+) -> (Option<String>, Response) {
+    let echo = envelope
+        .tenant
+        .clone()
+        .or_else(|| attached.map(|id| id.as_str().to_string()));
+    let entry = echo
+        .as_deref()
+        .and_then(|id| TenantId::new(id.to_string()).ok())
+        .and_then(|id| registry.lookup(&id));
+    match entry {
+        Some(entry) => registry.record_timeout(&entry),
+        None => registry.record_anonymous_timeout(),
+    }
+    let deadline = envelope.deadline_ms.unwrap_or(0);
+    (
+        echo,
+        Response::error(
+            ErrorKind::Timeout,
+            format!("deadline of {deadline}ms expired before the request was dequeued"),
+        ),
+    )
+}
+
+/// Converts the event loop's counter snapshot into the wire shape.
+fn net_metrics(net: &NetCounters) -> NetMetrics {
+    let snap = net.snapshot();
+    NetMetrics {
+        accepted: snap.accepted,
+        rejected_overload: snap.rejected_overload,
+        lines_in: snap.lines_in,
+        lines_out: snap.lines_out,
+        bytes_in: snap.bytes_in,
+        bytes_out: snap.bytes_out,
+    }
+}
+
 /// Handles one decoded envelope, returning the tenant to echo and the
-/// response.
+/// response. `received` is when the request line entered the connection
+/// queue; together with the envelope's `deadline_ms` it carries the
+/// deadline through to queued ingest batches.
 fn dispatch(
     registry: &Arc<EngineRegistry>,
     envelope: RequestEnvelope,
+    received: Instant,
     attached: &mut Option<TenantId>,
     shutdown: &AtomicBool,
+    net: &NetCounters,
 ) -> (Option<String>, Response) {
-    let RequestEnvelope { tenant, req, .. } = envelope;
+    let RequestEnvelope {
+        tenant,
+        deadline_ms,
+        req,
+        ..
+    } = envelope;
+    // Ingest batches inherit the request deadline: a batch still queued
+    // when it expires is dropped at drain time (counted as a timeout)
+    // rather than estimated late.
+    let deadline = deadline_ms.and_then(|ms| received.checked_add(Duration::from_millis(ms)));
 
     // Fleet-level requests ignore the tenant field.
     match &req {
@@ -317,6 +404,12 @@ fn dispatch(
             )
         }
         Request::FleetStats => return (None, Response::Fleet(registry.fleet_stats())),
+        Request::Metrics => {
+            return (
+                None,
+                Response::Metrics(registry.metrics(Some(net_metrics(net)))),
+            )
+        }
         Request::SnapshotAll => {
             let written = registry.snapshot_all();
             return (
@@ -360,6 +453,7 @@ fn dispatch(
             window,
             decay,
             options,
+            admission,
         } => {
             let network = match crate::resolve_topology(&topology, seed.unwrap_or(0)) {
                 Ok(network) => network,
@@ -375,7 +469,7 @@ fn dispatch(
                 Ok(session) => session,
                 Err(e) => return (echo, Response::from_error(&e)),
             };
-            match registry.create(id, session) {
+            match registry.create_with_admission(id, session, admission) {
                 Ok(entry) => Response::Created {
                     links: entry.num_links(),
                     paths: entry.num_paths(),
@@ -424,8 +518,12 @@ fn dispatch(
                         paths: entry.num_paths(),
                     }
                 }
-                Request::Observe { congested } => registry.observe(&entry, vec![congested]),
-                Request::ObserveBatch { intervals } => registry.observe(&entry, intervals),
+                Request::Observe { congested } => {
+                    registry.observe_deadline(&entry, vec![congested], deadline)
+                }
+                Request::ObserveBatch { intervals } => {
+                    registry.observe_deadline(&entry, intervals, deadline)
+                }
                 Request::Flush => Response::Flushed {
                     intervals: registry.flush(&entry),
                 },
@@ -446,6 +544,7 @@ fn dispatch(
                 | Request::Drop
                 | Request::ListTenants
                 | Request::FleetStats
+                | Request::Metrics
                 | Request::SnapshotAll
                 | Request::Shutdown => unreachable!("handled before tenant resolution"),
             }
@@ -461,6 +560,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     tenant: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 impl Client {
@@ -473,6 +573,7 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             tenant: None,
+            deadline_ms: None,
         })
     }
 
@@ -486,12 +587,20 @@ impl Client {
         self.tenant.as_deref()
     }
 
+    /// Sets (or clears) the `deadline_ms` stamped into subsequent request
+    /// envelopes. A request still queued server-side when its deadline
+    /// expires answers a `Timeout` error instead of executing.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
     /// Sends one request envelope and reads the matching response envelope,
     /// returning its `resp` field.
     pub fn call(&mut self, request: &Request) -> Result<Response, TomoError> {
         let envelope = RequestEnvelope {
             v: PROTOCOL_VERSION,
             tenant: self.tenant.clone(),
+            deadline_ms: self.deadline_ms,
             req: request.clone(),
         };
         writeln!(self.writer, "{}", encode(&envelope))?;
@@ -524,6 +633,7 @@ impl Client {
             window,
             decay,
             options: None,
+            admission: None,
         })? {
             Response::Created { links, paths } => Ok((links, paths)),
             Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
@@ -573,6 +683,19 @@ impl Client {
     pub fn stats(&mut self) -> Result<TenantStats, TomoError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: fetch the fleet-level metrics report (per-tenant
+    /// latency histograms, queue depths, shed/timeout counters, and the
+    /// daemon's network I/O counters).
+    pub fn metrics(&mut self) -> Result<MetricsReport, TomoError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
             Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
             other => Err(TomoError::InvalidConfig(format!(
                 "unexpected response {other:?}"

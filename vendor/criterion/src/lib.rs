@@ -73,6 +73,16 @@ impl Bencher {
         times.sort_by(f64::total_cmp);
         self.median_ns = times[times.len() / 2];
     }
+
+    /// Records an externally measured value (shim extension, not part of
+    /// the real criterion API). Lets a bench report a quantile computed by
+    /// the system under test — e.g. a server-side p95 from its own
+    /// latency histograms — through the same printing and
+    /// `TOMO_BENCH_JSON` gating as `iter` timings. The closure passed to
+    /// the bench function should call exactly one of `iter`/`report_ns`.
+    pub fn report_ns(&mut self, ns: f64) {
+        self.median_ns = ns;
+    }
 }
 
 /// Parses a `TOMO_BENCH_SAMPLES`-style override; `None` or junk keeps the
