@@ -8,8 +8,8 @@ use std::collections::BTreeSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tomo_graph::LinkId;
 use tomo_prob::{
-    potentially_congested_subsets, select_path_sets, subsets::potentially_congested_links,
-    PathSelectionConfig,
+    path_selection::select_path_sets_reference, potentially_congested_subsets, select_path_sets,
+    subsets::potentially_congested_links, PathSelectionConfig,
 };
 use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
@@ -82,5 +82,65 @@ fn bench_selection_sparse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selection_brite, bench_selection_sparse);
+fn bench_selection_reference(c: &mut Criterion) {
+    // The element-wise oracle on the largest fixtures of the two groups
+    // above. `select_path_sets` (the bitmap fast path) and this entry solve
+    // the identical instance, so the ratio between them is the measured
+    // speedup of the bitmap representation — and the property suite pins
+    // their outcomes to be identical.
+    let mut group = c.benchmark_group("algorithm1_path_selection_reference");
+    group.sample_size(10);
+
+    let mut bcfg = BriteConfig::tiny(1);
+    bcfg.num_ases = 24;
+    bcfg.routers_per_as = 6;
+    bcfg.num_paths = 24 * 20;
+    let brite = BriteGenerator::new(bcfg).generate().unwrap();
+    let (obs, targets, pc) = prepare(&brite, 5);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("brite_24ases_{}targets", targets.len())),
+        &brite,
+        |b, net| {
+            b.iter(|| {
+                select_path_sets_reference(
+                    net,
+                    &obs,
+                    &targets,
+                    &pc,
+                    &PathSelectionConfig::default(),
+                )
+            })
+        },
+    );
+
+    let mut scfg = SparseConfig::tiny(1);
+    scfg.num_ases = 60;
+    scfg.num_traceroutes = 60 * 3;
+    let sparse = SparseGenerator::new(scfg).generate().unwrap();
+    let (obs, targets, pc) = prepare(&sparse, 7);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("sparse_60ases_{}targets", targets.len())),
+        &sparse,
+        |b, net| {
+            b.iter(|| {
+                select_path_sets_reference(
+                    net,
+                    &obs,
+                    &targets,
+                    &pc,
+                    &PathSelectionConfig::default(),
+                )
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection_brite,
+    bench_selection_sparse,
+    bench_selection_reference
+);
 criterion_main!(benches);

@@ -31,7 +31,10 @@
 
 use serde::{Deserialize, Serialize};
 use tomo_graph::{LinkId, Network, PathId};
-use tomo_linalg::{least_squares, nullspace_update, solve_multi, LstsqOptions, Matrix, Vector};
+use tomo_linalg::{
+    least_squares, nullspace_update, should_use_sparse, sparse_least_squares, LstsqOptions,
+    LuFactors, Matrix, SparseMatrix, Vector,
+};
 use tomo_prob::result::EstimateDiagnostics;
 use tomo_prob::subsets::potentially_congested_links;
 use tomo_prob::AlgorithmAssumptions;
@@ -94,6 +97,98 @@ pub trait OnlineEstimator: Estimator {
 }
 
 // ---------------------------------------------------------------------------
+// Cached system solver (shared by both incremental estimators)
+// ---------------------------------------------------------------------------
+
+/// The cached solver over an assembled 0/1 equation system.
+///
+/// Small or dense systems keep the dense matrix plus the LU factors of the
+/// ridge normal matrix `(AᵀA + λI)`: factored once per structural rebuild,
+/// each RHS-only refresh is then `Aᵀb` plus two `O(n²)` triangular sweeps
+/// (the previous scheme materialized the full `n × rows` pseudo-inverse
+/// `(AᵀA + λI)⁻¹Aᵀ` and re-applied it as a dense product). Large sparse
+/// systems keep the CSR matrix and answer every refresh with a
+/// conjugate-gradient solve that only touches the nonzeros — no dense
+/// matrix, normal matrix or factorization ever exists at that scale.
+#[derive(Clone, Debug)]
+enum SystemSolver {
+    /// Dense reference path; `lu` is `None` when even the ridge normal
+    /// matrix was singular (each refresh then re-solves by least squares).
+    Dense {
+        matrix: Matrix,
+        lu: Option<LuFactors>,
+    },
+    /// Sparse CG path over the CSR system matrix.
+    Sparse(SparseMatrix),
+}
+
+impl SystemSolver {
+    /// Assembles the solver from sparse rows (sorted, deduplicated column
+    /// lists) over `cols` unknowns, picking the representation with the same
+    /// density threshold the batch solvers use.
+    fn build(rows: &[Vec<usize>], cols: usize, ridge: f64) -> Self {
+        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+        if should_use_sparse(rows.len(), cols, nnz) {
+            let mut csr = SparseMatrix::with_cols(cols);
+            for r in rows {
+                csr.push_binary_row(r);
+            }
+            return Self::Sparse(csr);
+        }
+        let mut matrix = Matrix::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            for &c in r {
+                matrix[(i, c)] = 1.0;
+            }
+        }
+        let lu = if cols == 0 {
+            None
+        } else {
+            let mut ata = matrix.transpose().matmul(&matrix);
+            for i in 0..cols {
+                ata[(i, i)] += ridge;
+            }
+            LuFactors::factor(&ata)
+        };
+        Self::Dense { matrix, lu }
+    }
+
+    /// Number of assembled equations.
+    fn rows(&self) -> usize {
+        match self {
+            Self::Dense { matrix, .. } => matrix.rows(),
+            Self::Sparse(csr) => csr.rows(),
+        }
+    }
+
+    /// The RHS-only refresh: reuse the cached LU factors (dense) or re-run
+    /// CG over the cached CSR matrix (sparse).
+    fn solve_cached(&self, b: &Vector, ridge: f64) -> Vector {
+        match self {
+            Self::Dense {
+                matrix,
+                lu: Some(lu),
+            } => lu.solve(&matrix.vecmat(b)),
+            _ => self.solve_batch(b, ridge),
+        }
+    }
+
+    /// The solve a batch estimator performs at this system's scale — used at
+    /// rebuild points so the online estimate matches the batch fit exactly.
+    fn solve_batch(&self, b: &Vector, ridge: f64) -> Vector {
+        let opts = LstsqOptions {
+            ridge,
+            compute_identifiability: false,
+            ..LstsqOptions::default()
+        };
+        match self {
+            Self::Dense { matrix, .. } => least_squares(matrix, b, &opts).x,
+            Self::Sparse(csr) => sparse_least_squares(csr, b, &opts).x,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // OnlineIndependence
 // ---------------------------------------------------------------------------
 
@@ -106,11 +201,9 @@ struct Structure {
     /// Indices (into the path-set list) of the equations with at least one
     /// unknown.
     active_sets: Vec<usize>,
-    /// The system matrix: one row per active set, one column per pc link.
-    matrix: Matrix,
-    /// Cached pseudo-solver `(AᵀA + λI)⁻¹Aᵀ`; `None` when even the ridge
-    /// system was singular (then every ingest re-solves from scratch).
-    solver: Option<Matrix>,
+    /// The assembled system (one row per active set, one column per pc
+    /// link) with its cached solver.
+    solver: SystemSolver,
     /// Per-unknown identifiability derived from the null-space basis.
     identifiable: Vec<bool>,
     /// Rank of the system matrix (`columns − basis columns`).
@@ -126,9 +219,10 @@ struct Structure {
 /// With a decay factor (see [`OnlineIndependence::with_decay`]) the
 /// right-hand sides are estimated from exponentially reweighted counters
 /// (`weight = λ^age`) instead of plain window fractions, so drifting loss
-/// rates are tracked faster than truncation alone allows. Decay has no
-/// batch equivalent; [`OnlineIndependence::deviation_from_batch`] is only
-/// defined without it.
+/// rates are tracked faster than truncation alone allows. The batch
+/// equivalent is a fit on the window materialized *with* its `λ^age`
+/// interval weights, which is exactly what
+/// [`OnlineIndependence::deviation_from_batch`] compares against.
 #[derive(Clone, Debug)]
 pub struct OnlineIndependence {
     config: IndependenceConfig,
@@ -195,15 +289,10 @@ impl OnlineIndependence {
 
     /// Maximum absolute deviation of the current per-link probabilities from
     /// a from-scratch batch fit on the retained window — the correctness
-    /// check the integration tests (and the daemon's self-check) use.
+    /// check the integration tests (and the daemon's self-check) use. Under
+    /// decay the window materializes with its `λ^age` weights, which the
+    /// batch estimator honors.
     pub fn deviation_from_batch(&self, network: &Network) -> Result<f64, TomoError> {
-        if self.decay.is_some() {
-            return Err(TomoError::InvalidConfig(
-                "deviation_from_batch is undefined under exponential decay \
-                 (the batch estimator weights every interval equally)"
-                    .into(),
-            ));
-        }
         let window = self.window.as_ref().ok_or_else(|| TomoError::NotFitted {
             estimator: self.name().to_string(),
         })?;
@@ -315,8 +404,7 @@ impl OnlineIndependence {
             self.structure = Some(Structure {
                 pc_links,
                 active_sets: Vec::new(),
-                matrix: Matrix::zeros(0, 0),
-                solver: None,
+                solver: SystemSolver::build(&[], 0, self.config.ridge),
                 identifiable: Vec::new(),
                 rank: 0,
             });
@@ -324,53 +412,64 @@ impl OnlineIndependence {
         }
         let col_of = |l: LinkId| pc_links.binary_search(&l).ok();
 
+        // Assemble the equation rows in sparse form (sorted column lists —
+        // each path set touches a handful of links).
         let mut active_sets = Vec::new();
-        let mut matrix = Matrix::zeros(0, pc_links.len());
-        // Start from the null space of the empty system (the identity) and
-        // fold each equation row in with the incremental update of
-        // Algorithm 2, exactly as the paper's path selection does.
-        let mut basis = Matrix::identity(pc_links.len());
+        let mut rows: Vec<Vec<usize>> = Vec::new();
         for (i, set) in self.path_sets.iter().enumerate() {
-            let mut row = vec![0.0; pc_links.len()];
-            let mut nonzero = false;
-            for l in network.links_covered(set.iter()) {
-                if let Some(c) = col_of(l) {
-                    row[c] = 1.0;
-                    nonzero = true;
-                }
-            }
-            if !nonzero {
+            let cols: Vec<usize> = network
+                .links_covered(set.iter())
+                .into_iter()
+                .filter_map(col_of)
+                .collect();
+            if cols.is_empty() {
                 continue;
             }
-            basis = nullspace_update(&basis, &row).into_basis();
-            matrix.push_row(&row);
+            rows.push(cols);
             active_sets.push(i);
         }
 
-        // Fallback when the incrementally folded basis degrades: it must
-        // still annihilate the assembled matrix.
-        if basis.cols() > 0 && matrix.matmul(&basis).max_abs() > 1e-6 {
-            basis = tomo_linalg::nullspace(&matrix);
-            self.counts.basis_rebuilds += 1;
-        }
-        let identifiable: Vec<bool> = (0..pc_links.len())
-            .map(|i| (0..basis.cols()).all(|j| basis[(i, j)].abs() <= 1e-7))
-            .collect();
-        let rank = pc_links.len() - basis.cols();
-
-        // Cache the ridge pseudo-solver for the incremental path.
         let n = pc_links.len();
-        let at = matrix.transpose();
-        let mut ata = at.matmul(&matrix);
-        for i in 0..n {
-            ata[(i, i)] += self.config.ridge;
-        }
-        let solver = solve_multi(&ata, &at);
+        let solver = SystemSolver::build(&rows, n, self.config.ridge);
+        let (identifiable, rank) = match &solver {
+            SystemSolver::Dense { matrix, .. } => {
+                // Start from the null space of the empty system (the
+                // identity) and fold each sparse equation row in with the
+                // incremental update of Algorithm 2, exactly as the paper's
+                // path selection does.
+                let mut basis = Matrix::identity(n);
+                let mut scratch = vec![0.0; n];
+                for cols in &rows {
+                    for &c in cols {
+                        scratch[c] = 1.0;
+                    }
+                    basis = nullspace_update(&basis, &scratch).into_basis();
+                    for &c in cols {
+                        scratch[c] = 0.0;
+                    }
+                }
+                // Fallback when the incrementally folded basis degrades: it
+                // must still annihilate the assembled matrix.
+                if basis.cols() > 0 && matrix.matmul(&basis).max_abs() > 1e-6 {
+                    basis = tomo_linalg::nullspace(matrix);
+                    self.counts.basis_rebuilds += 1;
+                }
+                let identifiable: Vec<bool> = (0..n)
+                    .map(|i| (0..basis.cols()).all(|j| basis[(i, j)].abs() <= 1e-7))
+                    .collect();
+                (identifiable, n - basis.cols())
+            }
+            // At sparse scale the batch solvers run with identifiability
+            // reporting off (folding a dense n×n identity basis is exactly
+            // the cost wall the CSR path removes), and so does the online
+            // form: every unknown is reported identifiable, the rank is the
+            // generic bound — the same numbers a batch fit publishes.
+            SystemSolver::Sparse(csr) => (vec![true; n], n.min(csr.rows())),
+        };
 
         self.structure = Some(Structure {
             pc_links,
             active_sets,
-            matrix,
             solver,
             identifiable,
             rank,
@@ -408,17 +507,7 @@ impl OnlineIndependence {
         let b = self.rhs(structure, weight);
         let x = match solved {
             Some(x) => x,
-            None => match &structure.solver {
-                Some(p) => p.matvec(&b),
-                None => {
-                    let opts = LstsqOptions {
-                        ridge: self.config.ridge,
-                        compute_identifiability: false,
-                        ..LstsqOptions::default()
-                    };
-                    least_squares(&structure.matrix, &b, &opts).x
-                }
-            },
+            None => structure.solver.solve_cached(&b, self.config.ridge),
         };
 
         for (c, &l) in structure.pc_links.iter().enumerate() {
@@ -426,7 +515,7 @@ impl OnlineIndependence {
             estimate.set_link(l, 1.0 - good, structure.identifiable[c]);
         }
         estimate.diagnostics = EstimateDiagnostics {
-            num_equations: structure.matrix.rows(),
+            num_equations: structure.solver.rows(),
             num_unknowns: structure.pc_links.len(),
             rank: structure.rank,
             identifiable_targets: structure.identifiable.iter().filter(|&&b| b).count(),
@@ -519,12 +608,7 @@ impl OnlineEstimator for OnlineIndependence {
                 None
             } else {
                 let b = self.rhs(structure, self.effective_weight());
-                let opts = LstsqOptions {
-                    ridge: self.config.ridge,
-                    compute_identifiability: false,
-                    ..LstsqOptions::default()
-                };
-                Some(least_squares(&structure.matrix, &b, &opts).x)
+                Some(structure.solver.solve_batch(&b, self.config.ridge))
             };
             self.refresh_estimate(network, solved);
             self.counts.full += 1;
@@ -562,13 +646,10 @@ impl OnlineEstimator for OnlineIndependence {
 struct CorrStructure {
     /// Targets, selection and equation system from `tomo-prob`.
     sys: CorrelationSystem,
-    /// Dense system matrix (rows = equations, columns = subsets including
-    /// auxiliaries).
-    matrix: Matrix,
-    /// Cached ridge pseudo-solver `(AᵀA + λI)⁻¹Aᵀ`; `None` when even the
-    /// ridge system was singular (then every refresh re-solves from
-    /// scratch).
-    solver: Option<Matrix>,
+    /// The assembled system matrix (rows = equations, columns = subsets
+    /// including auxiliaries) with its cached solver: dense + LU factors
+    /// for small systems, CSR + CG for sparse ones.
+    solver: SystemSolver,
     /// Per equation: (decay-weighted) count of intervals in the window where
     /// every path of the equation's path set was good.
     set_all_good: Vec<f64>,
@@ -582,12 +663,12 @@ struct CorrStructure {
 /// equation-system assembly — depends on the observations only through
 /// which paths have congested within the window. While that bitmap is
 /// stable, an ingest only moves the per-equation all-good counters and
-/// re-applies a cached ridge pseudo-solver ([`Refit::Incremental`]); when
+/// re-applies the cached solver ([`Refit::Incremental`]); when
 /// it changes, targets and selection are rebuilt from the retained window
 /// ([`Refit::Full`]). The observable contract is that the estimate always
 /// equals — up to solver tolerance — a batch
-/// [`tomo_prob::CorrelationComplete`] fit on the retained window (without
-/// decay).
+/// [`tomo_prob::CorrelationComplete`] fit on the retained window (under
+/// decay: the window materialized with its `λ^age` weights).
 pub struct OnlineCorrelation {
     config: CorrelationCompleteConfig,
     capacity: Option<usize>,
@@ -643,14 +724,10 @@ impl OnlineCorrelation {
     }
 
     /// Maximum absolute deviation of the current per-link probabilities from
-    /// a from-scratch batch fit on the retained window. Undefined under
-    /// decay (there is no equally-weighted batch equivalent).
+    /// a from-scratch batch fit on the retained window. Under decay the
+    /// window materializes with its `λ^age` weights, which the batch
+    /// estimator honors.
     pub fn deviation_from_batch(&self, network: &Network) -> Result<f64, TomoError> {
-        if self.decay.is_some() {
-            return Err(TomoError::InvalidConfig(
-                "deviation_from_batch is undefined under exponential decay".into(),
-            ));
-        }
         let window = self.window.as_ref().ok_or_else(|| TomoError::NotFitted {
             estimator: self.name().to_string(),
         })?;
@@ -684,7 +761,20 @@ impl OnlineCorrelation {
         let window = self.window.as_ref().expect("rebuild needs a window");
         let observations = window.to_observations();
         let sys = CorrelationSystem::build(&self.config, network, &observations);
-        let matrix = sys.system.matrix();
+        // The equations already are the sparse rows (each stores only the
+        // columns with coefficient 1); assemble the solver from them.
+        let rows: Vec<Vec<usize>> = sys
+            .system
+            .equations()
+            .iter()
+            .map(|eq| {
+                let mut cols = eq.columns.clone();
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            })
+            .collect();
+        let solver = SystemSolver::build(&rows, sys.system.index().len(), self.config.ridge);
 
         // Recompute the per-equation weighted all-good counters from the
         // retained intervals (the equation list just changed shape).
@@ -699,20 +789,8 @@ impl OnlineCorrelation {
             }
         }
 
-        let solver = if matrix.rows() == 0 || matrix.cols() == 0 {
-            None
-        } else {
-            let at = matrix.transpose();
-            let mut ata = at.matmul(&matrix);
-            for i in 0..ata.rows() {
-                ata[(i, i)] += self.config.ridge;
-            }
-            solve_multi(&ata, &at)
-        };
-
         self.structure = Some(CorrStructure {
             sys,
-            matrix,
             solver,
             set_all_good,
         });
@@ -746,18 +824,10 @@ impl OnlineCorrelation {
                 .map(|&c| (c / t).clamp(floor, 1.0).ln()),
         );
 
-        let opts = LstsqOptions {
-            ridge: self.config.ridge,
-            compute_identifiability: false,
-            ..LstsqOptions::default()
-        };
         let x = if batch_solve {
-            least_squares(&structure.matrix, &b, &opts).x
+            structure.solver.solve_batch(&b, self.config.ridge)
         } else {
-            match &structure.solver {
-                Some(p) => p.matvec(&b),
-                None => least_squares(&structure.matrix, &b, &opts).x,
-            }
+            structure.solver.solve_cached(&b, self.config.ridge)
         };
         let good: Vec<f64> = x
             .as_slice()
@@ -913,9 +983,15 @@ impl OnlineEstimator for OnlineCorrelation {
 
 /// Gives any registry estimator an online form by buffering a rolling
 /// window and re-running the batch fit on every ingest.
+///
+/// With a decay factor the materialized window carries `λ^age` interval
+/// weights, so every estimator that consumes empirical frequencies (the
+/// Bayesian and heuristic estimators included) tracks drifting loss rates
+/// instead of averaging them away.
 pub struct BufferedOnline {
     inner: Box<dyn Estimator + Send>,
     capacity: Option<usize>,
+    decay: Option<f64>,
     window: Option<ObservationWindow>,
     counts: RefitCounts,
 }
@@ -924,9 +1000,20 @@ impl BufferedOnline {
     /// Wraps a batch estimator; `window_capacity` bounds the buffered
     /// intervals (`None` keeps everything).
     pub fn new(inner: Box<dyn Estimator + Send>, window_capacity: Option<usize>) -> Self {
+        Self::with_decay(inner, window_capacity, None)
+    }
+
+    /// Wraps a batch estimator with an exponential reweighting factor
+    /// `decay ∈ (0, 1)` on top of (optional) truncation.
+    pub fn with_decay(
+        inner: Box<dyn Estimator + Send>,
+        window_capacity: Option<usize>,
+        decay: Option<f64>,
+    ) -> Self {
         Self {
             inner,
             capacity: window_capacity,
+            decay,
             window: None,
             counts: RefitCounts::default(),
         }
@@ -975,7 +1062,7 @@ impl OnlineEstimator for BufferedOnline {
             )));
         }
         let window = self.window.get_or_insert_with(|| {
-            ObservationWindow::with_capacity(network.num_paths(), self.capacity)
+            ObservationWindow::with_decay(network.num_paths(), self.capacity, self.decay)
         });
         for t in 0..batch.num_intervals() {
             let flags: Vec<bool> = (0..batch.num_paths())
@@ -1011,10 +1098,11 @@ impl OnlineEstimator for BufferedOnline {
 /// other registry name is wrapped in [`BufferedOnline`] (correct, but each
 /// ingest is a full refit).
 ///
-/// `decay` enables exponential reweighting (`λ ∈ (0, 1)`); only the two
-/// incremental estimators support it — buffered estimators re-fit from the
-/// unweighted window and would silently ignore it, so the combination is
-/// rejected.
+/// `decay` enables exponential reweighting (`λ ∈ (0, 1)`). The incremental
+/// estimators maintain the reweighted counters directly; buffered
+/// estimators re-fit from the window, which under decay materializes with
+/// `λ^age` interval weights that every frequency-consuming batch algorithm
+/// (Bayesian, heuristic, …) honors.
 pub fn online_by_name(
     name: &str,
     options: &EstimatorOptions,
@@ -1043,14 +1131,12 @@ pub fn online_by_name(
             decay,
         )));
     }
-    if decay.is_some() {
-        return Err(TomoError::InvalidConfig(format!(
-            "estimator `{name}` has no decay-aware online form \
-             (decay is supported by independence and correlation-complete)"
-        )));
-    }
     let inner = crate::registry::with_options(name, options)?;
-    Ok(Box::new(BufferedOnline::new(inner, window_capacity)))
+    Ok(Box::new(BufferedOnline::with_decay(
+        inner,
+        window_capacity,
+        decay,
+    )))
 }
 
 #[cfg(test)]
@@ -1244,8 +1330,16 @@ mod tests {
         );
         assert_eq!(online.unwrap().name(), "Online-Correlation-complete");
         assert!(online_by_name("no-such", &EstimatorOptions::default(), None, None).is_err());
-        // Decay is rejected for buffered estimators and bad factors.
-        assert!(online_by_name("sparsity", &EstimatorOptions::default(), None, Some(0.9)).is_err());
+        // Buffered estimators accept decay (the window materializes with
+        // λ^age weights); factors outside (0, 1) are rejected for everyone.
+        assert!(online_by_name("sparsity", &EstimatorOptions::default(), None, Some(0.9)).is_ok());
+        assert!(online_by_name(
+            "bayesian-independence",
+            &EstimatorOptions::default(),
+            None,
+            Some(1.5)
+        )
+        .is_err());
         assert!(online_by_name(
             "independence",
             &EstimatorOptions::default(),
@@ -1408,8 +1502,59 @@ mod tests {
             "decayed {decay_err} should beat truncating {trunc_err}"
         );
         assert!(decay_err < 0.1, "decayed error too large: {decay_err}");
-        // And deviation_from_batch is explicitly undefined under decay.
-        assert!(decayed.deviation_from_batch(&net).is_err());
+        // The incremental decayed estimate still matches a batch fit on the
+        // weighted window (the window materializes its λ^age weights).
+        assert!(decayed.deviation_from_batch(&net).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn decayed_bayesian_fit_tracks_drift_faster_than_truncation() {
+        // The --decay knob must reach the buffered (Bayesian/heuristic)
+        // estimators through the weighted observation window: after e1's
+        // congestion rate jumps from 10% to 50%, the decayed Bayesian fit
+        // must sit closer to the post-drift rate than the truncating one.
+        let net = toy::fig1_case1();
+        let obs = drifting_flags(360, 300, 10, 2);
+        let mut truncating = online_by_name(
+            "bayesian-independence",
+            &EstimatorOptions::default(),
+            Some(200),
+            None,
+        )
+        .unwrap();
+        let mut decayed = online_by_name(
+            "bayesian-independence",
+            &EstimatorOptions::default(),
+            Some(200),
+            Some(0.95),
+        )
+        .unwrap();
+        for batch in batches(&obs, 20) {
+            truncating.ingest(&net, &batch).unwrap();
+            decayed.ingest(&net, &batch).unwrap();
+        }
+        let post_drift_rate = 0.5;
+        let e1 = tomo_graph::toy::E1;
+        let trunc_err = (truncating
+            .estimate()
+            .expect("bayesian fits probabilities")
+            .link_congestion_probability(e1)
+            - post_drift_rate)
+            .abs();
+        let decay_err = (decayed
+            .estimate()
+            .expect("bayesian fits probabilities")
+            .link_congestion_probability(e1)
+            - post_drift_rate)
+            .abs();
+        assert!(
+            decay_err < trunc_err,
+            "decayed bayesian {decay_err} should beat truncating {trunc_err}"
+        );
+        assert!(
+            decay_err < 0.1,
+            "decayed bayesian error too large: {decay_err}"
+        );
     }
 
     #[test]

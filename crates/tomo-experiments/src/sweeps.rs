@@ -4,7 +4,7 @@
 //! figure plots, plus replications along the seed axis, so one parallel
 //! sweep regenerates a figure's data with error bars instead of a single
 //! draw. The `sweep` binary exposes them by name (`fig3`, `fig4`, `table2`,
-//! `ci`, `demo`).
+//! `ci`, `stream`, `large`, `demo`).
 
 use tomo_sim::ScenarioKind;
 use tomo_sweep::{SweepGrid, TopologySpec};
@@ -131,6 +131,26 @@ pub fn stream_grid(base_seed: u64) -> SweepGrid {
     replicated(grid, REPLICATIONS)
 }
 
+/// The sweep-scale grid: the ≥5k-link `BriteConfig::large` topology with
+/// the estimators the sparse solver path keeps interactive at that size.
+/// Each cell is a full generate→simulate→fit run over ~5.5k unknowns —
+/// minutes of dense elimination before the CSR/CG fast path, well under a
+/// second per fit with it — so the whole grid is a release-mode workload
+/// (`--grid large`), not a unit-test one.
+pub fn large_grid(base_seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::new()
+        .base_seed(base_seed)
+        .topology(TopologySpec::Brite(BriteConfig::large(base_seed)))
+        .interval_count(60);
+    for kind in [ScenarioKind::RandomCongestion, ScenarioKind::NoIndependence] {
+        grid = grid.scenario(kind);
+    }
+    for name in ["sparsity", "bayesian-independence", "independence"] {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, 2)
+}
+
 /// A minutes-long-even-in-debug demo grid: the toy topology, two scenarios,
 /// three estimators, two replications.
 pub fn demo_grid(base_seed: u64) -> SweepGrid {
@@ -148,7 +168,7 @@ pub fn demo_grid(base_seed: u64) -> SweepGrid {
 }
 
 /// Resolves a named grid (`fig3` / `fig4` / `table2` / `ci` / `stream` /
-/// `demo`).
+/// `large` / `demo`).
 pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<SweepGrid> {
     match name.to_ascii_lowercase().as_str() {
         "fig3" | "figure3" => Some(figure3_grid(scale, base_seed)),
@@ -156,6 +176,7 @@ pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<Swe
         "table2" => Some(table2_grid(scale, base_seed)),
         "ci" => Some(ci_grid(base_seed)),
         "stream" | "streaming" => Some(stream_grid(base_seed)),
+        "large" => Some(large_grid(base_seed)),
         "demo" => Some(demo_grid(base_seed)),
         _ => None,
     }
@@ -180,6 +201,20 @@ mod tests {
     }
 
     #[test]
+    fn large_grid_validates_at_sweep_scale() {
+        // Validation only — executing a cell means generating the ≥5k-link
+        // topology, which is a release-mode workload (see `large_smoke` in
+        // tomo-prob and `brite_large_fit` in the bench suite).
+        let grid = large_grid(3);
+        grid.validate().unwrap();
+        assert_eq!(grid.num_tasks(), 2 * 3 * 2);
+        assert!(matches!(
+            grid.topologies.as_slice(),
+            [TopologySpec::Brite(cfg)] if cfg.num_paths >= 5_000
+        ));
+    }
+
+    #[test]
     fn ci_grid_exceeds_five_hundred_runs() {
         let grid = ci_grid(1);
         grid.validate().unwrap();
@@ -188,7 +223,7 @@ mod tests {
 
     #[test]
     fn named_lookup_resolves_all_names() {
-        for name in ["fig3", "FIG4", "table2", "ci", "stream", "demo"] {
+        for name in ["fig3", "FIG4", "table2", "ci", "stream", "large", "demo"] {
             assert!(by_name(name, ExperimentScale::Small, 1).is_some(), "{name}");
         }
         assert!(by_name("nope", ExperimentScale::Small, 1).is_none());

@@ -19,6 +19,11 @@
 //!   update after appending one row to the system matrix).
 //! * [`lstsq`] — least-squares solving (QR-based with a regularized
 //!   normal-equation fallback for rank-deficient systems).
+//! * [`sparse`] — CSR representation of the 0/1 routing systems and a
+//!   conjugate-gradient least-squares solve that touches only the nonzeros;
+//!   the dense solvers above remain the reference oracle.
+//! * [`lu`] — partial-pivoting LU factors for factor-once / solve-many
+//!   callers (the cached online pseudo-solvers).
 //!
 //! All routines are deterministic and allocation-honest: they never spawn
 //! threads and never touch global state, so they can be used from the
@@ -29,18 +34,24 @@
 
 pub mod gauss;
 pub mod lstsq;
+pub mod lu;
 pub mod matrix;
 pub mod nullspace;
 pub mod nullspace_update;
 pub mod qr;
+pub mod sparse;
 pub mod vector;
 
 pub use gauss::{rank, rref, solve_multi, solve_square, RrefResult};
 pub use lstsq::{least_squares, LstsqOptions, LstsqSolution};
+pub use lu::LuFactors;
 pub use matrix::Matrix;
 pub use nullspace::nullspace;
 pub use nullspace_update::{nullspace_update, NullSpaceUpdate};
 pub use qr::{qr_decompose, QrDecomposition};
+pub use sparse::{
+    should_use_sparse, sparse_least_squares, SparseMatrix, SPARSE_MAX_DENSITY, SPARSE_MIN_COLS,
+};
 pub use vector::Vector;
 
 /// Default numerical tolerance used throughout the crate to decide whether a

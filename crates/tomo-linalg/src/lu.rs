@@ -1,0 +1,151 @@
+//! LU factorization with partial pivoting, for factor-once / solve-many.
+//!
+//! The online estimators repeatedly solve `(AᵀA + λI) x = Aᵀ b` with a fixed
+//! left-hand side and a per-batch right-hand side. The previous scheme
+//! materialized the full pseudo-inverse `(AᵀA + λI)⁻¹Aᵀ` with one Gaussian
+//! elimination per *column of `Aᵀ`* (an `n × rows` dense product applied per
+//! refresh). Factoring once into `P A = L U` costs one `O(n³)` elimination and
+//! each subsequent solve is two `O(n²)` triangular sweeps against a vector —
+//! no `n × rows` matrix ever exists.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A partial-pivoting LU factorization `P A = L U` of a square matrix.
+///
+/// `L` (unit lower) and `U` (upper) are packed into one dense matrix; `piv`
+/// records the row swaps applied during elimination.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    lu: Matrix,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors a square matrix. Returns `None` when the matrix is singular to
+    /// working precision (a zero pivot column), in which case callers should
+    /// fall back to a least-squares solve.
+    pub fn factor(a: &Matrix) -> Option<Self> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at or below the
+            // diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    lu[(i, j)] -= m * lu[(k, j)];
+                }
+            }
+        }
+        Some(Self { lu, piv })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the cached factors (`O(n²)`).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply the row permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let row = self.lu.row_slice(i);
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let row = self.lu.row_slice(i);
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc / row[i];
+        }
+        Vector::from_vec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss::solve_square;
+
+    #[test]
+    fn factor_solve_matches_direct_elimination() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let b = Vector::from_slice(&[1.0, -2.0, 3.5]);
+        let lu = LuFactors::factor(&a).expect("regular matrix factors");
+        let x = lu.solve(&b);
+        let direct = solve_square(&a, &b).expect("regular matrix solves");
+        assert!(x.approx_eq(&direct, 1e-10));
+        assert!(a.matvec(&x).approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 1.0]]);
+        let lu = LuFactors::factor(&a).expect("pivoting makes this regular");
+        let x = lu.solve(&Vector::from_slice(&[3.0, 5.0]));
+        assert!(a
+            .matvec(&x)
+            .approx_eq(&Vector::from_slice(&[3.0, 5.0]), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(LuFactors::factor(&a).is_none());
+    }
+
+    #[test]
+    fn factors_are_reused_across_rhs() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        for k in 0..5 {
+            let b = Vector::from_slice(&[k as f64, 1.0 - k as f64]);
+            let x = lu.solve(&b);
+            assert!(a.matvec(&x).approx_eq(&b, 1e-10), "rhs {k}");
+        }
+    }
+}

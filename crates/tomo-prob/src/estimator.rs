@@ -54,13 +54,16 @@ impl<'a> PathSetEstimator<'a> {
         self.observations
     }
 
-    /// The probability floor used before taking logarithms.
+    /// The probability floor used before taking logarithms. For weighted
+    /// observations the effective (weighted) sample size replaces `T`.
     pub fn floor(&self) -> f64 {
-        let t = self.observations.num_intervals().max(1) as f64;
+        let w = self.observations.total_weight();
+        let t = if w > 0.0 { w } else { 1.0 };
         (self.config.min_virtual_observations / t).min(0.5)
     }
 
-    /// Empirical `P(∩_{p∈paths} Y_p = 0)`, clamped to `[floor, 1]`.
+    /// Empirical (weighted) `P(∩_{p∈paths} Y_p = 0)`, clamped to
+    /// `[floor, 1]`.
     pub fn all_good_probability(&self, paths: &[PathId]) -> f64 {
         self.observations
             .fraction_all_good(paths)

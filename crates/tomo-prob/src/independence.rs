@@ -18,7 +18,10 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use tomo_graph::{LinkId, Network, PathId};
-use tomo_linalg::{least_squares, LstsqOptions, Matrix, Vector};
+use tomo_linalg::{
+    least_squares, should_use_sparse, sparse_least_squares, LstsqOptions, Matrix, SparseMatrix,
+    Vector,
+};
 use tomo_sim::PathObservations;
 
 use crate::assumptions::AlgorithmAssumptions;
@@ -145,33 +148,50 @@ impl ProbabilityComputation for Independence {
         let estimator = PathSetEstimator::new(observations, cfg.estimator.clone());
         let path_sets = baseline_path_sets(network, observations, cfg.max_pair_equations);
 
-        let mut rows: Vec<Vec<f64>> = Vec::new();
+        // Assemble rows in sparse form (column lists): a path touches a
+        // handful of links, so at brite-large scale the dense row matrix
+        // would be hundreds of MB of zeros.
+        let mut rows: Vec<Vec<usize>> = Vec::new();
         let mut rhs: Vec<f64> = Vec::new();
+        let mut nnz = 0usize;
         for ps in &path_sets {
-            let links = network.links_covered(ps.iter());
-            let mut row = vec![0.0; pc_links.len()];
-            let mut nonzero = false;
-            for l in links {
-                if let Some(c) = col_of(l) {
-                    row[c] = 1.0;
-                    nonzero = true;
-                }
-            }
-            if !nonzero {
+            let mut cols: Vec<usize> = network
+                .links_covered(ps.iter())
+                .into_iter()
+                .filter_map(col_of)
+                .collect();
+            if cols.is_empty() {
                 continue;
             }
-            rows.push(row);
+            cols.sort_unstable();
+            cols.dedup();
+            nnz += cols.len();
+            rows.push(cols);
             rhs.push(estimator.log_all_good_probability(ps));
         }
 
-        let a = Matrix::from_rows(&rows);
+        let num_equations = rows.len();
         let b = Vector::from_vec(rhs);
         let opts = LstsqOptions {
             ridge: cfg.ridge,
             compute_identifiability: cfg.compute_identifiability,
             ..LstsqOptions::default()
         };
-        let sol = least_squares(&a, &b, &opts);
+        let sol = if should_use_sparse(num_equations, pc_links.len(), nnz) {
+            let mut a = SparseMatrix::with_cols(pc_links.len());
+            for cols in &rows {
+                a.push_binary_row(cols);
+            }
+            sparse_least_squares(&a, &b, &opts)
+        } else {
+            let mut a = Matrix::zeros(num_equations, pc_links.len());
+            for (r, cols) in rows.iter().enumerate() {
+                for &c in cols {
+                    a[(r, c)] = 1.0;
+                }
+            }
+            least_squares(&a, &b, &opts)
+        };
 
         for (c, &l) in pc_links.iter().enumerate() {
             let good = sol.x[c].exp().clamp(0.0, 1.0);
@@ -184,7 +204,7 @@ impl ProbabilityComputation for Independence {
         }
 
         estimate.diagnostics = EstimateDiagnostics {
-            num_equations: a.rows(),
+            num_equations,
             num_unknowns: pc_links.len(),
             rank: sol.rank,
             identifiable_targets: sol.identifiable.iter().filter(|&&b| b).count(),

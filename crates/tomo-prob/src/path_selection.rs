@@ -21,14 +21,34 @@
 //! configurable budget — the exponential `2^{n2}` term in the paper's
 //! complexity bound is capped the same way the paper caps the subset size:
 //! by spending only as much of it as resources allow.
+//!
+//! ## Representation
+//!
+//! The inner loop evaluates thousands of candidate path sets, and each
+//! evaluation is pure set algebra: union the links of the candidate's paths,
+//! intersect with each correlation set, check the intersections against the
+//! target list. [`select_path_sets`] therefore works on `u64`-word bitmaps —
+//! per-path link bitmaps over the densely indexed potentially congested
+//! links, per-correlation-set masks, and a hash lookup from intersection
+//! bitmaps to target columns — so one candidate costs a few word operations
+//! instead of `BTreeSet` unions and per-subset allocations. The null-space
+//! basis arithmetic of Algorithm 2 is unchanged (real-valued rank is *not*
+//! GF(2) rank), but the per-target Hamming weights that drive
+//! `SortByHammingWeight` are tracked incrementally across basis updates
+//! instead of being recounted from scratch at every admission.
+//!
+//! [`select_path_sets_reference`] retains the original element-wise
+//! implementation as the behavioral oracle: both must select the identical
+//! path sets in the identical order (see the equivalence tests and the
+//! `tomo-prob` property suite).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 use tomo_graph::{CorrelationSubset, LinkId, Network, PathId};
-use tomo_linalg::{nullspace_update, Matrix, NullSpaceUpdate};
+use tomo_linalg::{nullspace_update, Matrix, NullSpaceUpdate, DEFAULT_TOL};
 
-use crate::subsets::pruned_complement;
+use crate::subsets::{always_good_links, pruned_complement};
 use crate::system::{induced_subsets, SubsetIndex};
 use tomo_sim::PathObservations;
 
@@ -75,12 +95,455 @@ impl PathSelectionOutcome {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bitmap machinery
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], bit: usize) {
+    words[bit / 64] |= 1u64 << (bit % 64);
+}
+
+#[inline]
+fn or_into(acc: &mut [u64], other: &[u64]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a |= b;
+    }
+}
+
+/// `out = a & b`; returns `true` when the intersection is non-empty.
+#[inline]
+fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) -> bool {
+    let mut any = 0u64;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+        any |= *o;
+    }
+    any != 0
+}
+
+/// Precomputed bitmap view of the selection problem: dense link indexing,
+/// per-path link bitmaps, per-correlation-set masks and the intersection →
+/// target-column lookup.
+struct SelectionContext {
+    link_words: usize,
+    path_words: usize,
+    /// Per path: bitmap of its potentially congested links.
+    path_links: Vec<Vec<u64>>,
+    /// Per path: sorted, deduplicated correlation-set ids of those links.
+    path_set_ids: Vec<Vec<usize>>,
+    /// Per correlation set id: bitmap of its potentially congested links.
+    set_masks: Vec<Vec<u64>>,
+    /// `set_id → (link bitmap → target column)`.
+    target_cols: HashMap<usize, HashMap<Vec<u64>, usize>>,
+}
+
+impl SelectionContext {
+    fn new(network: &Network, index: &SubsetIndex, pc: &BTreeSet<LinkId>) -> Self {
+        let n_targets = index.num_targets();
+        // Dense indexing: potentially congested links first (ascending, the
+        // only ones induced subsets can contain), then any target links
+        // outside that set (so target bitmaps are representable; they can
+        // never match an induced bitmap, mirroring the reference rejection).
+        let mut link_slot = vec![usize::MAX; network.num_links()];
+        let mut n_indexed = 0usize;
+        for &l in pc {
+            if link_slot[l.index()] == usize::MAX {
+                link_slot[l.index()] = n_indexed;
+                n_indexed += 1;
+            }
+        }
+        for t in &index.subsets()[..n_targets] {
+            for &l in &t.links {
+                if l.index() < link_slot.len() && link_slot[l.index()] == usize::MAX {
+                    link_slot[l.index()] = n_indexed;
+                    n_indexed += 1;
+                }
+            }
+        }
+        let link_words = words_for(n_indexed.max(1));
+
+        let num_sets = network.correlation_sets().len();
+        let mut set_masks = vec![vec![0u64; link_words]; num_sets];
+        for &l in pc {
+            set_bit(
+                &mut set_masks[network.correlation_set_of(l)],
+                link_slot[l.index()],
+            );
+        }
+
+        let mut path_links = Vec::with_capacity(network.num_paths());
+        let mut path_set_ids = Vec::with_capacity(network.num_paths());
+        for p in network.path_ids() {
+            let mut bm = vec![0u64; link_words];
+            let mut ids: Vec<usize> = Vec::new();
+            for &l in &network.path(p).links {
+                if pc.contains(&l) {
+                    set_bit(&mut bm, link_slot[l.index()]);
+                    ids.push(network.correlation_set_of(l));
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            path_links.push(bm);
+            path_set_ids.push(ids);
+        }
+
+        let mut target_cols: HashMap<usize, HashMap<Vec<u64>, usize>> = HashMap::new();
+        for (col, t) in index.subsets()[..n_targets].iter().enumerate() {
+            let mut bm = vec![0u64; link_words];
+            for &l in &t.links {
+                if l.index() < link_slot.len() && link_slot[l.index()] != usize::MAX {
+                    set_bit(&mut bm, link_slot[l.index()]);
+                }
+            }
+            target_cols
+                .entry(t.set_id)
+                .or_default()
+                .entry(bm)
+                .or_insert(col);
+        }
+
+        Self {
+            link_words,
+            path_words: words_for(network.num_paths().max(1)),
+            path_links,
+            path_set_ids,
+            set_masks,
+            target_cols,
+        }
+    }
+
+    /// Bitmap of a path set (over path indices), into `out`.
+    fn path_bitmap_into(&self, paths: &[PathId], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.path_words, 0);
+        for p in paths {
+            set_bit(out, p.index());
+        }
+    }
+
+    /// Computes the target columns of `Row(P, Ê)` for a path set. Returns
+    /// `false` when some induced subset is not a target (the path set must
+    /// not become an equation). On success `cols` holds the columns sorted
+    /// ascending.
+    fn target_row_cols(
+        &self,
+        paths: &[PathId],
+        union: &mut Vec<u64>,
+        inter: &mut Vec<u64>,
+        sids: &mut Vec<usize>,
+        cols: &mut Vec<usize>,
+    ) -> bool {
+        union.clear();
+        union.resize(self.link_words, 0);
+        inter.resize(self.link_words, 0);
+        sids.clear();
+        cols.clear();
+        for p in paths {
+            or_into(union, &self.path_links[p.index()]);
+            sids.extend_from_slice(&self.path_set_ids[p.index()]);
+        }
+        sids.sort_unstable();
+        sids.dedup();
+        for &s in sids.iter() {
+            if !and_into(inter, union, &self.set_masks[s]) {
+                continue;
+            }
+            let Some(col) = self
+                .target_cols
+                .get(&s)
+                .and_then(|m| m.get(inter.as_slice()))
+            else {
+                return false;
+            };
+            cols.push(*col);
+        }
+        cols.sort_unstable();
+        true
+    }
+}
+
+/// Incrementally maintained null-space basis over the target unknowns, with
+/// per-target Hamming weights (`SortByHammingWeight`) updated in place as
+/// rows are folded in, instead of recounted from the full basis at every
+/// admission.
+///
+/// The arithmetic replicates [`nullspace_update`] operation-for-operation
+/// (same pivot rule `j = argmax |r·N_j|` with last-max tie-breaking, same
+/// rank-one column update, same summation order over the row's nonzeros), so
+/// the maintained basis is bit-identical to the reference implementation's —
+/// only columns whose `r·N_c` is exactly zero are skipped, which cannot
+/// change any value the algorithm compares.
+struct NullTracker {
+    targets: usize,
+    /// Basis columns (each of length `targets`), in reference order.
+    cols: Vec<Vec<f64>>,
+    /// Per target: number of basis columns with `|N[t][c]| > weight_tol`.
+    weights: Vec<usize>,
+    weight_tol: f64,
+}
+
+impl NullTracker {
+    /// The null space of an empty system: the identity basis.
+    fn identity(targets: usize, weight_tol: f64) -> Self {
+        let mut cols = Vec::with_capacity(targets);
+        for j in 0..targets {
+            let mut c = vec![0.0; targets];
+            c[j] = 1.0;
+            cols.push(c);
+        }
+        Self {
+            targets,
+            cols,
+            weights: vec![1; targets],
+            weight_tol,
+        }
+    }
+
+    fn nullity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `‖r × N‖ > tol` for a 0/1 row given by its nonzero columns (sorted).
+    fn row_hits(&self, row_cols: &[usize], tol: f64) -> bool {
+        self.cols.iter().any(|c| {
+            let s: f64 = row_cols.iter().map(|&i| c[i]).sum();
+            s.abs() > tol
+        })
+    }
+
+    /// Algorithm 2: folds a 0/1 row into the basis. Returns `true` when the
+    /// row was independent (the basis shrank by one column).
+    fn fold(&mut self, row_cols: &[usize]) -> bool {
+        let p = self.cols.len();
+        if p == 0 {
+            return false;
+        }
+        let dots: Vec<f64> = self
+            .cols
+            .iter()
+            .map(|c| row_cols.iter().map(|&i| c[i]).sum())
+            .collect();
+        // Pivot: largest |r·N_j|, last maximum winning ties (the fold of
+        // `Iterator::max_by`).
+        let mut j = 0usize;
+        let mut best = dots[0].abs();
+        for (c, d) in dots.iter().enumerate().skip(1) {
+            if d.abs().total_cmp(&best) != std::cmp::Ordering::Less {
+                j = c;
+                best = d.abs();
+            }
+        }
+        if best <= DEFAULT_TOL {
+            return false;
+        }
+        let dj = dots[j];
+        let nj = self.cols[j].clone();
+        for (weight, &entry) in self.weights.iter_mut().zip(&nj[..self.targets]) {
+            if entry.abs() > self.weight_tol {
+                *weight -= 1;
+            }
+        }
+        for (c, col) in self.cols.iter_mut().enumerate() {
+            if c == j {
+                continue;
+            }
+            let factor = dots[c] / dj;
+            if factor == 0.0 {
+                // The rank-one update is a no-op on this column (up to the
+                // sign of zeros, which nothing downstream observes).
+                continue;
+            }
+            for i in 0..self.targets {
+                let old = col[i];
+                let new = old - nj[i] * factor;
+                let was = old.abs() > self.weight_tol;
+                let is = new.abs() > self.weight_tol;
+                match (was, is) {
+                    (false, true) => self.weights[i] += 1,
+                    (true, false) => self.weights[i] -= 1,
+                    _ => {}
+                }
+                col[i] = new;
+            }
+        }
+        self.cols.remove(j);
+        true
+    }
+}
+
 /// Runs Algorithm 1 over the target correlation subsets.
 ///
 /// `targets` defines the unknown columns; `potentially_congested` is the set
 /// of links that may ever be congested (always-good links are excluded from
 /// the rows, see [`crate::system::induced_subsets`]).
+///
+/// This is the bitmap fast path; it selects the identical path sets, in the
+/// identical order, as [`select_path_sets_reference`].
 pub fn select_path_sets(
+    network: &Network,
+    observations: &PathObservations,
+    targets: &[CorrelationSubset],
+    potentially_congested: &BTreeSet<LinkId>,
+    config: &PathSelectionConfig,
+) -> PathSelectionOutcome {
+    let index = SubsetIndex::new(targets.to_vec());
+    let n_targets = index.num_targets();
+    if n_targets == 0 {
+        return PathSelectionOutcome {
+            path_sets: Vec::new(),
+            initial_count: 0,
+            augmented_count: 0,
+            final_nullity: 0,
+            identifiable: Vec::new(),
+        };
+    }
+    let ctx = SelectionContext::new(network, &index, potentially_congested);
+
+    // Scratch buffers reused across every candidate evaluation.
+    let mut union = Vec::new();
+    let mut inter = Vec::new();
+    let mut sids = Vec::new();
+    let mut cols = Vec::new();
+    let mut path_bm = Vec::new();
+
+    // --- Seeding: one path set per target subset (lines 1–5) ---------------
+    // Each entry carries the path set together with the (already validated)
+    // target columns of its row.
+    let mut path_sets: Vec<(Vec<PathId>, Vec<usize>)> = Vec::new();
+    let mut seen_sets: HashSet<Vec<u64>> = HashSet::new();
+    let mut observing_paths: Vec<Vec<PathId>> = Vec::with_capacity(n_targets);
+    // `pruned_complement` recomputes the always-good links per call; they
+    // depend only on the observations, so hoist them out of the loop.
+    let good = always_good_links(network, observations);
+    for subset in targets {
+        let paths_e = network.paths_covering_subset(subset);
+        let set = &network.correlation_sets()[subset.set_id];
+        let complement = CorrelationSubset::new(
+            subset.set_id,
+            set.links
+                .iter()
+                .copied()
+                .filter(|l| !subset.links.contains(l) && !good.contains(l)),
+        );
+        let paths_comp = network.paths_covering_subset(&complement);
+        let p: Vec<PathId> = paths_e.difference(&paths_comp).copied().collect();
+        observing_paths.push(p.clone());
+        // Only path sets whose induced subsets all belong to Ê form usable
+        // equations (the paper's `Row(P, Ê)`): an equation involving a
+        // subset outside the target list would carry an extra unknown the
+        // rank analysis cannot see, silently entangling the targets with
+        // it. Unclean seeds are skipped; the augmentation loop then finds
+        // smaller, clean path sets for their targets instead. Marking
+        // rejected seeds as seen caches the rejection.
+        if p.is_empty() {
+            continue;
+        }
+        ctx.path_bitmap_into(&p, &mut path_bm);
+        if !seen_sets.insert(path_bm.clone()) {
+            continue;
+        }
+        if ctx.target_row_cols(&p, &mut union, &mut inter, &mut sids, &mut cols) {
+            path_sets.push((p, cols.clone()));
+        }
+    }
+    let initial_count = path_sets.len();
+
+    // --- Initial null space (lines 6–7), built incrementally ---------------
+    let mut tracker = NullTracker::identity(n_targets, config.tol);
+    for (_, row_cols) in &path_sets {
+        tracker.fold(row_cols);
+        if tracker.nullity() == 0 {
+            break;
+        }
+    }
+
+    // --- Augmentation loop (lines 8–22) -------------------------------------
+    let mut augmented_count = 0usize;
+    while tracker.nullity() > 0 {
+        // SortByHammingWeight over the incrementally maintained weights.
+        let mut order: Vec<(usize, usize)> = tracker
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i))
+            .collect();
+        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut found: Option<(Vec<PathId>, Vec<usize>)> = None;
+        'targets: for (weight, target_idx) in order {
+            if weight == 0 {
+                // Rows of weight 0 cannot move the null space in their own
+                // direction and rarely help others; skip them for speed
+                // (they sort last anyway).
+                continue;
+            }
+            let base = &observing_paths[target_idx];
+            if base.is_empty() {
+                continue;
+            }
+            let mut local: Option<(Vec<PathId>, Vec<usize>)> = None;
+            for_each_subset_by_size(base, config.max_candidates_per_subset, |candidate| {
+                ctx.path_bitmap_into(candidate, &mut path_bm);
+                if seen_sets.contains(path_bm.as_slice()) {
+                    return false;
+                }
+                if !ctx.target_row_cols(candidate, &mut union, &mut inter, &mut sids, &mut cols) {
+                    return false;
+                }
+                if tracker.row_hits(&cols, config.tol) {
+                    local = Some((candidate.to_vec(), cols.clone()));
+                    return true;
+                }
+                false
+            });
+            if local.is_some() {
+                found = local;
+                break 'targets;
+            }
+        }
+        let Some((new_set, new_cols)) = found else {
+            break;
+        };
+        if !tracker.fold(&new_cols) {
+            // Should not happen (the candidate passed the ‖r×N‖ test), but
+            // guard against numerical disagreement to avoid looping.
+            break;
+        }
+        ctx.path_bitmap_into(&new_set, &mut path_bm);
+        seen_sets.insert(path_bm.clone());
+        path_sets.push((new_set, new_cols));
+        augmented_count += 1;
+    }
+
+    // --- Identifiability of each target -------------------------------------
+    let identifiable = tracker.weights.iter().map(|&w| w == 0).collect();
+
+    PathSelectionOutcome {
+        path_sets: path_sets.into_iter().map(|(ps, _)| ps).collect(),
+        initial_count,
+        augmented_count,
+        final_nullity: tracker.nullity(),
+        identifiable,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation (element-wise, dense rows) — the behavioral oracle
+// ---------------------------------------------------------------------------
+
+/// The original element-wise implementation of Algorithm 1, kept as the
+/// reference oracle for [`select_path_sets`]: identical inputs must yield the
+/// identical [`PathSelectionOutcome`]. It is exercised by the equivalence
+/// tests and benchmarked next to the bitmap path; production callers use
+/// [`select_path_sets`].
+pub fn select_path_sets_reference(
     network: &Network,
     observations: &PathObservations,
     targets: &[CorrelationSubset],
@@ -100,8 +563,6 @@ pub fn select_path_sets(
     }
 
     // --- Seeding: one path set per target subset (lines 1–5) ---------------
-    // Each entry carries the path set together with its (already validated)
-    // row over the target columns.
     let mut path_sets: Vec<(Vec<PathId>, Vec<f64>)> = Vec::new();
     let mut seen_sets: BTreeSet<Vec<PathId>> = BTreeSet::new();
     let mut observing_paths: Vec<Vec<PathId>> = Vec::with_capacity(n_targets);
@@ -111,18 +572,9 @@ pub fn select_path_sets(
         let paths_comp = network.paths_covering_subset(&complement);
         let p: Vec<PathId> = paths_e.difference(&paths_comp).copied().collect();
         observing_paths.push(p.clone());
-        // Only path sets whose induced subsets all belong to Ê form usable
-        // equations (the paper's `Row(P, Ê)`): an equation involving a
-        // subset outside the target list would carry an extra unknown the
-        // rank analysis cannot see, silently entangling the targets with
-        // it. Unclean seeds are skipped; the augmentation loop then finds
-        // smaller, clean path sets for their targets instead.
         if p.is_empty() || !seen_sets.insert(p.clone()) {
             continue;
         }
-        // Marking rejected seeds as seen caches the rejection: an unclean
-        // path set can never become an equation, so neither duplicate seeds
-        // nor the augmentation loop need to re-evaluate it.
         if let Some(row) = target_row(network, &p, potentially_congested, &index) {
             path_sets.push((p, row));
         }
@@ -130,9 +582,6 @@ pub fn select_path_sets(
     let initial_count = path_sets.len();
 
     // --- Initial null space (lines 6–7), built incrementally ---------------
-    // Starting from the identity (null space of an empty system) and folding
-    // the seed rows in one at a time with Algorithm 2 avoids a full O(n^3)
-    // elimination over the seed matrix.
     let mut nullspace = Matrix::identity(n_targets);
     for (_, row) in &path_sets {
         nullspace = nullspace_update(&nullspace, row).into_basis();
@@ -160,8 +609,6 @@ pub fn select_path_sets(
                 nullspace = n;
             }
             NullSpaceUpdate::Unchanged(n) => {
-                // Should not happen (the candidate passed the ‖r×N‖ test),
-                // but guard against numerical disagreement to avoid looping.
                 nullspace = n;
                 break;
             }
@@ -231,21 +678,14 @@ fn find_augmenting_path_set(
 
     for (weight, target_idx) in weights {
         if weight == 0 {
-            // This target (and all following ones) is already pinned; a path
-            // set built from its observing paths alone cannot move the null
-            // space in its direction, but may still help others, so we do
-            // not break — we simply deprioritized it. In practice rows of
-            // weight 0 rarely help, so skip them for speed.
             continue;
         }
         let base = &observing_paths[target_idx];
         if base.is_empty() {
             continue;
         }
-        let mut emitted = 0usize;
         let mut found: Option<(Vec<PathId>, Vec<f64>)> = None;
         for_each_subset_by_size(base, config.max_candidates_per_subset, |candidate| {
-            emitted += 1;
             if seen_sets.contains(candidate) {
                 return false;
             }
@@ -371,6 +811,49 @@ mod tests {
         (outcome, targets)
     }
 
+    /// Asserts that the bitmap fast path and the reference oracle agree on
+    /// every field of the outcome.
+    fn assert_equivalent(network: &tomo_graph::Network, obs: &PathObservations) {
+        let targets = potentially_congested_subsets(network, obs, 4);
+        let pc: BTreeSet<LinkId> = crate::subsets::potentially_congested_links(network, obs)
+            .into_iter()
+            .collect();
+        let cfg = PathSelectionConfig::default();
+        let fast = select_path_sets(network, obs, &targets, &pc, &cfg);
+        let slow = select_path_sets_reference(network, obs, &targets, &pc, &cfg);
+        assert_eq!(fast.path_sets, slow.path_sets);
+        assert_eq!(fast.initial_count, slow.initial_count);
+        assert_eq!(fast.augmented_count, slow.augmented_count);
+        assert_eq!(fast.final_nullity, slow.final_nullity);
+        assert_eq!(fast.identifiable, slow.identifiable);
+    }
+
+    #[test]
+    fn bitmap_matches_reference_on_toy_networks() {
+        for net in [fig1_case1(), fig1_case2()] {
+            let obs = busy_observations(net.num_paths());
+            assert_equivalent(&net, &obs);
+        }
+    }
+
+    #[test]
+    fn bitmap_matches_reference_under_partial_congestion() {
+        // Observations in which some paths are always good, so the
+        // potentially congested link set (and thus the pruned complements,
+        // the seeds and the dense indexing) is a strict subset.
+        for net in [fig1_case1(), fig1_case2()] {
+            for good_path in 0..net.num_paths() {
+                let mut o = PathObservations::new(net.num_paths(), 4);
+                for p in 0..net.num_paths() {
+                    if p != good_path {
+                        o.set_congested(PathId(p), 0, true);
+                    }
+                }
+                assert_equivalent(&net, &o);
+            }
+        }
+    }
+
     #[test]
     fn selected_path_sets_never_induce_unknowns_outside_the_targets() {
         // Regression test: when the target list is capped (here: singletons
@@ -490,6 +973,22 @@ mod tests {
             false
         });
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn null_tracker_weights_match_recounting() {
+        // Fold a handful of rows and verify the incrementally maintained
+        // Hamming weights always equal a from-scratch recount of the basis.
+        let rows: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3], vec![0, 2, 4], vec![4]];
+        let mut t = NullTracker::identity(5, 1e-7);
+        for row in &rows {
+            t.fold(row);
+            for i in 0..5 {
+                let recount = t.cols.iter().filter(|c| c[i].abs() > 1e-7).count();
+                assert_eq!(t.weights[i], recount, "row {row:?}, target {i}");
+            }
+        }
+        assert_eq!(t.nullity(), 1);
     }
 
     #[test]

@@ -18,7 +18,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 use tomo_graph::{CorrelationSubset, LinkId, Network, PathId};
-use tomo_linalg::{least_squares, LstsqOptions, Matrix, Vector};
+use tomo_linalg::{
+    least_squares, should_use_sparse, sparse_least_squares, LstsqOptions, Matrix, SparseMatrix,
+    Vector,
+};
 
 use crate::estimator::PathSetEstimator;
 
@@ -225,17 +228,52 @@ impl EquationSystem {
         m
     }
 
+    /// Builds the CSR form of the system matrix without materializing the
+    /// dense one (the equations *are* the sparse rows: each stores only the
+    /// columns with coefficient 1).
+    pub fn sparse_matrix(&self) -> SparseMatrix {
+        let mut m = SparseMatrix::with_cols(self.index.len());
+        let mut cols: Vec<usize> = Vec::new();
+        for eq in &self.equations {
+            cols.clear();
+            cols.extend_from_slice(&eq.columns);
+            cols.sort_unstable();
+            cols.dedup();
+            m.push_binary_row(&cols);
+        }
+        m
+    }
+
+    /// Number of nonzeros the system matrix would have.
+    pub fn nnz(&self) -> usize {
+        self.equations.iter().map(|e| e.columns.len()).sum()
+    }
+
     /// The right-hand-side vector.
     pub fn rhs(&self) -> Vector {
         Vector::from_iter(self.equations.iter().map(|e| e.rhs))
     }
 
+    /// Whether [`EquationSystem::solve`] would take the sparse CG path for
+    /// this system (large and sparse) rather than the dense reference path.
+    pub fn prefers_sparse(&self) -> bool {
+        should_use_sparse(self.equations.len(), self.index.len(), self.nnz())
+    }
+
     /// Solves the system by least squares and converts the log-domain
     /// solution back to probabilities.
+    ///
+    /// Large, sparse systems (see [`tomo_linalg::should_use_sparse`]) are
+    /// solved through the CSR conjugate-gradient path without ever
+    /// materializing the dense matrix; small or dense systems keep the exact
+    /// dense reference behavior.
     pub fn solve(&self, opts: &LstsqOptions) -> SolvedSystem {
-        let a = self.matrix();
         let b = self.rhs();
-        let sol = least_squares(&a, &b, opts);
+        let sol = if self.prefers_sparse() {
+            sparse_least_squares(&self.sparse_matrix(), &b, opts)
+        } else {
+            least_squares(&self.matrix(), &b, opts)
+        };
         let good_probability: Vec<f64> = sol
             .x
             .as_slice()

@@ -1,0 +1,72 @@
+//! Release-only end-to-end smoke test at sweep scale: the sparse fast path
+//! must keep a full estimator fit on the ≥5k-link `BriteConfig::large`
+//! topology *interactive* (< 1 s). Before the CSR + conjugate-gradient
+//! solver this fit went through a dense O(n³) elimination over ~5.5k
+//! unknowns and took minutes.
+//!
+//! Generation alone takes tens of seconds in debug mode, so the test is
+//! ignored by default; CI runs it in release via
+//! `cargo test -p tomo-prob --release -- --ignored large_brite`.
+
+use std::time::Instant;
+
+use tomo_graph::LinkId;
+use tomo_prob::independence::{Independence, IndependenceConfig};
+use tomo_prob::ProbabilityComputation;
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator};
+
+#[test]
+#[ignore = "multi-second generation; run in release with -- --ignored"]
+fn large_brite_fit_stays_interactive() {
+    let network = BriteGenerator::new(BriteConfig::large(1))
+        .generate()
+        .expect("large Brite generation");
+    assert!(
+        network.num_links() >= 5_000,
+        "sweep-scale topology regressed: {} links",
+        network.num_links()
+    );
+
+    let sim = SimulationConfig {
+        num_intervals: 60,
+        scenario: ScenarioConfig::no_independence(),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed: 11,
+    };
+    let output = Simulator::new(sim).run(&network);
+
+    let algo = Independence::new(IndependenceConfig {
+        compute_identifiability: false,
+        ..IndependenceConfig::default()
+    });
+    let started = Instant::now();
+    let estimate = algo.compute(&network, &output.observations);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "large fit took {elapsed:?}; the interactive budget is 1 s"
+    );
+
+    // The fit must actually have estimated something at scale, with sane
+    // probabilities everywhere.
+    assert!(
+        estimate.diagnostics.num_unknowns >= 1_000,
+        "diagnostics: {:?}",
+        estimate.diagnostics
+    );
+    assert!(estimate.diagnostics.num_equations >= estimate.diagnostics.num_unknowns / 2);
+    let mut estimated = 0usize;
+    for l in 0..network.num_links() {
+        let p = estimate.link_congestion_probability(LinkId(l));
+        assert!((0.0..=1.0).contains(&p), "link {l}: p = {p}");
+        if p > 0.0 {
+            estimated += 1;
+        }
+    }
+    assert!(
+        estimated >= 100,
+        "only {estimated} links got a nonzero congestion probability"
+    );
+}

@@ -1,0 +1,110 @@
+//! Property-based equivalence tests for the bitmap Algorithm-1 fast path.
+//!
+//! [`select_path_sets`] (bitmap representation, incremental Hamming-weight
+//! tracking) must select the *identical* path sets in the *identical* order
+//! as [`select_path_sets_reference`], the element-wise oracle — on generated
+//! Brite and Sparse topologies under random congestion observations, not
+//! just the hand-built Fig. 1 fixtures of the unit suite.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use tomo_graph::{LinkId, Network, PathId};
+use tomo_prob::path_selection::{
+    select_path_sets, select_path_sets_reference, PathSelectionConfig,
+};
+use tomo_prob::potentially_congested_subsets;
+use tomo_prob::subsets::potentially_congested_links;
+use tomo_sim::PathObservations;
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+const INTERVALS: usize = 5;
+
+/// Materializes random congestion flags into an observation matrix; flags
+/// are consumed modulo their length so any generated network size fits.
+fn observations_from_flags(network: &Network, flags: &[bool]) -> PathObservations {
+    let num_paths = network.num_paths();
+    let mut obs = PathObservations::new(num_paths, INTERVALS);
+    for t in 0..INTERVALS {
+        for p in 0..num_paths {
+            let flag = flags[(t * num_paths + p) % flags.len()];
+            obs.set_congested(PathId(p), t, flag);
+        }
+    }
+    obs
+}
+
+/// Runs both implementations on the same inputs and fails the case on the
+/// first field where they disagree.
+fn check_equivalence(
+    network: &Network,
+    obs: &PathObservations,
+    max_subset_size: usize,
+) -> Result<(), TestCaseError> {
+    let targets = potentially_congested_subsets(network, obs, max_subset_size);
+    let pc: BTreeSet<LinkId> = potentially_congested_links(network, obs)
+        .into_iter()
+        .collect();
+    let cfg = PathSelectionConfig::default();
+    let fast = select_path_sets(network, obs, &targets, &pc, &cfg);
+    let slow = select_path_sets_reference(network, obs, &targets, &pc, &cfg);
+    prop_assert_eq!(fast.path_sets, slow.path_sets);
+    prop_assert_eq!(fast.initial_count, slow.initial_count);
+    prop_assert_eq!(fast.augmented_count, slow.augmented_count);
+    prop_assert_eq!(fast.final_nullity, slow.final_nullity);
+    prop_assert_eq!(fast.identifiable, slow.identifiable);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn bitmap_matches_reference_on_brite_topologies(
+        seed in 0u64..1024,
+        flags in proptest::collection::vec(any::<bool>(), 64..=384),
+    ) {
+        let network = BriteGenerator::new(BriteConfig::tiny(seed))
+            .generate()
+            .expect("tiny Brite generation is infallible for any seed");
+        prop_assume!(network.num_paths() > 0);
+        let obs = observations_from_flags(&network, &flags);
+        check_equivalence(&network, &obs, 4)?;
+    }
+
+    #[test]
+    fn bitmap_matches_reference_on_sparse_topologies(
+        seed in 0u64..1024,
+        flags in proptest::collection::vec(any::<bool>(), 64..=512),
+    ) {
+        let network = SparseGenerator::new(SparseConfig::tiny(seed))
+            .generate()
+            .expect("tiny Sparse generation is infallible for any seed");
+        prop_assume!(network.num_paths() > 0);
+        let obs = observations_from_flags(&network, &flags);
+        check_equivalence(&network, &obs, 4)?;
+    }
+
+    #[test]
+    fn bitmap_matches_reference_under_extreme_observations(
+        seed in 0u64..1024,
+        all_congested in any::<bool>(),
+    ) {
+        // Degenerate corners: every interval congested on every path (the
+        // densest potentially congested set) and fully quiet observations
+        // (empty target list — both must return the empty outcome).
+        let network = BriteGenerator::new(BriteConfig::tiny(seed))
+            .generate()
+            .expect("tiny Brite generation is infallible for any seed");
+        prop_assume!(network.num_paths() > 0);
+        let mut obs = PathObservations::new(network.num_paths(), INTERVALS);
+        if all_congested {
+            for t in 0..INTERVALS {
+                for p in 0..network.num_paths() {
+                    obs.set_congested(PathId(p), t, true);
+                }
+            }
+        }
+        check_equivalence(&network, &obs, 4)?;
+    }
+}

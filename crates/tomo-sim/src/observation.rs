@@ -5,12 +5,25 @@ use serde::{Deserialize, Serialize};
 use tomo_graph::PathId;
 
 /// The Boolean congestion status `Y_p(t)` of every path over `T` intervals.
+///
+/// Intervals may optionally carry *weights* (see
+/// [`PathObservations::set_weights`]): empirical frequencies are then
+/// weighted averages instead of plain fractions, which is how an
+/// exponentially decayed observation window reaches the batch estimators —
+/// any algorithm that consumes frequencies through
+/// [`PathObservations::fraction_all_good`] /
+/// [`PathObservations::path_congestion_frequency`] (the Bayesian and
+/// heuristic estimators included) becomes drift-aware for free. Unweighted
+/// observations behave exactly as before (every interval counts 1).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PathObservations {
     num_paths: usize,
     num_intervals: usize,
     /// Row-major: `congested[t * num_paths + p]`.
     congested: Vec<bool>,
+    /// Optional per-interval weights (`weights[t]`); `None` means every
+    /// interval weighs 1.
+    weights: Option<Vec<f64>>,
 }
 
 impl PathObservations {
@@ -20,6 +33,50 @@ impl PathObservations {
             num_paths,
             num_intervals,
             congested: vec![false; num_paths * num_intervals],
+            weights: None,
+        }
+    }
+
+    /// Attaches per-interval weights (e.g. `λ^age` from a decayed window).
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != num_intervals` or any weight is
+    /// non-finite or non-positive.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(
+            weights.len(),
+            self.num_intervals,
+            "one weight per interval required"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "interval weights must be finite and positive"
+        );
+        self.weights = Some(weights);
+    }
+
+    /// The per-interval weights, when attached.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Whether per-interval weights are attached.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The weight of interval `t` (1 when unweighted).
+    pub fn interval_weight(&self, t: usize) -> f64 {
+        assert!(t < self.num_intervals, "interval index out of range");
+        self.weights.as_ref().map_or(1.0, |w| w[t])
+    }
+
+    /// The effective sample size weighted frequencies divide by: `Σ w_t`,
+    /// which is exactly `T` when unweighted.
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            None => self.num_intervals as f64,
+            Some(w) => w.iter().sum(),
         }
     }
 
@@ -78,28 +135,50 @@ impl PathObservations {
         paths.iter().all(|&p| self.is_good(p, t))
     }
 
-    /// Empirical estimate of `P(∩_{p ∈ paths} Y_p = 0)`: the fraction of
-    /// intervals during which every path in `paths` was good. This is the
-    /// left-hand side of Eq. (1) in the paper.
+    /// Empirical estimate of `P(∩_{p ∈ paths} Y_p = 0)`: the (weighted)
+    /// fraction of intervals during which every path in `paths` was good.
+    /// This is the left-hand side of Eq. (1) in the paper.
     pub fn fraction_all_good(&self, paths: &[PathId]) -> f64 {
         if self.num_intervals == 0 {
             return 0.0;
         }
-        let count = (0..self.num_intervals)
-            .filter(|&t| self.all_good(paths, t))
-            .count();
-        count as f64 / self.num_intervals as f64
+        match &self.weights {
+            None => {
+                let count = (0..self.num_intervals)
+                    .filter(|&t| self.all_good(paths, t))
+                    .count();
+                count as f64 / self.num_intervals as f64
+            }
+            Some(w) => {
+                let hit: f64 = (0..self.num_intervals)
+                    .filter(|&t| self.all_good(paths, t))
+                    .map(|t| w[t])
+                    .sum();
+                hit / self.total_weight()
+            }
+        }
     }
 
-    /// Empirical congestion frequency of a single path.
+    /// Empirical (weighted) congestion frequency of a single path.
     pub fn path_congestion_frequency(&self, p: PathId) -> f64 {
         if self.num_intervals == 0 {
             return 0.0;
         }
-        let count = (0..self.num_intervals)
-            .filter(|&t| self.is_congested(p, t))
-            .count();
-        count as f64 / self.num_intervals as f64
+        match &self.weights {
+            None => {
+                let count = (0..self.num_intervals)
+                    .filter(|&t| self.is_congested(p, t))
+                    .count();
+                count as f64 / self.num_intervals as f64
+            }
+            Some(w) => {
+                let hit: f64 = (0..self.num_intervals)
+                    .filter(|&t| self.is_congested(p, t))
+                    .map(|t| w[t])
+                    .sum();
+                hit / self.total_weight()
+            }
+        }
     }
 
     /// Paths that were good during *every* interval. Links traversed only by
@@ -171,5 +250,47 @@ mod tests {
     fn out_of_range_interval_panics() {
         let o = sample();
         let _ = o.is_good(PathId(0), 99);
+    }
+
+    #[test]
+    fn unweighted_defaults_count_every_interval_once() {
+        let o = sample();
+        assert!(!o.is_weighted());
+        assert_eq!(o.weights(), None);
+        assert_eq!(o.interval_weight(0), 1.0);
+        assert_eq!(o.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn weighted_frequencies_are_weighted_averages() {
+        let mut o = sample();
+        // p0 congested in t0, t2. Weight the recent intervals heavier.
+        o.set_weights(vec![1.0, 1.0, 2.0, 4.0]);
+        assert!(o.is_weighted());
+        assert_eq!(o.total_weight(), 8.0);
+        assert!((o.interval_weight(3) - 4.0).abs() < 1e-12);
+        // p0 good in t1 (w=1) and t3 (w=4) -> 5/8.
+        assert!((o.fraction_all_good(&[PathId(0)]) - 5.0 / 8.0).abs() < 1e-12);
+        // p0 congested in t0 (w=1) and t2 (w=2) -> 3/8.
+        assert!((o.path_congestion_frequency(PathId(0)) - 3.0 / 8.0).abs() < 1e-12);
+        // Uniform weights reproduce the unweighted numbers exactly.
+        let mut u = sample();
+        u.set_weights(vec![3.0; 4]);
+        assert!((u.fraction_all_good(&[PathId(0)]) - 0.5).abs() < 1e-12);
+        assert!((u.path_congestion_frequency(PathId(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per interval")]
+    fn weight_length_mismatch_panics() {
+        let mut o = sample();
+        o.set_weights(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_weights_panic() {
+        let mut o = sample();
+        o.set_weights(vec![1.0, 0.0, 1.0, 1.0]);
     }
 }

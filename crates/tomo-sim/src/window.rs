@@ -173,7 +173,9 @@ impl ObservationWindow {
     }
 
     /// Materializes the retained intervals into a [`PathObservations`] matrix
-    /// (interval 0 = oldest retained).
+    /// (interval 0 = oldest retained). Under decay the matrix carries the
+    /// `λ^age` interval weights, so batch estimators re-fit from it see the
+    /// same reweighted history the incremental estimators maintain.
     pub fn to_observations(&self) -> PathObservations {
         let mut obs = PathObservations::new(self.num_paths, self.intervals.len());
         for (t, flags) in self.intervals.iter().enumerate() {
@@ -182,6 +184,13 @@ impl ObservationWindow {
                     obs.set_congested(PathId(p), t, congested);
                 }
             }
+        }
+        if self.decay.is_some() && !self.intervals.is_empty() {
+            obs.set_weights(
+                (0..self.intervals.len())
+                    .map(|i| self.interval_weight(i))
+                    .collect(),
+            );
         }
         obs
     }
@@ -309,6 +318,25 @@ mod tests {
     #[should_panic(expected = "decay must lie in (0, 1)")]
     fn decay_outside_unit_interval_is_rejected() {
         let _ = ObservationWindow::with_decay(1, None, Some(1.5));
+    }
+
+    #[test]
+    fn decayed_window_materializes_weighted_observations() {
+        let mut w = ObservationWindow::with_decay(2, None, Some(0.5));
+        w.push_congested(&[PathId(0)]).unwrap();
+        w.push_congested(&[]).unwrap();
+        w.push_congested(&[PathId(0)]).unwrap();
+        let obs = w.to_observations();
+        assert!(obs.is_weighted());
+        assert_eq!(obs.weights(), Some(&[0.25, 0.5, 1.0][..]));
+        assert!((obs.total_weight() - w.total_weight()).abs() < 1e-12);
+        // p0 congested in the oldest and newest interval -> (0.25 + 1)/1.75.
+        let freq = obs.path_congestion_frequency(PathId(0));
+        assert!((freq - 1.25 / 1.75).abs() < 1e-12);
+        // Without decay the matrix stays unweighted.
+        let mut plain = ObservationWindow::new(2);
+        plain.push_congested(&[PathId(0)]).unwrap();
+        assert!(!plain.to_observations().is_weighted());
     }
 
     #[test]
