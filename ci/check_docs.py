@@ -1,35 +1,40 @@
 #!/usr/bin/env python3
 """Docs-drift gate: the operations runbook must track the wire protocol.
 
-``docs/OPERATIONS.md`` documents the v2 request grammar and the full error
-taxonomy. Those lists rot silently when someone adds a ``Request`` or
-``ErrorKind`` variant to ``crates/tomo-serve/src/protocol.rs`` without
-touching the runbook — so CI extracts the variant names straight from the
-enum source and fails unless every one of them appears in the doc.
+``docs/OPERATIONS.md`` documents the v2 request grammar, the full error
+taxonomy, and the topology-drift event taxonomy. Those lists rot silently
+when someone adds a ``Request``/``ErrorKind`` variant to
+``crates/tomo-serve/src/protocol.rs`` — or a ``DriftKind`` variant to
+``crates/tomo-topo/src/drift.rs`` — without touching the runbook. So CI
+extracts the variant names straight from the enum source and fails unless
+every one of them appears in the doc.
 
 The check is membership, not prose: each variant name must occur verbatim
-somewhere in OPERATIONS.md. Removing a variant from the protocol without
-pruning the doc also fails (the doc would promise an error kind the daemon
-can no longer emit).
+somewhere in OPERATIONS.md. Removing a variant from the source without
+pruning the doc also fails (the doc would promise behavior the daemon can
+no longer emit).
 """
 
 import re
 import sys
 
-PROTOCOL = "crates/tomo-serve/src/protocol.rs"
 OPERATIONS = "docs/OPERATIONS.md"
 
-# Enums whose variants the runbook must enumerate.
-ENUMS = ("ErrorKind", "Request")
+# (source file, enum) pairs whose variants the runbook must enumerate.
+ENUMS = (
+    ("crates/tomo-serve/src/protocol.rs", "ErrorKind"),
+    ("crates/tomo-serve/src/protocol.rs", "Request"),
+    ("crates/tomo-topo/src/drift.rs", "DriftKind"),
+)
 
 
-def enum_variants(source, enum_name):
+def enum_variants(source, path, enum_name):
     """Extracts top-level variant names of ``pub enum <enum_name>``."""
     match = re.search(
         rf"pub enum {enum_name}\s*\{{(.*?)\n\}}", source, re.DOTALL
     )
     if not match:
-        sys.exit(f"check_docs: cannot find `pub enum {enum_name}` in {PROTOCOL}")
+        sys.exit(f"check_docs: cannot find `pub enum {enum_name}` in {path}")
     body = match.group(1)
     variants = []
     depth = 0
@@ -49,8 +54,6 @@ def enum_variants(source, enum_name):
 
 def main():
     try:
-        with open(PROTOCOL, encoding="utf-8") as fh:
-            source = fh.read()
         with open(OPERATIONS, encoding="utf-8") as fh:
             doc = fh.read()
     except OSError as e:
@@ -58,11 +61,16 @@ def main():
 
     failures = []
     doc_words = set(re.findall(r"[A-Za-z0-9]+", doc))
-    for enum_name in ENUMS:
-        variants = enum_variants(source, enum_name)
+    for path, enum_name in ENUMS:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as e:
+            sys.exit(f"check_docs: {e}")
+        variants = enum_variants(source, path, enum_name)
         missing = [v for v in variants if v not in doc_words]
         failures.extend(
-            f"{enum_name}::{v} is in {PROTOCOL} but never mentioned in {OPERATIONS}"
+            f"{enum_name}::{v} is in {path} but never mentioned in {OPERATIONS}"
             for v in missing
         )
         print(

@@ -1,0 +1,83 @@
+//! Benchmarks of the topology lifecycle subsystem (`tomo-topo`): the
+//! structural checker + canonical hash an inline upload pays once per
+//! document, the identifiability-driven alias analysis behind
+//! `TopologyInfo`, the per-batch drift scan every ingest drain pays, and
+//! the auto-rebuild path a drift event triggers under `"rebuild":"auto"`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tomo_core::{RebuildPolicy, SessionConfig, TomographySession};
+use tomo_graph::Network;
+use tomo_topo::{AliasAnalysis, DriftMonitor, TopologyDoc};
+use tomo_topology::{BriteConfig, BriteGenerator};
+
+/// The same BRITE-style instance the online benches use (~60 paths,
+/// hundreds of links) so numbers are comparable across suites.
+fn network() -> Network {
+    BriteGenerator::new(BriteConfig::tiny(7))
+        .generate()
+        .expect("tiny instance generates")
+}
+
+fn bench_topo(c: &mut Criterion) {
+    let network = network();
+    let mut group = c.benchmark_group("topo");
+    group.sample_size(20);
+
+    // Upload cost: referential-integrity checks, coverage report and the
+    // canonical FNV dedup hash over the whole document.
+    group.bench_function("validate_brite_tiny", |b| {
+        let doc = TopologyDoc::from_network(network.clone());
+        b.iter(|| doc.validate().expect("generated topology validates"))
+    });
+
+    // TopologyInfo cost: fold the routing matrix through Algorithm 2,
+    // orthonormalize the null-space basis and extract alias groups.
+    group.bench_function("alias_analysis_brite_tiny", |b| {
+        b.iter(|| AliasAnalysis::analyze(&network))
+    });
+
+    // Steady-state drift scan: what every ingest drain pays per batch when
+    // nothing drifts (the active-link diff over the congested-path union).
+    group.bench_function("drift_scan_brite_tiny", |b| {
+        let active: Vec<bool> = (0..network.num_paths()).map(|p| p % 3 == 0).collect();
+        let mut monitor = DriftMonitor::default();
+        monitor.observe(&network, &active, 0);
+        let mut t = 1;
+        b.iter(|| {
+            t += 1;
+            monitor.observe(&network, &active, t)
+        })
+    });
+
+    // Auto-rebuild on drift: alternate between two congested-path sets so
+    // every batch flips the active-link set and triggers a full structural
+    // rebuild through the session. The window holds exactly one batch so
+    // the previous pattern fully evicts each iteration (presence counters
+    // decay only on eviction) and the refit size stays constant.
+    group.bench_function("auto_rebuild_on_drift", |b| {
+        let mut session = TomographySession::new(
+            network.clone(),
+            SessionConfig {
+                window_capacity: Some(10),
+                rebuild: RebuildPolicy::Auto,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("auto-rebuild session");
+        let narrow: Vec<Vec<usize>> = vec![vec![0, 1]; 10];
+        let wide: Vec<Vec<usize>> =
+            vec![(0..network.num_paths()).step_by(2).collect::<Vec<_>>(); 10];
+        session.observe(&narrow).expect("prime");
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let batch = if flip { &wide } else { &narrow };
+            session.observe(batch).expect("drifting ingest")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topo);
+criterion_main!(benches);

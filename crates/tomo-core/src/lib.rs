@@ -50,6 +50,9 @@ pub use registry::EstimatorOptions;
 pub use session::{
     SessionAck, SessionConfig, SessionEstimate, SessionSnapshot, SessionStats, TomographySession,
 };
+// Drift types live in `tomo-topo`; re-exported here because `SessionConfig`
+// and `SessionStats` embed them.
+pub use tomo_topo::{DriftCounters, DriftEvent, DriftKind, RebuildPolicy};
 
 #[cfg(test)]
 mod tests {

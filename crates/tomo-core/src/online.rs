@@ -94,6 +94,35 @@ pub trait OnlineEstimator: Estimator {
     fn intervals_ingested(&self) -> u64 {
         self.window().map_or(0, |w| w.total_ingested())
     }
+
+    /// Per-path congestion presence inside the retained window:
+    /// `flags[p]` = path `p` was congested in at least one retained
+    /// interval. `None` before the first ingest. This is the bitmap the
+    /// topology drift monitor diffs; the incremental estimators answer from
+    /// the presence counters they already keep, the default folds the
+    /// window.
+    fn congested_paths(&self) -> Option<Vec<bool>> {
+        self.window().map(|w| {
+            let mut flags = vec![false; w.num_paths()];
+            for i in 0..w.len() {
+                for (p, &c) in w.interval(i).iter().enumerate() {
+                    if c {
+                        flags[p] = true;
+                    }
+                }
+            }
+            flags
+        })
+    }
+
+    /// Forces a structural rebuild from the retained window — the same
+    /// Algorithm-2 refold + solver refresh a structure change triggers,
+    /// without waiting for one. Returns `true` if a rebuild was performed
+    /// (`false` before the first ingest, or when the network's shape does
+    /// not match the window). Drift-driven auto-rebuilds go through here.
+    fn force_rebuild(&mut self, _network: &Network) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +662,30 @@ impl OnlineEstimator for OnlineIndependence {
             window.restore_total_ingested(total);
         }
     }
+
+    fn congested_paths(&self) -> Option<Vec<bool>> {
+        self.window
+            .as_ref()
+            .map(|_| self.path_congested.iter().map(|&c| c > 0).collect())
+    }
+
+    fn force_rebuild(&mut self, network: &Network) -> bool {
+        match self.window.as_ref() {
+            Some(w) if w.num_paths() == network.num_paths() => {}
+            _ => return false,
+        }
+        self.rebuild_structure(network);
+        let structure = self.structure.as_ref().expect("just rebuilt");
+        let solved = if structure.pc_links.is_empty() {
+            None
+        } else {
+            let b = self.rhs(structure, self.effective_weight());
+            Some(structure.solver.solve_batch(&b, self.config.ridge))
+        };
+        self.refresh_estimate(network, solved);
+        self.counts.full += 1;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -975,6 +1028,23 @@ impl OnlineEstimator for OnlineCorrelation {
             window.restore_total_ingested(total);
         }
     }
+
+    fn congested_paths(&self) -> Option<Vec<bool>> {
+        self.window
+            .as_ref()
+            .map(|_| self.path_congested.iter().map(|&c| c > 0).collect())
+    }
+
+    fn force_rebuild(&mut self, network: &Network) -> bool {
+        match self.window.as_ref() {
+            Some(w) if w.num_paths() == network.num_paths() => {}
+            _ => return false,
+        }
+        self.rebuild_structure(network);
+        self.refresh_estimate(network, true);
+        self.counts.full += 1;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1088,6 +1158,18 @@ impl OnlineEstimator for BufferedOnline {
         if let Some(window) = self.window.as_mut() {
             window.restore_total_ingested(total);
         }
+    }
+
+    fn force_rebuild(&mut self, network: &Network) -> bool {
+        let observations = match self.window.as_ref() {
+            Some(w) if w.num_paths() == network.num_paths() => w.to_observations(),
+            _ => return false,
+        };
+        if self.inner.fit(network, &observations).is_err() {
+            return false;
+        }
+        self.counts.full += 1;
+        true
     }
 }
 

@@ -23,6 +23,7 @@
 use serde::{Deserialize, Serialize};
 use tomo_graph::{LinkId, Network, PathId};
 use tomo_sim::PathObservations;
+use tomo_topo::{DriftCounters, DriftEvent, DriftMonitor, RebuildPolicy};
 
 use crate::error::TomoError;
 use crate::online::{online_by_name, OnlineEstimator, Refit, RefitCounts};
@@ -43,6 +44,11 @@ pub struct SessionConfig {
     /// Exponential reweighting factor `λ ∈ (0, 1)` (`None` = equal
     /// weights). Only supported by the incremental estimators.
     pub decay: Option<f64>,
+    /// What to do when topology drift is detected: `"manual"` (default)
+    /// records the event, `"auto"` additionally forces a structural rebuild
+    /// through the estimator's Algorithm-2 fold. Absent in pre-drift
+    /// snapshots, which restore as `Manual`.
+    pub rebuild: RebuildPolicy,
 }
 
 impl Default for SessionConfig {
@@ -52,6 +58,7 @@ impl Default for SessionConfig {
             options: EstimatorOptions::default(),
             window_capacity: None,
             decay: None,
+            rebuild: RebuildPolicy::Manual,
         }
     }
 }
@@ -97,6 +104,8 @@ pub struct SessionStats {
     pub total_ingested: u64,
     /// Incremental / full refit counters.
     pub refits: RefitCounts,
+    /// Lifetime topology-drift counters.
+    pub drift: DriftCounters,
 }
 
 /// The serialized form of a session: everything needed to reconstruct it.
@@ -120,6 +129,10 @@ pub struct TomographySession {
     network: Network,
     config: SessionConfig,
     online: Box<dyn OnlineEstimator + Send>,
+    drift: DriftMonitor,
+    /// Drift events detected since the last [`Self::take_drift_events`]
+    /// call (the serving layer drains them into its metrics).
+    pending_drift: Vec<DriftEvent>,
 }
 
 impl TomographySession {
@@ -135,6 +148,8 @@ impl TomographySession {
             network,
             config,
             online,
+            drift: DriftMonitor::new(),
+            pending_drift: Vec::new(),
         })
     }
 
@@ -187,6 +202,7 @@ impl TomographySession {
         }
         let batch = self.batch_from_intervals(intervals)?;
         let refit = self.online.ingest(&self.network, &batch)?;
+        self.note_drift();
         Ok(SessionAck {
             ingested: intervals.len(),
             refit,
@@ -198,11 +214,48 @@ impl TomographySession {
     /// that already hold a [`PathObservations`] skip the sparse round trip.
     pub fn observe_batch(&mut self, batch: &PathObservations) -> Result<SessionAck, TomoError> {
         let refit = self.online.ingest(&self.network, batch)?;
+        self.note_drift();
         Ok(SessionAck {
             ingested: batch.num_intervals(),
             refit,
             intervals: self.online.intervals_ingested(),
         })
+    }
+
+    /// Feeds the drift monitor after a successful ingest and applies the
+    /// rebuild policy: under [`RebuildPolicy::Auto`] any detected drift
+    /// forces a structural rebuild through the estimator's Algorithm-2 fold
+    /// (not a from-scratch refit — the retained window is refolded).
+    fn note_drift(&mut self) {
+        let Some(flags) = self.online.congested_paths() else {
+            return;
+        };
+        let events = self
+            .drift
+            .observe(&self.network, &flags, self.online.intervals_ingested());
+        if !events.is_empty()
+            && self.config.rebuild == RebuildPolicy::Auto
+            && self.online.force_rebuild(&self.network)
+        {
+            self.drift.record_auto_rebuild();
+        }
+        self.pending_drift.extend(events);
+    }
+
+    /// Lifetime drift counters.
+    pub fn drift_counters(&self) -> DriftCounters {
+        self.drift.counters()
+    }
+
+    /// Bounded ring of recent drift events, oldest first.
+    pub fn recent_drift_events(&self) -> &[DriftEvent] {
+        self.drift.recent_events()
+    }
+
+    /// Drains the drift events detected since the last call (the serving
+    /// layer records them into its per-tenant metrics).
+    pub fn take_drift_events(&mut self) -> Vec<DriftEvent> {
+        std::mem::take(&mut self.pending_drift)
     }
 
     /// The current per-link estimate; errors before the first ingest.
@@ -251,6 +304,7 @@ impl TomographySession {
             decay: self.config.decay,
             total_ingested: total,
             refits: self.online.refit_counts(),
+            drift: self.drift.counters(),
         }
     }
 
@@ -271,8 +325,8 @@ impl TomographySession {
     /// Reconstructs a session from a snapshot: rebuilds the estimator and
     /// re-ingests the retained window, reproducing the pre-snapshot
     /// estimate. The lifetime interval counter is restored from the
-    /// snapshot; refit counters restart (they describe this process's
-    /// work).
+    /// snapshot; refit and drift counters restart (they describe this
+    /// process's work — the replay primes a fresh drift baseline).
     pub fn restore(snapshot: SessionSnapshot) -> Result<Self, TomoError> {
         let mut session = Self::new(snapshot.network, snapshot.config)?;
         if !snapshot.intervals.is_empty() {
@@ -414,6 +468,55 @@ mod tests {
         let stats = restored.stats();
         assert_eq!(stats.window_len, 50);
         assert_eq!(stats.total_ingested, 70);
+    }
+
+    #[test]
+    fn drift_is_detected_and_auto_rebuild_is_opt_in() {
+        use tomo_topo::DriftKind;
+        // Manual policy: the appearance of path 2's congestion (link e4
+        // newly active) is flagged but triggers no extra refit.
+        let mut session = session();
+        session.observe(&vec![vec![0, 1]; 10]).unwrap();
+        assert!(session.take_drift_events().is_empty(), "first batch primes");
+        session.observe(&[vec![0, 1], vec![2]]).unwrap();
+        let events = session.take_drift_events();
+        assert!(
+            events.iter().any(|e| e.kind == DriftKind::LinkAppeared),
+            "{events:?}"
+        );
+        assert_eq!(session.drift_counters().auto_rebuilds, 0);
+        assert!(!session.recent_drift_events().is_empty());
+        let stats = session.stats();
+        assert!(stats.drift.links_appeared > 0);
+
+        // Auto policy: the same drift forces a structural rebuild.
+        let config = SessionConfig {
+            rebuild: RebuildPolicy::Auto,
+            ..SessionConfig::default()
+        };
+        let mut session = TomographySession::new(toy::fig1_case1(), config).unwrap();
+        session.observe(&vec![vec![0, 1]; 10]).unwrap();
+        let full_before = session.stats().refits.full;
+        session.observe(&[vec![0, 1], vec![2]]).unwrap();
+        assert!(session.drift_counters().auto_rebuilds > 0);
+        assert!(session.stats().refits.full > full_before);
+        // The rebuilt estimate still answers.
+        assert_eq!(session.query().unwrap().probabilities.len(), 4);
+    }
+
+    #[test]
+    fn pre_drift_snapshots_restore_with_manual_policy() {
+        // A snapshot written before the `rebuild` field existed has no such
+        // key; it must restore as Manual.
+        let mut session = session();
+        session.observe(&intervals(20, 0)).unwrap();
+        let json = serde_json::to_string(&session.snapshot()).unwrap();
+        let stripped = json.replace(",\"rebuild\":\"manual\"", "");
+        assert_ne!(stripped, json, "fixture must actually strip the field");
+        let snapshot: SessionSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(snapshot.config.rebuild, RebuildPolicy::Manual);
+        let restored = TomographySession::restore(snapshot).unwrap();
+        assert_eq!(restored.stats().total_ingested, 20);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::path::Path;
 /// Construct with [`crate::NetworkBuilder`], which validates the model
 /// invariants (paths are loop-free and reference existing links, every link
 /// belongs to exactly one correlation set).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Network {
     links: Vec<Link>,
     paths: Vec<Path>,

@@ -29,6 +29,12 @@ pub struct Instruments {
     /// Deadline-expired work discarded before execution (stale queued
     /// batches dropped at drain + requests expired at dequeue).
     timeouts: AtomicU64,
+    /// Topology drift: links that newly entered the active set.
+    drift_links_appeared: AtomicU64,
+    /// Topology drift: links that aged out of the active set.
+    drift_links_disappeared: AtomicU64,
+    /// Topology drift: measurement path-set size changes.
+    drift_path_set_changes: AtomicU64,
 }
 
 impl Instruments {
@@ -68,6 +74,23 @@ impl Instruments {
         self.timeouts.load(Ordering::Relaxed)
     }
 
+    /// Records a batch of topology-drift detections (one call per drained
+    /// session, with however many links/changes that drain surfaced).
+    pub fn record_drift(&self, appeared: u64, disappeared: u64, path_set_changes: u64) {
+        if appeared > 0 {
+            self.drift_links_appeared
+                .fetch_add(appeared, Ordering::Relaxed);
+        }
+        if disappeared > 0 {
+            self.drift_links_disappeared
+                .fetch_add(disappeared, Ordering::Relaxed);
+        }
+        if path_set_changes > 0 {
+            self.drift_path_set_changes
+                .fetch_add(path_set_changes, Ordering::Relaxed);
+        }
+    }
+
     /// Freezes the instruments into a serializable snapshot with derived
     /// p50/p95/p99 summaries.
     pub fn snapshot(&self) -> InstrumentsSnapshot {
@@ -77,6 +100,9 @@ impl Instruments {
             shed_batches: self.shed_batches.load(Ordering::Relaxed),
             shed_intervals: self.shed_intervals.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            drift_links_appeared: self.drift_links_appeared.load(Ordering::Relaxed),
+            drift_links_disappeared: self.drift_links_disappeared.load(Ordering::Relaxed),
+            drift_path_set_changes: self.drift_path_set_changes.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +120,12 @@ pub struct InstrumentsSnapshot {
     pub shed_intervals: u64,
     /// Deadline-expired work discarded before execution.
     pub timeouts: u64,
+    /// Topology drift: links that newly entered the active set.
+    pub drift_links_appeared: u64,
+    /// Topology drift: links that aged out of the active set.
+    pub drift_links_disappeared: u64,
+    /// Topology drift: measurement path-set size changes.
+    pub drift_path_set_changes: u64,
 }
 
 impl InstrumentsSnapshot {
@@ -105,6 +137,9 @@ impl InstrumentsSnapshot {
         self.shed_batches += other.shed_batches;
         self.shed_intervals += other.shed_intervals;
         self.timeouts += other.timeouts;
+        self.drift_links_appeared += other.drift_links_appeared;
+        self.drift_links_disappeared += other.drift_links_disappeared;
+        self.drift_path_set_changes += other.drift_path_set_changes;
     }
 }
 
@@ -122,7 +157,12 @@ mod tests {
         ins.record_shed(7);
         ins.record_shed(3);
         ins.record_timeout();
+        ins.record_drift(2, 1, 0);
+        ins.record_drift(0, 0, 1);
         let snap = ins.snapshot();
+        assert_eq!(snap.drift_links_appeared, 2);
+        assert_eq!(snap.drift_links_disappeared, 1);
+        assert_eq!(snap.drift_path_set_changes, 1);
         assert_eq!(snap.ingest.count, 4);
         assert_eq!(snap.query.count, 1);
         assert_eq!(snap.shed_batches, 2);
@@ -144,8 +184,13 @@ mod tests {
         }
         a.record_shed(4);
         b.record_timeout();
+        a.record_drift(1, 0, 0);
+        b.record_drift(2, 3, 4);
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
+        assert_eq!(merged.drift_links_appeared, 3);
+        assert_eq!(merged.drift_links_disappeared, 3);
+        assert_eq!(merged.drift_path_set_changes, 4);
         assert_eq!(merged.ingest.count, 100);
         assert_eq!(merged.shed_batches, 1);
         assert_eq!(merged.shed_intervals, 4);

@@ -159,6 +159,7 @@ pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
         shed_batches: 0,
         timeouts: 0,
         refits: Default::default(),
+        drift: Default::default(),
         live_connections: 0,
         per_tenant: Vec::new(),
     };
@@ -172,6 +173,7 @@ pub fn merge_fleet_stats(parts: &[FleetStats]) -> FleetStats {
         merged.refits.incremental += part.refits.incremental;
         merged.refits.full += part.refits.full;
         merged.refits.basis_rebuilds += part.refits.basis_rebuilds;
+        merged.drift.merge(&part.drift);
         merged.live_connections += part.live_connections;
         merged.per_tenant.extend(part.per_tenant.iter().cloned());
     }
@@ -221,6 +223,9 @@ pub fn merge_metrics(parts: &[MetricsReport]) -> MetricsReport {
                     existing.timeouts += row.timeouts;
                     existing.ingest.merge(&row.ingest);
                     existing.query.merge(&row.query);
+                    existing.drift_links_appeared += row.drift_links_appeared;
+                    existing.drift_links_disappeared += row.drift_links_disappeared;
+                    existing.drift_path_set_changes += row.drift_path_set_changes;
                 }
                 None => rows.push(row.clone()),
             }
@@ -270,6 +275,7 @@ mod tests {
             shed_batches: 2,
             timeouts: 1,
             refits: Default::default(),
+            drift: Default::default(),
             live_connections: 5,
             per_tenant: vec![
                 TenantLoad {
@@ -292,6 +298,7 @@ mod tests {
             shed_batches: 1,
             timeouts: 4,
             refits: Default::default(),
+            drift: Default::default(),
             live_connections: 4,
             per_tenant: vec![TenantLoad {
                 tenant: "mid".into(),
@@ -338,6 +345,9 @@ mod tests {
             timeouts: 0,
             ingest: summary(samples),
             query: LatencySummary::default(),
+            drift_links_appeared: 0,
+            drift_links_disappeared: 0,
+            drift_path_set_changes: 0,
         };
         let a = MetricsReport {
             total_intervals: 100,

@@ -14,6 +14,8 @@
 //!                     [--scenario drifting-loss] [--intervals 200] [--batch 10]
 //!                     [--estimator independence] [--shutdown]
 //! probe-client metrics [--addr 127.0.0.1:7070] [--shutdown]
+//! probe-client upload-topology --in net.json --name NAME [--addr 127.0.0.1:7070]
+//! probe-client topology [--addr 127.0.0.1:7070] [--tenant default]
 //! ```
 //!
 //! `gen` simulates a congestion scenario and records the per-interval
@@ -47,6 +49,15 @@
 //! `metrics` fetches the fleet `Metrics` report and prints it as one JSON
 //! line (machine-readable; CI parses it to assert counters are non-zero
 //! and merge-consistent through the router).
+//!
+//! Topology lifecycle: `gen --dump-topology PATH` additionally writes the
+//! generated network as a validated topology document; `replay`/`swarm`
+//! accept `--topology-file PATH` to create tenants from that document
+//! (inline upload through `Create`) instead of a generator name;
+//! `upload-topology` stores a document in the daemon's library under
+//! `--name`; and `topology` prints the attached tenant's `TopologyInfo`
+//! report (coverage, alias sets, rebuild policy, drift events) as one
+//! JSON line.
 
 use std::process::exit;
 
@@ -57,6 +68,7 @@ use tomo_serve::stream::{
     decode_stream, encode_stream, record_scenario, stream_to_observations, ObservedInterval,
 };
 use tomo_serve::Client;
+use tomo_serve::TopologySource;
 use tomo_sim::{MeasurementMode, ScenarioConfig, ScenarioKind};
 
 fn usage() -> ! {
@@ -73,8 +85,12 @@ fn usage() -> ! {
          \x20                      [--scenario NAME] [--intervals N] [--batch N]\n\
          \x20                      [--estimator NAME] [--shutdown]\n\
          \x20      probe-client metrics [--addr HOST:PORT] [--shutdown]\n\
+         \x20      probe-client upload-topology --in PATH --name NAME [--addr HOST:PORT]\n\
+         \x20      probe-client topology [--addr HOST:PORT] [--tenant NAME]\n\
          scenarios: random, concentrated, no-independence, no-stationarity,\n\
-         \x20           sparse, drifting-loss, correlation-churn"
+         \x20           sparse, drifting-loss, correlation-churn\n\
+         topology files: gen --dump-topology PATH writes one; replay/swarm\n\
+         \x20           --topology-file PATH creates tenants from one"
     );
     exit(2);
 }
@@ -115,6 +131,9 @@ struct Options {
     shutdown: bool,
     connections: usize,
     idle: usize,
+    topology_file: Option<String>,
+    dump_topology: Option<String>,
+    name: Option<String>,
 }
 
 fn parse_options(argv: &[String]) -> Options {
@@ -160,6 +179,9 @@ fn parse_options(argv: &[String]) -> Options {
             "--shutdown" => o.shutdown = true,
             "--connections" => o.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--idle" => o.idle = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--topology-file" => o.topology_file = Some(value(&mut i)),
+            "--dump-topology" => o.dump_topology = Some(value(&mut i)),
+            "--name" => o.name = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -171,6 +193,59 @@ fn parse_options(argv: &[String]) -> Options {
     o
 }
 
+/// Loads and validates a topology document from `path`, exiting with a
+/// diagnostic on parse or structural failure.
+fn load_doc(path: &str) -> tomo_topo::TopologyDoc {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        exit(1);
+    });
+    let doc = tomo_topo::TopologyDoc::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse `{path}`: {e}");
+        exit(1);
+    });
+    if let Err(e) = doc.validate() {
+        eprintln!("invalid topology in `{path}`: {e}");
+        exit(1);
+    }
+    doc
+}
+
+/// The topology source a `Create` should carry: a `--topology-file`
+/// document (created inline) or a name the *daemon* resolves — which may
+/// be an uploaded topology this client cannot build locally.
+fn source_of(o: &Options) -> TopologySource {
+    match &o.topology_file {
+        Some(path) => TopologySource::Inline(load_doc(path)),
+        None => TopologySource::Named(o.topology.clone()),
+    }
+}
+
+/// Resolves the topology *locally* for `swarm`'s scenario generation and
+/// `replay --check-batch`'s offline fit: a `--topology-file` document or a
+/// builtin generator name. Uploaded names only exist daemon-side, so they
+/// error here with a pointer at `--topology-file`.
+fn topology_of(o: &Options) -> Result<(tomo_graph::Network, TopologySource), TomoError> {
+    match &o.topology_file {
+        Some(path) => {
+            let doc = load_doc(path);
+            let network = doc
+                .to_network()
+                .map_err(|e| TomoError::InvalidConfig(e.to_string()))?;
+            Ok((network, TopologySource::Inline(doc)))
+        }
+        None => Ok((
+            tomo_serve::resolve_topology(&o.topology, o.seed).map_err(|e| {
+                TomoError::InvalidConfig(format!(
+                    "{e} (this step needs the topology locally; for an uploaded \
+                     topology pass its document via --topology-file)"
+                ))
+            })?,
+            TopologySource::Named(o.topology.clone()),
+        )),
+    }
+}
+
 fn gen(o: &Options) {
     let Some(out) = &o.out else {
         eprintln!("gen needs --out PATH");
@@ -180,6 +255,23 @@ fn gen(o: &Options) {
         eprintln!("{e}");
         exit(1);
     });
+    if let Some(path) = &o.dump_topology {
+        let doc = tomo_topo::TopologyDoc::from_network(network.clone());
+        let json = serde_json::to_string(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot encode topology: {e}");
+            exit(1);
+        });
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write `{path}`: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "Dumped topology `{}` ({} links, {} paths) to {path}",
+            o.topology,
+            network.num_links(),
+            network.num_paths()
+        );
+    }
     let Some(kind) = parse_scenario(&o.scenario) else {
         eprintln!("unknown scenario `{}`", o.scenario);
         usage();
@@ -229,13 +321,14 @@ fn replay(o: &Options) -> Result<(), TomoError> {
     }
     let mut client = Client::connect(&o.addr)?;
     if o.create {
-        let (links, paths) = client.create_tenant(
+        let (links, paths) = client.create_tenant_from(
             o.tenant.clone(),
-            &o.topology,
+            source_of(o),
             o.seed,
             &o.estimator,
             o.window,
             o.decay,
+            None,
         )?;
         eprintln!(
             "created tenant {} ({} links, {} paths)",
@@ -300,7 +393,7 @@ fn replay(o: &Options) -> Result<(), TomoError> {
     }
 
     if let Some(tolerance) = o.check_batch {
-        let network = tomo_serve::resolve_topology(&o.topology, o.seed)?;
+        let (network, _) = topology_of(o)?;
         let observations = stream_to_observations(&stream, network.num_paths())?;
         let mut offline = estimators::by_name(&o.estimator)?;
         offline.fit(&network, &observations)?;
@@ -358,8 +451,9 @@ fn swarm(o: &Options) -> Result<(), TomoError> {
     // Every connection is a client-side fd too; ask for headroom.
     let _ = tomo_net::raise_nofile_limit(o.connections as u64 + 256);
 
-    // The hot tenants' shared stream, generated in-process.
-    let network = tomo_serve::resolve_topology(&o.topology, o.seed)?;
+    // The hot tenants' shared stream, generated in-process over either a
+    // generator topology or a --topology-file document.
+    let (network, source) = topology_of(o)?;
     let Some(kind) = parse_scenario(&o.scenario) else {
         eprintln!("unknown scenario `{}`", o.scenario);
         usage();
@@ -383,13 +477,14 @@ fn swarm(o: &Options) -> Result<(), TomoError> {
     for k in 0..hot {
         let mut client = Client::connect(&o.addr)?;
         if o.create {
-            client.create_tenant(
+            client.create_tenant_from(
                 hot_tenant(k),
-                &o.topology,
+                source.clone(),
                 o.seed,
                 &o.estimator,
                 o.window,
                 o.decay,
+                None,
             )?;
         } else {
             client.set_tenant(hot_tenant(k));
@@ -555,6 +650,52 @@ fn metrics(o: &Options) -> Result<(), TomoError> {
     Ok(())
 }
 
+/// Uploads a topology document into the daemon's library.
+fn upload_topology(o: &Options) -> Result<(), TomoError> {
+    let Some(input) = &o.input else {
+        eprintln!("upload-topology needs --in PATH");
+        usage();
+    };
+    let Some(name) = &o.name else {
+        eprintln!("upload-topology needs --name NAME");
+        usage();
+    };
+    let doc = load_doc(input);
+    let mut client = Client::connect(&o.addr)?;
+    // The daemon ignores the tenant on UploadTopology, but a router routes
+    // by it: stamping --tenant lands the upload on the backend that will
+    // own the tenant created from this name.
+    client.set_tenant(o.tenant.clone());
+    let (links, paths, hash) = client.upload_topology(name, doc)?;
+    println!("uploaded topology `{name}`: links={links} paths={paths} hash={hash}");
+    Ok(())
+}
+
+/// Prints the attached tenant's `TopologyInfo` report as one JSON line.
+fn topology(o: &Options) -> Result<(), TomoError> {
+    let mut client = Client::connect(&o.addr)?;
+    client.set_tenant(o.tenant.clone());
+    let info = client.topology_info()?;
+    println!(
+        "{}",
+        serde_json::to_string(&info)
+            .map_err(|e| TomoError::InvalidConfig(format!("cannot encode topology info: {e}")))?
+    );
+    eprintln!(
+        "tenant {}: {} links ({} unobserved), {} paths, rank {}, {} alias group(s), \
+         rebuild {}, drift events {}",
+        o.tenant,
+        info.report.links,
+        info.report.unobserved_links,
+        info.report.paths,
+        info.alias.rank,
+        info.alias.groups.len(),
+        info.rebuild.label(),
+        info.drift.total_events(),
+    );
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((mode, rest)) = argv.split_first() else {
@@ -578,6 +719,18 @@ fn main() {
         "metrics" => {
             if let Err(e) = metrics(&o) {
                 eprintln!("metrics failed: {e}");
+                exit(1);
+            }
+        }
+        "upload-topology" => {
+            if let Err(e) = upload_topology(&o) {
+                eprintln!("upload-topology failed: {e}");
+                exit(1);
+            }
+        }
+        "topology" => {
+            if let Err(e) = topology(&o) {
+                eprintln!("topology failed: {e}");
                 exit(1);
             }
         }

@@ -23,7 +23,7 @@
 use std::process::exit;
 use std::sync::Arc;
 
-use tomo_core::{SessionConfig, TomographySession};
+use tomo_core::{RebuildPolicy, SessionConfig, TomographySession};
 use tomo_serve::protocol::AdmissionPolicy;
 use tomo_serve::{EngineRegistry, RegistryConfig, Server, TenantId};
 
@@ -44,6 +44,7 @@ struct Args {
     seed: u64,
     window: Option<usize>,
     decay: Option<f64>,
+    rebuild: RebuildPolicy,
 }
 
 fn usage() -> ! {
@@ -53,7 +54,8 @@ fn usage() -> ! {
          \x20            [--snapshot-dir DIR] [--snapshot-every N] [--restore]\n\
          \x20            [--tenant NAME:TOPOLOGY[:SEED]]...\n\
          \x20            [--topology toy|brite-tiny|sparse-tiny] [--topology-file PATH]\n\
-         \x20            [--estimator NAME] [--seed N] [--window N] [--decay LAMBDA]"
+         \x20            [--estimator NAME] [--seed N] [--window N] [--decay LAMBDA]\n\
+         \x20            [--rebuild manual|auto]"
     );
     exit(2);
 }
@@ -76,6 +78,7 @@ fn parse_args() -> Args {
         seed: 0,
         window: None,
         decay: None,
+        rebuild: RebuildPolicy::Manual,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -110,6 +113,16 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--window" => args.window = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--decay" => args.decay = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--rebuild" => {
+                args.rebuild = match value(&mut i).to_ascii_lowercase().as_str() {
+                    "manual" => RebuildPolicy::Manual,
+                    "auto" => RebuildPolicy::Auto,
+                    other => {
+                        eprintln!("bad --rebuild `{other}` (expected manual or auto)");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -170,6 +183,7 @@ fn create_tenant(
         options: Default::default(),
         window_capacity: args.window,
         decay: args.decay,
+        rebuild: args.rebuild,
     };
     let session = TomographySession::new(network, config).unwrap_or_else(|e| {
         eprintln!("tenant {name}: cannot create session: {e}");

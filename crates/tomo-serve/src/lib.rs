@@ -34,7 +34,7 @@ pub mod stream;
 
 pub use protocol::{
     ErrorKind, FleetStats, Request, RequestEnvelope, Response, ResponseEnvelope, TenantStats,
-    TenantSummary, PROTOCOL_VERSION,
+    TenantSummary, TopologyInfoReport, TopologySource, PROTOCOL_VERSION,
 };
 pub use registry::{EngineRegistry, RegistryConfig, TenantEntry, TenantId};
 pub use server::{Client, Server};
@@ -43,28 +43,38 @@ use tomo_core::TomoError;
 use tomo_graph::Network;
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
 
+/// The builtin generator names [`resolve_topology`] accepts.
+pub const BUILTIN_TOPOLOGIES: [&str; 3] = ["toy", "brite-tiny", "sparse-tiny"];
+
 /// Resolves a named topology for the daemon and the replay client.
 ///
 /// Accepted names: `toy` (the Fig. 1 four-link fixture), `brite-tiny` /
 /// `sparse-tiny` (the generators' CI-scale instances, seeded by `seed`).
-/// Anything else errors with the accepted list.
+/// Anything else errors with the accepted list and a pointer at the
+/// topology-upload path (the registry additionally resolves uploaded
+/// names before reporting this error).
 pub fn resolve_topology(name: &str, seed: u64) -> Result<Network, TomoError> {
     match name.trim().to_ascii_lowercase().as_str() {
         "toy" => Ok(tomo_graph::toy::fig1_case1()),
         "brite-tiny" => Ok(BriteGenerator::new(BriteConfig::tiny(seed)).generate()?),
         "sparse-tiny" => Ok(SparseGenerator::new(SparseConfig::tiny(seed)).generate()?),
         other => Err(TomoError::InvalidConfig(format!(
-            "unknown topology `{other}` (available: toy, brite-tiny, sparse-tiny; \
-             or pass --topology-file)"
+            "unknown topology `{other}` (accepted names: {}; upload your own with \
+             UploadTopology, or create from an inline document with \
+             {{\"topology\": {{\"inline\": ...}}}})",
+            BUILTIN_TOPOLOGIES.join(", ")
         ))),
     }
 }
 
-/// Loads a topology from a JSON file written with `serde_json` over
-/// [`Network`].
+/// Loads a topology from a JSON file — either a bare serialized
+/// [`Network`] or a full `TopologyDoc` — and runs it through the
+/// structural checker, so a hand-edited file cannot smuggle an invalid
+/// topology into a session.
 pub fn load_topology_file(path: &str) -> Result<Network, TomoError> {
-    let text = std::fs::read_to_string(path)?;
-    serde_json::from_str(&text).map_err(|e| TomoError::Serde(e.to_string()))
+    let (network, _report) =
+        tomo_topo::doc::load_and_validate(path).map_err(|e| TomoError::Serde(e.to_string()))?;
+    Ok(network)
 }
 
 #[cfg(test)]

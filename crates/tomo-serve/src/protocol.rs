@@ -21,13 +21,20 @@
 //! (externally tagged, as rendered by the serde shim):
 //!
 //! ```text
-//! REQUEST = lifecycle | ingest | query | fleet
+//! REQUEST = lifecycle | topology | ingest | query | fleet
 //! lifecycle:
-//!   {"Create": {"topology": "toy|brite-tiny|sparse-tiny", "seed": n?,
+//!   {"Create": {"topology": TOPOLOGY, "seed": n?,
 //!               "estimator": name?, "window": n?, "decay": f?, "options": {...}?,
-//!               "admission": "Busy"|"ShedOldest"?}}
+//!               "admission": "Busy"|"ShedOldest"?, "rebuild": "manual"|"auto"?}}
+//!   TOPOLOGY = "toy|brite-tiny|sparse-tiny|<uploaded-name>"
+//!            | {"inline": TOPOLOGY_DOC}
 //!   "Attach"                      bind the connection's default tenant
 //!   "Drop"                        remove the tenant (final snapshot written)
+//! topology:
+//!   {"UploadTopology": {"name": "...", "topology": TOPOLOGY_DOC}}
+//!   "TopologyInfo"                coverage report + alias sets + drift state
+//!   TOPOLOGY_DOC = {"name": s?, "network": NETWORK, "link_metadata": [...]?}
+//!                | NETWORK       (a bare serialized `Network` object)
 //! ingest:
 //!   {"Observe": {"congested": [pathIdx, ...]}}
 //!   {"ObserveBatch": {"intervals": [[pathIdx, ...], ...]}}
@@ -49,6 +56,9 @@
 //!          | {"Stats": {...}} | {"Fleet": {...}} | {"Tenants": {"tenants": [...]}}
 //!          | {"Metrics": {...}}                  see [`MetricsReport`]
 //!          | {"Snapshotted": {"path": "..."}}
+//!          | {"TopologyAccepted": {"name": "...", "links": n, "paths": n, "hash": "fnv1a:..."}}
+//!          | {"Topology": {"report": {...}, "alias": {...}, "rebuild": "manual"|"auto",
+//!                          "drift": {...}, "recent_events": [...]}}
 //!          | {"Restored": {"links": n, "paths": n, "intervals": n}}
 //!          | {"Error": {"kind": KIND, "message": "..."}}
 //!          | "Bye"
@@ -85,6 +95,19 @@
 //! and `Metrics`. The default policy (`Busy`) keeps every accepted batch
 //! and pushes the retry burden onto the client.
 //!
+//! **Topology lifecycle.** A tenant's topology can be a builtin generator
+//! name, a previously `UploadTopology`-ed library name, or an inline
+//! document — all three go through the same structural checker, so a
+//! serving session never holds an unvalidated `Network`. `TopologyInfo`
+//! returns what the identifiability null space says about the topology
+//! (alias sets: links no probe can tell apart) plus the tenant's drift
+//! state. The per-tenant drift monitor flags `LinkAppeared` /
+//! `LinkDisappeared` / `PathSetChanged` mid-stream; counters surface in
+//! `Stats` (session), `Metrics` (per-tenant rows) and `FleetStats`
+//! (aggregate), and `"rebuild": "auto"` at create time additionally forces
+//! a structural rebuild through the estimator's Algorithm-2 fold when
+//! drift fires.
+//!
 //! **Observability.** `Metrics` (fleet-level) returns a [`MetricsReport`]:
 //! per-tenant log-bucketed ingest/query latency histograms with derived
 //! p50/p95/p99, queue depth and bound, and the admission counters
@@ -104,10 +127,13 @@
 //! Path and link indices are the dense 0-based ids of the tenant's
 //! topology; `probabilities[i]` is the congestion probability of link `i`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use tomo_core::online::RefitCounts;
 use tomo_core::{EstimatorOptions, SessionEstimate, SessionStats, TomoError};
 use tomo_metrics::LatencySummary;
+use tomo_topo::{
+    AliasAnalysis, DriftCounters, DriftEvent, RebuildPolicy, TopologyDoc, TopologyReport,
+};
 
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 2;
@@ -140,15 +166,61 @@ impl std::str::FromStr for AdmissionPolicy {
     }
 }
 
+/// Where a tenant's topology comes from: a name (builtin generator or a
+/// previous [`Request::UploadTopology`]) or an inline document.
+///
+/// Wire form: a bare string (`"topology": "toy"` — byte-compatible with
+/// every pre-topology client) or `{"inline": TOPOLOGY_DOC}` for an inline
+/// upload-and-create in one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySource {
+    /// A named topology: one of the builtin generators, or the name of an
+    /// uploaded document on this daemon.
+    Named(String),
+    /// An inline topology document, validated at create time.
+    Inline(TopologyDoc),
+}
+
+impl Serialize for TopologySource {
+    fn to_value(&self) -> Value {
+        match self {
+            TopologySource::Named(name) => Value::Str(name.clone()),
+            TopologySource::Inline(doc) => {
+                Value::Object(vec![("inline".to_string(), doc.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for TopologySource {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(name) => Ok(TopologySource::Named(name.clone())),
+            Value::Object(_) => match v.get("inline") {
+                Some(doc) => Ok(TopologySource::Inline(TopologyDoc::from_value(doc)?)),
+                None => Err(serde::Error::msg(
+                    "topology object must have an \"inline\" field (or pass a name string)",
+                )),
+            },
+            other => Err(serde::Error::expected(
+                "topology name or {\"inline\": ...}",
+                other,
+            )),
+        }
+    }
+}
+
 /// One client request (the `req` field of a request envelope).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Create a tenant monitoring a named topology. The tenant id comes
-    /// from the envelope.
+    /// Create a tenant monitoring a named or inline topology. The tenant
+    /// id comes from the envelope.
     Create {
-        /// Named topology (`toy`, `brite-tiny`, `sparse-tiny`).
-        topology: String,
-        /// Topology generator seed (default 0).
+        /// Named topology (`toy`, `brite-tiny`, `sparse-tiny`, or an
+        /// uploaded name) or `{"inline": ...}` document.
+        topology: TopologySource,
+        /// Topology generator seed (default 0; ignored for uploaded and
+        /// inline topologies, which are already materialized).
         seed: Option<u64>,
         /// Registry estimator name (default `independence`).
         estimator: Option<String>,
@@ -161,6 +233,10 @@ pub enum Request {
         /// Full-queue admission policy (default: the daemon's
         /// `--admission` setting, itself defaulting to `Busy`).
         admission: Option<AdmissionPolicy>,
+        /// Drift-rebuild policy: `"auto"` forces a structural rebuild
+        /// whenever the drift monitor fires (default `"manual"` — events
+        /// are recorded only).
+        rebuild: Option<RebuildPolicy>,
     },
     /// Bind the envelope's tenant as this connection's default tenant, so
     /// subsequent requests may omit the `tenant` field.
@@ -199,6 +275,21 @@ pub enum Request {
         /// The `SessionSnapshot` JSON produced by a snapshot file.
         snapshot: String,
     },
+    /// Validate an inline topology document and store it in the ring
+    /// owner's topology library under `name`, for later
+    /// `Create {"topology": name}` by the envelope's tenant. Re-uploading
+    /// the same structure under the same name is idempotent; a different
+    /// structure under an existing name is rejected.
+    UploadTopology {
+        /// Library name the document is stored under.
+        name: String,
+        /// The topology document (full or bare-network form).
+        topology: TopologyDoc,
+    },
+    /// Topology facts of the envelope's tenant: the coverage report, the
+    /// identifiability alias sets (mergeable link groups) and the drift
+    /// state.
+    TopologyInfo,
     /// List all tenants (fleet-level).
     ListTenants,
     /// Fetch daemon-wide statistics (fleet-level).
@@ -309,6 +400,8 @@ pub struct FleetStats {
     pub timeouts: u64,
     /// Aggregate refit counters across all tenants.
     pub refits: RefitCounts,
+    /// Aggregate topology-drift counters across all tenants.
+    pub drift: DriftCounters,
     /// Connections currently open on this daemon.
     pub live_connections: u64,
     /// Per-tenant load rows, sorted by tenant id.
@@ -342,6 +435,30 @@ pub struct TenantMetrics {
     pub ingest: LatencySummary,
     /// Read-path latency (`Query`/`Infer`), same shape.
     pub query: LatencySummary,
+    /// Topology drift: links that newly entered the active set.
+    pub drift_links_appeared: u64,
+    /// Topology drift: links that aged out of the active set.
+    pub drift_links_disappeared: u64,
+    /// Topology drift: measurement path-set size changes.
+    pub drift_path_set_changes: u64,
+}
+
+/// The topology facts returned by [`Request::TopologyInfo`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyInfoReport {
+    /// Structural coverage report of the tenant's topology (incl. the
+    /// canonical dedup hash).
+    pub report: TopologyReport,
+    /// Identifiability alias analysis: which links can never be told apart
+    /// under the current path set, and the probe that would split each
+    /// group.
+    pub alias: AliasAnalysis,
+    /// The tenant's drift-rebuild policy.
+    pub rebuild: RebuildPolicy,
+    /// Lifetime drift counters.
+    pub drift: DriftCounters,
+    /// Bounded ring of recent drift events, oldest first.
+    pub recent_events: Vec<DriftEvent>,
 }
 
 /// Connection-layer I/O totals of one daemon (from the `tomo-net` event
@@ -451,6 +568,19 @@ pub enum Response {
         /// Path of the snapshot file.
         path: String,
     },
+    /// Topology document validated and stored ([`Request::UploadTopology`]).
+    TopologyAccepted {
+        /// Library name the document was stored under.
+        name: String,
+        /// Links in the validated topology.
+        links: usize,
+        /// Paths in the validated topology.
+        paths: usize,
+        /// Canonical structure hash (uploads deduplicate on it).
+        hash: String,
+    },
+    /// Topology facts of a tenant ([`Request::TopologyInfo`]).
+    Topology(TopologyInfoReport),
     /// Tenant created from an inline snapshot ([`Request::Restore`]).
     Restored {
         /// Links in the restored topology.
@@ -587,14 +717,32 @@ mod tests {
     fn requests_round_trip_through_the_wire_format() {
         let requests = vec![
             Request::Create {
-                topology: "brite-tiny".into(),
+                topology: TopologySource::Named("brite-tiny".into()),
                 seed: Some(3),
                 estimator: Some("correlation-complete".into()),
                 window: Some(256),
                 decay: Some(0.97),
                 options: Some(EstimatorOptions::default()),
                 admission: Some(AdmissionPolicy::ShedOldest),
+                rebuild: Some(RebuildPolicy::Auto),
             },
+            Request::Create {
+                topology: TopologySource::Inline(TopologyDoc::from_network(
+                    tomo_graph::toy::fig1_case1(),
+                )),
+                seed: None,
+                estimator: None,
+                window: None,
+                decay: None,
+                options: None,
+                admission: None,
+                rebuild: None,
+            },
+            Request::UploadTopology {
+                name: "measured-1".into(),
+                topology: TopologyDoc::from_network(tomo_graph::toy::fig1_case2()),
+            },
+            Request::TopologyInfo,
             Request::Attach,
             Request::Drop,
             Request::Observe {
@@ -667,6 +815,12 @@ mod tests {
                         full: 2,
                         basis_rebuilds: 0,
                     },
+                    drift: DriftCounters {
+                        links_appeared: 2,
+                        links_disappeared: 1,
+                        path_set_changes: 0,
+                        auto_rebuilds: 1,
+                    },
                 },
                 pending_batches: 1,
                 queue_bound: 64,
@@ -685,6 +839,7 @@ mod tests {
                 shed_batches: 3,
                 timeouts: 2,
                 refits: RefitCounts::default(),
+                drift: DriftCounters::default(),
                 live_connections: 12,
                 per_tenant: vec![TenantLoad {
                     tenant: "as-7018".into(),
@@ -723,6 +878,9 @@ mod tests {
                         LatencySummary::from_snapshot(h)
                     },
                     query: LatencySummary::default(),
+                    drift_links_appeared: 2,
+                    drift_links_disappeared: 1,
+                    drift_path_set_changes: 0,
                 }],
             }),
             Response::Tenants {
@@ -737,6 +895,31 @@ mod tests {
             Response::Snapshotted {
                 path: "/tmp/snapshots/as-7018.json".into(),
             },
+            Response::TopologyAccepted {
+                name: "measured-1".into(),
+                links: 4,
+                paths: 3,
+                hash: "fnv1a:0123456789abcdef".into(),
+            },
+            Response::Topology(TopologyInfoReport {
+                report: TopologyDoc::from_network(tomo_graph::toy::fig1_case1())
+                    .validate()
+                    .unwrap(),
+                alias: AliasAnalysis::analyze(&tomo_graph::toy::fig1_case1()),
+                rebuild: RebuildPolicy::Auto,
+                drift: DriftCounters {
+                    links_appeared: 1,
+                    links_disappeared: 0,
+                    path_set_changes: 0,
+                    auto_rebuilds: 1,
+                },
+                recent_events: vec![DriftEvent {
+                    kind: tomo_topo::DriftKind::LinkAppeared,
+                    links: vec![3],
+                    paths: 3,
+                    at_interval: 128,
+                }],
+            }),
             Response::Restored {
                 links: 4,
                 paths: 3,
@@ -789,6 +972,47 @@ mod tests {
         let envelope =
             decode_request("{\"v\": 2, \"deadline_ms\": 40, \"req\": \"Query\"}").unwrap();
         assert_eq!(envelope.deadline_ms, Some(40));
+    }
+
+    #[test]
+    fn topology_source_wire_forms_are_backward_compatible() {
+        // Pre-topology clients send a bare string; it must still parse and
+        // Named must serialize back to exactly that shape.
+        let line = r#"{"v": 2, "tenant": "t", "req": {"Create": {"topology": "toy"}}}"#;
+        let envelope = decode_request(line).unwrap();
+        match envelope.req {
+            Request::Create {
+                topology, rebuild, ..
+            } => {
+                assert_eq!(topology, TopologySource::Named("toy".into()));
+                assert_eq!(rebuild, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            serde_json::to_string(&TopologySource::Named("toy".into())).unwrap(),
+            "\"toy\""
+        );
+        // An inline document accepts the bare-network form.
+        let network_json = serde_json::to_string(&tomo_graph::toy::fig1_case1()).unwrap();
+        let line = format!(
+            r#"{{"v": 2, "tenant": "t", "req": {{"Create": {{"topology": {{"inline": {network_json}}}, "rebuild": "auto"}}}}}}"#
+        );
+        let envelope = decode_request(&line).unwrap();
+        match envelope.req {
+            Request::Create {
+                topology: TopologySource::Inline(doc),
+                rebuild,
+                ..
+            } => {
+                assert_eq!(doc.network.num_links(), 4);
+                assert_eq!(rebuild, Some(RebuildPolicy::Auto));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A topology object without "inline" is a typed parse error.
+        let line = r#"{"v": 2, "req": {"Create": {"topology": {"file": "x"}}}}"#;
+        assert!(decode_request(line).is_err());
     }
 
     #[test]

@@ -40,11 +40,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use tomo_core::{SessionSnapshot, TomoError, TomographySession};
+use tomo_graph::Network;
 use tomo_metrics::Instruments;
+use tomo_topo::{AliasAnalysis, DriftKind, TopologyDoc, TopologyReport};
 
 use crate::protocol::{
     AdmissionPolicy, ErrorKind, FleetStats, MetricsReport, NetMetrics, Response, TenantLoad,
-    TenantMetrics, TenantStats, TenantSummary,
+    TenantMetrics, TenantStats, TenantSummary, TopologyInfoReport, TopologySource,
 };
 
 /// A validated tenant identifier: 1–64 characters drawn from
@@ -250,10 +252,21 @@ struct Shard {
     tenants: Mutex<HashMap<String, Arc<TenantEntry>>>,
 }
 
+/// One validated topology in the registry's upload library.
+struct UploadedTopology {
+    network: Network,
+    report: TopologyReport,
+}
+
 /// The sharded multi-tenant registry — the daemon's engine.
 pub struct EngineRegistry {
     config: RegistryConfig,
     shards: Vec<Shard>,
+    /// The topology library: uploaded, validated topologies keyed by name,
+    /// resolvable by `Create` after the builtin generator names. Uploads
+    /// are idempotent on the canonical dedup hash; re-uploading a
+    /// *different* structure under a taken name is refused.
+    topologies: Mutex<HashMap<String, UploadedTopology>>,
     busy_rejections: AtomicU64,
     /// Batches dropped by shed-oldest admission, daemon-wide (per-tenant
     /// counts live in each entry's instruments; this global survives
@@ -282,6 +295,7 @@ impl EngineRegistry {
                 ..config
             },
             shards,
+            topologies: Mutex::new(HashMap::new()),
             busy_rejections: AtomicU64::new(0),
             shed_batches: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
@@ -358,6 +372,129 @@ impl EngineRegistry {
             .expect("shard lock")
             .get(id.as_str())
             .cloned()
+    }
+
+    /// Validates and stores an uploaded topology under `name`, returning
+    /// its coverage report. Idempotent: re-uploading the *same* structure
+    /// (by canonical dedup hash, which ignores names and metadata) under a
+    /// taken name succeeds; a *different* structure under a taken name is
+    /// refused. Builtin generator names cannot be shadowed because
+    /// `Create` resolves them first, so uploads under those names are
+    /// rejected outright.
+    pub fn upload_topology(
+        &self,
+        name: &str,
+        doc: TopologyDoc,
+    ) -> Result<TopologyReport, TomoError> {
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(TomoError::InvalidConfig(
+                "topology name must not be empty".into(),
+            ));
+        }
+        if crate::BUILTIN_TOPOLOGIES.contains(&name.as_str()) {
+            return Err(TomoError::InvalidConfig(format!(
+                "topology name `{name}` is reserved for a builtin generator"
+            )));
+        }
+        let report = doc
+            .validate()
+            .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+        let network = doc
+            .to_network()
+            .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+        let mut library = self.topologies.lock().expect("topology library lock");
+        if let Some(existing) = library.get(&name) {
+            if existing.report.hash == report.hash {
+                return Ok(existing.report.clone());
+            }
+            return Err(TomoError::InvalidConfig(format!(
+                "topology `{name}` already exists with a different structure \
+                 (hash {} vs {}); pick a new name",
+                existing.report.hash, report.hash
+            )));
+        }
+        library.insert(
+            name,
+            UploadedTopology {
+                network,
+                report: report.clone(),
+            },
+        );
+        Ok(report)
+    }
+
+    /// The names in the topology library, sorted.
+    pub fn uploaded_topology_names(&self) -> Vec<String> {
+        let library = self.topologies.lock().expect("topology library lock");
+        let mut names: Vec<String> = library.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Resolves a `Create` topology source to a concrete network: builtin
+    /// generator names first, then the upload library, then a typed error
+    /// listing every accepted name plus the inline-upload escape hatch.
+    /// Inline documents run through the structural checker.
+    pub fn resolve_topology_source(
+        &self,
+        source: &TopologySource,
+        seed: u64,
+    ) -> Result<Network, TomoError> {
+        match source {
+            TopologySource::Named(name) => {
+                if let Ok(network) = crate::resolve_topology(name, seed) {
+                    return Ok(network);
+                }
+                let key = name.trim().to_ascii_lowercase();
+                let library = self.topologies.lock().expect("topology library lock");
+                if let Some(uploaded) = library.get(&key) {
+                    return Ok(uploaded.network.clone());
+                }
+                let mut accepted: Vec<String> = crate::BUILTIN_TOPOLOGIES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                accepted.extend(library.keys().cloned());
+                accepted.sort();
+                Err(TomoError::InvalidConfig(format!(
+                    "unknown topology `{name}` (accepted names: {}; upload your own \
+                     with UploadTopology, or create from an inline document with \
+                     {{\"topology\": {{\"inline\": ...}}}})",
+                    accepted.join(", ")
+                )))
+            }
+            TopologySource::Inline(doc) => {
+                doc.validate()
+                    .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+                doc.to_network()
+                    .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))
+            }
+        }
+    }
+
+    /// The topology lifecycle report behind `TopologyInfo`: the structural
+    /// coverage report and identifiability-driven alias analysis of the
+    /// tenant's live network, plus its rebuild policy and drift state.
+    pub fn topology_info(&self, entry: &Arc<TenantEntry>) -> TopologyInfoReport {
+        let started = Instant::now();
+        let state = entry.state.lock().expect("tenant state lock");
+        let network = state.session.network();
+        let report = tomo_topo::TopologyDoc::from_network(network.clone())
+            .validate()
+            .expect("a live session network is structurally valid");
+        let info = TopologyInfoReport {
+            report,
+            alias: AliasAnalysis::analyze(network),
+            rebuild: state.session.config().rebuild,
+            drift: state.session.drift_counters(),
+            recent_events: state.session.recent_drift_events().to_vec(),
+        };
+        drop(state);
+        entry
+            .instruments
+            .record_query_ns(started.elapsed().as_nanos() as u64);
+        info
     }
 
     /// Removes a tenant: unregisters it (new requests see `UnknownTenant`),
@@ -540,6 +677,24 @@ impl EngineRegistry {
                 // internal failure; count it and keep serving.
                 state.ingest_errors += 1;
                 eprintln!("tomo-serve: tenant {}: ingest failed: {e}", entry.id);
+            } else {
+                // Surface topology drift flagged by this batch into the
+                // tenant's lock-free instruments so `Metrics` sees it
+                // without taking the session lock.
+                let events = state.session.take_drift_events();
+                if !events.is_empty() {
+                    let (mut appeared, mut disappeared, mut path_changes) = (0u64, 0u64, 0u64);
+                    for event in &events {
+                        match event.kind {
+                            DriftKind::LinkAppeared => appeared += 1,
+                            DriftKind::LinkDisappeared => disappeared += 1,
+                            DriftKind::PathSetChanged => path_changes += 1,
+                        }
+                    }
+                    entry
+                        .instruments
+                        .record_drift(appeared, disappeared, path_changes);
+                }
             }
             entry
                 .instruments
@@ -648,6 +803,7 @@ impl EngineRegistry {
     pub fn fleet_stats(&self) -> FleetStats {
         let mut total_ingested = 0;
         let mut refits = tomo_core::online::RefitCounts::default();
+        let mut drift = tomo_core::DriftCounters::default();
         let entries = self.entries();
         let tenants = entries.len();
         let mut per_tenant = Vec::with_capacity(tenants);
@@ -660,6 +816,7 @@ impl EngineRegistry {
             refits.incremental += stats.refits.incremental;
             refits.full += stats.refits.full;
             refits.basis_rebuilds += stats.refits.basis_rebuilds;
+            drift.merge(&stats.drift);
             let pending = e.queue.lock().expect("tenant queue lock").batches.len();
             per_tenant.push(TenantLoad {
                 tenant: e.id.as_str().to_string(),
@@ -675,6 +832,7 @@ impl EngineRegistry {
             shed_batches: self.shed_batches.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             refits,
+            drift,
             live_connections: self.live_connections(),
             per_tenant,
         }
@@ -712,6 +870,9 @@ impl EngineRegistry {
                 timeouts: instruments.timeouts,
                 ingest: instruments.ingest,
                 query: instruments.query,
+                drift_links_appeared: instruments.drift_links_appeared,
+                drift_links_disappeared: instruments.drift_links_disappeared,
+                drift_path_set_changes: instruments.drift_path_set_changes,
             });
         }
         MetricsReport {
@@ -1256,6 +1417,51 @@ mod tests {
             ..NetMetrics::default()
         };
         assert_eq!(registry.metrics(Some(net)).net, Some(net));
+    }
+
+    #[test]
+    fn topology_library_uploads_resolve_and_dedup() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let doc = TopologyDoc::from_network(tomo_graph::toy::fig1_case1());
+        let report = registry.upload_topology("measured-1", doc.clone()).unwrap();
+        assert_eq!(report.links, 4);
+        // Re-uploading the same structure under the same name is idempotent.
+        let again = registry.upload_topology("measured-1", doc.clone()).unwrap();
+        assert_eq!(again.hash, report.hash);
+        // A different structure under a taken name is refused; builtin
+        // generator names cannot be shadowed at all.
+        let other = TopologyDoc::from_network(tomo_graph::toy::fig1_case2());
+        assert!(registry.upload_topology("measured-1", other).is_err());
+        assert!(registry.upload_topology("toy", doc).is_err());
+        assert_eq!(registry.uploaded_topology_names(), vec!["measured-1"]);
+        // Create resolution: builtin first, then the library, then a typed
+        // error listing both plus the inline escape hatch.
+        let net = registry
+            .resolve_topology_source(&TopologySource::Named("measured-1".into()), 0)
+            .unwrap();
+        assert_eq!(net.num_links(), 4);
+        let err = registry
+            .resolve_topology_source(&TopologySource::Named("nope".into()), 0)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("measured-1") && msg.contains("toy") && msg.contains("inline"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn topology_info_reports_alias_sets_and_drift_state() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let entry = registry
+            .create(TenantId::new("as-1").unwrap(), toy_session())
+            .unwrap();
+        let info = registry.topology_info(&entry);
+        assert_eq!(info.report.links, 4);
+        assert_eq!(info.alias.num_links, 4);
+        assert_eq!(info.rebuild, tomo_core::RebuildPolicy::Manual);
+        assert_eq!(info.drift.total_events(), 0);
+        assert!(info.recent_events.is_empty());
     }
 
     #[test]

@@ -46,7 +46,7 @@ use tomo_sweep::WorkerPool;
 
 use crate::protocol::{
     decode, decode_request, encode, ErrorKind, MetricsReport, NetMetrics, Request, RequestEnvelope,
-    Response, ResponseEnvelope, TenantStats, PROTOCOL_VERSION,
+    Response, ResponseEnvelope, TenantStats, TopologyInfoReport, TopologySource, PROTOCOL_VERSION,
 };
 use crate::registry::{EngineRegistry, TenantId};
 
@@ -419,6 +419,20 @@ fn dispatch(
                 },
             );
         }
+        Request::UploadTopology { name, topology } => {
+            return (
+                None,
+                match registry.upload_topology(name, topology.clone()) {
+                    Ok(report) => Response::TopologyAccepted {
+                        name: name.trim().to_ascii_lowercase(),
+                        links: report.links,
+                        paths: report.paths,
+                        hash: report.hash,
+                    },
+                    Err(e) => Response::from_error(&e),
+                },
+            )
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::Relaxed);
             return (None, Response::Bye);
@@ -454,8 +468,9 @@ fn dispatch(
             decay,
             options,
             admission,
+            rebuild,
         } => {
-            let network = match crate::resolve_topology(&topology, seed.unwrap_or(0)) {
+            let network = match registry.resolve_topology_source(&topology, seed.unwrap_or(0)) {
                 Ok(network) => network,
                 Err(e) => return (echo, Response::from_error(&e)),
             };
@@ -464,6 +479,7 @@ fn dispatch(
                 options: options.unwrap_or_default(),
                 window_capacity: window,
                 decay,
+                rebuild: rebuild.unwrap_or_default(),
             };
             let session = match TomographySession::new(network, config) {
                 Ok(session) => session,
@@ -530,6 +546,7 @@ fn dispatch(
                 Request::Query => registry.query(&entry),
                 Request::Infer { congested } => registry.infer(&entry, &congested),
                 Request::Stats => Response::Stats(registry.stats(&entry)),
+                Request::TopologyInfo => Response::Topology(registry.topology_info(&entry)),
                 Request::Snapshot => match registry.snapshot_tenant(&entry) {
                     Ok(Some(path)) => Response::Snapshotted { path },
                     Ok(None) => Response::error(
@@ -546,6 +563,7 @@ fn dispatch(
                 | Request::FleetStats
                 | Request::Metrics
                 | Request::SnapshotAll
+                | Request::UploadTopology { .. }
                 | Request::Shutdown => unreachable!("handled before tenant resolution"),
             }
         }
@@ -614,8 +632,8 @@ impl Client {
         Ok(envelope.resp)
     }
 
-    /// Convenience: create a tenant with the given topology and estimator
-    /// (and set it as the client's current tenant).
+    /// Convenience: create a tenant with the given topology name and
+    /// estimator (and set it as the client's current tenant).
     pub fn create_tenant(
         &mut self,
         tenant: impl Into<String>,
@@ -625,17 +643,75 @@ impl Client {
         window: Option<usize>,
         decay: Option<f64>,
     ) -> Result<(usize, usize), TomoError> {
+        self.create_tenant_from(
+            tenant,
+            TopologySource::Named(topology.into()),
+            seed,
+            estimator,
+            window,
+            decay,
+            None,
+        )
+    }
+
+    /// [`Client::create_tenant`] generalized over the topology source
+    /// (named or inline document) and the rebuild-on-drift policy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_tenant_from(
+        &mut self,
+        tenant: impl Into<String>,
+        topology: TopologySource,
+        seed: u64,
+        estimator: &str,
+        window: Option<usize>,
+        decay: Option<f64>,
+        rebuild: Option<tomo_core::RebuildPolicy>,
+    ) -> Result<(usize, usize), TomoError> {
         self.set_tenant(tenant);
         match self.call(&Request::Create {
-            topology: topology.into(),
+            topology,
             seed: Some(seed),
             estimator: Some(estimator.into()),
             window,
             decay,
             options: None,
             admission: None,
+            rebuild,
         })? {
             Response::Created { links, paths } => Ok((links, paths)),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: upload a validated topology document into the daemon's
+    /// library under `name`, returning `(links, paths, hash)`.
+    pub fn upload_topology(
+        &mut self,
+        name: &str,
+        topology: tomo_topo::TopologyDoc,
+    ) -> Result<(usize, usize, String), TomoError> {
+        match self.call(&Request::UploadTopology {
+            name: name.into(),
+            topology,
+        })? {
+            Response::TopologyAccepted {
+                links, paths, hash, ..
+            } => Ok((links, paths, hash)),
+            Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
+            other => Err(TomoError::InvalidConfig(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: fetch the tenant's topology lifecycle report (coverage,
+    /// alias sets, rebuild policy, drift state).
+    pub fn topology_info(&mut self) -> Result<TopologyInfoReport, TomoError> {
+        match self.call(&Request::TopologyInfo)? {
+            Response::Topology(info) => Ok(info),
             Response::Error { message, .. } => Err(TomoError::InvalidConfig(message)),
             other => Err(TomoError::InvalidConfig(format!(
                 "unexpected response {other:?}"

@@ -1,0 +1,232 @@
+//! End-to-end tests of the topology lifecycle over real TCP: tenants
+//! created from inline topology documents behave identically to tenants
+//! created from the builtin generator names, uploaded topologies resolve
+//! by name with canonical-hash dedup, `TopologyInfo` exposes alias sets,
+//! and mid-stream topology drift is flagged (and, with `"rebuild":"auto"`,
+//! triggers a structural rebuild) without a daemon restart.
+
+use std::sync::Arc;
+
+use tomo_core::RebuildPolicy;
+use tomo_serve::protocol::{ErrorKind, Request, Response};
+use tomo_serve::stream::record_scenario;
+use tomo_serve::{Client, EngineRegistry, RegistryConfig, Server, TopologySource};
+use tomo_sim::{MeasurementMode, ScenarioConfig};
+use tomo_topo::{DriftKind, TopologyDoc};
+
+fn start_daemon() -> (String, std::thread::JoinHandle<()>) {
+    let registry = EngineRegistry::new(RegistryConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::new(registry), 4).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle)
+}
+
+fn shutdown(client: &mut Client, handle: std::thread::JoinHandle<()>) {
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    handle.join().unwrap();
+}
+
+/// The acceptance criterion: a tenant created from an uploaded inline
+/// `Network` document that mirrors a generator topology produces estimates
+/// identical to the generator-created tenant on the same observation
+/// stream, asserted over TCP.
+#[test]
+fn inline_created_tenant_matches_generator_created_tenant() {
+    let (addr, handle) = start_daemon();
+
+    let network = tomo_serve::resolve_topology("brite-tiny", 3).unwrap();
+    let stream: Vec<Vec<usize>> = record_scenario(
+        &network,
+        ScenarioConfig::drifting_loss(),
+        150,
+        5,
+        MeasurementMode::Ideal,
+    )
+    .into_iter()
+    .map(|i| i.congested)
+    .collect();
+
+    let mut named = Client::connect(&addr).unwrap();
+    named
+        .create_tenant(
+            "from-generator",
+            "brite-tiny",
+            3,
+            "independence",
+            None,
+            None,
+        )
+        .unwrap();
+
+    let mut inline = Client::connect(&addr).unwrap();
+    let doc = TopologyDoc::from_network(network.clone());
+    let (links, paths) = inline
+        .create_tenant_from(
+            "from-inline",
+            TopologySource::Inline(doc),
+            3,
+            "independence",
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+    assert_eq!(links, network.num_links());
+    assert_eq!(paths, network.num_paths());
+
+    for chunk in stream.chunks(10) {
+        assert!(named.observe_batch(chunk.to_vec()).unwrap());
+        assert!(inline.observe_batch(chunk.to_vec()).unwrap());
+    }
+    named.flush().unwrap();
+    inline.flush().unwrap();
+
+    let a = named.query().unwrap();
+    let b = inline.query().unwrap();
+    assert_eq!(a.intervals, 150);
+    assert_eq!(b.intervals, 150);
+    assert_eq!(
+        a.probabilities, b.probabilities,
+        "inline and generator tenants must estimate identically"
+    );
+
+    shutdown(&mut named, handle);
+}
+
+#[test]
+fn uploaded_topologies_resolve_by_name_with_hash_dedup() {
+    let (addr, handle) = start_daemon();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let doc = TopologyDoc::from_network(tomo_graph::toy::fig1_case1());
+    let (links, paths, hash) = client
+        .upload_topology("measured-7018", doc.clone())
+        .unwrap();
+    assert_eq!((links, paths), (4, 3));
+    assert!(hash.starts_with("fnv1a:"), "{hash}");
+
+    // Idempotent re-upload: same structure, same hash, no error.
+    let (_, _, hash_again) = client
+        .upload_topology("measured-7018", doc.clone())
+        .unwrap();
+    assert_eq!(hash_again, hash);
+
+    // A different structure under the taken name is a typed failure.
+    let other = TopologyDoc::from_network(tomo_graph::toy::fig1_case2());
+    assert!(client.upload_topology("measured-7018", other).is_err());
+
+    // The uploaded name now resolves in Create, like a builtin.
+    let (links, paths) = client
+        .create_tenant("as-1", "measured-7018", 0, "independence", None, None)
+        .unwrap();
+    assert_eq!((links, paths), (4, 3));
+
+    // Unknown names answer InvalidRequest listing builtin AND uploaded
+    // names plus the inline-upload hint (the satellite fix).
+    client.set_tenant("as-2");
+    match client
+        .call(&Request::Create {
+            topology: TopologySource::Named("nope".into()),
+            seed: None,
+            estimator: None,
+            window: None,
+            decay: None,
+            options: None,
+            admission: None,
+            rebuild: None,
+        })
+        .unwrap()
+    {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::InvalidRequest);
+            assert!(message.contains("toy"), "{message}");
+            assert!(message.contains("measured-7018"), "{message}");
+            assert!(message.contains("inline"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    shutdown(&mut client, handle);
+}
+
+/// The drift acceptance criterion: a mid-stream link appearance is flagged
+/// by the drift monitor within the next ingested batch — no daemon
+/// restart — and `"rebuild":"auto"` additionally triggers a structural
+/// rebuild through the Algorithm-2 fold, visible in the refit counters.
+#[test]
+fn mid_stream_drift_is_flagged_and_auto_rebuilds() {
+    let (addr, handle) = start_daemon();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .create_tenant_from(
+            "drifty",
+            TopologySource::Named("toy".into()),
+            0,
+            "independence",
+            None,
+            None,
+            Some(RebuildPolicy::Auto),
+        )
+        .unwrap();
+
+    // Phase 1: congestion confined to paths 0 and 1 primes the monitor.
+    assert!(client.observe_batch(vec![vec![0, 1]; 10]).unwrap());
+    client.flush().unwrap();
+    let info = client.topology_info().unwrap();
+    assert_eq!(info.rebuild, RebuildPolicy::Auto);
+    assert_eq!(info.drift.total_events(), 0, "primed, no drift yet");
+    // The toy topology's alias structure rides along: nullspace dim 1.
+    assert_eq!(info.alias.nullspace_dim, 1);
+    assert_eq!(info.alias.num_links, 4);
+
+    let refits_before = client.stats().unwrap().session.refits.full;
+
+    // Phase 2: path 2 starts congesting mid-stream — links that were
+    // never active appear in the congested-path union.
+    assert!(client.observe_batch(vec![vec![0, 1], vec![2]]).unwrap());
+    client.flush().unwrap();
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.session.drift.links_appeared > 0,
+        "drift not flagged: {:?}",
+        stats.session.drift
+    );
+    assert!(
+        stats.session.drift.auto_rebuilds > 0,
+        "auto rebuild policy must rebuild on drift: {:?}",
+        stats.session.drift
+    );
+    assert!(
+        stats.session.refits.full > refits_before,
+        "structural rebuild must show up as a full refit"
+    );
+
+    // The typed events surface through TopologyInfo, bounded to the
+    // interval at which the drift was ingested (12 intervals in).
+    let info = client.topology_info().unwrap();
+    assert!(!info.recent_events.is_empty());
+    let event = &info.recent_events[0];
+    assert_eq!(event.kind, DriftKind::LinkAppeared);
+    assert!(event.at_interval <= 12, "{}", event.at_interval);
+
+    // Drift counters aggregate into the fleet view and the per-tenant
+    // metrics rows.
+    match client.call(&Request::FleetStats).unwrap() {
+        Response::Fleet(fleet) => assert!(fleet.drift.links_appeared > 0),
+        other => panic!("expected fleet stats, got {other:?}"),
+    }
+    let metrics = client.metrics().unwrap();
+    let row = metrics
+        .per_tenant
+        .iter()
+        .find(|r| r.tenant == "drifty")
+        .unwrap();
+    assert!(row.drift_links_appeared > 0);
+
+    shutdown(&mut client, handle);
+}

@@ -34,6 +34,11 @@ pub enum TopologySpec {
     Brite(BriteConfig),
     /// A traceroute-derived sparse topology.
     Sparse(SparseConfig),
+    /// A measured topology loaded from a validated topology-document file
+    /// (bare `Network` JSON or a full `TopologyDoc`): the same instance on
+    /// every seed-axis value, so sweeps run over real uploaded topologies
+    /// exactly as the daemon serves them.
+    Inline(String),
 }
 
 impl TopologySpec {
@@ -43,6 +48,7 @@ impl TopologySpec {
             TopologySpec::Toy => "Toy",
             TopologySpec::Brite(_) => "Brite",
             TopologySpec::Sparse(_) => "Sparse",
+            TopologySpec::Inline(_) => "Inline",
         }
     }
 
@@ -61,6 +67,13 @@ impl TopologySpec {
                 let mut config = config.clone();
                 config.seed = derive_seed(config.seed, axis_seed);
                 Ok(SparseGenerator::new(config).generate()?)
+            }
+            // A measured file is one fixed instance: the axis seed only
+            // varies the simulated scenario, never the network.
+            TopologySpec::Inline(path) => {
+                let (network, _report) = tomo_topo::doc::load_and_validate(path)
+                    .map_err(|e| TomoError::InvalidConfig(e.to_string()))?;
+                Ok(network)
             }
         }
     }
@@ -431,5 +444,29 @@ mod tests {
             a.num_links() == c.num_links() && a.paths().iter().zip(c.paths()).all(|(x, y)| x == y);
         assert!(!same, "axis seed must vary the instance");
         assert_eq!(TopologySpec::Toy.generate(5).unwrap().num_links(), 4);
+    }
+
+    #[test]
+    fn inline_topology_specs_load_files_and_ignore_the_axis_seed() {
+        let path = std::env::temp_dir()
+            .join(format!("tomo-sweep-inline-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let doc = tomo_topo::TopologyDoc::from_network(tomo_graph::toy::fig1_case1());
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+        let spec = TopologySpec::Inline(path.clone());
+        assert_eq!(spec.label(), "Inline");
+        let a = spec.generate(0).unwrap();
+        let b = spec.generate(7).unwrap();
+        // One fixed measured instance on every axis seed.
+        assert_eq!(a, b);
+        assert_eq!(a.num_links(), 4);
+        // The spec round-trips through grid-file JSON like every other.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TopologySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.generate(0).unwrap(), a);
+        // Missing files and invalid documents are typed errors.
+        let _ = std::fs::remove_file(&path);
+        assert!(spec.generate(0).is_err());
     }
 }

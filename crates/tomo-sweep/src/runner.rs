@@ -186,6 +186,7 @@ fn run_task(
                     options: grid.estimator_options(),
                     window_capacity: None,
                     decay: None,
+                    rebuild: tomo_core::RebuildPolicy::default(),
                 },
             )?;
             experiment.evaluate_streaming(&mut session, chunk)?

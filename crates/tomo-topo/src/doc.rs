@@ -1,0 +1,396 @@
+//! Validated inline topology documents.
+//!
+//! A [`TopologyDoc`] is what a tenant uploads over the wire: an inline
+//! [`Network`] (links, paths, correlation sets) plus optional link metadata
+//! and a display name. Because `Network` derives `Deserialize`, raw JSON
+//! decoding **bypasses** every invariant [`tomo_graph::NetworkBuilder`]
+//! enforces — a hand-written document can reference links that do not exist,
+//! contain looping paths, or assign one link to two correlation sets. The
+//! checker here routes the document back through the builder, so a document
+//! that validates produces a `Network` indistinguishable from a
+//! generator-built one, and the serving layer never instantiates an
+//! unchecked topology.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+use tomo_graph::{Network, NetworkBuilder};
+
+/// Errors of topology ingestion: parse failures and structural violations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoError {
+    /// The document is not syntactically a topology document.
+    Parse(String),
+    /// The document parsed but violates a model invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::Parse(m) => write!(f, "topology document does not parse: {m}"),
+            TopoError::Invalid(m) => write!(f, "invalid topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Optional per-link annotation carried alongside the structure (interface
+/// names, capacities — anything the operator wants to keep with the link).
+/// Metadata never participates in the dedup hash: two uploads of the same
+/// structure deduplicate even when their labels differ.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkMetadata {
+    /// Index of the annotated link.
+    pub link: usize,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// An inline topology document: the network structure plus optional
+/// metadata.
+///
+/// On the wire a document is accepted in two shapes: the full form
+/// `{"name": ..., "network": {...}, "link_metadata": [...]}` and, for
+/// convenience, a bare `Network` object (exactly what
+/// `serde_json::to_string(&network)` produces — so a file written from a
+/// generator round-trips without wrapping).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyDoc {
+    /// Optional display name.
+    pub name: Option<String>,
+    /// The uploaded structure, as parsed (NOT yet validated — call
+    /// [`TopologyDoc::validate`] or [`TopologyDoc::to_network`]).
+    pub network: Network,
+    /// Optional per-link annotations.
+    pub link_metadata: Vec<LinkMetadata>,
+}
+
+impl Serialize for TopologyDoc {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::with_capacity(3);
+        if let Some(name) = &self.name {
+            fields.push(("name".to_string(), name.to_value()));
+        }
+        fields.push(("network".to_string(), self.network.to_value()));
+        if !self.link_metadata.is_empty() {
+            fields.push(("link_metadata".to_string(), self.link_metadata.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TopologyDoc {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Object(_) if v.get("network").is_some() => Ok(Self {
+                name: serde::object_field(v, "name")?,
+                network: serde::object_field(v, "network")?,
+                link_metadata: serde::object_field::<Option<Vec<LinkMetadata>>>(
+                    v,
+                    "link_metadata",
+                )?
+                .unwrap_or_default(),
+            }),
+            // Bare `Network` form.
+            Value::Object(_) => Ok(Self {
+                name: None,
+                network: Network::from_value(v)?,
+                link_metadata: Vec::new(),
+            }),
+            other => Err(serde::Error::expected("topology document object", other)),
+        }
+    }
+}
+
+/// What the structural checker reports about a validated document: size,
+/// coverage, and the canonical dedup hash.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyReport {
+    /// Number of links.
+    pub links: usize,
+    /// Number of measurement paths.
+    pub paths: usize,
+    /// Number of correlation sets.
+    pub correlation_sets: usize,
+    /// Links no path traverses (they can never be observed).
+    pub unobserved_links: usize,
+    /// Mean links per path.
+    pub mean_path_length: f64,
+    /// Mean paths per link (the density indicator sparse topologies score
+    /// low on).
+    pub mean_paths_per_link: f64,
+    /// Canonical structure hash (`fnv1a:<16 hex digits>`): identical for any
+    /// two documents with the same links/paths/correlation structure,
+    /// regardless of name or metadata. The registry deduplicates uploads on
+    /// it.
+    pub hash: String,
+}
+
+impl TopologyDoc {
+    /// Wraps an already-built network (used by clients uploading a
+    /// generator topology, and by tests).
+    pub fn from_network(network: Network) -> Self {
+        Self {
+            name: None,
+            network,
+            link_metadata: Vec::new(),
+        }
+    }
+
+    /// Parses a document from JSON text (full or bare-network form).
+    pub fn parse(json: &str) -> Result<Self, TopoError> {
+        serde_json::from_str(json).map_err(|e| TopoError::Parse(e.to_string()))
+    }
+
+    /// Runs the structural checker and returns the coverage report.
+    ///
+    /// Checks, in order: link and path ids are dense and in positional
+    /// order; metadata references existing links; and the whole structure
+    /// survives a rebuild through [`NetworkBuilder`] (non-empty, loop-free
+    /// paths over existing links, the correlation sets partition the links).
+    pub fn validate(&self) -> Result<TopologyReport, TopoError> {
+        let network = self.to_network()?;
+        Ok(report_of(&network))
+    }
+
+    /// Validates the document and returns the rebuilt, invariant-checked
+    /// [`Network`] — the only `Network` the serving layer should
+    /// instantiate from an upload.
+    pub fn to_network(&self) -> Result<Network, TopoError> {
+        for (i, link) in self.network.links().iter().enumerate() {
+            if link.id.index() != i {
+                return Err(TopoError::Invalid(format!(
+                    "link at position {i} declares id {} (link ids must be dense and in order)",
+                    link.id
+                )));
+            }
+        }
+        for (i, path) in self.network.paths().iter().enumerate() {
+            if path.id.index() != i {
+                return Err(TopoError::Invalid(format!(
+                    "path at position {i} declares id {} (path ids must be dense and in order)",
+                    path.id
+                )));
+            }
+        }
+        for meta in &self.link_metadata {
+            if meta.link >= self.network.num_links() {
+                return Err(TopoError::Invalid(format!(
+                    "link_metadata references link {} but the document has {} links",
+                    meta.link,
+                    self.network.num_links()
+                )));
+            }
+        }
+        let mut builder = NetworkBuilder::new();
+        for link in self.network.links() {
+            builder.add_link_with_routers(link.from, link.to, link.asn, link.router_links.clone());
+        }
+        for path in self.network.paths() {
+            builder.add_path(path.src, path.dst, path.links.clone());
+        }
+        builder.correlation_sets(
+            self.network
+                .correlation_sets()
+                .iter()
+                .map(|s| s.links.clone())
+                .collect(),
+        );
+        builder
+            .build()
+            .map_err(|e| TopoError::Invalid(e.to_string()))
+    }
+
+    /// The canonical dedup hash of the document's structure (equal to the
+    /// validated report's [`TopologyReport::hash`]).
+    pub fn dedup_hash(&self) -> String {
+        canonical_hash(&self.network)
+    }
+}
+
+/// Builds the coverage report of an (already validated) network.
+pub(crate) fn report_of(network: &Network) -> TopologyReport {
+    TopologyReport {
+        links: network.num_links(),
+        paths: network.num_paths(),
+        correlation_sets: network.correlation_sets().len(),
+        unobserved_links: network.unobserved_links().len(),
+        mean_path_length: network.mean_path_length(),
+        mean_paths_per_link: network.mean_paths_per_link(),
+        hash: canonical_hash(network),
+    }
+}
+
+/// FNV-1a 64-bit over a canonical rendering of the structure: every link's
+/// endpoints/AS/router-links, every path's endpoints and link sequence, and
+/// the correlation partition (sets are stored sorted+deduped, so the
+/// rendering is canonical without re-sorting). Names and metadata are
+/// excluded by construction.
+fn canonical_hash(network: &Network) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |n: usize| {
+        for byte in (n as u64).to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold(network.num_links());
+    for link in network.links() {
+        fold(link.from.index());
+        fold(link.to.index());
+        fold(link.asn.index());
+        fold(link.router_links.len());
+        for r in &link.router_links {
+            fold(r.index());
+        }
+    }
+    fold(network.num_paths());
+    for path in network.paths() {
+        fold(path.src.index());
+        fold(path.dst.index());
+        fold(path.links.len());
+        for l in &path.links {
+            fold(l.index());
+        }
+    }
+    fold(network.correlation_sets().len());
+    for set in network.correlation_sets() {
+        fold(set.links.len());
+        for l in &set.links {
+            fold(l.index());
+        }
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// Convenience: reads, parses and validates a topology file, returning the
+/// rebuilt network and its report.
+pub fn load_and_validate(path: &str) -> Result<(Network, TopologyReport), TopoError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TopoError::Parse(format!("cannot read `{path}`: {e}")))?;
+    let doc = TopologyDoc::parse(&text)?;
+    let network = doc.to_network()?;
+    let report = report_of(&network);
+    Ok((network, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::{toy, AsId, NodeId};
+
+    fn toy_doc() -> TopologyDoc {
+        TopologyDoc::from_network(toy::fig1_case1())
+    }
+
+    #[test]
+    fn valid_document_rebuilds_the_same_structure() {
+        let doc = toy_doc();
+        let report = doc.validate().expect("toy validates");
+        assert_eq!(report.links, 4);
+        assert_eq!(report.paths, 3);
+        assert_eq!(report.unobserved_links, 0);
+        let rebuilt = doc.to_network().unwrap();
+        assert_eq!(rebuilt.num_links(), doc.network.num_links());
+        assert_eq!(rebuilt.paths(), doc.network.paths());
+        assert_eq!(rebuilt.correlation_sets(), doc.network.correlation_sets());
+    }
+
+    #[test]
+    fn wire_round_trip_full_and_bare_forms() {
+        let mut doc = toy_doc();
+        doc.name = Some("fig1".into());
+        doc.link_metadata = vec![LinkMetadata {
+            link: 0,
+            label: "AS1 uplink".into(),
+        }];
+        let json = serde_json::to_string(&doc).unwrap();
+        let back = TopologyDoc::parse(&json).unwrap();
+        assert_eq!(back, doc);
+
+        // A bare Network JSON (what `gen --dump-topology` writes) parses too.
+        let bare = serde_json::to_string(&toy::fig1_case1()).unwrap();
+        let from_bare = TopologyDoc::parse(&bare).unwrap();
+        assert_eq!(from_bare.name, None);
+        assert_eq!(from_bare.network.num_links(), 4);
+        assert!(from_bare.validate().is_ok());
+    }
+
+    #[test]
+    fn hash_ignores_names_and_metadata_but_not_structure() {
+        let plain = toy_doc();
+        let mut labelled = toy_doc();
+        labelled.name = Some("prod".into());
+        labelled.link_metadata = vec![LinkMetadata {
+            link: 1,
+            label: "x".into(),
+        }];
+        assert_eq!(plain.dedup_hash(), labelled.dedup_hash());
+
+        let other = TopologyDoc::from_network(toy::fig1_case2());
+        assert_ne!(plain.dedup_hash(), other.dedup_hash());
+        assert!(plain.dedup_hash().starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn checker_rejects_what_raw_serde_accepts() {
+        // A path referencing a link that does not exist: `Network`'s serde
+        // derive happily decodes it; the checker must not.
+        let mut json = serde_json::to_string(&toy::fig1_case1()).unwrap();
+        json = json.replace("\"links\":[0,1]", "\"links\":[0,99]");
+        let doc = TopologyDoc::parse(&json).expect("raw decode succeeds");
+        let err = doc.validate().unwrap_err();
+        assert!(matches!(err, TopoError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("e99"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_non_dense_ids_and_bad_metadata() {
+        let net = toy::fig1_case1();
+        let mut doc = TopologyDoc::from_network(net);
+        doc.link_metadata = vec![LinkMetadata {
+            link: 9,
+            label: "ghost".into(),
+        }];
+        assert!(doc.validate().is_err());
+    }
+
+    #[test]
+    fn empty_network_is_invalid() {
+        // Builder-level emptiness surfaces as Invalid, not a panic.
+        let mut b = NetworkBuilder::new();
+        b.add_link(NodeId(0), NodeId(1), AsId(0));
+        // No paths: builder rejects; simulate via a doc with a path-less
+        // network is impossible through the builder, so go through JSON.
+        let json = r#"{"links":[{"id":0,"from":0,"to":1,"asn":0,"router_links":[]}],"paths":[],"correlation_sets":[{"id":0,"links":[0]}],"link_paths":[[]],"link_set":[0]}"#;
+        let doc = TopologyDoc::parse(json).unwrap();
+        assert!(matches!(doc.validate(), Err(TopoError::Invalid(_))));
+    }
+
+    #[test]
+    fn load_and_validate_reads_files() {
+        let dir = std::env::temp_dir().join("tomo-topo-doc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        std::fs::write(&path, serde_json::to_string(&toy::fig1_case1()).unwrap()).unwrap();
+        let (net, report) = load_and_validate(path.to_str().unwrap()).unwrap();
+        assert_eq!(net.num_links(), 4);
+        assert_eq!(report.paths, 3);
+        assert!(load_and_validate("/nonexistent/topo.json").is_err());
+    }
+
+    #[test]
+    fn link_id_is_used_in_checker_errors() {
+        // Dense-id violation names the offender.
+        let json = serde_json::to_string(&toy::fig1_case1())
+            .unwrap()
+            .replacen("\"id\":0", "\"id\":3", 1);
+        let doc = TopologyDoc::parse(&json).unwrap();
+        let err = doc.to_network().unwrap_err().to_string();
+        assert!(err.contains("position 0"), "{err}");
+    }
+}

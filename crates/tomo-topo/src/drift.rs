@@ -1,0 +1,412 @@
+//! Mid-stream topology drift detection.
+//!
+//! A long-running tenant's topology is not static: links come and go, and
+//! the measured path set changes as routes move. The [`DriftMonitor`] here
+//! watches the *observable* footprint of the topology — which links are
+//! touched by currently-congested paths, and which paths exist at all —
+//! and flags three kinds of change as typed [`DriftEvent`]s:
+//!
+//! * [`DriftKind::LinkAppeared`] — a link that had never carried congestion
+//!   inside the observation window starts to;
+//! * [`DriftKind::LinkDisappeared`] — a link that used to carry congestion
+//!   ages entirely out of the window;
+//! * [`DriftKind::PathSetChanged`] — the set of measurement paths itself
+//!   changed size (routes added or withdrawn).
+//!
+//! The monitor is deliberately estimator-agnostic: it is fed the
+//! congested-path bitmap the online estimators already maintain, so it adds
+//! O(paths + links) work per batch and no extra linear algebra. When a
+//! session opts into [`RebuildPolicy::Auto`], drift events trigger a
+//! structural rebuild through the existing Algorithm-2 fold instead of a
+//! full refit.
+
+use serde::{Deserialize, Serialize, Value};
+
+use tomo_graph::Network;
+
+/// The kind of a drift event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftKind {
+    /// A link entered the active (congestion-carrying) set.
+    LinkAppeared,
+    /// A link left the active set entirely (aged out of the window).
+    LinkDisappeared,
+    /// The measurement path set changed size.
+    PathSetChanged,
+}
+
+impl DriftKind {
+    /// Stable lowercase label used in metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftKind::LinkAppeared => "link_appeared",
+            DriftKind::LinkDisappeared => "link_disappeared",
+            DriftKind::PathSetChanged => "path_set_changed",
+        }
+    }
+}
+
+/// One detected drift occurrence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// What changed.
+    pub kind: DriftKind,
+    /// Links involved (appeared or disappeared), sorted ascending. Empty
+    /// for path-set changes.
+    pub links: Vec<usize>,
+    /// Path count after the change (path-set events), or number of active
+    /// paths at detection time (link events).
+    pub paths: usize,
+    /// Tenant-local interval index at which the change was detected.
+    pub at_interval: u64,
+}
+
+/// Lifetime drift counters, mergeable across tenants/shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftCounters {
+    /// Links that newly entered the active set.
+    pub links_appeared: u64,
+    /// Links that aged out of the active set.
+    pub links_disappeared: u64,
+    /// Path-set size changes.
+    pub path_set_changes: u64,
+    /// Structural rebuilds triggered by [`RebuildPolicy::Auto`].
+    pub auto_rebuilds: u64,
+}
+
+impl DriftCounters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &DriftCounters) {
+        self.links_appeared += other.links_appeared;
+        self.links_disappeared += other.links_disappeared;
+        self.path_set_changes += other.path_set_changes;
+        self.auto_rebuilds += other.auto_rebuilds;
+    }
+
+    /// Total number of drift events observed.
+    pub fn total_events(&self) -> u64 {
+        self.links_appeared + self.links_disappeared + self.path_set_changes
+    }
+}
+
+/// What a session does when drift fires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// Record the event; leave the estimator untouched (default).
+    #[default]
+    Manual,
+    /// Force a structural rebuild (Algorithm-2 refold + solver refresh) on
+    /// every drift event.
+    Auto,
+}
+
+impl RebuildPolicy {
+    /// Wire label ("manual" / "auto").
+    pub fn label(self) -> &'static str {
+        match self {
+            RebuildPolicy::Manual => "manual",
+            RebuildPolicy::Auto => "auto",
+        }
+    }
+}
+
+// Wire form is a plain string so the v2 envelope reads
+// `"rebuild": "auto"`; absent/null keeps the Manual default so snapshots
+// from before this field existed still restore.
+impl Serialize for RebuildPolicy {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for RebuildPolicy {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Null => Ok(RebuildPolicy::Manual),
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "manual" => Ok(RebuildPolicy::Manual),
+                "auto" => Ok(RebuildPolicy::Auto),
+                other => Err(serde::Error::msg(format!(
+                    "unknown rebuild policy `{other}` (expected \"manual\" or \"auto\")"
+                ))),
+            },
+            other => Err(serde::Error::expected("rebuild policy string", other)),
+        }
+    }
+}
+
+/// Per-tenant drift monitor.
+///
+/// Feed it once per ingested batch with the network and the estimator's
+/// congested-path bitmap (`active_paths[p]` = path `p` has congestion
+/// inside the observation window). The first call primes the baseline and
+/// never reports; later calls diff against the baseline and return the
+/// events detected in that batch. The monitor keeps lifetime counters and
+/// a bounded ring of recent events for `TopologyInfo`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    primed: bool,
+    /// Active-link bitmap as of the previous observation.
+    active_links: Vec<bool>,
+    /// Path count as of the previous observation.
+    num_paths: usize,
+    counters: DriftCounters,
+    recent: Vec<DriftEvent>,
+}
+
+/// Bound on the recent-event ring kept for `TopologyInfo`.
+const RECENT_CAP: usize = 32;
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftMonitor {
+    /// Creates an unprimed monitor.
+    pub fn new() -> Self {
+        Self {
+            primed: false,
+            active_links: Vec::new(),
+            num_paths: 0,
+            counters: DriftCounters::default(),
+            recent: Vec::new(),
+        }
+    }
+
+    /// Observes the current state and returns the drift events it implies.
+    ///
+    /// `active_paths` must have one flag per path of `network`;
+    /// `at_interval` is the tenant's total ingested-interval count, stamped
+    /// into the events.
+    pub fn observe(
+        &mut self,
+        network: &Network,
+        active_paths: &[bool],
+        at_interval: u64,
+    ) -> Vec<DriftEvent> {
+        let mut active_links = vec![false; network.num_links()];
+        let mut active_path_count = 0usize;
+        for (p, &active) in active_paths.iter().enumerate() {
+            if !active || p >= network.num_paths() {
+                continue;
+            }
+            active_path_count += 1;
+            for l in &network.path(tomo_graph::PathId(p)).links {
+                active_links[l.index()] = true;
+            }
+        }
+
+        if !self.primed {
+            self.primed = true;
+            self.active_links = active_links;
+            self.num_paths = network.num_paths();
+            return Vec::new();
+        }
+
+        let mut events = Vec::new();
+        if network.num_paths() != self.num_paths {
+            self.counters.path_set_changes += 1;
+            events.push(DriftEvent {
+                kind: DriftKind::PathSetChanged,
+                links: Vec::new(),
+                paths: network.num_paths(),
+                at_interval,
+            });
+        }
+
+        let prev = &self.active_links;
+        let mut appeared = Vec::new();
+        let mut disappeared = Vec::new();
+        for (l, &is) in active_links.iter().enumerate() {
+            let was = prev.get(l).copied().unwrap_or(false);
+            match (was, is) {
+                (false, true) => appeared.push(l),
+                (true, false) => disappeared.push(l),
+                _ => {}
+            }
+        }
+        // Links beyond the new network's size that used to be active.
+        for (l, &was) in prev.iter().enumerate().skip(active_links.len()) {
+            if was {
+                disappeared.push(l);
+            }
+        }
+        if !appeared.is_empty() {
+            self.counters.links_appeared += appeared.len() as u64;
+            events.push(DriftEvent {
+                kind: DriftKind::LinkAppeared,
+                links: appeared,
+                paths: active_path_count,
+                at_interval,
+            });
+        }
+        if !disappeared.is_empty() {
+            self.counters.links_disappeared += disappeared.len() as u64;
+            events.push(DriftEvent {
+                kind: DriftKind::LinkDisappeared,
+                links: disappeared,
+                paths: active_path_count,
+                at_interval,
+            });
+        }
+
+        self.active_links = active_links;
+        self.num_paths = network.num_paths();
+        for event in &events {
+            if self.recent.len() == RECENT_CAP {
+                self.recent.remove(0);
+            }
+            self.recent.push(event.clone());
+        }
+        events
+    }
+
+    /// Records an auto-rebuild triggered by drift.
+    pub fn record_auto_rebuild(&mut self) {
+        self.counters.auto_rebuilds += 1;
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> DriftCounters {
+        self.counters
+    }
+
+    /// The bounded ring of recent events, oldest first.
+    pub fn recent_events(&self) -> &[DriftEvent] {
+        &self.recent
+    }
+
+    /// Whether the baseline has been primed.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::{AsId, NetworkBuilder, NodeId};
+
+    fn chain(paths: &[&[usize]], num_links: usize) -> Network {
+        let mut b = NetworkBuilder::new();
+        let links: Vec<_> = (0..num_links)
+            .map(|i| b.add_link(NodeId(i), NodeId(i + 1), AsId(0)))
+            .collect();
+        for p in paths {
+            let pl: Vec<_> = p.iter().map(|&i| links[i]).collect();
+            let src = NodeId(p[0]);
+            let dst = NodeId(p[p.len() - 1] + 1);
+            b.add_path(src, dst, pl);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_observation_primes_without_events() {
+        let net = chain(&[&[0, 1], &[2]], 3);
+        let mut monitor = DriftMonitor::new();
+        assert!(!monitor.is_primed());
+        let events = monitor.observe(&net, &[true, false], 1);
+        assert!(events.is_empty());
+        assert!(monitor.is_primed());
+        assert_eq!(monitor.counters().total_events(), 0);
+    }
+
+    #[test]
+    fn link_appearance_and_disappearance_are_flagged() {
+        let net = chain(&[&[0, 1], &[2]], 3);
+        let mut monitor = DriftMonitor::new();
+        monitor.observe(&net, &[true, false], 1);
+
+        // Path 1 (over link 2) starts carrying congestion: link appears.
+        let events = monitor.observe(&net, &[true, true], 2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, DriftKind::LinkAppeared);
+        assert_eq!(events[0].links, vec![2]);
+        assert_eq!(events[0].at_interval, 2);
+
+        // Path 0 ages out: links 0 and 1 disappear together.
+        let events = monitor.observe(&net, &[false, true], 3);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, DriftKind::LinkDisappeared);
+        assert_eq!(events[0].links, vec![0, 1]);
+
+        let counters = monitor.counters();
+        assert_eq!(counters.links_appeared, 1);
+        assert_eq!(counters.links_disappeared, 2);
+        assert_eq!(counters.total_events(), 3);
+    }
+
+    #[test]
+    fn path_set_change_is_flagged_once() {
+        let before = chain(&[&[0, 1]], 3);
+        let after = chain(&[&[0, 1], &[2]], 3);
+        let mut monitor = DriftMonitor::new();
+        monitor.observe(&before, &[true], 1);
+        let events = monitor.observe(&after, &[true, false], 2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, DriftKind::PathSetChanged);
+        assert_eq!(events[0].paths, 2);
+        assert_eq!(monitor.counters().path_set_changes, 1);
+    }
+
+    #[test]
+    fn recent_ring_is_bounded() {
+        let net = chain(&[&[0], &[1]], 2);
+        let mut monitor = DriftMonitor::new();
+        monitor.observe(&net, &[false, false], 0);
+        for i in 0..(RECENT_CAP as u64 + 10) {
+            let flip = i % 2 == 0;
+            monitor.observe(&net, &[flip, !flip], i + 1);
+        }
+        assert_eq!(monitor.recent_events().len(), RECENT_CAP);
+        // Oldest-first: the last event must carry the newest interval.
+        let last = monitor.recent_events().last().unwrap();
+        assert_eq!(last.at_interval, RECENT_CAP as u64 + 10);
+    }
+
+    #[test]
+    fn rebuild_policy_wire_forms() {
+        assert_eq!(
+            serde_json::to_string(&RebuildPolicy::Auto).unwrap(),
+            "\"auto\""
+        );
+        let p: RebuildPolicy = serde_json::from_str("\"AUTO\"").unwrap();
+        assert_eq!(p, RebuildPolicy::Auto);
+        let p: RebuildPolicy = serde_json::from_str("null").unwrap();
+        assert_eq!(p, RebuildPolicy::Manual);
+        assert!(serde_json::from_str::<RebuildPolicy>("\"sometimes\"").is_err());
+        assert_eq!(RebuildPolicy::default(), RebuildPolicy::Manual);
+    }
+
+    #[test]
+    fn monitor_round_trips_through_snapshots() {
+        let net = chain(&[&[0, 1], &[2]], 3);
+        let mut monitor = DriftMonitor::new();
+        monitor.observe(&net, &[true, false], 1);
+        monitor.observe(&net, &[true, true], 2);
+        monitor.record_auto_rebuild();
+        let json = serde_json::to_string(&monitor).unwrap();
+        let back: DriftMonitor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters(), monitor.counters());
+        assert_eq!(back.recent_events(), monitor.recent_events());
+        assert!(back.is_primed());
+    }
+
+    #[test]
+    fn drift_counters_merge() {
+        let mut a = DriftCounters {
+            links_appeared: 1,
+            links_disappeared: 2,
+            path_set_changes: 3,
+            auto_rebuilds: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.links_appeared, 2);
+        assert_eq!(a.auto_rebuilds, 8);
+        assert_eq!(a.total_events(), 12);
+    }
+}

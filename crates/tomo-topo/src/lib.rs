@@ -1,0 +1,36 @@
+//! Topology lifecycle subsystem for the serving stack.
+//!
+//! The paper treats the monitored topology as *given*; a long-running
+//! tomography service cannot. This crate owns the three stages of a
+//! topology's life in the daemon:
+//!
+//! * **Ingestion** — [`TopologyDoc`]: a validated inline `Network` document
+//!   (links, paths, optional link metadata) with a structural checker
+//!   (path/link referential integrity through [`tomo_graph::NetworkBuilder`],
+//!   a coverage report, and a canonical dedup hash), so tenants can be
+//!   created from measured traceroute maps without a daemon restart.
+//! * **Learning** — [`AliasAnalysis`]: extracts mergeable link groups (alias
+//!   sets) from the identifiability null-space basis of the routing matrix,
+//!   folded row-by-row with [`tomo_linalg::nullspace_update`] (Algorithm 2 of
+//!   the paper). Two links are aliased exactly when no probe path can ever
+//!   tell them apart under the current path set — equivalently, when their
+//!   path-incidence columns coincide — and each group carries the probe that
+//!   would split it.
+//! * **Drift detection** — [`DriftMonitor`]: a per-tenant monitor fed from
+//!   the online estimator's congested-path bitmap that flags link
+//!   appearance/disappearance and path-set change mid-stream as typed
+//!   [`DriftEvent`]s, with lifetime [`DriftCounters`] the serving layer
+//!   surfaces through `Stats`/`Metrics`. The opt-in [`RebuildPolicy::Auto`]
+//!   lets a session force a structural rebuild through the existing
+//!   Algorithm-2 fold whenever drift fires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod doc;
+pub mod drift;
+
+pub use alias::{ground_truth_alias_sets, AliasAnalysis, AliasGroup};
+pub use doc::{LinkMetadata, TopoError, TopologyDoc, TopologyReport};
+pub use drift::{DriftCounters, DriftEvent, DriftKind, DriftMonitor, RebuildPolicy};

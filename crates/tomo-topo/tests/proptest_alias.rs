@@ -1,0 +1,83 @@
+//! Property: alias sets recovered from the identifiability null-space basis
+//! exactly match the ground-truth indistinguishable groups — links sharing
+//! identical path-incidence columns — on generated Brite/Sparse topologies
+//! and on arbitrary random networks.
+
+use proptest::prelude::*;
+use tomo_graph::{AsId, LinkId, Network, NetworkBuilder, NodeId};
+use tomo_topo::{ground_truth_alias_sets, AliasAnalysis};
+use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
+
+fn assert_alias_sets_match(net: &Network) {
+    let analysis = AliasAnalysis::analyze(net);
+    let truth = ground_truth_alias_sets(net);
+    assert_eq!(
+        analysis.group_sets(),
+        truth,
+        "alias analysis disagrees with path-incidence grouping \
+         ({} links, {} paths, nullspace dim {})",
+        net.num_links(),
+        net.num_paths(),
+        analysis.nullspace_dim
+    );
+    // Sanity on the accompanying facts: rank + nullity = num links, and no
+    // identifiable link can sit in an alias group.
+    assert_eq!(analysis.rank + analysis.nullspace_dim, net.num_links());
+    let aliased: usize = analysis.groups.iter().map(|g| g.links.len()).sum();
+    assert!(analysis.identifiable_links + aliased <= net.num_links());
+    for g in &analysis.groups {
+        assert!(g.links.len() >= 2);
+        assert!(!g.split_probe.is_empty());
+        assert!(g.split_probe.iter().all(|l| g.links.contains(l)));
+    }
+}
+
+/// Random small networks in the same style as tomo-graph's proptests.
+fn arb_network(max_links: usize, max_paths: usize) -> impl Strategy<Value = Network> {
+    (2..=max_links, 1..=max_paths)
+        .prop_flat_map(|(n_links, n_paths)| {
+            let paths = proptest::collection::vec(
+                proptest::collection::btree_set(0..n_links, 1..=n_links.min(4)),
+                n_paths,
+            );
+            (Just(n_links), paths)
+        })
+        .prop_map(|(n_links, paths)| {
+            let mut b = NetworkBuilder::new();
+            for i in 0..n_links {
+                b.add_link(NodeId(i), NodeId(i + 1), AsId(i % 3));
+            }
+            for (pi, links) in paths.iter().enumerate() {
+                let link_ids: Vec<LinkId> = links.iter().map(|&l| LinkId(l)).collect();
+                b.add_path(NodeId(pi), NodeId(pi + 1000), link_ids);
+            }
+            b.build().expect("generated networks are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alias_sets_match_ground_truth_on_random_networks(
+        net in arb_network(10, 8)
+    ) {
+        assert_alias_sets_match(&net);
+    }
+
+    #[test]
+    fn alias_sets_match_ground_truth_on_brite(seed in 0u64..1024) {
+        let net = BriteGenerator::new(BriteConfig::tiny(seed))
+            .generate()
+            .expect("brite generation succeeds");
+        assert_alias_sets_match(&net);
+    }
+
+    #[test]
+    fn alias_sets_match_ground_truth_on_sparse(seed in 0u64..1024) {
+        let net = SparseGenerator::new(SparseConfig::tiny(seed))
+            .generate()
+            .expect("sparse generation succeeds");
+        assert_alias_sets_match(&net);
+    }
+}
