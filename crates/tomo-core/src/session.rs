@@ -327,8 +327,18 @@ impl TomographySession {
     /// estimate. The lifetime interval counter is restored from the
     /// snapshot; refit and drift counters restart (they describe this
     /// process's work — the replay primes a fresh drift baseline).
+    ///
+    /// Snapshots arrive as JSON from clients and disk, and `Network`'s serde
+    /// derive decodes structures [`tomo_graph::NetworkBuilder`] would never
+    /// build (paths over missing links, loops, broken correlation
+    /// partitions). The network is therefore routed back through the builder
+    /// here, so a restored session is indistinguishable from a created one
+    /// and downstream code may rely on builder invariants.
     pub fn restore(snapshot: SessionSnapshot) -> Result<Self, TomoError> {
-        let mut session = Self::new(snapshot.network, snapshot.config)?;
+        let network = tomo_topo::TopologyDoc::from_network(snapshot.network)
+            .to_network()
+            .map_err(|e| TomoError::InvalidConfig(format!("snapshot topology invalid: {e}")))?;
+        let mut session = Self::new(network, snapshot.config)?;
         if !snapshot.intervals.is_empty() {
             session
                 .observe(&snapshot.intervals)
@@ -468,6 +478,26 @@ mod tests {
         let stats = restored.stats();
         assert_eq!(stats.window_len, 50);
         assert_eq!(stats.total_ingested, 70);
+    }
+
+    #[test]
+    fn restore_rejects_structurally_invalid_networks() {
+        // `Network`'s serde derive decodes a path over a link that does not
+        // exist; restore must route the structure back through the builder
+        // and refuse it instead of instantiating an unchecked session.
+        let mut session = session();
+        session.observe(&intervals(20, 0)).unwrap();
+        let json = serde_json::to_string(&session.snapshot()).unwrap();
+        let corrupted = json.replace("\"links\":[0,1]", "\"links\":[0,99]");
+        assert_ne!(corrupted, json, "fixture must actually corrupt a path");
+        let snapshot: SessionSnapshot = serde_json::from_str(&corrupted).unwrap();
+        let Err(err) = TomographySession::restore(snapshot) else {
+            panic!("corrupted snapshot must be refused");
+        };
+        assert!(
+            err.to_string().contains("snapshot topology invalid"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -263,7 +263,15 @@ fn route_line(
     // not forwarded on fan-outs — a partial fleet answer is worse than a
     // slightly late merged one.
     match &req {
-        Request::ListTenants | Request::FleetStats | Request::Metrics | Request::SnapshotAll => {
+        // UploadTopology fans out too: `Create` naming an uploaded topology
+        // can land on any ring owner, so every backend needs the library
+        // entry (uploads are idempotent on the canonical hash, making the
+        // broadcast safe to repeat).
+        Request::ListTenants
+        | Request::FleetStats
+        | Request::Metrics
+        | Request::SnapshotAll
+        | Request::UploadTopology { .. } => {
             let forward = encode(&RequestEnvelope {
                 v: PROTOCOL_VERSION,
                 tenant: None,
@@ -446,6 +454,45 @@ fn merge_backend_responses(req: &Request, responses: Vec<Response>) -> Response 
             }
             Response::Snapshotted {
                 path: paths.join(","),
+            }
+        }
+        Request::UploadTopology { .. } => {
+            // Every backend validated the same document; their canonical
+            // hashes must agree, and any one acceptance represents all.
+            let mut first: Option<(String, usize, usize, String)> = None;
+            for resp in responses {
+                match resp {
+                    Response::TopologyAccepted {
+                        name,
+                        links,
+                        paths,
+                        hash,
+                    } => match &first {
+                        None => first = Some((name, links, paths, hash)),
+                        Some((_, _, _, h)) if *h == hash => {}
+                        Some(_) => {
+                            return Response::error(
+                                ErrorKind::Internal,
+                                "backends disagree on the uploaded topology structure",
+                            )
+                        }
+                    },
+                    other => {
+                        return Response::error(
+                            ErrorKind::Internal,
+                            format!("unexpected backend response {other:?}"),
+                        )
+                    }
+                }
+            }
+            match first {
+                Some((name, links, paths, hash)) => Response::TopologyAccepted {
+                    name,
+                    links,
+                    paths,
+                    hash,
+                },
+                None => Response::error(ErrorKind::Internal, "router has an empty backend fleet"),
             }
         }
         other => Response::error(

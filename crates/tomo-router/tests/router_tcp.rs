@@ -509,3 +509,69 @@ fn rebalance_hands_tenants_off_with_estimates_intact() {
     let _ = std::fs::remove_dir_all(&dir1);
     let _ = std::fs::remove_dir_all(&dir2);
 }
+
+/// `UploadTopology` through the router broadcasts to every backend (a
+/// `Create` naming the upload can land on any ring owner), merges the
+/// backends' identical reports into one acceptance, and dedups idempotent
+/// re-uploads fleet-wide.
+#[test]
+fn topology_uploads_broadcast_to_every_backend() {
+    let (b1, h1) = start_backend(RegistryConfig::default(), 3);
+    let (b2, h2) = start_backend(RegistryConfig::default(), 3);
+    let backends = vec![b1.clone(), b2.clone()];
+    let (router_addr, router_handle) = start_router(&backends);
+
+    let doc = tomo_topo::TopologyDoc::from_network(tomo_serve::resolve_topology("toy", 0).unwrap());
+    let mut client = Client::connect(&router_addr).unwrap();
+    let (links, paths, hash) = client.upload_topology("measured-9", doc.clone()).unwrap();
+    assert_eq!((links, paths), (4, 3));
+    // Idempotent through the router too.
+    let (_, _, again) = client.upload_topology("measured-9", doc).unwrap();
+    assert_eq!(again, hash);
+
+    // Every backend holds the library entry, so tenants created through the
+    // router resolve the name regardless of which owner the ring picks.
+    for backend in &backends {
+        let mut direct = Client::connect(backend).unwrap();
+        let (links, paths) = direct
+            .create_tenant_from(
+                format!("probe-{backend}").replace([':', '.'], "-"),
+                tomo_serve::TopologySource::Named("measured-9".into()),
+                0,
+                "independence",
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!((links, paths), (4, 3));
+    }
+    let fleet_view = Fleet::new(&backends, DEFAULT_VNODES);
+    let mut owners = std::collections::HashSet::new();
+    for i in 0..8 {
+        let tenant = format!("as-{i}");
+        owners.insert(fleet_view.owner_of(&tenant).unwrap().to_string());
+        let mut client = Client::connect(&router_addr).unwrap();
+        let (links, paths) = client
+            .create_tenant_from(
+                tenant,
+                tomo_serve::TopologySource::Named("measured-9".into()),
+                0,
+                "independence",
+                None,
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!((links, paths), (4, 3));
+    }
+    assert_eq!(owners.len(), 2, "ring must exercise both backends");
+
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Bye
+    ));
+    router_handle.join().unwrap();
+    h1.join().unwrap();
+    h2.join().unwrap();
+}

@@ -220,6 +220,7 @@ fn main() {
         default_admission: args.admission,
         snapshot_dir: args.snapshot_dir.clone(),
         snapshot_every: args.snapshot_every,
+        ..RegistryConfig::default()
     }));
 
     if args.restore {

@@ -109,6 +109,14 @@ pub struct RegistryConfig {
     /// Full-queue admission policy for tenants whose `Create` did not pick
     /// one (the daemon's `--admission` flag).
     pub default_admission: AdmissionPolicy,
+    /// Maximum entries in the upload topology library. Uploads past the cap
+    /// are refused (idempotent re-uploads of stored names still succeed), so
+    /// clients cannot grow daemon memory without bound.
+    pub max_topologies: usize,
+    /// Maximum links accepted in an uploaded or inline topology document.
+    pub max_topology_links: usize,
+    /// Maximum paths accepted in an uploaded or inline topology document.
+    pub max_topology_paths: usize,
 }
 
 impl Default for RegistryConfig {
@@ -119,6 +127,9 @@ impl Default for RegistryConfig {
             snapshot_dir: None,
             snapshot_every: None,
             default_admission: AdmissionPolicy::Busy,
+            max_topologies: 256,
+            max_topology_links: 100_000,
+            max_topology_paths: 100_000,
         }
     }
 }
@@ -397,12 +408,11 @@ impl EngineRegistry {
                 "topology name `{name}` is reserved for a builtin generator"
             )));
         }
-        let report = doc
-            .validate()
-            .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+        self.check_document_bounds(&doc)?;
         let network = doc
             .to_network()
             .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+        let report = tomo_topo::report_of(&network);
         let mut library = self.topologies.lock().expect("topology library lock");
         if let Some(existing) = library.get(&name) {
             if existing.report.hash == report.hash {
@@ -412,6 +422,14 @@ impl EngineRegistry {
                 "topology `{name}` already exists with a different structure \
                  (hash {} vs {}); pick a new name",
                 existing.report.hash, report.hash
+            )));
+        }
+        if library.len() >= self.config.max_topologies {
+            return Err(TomoError::InvalidConfig(format!(
+                "topology library is full ({} entries, cap {}); re-uploading a \
+                 stored structure under its existing name still succeeds",
+                library.len(),
+                self.config.max_topologies
             )));
         }
         library.insert(
@@ -465,36 +483,78 @@ impl EngineRegistry {
                 )))
             }
             TopologySource::Inline(doc) => {
-                doc.validate()
-                    .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))?;
+                self.check_document_bounds(doc)?;
                 doc.to_network()
                     .map_err(|e| TomoError::InvalidConfig(format!("invalid topology: {e}")))
             }
         }
     }
 
+    /// Refuses documents past the configured link/path caps before any
+    /// validation work runs — the size fields come straight off the parsed
+    /// document, so oversized uploads are rejected in O(1) instead of
+    /// instantiating arbitrarily large sessions or library entries.
+    fn check_document_bounds(&self, doc: &TopologyDoc) -> Result<(), TomoError> {
+        let (links, paths) = (doc.network.num_links(), doc.network.num_paths());
+        if links > self.config.max_topology_links {
+            return Err(TomoError::InvalidConfig(format!(
+                "topology has {links} links, above the daemon cap of {}",
+                self.config.max_topology_links
+            )));
+        }
+        if paths > self.config.max_topology_paths {
+            return Err(TomoError::InvalidConfig(format!(
+                "topology has {paths} paths, above the daemon cap of {}",
+                self.config.max_topology_paths
+            )));
+        }
+        Ok(())
+    }
+
     /// The topology lifecycle report behind `TopologyInfo`: the structural
     /// coverage report and identifiability-driven alias analysis of the
     /// tenant's live network, plus its rebuild policy and drift state.
-    pub fn topology_info(&self, entry: &Arc<TenantEntry>) -> TopologyInfoReport {
+    ///
+    /// The state lock is held only long enough to clone the network and read
+    /// the drift/rebuild facts; the O(paths·links²) alias analysis runs on
+    /// the clone so repeated `TopologyInfo` calls never stall ingest or
+    /// queries. Session networks are builder-validated on every ingress path
+    /// (generators, checked uploads, checked restores), so the report is
+    /// derived directly; a network that still fails the checker is reported
+    /// as a typed error, never a panic under the lock.
+    pub fn topology_info(
+        &self,
+        entry: &Arc<TenantEntry>,
+    ) -> Result<TopologyInfoReport, TomoError> {
         let started = Instant::now();
-        let state = entry.state.lock().expect("tenant state lock");
-        let network = state.session.network();
-        let report = tomo_topo::TopologyDoc::from_network(network.clone())
-            .validate()
-            .expect("a live session network is structurally valid");
-        let info = TopologyInfoReport {
-            report,
-            alias: AliasAnalysis::analyze(network),
-            rebuild: state.session.config().rebuild,
-            drift: state.session.drift_counters(),
-            recent_events: state.session.recent_drift_events().to_vec(),
+        let (network, rebuild, drift, recent_events) = {
+            let state = entry.state.lock().expect("tenant state lock");
+            (
+                state.session.network().clone(),
+                state.session.config().rebuild,
+                state.session.drift_counters(),
+                state.session.recent_drift_events().to_vec(),
+            )
         };
-        drop(state);
+        let network = tomo_topo::TopologyDoc::from_network(network)
+            .to_network()
+            .map_err(|e| {
+                TomoError::InvalidConfig(format!(
+                    "tenant `{}` holds a structurally invalid network: {e}",
+                    entry.id
+                ))
+            })?;
+        let info = TopologyInfoReport {
+            report: tomo_topo::report_of(&network),
+            alias: AliasAnalysis::analyze(&network),
+            rebuild,
+            drift,
+            recent_events,
+        };
         entry
             .instruments
             .record_query_ns(started.elapsed().as_nanos() as u64);
-        info
+        Ok(info)
     }
 
     /// Removes a tenant: unregisters it (new requests see `UnknownTenant`),
@@ -1451,12 +1511,72 @@ mod tests {
     }
 
     #[test]
+    fn restore_rejects_crafted_snapshots_without_poisoning_the_fleet() {
+        let registry = EngineRegistry::new(RegistryConfig::default());
+        let healthy = registry
+            .create(TenantId::new("healthy").unwrap(), toy_session())
+            .unwrap();
+        let snapshot = {
+            let mut session = toy_session();
+            session.observe(&intervals(10, 0)).unwrap();
+            serde_json::to_string(&session.snapshot()).unwrap()
+        };
+        // A path over a nonexistent link decodes through `Network`'s serde
+        // derive; the restore path must refuse it as a typed error.
+        let corrupted = snapshot.replace("\"links\":[0,1]", "\"links\":[0,99]");
+        assert_ne!(corrupted, snapshot, "fixture must actually corrupt a path");
+        let Err(err) = registry.restore_tenant(TenantId::new("evil").unwrap(), &corrupted) else {
+            panic!("corrupted snapshot must be refused");
+        };
+        assert!(err.to_string().contains("snapshot topology invalid"), "{err}");
+        // No tenant was registered and no lock was poisoned: fleet-wide
+        // endpoints and per-tenant reads keep answering.
+        assert!(registry.lookup(&TenantId::new("evil").unwrap()).is_none());
+        assert_eq!(registry.fleet_stats().tenants, 1);
+        assert_eq!(registry.list().len(), 1);
+        assert_eq!(registry.metrics(None).per_tenant.len(), 1);
+        assert!(registry.topology_info(&healthy).is_ok());
+    }
+
+    #[test]
+    fn oversized_documents_and_full_libraries_are_refused() {
+        let registry = EngineRegistry::new(RegistryConfig {
+            max_topologies: 1,
+            max_topology_links: 4,
+            max_topology_paths: 3,
+            ..RegistryConfig::default()
+        });
+        let doc = TopologyDoc::from_network(tomo_graph::toy::fig1_case1());
+        registry.upload_topology("first", doc.clone()).unwrap();
+        // Library at cap: a new name is refused, the stored name stays
+        // idempotent.
+        let other = TopologyDoc::from_network(tomo_graph::toy::fig1_case2());
+        let err = registry.upload_topology("second", other).unwrap_err();
+        assert!(err.to_string().contains("library is full"), "{err}");
+        assert!(registry.upload_topology("first", doc.clone()).is_ok());
+        assert_eq!(registry.uploaded_topology_names(), vec!["first"]);
+
+        // Documents above the link/path caps are refused in O(1), both as
+        // uploads and as inline `Create` sources.
+        let tight = EngineRegistry::new(RegistryConfig {
+            max_topology_links: 3,
+            ..RegistryConfig::default()
+        });
+        let err = tight.upload_topology("big", doc.clone()).unwrap_err();
+        assert!(err.to_string().contains("above the daemon cap"), "{err}");
+        let err = tight
+            .resolve_topology_source(&TopologySource::Inline(doc), 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("above the daemon cap"), "{err}");
+    }
+
+    #[test]
     fn topology_info_reports_alias_sets_and_drift_state() {
         let registry = EngineRegistry::new(RegistryConfig::default());
         let entry = registry
             .create(TenantId::new("as-1").unwrap(), toy_session())
             .unwrap();
-        let info = registry.topology_info(&entry);
+        let info = registry.topology_info(&entry).unwrap();
         assert_eq!(info.report.links, 4);
         assert_eq!(info.alias.num_links, 4);
         assert_eq!(info.rebuild, tomo_core::RebuildPolicy::Manual);

@@ -546,7 +546,10 @@ fn dispatch(
                 Request::Query => registry.query(&entry),
                 Request::Infer { congested } => registry.infer(&entry, &congested),
                 Request::Stats => Response::Stats(registry.stats(&entry)),
-                Request::TopologyInfo => Response::Topology(registry.topology_info(&entry)),
+                Request::TopologyInfo => match registry.topology_info(&entry) {
+                    Ok(info) => Response::Topology(info),
+                    Err(e) => Response::from_error(&e),
+                },
                 Request::Snapshot => match registry.snapshot_tenant(&entry) {
                     Ok(Some(path)) => Response::Snapshotted { path },
                     Ok(None) => Response::error(

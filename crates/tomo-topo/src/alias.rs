@@ -60,20 +60,34 @@ impl AliasAnalysis {
         for row in &rows {
             basis = nullspace_update(&basis, row).into_basis();
         }
-        // Same safety net the online estimator uses: if the incremental
-        // fold drifted, fall back to the batch SVD null space.
-        if !rows.is_empty() && basis.cols() > 0 {
+        let a = (!rows.is_empty()).then(|| {
             let mut a = Matrix::zeros(rows.len(), n);
             for (i, row) in rows.iter().enumerate() {
                 for (j, &x) in row.iter().enumerate() {
                     a[(i, j)] = x;
                 }
             }
-            if a.matmul(&basis).max_abs() > TOL {
-                basis = nullspace(&a);
+            a
+        });
+        // Same safety net the online estimator uses: if the incremental
+        // fold drifted, fall back to the batch null space.
+        if let Some(a) = &a {
+            if basis.cols() > 0 && a.matmul(&basis).max_abs() > TOL {
+                basis = nullspace(a);
             }
         }
-        let q = orthonormalize(&basis);
+        let mut q = orthonormalize(&basis);
+        if q.cols() < basis.cols() {
+            // Gram-Schmidt collapsed a column below tolerance: the folded
+            // basis is numerically degenerate, and `n - q.cols()` would
+            // overstate the rank. Recompute from the batch null space,
+            // whose basis columns each carry a unit entry in a distinct
+            // free-variable row and therefore survive orthonormalization.
+            if let Some(a) = &a {
+                basis = nullspace(a);
+                q = orthonormalize(&basis);
+            }
+        }
         let k = q.cols();
         let rank = n - k;
 

@@ -210,8 +210,11 @@ impl TopologyDoc {
     }
 }
 
-/// Builds the coverage report of an (already validated) network.
-pub(crate) fn report_of(network: &Network) -> TopologyReport {
+/// Builds the coverage report of an (already validated) network. Callers
+/// holding a builder-produced `Network` (a generator topology, a validated
+/// upload, a restored session) use this to derive the report without paying
+/// for a second rebuild through [`NetworkBuilder`].
+pub fn report_of(network: &Network) -> TopologyReport {
     TopologyReport {
         links: network.num_links(),
         paths: network.num_paths(),

@@ -32,5 +32,5 @@ pub mod doc;
 pub mod drift;
 
 pub use alias::{ground_truth_alias_sets, AliasAnalysis, AliasGroup};
-pub use doc::{LinkMetadata, TopoError, TopologyDoc, TopologyReport};
+pub use doc::{report_of, LinkMetadata, TopoError, TopologyDoc, TopologyReport};
 pub use drift::{DriftCounters, DriftEvent, DriftKind, DriftMonitor, RebuildPolicy};

@@ -20,9 +20,23 @@ fn assert_alias_sets_match(net: &Network) {
         net.num_paths(),
         analysis.nullspace_dim
     );
-    // Sanity on the accompanying facts: rank + nullity = num links, and no
-    // identifiable link can sit in an alias group.
+    // Sanity on the accompanying facts: rank + nullity = num links, the
+    // nullity agrees with the batch null space of the routing matrix (the
+    // incremental fold and its orthonormalization must not silently drop
+    // dimensions), and no identifiable link can sit in an alias group.
     assert_eq!(analysis.rank + analysis.nullspace_dim, net.num_links());
+    let rows = net.routing_matrix();
+    let mut a = tomo_linalg::Matrix::zeros(rows.len(), net.num_links());
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            a[(i, j)] = x;
+        }
+    }
+    assert_eq!(
+        analysis.nullspace_dim,
+        tomo_linalg::nullspace(&a).cols(),
+        "nullity disagrees with the batch null space"
+    );
     let aliased: usize = analysis.groups.iter().map(|g| g.links.len()).sum();
     assert!(analysis.identifiable_links + aliased <= net.num_links());
     for g in &analysis.groups {
