@@ -2,10 +2,11 @@
 """Docs-drift gate: the operations runbook must track the wire protocol.
 
 ``docs/OPERATIONS.md`` documents the v2 request grammar, the full error
-taxonomy, and the topology-drift event taxonomy. Those lists rot silently
-when someone adds a ``Request``/``ErrorKind`` variant to
-``crates/tomo-serve/src/protocol.rs`` — or a ``DriftKind`` variant to
-``crates/tomo-topo/src/drift.rs`` — without touching the runbook. So CI
+taxonomy, the topology-drift event taxonomy, and the chaos fault taxonomy.
+Those lists rot silently when someone adds a ``Request``/``ErrorKind``
+variant to ``crates/tomo-serve/src/protocol.rs``, a ``DriftKind`` variant
+to ``crates/tomo-topo/src/drift.rs``, or a ``FaultKind`` variant to
+``crates/tomo-chaos/src/fault.rs`` — without touching the runbook. So CI
 extracts the variant names straight from the enum source and fails unless
 every one of them appears in the doc.
 
@@ -25,6 +26,7 @@ ENUMS = (
     ("crates/tomo-serve/src/protocol.rs", "ErrorKind"),
     ("crates/tomo-serve/src/protocol.rs", "Request"),
     ("crates/tomo-topo/src/drift.rs", "DriftKind"),
+    ("crates/tomo-chaos/src/fault.rs", "FaultKind"),
 )
 
 

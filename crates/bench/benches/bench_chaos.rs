@@ -1,0 +1,149 @@
+//! Benchmarks of the chaos subsystem's hot paths: adversarial scenario
+//! simulation (Gilbert–Elliott bursts, SRLG cascades), per-fault reaction
+//! scoring, and the line-oriented chaos proxy's forwarding loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tomo_chaos::{ChaosConfig, ChaosProxy, FaultEvent, FaultKind};
+use tomo_metrics::{score_reactions, EstimateSample, ReactionConfig};
+use tomo_sim::{LossModel, MeasurementMode, ScenarioConfig, SimulationConfig, Simulator};
+use tomo_topology::{BriteConfig, BriteGenerator};
+
+fn network() -> tomo_graph::Network {
+    BriteGenerator::new(BriteConfig::tiny(7))
+        .generate()
+        .unwrap()
+}
+
+/// Full adversarial simulations: model evolution, fault-event emission,
+/// and the ground-truth epoch timeline all run in the loop, so this is the
+/// cost a chaos sweep pays per (scenario, seed) cell before any estimator
+/// sees a byte.
+fn bench_chaos_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(10);
+    let network = network();
+    for (label, scenario) in [
+        ("simulate_bursty_loss_200", ScenarioConfig::bursty_loss()),
+        ("simulate_link_cascade_200", ScenarioConfig::link_cascade()),
+        ("simulate_flapping_200", ScenarioConfig::flapping_links()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
+            b.iter(|| {
+                Simulator::new(SimulationConfig {
+                    num_intervals: 200,
+                    scenario: s.clone(),
+                    loss: LossModel::default(),
+                    measurement: MeasurementMode::Ideal,
+                    seed: 17,
+                })
+                .run(&network)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reaction scoring over a synthetic drill: 100 faults, 400 estimate
+/// samples, 64 links. This is the post-processing cost per (tenant, run)
+/// in `probe-client chaos` and per sweep cell in the `chaos` grid.
+fn bench_reaction_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(20);
+    let links = 64usize;
+    let faults: Vec<FaultEvent> = (1..=100)
+        .map(|i| FaultEvent {
+            kind: if i % 2 == 0 {
+                FaultKind::BurstEnd
+            } else {
+                FaultKind::BurstStart
+            },
+            interval: i * 20,
+            epoch: i,
+            links: vec![i % links],
+        })
+        .collect();
+    let truth: Vec<(usize, Vec<f64>)> = (0..101)
+        .map(|i| {
+            let level = if i % 2 == 0 { 0.05 } else { 0.85 };
+            (i * 20, vec![level; links])
+        })
+        .collect();
+    let truth_refs: Vec<(usize, &[f64])> = truth.iter().map(|(s, m)| (*s, m.as_slice())).collect();
+    let samples: Vec<EstimateSample> = (1..=400)
+        .map(|i| EstimateSample {
+            intervals: i * 5,
+            probabilities: vec![0.05 + (i % 7) as f64 * 0.1; links],
+        })
+        .collect();
+    group.bench_function("score_reactions_100_faults", |b| {
+        b.iter(|| score_reactions(&faults, &samples, &truth_refs, ReactionConfig::default()))
+    });
+    group.finish();
+}
+
+/// Round-trips 500 request lines through the chaos proxy to a line-echo
+/// upstream with every fault rate at zero: the pure forwarding overhead a
+/// drill adds on top of the daemon itself.
+fn bench_proxy_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(10);
+
+    // Echo upstream: one "ok" line back per request line, per connection.
+    let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+    let upstream_addr = upstream.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in upstream.incoming() {
+            let Ok(conn) = conn else { break };
+            std::thread::spawn(move || {
+                let mut writer = conn.try_clone().unwrap();
+                let reader = BufReader::new(conn);
+                for line in reader.lines() {
+                    if line.is_err() || writer.write_all(b"ok\n").is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let proxy = ChaosProxy::start(
+        upstream_addr,
+        ChaosConfig {
+            seed: 1,
+            ..ChaosConfig::default()
+        },
+    )
+    .unwrap();
+    let proxy_addr = proxy.local_addr();
+
+    group.bench_function("proxy_echo_500_lines", |b| {
+        b.iter(|| {
+            let stream = TcpStream::connect(proxy_addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            for i in 0..500u32 {
+                writer
+                    .write_all(format!("{{\"line\":{i}}}\n").as_bytes())
+                    .unwrap();
+            }
+            for _ in 0..500 {
+                line.clear();
+                assert!(reader.read_line(&mut line).unwrap() > 0);
+            }
+        })
+    });
+    group.finish();
+    proxy.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_chaos_simulation,
+    bench_reaction_scoring,
+    bench_proxy_forwarding
+);
+criterion_main!(benches);

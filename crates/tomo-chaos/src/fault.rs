@@ -1,0 +1,149 @@
+//! The fault taxonomy: what kinds of injected faults exist and the
+//! machine-readable per-event record every injector emits.
+
+use serde::{Deserialize, Serialize};
+
+/// Every fault the chaos subsystem can inject.
+///
+/// The first seven are *model-level* faults: the simulator's adversarial
+/// [`ProbabilityEvolution`](https://docs.rs/) variants emit them as they
+/// mutate the congestion model between epochs. The last five are
+/// *wire-level* faults injected by the [`ChaosProxy`](crate::ChaosProxy)
+/// between a probe client and a daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A Gilbert–Elliott driver transitioned good → bad: its links entered
+    /// a loss burst.
+    BurstStart,
+    /// A Gilbert–Elliott driver transitioned bad → good: the burst ended.
+    BurstEnd,
+    /// A shared-risk link group failed: every member link's congestion
+    /// probability jumped to the cascade's down level simultaneously.
+    GroupFail,
+    /// A shared-risk link group recovered to a fresh operating point.
+    GroupRecover,
+    /// A flapping link's duty cycle took it down.
+    FlapDown,
+    /// A flapping link's duty cycle brought it back up.
+    FlapUp,
+    /// A diurnal load curve crossed its peak or trough: congestion
+    /// probabilities swung to the opposite phase of the cycle.
+    LoadSwing,
+    /// Wire: an observation line was dropped by the chaos proxy.
+    LineDrop,
+    /// Wire: an observation line was held back and delivered after its
+    /// successor (reordering).
+    LineReorder,
+    /// Wire: an observation line was delivered twice.
+    LineDupe,
+    /// Wire: an observation line was delayed by a jittered amount.
+    LineDelay,
+    /// Wire: the proxied connection was reset mid-stream.
+    ConnReset,
+}
+
+impl FaultKind {
+    /// The model-level fault kinds (emitted by simulator dynamics).
+    pub fn model_level() -> [FaultKind; 7] {
+        [
+            FaultKind::BurstStart,
+            FaultKind::BurstEnd,
+            FaultKind::GroupFail,
+            FaultKind::GroupRecover,
+            FaultKind::FlapDown,
+            FaultKind::FlapUp,
+            FaultKind::LoadSwing,
+        ]
+    }
+
+    /// The wire-level fault kinds (injected by the chaos proxy).
+    pub fn wire_level() -> [FaultKind; 5] {
+        [
+            FaultKind::LineDrop,
+            FaultKind::LineReorder,
+            FaultKind::LineDupe,
+            FaultKind::LineDelay,
+            FaultKind::ConnReset,
+        ]
+    }
+
+    /// A short stable label for tables and JSONL reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BurstStart => "burst-start",
+            FaultKind::BurstEnd => "burst-end",
+            FaultKind::GroupFail => "group-fail",
+            FaultKind::GroupRecover => "group-recover",
+            FaultKind::FlapDown => "flap-down",
+            FaultKind::FlapUp => "flap-up",
+            FaultKind::LoadSwing => "load-swing",
+            FaultKind::LineDrop => "line-drop",
+            FaultKind::LineReorder => "line-reorder",
+            FaultKind::LineDupe => "line-dupe",
+            FaultKind::LineDelay => "line-delay",
+            FaultKind::ConnReset => "conn-reset",
+        }
+    }
+}
+
+/// One injected fault: what happened, when, and which links it touched.
+///
+/// Model-level events are stamped with the first measurement interval
+/// governed by the post-fault model and the index of the epoch that begins
+/// there; the affected links are plain indices (`LinkId::index()` values) so
+/// consumers need no graph types.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// First measurement interval at which the fault is in effect.
+    pub interval: usize,
+    /// Epoch index the fault begins (0 = the initial epoch).
+    pub epoch: usize,
+    /// Affected link indices (empty for wire-level faults, which hit the
+    /// transport rather than specific links).
+    pub links: Vec<usize>,
+}
+
+impl FaultEvent {
+    /// A model-level event.
+    pub fn model(kind: FaultKind, interval: usize, epoch: usize, links: Vec<usize>) -> Self {
+        Self {
+            kind,
+            interval,
+            epoch,
+            links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in FaultKind::model_level()
+            .into_iter()
+            .chain(FaultKind::wire_level())
+        {
+            assert!(!kind.label().is_empty());
+            assert!(
+                seen.insert(kind.label()),
+                "duplicate label {}",
+                kind.label()
+            );
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let e = FaultEvent::model(FaultKind::GroupFail, 40, 2, vec![3, 7]);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FaultEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.kind.label(), "group-fail");
+    }
+}

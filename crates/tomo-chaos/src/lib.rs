@@ -1,0 +1,29 @@
+//! Fault injection for the tomography stack.
+//!
+//! Production tomography monitors are judged on how fast they *notice*
+//! regime changes, not only on terminal accuracy. This crate is the shared
+//! vocabulary and the wire-level tooling for causing such regime changes on
+//! purpose:
+//!
+//! * [`fault`] — the [`FaultKind`] / [`FaultEvent`] taxonomy. The simulator
+//!   dynamics in `tomo-sim` (Gilbert–Elliott bursts, SRLG cascades, flapping
+//!   links, diurnal load) emit these events as they mutate the congestion
+//!   model, and the reaction-scoring module in `tomo-metrics` consumes them
+//!   to compute per-event detection latency, time-to-reconverge and the
+//!   mid-fault error integral. Events use plain `usize` link indices so this
+//!   crate stays dependency-light and both sides can depend on it.
+//! * [`proxy`] — [`ChaosProxy`], a line-oriented TCP proxy that sits between
+//!   `probe-client` and a daemon/router and injects observation-line loss,
+//!   reordering, duplication, delay jitter and mid-stream connection resets
+//!   at configurable rates. All injection decisions come from a
+//!   splitmix-derived generator seeded per connection, never from timing, so
+//!   a chaos run's injected fault pattern is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod proxy;
+
+pub use fault::{FaultEvent, FaultKind};
+pub use proxy::{ChaosConfig, ChaosCounters, ChaosProxy};

@@ -1,0 +1,359 @@
+//! A deterministic line-oriented chaos proxy.
+//!
+//! [`ChaosProxy`] listens on a loopback port and forwards each accepted
+//! connection to a fixed upstream address (a `tomo-serve` daemon or router).
+//! Client → upstream traffic is treated as a stream of newline-delimited
+//! request lines and mutated per line: dropped, reordered (held back one
+//! line), duplicated, delayed, or the whole connection reset mid-stream.
+//! Upstream → client traffic passes through untouched, so daemon responses
+//! are never corrupted by the proxy itself — any framing damage a chaos run
+//! observes was caused by the *daemon* mishandling the mutated input, which
+//! is exactly what the chaos tests are after.
+//!
+//! Lines are only ever forwarded whole (never split mid-line), so the
+//! mutations model a lossy, reordering transport above the framing layer —
+//! the failure mode a tomography monitor actually faces when observation
+//! streams cross a WAN.
+//!
+//! Every injection decision is drawn from a splitmix64 stream seeded by
+//! `hash(config.seed, connection_index)`: the injected pattern depends only
+//! on the seed and on each connection's line sequence, never on timing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Injection rates and the seed of a [`ChaosProxy`]. All rates are
+/// per-line probabilities in `[0, 1]`; a default config injects nothing.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the per-connection decision streams.
+    pub seed: u64,
+    /// Probability of dropping a client line (observation-line loss).
+    pub drop_rate: f64,
+    /// Probability of holding a client line back and delivering it after
+    /// its successor (adjacent reordering).
+    pub reorder_rate: f64,
+    /// Probability of delivering a client line twice.
+    pub dup_rate: f64,
+    /// Probability of delaying a client line.
+    pub delay_rate: f64,
+    /// Maximum delay jitter applied to a delayed line, in milliseconds
+    /// (the actual delay is drawn uniformly from `0..=delay_ms`).
+    pub delay_ms: u64,
+    /// Probability of resetting the connection at a line boundary.
+    pub reset_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            reorder_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ms: 0,
+            reset_rate: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Validates that every rate is a probability.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("reorder_rate", self.reorder_rate),
+            ("dup_rate", self.dup_rate),
+            ("delay_rate", self.delay_rate),
+            ("reset_rate", self.reset_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counts of what the proxy injected, as one serializable snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosCounters {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Client lines forwarded upstream (duplicate copies included).
+    pub forwarded: u64,
+    /// Client lines dropped.
+    pub dropped: u64,
+    /// Client lines held back and delivered out of order.
+    pub reordered: u64,
+    /// Client lines delivered twice.
+    pub duplicated: u64,
+    /// Client lines delayed.
+    pub delayed: u64,
+    /// Connections reset mid-stream.
+    pub resets: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    connections: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    reordered: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    resets: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> ChaosCounters {
+        ChaosCounters {
+            connections: self.connections.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// SplitMix64 step — the same generator family the sweep engine derives
+/// seeds with, so chaos decisions share the workspace's determinism story.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the top 53 bits.
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn chance(state: &mut u64, rate: f64) -> bool {
+    rate > 0.0 && uniform(state) < rate
+}
+
+struct Inner {
+    config: ChaosConfig,
+    upstream: String,
+    counters: AtomicCounters,
+    stopping: AtomicBool,
+    conn_seq: AtomicU64,
+}
+
+/// A running chaos proxy. Dropping the handle leaves the accept thread
+/// running until [`ChaosProxy::shutdown`] (or process exit); smoke harnesses
+/// hold it for the duration of the run.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a loopback listener and starts proxying to `upstream`.
+    pub fn start(upstream: impl Into<String>, config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            config,
+            upstream: upstream.into(),
+            counters: AtomicCounters::default(),
+            stopping: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_inner.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { continue };
+                let conn_index = accept_inner.conn_seq.fetch_add(1, Ordering::SeqCst);
+                accept_inner
+                    .counters
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(&accept_inner);
+                std::thread::spawn(move || handle_connection(client, conn_index, conn_inner));
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            inner,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address (point probe clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the injection counters.
+    pub fn counters(&self) -> ChaosCounters {
+        self.inner.counters.snapshot()
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Established connections keep draining until their endpoints close.
+    pub fn shutdown(mut self) -> ChaosCounters {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.inner.counters.snapshot()
+    }
+}
+
+/// Pumps one proxied connection: responses pass through verbatim, request
+/// lines run the injection gauntlet.
+fn handle_connection(client: TcpStream, conn_index: u64, inner: Arc<Inner>) {
+    let Ok(upstream) = TcpStream::connect(&inner.upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(client_read), Ok(upstream_read)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+
+    // Upstream → client: verbatim pass-through on its own thread.
+    let mut client_write = client;
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(upstream_read);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if client_write.write_all(line.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = client_write.shutdown(Shutdown::Both);
+    });
+
+    // Client → upstream: the mutating direction.
+    let cfg = inner.config;
+    let mut decisions = cfg.seed ^ conn_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut reader = BufReader::new(client_read);
+    let mut upstream_write = upstream;
+    let mut held: Option<String> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if n == 0 {
+            // Client closed: flush any held line, then close upstream.
+            if let Some(h) = held.take() {
+                forward(&mut upstream_write, &h, &inner);
+            }
+            break;
+        }
+        if chance(&mut decisions, cfg.reset_rate) {
+            inner.counters.resets.fetch_add(1, Ordering::Relaxed);
+            let _ = upstream_write.shutdown(Shutdown::Both);
+            return;
+        }
+        if chance(&mut decisions, cfg.drop_rate) {
+            inner.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if chance(&mut decisions, cfg.delay_rate) && cfg.delay_ms > 0 {
+            inner.counters.delayed.fetch_add(1, Ordering::Relaxed);
+            let jitter = splitmix64(&mut decisions) % (cfg.delay_ms + 1);
+            std::thread::sleep(Duration::from_millis(jitter));
+        }
+        if held.is_none() && chance(&mut decisions, cfg.reorder_rate) {
+            // Hold this line back; it goes out after the next one.
+            inner.counters.reordered.fetch_add(1, Ordering::Relaxed);
+            held = Some(std::mem::take(&mut line));
+            continue;
+        }
+        let dup = chance(&mut decisions, cfg.dup_rate);
+        if !forward(&mut upstream_write, &line, &inner) {
+            break;
+        }
+        if dup {
+            inner.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            if !forward(&mut upstream_write, &line, &inner) {
+                break;
+            }
+        }
+        if let Some(h) = held.take() {
+            if !forward(&mut upstream_write, &h, &inner) {
+                break;
+            }
+        }
+    }
+    let _ = upstream_write.shutdown(Shutdown::Write);
+}
+
+/// Forwards one whole line upstream; returns false when the upstream side
+/// is gone.
+fn forward(upstream: &mut TcpStream, line: &str, inner: &Inner) -> bool {
+    if upstream.write_all(line.as_bytes()).is_err() {
+        return false;
+    }
+    inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        for _ in 0..100 {
+            assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+            let u = uniform(&mut a);
+            let _ = uniform(&mut b);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rates_are_validated() {
+        let mut cfg = ChaosConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.drop_rate = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.drop_rate = 0.5;
+        cfg.reset_rate = -0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut state = 3u64;
+        for _ in 0..1000 {
+            assert!(!chance(&mut state, 0.0));
+        }
+    }
+}

@@ -238,6 +238,25 @@ impl Experiment {
         session: &mut crate::session::TomographySession,
         chunk: usize,
     ) -> Result<RunOutcome, TomoError> {
+        self.evaluate_streaming_with_reactions(session, chunk, None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Experiment::evaluate_streaming`], but additionally samples the
+    /// session's estimate after every chunk and scores how it *reacted* to
+    /// the fault events the simulation injected: per-fault detection
+    /// latency, time-to-reconverge into the configured band, and the
+    /// mid-fault error integral (see [`tomo_metrics::reaction`]).
+    ///
+    /// The report is `None` when no reaction scoring applies: `reaction` not
+    /// requested, an estimator without the probability capability, or a run
+    /// that injected no faults.
+    pub fn evaluate_streaming_with_reactions(
+        &self,
+        session: &mut crate::session::TomographySession,
+        chunk: usize,
+        reaction: Option<tomo_metrics::ReactionConfig>,
+    ) -> Result<(RunOutcome, Option<tomo_metrics::ReactionReport>), TomoError> {
         if chunk == 0 {
             return Err(TomoError::InvalidConfig(
                 "streaming chunk must be at least one interval".into(),
@@ -250,6 +269,10 @@ impl Experiment {
                 self.output.observations.num_paths()
             )));
         }
+        let sample_reactions = reaction.is_some()
+            && session.estimator().capabilities().probability
+            && !self.output.fault_events.is_empty();
+        let mut samples: Vec<tomo_metrics::EstimateSample> = Vec::new();
         let observations = &self.output.observations;
         let mut t = 0;
         while t < observations.num_intervals() {
@@ -265,7 +288,41 @@ impl Experiment {
                 .collect();
             session.observe(&intervals)?;
             t += len;
+            if sample_reactions {
+                let estimate = session.query()?;
+                samples.push(tomo_metrics::EstimateSample {
+                    intervals: t,
+                    probabilities: estimate.probabilities,
+                });
+            }
         }
+
+        let report = if sample_reactions {
+            let truth: Vec<(usize, &[f64])> = self
+                .output
+                .ground_truth
+                .epoch_marginals()
+                .iter()
+                .map(|e| (e.start, e.marginals.as_slice()))
+                .collect();
+            Some(tomo_metrics::score_reactions(
+                &self.output.fault_events,
+                &samples,
+                &truth,
+                reaction.unwrap_or_default(),
+            ))
+        } else {
+            None
+        };
+        let outcome = self.score_streamed_session(session)?;
+        Ok((outcome, report))
+    }
+
+    fn score_streamed_session(
+        &self,
+        session: &mut crate::session::TomographySession,
+    ) -> Result<RunOutcome, TomoError> {
+        let observations = &self.output.observations;
 
         let capabilities = session.estimator().capabilities();
         let (estimate, link_errors) =
@@ -462,6 +519,112 @@ mod tests {
             outcomes[2].as_ref().unwrap().estimator,
             "Correlation-complete"
         );
+    }
+
+    #[test]
+    fn streaming_reactions_are_scored_for_chaos_runs() {
+        let net = toy::fig1_case1();
+        let mut scenario = ScenarioConfig::flapping_links();
+        scenario.congestible_fraction = 1.0;
+        let experiment = Pipeline::on(net.clone())
+            .scenario(scenario)
+            .intervals(400)
+            .seed(9)
+            .measurement(MeasurementMode::Ideal)
+            .simulate()
+            .unwrap();
+        let faults = &experiment.output().fault_events;
+        assert!(!faults.is_empty(), "flapping must inject faults");
+
+        let mut session =
+            crate::session::TomographySession::new(net, crate::session::SessionConfig::default())
+                .unwrap();
+        let (outcome, report) = experiment
+            .evaluate_streaming_with_reactions(
+                &mut session,
+                10,
+                Some(tomo_metrics::ReactionConfig::default()),
+            )
+            .unwrap();
+        assert!(outcome.estimate.is_some());
+        let report = report.expect("probability estimator on a chaos run");
+        let scoreable = faults.iter().filter(|f| f.interval > 0).count();
+        assert_eq!(report.num_faults(), scoreable);
+        assert!(report.total_mid_fault_error() > 0.0);
+    }
+
+    #[test]
+    fn reaction_report_is_absent_without_faults_or_probabilities() {
+        // Stationary run: no faults, so no report even when requested.
+        let experiment = toy_pipeline().simulate().unwrap();
+        let mut session = crate::session::TomographySession::new(
+            toy::fig1_case1(),
+            crate::session::SessionConfig::default(),
+        )
+        .unwrap();
+        let (_, report) = experiment
+            .evaluate_streaming_with_reactions(
+                &mut session,
+                10,
+                Some(tomo_metrics::ReactionConfig::default()),
+            )
+            .unwrap();
+        assert!(report.is_none());
+    }
+
+    /// The chaos acceptance criterion: an estimator with exponential decay
+    /// reacts to injected faults measurably faster than the same estimator
+    /// with equal weights, because old pre-fault evidence stops outvoting
+    /// the post-fault regime.
+    #[test]
+    fn decay_reconverges_faster_than_equal_weights_under_chaos() {
+        let net = toy::fig1_case1();
+        let mut scenario = ScenarioConfig::flapping_links();
+        scenario.congestible_fraction = 1.0;
+        let experiment = Pipeline::on(net.clone())
+            .scenario(scenario)
+            .intervals(600)
+            .seed(21)
+            .measurement(MeasurementMode::Ideal)
+            .simulate()
+            .unwrap();
+
+        let run = |decay: Option<f64>| {
+            let config = crate::session::SessionConfig {
+                decay,
+                ..Default::default()
+            };
+            let mut session = crate::session::TomographySession::new(net.clone(), config).unwrap();
+            experiment
+                .evaluate_streaming_with_reactions(
+                    &mut session,
+                    5,
+                    Some(tomo_metrics::ReactionConfig::default()),
+                )
+                .unwrap()
+                .1
+                .expect("reaction report")
+        };
+        let plain = run(None);
+        let decayed = run(Some(0.9));
+
+        assert!(
+            decayed.total_mid_fault_error() < plain.total_mid_fault_error(),
+            "decay must shrink the mid-fault error integral: {} vs {}",
+            decayed.total_mid_fault_error(),
+            plain.total_mid_fault_error()
+        );
+        assert!(
+            decayed.num_reconverged() >= plain.num_reconverged(),
+            "decay must reconverge from at least as many faults"
+        );
+        let (d, p) = (
+            decayed.mean_reconverge_latency(),
+            plain.mean_reconverge_latency(),
+        );
+        if let (Some(d), Some(p)) = (d, p) {
+            assert!(d <= p, "decay reconverge latency {d} vs equal-weight {p}");
+        }
     }
 
     #[test]

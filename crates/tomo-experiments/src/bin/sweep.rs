@@ -1,7 +1,7 @@
 //! Parallel experiment sweeps over the paper's evaluation grids.
 //!
 //! ```text
-//! sweep [--grid fig3|fig4|table2|ci|stream|large|demo] [--grid-file grid.json]
+//! sweep [--grid fig3|fig4|table2|ci|stream|chaos|large|demo] [--grid-file grid.json]
 //!       [--scale small|medium|paper] [--threads N] [--base-seed N]
 //!       [--out report.jsonl] [--print-grid] [--self-check]
 //! ```
@@ -29,7 +29,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--grid fig3|fig4|table2|ci|stream|large|demo] [--grid-file PATH]\n\
+        "usage: sweep [--grid fig3|fig4|table2|ci|stream|chaos|large|demo] [--grid-file PATH]\n\
          \x20            [--scale small|medium|paper] [--threads N] [--base-seed N]\n\
          \x20            [--out PATH] [--print-grid] [--self-check]"
     );
@@ -89,7 +89,9 @@ fn load_grid(args: &Args) -> SweepGrid {
     }
     let name = args.grid.as_deref().unwrap_or("demo");
     sweeps::by_name(name, args.scale, args.base_seed).unwrap_or_else(|| {
-        eprintln!("unknown grid `{name}` (available: fig3, fig4, table2, ci, stream, large, demo)");
+        eprintln!(
+            "unknown grid `{name}` (available: fig3, fig4, table2, ci, stream, chaos, large, demo)"
+        );
         exit(1);
     })
 }

@@ -131,6 +131,42 @@ pub fn stream_grid(base_seed: u64) -> SweepGrid {
     replicated(grid, REPLICATIONS)
 }
 
+/// Estimator-axis specs the chaos grid ranks: the streaming estimator
+/// registry with and without exponential decay and the auto-rebuild drift
+/// policy. Every variant of one estimator shares its simulation cell, so
+/// the reaction ranking compares them on byte-identical fault schedules.
+pub const CHAOS_ESTIMATORS: [&str; 6] = [
+    "sparsity",
+    "independence",
+    "independence+decay:0.9",
+    "independence+rebuild:auto",
+    "correlation-complete",
+    "correlation-complete+decay:0.9",
+];
+
+/// The chaos grid: the adversarial-dynamics scenarios (Gilbert–Elliott
+/// bursts, SRLG cascades, flapping links, diurnal load) streamed through the
+/// session API with reaction scoring on — per-fault detection latency,
+/// time-to-reconverge and mid-fault error integral land in every JSONL row,
+/// ranking the estimator registry (with and without `decay` /
+/// `rebuild:auto`) on reaction speed.
+pub fn chaos_grid(base_seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::new()
+        .base_seed(base_seed)
+        .topology(TopologySpec::Toy)
+        .topology(TopologySpec::Brite(BriteConfig::tiny(base_seed)))
+        .interval_count(200)
+        .streaming(10)
+        .reaction(0.15);
+    for kind in ScenarioKind::chaos() {
+        grid = grid.scenario(kind);
+    }
+    for name in CHAOS_ESTIMATORS {
+        grid = grid.estimator(name);
+    }
+    replicated(grid, REPLICATIONS)
+}
+
 /// The sweep-scale grid: the ≥5k-link `BriteConfig::large` topology with
 /// the estimators the sparse solver path keeps interactive at that size.
 /// Each cell is a full generate→simulate→fit run over ~5.5k unknowns —
@@ -168,7 +204,7 @@ pub fn demo_grid(base_seed: u64) -> SweepGrid {
 }
 
 /// Resolves a named grid (`fig3` / `fig4` / `table2` / `ci` / `stream` /
-/// `large` / `demo`).
+/// `chaos` / `large` / `demo`).
 pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<SweepGrid> {
     match name.to_ascii_lowercase().as_str() {
         "fig3" | "figure3" => Some(figure3_grid(scale, base_seed)),
@@ -176,6 +212,7 @@ pub fn by_name(name: &str, scale: ExperimentScale, base_seed: u64) -> Option<Swe
         "table2" => Some(table2_grid(scale, base_seed)),
         "ci" => Some(ci_grid(base_seed)),
         "stream" | "streaming" => Some(stream_grid(base_seed)),
+        "chaos" => Some(chaos_grid(base_seed)),
         "large" => Some(large_grid(base_seed)),
         "demo" => Some(demo_grid(base_seed)),
         _ => None,
@@ -223,10 +260,42 @@ mod tests {
 
     #[test]
     fn named_lookup_resolves_all_names() {
-        for name in ["fig3", "FIG4", "table2", "ci", "stream", "large", "demo"] {
+        for name in [
+            "fig3", "FIG4", "table2", "ci", "stream", "chaos", "large", "demo",
+        ] {
             assert!(by_name(name, ExperimentScale::Small, 1).is_some(), "{name}");
         }
         assert!(by_name("nope", ExperimentScale::Small, 1).is_none());
+    }
+
+    #[test]
+    fn chaos_grid_ranks_the_registry_on_reaction_speed() {
+        let grid = chaos_grid(7);
+        grid.validate().unwrap();
+        assert_eq!(grid.num_tasks(), 2 * 4 * 6 * 3);
+        assert_eq!(grid.streaming_chunk, Some(10));
+        assert_eq!(grid.reaction_band, Some(0.15));
+        use tomo_sim::ScenarioKind;
+        for kind in ScenarioKind::chaos() {
+            assert!(grid.scenarios.contains(&kind), "{kind:?}");
+        }
+        // A trimmed instance executes and produces reaction metrics for the
+        // probability estimators on the fault-injecting scenarios.
+        let mut small = grid;
+        small.topologies.truncate(1);
+        small.seeds.truncate(1);
+        small.scenarios = vec![ScenarioKind::FlappingLinks];
+        small.estimators = vec!["independence".into(), "independence+decay:0.9".into()];
+        let report = tomo_sweep::SweepRunner::new()
+            .threads(2)
+            .run(&small)
+            .unwrap();
+        assert_eq!(report.records.len(), 2);
+        for record in &report.records {
+            assert_eq!(record.scenario, "Flapping Links");
+            assert!(record.reactions.as_ref().is_some_and(|r| !r.is_empty()));
+            assert!(record.mid_fault_error.is_some());
+        }
     }
 
     #[test]

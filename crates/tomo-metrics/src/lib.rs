@@ -27,9 +27,13 @@ pub mod error_stats;
 pub mod histogram;
 pub mod inference;
 pub mod instruments;
+pub mod reaction;
 
 pub use cdf::Cdf;
 pub use error_stats::{mean_absolute_error, AbsoluteErrorStats};
 pub use histogram::{AtomicHistogram, HistogramSnapshot, LatencySummary};
 pub use inference::{detection_and_false_positive, InferenceScore, IntervalScore};
 pub use instruments::{Instruments, InstrumentsSnapshot};
+pub use reaction::{
+    score_reactions, EstimateSample, FaultReaction, ReactionConfig, ReactionReport,
+};

@@ -1,0 +1,352 @@
+//! Reaction scoring: how fast an estimator *notices* an injected fault and
+//! how fast it *recovers* from it.
+//!
+//! A chaos run produces three aligned timelines:
+//!
+//! * the [`FaultEvent`]s the scenario injected (epoch boundaries where the
+//!   congestion process changed);
+//! * a sequence of [`EstimateSample`]s — the streaming estimator's marginal
+//!   estimate, sampled as observations arrive;
+//! * the ground-truth marginal timeline (what the true probabilities were at
+//!   every interval).
+//!
+//! [`score_reactions`] lines the three up and computes, per fault:
+//!
+//! * **detection latency** — intervals from the fault until the estimate is
+//!   closer (in L∞ over the scored links) to the *post*-fault truth than to
+//!   the *pre*-fault truth. This is "the estimator noticed";
+//! * **time to reconverge** — intervals from the fault until the L∞ error
+//!   against the current truth re-enters the configured band. This is "the
+//!   estimator recovered";
+//! * **mid-fault error integral** — the L∞ error summed over the window
+//!   between this fault and the next (`Σ err·Δt`), a scalar for "how much
+//!   wrongness the fault caused in total".
+//!
+//! Each metric is `None` when the window ended before the criterion was met
+//! — a fault the estimator never detected scores `None`, not a large number,
+//! so aggregates cannot launder non-detection into a finite latency.
+
+use serde::{Deserialize, Serialize};
+use tomo_chaos::FaultEvent;
+
+/// One sample of a streaming estimator's marginal estimate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EstimateSample {
+    /// Number of intervals ingested when the sample was taken (the sample
+    /// reflects observations `0..intervals`).
+    pub intervals: usize,
+    /// Estimated marginal congestion probability per link.
+    pub probabilities: Vec<f64>,
+}
+
+/// Configuration of the reaction scorer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ReactionConfig {
+    /// L∞ error band: the estimate has *reconverged* once its L∞ distance to
+    /// the current truth is at most this.
+    pub band: f64,
+}
+
+impl Default for ReactionConfig {
+    fn default() -> Self {
+        Self { band: 0.15 }
+    }
+}
+
+/// Reaction scores for one injected fault.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultReaction {
+    /// The fault being scored.
+    pub fault: FaultEvent,
+    /// Intervals until the estimate moved decisively toward the post-fault
+    /// truth; `None` if it never did within the window.
+    pub detection_latency: Option<usize>,
+    /// Intervals until the L∞ error re-entered the band; `None` if it never
+    /// did within the window.
+    pub reconverge_latency: Option<usize>,
+    /// `Σ L∞·Δt` over the window between this fault and the next.
+    pub mid_fault_error: f64,
+}
+
+/// Reaction scores for every fault of a run, with aggregate accessors.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReactionReport {
+    /// Per-fault scores, in fault order.
+    pub reactions: Vec<FaultReaction>,
+}
+
+/// L∞ distance between an estimate and a truth vector, over all links.
+fn linf(estimate: &[f64], truth: &[f64]) -> f64 {
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+fn percentile(sorted: &[usize], q: f64) -> Option<usize> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+impl ReactionReport {
+    /// Number of faults that were scored.
+    pub fn num_faults(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Number of faults the estimator detected within their window.
+    pub fn num_detected(&self) -> usize {
+        self.reactions
+            .iter()
+            .filter(|r| r.detection_latency.is_some())
+            .count()
+    }
+
+    /// Number of faults the estimator reconverged from within their window.
+    pub fn num_reconverged(&self) -> usize {
+        self.reactions
+            .iter()
+            .filter(|r| r.reconverge_latency.is_some())
+            .count()
+    }
+
+    fn sorted(&self, f: impl Fn(&FaultReaction) -> Option<usize>) -> Vec<usize> {
+        let mut v: Vec<usize> = self.reactions.iter().filter_map(f).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A percentile of the detection latencies (over detected faults only).
+    /// `q` is in `[0, 1]`; `None` when no fault was detected.
+    pub fn detection_percentile(&self, q: f64) -> Option<usize> {
+        percentile(&self.sorted(|r| r.detection_latency), q)
+    }
+
+    /// A percentile of the reconvergence latencies (over reconverged faults
+    /// only). `None` when no fault reconverged.
+    pub fn reconverge_percentile(&self, q: f64) -> Option<usize> {
+        percentile(&self.sorted(|r| r.reconverge_latency), q)
+    }
+
+    /// Mean detection latency over detected faults; `None` when none were.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let v = self.sorted(|r| r.detection_latency);
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<usize>() as f64 / v.len() as f64)
+    }
+
+    /// Mean reconvergence latency over reconverged faults; `None` when none.
+    pub fn mean_reconverge_latency(&self) -> Option<f64> {
+        let v = self.sorted(|r| r.reconverge_latency);
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<usize>() as f64 / v.len() as f64)
+    }
+
+    /// Total mid-fault error integral over all faults.
+    pub fn total_mid_fault_error(&self) -> f64 {
+        self.reactions.iter().map(|r| r.mid_fault_error).sum()
+    }
+}
+
+/// Looks up the truth marginals in force at interval `t` from an epoch
+/// timeline of `(start_interval, marginals)` pairs sorted by start.
+fn truth_at<'a>(timeline: &'a [(usize, &'a [f64])], t: usize) -> Option<&'a [f64]> {
+    let idx = timeline.partition_point(|&(start, _)| start <= t);
+    if idx == 0 {
+        None
+    } else {
+        Some(timeline[idx - 1].1)
+    }
+}
+
+/// Scores every fault of a run against the sampled estimate trajectory.
+///
+/// * `faults` — the injected events, sorted by interval;
+/// * `samples` — estimate samples sorted by `intervals` (a sample with
+///   `intervals = k` reflects observations `0..k`, i.e. it is the state *at*
+///   interval `k`);
+/// * `truth` — epoch timeline of `(start_interval, marginals)`, sorted;
+/// * `config` — the reconvergence band.
+///
+/// Each fault's window runs from its interval to the next fault's interval
+/// (the last fault's to infinity); metrics unmet within the window are
+/// `None`. Faults at interval 0 (initial placement) are skipped — there is
+/// no pre-fault state to react from.
+pub fn score_reactions(
+    faults: &[FaultEvent],
+    samples: &[EstimateSample],
+    truth: &[(usize, &[f64])],
+    config: ReactionConfig,
+) -> ReactionReport {
+    let mut reactions = Vec::new();
+    for (i, fault) in faults.iter().enumerate() {
+        if fault.interval == 0 {
+            continue;
+        }
+        let window_end = faults
+            .iter()
+            .skip(i + 1)
+            .map(|f| f.interval)
+            .find(|&iv| iv > fault.interval)
+            .unwrap_or(usize::MAX);
+        let pre_truth = match truth_at(truth, fault.interval.saturating_sub(1)) {
+            Some(t) => t,
+            None => continue,
+        };
+
+        let mut detection_latency = None;
+        let mut reconverge_latency = None;
+        let mut mid_fault_error = 0.0;
+        let mut prev_t = fault.interval;
+
+        for sample in samples {
+            let t = sample.intervals;
+            if t < fault.interval {
+                continue;
+            }
+            if t >= window_end {
+                break;
+            }
+            let now_truth = match truth_at(truth, t) {
+                Some(tr) => tr,
+                None => continue,
+            };
+            let err_now = linf(&sample.probabilities, now_truth);
+            let err_pre = linf(&sample.probabilities, pre_truth);
+            if detection_latency.is_none() && err_now < err_pre {
+                detection_latency = Some(t - fault.interval);
+            }
+            if reconverge_latency.is_none() && err_now <= config.band {
+                reconverge_latency = Some(t - fault.interval);
+            }
+            mid_fault_error += err_now * (t - prev_t) as f64;
+            prev_t = t;
+        }
+
+        reactions.push(FaultReaction {
+            fault: fault.clone(),
+            detection_latency,
+            reconverge_latency,
+            mid_fault_error,
+        });
+    }
+    ReactionReport { reactions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_chaos::FaultKind;
+
+    fn fault(interval: usize) -> FaultEvent {
+        FaultEvent::model(FaultKind::GroupFail, interval, interval / 10, vec![0])
+    }
+
+    fn sample(intervals: usize, p: f64) -> EstimateSample {
+        EstimateSample {
+            intervals,
+            probabilities: vec![p],
+        }
+    }
+
+    #[test]
+    fn detection_fires_when_estimate_crosses_toward_post_truth() {
+        // Truth: 0.1 before interval 50, 0.9 after.
+        let pre = [0.1];
+        let post = [0.9];
+        let truth: Vec<(usize, &[f64])> = vec![(0, &pre), (50, &post)];
+        let faults = vec![fault(50)];
+        // Estimate creeps from 0.1 to 0.9: crosses the 0.5 midpoint at t=70,
+        // enters the 0.15 band (>= 0.75) at t=80.
+        let samples = vec![
+            sample(40, 0.10),
+            sample(60, 0.30),
+            sample(70, 0.55),
+            sample(80, 0.80),
+            sample(90, 0.88),
+        ];
+        let report = score_reactions(&faults, &samples, &truth, ReactionConfig { band: 0.15 });
+        assert_eq!(report.num_faults(), 1);
+        let r = &report.reactions[0];
+        assert_eq!(r.detection_latency, Some(20));
+        assert_eq!(r.reconverge_latency, Some(30));
+        assert!(r.mid_fault_error > 0.0);
+    }
+
+    #[test]
+    fn undetected_faults_score_none_not_large() {
+        let pre = [0.1];
+        let post = [0.9];
+        let truth: Vec<(usize, &[f64])> = vec![(0, &pre), (50, &post)];
+        let faults = vec![fault(50)];
+        // The estimate never moves.
+        let samples = vec![sample(60, 0.1), sample(90, 0.1)];
+        let report = score_reactions(&faults, &samples, &truth, ReactionConfig::default());
+        let r = &report.reactions[0];
+        assert_eq!(r.detection_latency, None);
+        assert_eq!(r.reconverge_latency, None);
+        assert_eq!(report.num_detected(), 0);
+        assert_eq!(report.detection_percentile(0.5), None);
+        assert_eq!(report.mean_detection_latency(), None);
+    }
+
+    #[test]
+    fn windows_are_bounded_by_the_next_fault() {
+        let a = [0.1];
+        let b = [0.9];
+        let c = [0.5];
+        let truth: Vec<(usize, &[f64])> = vec![(0, &a), (50, &b), (100, &c)];
+        let faults = vec![fault(50), fault(100)];
+        // Only reacts after interval 100 — too late for fault #1's window.
+        let samples = vec![sample(60, 0.1), sample(110, 0.52), sample(120, 0.5)];
+        let report = score_reactions(&faults, &samples, &truth, ReactionConfig::default());
+        assert_eq!(report.num_faults(), 2);
+        assert_eq!(report.reactions[0].detection_latency, None);
+        assert_eq!(report.reactions[1].detection_latency, Some(10));
+        assert_eq!(report.reactions[1].reconverge_latency, Some(10));
+    }
+
+    #[test]
+    fn initial_placement_fault_is_skipped() {
+        let a = [0.5];
+        let truth: Vec<(usize, &[f64])> = vec![(0, &a)];
+        let faults = vec![fault(0)];
+        let report = score_reactions(
+            &faults,
+            &[sample(10, 0.5)],
+            &truth,
+            ReactionConfig::default(),
+        );
+        assert_eq!(report.num_faults(), 0);
+    }
+
+    #[test]
+    fn percentiles_over_multiple_faults() {
+        let report = ReactionReport {
+            reactions: (0..5)
+                .map(|i| FaultReaction {
+                    fault: fault(10 * (i + 1)),
+                    detection_latency: Some(10 * (i + 1)),
+                    reconverge_latency: if i < 2 { Some(20 * (i + 1)) } else { None },
+                    mid_fault_error: 1.0,
+                })
+                .collect(),
+        };
+        assert_eq!(report.detection_percentile(0.5), Some(30));
+        assert_eq!(report.detection_percentile(0.95), Some(50));
+        assert_eq!(report.detection_percentile(0.0), Some(10));
+        assert_eq!(report.num_reconverged(), 2);
+        // p50 over [20, 40]: the half-point rank rounds up to the later one.
+        assert_eq!(report.reconverge_percentile(0.5), Some(40));
+        assert!((report.total_mid_fault_error() - 5.0).abs() < 1e-12);
+        assert_eq!(report.mean_detection_latency(), Some(30.0));
+    }
+}

@@ -13,6 +13,15 @@
 //!                     [--tenant swarm] [--create] [--topology toy] [--seed N]
 //!                     [--scenario drifting-loss] [--intervals 200] [--batch 10]
 //!                     [--estimator independence] [--shutdown]
+//! probe-client chaos  --tenants N [--addr 127.0.0.1:7070] [--tenant chaos]
+//!                     [--topology toy] [--seed N] [--scenario bursty-loss]
+//!                     [--intervals 200] [--batch 10] [--query-every 20]
+//!                     [--estimator independence] [--window N] [--decay L]
+//!                     [--rebuild-auto] [--band B]
+//!                     [--drop-rate R] [--reorder-rate R] [--dup-rate R]
+//!                     [--delay-rate R] [--delay-ms MS] [--reset-rate R]
+//!                     [--chaos-seed N] [--max-detection N] [--check-batch TOL]
+//!                     [--shutdown]
 //! probe-client metrics [--addr 127.0.0.1:7070] [--shutdown]
 //! probe-client upload-topology --in net.json --name NAME [--addr 127.0.0.1:7070]
 //! probe-client topology [--addr 127.0.0.1:7070] [--tenant default]
@@ -46,6 +55,29 @@
 //! and what the server executes is visible at a glance. The exit code
 //! checks every hot tenant ingested the full stream.
 //!
+//! `chaos` is the fault-injection drill: it starts an in-process
+//! [`tomo_chaos::ChaosProxy`] in front of the endpoint and drives
+//! `--tenants` concurrent tenants through a chaos scenario
+//! (Gilbert–Elliott bursts, SRLG cascades, flapping, diurnal load), each
+//! over **two** connections — observation batches are written
+//! *fire-and-forget* through the proxy (a drain thread counts the
+//! responses, since injected reordering breaks request/response pairing),
+//! while `Create`/`Flush`/`Query` travel on a clean control connection so
+//! reaction sampling is never itself subject to chaos. An injected
+//! connection reset is survived by reconnecting through the proxy and
+//! resending the interrupted batch once. After the run each tenant's
+//! sampled queries are scored against the simulated fault schedule
+//! ([`tomo_metrics::score_reactions`]): one machine-readable JSON line per
+//! `FaultEvent` (detection latency, time-to-reconverge, mid-fault error
+//! integral) plus a per-fault-kind summary table. `--max-detection N`
+//! makes the exit code enforce a detection-latency bound, and
+//! `--check-batch TOL` verifies the final daemon estimate against an
+//! offline fit of the post-fault window (meaningful with `--decay` or a
+//! bounded `--window`, which keep the live estimate tracking the current
+//! regime). Any undecodable response line fails the run: the proxy only
+//! mutates *request* lines, so response-framing damage means the daemon
+//! mishandled adversarial input.
+//!
 //! `metrics` fetches the fleet `Metrics` report and prints it as one JSON
 //! line (machine-readable; CI parses it to assert counters are non-zero
 //! and merge-consistent through the router).
@@ -60,16 +92,24 @@
 //! JSON line.
 
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use tomo_chaos::{ChaosConfig, ChaosProxy};
 use tomo_core::{estimators, TomoError};
 use tomo_graph::LinkId;
+use tomo_metrics::{score_reactions, EstimateSample, FaultReaction, ReactionConfig};
 use tomo_serve::protocol::Request;
 use tomo_serve::stream::{
-    decode_stream, encode_stream, record_scenario, stream_to_observations, ObservedInterval,
+    decode_stream, encode_stream, observations_to_stream, record_scenario, stream_to_observations,
+    ObservedInterval,
 };
 use tomo_serve::Client;
 use tomo_serve::TopologySource;
-use tomo_sim::{MeasurementMode, ScenarioConfig, ScenarioKind};
+use tomo_serve::{RequestEnvelope, Response, ResponseEnvelope, PROTOCOL_VERSION};
+use tomo_sim::{
+    LossModel, MeasurementMode, ScenarioConfig, ScenarioKind, SimulationConfig, Simulator,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -84,11 +124,20 @@ fn usage() -> ! {
          \x20                      [--tenant PREFIX] [--create] [--topology NAME] [--seed N]\n\
          \x20                      [--scenario NAME] [--intervals N] [--batch N]\n\
          \x20                      [--estimator NAME] [--shutdown]\n\
+         \x20      probe-client chaos  --tenants N [--addr HOST:PORT] [--tenant PREFIX]\n\
+         \x20                      [--topology NAME] [--seed N] [--scenario NAME]\n\
+         \x20                      [--intervals N] [--batch N] [--query-every N]\n\
+         \x20                      [--estimator NAME] [--window N] [--decay L]\n\
+         \x20                      [--rebuild-auto] [--band B] [--drop-rate R]\n\
+         \x20                      [--reorder-rate R] [--dup-rate R] [--delay-rate R]\n\
+         \x20                      [--delay-ms MS] [--reset-rate R] [--chaos-seed N]\n\
+         \x20                      [--max-detection N] [--check-batch TOL] [--shutdown]\n\
          \x20      probe-client metrics [--addr HOST:PORT] [--shutdown]\n\
          \x20      probe-client upload-topology --in PATH --name NAME [--addr HOST:PORT]\n\
          \x20      probe-client topology [--addr HOST:PORT] [--tenant NAME]\n\
          scenarios: random, concentrated, no-independence, no-stationarity,\n\
-         \x20           sparse, drifting-loss, correlation-churn\n\
+         \x20           sparse, drifting-loss, correlation-churn, bursty-loss,\n\
+         \x20           link-cascade, flapping-links, diurnal-load\n\
          topology files: gen --dump-topology PATH writes one; replay/swarm\n\
          \x20           --topology-file PATH creates tenants from one"
     );
@@ -104,6 +153,10 @@ fn parse_scenario(name: &str) -> Option<ScenarioKind> {
         "sparse" | "sparse-topology" => ScenarioKind::SparseTopology,
         "drifting-loss" | "drift" => ScenarioKind::DriftingLoss,
         "correlation-churn" | "churn" => ScenarioKind::CorrelationChurn,
+        "bursty-loss" | "gilbert-elliott" | "ge" => ScenarioKind::BurstyLoss,
+        "link-cascade" | "srlg" => ScenarioKind::LinkCascade,
+        "flapping-links" | "flapping" => ScenarioKind::FlappingLinks,
+        "diurnal-load" | "diurnal" => ScenarioKind::DiurnalLoad,
         _ => return None,
     })
 }
@@ -134,6 +187,17 @@ struct Options {
     topology_file: Option<String>,
     dump_topology: Option<String>,
     name: Option<String>,
+    tenants: usize,
+    rebuild_auto: bool,
+    band: f64,
+    drop_rate: f64,
+    reorder_rate: f64,
+    dup_rate: f64,
+    delay_rate: f64,
+    delay_ms: u64,
+    reset_rate: f64,
+    chaos_seed: Option<u64>,
+    max_detection: Option<usize>,
 }
 
 fn parse_options(argv: &[String]) -> Options {
@@ -147,6 +211,8 @@ fn parse_options(argv: &[String]) -> Options {
         rate: 0.0,
         query_every: 50,
         estimator: "independence".into(),
+        tenants: 3,
+        band: 0.15,
         ..Options::default()
     };
     let mut i = 0;
@@ -182,6 +248,21 @@ fn parse_options(argv: &[String]) -> Options {
             "--topology-file" => o.topology_file = Some(value(&mut i)),
             "--dump-topology" => o.dump_topology = Some(value(&mut i)),
             "--name" => o.name = Some(value(&mut i)),
+            "--tenants" => o.tenants = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rebuild-auto" => o.rebuild_auto = true,
+            "--band" => o.band = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--drop-rate" => o.drop_rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--reorder-rate" => o.reorder_rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--dup-rate" => o.dup_rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--delay-rate" => o.delay_rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--delay-ms" => o.delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--reset-rate" => o.reset_rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--chaos-seed" => {
+                o.chaos_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-detection" => {
+                o.max_detection = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -634,6 +715,470 @@ fn swarm(o: &Options) -> Result<(), TomoError> {
     Ok(())
 }
 
+/// Response classification counts for one observation connection, updated
+/// by its drain thread. Observation lines are written fire-and-forget (the
+/// proxy reorders and duplicates lines, so responses cannot be paired with
+/// requests), which makes classification the only thing a reader *can* do
+/// — and an undecodable response line is itself a finding, because the
+/// proxy never mutates the response direction.
+#[derive(Default)]
+struct ObsCounters {
+    accepted: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    framing: AtomicU64,
+}
+
+/// One observation connection routed through the chaos proxy, with a
+/// spawned drain thread classifying whatever responses make it back.
+struct ObsLink {
+    stream: std::net::TcpStream,
+}
+
+impl ObsLink {
+    fn connect(proxy: &str, counters: &Arc<ObsCounters>) -> std::io::Result<ObsLink> {
+        let stream = std::net::TcpStream::connect(proxy)?;
+        let reader = stream.try_clone()?;
+        let counters = Arc::clone(counters);
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            let mut reader = std::io::BufReader::new(reader);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => match tomo_serve::protocol::decode::<ResponseEnvelope>(&line) {
+                        Ok(envelope) => {
+                            let counter = match envelope.resp {
+                                Response::Accepted { .. } => &counters.accepted,
+                                Response::Busy { .. } => &counters.busy,
+                                _ => &counters.errors,
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            counters.framing.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                }
+            }
+        });
+        Ok(ObsLink { stream })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(line.as_bytes())
+    }
+}
+
+/// What one chaos tenant's drill produced.
+struct ChaosTenant {
+    tenant: String,
+    sent: usize,
+    reconnects: u64,
+    accepted: u64,
+    busy: u64,
+    errors: u64,
+    framing: u64,
+    report: tomo_metrics::ReactionReport,
+    check_deviation: Option<f64>,
+}
+
+/// Drives one tenant through the fault schedule: simulate the chaos
+/// scenario locally (observations + fault events + per-epoch truth),
+/// stream the observations through the proxy, sample `Query` on the clean
+/// control connection, and score the reactions.
+fn run_chaos_tenant(
+    o: &Options,
+    k: usize,
+    proxy_addr: &str,
+    network: &tomo_graph::Network,
+    source: TopologySource,
+    kind: ScenarioKind,
+) -> Result<ChaosTenant, TomoError> {
+    let tenant = format!("{}-chaos-{k}", o.tenant);
+    let seed = o.seed.wrapping_add(k as u64);
+    // Each tenant streams its own realization of the fault schedule.
+    let sim = Simulator::new(SimulationConfig {
+        num_intervals: o.intervals.max(1),
+        scenario: ScenarioConfig::for_kind(kind),
+        loss: LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed,
+    })
+    .run(network);
+    let stream: Vec<Vec<usize>> = observations_to_stream(&sim.observations)
+        .into_iter()
+        .map(|i| i.congested)
+        .collect();
+
+    // Control plane: Create/Flush/Query on a clean, direct connection, so
+    // reaction sampling is never itself subject to chaos.
+    let mut control = Client::connect(&o.addr)?;
+    control.create_tenant_from(
+        tenant.clone(),
+        source,
+        seed,
+        &o.estimator,
+        o.window,
+        o.decay,
+        o.rebuild_auto.then_some(tomo_core::RebuildPolicy::Auto),
+    )?;
+
+    // Data plane: fire-and-forget observation lines through the proxy.
+    let counters = Arc::new(ObsCounters::default());
+    let mut link = ObsLink::connect(proxy_addr, &counters)?;
+    let mut reconnects = 0u64;
+    let mut samples: Vec<EstimateSample> = Vec::new();
+    let mut sent = 0usize;
+    let mut since_query = 0usize;
+    let query_every = o.query_every.max(1);
+    for chunk in stream.chunks(o.batch.max(1)) {
+        let envelope = RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            tenant: Some(tenant.clone()),
+            deadline_ms: None,
+            req: Request::ObserveBatch {
+                intervals: chunk.to_vec(),
+            },
+        };
+        let line = format!("{}\n", tomo_serve::protocol::encode(&envelope));
+        if link.send(&line).is_err() {
+            // Injected reset. Reconnect through the proxy and resend the
+            // interrupted batch once; a second reset on the same line
+            // loses the batch — exactly the data loss reactions measure.
+            reconnects += 1;
+            link = ObsLink::connect(proxy_addr, &counters)?;
+            let _ = link.send(&line);
+        }
+        sent += chunk.len();
+        since_query += chunk.len();
+        if since_query >= query_every || sent == stream.len() {
+            since_query = 0;
+            // Give in-flight proxy lines a moment to land before the
+            // drain barrier, so the sample reflects what arrived.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // Under heavy line loss the first batches may not have arrived
+            // yet; an unfed session has no estimate to sample.
+            if control.flush()? > 0 {
+                let estimate = control.query()?;
+                samples.push(EstimateSample {
+                    intervals: sent,
+                    probabilities: estimate.probabilities,
+                });
+            }
+        }
+        if o.rate > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                chunk.len() as f64 / o.rate,
+            ));
+        }
+    }
+
+    // Score the sampled estimates against the simulated fault schedule.
+    let truth: Vec<(usize, &[f64])> = sim
+        .ground_truth
+        .epoch_marginals()
+        .iter()
+        .map(|e| (e.start, e.marginals.as_slice()))
+        .collect();
+    let report = score_reactions(
+        &sim.fault_events,
+        &samples,
+        &truth,
+        ReactionConfig { band: o.band },
+    );
+
+    // Offline verification of the live estimate: refit the estimator on
+    // the post-fault window only and compare with the final sample. Only
+    // meaningful when the live estimate tracks the current regime
+    // (--decay or a bounded --window), and approximate under line loss —
+    // the daemon fitted what *arrived*, the offline fit sees everything.
+    let check_deviation = match o.check_batch {
+        Some(_) => {
+            let last_fault = sim
+                .fault_events
+                .iter()
+                .map(|f| f.interval)
+                .max()
+                .unwrap_or(0)
+                .min(stream.len().saturating_sub(1));
+            let window: Vec<ObservedInterval> = stream[last_fault..]
+                .iter()
+                .map(|c| ObservedInterval {
+                    congested: c.clone(),
+                })
+                .collect();
+            let observations = stream_to_observations(&window, network.num_paths())?;
+            let mut offline = estimators::by_name(&o.estimator)?;
+            offline.fit(network, &observations)?;
+            let estimate = offline.estimate().ok_or_else(|| {
+                TomoError::InvalidConfig(format!(
+                    "estimator `{}` has no probability capability",
+                    o.estimator
+                ))
+            })?;
+            let offline_probabilities: Vec<f64> = (0..network.num_links())
+                .map(|l| estimate.link_congestion_probability(LinkId(l)))
+                .collect();
+            samples
+                .last()
+                .map(|s| linf(&offline_probabilities, &s.probabilities))
+        }
+        None => None,
+    };
+
+    // Let the drain thread consume any straggler responses before the
+    // counters are snapshotted.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    Ok(ChaosTenant {
+        tenant,
+        sent,
+        reconnects,
+        accepted: counters.accepted.load(Ordering::Relaxed),
+        busy: counters.busy.load(Ordering::Relaxed),
+        errors: counters.errors.load(Ordering::Relaxed),
+        framing: counters.framing.load(Ordering::Relaxed),
+        report,
+        check_deviation,
+    })
+}
+
+/// Nearest-rank percentile of a sorted latency list, or `-` when no fault
+/// qualified.
+fn fmt_latency(sorted: &[usize], q: f64) -> String {
+    if sorted.is_empty() {
+        return "-".into();
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].to_string()
+}
+
+fn chaos(o: &Options) -> Result<(), TomoError> {
+    let (network, source) = topology_of(o)?;
+    let Some(kind) = parse_scenario(&o.scenario) else {
+        eprintln!("unknown scenario `{}`", o.scenario);
+        usage();
+    };
+    let config = ChaosConfig {
+        seed: o.chaos_seed.unwrap_or(o.seed),
+        drop_rate: o.drop_rate,
+        reorder_rate: o.reorder_rate,
+        dup_rate: o.dup_rate,
+        delay_rate: o.delay_rate,
+        delay_ms: o.delay_ms,
+        reset_rate: o.reset_rate,
+    };
+    let proxy = ChaosProxy::start(o.addr.clone(), config)
+        .map_err(|e| TomoError::InvalidConfig(format!("cannot start chaos proxy: {e}")))?;
+    let proxy_addr = proxy.local_addr().to_string();
+    eprintln!(
+        "chaos proxy on {proxy_addr} -> {} (drop={} reorder={} dup={} delay={}@{}ms reset={})",
+        o.addr, o.drop_rate, o.reorder_rate, o.dup_rate, o.delay_rate, o.delay_ms, o.reset_rate
+    );
+
+    // Every tenant runs concurrently — a fleet under fault injection, not
+    // a sequence of solo drills.
+    let tenants = o.tenants.max(1);
+    let outcomes: Vec<Result<ChaosTenant, TomoError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|k| {
+                let source = source.clone();
+                let proxy_addr = proxy_addr.clone();
+                let network = &network;
+                scope.spawn(move || run_chaos_tenant(o, k, &proxy_addr, network, source, kind))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos tenant thread"))
+            .collect()
+    });
+    let proxy_counters = proxy.shutdown();
+    let mut fleet = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        fleet.push(outcome?);
+    }
+
+    // Machine-readable timeline: one JSON line per injected fault event.
+    for t in &fleet {
+        for reaction in &t.report.reactions {
+            let mut value = serde_json::to_value(reaction);
+            if let serde_json::Value::Object(fields) = &mut value {
+                fields.insert(
+                    0,
+                    (
+                        "tenant".to_string(),
+                        serde_json::Value::Str(t.tenant.clone()),
+                    ),
+                );
+            }
+            println!(
+                "{}",
+                serde_json::to_string(&value).map_err(|e| TomoError::InvalidConfig(format!(
+                    "cannot encode reaction: {e}"
+                )))?
+            );
+        }
+    }
+
+    // Per-fault-kind summary across the fleet (latencies in intervals).
+    let mut by_kind: std::collections::BTreeMap<&'static str, Vec<&FaultReaction>> =
+        Default::default();
+    for t in &fleet {
+        for r in &t.report.reactions {
+            by_kind.entry(r.fault.kind.label()).or_default().push(r);
+        }
+    }
+    println!(
+        "{:<15} {:>6} {:>8} {:>11} {:>7} {:>7} {:>7} {:>7} {:>13}",
+        "kind",
+        "events",
+        "detected",
+        "reconverged",
+        "det_p50",
+        "det_p95",
+        "rec_p50",
+        "rec_p95",
+        "mid_fault_err"
+    );
+    for (kind_label, reactions) in &by_kind {
+        let mut det: Vec<usize> = reactions
+            .iter()
+            .filter_map(|r| r.detection_latency)
+            .collect();
+        det.sort_unstable();
+        let mut rec: Vec<usize> = reactions
+            .iter()
+            .filter_map(|r| r.reconverge_latency)
+            .collect();
+        rec.sort_unstable();
+        let err: f64 = reactions.iter().map(|r| r.mid_fault_error).sum();
+        println!(
+            "{kind_label:<15} {:>6} {:>8} {:>11} {:>7} {:>7} {:>7} {:>7} {err:>13.4}",
+            reactions.len(),
+            det.len(),
+            rec.len(),
+            fmt_latency(&det, 0.50),
+            fmt_latency(&det, 0.95),
+            fmt_latency(&rec, 0.50),
+            fmt_latency(&rec, 0.95),
+        );
+    }
+
+    let mut framing_total = 0u64;
+    for t in &fleet {
+        eprintln!(
+            "tenant {}: sent={} accepted={} busy_lost={} errors={} framing_errors={} \
+             reconnects={} faults={} detected={} reconverged={}",
+            t.tenant,
+            t.sent,
+            t.accepted,
+            t.busy,
+            t.errors,
+            t.framing,
+            t.reconnects,
+            t.report.num_faults(),
+            t.report.num_detected(),
+            t.report.num_reconverged(),
+        );
+        framing_total += t.framing;
+    }
+    eprintln!(
+        "proxy: connections={} forwarded={} dropped={} reordered={} duplicated={} \
+         delayed={} resets={}",
+        proxy_counters.connections,
+        proxy_counters.forwarded,
+        proxy_counters.dropped,
+        proxy_counters.reordered,
+        proxy_counters.duplicated,
+        proxy_counters.delayed,
+        proxy_counters.resets,
+    );
+
+    let mut failed = false;
+    if framing_total > 0 {
+        eprintln!(
+            "chaos FAILED: {framing_total} undecodable response line(s) — the daemon \
+             corrupted v2 framing under adversarial input"
+        );
+        failed = true;
+    }
+    if let Some(tolerance) = o.check_batch {
+        for t in &fleet {
+            match t.check_deviation {
+                Some(deviation) => {
+                    println!(
+                        "check-batch {}: max |daemon − offline(post-fault)| = {deviation:.6} \
+                         (tolerance {tolerance})",
+                        t.tenant
+                    );
+                    if deviation > tolerance {
+                        eprintln!(
+                            "chaos FAILED: tenant {} deviates {deviation:.6} > {tolerance} \
+                             from the post-fault offline fit",
+                            t.tenant
+                        );
+                        failed = true;
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "chaos FAILED: tenant {} produced no samples to verify",
+                        t.tenant
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    if let Some(bound) = o.max_detection {
+        let mut det: Vec<usize> = fleet
+            .iter()
+            .flat_map(|t| {
+                t.report
+                    .reactions
+                    .iter()
+                    .filter_map(|r| r.detection_latency)
+            })
+            .collect();
+        det.sort_unstable();
+        let total_faults: usize = fleet.iter().map(|t| t.report.num_faults()).sum();
+        if det.is_empty() {
+            if total_faults > 0 {
+                eprintln!(
+                    "chaos FAILED: none of {total_faults} fault(s) was detected \
+                     (bound {bound} intervals)"
+                );
+                failed = true;
+            }
+        } else {
+            let rank = ((det.len() as f64 * 0.95).ceil() as usize).clamp(1, det.len());
+            let p95 = det[rank - 1];
+            println!(
+                "detection p95 = {p95} intervals (bound {bound}, {} of {total_faults} \
+                 faults detected)",
+                det.len()
+            );
+            if p95 > bound {
+                eprintln!("chaos FAILED: detection p95 {p95} exceeds bound {bound}");
+                failed = true;
+            }
+        }
+    }
+    if o.shutdown {
+        let mut client = Client::connect(&o.addr)?;
+        let _ = client.call(&Request::Shutdown)?;
+        eprintln!("daemon asked to shut down");
+    }
+    if failed {
+        exit(1);
+    }
+    Ok(())
+}
+
 /// Fetches the fleet `Metrics` report and prints it as one JSON line.
 fn metrics(o: &Options) -> Result<(), TomoError> {
     let mut client = Client::connect(&o.addr)?;
@@ -713,6 +1258,12 @@ fn main() {
         "swarm" => {
             if let Err(e) = swarm(&o) {
                 eprintln!("swarm failed: {e}");
+                exit(1);
+            }
+        }
+        "chaos" => {
+            if let Err(e) = chaos(&o) {
+                eprintln!("chaos failed: {e}");
                 exit(1);
             }
         }

@@ -522,10 +522,7 @@ impl EngineRegistry {
     /// (generators, checked uploads, checked restores), so the report is
     /// derived directly; a network that still fails the checker is reported
     /// as a typed error, never a panic under the lock.
-    pub fn topology_info(
-        &self,
-        entry: &Arc<TenantEntry>,
-    ) -> Result<TopologyInfoReport, TomoError> {
+    pub fn topology_info(&self, entry: &Arc<TenantEntry>) -> Result<TopologyInfoReport, TomoError> {
         let started = Instant::now();
         let (network, rebuild, drift, recent_events) = {
             let state = entry.state.lock().expect("tenant state lock");
@@ -1528,7 +1525,10 @@ mod tests {
         let Err(err) = registry.restore_tenant(TenantId::new("evil").unwrap(), &corrupted) else {
             panic!("corrupted snapshot must be refused");
         };
-        assert!(err.to_string().contains("snapshot topology invalid"), "{err}");
+        assert!(
+            err.to_string().contains("snapshot topology invalid"),
+            "{err}"
+        );
         // No tenant was registered and no lock was poisoned: fleet-wide
         // endpoints and per-tenant reads keep answering.
         assert!(registry.lookup(&TenantId::new("evil").unwrap()).is_none());

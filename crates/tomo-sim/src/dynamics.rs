@@ -1,0 +1,485 @@
+//! Adversarial probability dynamics: the chaos evolutions.
+//!
+//! The paper's evolutions ([`crate::scenario::redraw_probabilities`], drift,
+//! churn) model benign non-stationarity. The evolutions here model the
+//! faults a production tomography monitor is actually judged on: bursty
+//! loss (Gilbert–Elliott), correlated failure cascades (shared-risk link
+//! groups), flapping links and diurnal load swings. Each step emits a
+//! [`FaultEvent`] per regime change so the reaction-scoring layer can
+//! measure detection latency and time-to-reconverge per injected fault.
+//!
+//! The evolution API is stateless between epochs — a step sees only the
+//! previous epoch's [`CongestionModel`] — so per-driver regime state is
+//! encoded in the driver probability itself: a Gilbert–Elliott driver is in
+//! the bad state iff its probability equals `bad_loss`, an SRLG/flapping
+//! driver is down iff its probability equals the configured `down_loss`.
+//! [`initialize_model`] normalizes a freshly built scenario model into that
+//! encoding (baseline probabilities are remapped into a range that cannot
+//! collide with the down/bad levels). All randomness comes from the caller's
+//! seeded RNG, so chaos sweeps stay byte-identical across thread counts.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tomo_chaos::{FaultEvent, FaultKind};
+
+use crate::correlation_model::{CongestionModel, Driver};
+use crate::scenario::ProbabilityEvolution;
+
+/// Tolerance for recognizing a driver's encoded regime state.
+const STATE_EPS: f64 = 1e-9;
+
+/// Baseline (healthy) probabilities live in this range so they can never be
+/// mistaken for a down/bad level (which the chaos scenarios keep ≥ 0.8).
+const BASELINE_LO: f64 = 0.05;
+const BASELINE_HI: f64 = 0.50;
+
+fn remap_baseline(p: f64) -> f64 {
+    // Deterministically squeeze a (0.01, 1.0) scenario draw into the
+    // baseline range, preserving ordering.
+    BASELINE_LO + ((p - 0.01) / 0.99).clamp(0.0, 1.0) * (BASELINE_HI - BASELINE_LO)
+}
+
+fn member_indices(d: &Driver) -> Vec<usize> {
+    let mut links: Vec<usize> = d.members.iter().map(|l| l.index()).collect();
+    links.sort_unstable();
+    links
+}
+
+fn in_state(p: f64, level: f64) -> bool {
+    (p - level).abs() < STATE_EPS
+}
+
+/// Normalizes a freshly built scenario model into the regime encoding the
+/// chaos evolutions expect. Non-chaos evolutions pass through unchanged.
+pub fn initialize_model(
+    model: CongestionModel,
+    evolution: Option<ProbabilityEvolution>,
+    rng: &mut StdRng,
+) -> CongestionModel {
+    match evolution {
+        Some(ProbabilityEvolution::GilbertElliott {
+            p_gb,
+            p_bg,
+            good_loss,
+            bad_loss,
+        }) => {
+            // Start each driver in the chain's stationary distribution so
+            // empirical loss converges to the stationary mixture from the
+            // first interval.
+            let pi_bad = if p_gb + p_bg > 0.0 {
+                p_gb / (p_gb + p_bg)
+            } else {
+                0.0
+            };
+            let drivers = model
+                .drivers
+                .iter()
+                .map(|d| Driver {
+                    probability: if pi_bad > 0.0 && rng.gen_bool(pi_bad.clamp(0.0, 1.0)) {
+                        bad_loss
+                    } else {
+                        good_loss
+                    },
+                    members: d.members.clone(),
+                })
+                .collect();
+            CongestionModel::new(drivers)
+        }
+        Some(ProbabilityEvolution::SrlgCascade { .. })
+        | Some(ProbabilityEvolution::Diurnal { .. }) => {
+            let drivers = model
+                .drivers
+                .iter()
+                .map(|d| Driver {
+                    probability: remap_baseline(d.probability),
+                    members: d.members.clone(),
+                })
+                .collect();
+            CongestionModel::new(drivers)
+        }
+        Some(ProbabilityEvolution::Flapping {
+            period,
+            duty,
+            down_loss,
+        }) => {
+            let n = model.drivers.len();
+            let drivers = model
+                .drivers
+                .iter()
+                .enumerate()
+                .map(|(i, d)| Driver {
+                    probability: if flap_is_down(0, i, n, period, duty) {
+                        down_loss
+                    } else {
+                        remap_baseline(d.probability)
+                    },
+                    members: d.members.clone(),
+                })
+                .collect();
+            CongestionModel::new(drivers)
+        }
+        _ => model,
+    }
+}
+
+/// One Gilbert–Elliott step: every driver is an independent two-state
+/// Markov chain over {good, bad} with transition probabilities `p_gb`
+/// (good → bad) and `p_bg` (bad → good); the states pin the driver
+/// probability to `good_loss` / `bad_loss`. Emits [`FaultKind::BurstStart`]
+/// / [`FaultKind::BurstEnd`] per transition.
+#[allow(clippy::too_many_arguments)]
+pub fn gilbert_elliott_step(
+    model: &CongestionModel,
+    p_gb: f64,
+    p_bg: f64,
+    good_loss: f64,
+    bad_loss: f64,
+    epoch: usize,
+    interval: usize,
+    rng: &mut StdRng,
+) -> (CongestionModel, Vec<FaultEvent>) {
+    let mut events = Vec::new();
+    let drivers = model
+        .drivers
+        .iter()
+        .map(|d| {
+            let was_bad = in_state(d.probability, bad_loss);
+            let flips = if was_bad {
+                rng.gen_bool(p_bg.clamp(0.0, 1.0))
+            } else {
+                rng.gen_bool(p_gb.clamp(0.0, 1.0))
+            };
+            let now_bad = was_bad != flips;
+            if now_bad != was_bad {
+                let kind = if now_bad {
+                    FaultKind::BurstStart
+                } else {
+                    FaultKind::BurstEnd
+                };
+                events.push(FaultEvent::model(kind, interval, epoch, member_indices(d)));
+            }
+            Driver {
+                probability: if now_bad { bad_loss } else { good_loss },
+                members: d.members.clone(),
+            }
+        })
+        .collect();
+    (CongestionModel::new(drivers), events)
+}
+
+/// One shared-risk-group cascade step: every driver (one shared-risk group)
+/// independently fails with probability `p_fail` — all member links jump to
+/// `down_loss` together — and recovers with probability `p_recover` to a
+/// fresh baseline operating point drawn from the RNG. Emits
+/// [`FaultKind::GroupFail`] / [`FaultKind::GroupRecover`].
+pub fn srlg_step(
+    model: &CongestionModel,
+    p_fail: f64,
+    p_recover: f64,
+    down_loss: f64,
+    epoch: usize,
+    interval: usize,
+    rng: &mut StdRng,
+) -> (CongestionModel, Vec<FaultEvent>) {
+    let mut events = Vec::new();
+    let drivers = model
+        .drivers
+        .iter()
+        .map(|d| {
+            let was_down = in_state(d.probability, down_loss);
+            let probability = if was_down {
+                if rng.gen_bool(p_recover.clamp(0.0, 1.0)) {
+                    events.push(FaultEvent::model(
+                        FaultKind::GroupRecover,
+                        interval,
+                        epoch,
+                        member_indices(d),
+                    ));
+                    rng.gen_range(BASELINE_LO..BASELINE_HI)
+                } else {
+                    down_loss
+                }
+            } else if rng.gen_bool(p_fail.clamp(0.0, 1.0)) {
+                events.push(FaultEvent::model(
+                    FaultKind::GroupFail,
+                    interval,
+                    epoch,
+                    member_indices(d),
+                ));
+                down_loss
+            } else {
+                d.probability
+            };
+            Driver {
+                probability,
+                members: d.members.clone(),
+            }
+        })
+        .collect();
+    (CongestionModel::new(drivers), events)
+}
+
+/// Whether flapping driver `i` (of `n`) is down at `epoch`. The schedule is
+/// a pure function of the epoch: each driver is up for `duty` of every
+/// `period` epochs, with per-driver phase offsets so the fleet flaps
+/// staggered rather than in lockstep.
+pub fn flap_is_down(epoch: usize, i: usize, n: usize, period: usize, duty: f64) -> bool {
+    let period = period.max(2);
+    let up_epochs = ((duty * period as f64).round() as usize).clamp(1, period - 1);
+    let offset = (i * period) / n.max(1);
+    (epoch + offset) % period >= up_epochs
+}
+
+/// One flapping step: the deterministic duty-cycle schedule decides which
+/// drivers are down this epoch; transitions emit [`FaultKind::FlapDown`] /
+/// [`FaultKind::FlapUp`]. A driver coming back up recovers to a fresh
+/// baseline operating point.
+#[allow(clippy::too_many_arguments)]
+pub fn flapping_step(
+    model: &CongestionModel,
+    period: usize,
+    duty: f64,
+    down_loss: f64,
+    epoch: usize,
+    interval: usize,
+    rng: &mut StdRng,
+) -> (CongestionModel, Vec<FaultEvent>) {
+    let n = model.drivers.len();
+    let mut events = Vec::new();
+    let drivers = model
+        .drivers
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let was_down = in_state(d.probability, down_loss);
+            let now_down = flap_is_down(epoch, i, n, period, duty);
+            let probability = match (was_down, now_down) {
+                (false, true) => {
+                    events.push(FaultEvent::model(
+                        FaultKind::FlapDown,
+                        interval,
+                        epoch,
+                        member_indices(d),
+                    ));
+                    down_loss
+                }
+                (true, false) => {
+                    events.push(FaultEvent::model(
+                        FaultKind::FlapUp,
+                        interval,
+                        epoch,
+                        member_indices(d),
+                    ));
+                    rng.gen_range(BASELINE_LO..BASELINE_HI)
+                }
+                _ => d.probability,
+            };
+            Driver {
+                probability,
+                members: d.members.clone(),
+            }
+        })
+        .collect();
+    (CongestionModel::new(drivers), events)
+}
+
+/// The diurnal scale factor at `epoch`: `1 + amplitude · sin(2π·epoch/period)`.
+pub fn diurnal_scale(epoch: usize, period: usize, amplitude: f64) -> f64 {
+    let period = period.max(2) as f64;
+    1.0 + amplitude * (2.0 * std::f64::consts::PI * epoch as f64 / period).sin()
+}
+
+/// One diurnal step: every driver probability is rescaled by the ratio of
+/// this epoch's load factor to the previous one's, so the absolute level
+/// follows `baseline · (1 + amplitude·sin(...))` without compounding.
+/// Emits [`FaultKind::LoadSwing`] when the curve crosses its peak or
+/// trough — the two per-cycle moments the regime reverses direction.
+pub fn diurnal_step(
+    model: &CongestionModel,
+    period: usize,
+    amplitude: f64,
+    epoch: usize,
+    interval: usize,
+) -> (CongestionModel, Vec<FaultEvent>) {
+    let period = period.max(2);
+    let prev = diurnal_scale(epoch.saturating_sub(1), period, amplitude);
+    let now = diurnal_scale(epoch, period, amplitude);
+    let factor = if prev.abs() > 1e-12 { now / prev } else { 1.0 };
+    let drivers: Vec<Driver> = model
+        .drivers
+        .iter()
+        .map(|d| Driver {
+            probability: (d.probability * factor).clamp(0.002, 0.98),
+            members: d.members.clone(),
+        })
+        .collect();
+    let mut events = Vec::new();
+    let phase = epoch % period;
+    if phase == period / 4 || phase == (3 * period) / 4 {
+        let mut links: Vec<usize> = drivers.iter().flat_map(member_indices).collect();
+        links.sort_unstable();
+        links.dedup();
+        events.push(FaultEvent::model(
+            FaultKind::LoadSwing,
+            interval,
+            epoch,
+            links,
+        ));
+    }
+    (CongestionModel::new(drivers), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tomo_graph::LinkId;
+
+    fn model(probs: &[f64]) -> CongestionModel {
+        CongestionModel::new(
+            probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Driver {
+                    probability: p,
+                    members: vec![LinkId(i)],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn gilbert_elliott_pins_probabilities_to_the_two_levels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = initialize_model(
+            model(&[0.3, 0.7, 0.9]),
+            Some(ProbabilityEvolution::GilbertElliott {
+                p_gb: 0.2,
+                p_bg: 0.4,
+                good_loss: 0.05,
+                bad_loss: 0.85,
+            }),
+            &mut rng,
+        );
+        let mut cur = m;
+        for epoch in 1..50 {
+            let (next, events) =
+                gilbert_elliott_step(&cur, 0.2, 0.4, 0.05, 0.85, epoch, epoch * 5, &mut rng);
+            for d in &next.drivers {
+                assert!(
+                    in_state(d.probability, 0.05) || in_state(d.probability, 0.85),
+                    "probability {} off the GE levels",
+                    d.probability
+                );
+            }
+            for e in &events {
+                assert!(matches!(
+                    e.kind,
+                    FaultKind::BurstStart | FaultKind::BurstEnd
+                ));
+                assert_eq!(e.epoch, epoch);
+                assert_eq!(e.interval, epoch * 5);
+            }
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn srlg_fails_and_recovers_whole_groups() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = CongestionModel::new(vec![Driver {
+            probability: 0.2,
+            members: vec![LinkId(0), LinkId(3), LinkId(5)],
+        }]);
+        // Force a failure (p_fail = 1) and then a recovery (p_recover = 1).
+        let (down, events) = srlg_step(&group, 1.0, 1.0, 0.95, 1, 20, &mut rng);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::GroupFail);
+        assert_eq!(events[0].links, vec![0, 3, 5]);
+        assert!(in_state(down.drivers[0].probability, 0.95));
+        let (up, events) = srlg_step(&down, 1.0, 1.0, 0.95, 2, 40, &mut rng);
+        assert_eq!(events[0].kind, FaultKind::GroupRecover);
+        let p = up.drivers[0].probability;
+        assert!((BASELINE_LO..BASELINE_HI).contains(&p), "recovered to {p}");
+    }
+
+    #[test]
+    fn flapping_schedule_is_periodic_and_respects_duty() {
+        // One driver, period 8, duty 0.75 -> up 6 epochs, down 2.
+        let downs: Vec<bool> = (0..16).map(|e| flap_is_down(e, 0, 1, 8, 0.75)).collect();
+        assert_eq!(&downs[..8], &downs[8..]);
+        assert_eq!(downs[..8].iter().filter(|&&d| d).count(), 2);
+        // Steps emit FlapDown/FlapUp exactly at the schedule transitions.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cur = initialize_model(
+            model(&[0.4]),
+            Some(ProbabilityEvolution::Flapping {
+                period: 8,
+                duty: 0.75,
+                down_loss: 0.9,
+            }),
+            &mut rng,
+        );
+        let mut down_events = 0;
+        let mut up_events = 0;
+        for epoch in 1..=16 {
+            let (next, events) = flapping_step(&cur, 8, 0.75, 0.9, epoch, epoch * 3, &mut rng);
+            for e in &events {
+                match e.kind {
+                    FaultKind::FlapDown => down_events += 1,
+                    FaultKind::FlapUp => up_events += 1,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            cur = next;
+        }
+        assert_eq!(down_events, 2);
+        assert_eq!(up_events, 2);
+    }
+
+    #[test]
+    fn diurnal_tracks_the_load_curve_without_compounding() {
+        let base = 0.2;
+        let mut cur = model(&[base]);
+        for epoch in 1..=24 {
+            let (next, _) = diurnal_step(&cur, 12, 0.6, epoch, epoch);
+            cur = next;
+            let expected = base * diurnal_scale(epoch, 12, 0.6);
+            assert!(
+                (cur.drivers[0].probability - expected).abs() < 1e-9,
+                "epoch {epoch}: {} vs {expected}",
+                cur.drivers[0].probability
+            );
+        }
+        // Exactly two LoadSwing markers per cycle: peak and trough.
+        let mut swings = 0;
+        let mut m = model(&[base]);
+        for epoch in 1..=12 {
+            let (next, events) = diurnal_step(&m, 12, 0.6, epoch, epoch);
+            swings += events
+                .iter()
+                .filter(|e| e.kind == FaultKind::LoadSwing)
+                .count();
+            m = next;
+        }
+        assert_eq!(swings, 2);
+    }
+
+    #[test]
+    fn initialization_keeps_baselines_clear_of_down_levels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = initialize_model(
+            model(&[0.011, 0.5, 0.989]),
+            Some(ProbabilityEvolution::SrlgCascade {
+                p_fail: 0.1,
+                p_recover: 0.5,
+                down_loss: 0.95,
+            }),
+            &mut rng,
+        );
+        for d in &m.drivers {
+            assert!((BASELINE_LO..=BASELINE_HI).contains(&d.probability));
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod correlation_model;
+pub mod dynamics;
 pub mod loss;
 pub mod observation;
 pub mod scenario;
@@ -37,5 +38,5 @@ pub use loss::{LossModel, MeasurementMode};
 pub use observation::PathObservations;
 pub use scenario::{CongestiblePlacement, ProbabilityEvolution, ScenarioConfig, ScenarioKind};
 pub use simulator::{SimulationConfig, SimulationOutput, Simulator};
-pub use state::GroundTruth;
+pub use state::{EpochMarginals, GroundTruth};
 pub use window::ObservationWindow;

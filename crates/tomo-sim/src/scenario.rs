@@ -29,9 +29,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
+use tomo_chaos::FaultEvent;
 use tomo_graph::{LinkId, Network};
 
 use crate::correlation_model::{shared_router_groups, CongestionModel, Driver};
+use crate::dynamics;
 
 /// The named scenarios of the paper's evaluation, plus the streaming
 /// (dynamic-workload) scenarios used by the `tomo-serve` daemon evaluation.
@@ -56,6 +58,19 @@ pub enum ScenarioKind {
     /// congestible links are periodically re-partitioned into new correlated
     /// driver groups with fresh probabilities.
     CorrelationChurn,
+    /// Chaos workload: two-state Markov (Gilbert–Elliott) bursty loss — each
+    /// driver alternates between a low-loss good state and a high-loss bad
+    /// state with configured transition probabilities.
+    BurstyLoss,
+    /// Chaos workload: shared-risk link groups (correlated placement) fail
+    /// and recover together, a correlated failure cascade.
+    LinkCascade,
+    /// Chaos workload: links flap on a duty-cycle schedule with staggered
+    /// phases.
+    FlappingLinks,
+    /// Chaos workload: congestion probabilities follow a sinusoidal diurnal
+    /// load curve.
+    DiurnalLoad,
 }
 
 impl ScenarioKind {
@@ -77,6 +92,17 @@ impl ScenarioKind {
         [ScenarioKind::DriftingLoss, ScenarioKind::CorrelationChurn]
     }
 
+    /// The adversarial (chaos) scenario kinds, in the order the chaos grid
+    /// sweeps them.
+    pub fn chaos() -> [ScenarioKind; 4] {
+        [
+            ScenarioKind::BurstyLoss,
+            ScenarioKind::LinkCascade,
+            ScenarioKind::FlappingLinks,
+            ScenarioKind::DiurnalLoad,
+        ]
+    }
+
     /// The label used in the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -87,6 +113,10 @@ impl ScenarioKind {
             ScenarioKind::SparseTopology => "Sparse Topology",
             ScenarioKind::DriftingLoss => "Drifting Loss",
             ScenarioKind::CorrelationChurn => "Correlation Churn",
+            ScenarioKind::BurstyLoss => "Bursty Loss",
+            ScenarioKind::LinkCascade => "Link Cascade",
+            ScenarioKind::FlappingLinks => "Flapping Links",
+            ScenarioKind::DiurnalLoad => "Diurnal Load",
         }
     }
 }
@@ -111,6 +141,75 @@ pub enum ProbabilityEvolution {
         /// Largest driver group formed by a churn step.
         max_group: usize,
     },
+    /// Two-state Markov bursty loss per driver: good ↔ bad transitions with
+    /// probabilities `p_gb` / `p_bg`, pinning the congestion probability to
+    /// `good_loss` / `bad_loss`. Emits `BurstStart` / `BurstEnd` fault
+    /// events on transitions.
+    GilbertElliott {
+        /// Per-epoch good → bad transition probability.
+        p_gb: f64,
+        /// Per-epoch bad → good transition probability.
+        p_bg: f64,
+        /// Congestion probability in the good state.
+        good_loss: f64,
+        /// Congestion probability in the bad state.
+        bad_loss: f64,
+    },
+    /// Shared-risk link groups fail (`p_fail`) and recover (`p_recover`)
+    /// together; a failed group's links all sit at `down_loss`. Emits
+    /// `GroupFail` / `GroupRecover` fault events.
+    SrlgCascade {
+        /// Per-epoch failure probability of a healthy group.
+        p_fail: f64,
+        /// Per-epoch recovery probability of a failed group.
+        p_recover: f64,
+        /// Congestion probability of a failed group's links.
+        down_loss: f64,
+    },
+    /// Deterministic duty-cycle flapping: each driver is up for `duty` of
+    /// every `period` epochs (staggered phases), down at `down_loss`
+    /// otherwise. Emits `FlapDown` / `FlapUp` fault events.
+    Flapping {
+        /// Flap cycle length in epochs.
+        period: usize,
+        /// Fraction of the cycle each driver is up.
+        duty: f64,
+        /// Congestion probability while down.
+        down_loss: f64,
+    },
+    /// Sinusoidal diurnal load curve: probabilities follow
+    /// `baseline · (1 + amplitude · sin(2π·epoch/period))`. Emits
+    /// `LoadSwing` fault events at the peak and trough of each cycle.
+    Diurnal {
+        /// Cycle length in epochs.
+        period: usize,
+        /// Relative swing amplitude (kept < 1 so probabilities stay valid).
+        amplitude: f64,
+    },
+}
+
+impl ProbabilityEvolution {
+    /// A short self-describing label, recorded in sweep JSONL rows so chaos
+    /// grids document which dynamics produced each record.
+    pub fn label(&self) -> String {
+        match self {
+            ProbabilityEvolution::Redraw => "redraw".to_string(),
+            ProbabilityEvolution::Drift { sigma } => format!("drift({sigma})"),
+            ProbabilityEvolution::Churn { max_group } => format!("churn({max_group})"),
+            ProbabilityEvolution::GilbertElliott { p_gb, p_bg, .. } => {
+                format!("gilbert-elliott({p_gb},{p_bg})")
+            }
+            ProbabilityEvolution::SrlgCascade {
+                p_fail, p_recover, ..
+            } => format!("srlg-cascade({p_fail},{p_recover})"),
+            ProbabilityEvolution::Flapping { period, duty, .. } => {
+                format!("flapping({period},{duty})")
+            }
+            ProbabilityEvolution::Diurnal { period, amplitude } => {
+                format!("diurnal({period},{amplitude})")
+            }
+        }
+    }
 }
 
 /// How the congestible links are placed.
@@ -150,6 +249,14 @@ pub struct ScenarioConfig {
 
 impl ScenarioConfig {
     /// The paper's *Random Congestion* scenario.
+    ///
+    /// The evolution is set explicitly to the paper's `Redraw` even though
+    /// the scenario is stationary (the evolution only runs on
+    /// non-stationary runs, e.g. after
+    /// [`ScenarioConfig::with_nonstationary`]); no constructor leaves it
+    /// `None`, so the `Redraw` fallback in
+    /// [`ScenarioConfig::evolution_or_default`] only ever fires for grid
+    /// files written before the field existed.
     pub fn random_congestion() -> Self {
         Self {
             kind: ScenarioKind::RandomCongestion,
@@ -157,7 +264,7 @@ impl ScenarioConfig {
             congestible_fraction: 0.10,
             stationary: true,
             epoch_len: 50,
-            evolution: None,
+            evolution: Some(ProbabilityEvolution::Redraw),
         }
     }
 
@@ -226,6 +333,72 @@ impl ScenarioConfig {
         }
     }
 
+    /// The chaos *Bursty Loss* scenario: random placement with
+    /// Gilbert–Elliott two-state Markov dynamics per driver.
+    pub fn bursty_loss() -> Self {
+        Self {
+            kind: ScenarioKind::BurstyLoss,
+            stationary: false,
+            epoch_len: 5,
+            evolution: Some(ProbabilityEvolution::GilbertElliott {
+                p_gb: 0.10,
+                p_bg: 0.30,
+                good_loss: 0.05,
+                bad_loss: 0.85,
+            }),
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The chaos *Link Cascade* scenario: correlated placement (shared-risk
+    /// groups become shared drivers) with whole groups failing and
+    /// recovering together.
+    pub fn link_cascade() -> Self {
+        Self {
+            kind: ScenarioKind::LinkCascade,
+            placement: CongestiblePlacement::Correlated,
+            stationary: false,
+            epoch_len: 20,
+            evolution: Some(ProbabilityEvolution::SrlgCascade {
+                p_fail: 0.10,
+                p_recover: 0.45,
+                down_loss: 0.95,
+            }),
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The chaos *Flapping Links* scenario: drivers go up and down on a
+    /// staggered duty-cycle schedule.
+    pub fn flapping_links() -> Self {
+        Self {
+            kind: ScenarioKind::FlappingLinks,
+            stationary: false,
+            epoch_len: 10,
+            evolution: Some(ProbabilityEvolution::Flapping {
+                period: 8,
+                duty: 0.75,
+                down_loss: 0.90,
+            }),
+            ..Self::random_congestion()
+        }
+    }
+
+    /// The chaos *Diurnal Load* scenario: probabilities follow a sinusoidal
+    /// load curve.
+    pub fn diurnal_load() -> Self {
+        Self {
+            kind: ScenarioKind::DiurnalLoad,
+            stationary: false,
+            epoch_len: 10,
+            evolution: Some(ProbabilityEvolution::Diurnal {
+                period: 12,
+                amplitude: 0.6,
+            }),
+            ..Self::random_congestion()
+        }
+    }
+
     /// The configuration for a named scenario kind.
     pub fn for_kind(kind: ScenarioKind) -> Self {
         match kind {
@@ -236,16 +409,75 @@ impl ScenarioConfig {
             ScenarioKind::SparseTopology => Self::sparse_topology(),
             ScenarioKind::DriftingLoss => Self::drifting_loss(),
             ScenarioKind::CorrelationChurn => Self::correlation_churn(),
+            ScenarioKind::BurstyLoss => Self::bursty_loss(),
+            ScenarioKind::LinkCascade => Self::link_cascade(),
+            ScenarioKind::FlappingLinks => Self::flapping_links(),
+            ScenarioKind::DiurnalLoad => Self::diurnal_load(),
+        }
+    }
+
+    /// The evolution this scenario runs between epochs. Every constructor
+    /// sets the field explicitly; the `Redraw` fallback exists only for
+    /// configurations deserialized from files that predate the field.
+    pub fn evolution_or_default(&self) -> ProbabilityEvolution {
+        self.evolution.unwrap_or(ProbabilityEvolution::Redraw)
+    }
+
+    /// A self-describing label of this scenario's dynamics for sweep JSONL
+    /// rows: `"stationary"` for stationary runs, the evolution's label
+    /// otherwise.
+    pub fn evolution_label(&self) -> String {
+        if self.stationary {
+            "stationary".to_string()
+        } else {
+            self.evolution_or_default().label()
         }
     }
 
     /// Evolves the congestion model between epochs of a non-stationary run
-    /// according to this scenario's [`ProbabilityEvolution`].
-    pub fn evolve_model(&self, model: &CongestionModel, rng: &mut StdRng) -> CongestionModel {
-        match self.evolution.unwrap_or(ProbabilityEvolution::Redraw) {
-            ProbabilityEvolution::Redraw => redraw_probabilities(model, rng),
-            ProbabilityEvolution::Drift { sigma } => drift_probabilities(model, sigma, rng),
-            ProbabilityEvolution::Churn { max_group } => churn_drivers(model, max_group, rng),
+    /// according to this scenario's [`ProbabilityEvolution`], returning the
+    /// next epoch's model plus any [`FaultEvent`]s the step injected.
+    ///
+    /// `epoch` is the index of the epoch about to begin and `interval` its
+    /// first measurement interval; the schedule-driven evolutions (flapping,
+    /// diurnal) are pure functions of the epoch index, and every emitted
+    /// event is stamped with both.
+    pub fn evolve_model(
+        &self,
+        model: &CongestionModel,
+        epoch: usize,
+        interval: usize,
+        rng: &mut StdRng,
+    ) -> (CongestionModel, Vec<FaultEvent>) {
+        match self.evolution_or_default() {
+            ProbabilityEvolution::Redraw => (redraw_probabilities(model, rng), Vec::new()),
+            ProbabilityEvolution::Drift { sigma } => {
+                (drift_probabilities(model, sigma, rng), Vec::new())
+            }
+            ProbabilityEvolution::Churn { max_group } => {
+                (churn_drivers(model, max_group, rng), Vec::new())
+            }
+            ProbabilityEvolution::GilbertElliott {
+                p_gb,
+                p_bg,
+                good_loss,
+                bad_loss,
+            } => dynamics::gilbert_elliott_step(
+                model, p_gb, p_bg, good_loss, bad_loss, epoch, interval, rng,
+            ),
+            ProbabilityEvolution::SrlgCascade {
+                p_fail,
+                p_recover,
+                down_loss,
+            } => dynamics::srlg_step(model, p_fail, p_recover, down_loss, epoch, interval, rng),
+            ProbabilityEvolution::Flapping {
+                period,
+                duty,
+                down_loss,
+            } => dynamics::flapping_step(model, period, duty, down_loss, epoch, interval, rng),
+            ProbabilityEvolution::Diurnal { period, amplitude } => {
+                dynamics::diurnal_step(model, period, amplitude, epoch, interval)
+            }
         }
     }
 
@@ -267,7 +499,11 @@ impl ScenarioConfig {
     /// time intervals".
     pub fn build_model(&self, network: &Network, rng: &mut StdRng) -> CongestionModel {
         let placement = self.place_congestible(network, rng);
-        build_drivers(network, &placement, self.placement, rng)
+        let model = build_drivers(network, &placement, self.placement, rng);
+        // Chaos evolutions encode per-driver regime state in the driver
+        // probability; normalize the fresh model into that encoding (a
+        // no-op for the paper's evolutions).
+        dynamics::initialize_model(model, self.evolution, rng)
     }
 
     /// Chooses which links are congestible under this scenario.
@@ -615,14 +851,81 @@ mod tests {
         let mut cfg = ScenarioConfig::drifting_loss();
         cfg.congestible_fraction = 0.5;
         let m1 = cfg.build_model(&net, &mut rng);
-        let drifted = cfg.evolve_model(&m1, &mut rng);
+        let (drifted, events) = cfg.evolve_model(&m1, 1, 50, &mut rng);
+        assert!(events.is_empty(), "paper evolutions emit no fault events");
         for (a, b) in m1.drivers.iter().zip(&drifted.drivers) {
             assert!((a.probability - b.probability).abs() <= 0.15 + 1e-12);
         }
         // No evolution configured -> paper redraw semantics.
         cfg.evolution = None;
-        let redrawn = cfg.evolve_model(&m1, &mut rng);
+        let (redrawn, events) = cfg.evolve_model(&m1, 1, 50, &mut rng);
+        assert!(events.is_empty());
         assert_eq!(m1.congestible_links(), redrawn.congestible_links());
+    }
+
+    #[test]
+    fn chaos_constructors_are_nonstationary_with_explicit_evolution() {
+        for kind in ScenarioKind::chaos() {
+            let cfg = ScenarioConfig::for_kind(kind);
+            assert_eq!(cfg.kind, kind);
+            assert!(!cfg.stationary, "{kind:?} must be non-stationary");
+            assert!(cfg.evolution.is_some(), "{kind:?} must set its evolution");
+            assert_ne!(cfg.evolution_label(), "stationary");
+        }
+        // Satellite: every constructor makes the evolution explicit — the
+        // paper scenarios included.
+        for kind in ScenarioKind::all() {
+            assert!(ScenarioConfig::for_kind(kind).evolution.is_some());
+        }
+    }
+
+    #[test]
+    fn evolution_labels_describe_the_dynamics() {
+        assert_eq!(
+            ScenarioConfig::random_congestion().evolution_label(),
+            "stationary"
+        );
+        assert_eq!(
+            ScenarioConfig::no_stationarity().evolution_label(),
+            "redraw"
+        );
+        assert!(ScenarioConfig::bursty_loss()
+            .evolution_label()
+            .starts_with("gilbert-elliott("));
+        assert!(ScenarioConfig::link_cascade()
+            .evolution_label()
+            .starts_with("srlg-cascade("));
+        assert!(ScenarioConfig::flapping_links()
+            .evolution_label()
+            .starts_with("flapping("));
+        assert!(ScenarioConfig::diurnal_load()
+            .evolution_label()
+            .starts_with("diurnal("));
+    }
+
+    #[test]
+    fn chaos_evolutions_emit_stamped_fault_events() {
+        let net = fig1_case1();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut cfg = ScenarioConfig::flapping_links();
+        cfg.congestible_fraction = 1.0;
+        let model = cfg.build_model(&net, &mut rng);
+        // The flapping schedule is periodic, so walking the epochs must emit
+        // at least one event, and every event carries the stamp it was given.
+        let mut saw_event = false;
+        let mut m = model;
+        for epoch in 1..=16 {
+            let interval = epoch * cfg.epoch_len;
+            let (next, events) = cfg.evolve_model(&m, epoch, interval, &mut rng);
+            for e in &events {
+                assert_eq!(e.epoch, epoch);
+                assert_eq!(e.interval, interval);
+                assert!(!e.links.is_empty());
+                saw_event = true;
+            }
+            m = next;
+        }
+        assert!(saw_event, "flapping schedule emitted no events");
     }
 
     #[test]

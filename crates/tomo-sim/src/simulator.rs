@@ -6,6 +6,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use tomo_chaos::FaultEvent;
 use tomo_graph::Network;
 
 use crate::correlation_model::CongestionModel;
@@ -65,6 +66,10 @@ pub struct SimulationOutput {
     /// The congestion model of the *first* epoch (placement + initial
     /// probabilities). For stationary runs this fully describes the process.
     pub initial_model: CongestionModel,
+    /// Fault events the scenario's evolution injected at epoch boundaries
+    /// (empty for stationary runs and for the paper's evolutions), ordered by
+    /// interval.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// The simulator.
@@ -106,14 +111,20 @@ impl Simulator {
             cfg.scenario.epoch_len.max(1)
         };
 
+        let mut fault_events = Vec::new();
         let mut t = 0usize;
+        let mut epoch = 0usize;
         while t < cfg.num_intervals {
             let this_epoch = epoch_len.min(cfg.num_intervals - t);
-            // Record this epoch's model marginals, weighted by its share of
-            // the experiment.
+            // Record this epoch's model marginals: weighted into the
+            // time-averaged marginal and, for non-stationary runs, appended
+            // to the per-epoch truth timeline.
             let marginals: Vec<f64> = network.link_ids().map(|l| model.marginal(l)).collect();
             ground_truth
                 .add_model_marginals(&marginals, this_epoch as f64 / cfg.num_intervals as f64);
+            if !cfg.scenario.stationary {
+                ground_truth.record_epoch_marginals(t, &marginals);
+            }
 
             for _ in 0..this_epoch {
                 self.simulate_interval(
@@ -128,7 +139,10 @@ impl Simulator {
             }
 
             if !cfg.scenario.stationary && t < cfg.num_intervals {
-                model = cfg.scenario.evolve_model(&model, &mut rng);
+                epoch += 1;
+                let (next, events) = cfg.scenario.evolve_model(&model, epoch, t, &mut rng);
+                model = next;
+                fault_events.extend(events);
             }
         }
 
@@ -136,6 +150,7 @@ impl Simulator {
             observations,
             ground_truth,
             initial_model,
+            fault_events,
         }
     }
 

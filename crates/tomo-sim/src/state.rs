@@ -7,6 +7,19 @@
 use serde::{Deserialize, Serialize};
 use tomo_graph::LinkId;
 
+/// The model marginals that were in force from one epoch boundary onwards.
+///
+/// A non-stationary run records one of these per epoch, giving the truth *as
+/// a function of time* — what the chaos reaction metrics compare streaming
+/// estimates against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochMarginals {
+    /// First measurement interval the epoch covers.
+    pub start: usize,
+    /// Model marginal `P(X_e = 1)` per link during the epoch.
+    pub marginals: Vec<f64>,
+}
+
 /// Ground truth of one simulated experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GroundTruth {
@@ -20,6 +33,10 @@ pub struct GroundTruth {
     /// Time-averaged model marginal `P(X_e = 1)` per link (averaged over the
     /// epochs of a non-stationary run).
     model_marginals: Vec<f64>,
+    /// Per-epoch marginal timeline, ordered by `start`. `Option` so ground
+    /// truth serialized before the field existed still deserializes (the
+    /// vendored serde shim maps missing fields to `None`).
+    epoch_marginals: Option<Vec<EpochMarginals>>,
 }
 
 impl GroundTruth {
@@ -31,6 +48,7 @@ impl GroundTruth {
             congested: vec![false; num_links * num_intervals],
             congestible: Vec::new(),
             model_marginals: vec![0.0; num_links],
+            epoch_marginals: None,
         }
     }
 
@@ -75,6 +93,38 @@ impl GroundTruth {
     /// The time-averaged model marginal congestion probability of a link.
     pub fn model_marginal(&self, link: LinkId) -> f64 {
         self.model_marginals[link.index()]
+    }
+
+    /// Records the model marginals in force from interval `start` onwards.
+    /// Epochs must be recorded in increasing `start` order.
+    pub fn record_epoch_marginals(&mut self, start: usize, marginals: &[f64]) {
+        assert_eq!(marginals.len(), self.num_links, "marginal length mismatch");
+        let timeline = self.epoch_marginals.get_or_insert_with(Vec::new);
+        if let Some(last) = timeline.last() {
+            assert!(last.start < start, "epochs must be recorded in order");
+        }
+        timeline.push(EpochMarginals {
+            start,
+            marginals: marginals.to_vec(),
+        });
+    }
+
+    /// The per-epoch marginal timeline, if the simulator recorded one.
+    pub fn epoch_marginals(&self) -> &[EpochMarginals] {
+        self.epoch_marginals.as_deref().unwrap_or(&[])
+    }
+
+    /// The model marginals in force during interval `t`: the last recorded
+    /// epoch with `start <= t`, falling back to the time-averaged marginals
+    /// when no timeline was recorded.
+    pub fn marginals_at(&self, t: usize) -> &[f64] {
+        let timeline = self.epoch_marginals();
+        let idx = timeline.partition_point(|e| e.start <= t);
+        if idx == 0 {
+            &self.model_marginals
+        } else {
+            &timeline[idx - 1].marginals
+        }
     }
 
     /// Whether a link was congested during interval `t` (`X_e(t) = 1`).
@@ -185,5 +235,48 @@ mod tests {
     fn record_rejects_wrong_length() {
         let mut gt = GroundTruth::new(3, 1);
         gt.record_interval(0, &[true]);
+    }
+
+    #[test]
+    fn epoch_marginal_timeline_lookup() {
+        let mut gt = GroundTruth::new(2, 30);
+        gt.add_model_marginals(&[0.25, 0.0], 1.0);
+        // No timeline yet: fall back to the time-averaged marginals.
+        assert_eq!(gt.marginals_at(5), &[0.25, 0.0]);
+        gt.record_epoch_marginals(0, &[0.1, 0.2]);
+        gt.record_epoch_marginals(10, &[0.9, 0.2]);
+        gt.record_epoch_marginals(20, &[0.5, 0.2]);
+        assert_eq!(gt.marginals_at(0), &[0.1, 0.2]);
+        assert_eq!(gt.marginals_at(9), &[0.1, 0.2]);
+        assert_eq!(gt.marginals_at(10), &[0.9, 0.2]);
+        assert_eq!(gt.marginals_at(19), &[0.9, 0.2]);
+        assert_eq!(gt.marginals_at(29), &[0.5, 0.2]);
+        assert_eq!(gt.epoch_marginals().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs must be recorded in order")]
+    fn epoch_marginals_reject_out_of_order() {
+        let mut gt = GroundTruth::new(1, 10);
+        gt.record_epoch_marginals(5, &[0.1]);
+        gt.record_epoch_marginals(5, &[0.2]);
+    }
+
+    #[test]
+    fn ground_truth_without_timeline_deserializes() {
+        // Ground truth serialized before the epoch-marginal timeline existed
+        // has no `epoch_marginals` key; it must still deserialize (to an
+        // empty timeline).
+        let mut gt = GroundTruth::new(1, 2);
+        gt.record_interval(0, &[true]);
+        gt.record_interval(1, &[false]);
+        let mut val = serde_json::to_value(&gt);
+        if let serde_json::Value::Object(fields) = &mut val {
+            fields.retain(|(k, _)| k != "epoch_marginals");
+        }
+        let text = serde_json::to_string(&val).expect("to text");
+        let restored: GroundTruth = serde_json::from_str(&text).expect("deserialize");
+        assert!(restored.epoch_marginals().is_empty());
+        assert!(restored.is_congested(LinkId(0), 0));
     }
 }

@@ -3,7 +3,7 @@
 //! seed derivation.
 
 use serde::{Deserialize, Serialize};
-use tomo_core::{estimators, EstimatorOptions, TomoError};
+use tomo_core::{EstimatorOptions, TomoError};
 use tomo_graph::Network;
 use tomo_sim::{MeasurementMode, ScenarioConfig, ScenarioKind};
 use tomo_topology::{BriteConfig, BriteGenerator, SparseConfig, SparseGenerator};
@@ -113,6 +113,12 @@ pub struct SweepGrid {
     /// chunks of this many intervals (exercising the incremental ingest
     /// paths) instead of one batch fit. `None` keeps the batch pipeline.
     pub streaming_chunk: Option<usize>,
+    /// When set (streaming mode only), every cell additionally scores the
+    /// estimator's *reaction* to the faults the scenario injected —
+    /// detection latency, time-to-reconverge into this L∞ band, mid-fault
+    /// error integral — into the record's reaction fields. `Option` so grid
+    /// files written before the field existed still deserialize.
+    pub reaction_band: Option<f64>,
 }
 
 impl Default for SweepGrid {
@@ -138,6 +144,7 @@ impl SweepGrid {
             require_common_path: true,
             max_subset_size: None,
             streaming_chunk: None,
+            reaction_band: None,
         }
     }
 
@@ -196,6 +203,13 @@ impl SweepGrid {
         self
     }
 
+    /// Enables reaction scoring with the given reconvergence band (requires
+    /// streaming mode; [`SweepGrid::validate`] enforces it).
+    pub fn reaction(mut self, band: f64) -> Self {
+        self.reaction_band = Some(band);
+        self
+    }
+
     /// The estimator options every cell constructs its estimator with.
     pub fn estimator_options(&self) -> EstimatorOptions {
         EstimatorOptions {
@@ -224,7 +238,14 @@ impl SweepGrid {
             ));
         }
         for name in &self.estimators {
-            estimators::by_name(name)?;
+            let spec = crate::spec::EstimatorSpec::parse(name)?;
+            spec.validate()?;
+            if spec.has_session_knobs() && self.streaming_chunk.is_none() {
+                return Err(TomoError::InvalidConfig(format!(
+                    "estimator spec '{name}' carries session knobs, which only \
+                     apply in streaming mode (set streaming_chunk)"
+                )));
+            }
         }
         if let Some(&bad) = self.interval_counts.iter().find(|&&t| t == 0) {
             return Err(TomoError::InvalidConfig(format!(
@@ -235,6 +256,18 @@ impl SweepGrid {
             return Err(TomoError::InvalidConfig(
                 "streaming chunk must be at least one interval".into(),
             ));
+        }
+        if let Some(band) = self.reaction_band {
+            if !(band > 0.0 && band.is_finite()) {
+                return Err(TomoError::InvalidConfig(format!(
+                    "reaction band must be a positive number, got {band}"
+                )));
+            }
+            if self.streaming_chunk.is_none() {
+                return Err(TomoError::InvalidConfig(
+                    "reaction scoring samples a streaming session; set streaming_chunk".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -420,6 +453,30 @@ mod tests {
         zero.interval_counts = vec![0];
         assert!(matches!(zero.validate(), Err(TomoError::InvalidConfig(_))));
         assert!(demo_grid().validate().is_ok());
+    }
+
+    #[test]
+    fn knobbed_specs_and_reaction_scoring_require_streaming() {
+        let knobbed = demo_grid().estimator("independence+decay:0.6");
+        assert!(matches!(
+            knobbed.validate(),
+            Err(TomoError::InvalidConfig(_))
+        ));
+        assert!(knobbed.streaming(10).validate().is_ok());
+
+        let reaction = demo_grid().reaction(0.15);
+        assert!(matches!(
+            reaction.validate(),
+            Err(TomoError::InvalidConfig(_))
+        ));
+        assert!(demo_grid().streaming(10).reaction(0.15).validate().is_ok());
+        assert!(matches!(
+            demo_grid().streaming(10).reaction(0.0).validate(),
+            Err(TomoError::InvalidConfig(_))
+        ));
+        // Malformed specs are rejected outright.
+        let bad = demo_grid().streaming(10).estimator("independence+turbo:on");
+        assert!(matches!(bad.validate(), Err(TomoError::InvalidConfig(_))));
     }
 
     #[test]

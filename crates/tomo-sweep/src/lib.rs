@@ -52,8 +52,10 @@
 pub mod grid;
 pub mod pool;
 pub mod runner;
+pub mod spec;
 
 pub use grid::{derive_seed, SweepGrid, SweepTask, TopologySpec};
 pub use pool::{parallel_map, WorkerPool};
 pub use runner::{SweepRecord, SweepReport, SweepRunner};
+pub use spec::EstimatorSpec;
 pub use tomo_core::TomoError;

@@ -7,9 +7,11 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use tomo_core::{Pipeline, TomoError};
 use tomo_graph::Network;
+use tomo_metrics::{FaultReaction, ReactionConfig};
 
 use crate::grid::{SweepGrid, SweepTask};
 use crate::pool::parallel_map;
+use crate::spec::EstimatorSpec;
 
 /// The scored result of one sweep cell — one JSON line of the report.
 ///
@@ -46,6 +48,25 @@ pub struct SweepRecord {
     pub detection_rate: Option<f64>,
     /// Per-interval false-positive rate (inference capability only).
     pub false_positive_rate: Option<f64>,
+    /// The scenario's dynamics label (`"stationary"`, `"redraw"`,
+    /// `"gilbert-elliott(0.1,0.3)"`, ...) — what actually evolved the
+    /// congestion process in this cell. `Option` only so records written
+    /// before the field existed still parse.
+    pub evolution: Option<String>,
+    /// Per-fault reaction timeline (streaming cells with reaction scoring on
+    /// a fault-injecting scenario only): detection latency, reconvergence
+    /// latency and mid-fault error integral per injected `FaultEvent`.
+    pub reactions: Option<Vec<FaultReaction>>,
+    /// p50 of the detection latencies over detected faults, in intervals.
+    pub detection_p50: Option<usize>,
+    /// p95 of the detection latencies over detected faults, in intervals.
+    pub detection_p95: Option<usize>,
+    /// p50 of the reconvergence latencies over reconverged faults.
+    pub reconverge_p50: Option<usize>,
+    /// p95 of the reconvergence latencies over reconverged faults.
+    pub reconverge_p95: Option<usize>,
+    /// Total mid-fault L∞ error integral over all scored faults.
+    pub mid_fault_error: Option<f64>,
 }
 
 impl SweepRecord {
@@ -167,41 +188,51 @@ fn run_task(
 ) -> Result<SweepRecord, TomoError> {
     let (links, paths) = (network.num_links(), network.num_paths());
     let sim_seed = task.sim_seed(grid.base_seed);
+    let scenario = grid.scenario_config(task.scenario);
+    let evolution = scenario.evolution_label();
+    let spec = EstimatorSpec::parse(&task.estimator)?;
 
     let pipeline = Pipeline::on(network.clone())
-        .scenario(grid.scenario_config(task.scenario))
+        .scenario(scenario)
         .intervals(task.intervals)
         .measurement(grid.measurement)
         .seed(sim_seed);
-    let outcome = match grid.streaming_chunk {
+    let (outcome, reactions) = match grid.streaming_chunk {
         // Streaming mode: the same simulated data, ingested through a
         // TomographySession in chunks (the daemon's code path), scored on
-        // the final estimate.
+        // the final estimate — and, with a reaction band configured, on how
+        // fast the session reacted to each injected fault.
         Some(chunk) => {
             let experiment = pipeline.simulate()?;
             let mut session = tomo_core::TomographySession::new(
                 network.clone(),
-                tomo_core::SessionConfig {
-                    estimator: task.estimator.clone(),
-                    options: grid.estimator_options(),
-                    window_capacity: None,
-                    decay: None,
-                    rebuild: tomo_core::RebuildPolicy::default(),
-                },
+                spec.session_config(grid.estimator_options()),
             )?;
-            experiment.evaluate_streaming(&mut session, chunk)?
+            let reaction = grid.reaction_band.map(|band| ReactionConfig { band });
+            experiment.evaluate_streaming_with_reactions(&mut session, chunk, reaction)?
         }
-        None => pipeline
-            .into_task(task.estimator.as_str())
-            .with_options(grid.estimator_options())
-            .run()?,
+        None => (
+            pipeline
+                .into_task(spec.name.as_str())
+                .with_options(grid.estimator_options())
+                .run()?,
+            None,
+        ),
+    };
+
+    // Keep the spec's knob suffix on the display name: the decayed and
+    // plain variants of one estimator answer with the same online display
+    // name, and the ranking needs to tell them apart.
+    let estimator = match task.estimator.find('+') {
+        Some(pos) => format!("{}{}", outcome.estimator, &task.estimator[pos..]),
+        None => outcome.estimator,
     };
 
     Ok(SweepRecord {
         task: task.index,
         topology: grid.topologies[task.topology].label().to_string(),
         scenario: task.scenario.label().to_string(),
-        estimator: outcome.estimator,
+        estimator,
         intervals: task.intervals,
         seed: task.seed,
         sim_seed,
@@ -214,6 +245,19 @@ fn run_task(
             .inference_score
             .as_ref()
             .map(|s| s.false_positive_rate()),
+        evolution: Some(evolution),
+        detection_p50: reactions.as_ref().and_then(|r| r.detection_percentile(0.5)),
+        detection_p95: reactions
+            .as_ref()
+            .and_then(|r| r.detection_percentile(0.95)),
+        reconverge_p50: reactions
+            .as_ref()
+            .and_then(|r| r.reconverge_percentile(0.5)),
+        reconverge_p95: reactions
+            .as_ref()
+            .and_then(|r| r.reconverge_percentile(0.95)),
+        mid_fault_error: reactions.as_ref().map(|r| r.total_mid_fault_error()),
+        reactions: reactions.map(|r| r.reactions),
     })
 }
 
@@ -293,6 +337,45 @@ mod tests {
         // And the streaming report is itself deterministic across threads.
         let again = SweepRunner::new().threads(1).run(&streaming_grid).unwrap();
         assert_eq!(streaming.to_jsonl(), again.to_jsonl());
+    }
+
+    #[test]
+    fn chaos_cells_score_reactions_and_stay_deterministic() {
+        let grid = SweepGrid::new()
+            .topology(TopologySpec::Toy)
+            .scenario(ScenarioKind::FlappingLinks)
+            .estimator("independence")
+            .estimator("independence+decay:0.9")
+            .interval_count(200)
+            .seed_axis(0)
+            .streaming(10)
+            .reaction(0.15);
+        let report = SweepRunner::new().threads(2).run(&grid).unwrap();
+        assert_eq!(report.records.len(), 2);
+        for r in &report.records {
+            let evolution = r.evolution.as_deref().expect("evolution is logged");
+            assert!(evolution.starts_with("flapping("), "{evolution}");
+            let reactions = r.reactions.as_ref().expect("per-fault timeline");
+            assert!(!reactions.is_empty());
+            assert!(r.mid_fault_error.is_some());
+        }
+        // The knob suffix keeps the variants distinguishable in the JSONL.
+        assert_ne!(report.records[0].estimator, report.records[1].estimator);
+        assert!(report.records[1].estimator.ends_with("+decay:0.9"));
+        // Reaction-scored sweeps stay byte-identical across thread counts.
+        let again = SweepRunner::new().threads(1).run(&grid).unwrap();
+        assert_eq!(report.to_jsonl(), again.to_jsonl());
+    }
+
+    #[test]
+    fn stationary_cells_log_their_evolution_but_score_no_reactions() {
+        let report = SweepRunner::new().threads(1).run(&toy_grid()).unwrap();
+        for r in &report.records {
+            assert_eq!(r.evolution.as_deref(), Some("stationary"));
+            assert!(r.reactions.is_none());
+            assert!(r.detection_p50.is_none());
+            assert!(r.mid_fault_error.is_none());
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Estimator-spec parsing: an estimator-axis value with session knobs.
+//!
+//! The chaos grids compare the *same* estimator under different serving
+//! configurations — with and without exponential decay, with and without the
+//! auto-rebuild drift policy. Those knobs live on the `SessionConfig`, not
+//! the estimator, so they are encoded as suffixes on the estimator-axis
+//! string:
+//!
+//! ```text
+//! independence                      plain registry estimator
+//! independence+decay:0.6            exponential reweighting λ = 0.6
+//! independence+rebuild:auto         auto structural rebuild on drift
+//! independence+window:100           rolling window of 100 intervals
+//! independence+decay:0.6+rebuild:auto   knobs compose
+//! ```
+//!
+//! Keeping the knobs on the estimator axis preserves the sweep invariant
+//! that cells differing only in estimator share a simulation cell: every
+//! variant is scored against byte-identical observations, which is exactly
+//! what a reaction-speed ranking needs.
+
+use tomo_core::{estimators, EstimatorOptions, SessionConfig, TomoError};
+
+/// A parsed estimator-axis value: registry name plus session knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorSpec {
+    /// The estimator's registry name.
+    pub name: String,
+    /// Exponential reweighting factor (`+decay:λ`).
+    pub decay: Option<f64>,
+    /// Rolling-window capacity (`+window:N`).
+    pub window: Option<usize>,
+    /// Auto structural rebuild on drift (`+rebuild:auto`).
+    pub rebuild_auto: bool,
+}
+
+impl EstimatorSpec {
+    /// Parses an estimator-axis string. The bare registry name parses to a
+    /// spec with no knobs; validation of the name itself is left to the
+    /// caller (the grid validates against the registry).
+    pub fn parse(spec: &str) -> Result<Self, TomoError> {
+        let mut parts = spec.split('+');
+        let name = parts.next().unwrap_or_default().trim();
+        if name.is_empty() {
+            return Err(TomoError::InvalidConfig(format!(
+                "estimator spec '{spec}' has no registry name"
+            )));
+        }
+        let mut parsed = Self {
+            name: name.to_string(),
+            decay: None,
+            window: None,
+            rebuild_auto: false,
+        };
+        for knob in parts {
+            match knob.split_once(':') {
+                Some(("decay", v)) => {
+                    let lambda: f64 = v.parse().map_err(|_| {
+                        TomoError::InvalidConfig(format!("'{spec}': decay '{v}' is not a number"))
+                    })?;
+                    if !(lambda > 0.0 && lambda < 1.0) {
+                        return Err(TomoError::InvalidConfig(format!(
+                            "'{spec}': decay must be in (0, 1), got {lambda}"
+                        )));
+                    }
+                    parsed.decay = Some(lambda);
+                }
+                Some(("window", v)) => {
+                    let n: usize = v.parse().map_err(|_| {
+                        TomoError::InvalidConfig(format!("'{spec}': window '{v}' is not a count"))
+                    })?;
+                    if n == 0 {
+                        return Err(TomoError::InvalidConfig(format!(
+                            "'{spec}': window must be at least one interval"
+                        )));
+                    }
+                    parsed.window = Some(n);
+                }
+                Some(("rebuild", "auto")) => parsed.rebuild_auto = true,
+                Some(("rebuild", other)) => {
+                    return Err(TomoError::InvalidConfig(format!(
+                        "'{spec}': unknown rebuild policy '{other}' (only 'auto')"
+                    )));
+                }
+                _ => {
+                    return Err(TomoError::InvalidConfig(format!(
+                        "'{spec}': unknown estimator knob '{knob}' \
+                         (supported: decay:<λ>, window:<N>, rebuild:auto)"
+                    )));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Whether the spec carries any session knob. Knobbed specs only run in
+    /// streaming mode (the knobs configure a `TomographySession`).
+    pub fn has_session_knobs(&self) -> bool {
+        self.decay.is_some() || self.window.is_some() || self.rebuild_auto
+    }
+
+    /// Validates the spec against the estimator registry.
+    pub fn validate(&self) -> Result<(), TomoError> {
+        estimators::by_name(&self.name).map(|_| ())
+    }
+
+    /// The session configuration this spec describes.
+    pub fn session_config(&self, options: EstimatorOptions) -> SessionConfig {
+        SessionConfig {
+            estimator: self.name.clone(),
+            options,
+            window_capacity: self.window,
+            decay: self.decay,
+            rebuild: if self.rebuild_auto {
+                tomo_core::RebuildPolicy::Auto
+            } else {
+                tomo_core::RebuildPolicy::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_parse_without_knobs() {
+        let spec = EstimatorSpec::parse("independence").unwrap();
+        assert_eq!(spec.name, "independence");
+        assert!(!spec.has_session_knobs());
+        assert!(spec.validate().is_ok());
+        let config = spec.session_config(EstimatorOptions::default());
+        assert_eq!(config.estimator, "independence");
+        assert_eq!(config.decay, None);
+        assert_eq!(config.rebuild, tomo_core::RebuildPolicy::Manual);
+    }
+
+    #[test]
+    fn knobs_compose_and_map_onto_session_config() {
+        let spec = EstimatorSpec::parse("independence+decay:0.6+rebuild:auto+window:50").unwrap();
+        assert_eq!(spec.name, "independence");
+        assert_eq!(spec.decay, Some(0.6));
+        assert_eq!(spec.window, Some(50));
+        assert!(spec.rebuild_auto);
+        assert!(spec.has_session_knobs());
+        let config = spec.session_config(EstimatorOptions::default());
+        assert_eq!(config.decay, Some(0.6));
+        assert_eq!(config.window_capacity, Some(50));
+        assert_eq!(config.rebuild, tomo_core::RebuildPolicy::Auto);
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "+decay:0.5",
+            "independence+decay:nope",
+            "independence+decay:1.5",
+            "independence+decay:0",
+            "independence+window:0",
+            "independence+window:many",
+            "independence+rebuild:sometimes",
+            "independence+turbo:on",
+            "independence+decay",
+        ] {
+            assert!(
+                matches!(EstimatorSpec::parse(bad), Err(TomoError::InvalidConfig(_))),
+                "'{bad}' should be rejected"
+            );
+        }
+        // Unknown registry names surface at validation, not parse.
+        let spec = EstimatorSpec::parse("gradient-boost+decay:0.5").unwrap();
+        assert!(spec.validate().is_err());
+    }
+}

@@ -39,6 +39,10 @@
 //!   process serves a fleet of topologies (sharded tenant registry,
 //!   versioned v2 JSON-lines protocol, bounded-ingest backpressure),
 //!   incrementally re-estimated queries, per-tenant snapshot/restore.
+//! * [`chaos`] — the fault-injection subsystem: the `FaultKind`/`FaultEvent`
+//!   taxonomy shared by the adversarial simulator dynamics and the
+//!   reaction-scoring metrics, plus the deterministic wire-level chaos
+//!   proxy.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tomo_chaos as chaos;
 pub use tomo_core as pipeline;
 pub use tomo_experiments as experiments;
 pub use tomo_graph as graph;

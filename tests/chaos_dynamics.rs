@@ -1,0 +1,162 @@
+//! Property-based and integration tests over the chaos dynamics: the
+//! Gilbert–Elliott chain must converge to its stationary mixture, and SRLG
+//! cascades must keep group members perfectly correlated — every failure
+//! and recovery moves the whole group at once, which is exactly the
+//! correlation structure the paper's `CorrelationComplete` estimator is
+//! built to absorb.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+use network_tomography::chaos::FaultKind;
+use network_tomography::sim::dynamics::{gilbert_elliott_step, initialize_model};
+use network_tomography::sim::{
+    CongestionModel, Driver, LossModel, MeasurementMode, ProbabilityEvolution, ScenarioConfig,
+    SimulationConfig, Simulator,
+};
+use network_tomography::topology::{BriteConfig, BriteGenerator};
+
+fn single_link_model(probs: &[f64]) -> CongestionModel {
+    CongestionModel::new(
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Driver {
+                probability: p,
+                members: vec![network_tomography::graph::LinkId(i)],
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over a long horizon, each Gilbert–Elliott driver spends a
+    /// `p_gb / (p_gb + p_bg)` fraction of its epochs in the bad state —
+    /// the stationary distribution of the two-state chain — regardless of
+    /// the seed or the transition rates.
+    #[test]
+    fn gilbert_elliott_converges_to_the_stationary_mixture(
+        p_gb in 0.05f64..0.5,
+        p_bg in 0.05f64..0.5,
+        seed in 1u64..10_000,
+    ) {
+        let (good_loss, bad_loss) = (0.05, 0.85);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = initialize_model(
+            single_link_model(&[0.2, 0.5, 0.8]),
+            Some(ProbabilityEvolution::GilbertElliott { p_gb, p_bg, good_loss, bad_loss }),
+            &mut rng,
+        );
+        let drivers = model.drivers.len();
+        let (burn_in, epochs) = (200usize, 3000usize);
+        let mut bad_epochs = 0usize;
+        for epoch in 1..=(burn_in + epochs) {
+            let (next, _) = gilbert_elliott_step(
+                &model, p_gb, p_bg, good_loss, bad_loss, epoch, epoch, &mut rng,
+            );
+            model = next;
+            if epoch > burn_in {
+                for driver in &model.drivers {
+                    prop_assert!(
+                        (driver.probability - good_loss).abs() < 1e-6
+                            || (driver.probability - bad_loss).abs() < 1e-6,
+                        "probability {} is off both GE levels",
+                        driver.probability
+                    );
+                    if (driver.probability - bad_loss).abs() < 1e-6 {
+                        bad_epochs += 1;
+                    }
+                }
+            }
+        }
+        let empirical = bad_epochs as f64 / (epochs * drivers) as f64;
+        let stationary = p_gb / (p_gb + p_bg);
+        prop_assert!(
+            (empirical - stationary).abs() < 0.10,
+            "bad-state fraction {empirical:.3} vs stationary {stationary:.3} \
+             (p_gb={p_gb:.3}, p_bg={p_bg:.3})"
+        );
+    }
+}
+
+/// Shared-risk link groups fail and recover as one unit: every `GroupFail`
+/// leaves all of its members at the outage level in the ground-truth
+/// marginal timeline, every `GroupRecover` lifts all of them off it, and
+/// at no epoch is a group split — perfect correlation among members.
+#[test]
+fn srlg_cascades_keep_group_members_perfectly_correlated() {
+    let network = BriteGenerator::new(BriteConfig {
+        num_ases: 8,
+        routers_per_as: 4,
+        as_peering_degree: 2,
+        extra_intra_edges_per_router: 1,
+        peering_links_per_adjacency: 1,
+        num_paths: 60,
+        seed: 5,
+    })
+    .generate()
+    .expect("valid network");
+    let scenario = ScenarioConfig::link_cascade();
+    let down_loss = 0.95;
+    let output = Simulator::new(SimulationConfig {
+        num_intervals: 400,
+        scenario,
+        loss: LossModel::default(),
+        measurement: MeasurementMode::Ideal,
+        seed: 13,
+    })
+    .run(&network);
+
+    let cascade_events: Vec<_> = output
+        .fault_events
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::GroupFail | FaultKind::GroupRecover))
+        .collect();
+    assert!(
+        !cascade_events.is_empty(),
+        "400 intervals of link-cascade should fail at least one group"
+    );
+
+    let at_outage = |t: usize, link: usize| -> bool {
+        (output.ground_truth.marginals_at(t)[link] - down_loss).abs() < 1e-6
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for event in &cascade_events {
+        assert!(!event.links.is_empty(), "cascade events name their group");
+        if !groups.contains(&event.links) {
+            groups.push(event.links.clone());
+        }
+        for &link in &event.links {
+            match event.kind {
+                FaultKind::GroupFail => assert!(
+                    at_outage(event.interval, link),
+                    "link {link} not at the outage level after GroupFail@{}",
+                    event.interval
+                ),
+                _ => assert!(
+                    !at_outage(event.interval, link),
+                    "link {link} still at the outage level after GroupRecover@{}",
+                    event.interval
+                ),
+            }
+        }
+    }
+
+    // No epoch ever splits a group: members are all down or all up.
+    for record in output.ground_truth.epoch_marginals() {
+        for group in &groups {
+            let down = group
+                .iter()
+                .filter(|&&l| at_outage(record.start, l))
+                .count();
+            assert!(
+                down == 0 || down == group.len(),
+                "epoch@{} splits group {group:?}: {down}/{} members down",
+                record.start,
+                group.len()
+            );
+        }
+    }
+}
